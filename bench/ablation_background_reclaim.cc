@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation of kswapd-style background reclamation (paper §6 future
+ * work): a periodic reclaimer keeps a free-memory reserve so demand
+ * evictions move off the invocation critical path entirely.
+ */
+#include <iostream>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workloads.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    const Trace pop = bench::population();
+    const Trace rep = bench::representativeTrace(pop);
+    const MemMb memory = 15 * 1024.0;
+
+    std::cout << "Background-reclaim ablation — Greedy-Dual on the "
+                 "representative trace at "
+              << formatDouble(memory / 1024.0, 0) << " GB\n\n";
+
+    struct Setting
+    {
+        const char* label;
+        TimeUs interval;
+        MemMb target;
+    };
+    const Setting settings[] = {
+        {"off (demand eviction only)", 0, 0},
+        {"every 10 s, 512 MB reserve", 10 * kSecond, 512},
+        {"every 10 s, 1024 MB reserve", 10 * kSecond, 1024},
+        {"every 60 s, 1024 MB reserve", kMinute, 1024},
+    };
+
+    TablePrinter table({"Reclaimer", "cold %", "exec increase %",
+                        "critical-path rounds", "background reclaims"});
+    for (const Setting& setting : settings) {
+        SimulatorConfig config;
+        config.memory_mb = memory;
+        config.memory_sample_interval_us = 0;
+        config.background_reclaim_interval_us = setting.interval;
+        config.background_free_target_mb = setting.target;
+        const SimResult r = simulateTrace(
+            rep, makePolicy(PolicyKind::GreedyDual), config);
+        table.addRow({setting.label,
+                      formatDouble(r.coldStartPercent(), 2),
+                      formatDouble(r.execTimeIncreasePercent(), 2),
+                      std::to_string(r.eviction_rounds),
+                      std::to_string(r.background_reclaims)});
+    }
+    table.print(std::cout);
+    std::cout << "\nA modest reserve eliminates most slow-path eviction "
+                 "rounds from the invocation\npath at a small hit-ratio "
+                 "cost (containers die earlier than strictly needed).\n";
+    return 0;
+}

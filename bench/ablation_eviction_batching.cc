@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation of eviction batching (paper §6: "we batch eviction
+ * operations to optimize the slow-path: we evict multiple containers to
+ * reach a certain free resource threshold (1000 MB is the current
+ * default)"). Larger batches run the sorting slow path less often at
+ * the cost of evicting containers earlier than strictly necessary.
+ */
+#include <iostream>
+
+#include "core/greedy_dual.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workloads.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    const Trace pop = bench::population();
+    const Trace rep = bench::representativeTrace(pop);
+    const MemMb memory = 15 * 1024.0;
+
+    std::cout << "Eviction-batching ablation — Greedy-Dual on the "
+                 "representative trace at "
+              << formatDouble(memory / 1024.0, 0) << " GB\n\n";
+
+    TablePrinter table({"Batch threshold (MB)", "cold %",
+                        "exec increase %", "slow-path rounds",
+                        "evictions", "evictions/round"});
+    for (double batch : {0.0, 256.0, 1024.0, 4096.0}) {
+        GreedyDualConfig gd;
+        gd.batch_free_mb = batch;
+        SimulatorConfig config;
+        config.memory_mb = memory;
+        config.memory_sample_interval_us = 0;
+        const SimResult r = simulateTrace(
+            rep, std::make_unique<GreedyDualPolicy>(gd), config);
+        const double per_round = r.eviction_rounds > 0
+            ? static_cast<double>(r.evictions) /
+                static_cast<double>(r.eviction_rounds)
+            : 0.0;
+        table.addRow({formatDouble(batch, 0),
+                      formatDouble(r.coldStartPercent(), 2),
+                      formatDouble(r.execTimeIncreasePercent(), 2),
+                      std::to_string(r.eviction_rounds),
+                      std::to_string(r.evictions),
+                      formatDouble(per_round, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nBatching trades slightly earlier evictions (a small "
+                 "hit-ratio cost) for far\nfewer slow-path sorting "
+                 "rounds on the invocation critical path.\n";
+    return 0;
+}

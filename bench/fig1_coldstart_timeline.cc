@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 1: the timeline of a cold function invocation in
+ * OpenWhisk for the ML-inference application — container-pool check,
+ * Akka/Docker startup, OpenWhisk/Python runtime initialization, the
+ * function's explicit initialization (model download etc.), and the
+ * actual execution.
+ */
+#include <iostream>
+
+#include "platform/cold_start_model.h"
+#include "platform/function_bench.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+namespace {
+
+void
+printTimeline(const FunctionSpec& spec)
+{
+    const ColdStartBreakdown b = coldStartBreakdown(spec);
+    struct Stage
+    {
+        const char* name;
+        TimeUs duration;
+    };
+    const Stage stages[] = {
+        {"container pool check", b.pool_check_us},
+        {"Akka + Docker startup", b.docker_startup_us},
+        {"OpenWhisk runtime init", b.ow_runtime_init_us},
+        {"language runtime init", b.language_init_us},
+        {"explicit (user) init", b.explicit_init_us},
+        {"function execution", b.execution_us},
+    };
+
+    std::cout << "Cold-start timeline for '" << spec.name << "' (total "
+              << formatDouble(toSeconds(b.totalUs()), 2) << " s, overhead "
+              << formatDouble(toSeconds(b.overheadUs()), 2) << " s = "
+              << formatDouble(100.0 * static_cast<double>(b.overheadUs()) /
+                                  static_cast<double>(b.totalUs()),
+                              0)
+              << "% of total):\n\n";
+
+    TablePrinter table({"stage", "start (s)", "duration (s)", ""});
+    TimeUs at = 0;
+    for (const Stage& stage : stages) {
+        const int width = static_cast<int>(
+            50.0 * static_cast<double>(stage.duration) /
+            static_cast<double>(b.totalUs()));
+        table.addRow({stage.name, formatDouble(toSeconds(at), 2),
+                      formatDouble(toSeconds(stage.duration), 2),
+                      std::string(static_cast<std::size_t>(width), '#')});
+        at += stage.duration;
+    }
+    table.print(std::cout);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::cout << "Figure 1: sources of cold-start delay in the OpenWhisk "
+                 "invocation path\n\n";
+    printTimeline(functionBenchSpec(FunctionBenchApp::MlInference));
+    std::cout << "\nA warm invocation skips everything but the final "
+                 "execution stage.\n";
+    return 0;
+}

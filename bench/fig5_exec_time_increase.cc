@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 5 (a, b, c): the percent increase in execution time
+ * caused by cold starts, for all seven keep-alive policies
+ * (GD, TTL, LRU, HIST, SIZE, LND, FREQ) across cache sizes, on the
+ * REPRESENTATIVE, RARE, and RANDOM traces.
+ */
+#include <iostream>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workloads.h"
+
+using namespace faascache;
+
+namespace {
+
+void
+runSubfigure(const char* label, const Trace& trace,
+             const std::vector<MemMb>& sizes)
+{
+    std::cout << label << " — trace '" << trace.name() << "' ("
+              << trace.invocations().size() << " invocations, "
+              << trace.functions().size() << " functions)\n\n";
+
+    std::vector<std::string> headers = {"Memory (GB)"};
+    for (PolicyKind kind : allPolicyKinds())
+        headers.push_back(policyKindName(kind));
+    TablePrinter table(std::move(headers));
+
+    for (MemMb size_mb : sizes) {
+        std::vector<std::string> row = {formatDouble(size_mb / 1024.0, 0)};
+        for (PolicyKind kind : allPolicyKinds()) {
+            SimulatorConfig config;
+            config.memory_mb = size_mb;
+            config.memory_sample_interval_us = 0;
+            const SimResult r =
+                simulateTrace(trace, makePolicy(kind), config);
+            row.push_back(formatDouble(r.execTimeIncreasePercent(), 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::cout << "Figure 5: % increase in execution time due to "
+                 "cold-starts (lower is better)\n\n";
+    const Trace pop = bench::population();
+    runSubfigure("(a) Representative functions",
+                 bench::representativeTrace(pop),
+                 bench::largeMemorySweepMb());
+    runSubfigure("(b) Rare functions", bench::rareTrace(pop),
+                 bench::largeMemorySweepMb());
+    runSubfigure("(c) Random sampling", bench::randomTrace(pop),
+                 bench::smallMemorySweepMb());
+    std::cout << "Expected shape (paper §7.1): GD reaches its floor at a "
+                 "~3x smaller cache than the\nother policies on the "
+                 "representative trace; recency (LRU) dominates on the "
+                 "rare and\nrandom traces where TTL pays its 10-minute "
+                 "expirations.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Figure 7: cold and warm invocation counts for vanilla
+ * OpenWhisk (10-minute TTL, oldest-created pressure eviction) versus
+ * FaasCache (Greedy-Dual) on three skewed workload types — skewed
+ * frequency, cyclic, and skewed size — on a memory-constrained invoker.
+ */
+#include <iostream>
+
+#include "platform/experiment.h"
+#include "platform/load_generator.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    const TimeUs duration = kHour;
+    ServerConfig server;
+    server.cores = 8;
+    server.memory_mb = 1000;
+
+    std::cout << "Figure 7: OpenWhisk (OW) vs FaasCache (FC) on skewed "
+                 "workloads\n(server: "
+              << server.cores << " cores, " << server.memory_mb
+              << " MB container pool, " << toSeconds(duration) / 60
+              << " min runs)\n\n";
+
+    struct Workload
+    {
+        const char* label;
+        Trace trace;
+    };
+    Workload workloads[] = {
+        {"Skewed Freq", skewedFrequencyWorkload(duration)},
+        {"Cyclic", cyclicWorkload(duration)},
+        {"Skewed Size", skewedSizeWorkload(duration)},
+    };
+
+    TablePrinter table({"Workload Type", "OW Cold", "OW Warm", "OW Drop",
+                        "FC Cold", "FC Warm", "FC Drop", "FC/OW warm",
+                        "FC/OW served"});
+    for (auto& workload : workloads) {
+        const PlatformComparison cmp =
+            compareOpenWhiskVsFaasCache(workload.trace, server);
+        table.addRow({workload.label,
+                      std::to_string(cmp.openwhisk.cold_starts),
+                      std::to_string(cmp.openwhisk.warm_starts),
+                      std::to_string(cmp.openwhisk.dropped()),
+                      std::to_string(cmp.faascache.cold_starts),
+                      std::to_string(cmp.faascache.warm_starts),
+                      std::to_string(cmp.faascache.dropped()),
+                      formatDouble(cmp.warmStartRatio(), 2),
+                      formatDouble(cmp.servedRatio(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper §7.2): FaasCache serves more "
+                 "invocations warm on every\nskewed workload; the cyclic "
+                 "(recency-adversarial) pattern shows the largest gap\n"
+                 "(paper: 50-100% more warm invocations).\n";
+    return 0;
+}

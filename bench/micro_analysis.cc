@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Micro-benchmarks of the provisioning analysis substrate: exact
+ * (Fenwick) reuse-distance computation versus SHARDS sampling at
+ * several rates, and hit-ratio-curve queries. Quantifies the paper's
+ * claim that SHARDS "drastically reduces the overhead" of the
+ * O(N log N) full-trace analysis.
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/reuse_distance.h"
+#include "analysis/shards.h"
+#include "trace/azure_model.h"
+
+using namespace faascache;
+
+namespace {
+
+const Trace&
+analysisTrace()
+{
+    static const Trace kTrace = [] {
+        AzureModelConfig config;
+        config.seed = 99;
+        config.num_functions = 500;
+        config.duration_us = kHour;
+        config.iat_median_sec = 60.0;
+        return generateAzureTrace(config);
+    }();
+    return kTrace;
+}
+
+void
+BM_ReuseDistancesExact(benchmark::State& state)
+{
+    const Trace& trace = analysisTrace();
+    for (auto _ : state) {
+        auto distances = computeReuseDistances(trace);
+        benchmark::DoNotOptimize(distances);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.invocations().size()));
+}
+
+void
+BM_ReuseDistancesShards(benchmark::State& state)
+{
+    const Trace& trace = analysisTrace();
+    const double rate = static_cast<double>(state.range(0)) / 100.0;
+    for (auto _ : state) {
+        auto result = shardsSample(trace, rate, 42);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel("rate=" + std::to_string(rate));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.invocations().size()));
+}
+
+void
+BM_HitRatioCurveBuild(benchmark::State& state)
+{
+    const auto distances = computeReuseDistances(analysisTrace());
+    for (auto _ : state) {
+        auto curve = HitRatioCurve::fromReuseDistances(distances);
+        benchmark::DoNotOptimize(curve);
+    }
+}
+
+void
+BM_HitRatioQuery(benchmark::State& state)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        computeReuseDistances(analysisTrace()));
+    MemMb size = 128.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(curve.hitRatio(size));
+        size = size < 1e6 ? size * 1.1 : 128.0;
+    }
+}
+
+BENCHMARK(BM_ReuseDistancesExact);
+BENCHMARK(BM_ReuseDistancesShards)->Arg(25)->Arg(10)->Arg(1);
+BENCHMARK(BM_HitRatioCurveBuild);
+BENCHMARK(BM_HitRatioQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

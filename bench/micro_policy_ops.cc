@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Micro-benchmarks of the keep-alive fast path and slow path: per
+ * invocation bookkeeping, warm-container lookup, and victim selection,
+ * for every policy. The paper keeps the ContainerPool unsorted on the
+ * fast path and sorts only on evictions (§6); these benchmarks quantify
+ * that trade-off.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/container_pool.h"
+#include "core/policy_factory.h"
+#include "util/rng.h"
+
+using namespace faascache;
+
+namespace {
+
+FunctionSpec
+specOf(FunctionId id)
+{
+    return makeFunction(id, "fn" + std::to_string(id),
+                        64.0 + static_cast<double>(id % 16) * 32.0,
+                        fromMillis(100),
+                        fromMillis(100 + 50 * (id % 10)));
+}
+
+/** Fill a pool with idle containers of `num_functions` functions. */
+void
+fillPool(ContainerPool& pool, KeepAlivePolicy& policy,
+         std::size_t num_functions)
+{
+    for (std::size_t i = 0; i < num_functions; ++i) {
+        const FunctionSpec spec = specOf(static_cast<FunctionId>(i));
+        if (!pool.fits(spec.mem_mb))
+            break;
+        policy.onInvocationArrival(spec, static_cast<TimeUs>(i) * kSecond);
+        Container& c = pool.add(spec, static_cast<TimeUs>(i) * kSecond);
+        c.startInvocation(static_cast<TimeUs>(i) * kSecond,
+                          static_cast<TimeUs>(i) * kSecond + spec.warm_us);
+        policy.onColdStart(c, spec, static_cast<TimeUs>(i) * kSecond);
+        c.finishInvocation();
+    }
+}
+
+PolicyKind
+kindFromIndex(std::int64_t index)
+{
+    return allPolicyKinds().at(static_cast<std::size_t>(index));
+}
+
+void
+BM_WarmLookupAndTouch(benchmark::State& state)
+{
+    const PolicyKind kind = kindFromIndex(state.range(0));
+    const auto num_functions = static_cast<std::size_t>(state.range(1));
+    ContainerPool pool(1e9);
+    auto policy = makePolicy(kind);
+    fillPool(pool, *policy, num_functions);
+
+    Rng rng(7);
+    TimeUs now = static_cast<TimeUs>(num_functions) * kSecond;
+    for (auto _ : state) {
+        const auto fn = static_cast<FunctionId>(
+            rng.uniformInt(num_functions));
+        const FunctionSpec spec = specOf(fn);
+        now += kMillisecond;
+        policy->onInvocationArrival(spec, now);
+        Container* warm = pool.findIdleWarm(fn);
+        benchmark::DoNotOptimize(warm);
+        if (warm != nullptr) {
+            warm->startInvocation(now, now + spec.warm_us);
+            policy->onWarmStart(*warm, spec, now);
+            warm->finishInvocation();
+        }
+    }
+    state.SetLabel(policyKindName(kind));
+}
+
+void
+BM_VictimSelection(benchmark::State& state)
+{
+    const PolicyKind kind = kindFromIndex(state.range(0));
+    const auto num_functions = static_cast<std::size_t>(state.range(1));
+    ContainerPool pool(1e9);
+    auto policy = makePolicy(kind);
+    fillPool(pool, *policy, num_functions);
+
+    const TimeUs now = static_cast<TimeUs>(num_functions + 1) * kSecond;
+    for (auto _ : state) {
+        auto victims = policy->selectVictims(pool, 256.0, now);
+        benchmark::DoNotOptimize(victims);
+    }
+    state.SetLabel(policyKindName(kind));
+}
+
+void
+policyArgs(benchmark::internal::Benchmark* bench)
+{
+    for (std::int64_t kind = 0;
+         kind < static_cast<std::int64_t>(allPolicyKinds().size()); ++kind) {
+        bench->Args({kind, 256});
+        bench->Args({kind, 4096});
+    }
+}
+
+BENCHMARK(BM_WarmLookupAndTouch)->Apply(policyArgs);
+BENCHMARK(BM_VictimSelection)->Apply(policyArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

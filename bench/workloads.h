@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Canonical workloads and sweep grids shared by the bench harnesses.
+ *
+ * All figure/table benches derive their traces from one synthetic Azure
+ * population (DESIGN.md §1 documents the substitution) using the
+ * paper's three sampling recipes, so the numbers across benches are
+ * mutually consistent.
+ */
+#ifndef FAASCACHE_BENCH_WORKLOADS_H_
+#define FAASCACHE_BENCH_WORKLOADS_H_
+
+#include <vector>
+
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+#include "trace/trace.h"
+
+namespace faascache::bench {
+
+/** The population every sample is drawn from (deterministic). */
+inline Trace
+population()
+{
+    AzureModelConfig config;
+    config.seed = 2021;
+    config.num_functions = 2000;
+    config.duration_us = 2 * kHour;
+    config.iat_median_sec = 120.0;
+    config.max_rate_per_sec = 2.0;
+    // Per-function memory: the Azure trace reports memory per *app*,
+    // split across the app's functions, so per-function footprints are
+    // small (tens to a few hundred MB).
+    config.mem_median_mb = 64.0;
+    config.mem_sigma = 0.7;
+    config.mem_max_mb = 512.0;
+    config.name = "azure-synthetic-population";
+    return generateAzureTrace(config);
+}
+
+/** REPRESENTATIVE sample: 400 functions, one quarter per frequency
+ *  quartile (Table 2 row 1). */
+inline Trace
+representativeTrace(const Trace& pop)
+{
+    return sampleRepresentative(pop, 400, 1);
+}
+
+/** RARE sample: 1000 of the most infrequently invoked functions
+ *  (Table 2 row 2). */
+inline Trace
+rareTrace(const Trace& pop)
+{
+    return sampleRare(pop, 1000, 1);
+}
+
+/** RANDOM sample: 200 functions chosen uniformly (Table 2 row 3). */
+inline Trace
+randomTrace(const Trace& pop)
+{
+    return sampleRandom(pop, 200, 1);
+}
+
+/** Memory sweep (MB) for the REPRESENTATIVE and RARE figures. */
+inline std::vector<MemMb>
+largeMemorySweepMb()
+{
+    std::vector<MemMb> sizes;
+    for (double gb : {5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0, 80.0})
+        sizes.push_back(gb * 1024.0);
+    return sizes;
+}
+
+/** Memory sweep (MB) for the RANDOM figure (smaller active set). */
+inline std::vector<MemMb>
+smallMemorySweepMb()
+{
+    std::vector<MemMb> sizes;
+    for (double gb : {2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0})
+        sizes.push_back(gb * 1024.0);
+    return sizes;
+}
+
+}  // namespace faascache::bench
+
+#endif  // FAASCACHE_BENCH_WORKLOADS_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Capacity planning with hit-ratio curves (paper §5.1): compute
+ * size-weighted reuse distances for a workload, build its hit-ratio
+ * curve (exactly and with SHARDS sampling), and provision a server by
+ * target hit ratio and by the curve's knee.
+ */
+#include <iostream>
+
+#include "analysis/reuse_distance.h"
+#include "analysis/shards.h"
+#include "provisioning/static_provisioner.h"
+#include "trace/azure_model.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    AzureModelConfig model;
+    model.seed = 11;
+    model.num_functions = 500;
+    model.duration_us = kHour;
+    model.iat_median_sec = 90.0;
+    model.mem_median_mb = 64.0;
+    model.mem_sigma = 0.7;
+    model.mem_max_mb = 512.0;
+    const Trace workload = generateAzureTrace(model);
+
+    std::cout << "Workload: " << workload.invocations().size()
+              << " invocations across " << workload.functions().size()
+              << " functions\n\n";
+
+    // Exact curve from reuse distances, plus a 10% SHARDS estimate.
+    const HitRatioCurve exact =
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(workload));
+    const ShardsResult shards = shardsSample(workload, 0.10, 1);
+    const HitRatioCurve approx = curveFromShards(shards);
+
+    std::cout << "Hit-ratio curve (exact vs SHARDS at rate 0.1, which "
+                 "analyzed only "
+              << shards.sampled_invocations << " of "
+              << shards.total_invocations << " invocations):\n\n";
+    TablePrinter curve_table(
+        {"Cache size (GB)", "Exact hit ratio", "SHARDS hit ratio"});
+    for (double gb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        curve_table.addRow({formatDouble(gb, 1),
+                            formatDouble(exact.hitRatio(gb * 1024), 3),
+                            formatDouble(approx.hitRatio(gb * 1024), 3)});
+    }
+    curve_table.print(std::cout);
+
+    // Provision: by target hit ratio and by the knee.
+    const StaticProvisioner provisioner(exact);
+    const ProvisioningPlan plan = provisioner.plan(0.90, 32 * 1024.0);
+    std::cout << "\nProvisioning plan:\n"
+              << "  target 90% hit ratio -> "
+              << formatDouble(plan.target_size_mb / 1024.0, 2)
+              << " GB (achieves "
+              << formatDouble(plan.achieved_hit_ratio * 100, 1) << "%)\n"
+              << "  knee of the curve    -> "
+              << formatDouble(plan.knee_size_mb / 1024.0, 2)
+              << " GB (achieves "
+              << formatDouble(plan.knee_hit_ratio * 100, 1) << "%)\n"
+              << "  compulsory-miss bound: max hit ratio "
+              << formatDouble(plan.max_hit_ratio * 100, 1) << "%\n";
+    return 0;
+}

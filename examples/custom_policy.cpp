@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extending FaasCache with a custom keep-alive policy (paper §4.2: the
+ * Greedy-Dual framework "permits many specialized and simpler
+ * policies"). This example implements a cost-aware LRU — recency first,
+ * initialization cost as the tie-breaker within a recency window — by
+ * subclassing KeepAlivePolicy, and races it against the built-ins.
+ */
+#include <iostream>
+#include <unordered_map>
+
+#include "core/keepalive_policy.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+namespace {
+
+/**
+ * Cost-aware LRU: containers idle for less than `window` are never
+ * victims before older ones, but among containers of similar age the
+ * cheapest-to-rebuild (lowest init cost per MB) goes first.
+ */
+class CostAwareLruPolicy : public KeepAlivePolicy
+{
+  public:
+    explicit CostAwareLruPolicy(TimeUs window = kMinute)
+        : window_us_(window)
+    {
+    }
+
+    std::string name() const override { return "COST-LRU"; }
+
+    void
+    onColdStart(Container& container, const FunctionSpec& function,
+                TimeUs) override
+    {
+        cost_density_[function.id] =
+            toSeconds(function.initTime()) / function.mem_mb;
+        (void)container;
+    }
+
+    std::vector<ContainerId>
+    selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs) override
+    {
+        const auto& density = cost_density_;
+        const TimeUs window = window_us_;
+        return selectAscending(
+            pool, needed_mb,
+            [&density, window](const Container& a, const Container& b) {
+                // Bucket last-use times into recency windows.
+                const TimeUs bucket_a = a.lastUsed() / window;
+                const TimeUs bucket_b = b.lastUsed() / window;
+                if (bucket_a != bucket_b)
+                    return bucket_a < bucket_b;
+                const auto da = density.count(a.function())
+                    ? density.at(a.function()) : 0.0;
+                const auto db = density.count(b.function())
+                    ? density.at(b.function()) : 0.0;
+                if (da != db)
+                    return da < db;  // cheap-to-rebuild goes first
+                return a.id() < b.id();
+            });
+    }
+
+  private:
+    TimeUs window_us_;
+    std::unordered_map<FunctionId, double> cost_density_;
+};
+
+}  // namespace
+
+int
+main()
+{
+    AzureModelConfig model;
+    model.seed = 5;
+    model.num_functions = 400;
+    model.duration_us = 30 * kMinute;
+    model.iat_median_sec = 45.0;
+    model.mem_median_mb = 64.0;
+    model.mem_sigma = 0.7;
+    model.mem_max_mb = 512.0;
+    const Trace workload =
+        sampleRepresentative(generateAzureTrace(model), 150, 1);
+
+    std::cout << "Custom policy vs built-ins ("
+              << workload.invocations().size() << " invocations):\n\n";
+    TablePrinter table({"policy", "cold %", "exec-time increase %",
+                        "evictions"});
+
+    SimulatorConfig config;
+    config.memory_mb = 2048;
+
+    auto report = [&](SimResult r) {
+        table.addRow({r.policy_name, formatDouble(r.coldStartPercent(), 2),
+                      formatDouble(r.execTimeIncreasePercent(), 2),
+                      std::to_string(r.evictions)});
+    };
+    report(simulateTrace(workload,
+                         std::make_unique<CostAwareLruPolicy>(), config));
+    for (PolicyKind kind :
+         {PolicyKind::GreedyDual, PolicyKind::Lru, PolicyKind::Ttl}) {
+        report(simulateTrace(workload, makePolicy(kind), config));
+    }
+    table.print(std::cout);
+    std::cout << "\nAny class deriving KeepAlivePolicy plugs into the "
+                 "simulator and the platform\nmodel unchanged — the same "
+                 "interface drives both.\n";
+    return 0;
+}

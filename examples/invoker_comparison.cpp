@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Head-to-head invoker comparison (paper §7.2): run the FunctionBench
+ * skewed-frequency workload against the OpenWhisk-like server model
+ * under vanilla keep-alive (TTL) and under FaasCache (Greedy-Dual), and
+ * report warm/cold/dropped counts and per-application latency.
+ */
+#include <iostream>
+
+#include "platform/experiment.h"
+#include "platform/load_generator.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    const Trace workload = cyclicWorkload(30 * kMinute);
+
+    ServerConfig server;
+    server.cores = 8;
+    server.memory_mb = 1000;
+
+    const PlatformComparison cmp =
+        compareOpenWhiskVsFaasCache(workload, server);
+
+    std::cout << "Invoker model: " << server.cores << " cores, "
+              << server.memory_mb << " MB container pool, workload '"
+              << workload.name() << "' (" << workload.invocations().size()
+              << " invocations)\n\n";
+
+    TablePrinter table({"system", "warm", "cold", "dropped",
+                        "mean latency (s)", "p99 latency (s)"});
+    for (const PlatformResult* r : {&cmp.openwhisk, &cmp.faascache}) {
+        const Summary lat = r->latencySummary();
+        table.addRow({r->policy_name == "TTL" ? "OpenWhisk (TTL)"
+                                              : "FaasCache (GD)",
+                      std::to_string(r->warm_starts),
+                      std::to_string(r->cold_starts),
+                      std::to_string(r->dropped()),
+                      formatDouble(r->meanLatencySec(), 2),
+                      formatDouble(lat.p99, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nFaasCache warm-start ratio: "
+              << formatDouble(cmp.warmStartRatio(), 2)
+              << "x, latency improvement: "
+              << formatDouble(cmp.latencyImprovement(), 2) << "x\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compare all seven keep-alive policies on a realistic Azure-like
+ * workload at several server sizes — a miniature of the paper's
+ * Figure 5/6 study, using only the public API.
+ */
+#include <iostream>
+
+#include "core/oracle_policy.h"
+#include "core/policy_factory.h"
+#include "core/warm_pool_policy.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    // A 30-minute synthetic Azure-like population, sampled down to a
+    // representative 120-function server workload.
+    AzureModelConfig model;
+    model.seed = 7;
+    model.num_functions = 600;
+    model.duration_us = 30 * kMinute;
+    model.iat_median_sec = 60.0;
+    model.mem_median_mb = 64.0;
+    model.mem_sigma = 0.7;
+    model.mem_max_mb = 512.0;
+    const Trace population = generateAzureTrace(model);
+    const Trace workload = sampleRepresentative(population, 120, 1);
+
+    const TraceStats stats = workload.stats();
+    std::cout << "Workload: " << stats.num_invocations << " invocations, "
+              << stats.num_functions << " functions, "
+              << formatDouble(stats.requests_per_sec, 1) << " req/s, "
+              << formatDouble(stats.total_unique_mem_mb / 1024.0, 1)
+              << " GB unique function memory\n\n"
+              << "Percent cold starts by policy and server memory:\n\n";
+
+    std::vector<std::string> headers = {"Memory (GB)"};
+    for (PolicyKind kind : allPolicyKinds())
+        headers.push_back(policyKindName(kind));
+    headers.push_back("POOL");
+    headers.push_back("ORACLE");
+    TablePrinter table(std::move(headers));
+
+    for (double gb : {1.0, 2.0, 4.0, 8.0}) {
+        std::vector<std::string> row = {formatDouble(gb, 0)};
+        for (PolicyKind kind : allPolicyKinds()) {
+            SimulatorConfig config;
+            config.memory_mb = gb * 1024.0;
+            const SimResult r =
+                simulateTrace(workload, makePolicy(kind), config);
+            row.push_back(formatDouble(r.coldStartPercent(), 1));
+        }
+        // Two baselines beyond the paper's figures: the fixed warm pool
+        // of Lin & Glikson and the clairvoyant offline optimum.
+        SimulatorConfig config;
+        config.memory_mb = gb * 1024.0;
+        row.push_back(formatDouble(
+            simulateTrace(workload, std::make_unique<WarmPoolPolicy>(1),
+                          config)
+                .coldStartPercent(),
+            1));
+        row.push_back(formatDouble(
+            simulateTrace(workload,
+                          std::make_unique<OraclePolicy>(workload), config)
+                .coldStartPercent(),
+            1));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nGD = Greedy-Dual-Size-Frequency (FaasCache), "
+                 "TTL = OpenWhisk default,\nHIST = histogram policy of "
+                 "Shahrad et al., LND = Landlord,\nPOOL = fixed warm "
+                 "pool (1/function), ORACLE = clairvoyant offline "
+                 "baseline.\n";
+    return 0;
+}

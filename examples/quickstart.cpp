@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build a tiny workload, run the Greedy-Dual keep-alive
+ * policy against OpenWhisk's 10-minute TTL in the keep-alive simulator,
+ * and print the outcome.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/example_quickstart
+ */
+#include <iostream>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/table.h"
+
+using namespace faascache;
+
+int
+main()
+{
+    // 1. Describe three functions: (memory MB, warm time, init time).
+    //    ml-inference is heavy to initialize but invoked only every
+    //    12 minutes — a constant 10-minute TTL always expires it.
+    Trace trace("quickstart");
+    trace.addFunction(makeFunction(0, "ml-inference", 512, fromSeconds(2.0),
+                                   fromSeconds(4.5)));
+    trace.addFunction(makeFunction(1, "web-api", 64, fromMillis(400),
+                                   fromSeconds(2.0)));
+    trace.addFunction(makeFunction(2, "thumbnailer", 256, fromMillis(800),
+                                   fromSeconds(1.5)));
+
+    // 2. Generate 2 hours of invocations.
+    const TimeUs duration = 2 * kHour;
+    for (TimeUs t = 0; t < duration; t += 2 * kSecond)
+        trace.addInvocation(1, t);  // web-api: every 2 s
+    for (TimeUs t = kSecond; t < duration; t += 12 * kMinute)
+        trace.addInvocation(0, t);  // ml-inference: every 12 min
+    for (TimeUs t = 2 * kSecond; t < duration; t += 30 * kSecond)
+        trace.addInvocation(2, t);  // thumbnailer: every 30 s
+    trace.sortInvocations();
+
+    // 3. Run both policies on a 900 MB server: the full working set
+    //    (832 MB) fits, so the only question is whether the policy
+    //    keeps it alive.
+    SimulatorConfig config;
+    config.memory_mb = 900;
+
+    std::cout << "Keep-alive on a 900 MB server, 2 h workload:\n\n";
+    TablePrinter table({"policy", "warm", "cold", "expired", "cold %",
+                        "exec-time increase %"});
+    for (PolicyKind kind : {PolicyKind::GreedyDual, PolicyKind::Ttl}) {
+        const SimResult result =
+            simulateTrace(trace, makePolicy(kind), config);
+        table.addRow({result.policy_name, std::to_string(result.warm_starts),
+                      std::to_string(result.cold_starts),
+                      std::to_string(result.expirations),
+                      formatDouble(result.coldStartPercent()),
+                      formatDouble(result.execTimeIncreasePercent())});
+    }
+    table.print(std::cout);
+    std::cout << "\nGreedy-Dual is resource-conserving: with memory "
+                 "available it never terminates\na warm container, so "
+                 "the expensive ml-inference function stays warm. The\n"
+                 "TTL default expires it between invocations and pays "
+                 "the 4.5 s init each time.\n";
+    return 0;
+}

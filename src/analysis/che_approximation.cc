@@ -1,0 +1,91 @@
+#include "analysis/che_approximation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace faascache {
+
+CheApproximation::CheApproximation(std::vector<FunctionRate> functions)
+    : functions_(std::move(functions))
+{
+    for (const FunctionRate& fn : functions_) {
+        if (fn.rate_per_sec > 0) {
+            total_size_mb_ += fn.size_mb;
+            total_rate_ += fn.rate_per_sec;
+        }
+    }
+}
+
+CheApproximation
+CheApproximation::fromTrace(const Trace& trace)
+{
+    const TraceStats stats = trace.stats();
+    const double duration_sec =
+        std::max(1e-9, toSeconds(stats.duration_us));
+    const auto counts = trace.invocationCounts();
+    std::vector<FunctionRate> rates;
+    rates.reserve(trace.functions().size());
+    for (const auto& fn : trace.functions()) {
+        FunctionRate rate;
+        rate.rate_per_sec =
+            static_cast<double>(counts[fn.id]) / duration_sec;
+        rate.size_mb = fn.mem_mb;
+        rates.push_back(rate);
+    }
+    return CheApproximation(std::move(rates));
+}
+
+double
+CheApproximation::residentMb(double t_sec) const
+{
+    double resident = 0.0;
+    for (const FunctionRate& fn : functions_) {
+        if (fn.rate_per_sec > 0)
+            resident += fn.size_mb * -std::expm1(-fn.rate_per_sec * t_sec);
+    }
+    return resident;
+}
+
+double
+CheApproximation::characteristicTime(MemMb size_mb) const
+{
+    if (size_mb <= 0 || total_rate_ <= 0)
+        return 0.0;
+    if (size_mb >= total_size_mb_)
+        return std::numeric_limits<double>::infinity();
+
+    // residentMb is increasing in t: bisect. Find an upper bracket
+    // first (resident approaches total_size from below, and size_mb is
+    // strictly smaller, so a finite bracket exists).
+    double lo = 0.0;
+    double hi = 1.0;
+    while (residentMb(hi) < size_mb && hi < 1e12)
+        hi *= 2.0;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (residentMb(mid) < size_mb)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+CheApproximation::hitRatio(MemMb size_mb) const
+{
+    if (total_rate_ <= 0)
+        return 0.0;
+    const double t_c = characteristicTime(size_mb);
+    if (std::isinf(t_c))
+        return 1.0;
+    double hits = 0.0;
+    for (const FunctionRate& fn : functions_) {
+        if (fn.rate_per_sec > 0)
+            hits += fn.rate_per_sec * -std::expm1(-fn.rate_per_sec * t_c);
+    }
+    return std::clamp(hits / total_rate_, 0.0, 1.0);
+}
+
+}  // namespace faascache

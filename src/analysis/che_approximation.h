@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Che's approximation for hit-ratio curves (paper §2.2 cites it among
+ * the analytical HRC construction techniques).
+ *
+ * For an LRU-like cache under independent Poisson arrivals, Che's
+ * approximation says an object is resident iff it is re-referenced
+ * within a "characteristic time" T_c common to all objects, where T_c
+ * solves
+ *
+ *     c = sum_i s_i * (1 - exp(-lambda_i * T_c))
+ *
+ * (the expected resident bytes equal the cache size). The hit ratio is
+ * then the request-weighted resident probability
+ *
+ *     HR(c) = sum_i lambda_i * (1 - exp(-lambda_i * T_c)) /
+ *             sum_i lambda_i.
+ *
+ * Adapted to keep-alive: objects are functions, s_i their container
+ * memory, lambda_i their invocation rate. This gives a closed-form
+ * counterpart to the empirical reuse-distance curve that needs only
+ * per-function rates — no trace scan at all.
+ */
+#ifndef FAASCACHE_ANALYSIS_CHE_APPROXIMATION_H_
+#define FAASCACHE_ANALYSIS_CHE_APPROXIMATION_H_
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Per-function inputs to the approximation. */
+struct FunctionRate
+{
+    /** Invocation rate, per second (> 0 to contribute). */
+    double rate_per_sec = 0.0;
+
+    /** Container memory, MB. */
+    MemMb size_mb = 0.0;
+};
+
+/** Che's-approximation hit-ratio model. */
+class CheApproximation
+{
+  public:
+    /** Build from explicit per-function rates. */
+    explicit CheApproximation(std::vector<FunctionRate> functions);
+
+    /** Derive the rates from a trace (count / duration per function). */
+    static CheApproximation fromTrace(const Trace& trace);
+
+    /**
+     * Characteristic time T_c (seconds) for a cache of `size_mb` MB:
+     * the unique root of the resident-bytes fixed point. Returns 0 for
+     * an empty/zero cache and +infinity when everything fits.
+     */
+    double characteristicTime(MemMb size_mb) const;
+
+    /** Hit ratio at cache size `size_mb`, in [0, 1]. */
+    double hitRatio(MemMb size_mb) const;
+
+    /** Total memory of all modeled functions, MB. */
+    MemMb totalSizeMb() const { return total_size_mb_; }
+
+  private:
+    /** Expected resident memory at characteristic time t. */
+    double residentMb(double t_sec) const;
+
+    std::vector<FunctionRate> functions_;
+    MemMb total_size_mb_ = 0.0;
+    double total_rate_ = 0.0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_CHE_APPROXIMATION_H_

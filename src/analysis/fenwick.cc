@@ -1,0 +1,53 @@
+#include "analysis/fenwick.h"
+
+#include <cassert>
+
+namespace faascache {
+
+FenwickTree::FenwickTree(std::size_t size)
+    : tree_(size + 1, 0.0), values_(size, 0.0)
+{
+}
+
+void
+FenwickTree::add(std::size_t i, double delta)
+{
+    assert(i < values_.size());
+    values_[i] += delta;
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1))
+        tree_[j] += delta;
+}
+
+void
+FenwickTree::set(std::size_t i, double value)
+{
+    add(i, value - values_.at(i));
+}
+
+double
+FenwickTree::prefixSum(std::size_t i) const
+{
+    assert(i < values_.size());
+    double sum = 0.0;
+    for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1))
+        sum += tree_[j];
+    return sum;
+}
+
+double
+FenwickTree::rangeSum(std::size_t lo, std::size_t hi) const
+{
+    if (lo > hi)
+        return 0.0;
+    const double upper = prefixSum(hi);
+    const double lower = lo == 0 ? 0.0 : prefixSum(lo - 1);
+    return upper - lower;
+}
+
+double
+FenwickTree::totalSum() const
+{
+    return values_.empty() ? 0.0 : prefixSum(values_.size() - 1);
+}
+
+}  // namespace faascache

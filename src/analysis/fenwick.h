@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fenwick (binary indexed) tree over doubles, the engine behind the
+ * O(N log N) size-weighted reuse-distance computation (paper §5.1).
+ */
+#ifndef FAASCACHE_ANALYSIS_FENWICK_H_
+#define FAASCACHE_ANALYSIS_FENWICK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace faascache {
+
+/** Point-update / prefix-sum tree over a fixed-size array of doubles. */
+class FenwickTree
+{
+  public:
+    /** @param size Number of slots, indexed [0, size). */
+    explicit FenwickTree(std::size_t size);
+
+    std::size_t size() const { return values_.size(); }
+
+    /** Add `delta` to slot i. */
+    void add(std::size_t i, double delta);
+
+    /** Set slot i to `value` (tracked via a shadow array). */
+    void set(std::size_t i, double value);
+
+    /** Current value of slot i. */
+    double get(std::size_t i) const { return values_.at(i); }
+
+    /** Sum of slots [0, i] (0 when i is npos-like large is invalid). */
+    double prefixSum(std::size_t i) const;
+
+    /** Sum of slots [lo, hi]; empty ranges (lo > hi) sum to zero. */
+    double rangeSum(std::size_t lo, std::size_t hi) const;
+
+    /** Sum over all slots. */
+    double totalSum() const;
+
+  private:
+    std::vector<double> tree_;
+    std::vector<double> values_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_FENWICK_H_

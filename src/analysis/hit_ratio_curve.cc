@@ -1,0 +1,65 @@
+#include "analysis/hit_ratio_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "analysis/reuse_distance.h"
+
+namespace faascache {
+
+HitRatioCurve
+HitRatioCurve::fromReuseDistances(const std::vector<double>& reuse_distances,
+                                  double weight)
+{
+    assert(weight > 0);
+    HitRatioCurve curve;
+    curve.weight_per_entry_ = weight;
+    for (double d : reuse_distances) {
+        curve.total_weight_ += weight;
+        if (isFiniteReuseDistance(d)) {
+            curve.sorted_.push_back(d);
+            curve.finite_weight_ += weight;
+        }
+    }
+    std::sort(curve.sorted_.begin(), curve.sorted_.end());
+    return curve;
+}
+
+double
+HitRatioCurve::hitRatio(MemMb size_mb) const
+{
+    if (total_weight_ <= 0.0)
+        return 0.0;
+    const auto it =
+        std::upper_bound(sorted_.begin(), sorted_.end(), size_mb);
+    const double covered =
+        static_cast<double>(it - sorted_.begin()) * weight_per_entry_;
+    return covered / total_weight_;
+}
+
+double
+HitRatioCurve::maxHitRatio() const
+{
+    if (total_weight_ <= 0.0)
+        return 0.0;
+    return finite_weight_ / total_weight_;
+}
+
+MemMb
+HitRatioCurve::sizeForHitRatio(double target) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    target = std::clamp(target, 0.0, maxHitRatio());
+    // Need the smallest size s with (#finite <= s) * w >= target * total.
+    const double needed_entries =
+        target * total_weight_ / weight_per_entry_;
+    auto index = static_cast<std::size_t>(std::ceil(needed_entries));
+    if (index == 0)
+        return 0.0;
+    index = std::min(index, sorted_.size());
+    return sorted_[index - 1];
+}
+
+}  // namespace faascache

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hit-ratio curves from reuse distances (paper §5.1, Equation 2).
+ *
+ * The hit ratio at cache size c is the fraction of invocations whose
+ * reuse distance is at most c — the CDF of the reuse-distance
+ * distribution. First touches (infinite distance) are always misses, so
+ * the curve saturates below 1 at (1 - compulsory-miss fraction).
+ */
+#ifndef FAASCACHE_ANALYSIS_HIT_RATIO_CURVE_H_
+#define FAASCACHE_ANALYSIS_HIT_RATIO_CURVE_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** Empirical hit-ratio curve. */
+class HitRatioCurve
+{
+  public:
+    HitRatioCurve() = default;
+
+    /**
+     * Build from per-invocation reuse distances (finite values in MB;
+     * kInfiniteReuseDistance entries count as compulsory misses).
+     *
+     * @param reuse_distances One entry per invocation.
+     * @param weight          Weight of each invocation (SHARDS scales
+     *                        sampled invocations by 1/R); default 1.
+     */
+    static HitRatioCurve fromReuseDistances(
+        const std::vector<double>& reuse_distances, double weight = 1.0);
+
+    /** Hit ratio at cache size `size_mb`, in [0, maxHitRatio()]. */
+    double hitRatio(MemMb size_mb) const;
+
+    /** Miss ratio at cache size `size_mb`. */
+    double missRatio(MemMb size_mb) const { return 1.0 - hitRatio(size_mb); }
+
+    /** Largest achievable hit ratio (1 - compulsory miss fraction). */
+    double maxHitRatio() const;
+
+    /**
+     * Smallest cache size achieving at least `target` hit ratio.
+     * Targets above maxHitRatio() are clamped to it, returning the size
+     * where the curve saturates.
+     */
+    MemMb sizeForHitRatio(double target) const;
+
+    /** Total weighted invocations behind the curve. */
+    double totalWeight() const { return total_weight_; }
+
+    /** Weighted finite (reusable) invocations. */
+    double finiteWeight() const { return finite_weight_; }
+
+    /** Sorted finite reuse distances (MB) for inspection/plotting. */
+    const std::vector<double>& sortedDistances() const { return sorted_; }
+
+    /** Whether the curve holds any data. */
+    bool empty() const { return total_weight_ <= 0.0; }
+
+  private:
+    std::vector<double> sorted_;
+    double weight_per_entry_ = 1.0;
+    double total_weight_ = 0.0;
+    double finite_weight_ = 0.0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_HIT_RATIO_CURVE_H_

@@ -1,0 +1,86 @@
+#include "analysis/online_hrc.h"
+
+#include <cassert>
+#include <limits>
+
+#include "analysis/reuse_distance.h"
+#include "util/rng.h"
+
+namespace faascache {
+
+OnlineReuseAnalyzer::OnlineReuseAnalyzer(double sample_rate,
+                                         std::uint64_t seed)
+    : sample_rate_(sample_rate), seed_(seed), tree_(1024)
+{
+    assert(sample_rate > 0.0 && sample_rate <= 1.0);
+    threshold_ = sample_rate >= 1.0
+        ? std::numeric_limits<std::uint64_t>::max()
+        : static_cast<std::uint64_t>(
+              sample_rate *
+              static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+}
+
+bool
+OnlineReuseAnalyzer::isSampled(FunctionId function) const
+{
+    return Rng::hashMix(function ^ seed_) <= threshold_;
+}
+
+void
+OnlineReuseAnalyzer::growTo(std::size_t pos)
+{
+    if (pos < tree_.size())
+        return;
+    std::size_t capacity = tree_.size();
+    while (capacity <= pos)
+        capacity *= 2;
+    FenwickTree grown(capacity);
+    for (std::size_t i = 0; i < tree_.size(); ++i) {
+        const double v = tree_.get(i);
+        if (v != 0.0)
+            grown.add(i, v);
+    }
+    tree_ = std::move(grown);
+}
+
+void
+OnlineReuseAnalyzer::observe(FunctionId function, MemMb size_mb)
+{
+    ++observed_;
+    if (!isSampled(function))
+        return;
+    ++sampled_;
+
+    const std::size_t pos = next_pos_++;
+    growTo(pos);
+    auto it = last_pos_.find(function);
+    if (it == last_pos_.end()) {
+        distances_.push_back(kInfiniteReuseDistance);
+    } else {
+        const std::size_t prev = it->second;
+        distances_.push_back(tree_.rangeSum(prev + 1, pos) / sample_rate_);
+        tree_.set(prev, 0.0);
+    }
+    tree_.set(pos, size_mb);
+    last_pos_[function] = pos;
+}
+
+HitRatioCurve
+OnlineReuseAnalyzer::curve() const
+{
+    return HitRatioCurve::fromReuseDistances(distances_,
+                                             1.0 / sample_rate_);
+}
+
+void
+OnlineReuseAnalyzer::reset()
+{
+    tree_ = FenwickTree(1024);
+    last_pos_.clear();
+    distances_.clear();
+    next_pos_ = 0;
+    observed_ = 0;
+    sampled_ = 0;
+}
+
+}  // namespace faascache

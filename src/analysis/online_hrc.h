@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Online hit-ratio-curve construction (paper §5.2 "Online adjustments":
+ * the provisioning policies have an offline preparation phase; a drift
+ * in function characteristics is fixed by periodically re-deriving the
+ * hit-ratio curve — the paper lists streaming curve construction as
+ * future work, implemented here).
+ *
+ * The analyzer consumes the invocation stream one access at a time,
+ * samples functions SHARDS-style (hash threshold, rate R), maintains
+ * their size-weighted reuse distances with an incrementally grown
+ * Fenwick tree, and can snapshot a HitRatioCurve at any moment. Fed the
+ * same stream, it produces exactly the distances of the offline
+ * shardsSample() pass with the same rate and seed.
+ */
+#ifndef FAASCACHE_ANALYSIS_ONLINE_HRC_H_
+#define FAASCACHE_ANALYSIS_ONLINE_HRC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/fenwick.h"
+#include "analysis/hit_ratio_curve.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Streaming size-weighted reuse-distance / hit-ratio estimator. */
+class OnlineReuseAnalyzer
+{
+  public:
+    /**
+     * @param sample_rate SHARDS sampling rate in (0, 1].
+     * @param seed        Salt for the sampling hash.
+     */
+    explicit OnlineReuseAnalyzer(double sample_rate = 0.25,
+                                 std::uint64_t seed = 0);
+
+    /** Feed one invocation of `function` with the given memory size. */
+    void observe(FunctionId function, MemMb size_mb);
+
+    /** Invocations observed (sampled or not). */
+    std::size_t observedCount() const { return observed_; }
+
+    /** Invocations that fell into the sample. */
+    std::size_t sampledCount() const { return sampled_; }
+
+    /** Snapshot the current hit-ratio curve estimate. */
+    HitRatioCurve curve() const;
+
+    /** Scaled reuse distances collected so far (1/R weighted). */
+    const std::vector<double>& scaledDistances() const
+    {
+        return distances_;
+    }
+
+    double sampleRate() const { return sample_rate_; }
+
+    /** Forget everything (e.g. to window the estimate). */
+    void reset();
+
+  private:
+    /** Whether a function falls into the hash sample. */
+    bool isSampled(FunctionId function) const;
+
+    /** Ensure the position tree can hold `pos`. */
+    void growTo(std::size_t pos);
+
+    double sample_rate_;
+    std::uint64_t seed_;
+    std::uint64_t threshold_;
+
+    FenwickTree tree_;
+    std::unordered_map<FunctionId, std::size_t> last_pos_;
+    std::vector<double> distances_;
+    std::size_t next_pos_ = 0;
+    std::size_t observed_ = 0;
+    std::size_t sampled_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_ONLINE_HRC_H_

@@ -1,0 +1,64 @@
+#include "analysis/shards.h"
+
+#include <cassert>
+#include <limits>
+
+#include "analysis/reuse_distance.h"
+#include "util/rng.h"
+
+namespace faascache {
+
+ShardsResult
+shardsSample(const Trace& trace, double sample_rate, std::uint64_t seed)
+{
+    assert(sample_rate > 0.0 && sample_rate <= 1.0);
+    ShardsResult result;
+    result.sample_rate = sample_rate;
+    result.total_invocations = trace.invocations().size();
+
+    // A function is sampled iff hash(id ^ salt) <= R * 2^64. Computing
+    // the threshold in double space overflows uint64 at R = 1, so treat
+    // full rate explicitly.
+    const std::uint64_t threshold = sample_rate >= 1.0
+        ? std::numeric_limits<std::uint64_t>::max()
+        : static_cast<std::uint64_t>(
+              sample_rate *
+              static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+
+    std::vector<bool> sampled(trace.functions().size(), false);
+    for (const auto& fn : trace.functions()) {
+        const std::uint64_t h = Rng::hashMix(fn.id ^ seed);
+        if (h <= threshold) {
+            sampled[fn.id] = true;
+            ++result.sampled_functions;
+        }
+    }
+
+    std::vector<FunctionId> accesses;
+    for (const auto& inv : trace.invocations()) {
+        if (sampled[inv.function])
+            accesses.push_back(inv.function);
+    }
+    result.sampled_invocations = accesses.size();
+
+    std::vector<MemMb> sizes;
+    sizes.reserve(trace.functions().size());
+    for (const auto& fn : trace.functions())
+        sizes.push_back(fn.mem_mb);
+
+    result.scaled_distances = computeReuseDistancesOf(accesses, sizes);
+    for (double& d : result.scaled_distances) {
+        if (isFiniteReuseDistance(d))
+            d /= sample_rate;
+    }
+    return result;
+}
+
+HitRatioCurve
+curveFromShards(const ShardsResult& shards)
+{
+    return HitRatioCurve::fromReuseDistances(shards.scaled_distances,
+                                             1.0 / shards.sample_rate);
+}
+
+}  // namespace faascache

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SHARDS (Spatially Hashed Approximate Reuse Distance Sampling,
+ * Waldspurger et al., FAST'15) applied to function keep-alive.
+ *
+ * The paper (§5.1) notes that computing reuse distances over an entire
+ * trace is expensive and that SHARDS "can be applied to drastically
+ * reduce the overhead". Fixed-rate SHARDS samples the functions whose
+ * hashed id falls under a threshold (rate R), computes reuse distances
+ * on the sampled sub-trace only, and scales each distance by 1/R.
+ */
+#ifndef FAASCACHE_ANALYSIS_SHARDS_H_
+#define FAASCACHE_ANALYSIS_SHARDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/hit_ratio_curve.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Output of a SHARDS sampling pass. */
+struct ShardsResult
+{
+    /** Reuse distances of sampled invocations, scaled by 1/R (MB);
+     *  first touches remain kInfiniteReuseDistance. */
+    std::vector<double> scaled_distances;
+
+    /** Configured sampling rate R in (0, 1]. */
+    double sample_rate = 1.0;
+
+    /** Invocations that fell in the sample. */
+    std::size_t sampled_invocations = 0;
+
+    /** Invocations in the full trace. */
+    std::size_t total_invocations = 0;
+
+    /** Functions that fell in the sample. */
+    std::size_t sampled_functions = 0;
+};
+
+/**
+ * Run fixed-rate SHARDS over a trace.
+ *
+ * @param trace       Workload (sorted).
+ * @param sample_rate R in (0, 1]; 1 degenerates to the exact analysis.
+ * @param seed        Salt for the sampling hash.
+ */
+ShardsResult shardsSample(const Trace& trace, double sample_rate,
+                          std::uint64_t seed = 0);
+
+/** Build an (approximate) hit-ratio curve from a SHARDS pass: each
+ *  sampled invocation carries weight 1/R. */
+HitRatioCurve curveFromShards(const ShardsResult& shards);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_SHARDS_H_

@@ -1,0 +1,37 @@
+#include "analysis/sizing.h"
+
+#include <cassert>
+
+namespace faascache {
+
+MemMb
+kneeSize(const HitRatioCurve& curve, MemMb min_mb, MemMb max_mb,
+         int grid_points)
+{
+    assert(min_mb > 0);
+    assert(max_mb > min_mb);
+    assert(grid_points >= 2);
+
+    const double h_min = curve.hitRatio(min_mb);
+    const double h_max = curve.hitRatio(max_mb);
+    if (h_max <= h_min)
+        return min_mb;  // flat curve: the smallest size is optimal
+
+    MemMb best_size = min_mb;
+    double best_gap = 0.0;
+    for (int i = 0; i < grid_points; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(grid_points - 1);
+        const MemMb size = min_mb + frac * (max_mb - min_mb);
+        // Chord value at this size, after normalizing both axes to [0,1].
+        const double chord = h_min + frac * (h_max - h_min);
+        const double gap = curve.hitRatio(size) - chord;
+        if (gap > best_gap) {
+            best_gap = gap;
+            best_size = size;
+        }
+    }
+    return best_size;
+}
+
+}  // namespace faascache

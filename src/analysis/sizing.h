@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Cache sizing from hit-ratio curves (paper §5.1): target-hit-ratio
+ * sizing and inflection-point ("knee") detection, the two provisioning
+ * rules the paper proposes for picking server memory.
+ */
+#ifndef FAASCACHE_ANALYSIS_SIZING_H_
+#define FAASCACHE_ANALYSIS_SIZING_H_
+
+#include "analysis/hit_ratio_curve.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/**
+ * Knee of the hit-ratio curve: the size in [min_mb, max_mb] maximizing
+ * the distance between the curve and the chord connecting its endpoints
+ * (the Kneedle criterion). Past this point the marginal utility of
+ * additional cache diminishes.
+ *
+ * @param curve       Curve to analyze (non-empty).
+ * @param min_mb      Lower end of the search range (> 0).
+ * @param max_mb      Upper end of the search range (> min_mb).
+ * @param grid_points Sampling resolution (>= 2).
+ */
+MemMb kneeSize(const HitRatioCurve& curve, MemMb min_mb, MemMb max_mb,
+               int grid_points = 256);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ANALYSIS_SIZING_H_

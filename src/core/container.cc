@@ -1,0 +1,33 @@
+#include "core/container.h"
+
+#include <cassert>
+
+namespace faascache {
+
+Container::Container(ContainerId id, const FunctionSpec& function, TimeUs now,
+                     bool prewarmed)
+    : id_(id), function_(function.id), mem_mb_(function.mem_mb),
+      created_at_(now), prewarmed_(prewarmed), last_used_(now)
+{
+    assert(function.valid());
+}
+
+void
+Container::startInvocation(TimeUs now, TimeUs finish_us)
+{
+    assert(!busy_);
+    assert(finish_us >= now);
+    busy_ = true;
+    busy_until_ = finish_us;
+    last_used_ = now;
+    ++use_count_;
+}
+
+void
+Container::finishInvocation()
+{
+    assert(busy_);
+    busy_ = false;
+}
+
+}  // namespace faascache

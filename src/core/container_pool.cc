@@ -1,0 +1,187 @@
+#include "core/container_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faascache {
+
+ContainerPool::ContainerPool(MemMb capacity_mb) : capacity_mb_(capacity_mb)
+{
+    assert(capacity_mb > 0);
+}
+
+MemMb
+ContainerPool::freeMb() const
+{
+    return std::max(0.0, capacity_mb_ - used_mb_);
+}
+
+MemMb
+ContainerPool::idleMb() const
+{
+    MemMb total = 0;
+    for (const auto& [id, c] : containers_) {
+        if (c->idle())
+            total += c->memMb();
+    }
+    return total;
+}
+
+void
+ContainerPool::setCapacityMb(MemMb capacity_mb)
+{
+    assert(capacity_mb > 0);
+    capacity_mb_ = capacity_mb;
+}
+
+std::size_t
+ContainerPool::idleCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, c] : containers_) {
+        if (c->idle())
+            ++n;
+    }
+    return n;
+}
+
+Container&
+ContainerPool::add(const FunctionSpec& function, TimeUs now, bool prewarmed)
+{
+    assert(fits(function.mem_mb));
+    const ContainerId id = next_id_++;
+    auto container = std::make_unique<Container>(id, function, now, prewarmed);
+    Container& ref = *container;
+    containers_.emplace(id, std::move(container));
+    by_function_[function.id].push_back(&ref);
+    used_mb_ += function.mem_mb;
+    return ref;
+}
+
+void
+ContainerPool::remove(ContainerId id)
+{
+    auto it = containers_.find(id);
+    assert(it != containers_.end());
+    assert(it->second->idle());
+    Container* raw = it->second.get();
+    auto& vec = by_function_[raw->function()];
+    vec.erase(std::remove(vec.begin(), vec.end(), raw), vec.end());
+    if (vec.empty())
+        by_function_.erase(raw->function());
+    used_mb_ -= raw->memMb();
+    if (used_mb_ < 0)
+        used_mb_ = 0;  // defend against float drift
+    containers_.erase(it);
+}
+
+Container*
+ContainerPool::get(ContainerId id)
+{
+    auto it = containers_.find(id);
+    return it == containers_.end() ? nullptr : it->second.get();
+}
+
+const Container*
+ContainerPool::get(ContainerId id) const
+{
+    auto it = containers_.find(id);
+    return it == containers_.end() ? nullptr : it->second.get();
+}
+
+Container*
+ContainerPool::findIdleWarm(FunctionId function)
+{
+    auto it = by_function_.find(function);
+    if (it == by_function_.end())
+        return nullptr;
+    Container* best = nullptr;
+    for (Container* c : it->second) {
+        if (!c->idle())
+            continue;
+        if (!best || c->lastUsed() > best->lastUsed())
+            best = c;
+    }
+    return best;
+}
+
+const std::vector<Container*>&
+ContainerPool::containersOf(FunctionId function) const
+{
+    static const std::vector<Container*> kEmpty;
+    auto it = by_function_.find(function);
+    return it == by_function_.end() ? kEmpty : it->second;
+}
+
+std::size_t
+ContainerPool::countOf(FunctionId function) const
+{
+    auto it = by_function_.find(function);
+    return it == by_function_.end() ? 0 : it->second.size();
+}
+
+std::vector<Container*>
+ContainerPool::idleContainers()
+{
+    std::vector<Container*> out;
+    out.reserve(containers_.size());
+    for (auto& [id, c] : containers_) {
+        if (c->idle())
+            out.push_back(c.get());
+    }
+    // Deterministic order independent of hash-map iteration.
+    std::sort(out.begin(), out.end(),
+              [](const Container* a, const Container* b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+std::vector<const Container*>
+ContainerPool::idleContainers() const
+{
+    std::vector<const Container*> out;
+    out.reserve(containers_.size());
+    for (const auto& [id, c] : containers_) {
+        if (c->idle())
+            out.push_back(c.get());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Container* a, const Container* b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+void
+ContainerPool::forEach(const std::function<void(Container&)>& fn)
+{
+    for (auto& [id, c] : containers_)
+        fn(*c);
+}
+
+void
+ContainerPool::forEach(const std::function<void(const Container&)>& fn) const
+{
+    for (const auto& [id, c] : containers_)
+        fn(*c);
+}
+
+std::vector<Container*>
+ContainerPool::releaseFinished(TimeUs now)
+{
+    std::vector<Container*> released;
+    for (auto& [id, c] : containers_) {
+        if (c->busy() && c->busyUntil() <= now) {
+            c->finishInvocation();
+            released.push_back(c.get());
+        }
+    }
+    std::sort(released.begin(), released.end(),
+              [](const Container* a, const Container* b) {
+                  return a->id() < b->id();
+              });
+    return released;
+}
+
+}  // namespace faascache

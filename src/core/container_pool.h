@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The prioritized ContainerPool (paper §6).
+ *
+ * Tracks all live containers on a server against a memory capacity.
+ * Following the FaasCache implementation, the pool is not kept sorted by
+ * priority on the invocation fast path; policies sort candidates only
+ * when an eviction is needed.
+ */
+#ifndef FAASCACHE_CORE_CONTAINER_POOL_H_
+#define FAASCACHE_CORE_CONTAINER_POOL_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/container.h"
+#include "trace/function_spec.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Set of live containers bounded by server memory. */
+class ContainerPool
+{
+  public:
+    /** @param capacity_mb Total keep-alive cache memory, MB (> 0). */
+    explicit ContainerPool(MemMb capacity_mb);
+
+    MemMb capacityMb() const { return capacity_mb_; }
+
+    /** Memory consumed by all live containers (busy + warm). */
+    MemMb usedMb() const { return used_mb_; }
+
+    /** Remaining capacity; zero if the pool is (over-)full. */
+    MemMb freeMb() const;
+
+    /** Memory held by idle containers (the reclaimable part). */
+    MemMb idleMb() const;
+
+    /**
+     * Change the capacity (elastic scaling). May leave the pool over
+     * capacity; the caller is expected to evict down to fit (cascade
+     * deflation shrinks the pool first, §6).
+     */
+    void setCapacityMb(MemMb capacity_mb);
+
+    /** Whether a container of `mem_mb` MB fits right now. */
+    bool fits(MemMb mem_mb) const { return used_mb_ + mem_mb <= capacity_mb_; }
+
+    /** Number of live containers. */
+    std::size_t size() const { return containers_.size(); }
+
+    /** Number of idle containers. */
+    std::size_t idleCount() const;
+
+    /**
+     * Create a container for `function`.
+     * @pre fits(function.mem_mb).
+     * @return Reference valid until the container is removed.
+     */
+    Container& add(const FunctionSpec& function, TimeUs now,
+                   bool prewarmed = false);
+
+    /** Destroy a container. @pre it exists and is idle. */
+    void remove(ContainerId id);
+
+    /** Look up by id; nullptr if absent. */
+    Container* get(ContainerId id);
+    const Container* get(ContainerId id) const;
+
+    /**
+     * An idle warm container for `function`, preferring the most
+     * recently used one; nullptr if none.
+     */
+    Container* findIdleWarm(FunctionId function);
+
+    /** All containers of one function (busy and idle). */
+    const std::vector<Container*>& containersOf(FunctionId function) const;
+
+    /** Number of live containers (busy + idle) for `function`. */
+    std::size_t countOf(FunctionId function) const;
+
+    /** Pointers to all idle containers (arbitrary stable order). */
+    std::vector<Container*> idleContainers();
+    std::vector<const Container*> idleContainers() const;
+
+    /** Visit every container. */
+    void forEach(const std::function<void(Container&)>& fn);
+    void forEach(const std::function<void(const Container&)>& fn) const;
+
+    /**
+     * Transition every busy container whose invocation completed by
+     * `now` to idle.
+     * @return Containers released this call.
+     */
+    std::vector<Container*> releaseFinished(TimeUs now);
+
+  private:
+    MemMb capacity_mb_;
+    MemMb used_mb_ = 0;
+    ContainerId next_id_ = 1;
+    std::unordered_map<ContainerId, std::unique_ptr<Container>> containers_;
+    std::unordered_map<FunctionId, std::vector<Container*>> by_function_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_CORE_CONTAINER_POOL_H_

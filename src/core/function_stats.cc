@@ -1,0 +1,30 @@
+#include "core/function_stats.h"
+
+namespace faascache {
+
+const FunctionStats&
+FunctionStatsTable::of(FunctionId function) const
+{
+    static const FunctionStats kZero;
+    auto it = table_.find(function);
+    return it == table_.end() ? kZero : it->second;
+}
+
+void
+FunctionStatsTable::recordArrival(FunctionId function, TimeUs now)
+{
+    FunctionStats& s = table_[function];
+    ++s.frequency;
+    ++s.total_invocations;
+    s.last_arrival_us = now;
+}
+
+void
+FunctionStatsTable::resetFrequency(FunctionId function)
+{
+    auto it = table_.find(function);
+    if (it != table_.end())
+        it->second.frequency = 0;
+}
+
+}  // namespace faascache

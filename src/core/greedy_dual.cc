@@ -1,0 +1,114 @@
+#include "core/greedy_dual.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faascache {
+
+GreedyDualPolicy::GreedyDualPolicy(GreedyDualConfig config) : config_(config)
+{
+}
+
+double
+GreedyDualPolicy::valueTerm(FunctionId function) const
+{
+    auto it = characteristics_.find(function);
+    if (it == characteristics_.end())
+        return 0.0;
+    const double freq = config_.use_frequency
+        ? static_cast<double>(std::max<std::int64_t>(
+              1, stats_.of(function).frequency))
+        : 1.0;
+    const double cost = config_.use_cost ? it->second.cost_sec : 1.0;
+    const double size = config_.use_size ? it->second.size : 1.0;
+    return freq * cost / size;
+}
+
+double
+GreedyDualPolicy::scalarSizeOf(const FunctionSpec& function) const
+{
+    return scalarSize(resourceVectorOf(function), config_.server_resources,
+                      config_.size_norm);
+}
+
+double
+GreedyDualPolicy::priorityOf(const FunctionSpec& function) const
+{
+    const double freq = config_.use_frequency
+        ? static_cast<double>(std::max<std::int64_t>(
+              1, stats_.of(function.id).frequency))
+        : 1.0;
+    const double cost =
+        config_.use_cost ? toSeconds(function.initTime()) : 1.0;
+    const double size = config_.use_size ? scalarSizeOf(function) : 1.0;
+    return clock_ + freq * cost / size;
+}
+
+void
+GreedyDualPolicy::touch(Container& container, const FunctionSpec& function)
+{
+    assert(function.mem_mb > 0);
+    characteristics_[function.id] =
+        CostSize{toSeconds(function.initTime()), scalarSizeOf(function)};
+    container.setPolicyClock(clock_);
+    container.setPriority(clock_ + valueTerm(function.id));
+}
+
+void
+GreedyDualPolicy::onWarmStart(Container& container,
+                              const FunctionSpec& function, TimeUs)
+{
+    touch(container, function);
+}
+
+void
+GreedyDualPolicy::onColdStart(Container& container,
+                              const FunctionSpec& function, TimeUs)
+{
+    touch(container, function);
+}
+
+double
+GreedyDualPolicy::containerPriority(const Container& container) const
+{
+    return container.policyClock() + valueTerm(container.function());
+}
+
+std::vector<ContainerId>
+GreedyDualPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    // Eviction batching: free up to the configured threshold in one
+    // slow-path pass.
+    const MemMb target =
+        std::max(needed_mb, config_.batch_free_mb - pool.freeMb());
+
+    std::vector<Container*> idle = pool.idleContainers();
+    for (Container* c : idle)
+        c->setPriority(containerPriority(*c));
+    std::sort(idle.begin(), idle.end(),
+              [](const Container* a, const Container* b) {
+                  if (a->priority() != b->priority())
+                      return a->priority() < b->priority();
+                  if (a->lastUsed() != b->lastUsed())
+                      return a->lastUsed() < b->lastUsed();
+                  return a->id() < b->id();
+              });
+
+    std::vector<ContainerId> victims;
+    MemMb freed = 0;
+    double max_evicted_priority = clock_;
+    for (const Container* c : idle) {
+        if (freed >= target)
+            break;
+        victims.push_back(c->id());
+        freed += c->memMb();
+        max_evicted_priority = std::max(max_evicted_priority, c->priority());
+    }
+    // Clock advances to the highest evicted priority (paper §4.1:
+    // Clock = max over the evicted set).
+    if (freed >= needed_mb && !victims.empty())
+        clock_ = max_evicted_priority;
+    return victims;
+}
+
+}  // namespace faascache

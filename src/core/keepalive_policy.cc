@@ -1,0 +1,71 @@
+#include "core/keepalive_policy.h"
+
+#include <algorithm>
+
+namespace faascache {
+
+void
+KeepAlivePolicy::onInvocationArrival(const FunctionSpec& function, TimeUs now)
+{
+    stats_.recordArrival(function.id, now);
+}
+
+void
+KeepAlivePolicy::onWarmStart(Container&, const FunctionSpec&, TimeUs)
+{
+}
+
+void
+KeepAlivePolicy::onColdStart(Container&, const FunctionSpec&, TimeUs)
+{
+}
+
+void
+KeepAlivePolicy::onPrewarm(Container& container, const FunctionSpec& function,
+                           TimeUs now)
+{
+    onColdStart(container, function, now);
+}
+
+void
+KeepAlivePolicy::onEviction(const Container& container, bool last_of_function,
+                            TimeUs)
+{
+    if (last_of_function)
+        stats_.resetFrequency(container.function());
+}
+
+std::vector<ContainerId>
+KeepAlivePolicy::expiredContainers(const ContainerPool&, TimeUs)
+{
+    return {};
+}
+
+std::vector<FunctionId>
+KeepAlivePolicy::duePrewarms(TimeUs)
+{
+    return {};
+}
+
+std::vector<ContainerId>
+KeepAlivePolicy::selectAscending(
+    ContainerPool& pool, MemMb needed_mb,
+    const std::function<bool(const Container&, const Container&)>& less)
+{
+    std::vector<Container*> idle = pool.idleContainers();
+    std::sort(idle.begin(), idle.end(),
+              [&](const Container* a, const Container* b) {
+                  return less(*a, *b);
+              });
+    std::vector<ContainerId> victims;
+    MemMb freed = 0;
+    for (const Container* c : idle) {
+        if (freed >= needed_mb)
+            break;
+        victims.push_back(c->id());
+        freed += c->memMb();
+    }
+    return victims;
+}
+
+}  // namespace faascache

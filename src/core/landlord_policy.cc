@@ -1,0 +1,83 @@
+#include "core/landlord_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace faascache {
+
+namespace {
+
+/** Credit granted on use: the initialization cost in seconds. */
+double
+grantCredit(const FunctionSpec& function)
+{
+    return toSeconds(function.initTime());
+}
+
+}  // namespace
+
+void
+LandlordPolicy::onWarmStart(Container& container,
+                            const FunctionSpec& function, TimeUs)
+{
+    container.setCredit(grantCredit(function));
+}
+
+void
+LandlordPolicy::onColdStart(Container& container,
+                            const FunctionSpec& function, TimeUs)
+{
+    container.setCredit(grantCredit(function));
+}
+
+std::vector<ContainerId>
+LandlordPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    constexpr double kEps = 1e-12;
+    std::vector<Container*> idle = pool.idleContainers();
+    std::vector<ContainerId> victims;
+    MemMb freed = 0;
+
+    while (freed < needed_mb && !idle.empty()) {
+        // Rent: the smallest credit density among remaining candidates.
+        double delta = std::numeric_limits<double>::infinity();
+        for (const Container* c : idle) {
+            assert(c->memMb() > 0);
+            delta = std::min(delta, c->credit() / c->memMb());
+        }
+        // Charge everyone; collect the containers run out of credit.
+        std::vector<Container*> still_solvent;
+        still_solvent.reserve(idle.size());
+        // Evict insolvent containers in deterministic (LRU, id) order.
+        std::vector<Container*> insolvent;
+        for (Container* c : idle) {
+            c->setCredit(c->credit() - delta * c->memMb());
+            if (c->credit() <= kEps) {
+                c->setCredit(0.0);
+                insolvent.push_back(c);
+            } else {
+                still_solvent.push_back(c);
+            }
+        }
+        std::sort(insolvent.begin(), insolvent.end(),
+                  [](const Container* a, const Container* b) {
+                      if (a->lastUsed() != b->lastUsed())
+                          return a->lastUsed() < b->lastUsed();
+                      return a->id() < b->id();
+                  });
+        for (Container* c : insolvent) {
+            if (freed >= needed_mb) {
+                // Spare the rest; they keep zero credit until next use.
+                still_solvent.push_back(c);
+                continue;
+            }
+            victims.push_back(c->id());
+            freed += c->memMb();
+        }
+        idle = std::move(still_solvent);
+    }
+    return victims;
+}
+
+}  // namespace faascache

@@ -1,0 +1,21 @@
+#include "core/lfu_policy.h"
+
+namespace faascache {
+
+std::vector<ContainerId>
+LfuPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    const FunctionStatsTable& stats = stats_;
+    return selectAscending(
+        pool, needed_mb, [&stats](const Container& a, const Container& b) {
+            const auto fa = stats.of(a.function()).frequency;
+            const auto fb = stats.of(b.function()).frequency;
+            if (fa != fb)
+                return fa < fb;
+            if (a.lastUsed() != b.lastUsed())
+                return a.lastUsed() < b.lastUsed();
+            return a.id() < b.id();
+        });
+}
+
+}  // namespace faascache

@@ -1,0 +1,16 @@
+#include "core/lru_policy.h"
+
+namespace faascache {
+
+std::vector<ContainerId>
+LruPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    return selectAscending(pool, needed_mb,
+                           [](const Container& a, const Container& b) {
+                               if (a.lastUsed() != b.lastUsed())
+                                   return a.lastUsed() < b.lastUsed();
+                               return a.id() < b.id();
+                           });
+}
+
+}  // namespace faascache

@@ -1,0 +1,56 @@
+#include "core/oracle_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace faascache {
+
+OraclePolicy::OraclePolicy(const Trace& trace)
+    : arrivals_(trace.functions().size())
+{
+    for (const auto& inv : trace.invocations())
+        arrivals_[inv.function].push_back(inv.arrival_us);
+    for (auto& times : arrivals_) {
+        if (!std::is_sorted(times.begin(), times.end()))
+            std::sort(times.begin(), times.end());
+    }
+}
+
+TimeUs
+OraclePolicy::nextUseAfter(FunctionId function, TimeUs now) const
+{
+    if (function >= arrivals_.size())
+        return -1;
+    const auto& times = arrivals_[function];
+    const auto it = std::upper_bound(times.begin(), times.end(), now);
+    return it == times.end() ? -1 : *it;
+}
+
+void
+OraclePolicy::onInvocationArrival(const FunctionSpec& function, TimeUs now)
+{
+    KeepAlivePolicy::onInvocationArrival(function, now);
+}
+
+std::vector<ContainerId>
+OraclePolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs now)
+{
+    // Farthest next use goes first; never-used-again functions are the
+    // farthest of all. Ties prefer freeing more memory per eviction.
+    auto key = [&](const Container& c) {
+        const TimeUs next = nextUseAfter(c.function(), now);
+        return next < 0 ? std::numeric_limits<TimeUs>::max() : next;
+    };
+    return selectAscending(pool, needed_mb,
+                           [&](const Container& a, const Container& b) {
+                               const TimeUs ka = key(a);
+                               const TimeUs kb = key(b);
+                               if (ka != kb)
+                                   return ka > kb;
+                               if (a.memMb() != b.memMb())
+                                   return a.memMb() > b.memMb();
+                               return a.id() < b.id();
+                           });
+}
+
+}  // namespace faascache

@@ -1,0 +1,79 @@
+#include "core/policy_factory.h"
+
+#include <stdexcept>
+
+#include "core/landlord_policy.h"
+#include "core/lfu_policy.h"
+#include "core/lru_policy.h"
+#include "core/size_policy.h"
+
+namespace faascache {
+
+const std::vector<PolicyKind>&
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kKinds = {
+        PolicyKind::GreedyDual, PolicyKind::Ttl,  PolicyKind::Lru,
+        PolicyKind::Hist,       PolicyKind::Size, PolicyKind::Landlord,
+        PolicyKind::Lfu,
+    };
+    return kKinds;
+}
+
+std::string
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::GreedyDual:
+        return "GD";
+      case PolicyKind::Ttl:
+        return "TTL";
+      case PolicyKind::Lru:
+        return "LRU";
+      case PolicyKind::Hist:
+        return "HIST";
+      case PolicyKind::Size:
+        return "SIZE";
+      case PolicyKind::Landlord:
+        return "LND";
+      case PolicyKind::Lfu:
+        return "FREQ";
+    }
+    throw std::invalid_argument("policyKindName: unknown kind");
+}
+
+PolicyKind
+policyKindFromName(const std::string& name)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        if (policyKindName(kind) == name)
+            return kind;
+    }
+    throw std::invalid_argument("policyKindFromName: unknown policy '" +
+                                name + "'");
+}
+
+std::unique_ptr<KeepAlivePolicy>
+makePolicy(PolicyKind kind, const PolicyConfig& config)
+{
+    switch (kind) {
+      case PolicyKind::GreedyDual:
+        return std::make_unique<GreedyDualPolicy>(config.greedy_dual);
+      case PolicyKind::Ttl:
+        return std::make_unique<TtlPolicy>(config.ttl_us,
+                                           config.ttl_victim_order);
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>();
+      case PolicyKind::Hist:
+        return std::make_unique<HistogramPolicy>(config.histogram);
+      case PolicyKind::Size:
+        return std::make_unique<SizePolicy>();
+      case PolicyKind::Landlord:
+        return std::make_unique<LandlordPolicy>();
+      case PolicyKind::Lfu:
+        return std::make_unique<LfuPolicy>();
+    }
+    throw std::invalid_argument("makePolicy: unknown kind");
+}
+
+}  // namespace faascache

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Construction of keep-alive policies by name, covering the seven
+ * policies of the paper's evaluation (GD, TTL, LRU, HIST, SIZE, LND,
+ * FREQ).
+ */
+#ifndef FAASCACHE_CORE_POLICY_FACTORY_H_
+#define FAASCACHE_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/greedy_dual.h"
+#include "core/histogram_policy.h"
+#include "core/keepalive_policy.h"
+#include "core/ttl_policy.h"
+
+namespace faascache {
+
+/** The policies evaluated in the paper, in figure-legend order. */
+enum class PolicyKind
+{
+    GreedyDual,  ///< GD   — Greedy-Dual-Size-Frequency (§4.1)
+    Ttl,         ///< TTL  — OpenWhisk 10-minute constant TTL
+    Lru,         ///< LRU  — recency only
+    Hist,        ///< HIST — Shahrad et al. histogram policy
+    Size,        ///< SIZE — 1/size priority
+    Landlord,    ///< LND  — Landlord online algorithm
+    Lfu,         ///< FREQ — frequency only
+};
+
+/** Aggregate configuration for policy construction. */
+struct PolicyConfig
+{
+    TimeUs ttl_us = 10 * kMinute;
+    TtlVictimOrder ttl_victim_order = TtlVictimOrder::LeastRecentlyUsed;
+    GreedyDualConfig greedy_dual;
+    HistogramPolicyConfig histogram;
+};
+
+/** All policy kinds, in the order the paper's figures list them. */
+const std::vector<PolicyKind>& allPolicyKinds();
+
+/** Figure-legend name for a kind (e.g. "GD"). */
+std::string policyKindName(PolicyKind kind);
+
+/**
+ * Parse a figure-legend name back to a kind.
+ * @throws std::invalid_argument for unknown names.
+ */
+PolicyKind policyKindFromName(const std::string& name);
+
+/** Instantiate a fresh policy. */
+std::unique_ptr<KeepAlivePolicy> makePolicy(PolicyKind kind,
+                                            const PolicyConfig& config = {});
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_CORE_POLICY_FACTORY_H_

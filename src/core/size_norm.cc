@@ -1,0 +1,72 @@
+#include "core/size_norm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascache {
+
+namespace {
+
+double
+dot(const ResourceVector& a, const ResourceVector& b)
+{
+    return a.cpu * b.cpu + a.mem_mb * b.mem_mb + a.io * b.io;
+}
+
+double
+magnitude(const ResourceVector& v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+}  // namespace
+
+double
+scalarSize(const ResourceVector& demand, const ResourceVector& server,
+           SizeNorm norm)
+{
+    constexpr double kFloor = 1e-9;
+    switch (norm) {
+      case SizeNorm::MemoryOnly:
+        return std::max(kFloor, demand.mem_mb);
+      case SizeNorm::Magnitude:
+        return std::max(kFloor, magnitude(demand));
+      case SizeNorm::NormalizedSum: {
+        double sum = 0.0;
+        if (server.cpu > 0)
+            sum += demand.cpu / server.cpu;
+        if (server.mem_mb > 0)
+            sum += demand.mem_mb / server.mem_mb;
+        if (server.io > 0)
+            sum += demand.io / server.io;
+        return std::max(kFloor, sum);
+      }
+      case SizeNorm::CosineWeighted: {
+        const double mags = magnitude(demand) * magnitude(server);
+        double misalignment = 1.0;
+        if (mags > 0) {
+            const double cosine =
+                std::clamp(dot(demand, server) / mags, 0.0, 1.0);
+            // Perfectly aligned containers pack well: discount them,
+            // but never to zero.
+            misalignment = 1.0 - 0.5 * cosine;
+        }
+        return std::max(kFloor,
+                        misalignment *
+                            scalarSize(demand, server,
+                                       SizeNorm::NormalizedSum));
+      }
+    }
+    assert(false && "unknown SizeNorm");
+    return kFloor;
+}
+
+ResourceVector
+resourceVectorOf(const FunctionSpec& function)
+{
+    return ResourceVector{function.cpu_units, function.mem_mb,
+                          function.io_units};
+}
+
+}  // namespace faascache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-dimensional container sizes and their scalarizations
+ * (paper §4.1): the "Size" term of the Greedy-Dual priority is memory
+ * by default, but the paper describes vector sizes reduced via the
+ * standard multi-dimensional bin-packing formulations — vector
+ * magnitude, resources normalized by server totals and summed, and
+ * cosine similarity to the server's resource vector.
+ */
+#ifndef FAASCACHE_CORE_SIZE_NORM_H_
+#define FAASCACHE_CORE_SIZE_NORM_H_
+
+#include "trace/function_spec.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** A container's resource footprint along three dimensions. */
+struct ResourceVector
+{
+    /** CPU demand, in cores. */
+    double cpu = 1.0;
+
+    /** Memory footprint, MB. */
+    double mem_mb = 0.0;
+
+    /** I/O bandwidth demand, arbitrary units. */
+    double io = 0.0;
+};
+
+/** How a resource vector is reduced to the scalar "Size". */
+enum class SizeNorm
+{
+    /** Memory only — the paper's default ("for ease of exposition and
+     *  practicality, we consider only the container memory use"). */
+    MemoryOnly,
+
+    /** Euclidean magnitude ||d|| of the raw vector. */
+    Magnitude,
+
+    /** Sum of dimensions normalized by the server totals,
+     *  sum_j d_j / a_j. */
+    NormalizedSum,
+
+    /** 1 - cosine similarity between d and the server vector a:
+     *  containers aligned with the server's resource shape pack well
+     *  and count as "small". Scaled by the normalized sum so that
+     *  absolute demand still matters. */
+    CosineWeighted,
+};
+
+/**
+ * Reduce `demand` to a scalar under `norm` given the server's total
+ * resources. Always strictly positive for a valid footprint.
+ */
+double scalarSize(const ResourceVector& demand, const ResourceVector& server,
+                  SizeNorm norm);
+
+/** The resource vector of a function's container. */
+ResourceVector resourceVectorOf(const FunctionSpec& function);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_CORE_SIZE_NORM_H_

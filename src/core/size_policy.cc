@@ -1,0 +1,18 @@
+#include "core/size_policy.h"
+
+namespace faascache {
+
+std::vector<ContainerId>
+SizePolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    return selectAscending(pool, needed_mb,
+                           [](const Container& a, const Container& b) {
+                               if (a.memMb() != b.memMb())
+                                   return a.memMb() > b.memMb();
+                               if (a.lastUsed() != b.lastUsed())
+                                   return a.lastUsed() < b.lastUsed();
+                               return a.id() < b.id();
+                           });
+}
+
+}  // namespace faascache

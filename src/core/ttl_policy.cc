@@ -1,0 +1,43 @@
+#include "core/ttl_policy.h"
+
+#include <cassert>
+
+namespace faascache {
+
+TtlPolicy::TtlPolicy(TimeUs ttl_us, TtlVictimOrder victim_order)
+    : ttl_us_(ttl_us), victim_order_(victim_order)
+{
+    assert(ttl_us > 0);
+}
+
+std::vector<ContainerId>
+TtlPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    if (victim_order_ == TtlVictimOrder::OldestCreated) {
+        return selectAscending(pool, needed_mb,
+                               [](const Container& a, const Container& b) {
+                                   if (a.createdAt() != b.createdAt())
+                                       return a.createdAt() < b.createdAt();
+                                   return a.id() < b.id();
+                               });
+    }
+    return selectAscending(pool, needed_mb,
+                           [](const Container& a, const Container& b) {
+                               if (a.lastUsed() != b.lastUsed())
+                                   return a.lastUsed() < b.lastUsed();
+                               return a.id() < b.id();
+                           });
+}
+
+std::vector<ContainerId>
+TtlPolicy::expiredContainers(const ContainerPool& pool, TimeUs now)
+{
+    std::vector<ContainerId> expired;
+    pool.forEach([&](const Container& c) {
+        if (c.idle() && now - c.lastUsed() >= ttl_us_)
+            expired.push_back(c.id());
+    });
+    return expired;
+}
+
+}  // namespace faascache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Constant time-to-live keep-alive — the OpenWhisk default the paper
+ * compares against ("TTL", §3.1): every container is kept warm for a
+ * fixed duration (10 minutes) after its last use, regardless of function
+ * characteristics. When the server fills before leases expire,
+ * containers are evicted in LRU order (§7.1). TTL is not
+ * resource-conserving: it terminates containers even when memory is
+ * plentiful.
+ */
+#ifndef FAASCACHE_CORE_TTL_POLICY_H_
+#define FAASCACHE_CORE_TTL_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/keepalive_policy.h"
+
+namespace faascache {
+
+/** How TTL picks pressure-eviction victims. */
+enum class TtlVictimOrder
+{
+    /** Least recently *used* first — the simulator baseline the paper
+     *  evaluates ("this TTL policy evicts containers in an LRU order"). */
+    LeastRecentlyUsed,
+
+    /** Oldest *created* free container first — what vanilla OpenWhisk's
+     *  ContainerPool.remove actually does (it takes the first free
+     *  container in pool insertion order). This is blind to how hot a
+     *  container is, and is what starves frequently-invoked functions
+     *  under memory pressure in the paper's §7.2 experiments. */
+    OldestCreated,
+};
+
+/** Fixed keep-alive duration with naive pressure eviction. */
+class TtlPolicy : public KeepAlivePolicy
+{
+  public:
+    /**
+     * @param ttl_us       Keep-alive lease after last use (default 10 min).
+     * @param victim_order Pressure-eviction order (default LRU).
+     */
+    explicit TtlPolicy(
+        TimeUs ttl_us = 10 * kMinute,
+        TtlVictimOrder victim_order = TtlVictimOrder::LeastRecentlyUsed);
+
+    std::string name() const override { return "TTL"; }
+
+    std::vector<ContainerId> selectVictims(ContainerPool& pool,
+                                           MemMb needed_mb,
+                                           TimeUs now) override;
+    std::vector<ContainerId> expiredContainers(const ContainerPool& pool,
+                                               TimeUs now) override;
+
+    TimeUs ttl() const { return ttl_us_; }
+    TtlVictimOrder victimOrder() const { return victim_order_; }
+
+  private:
+    TimeUs ttl_us_;
+    TtlVictimOrder victim_order_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_CORE_TTL_POLICY_H_

@@ -1,0 +1,56 @@
+#include "core/warm_pool_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace faascache {
+
+WarmPoolPolicy::WarmPoolPolicy(std::size_t pool_size)
+    : pool_size_(pool_size)
+{
+    assert(pool_size >= 1);
+}
+
+std::vector<ContainerId>
+WarmPoolPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    // Under pressure the per-function budget no longer matters: free
+    // memory in LRU order like the simple baselines.
+    return selectAscending(pool, needed_mb,
+                           [](const Container& a, const Container& b) {
+                               if (a.lastUsed() != b.lastUsed())
+                                   return a.lastUsed() < b.lastUsed();
+                               return a.id() < b.id();
+                           });
+}
+
+std::vector<ContainerId>
+WarmPoolPolicy::expiredContainers(const ContainerPool& pool, TimeUs)
+{
+    // Group idle containers per function, newest first; everything past
+    // the budget is released.
+    std::unordered_map<FunctionId, std::vector<const Container*>> idle;
+    pool.forEach([&](const Container& c) {
+        if (c.idle())
+            idle[c.function()].push_back(&c);
+    });
+
+    std::vector<ContainerId> surplus;
+    for (auto& [function, containers] : idle) {
+        if (containers.size() <= pool_size_)
+            continue;
+        std::sort(containers.begin(), containers.end(),
+                  [](const Container* a, const Container* b) {
+                      if (a->lastUsed() != b->lastUsed())
+                          return a->lastUsed() > b->lastUsed();
+                      return a->id() > b->id();
+                  });
+        for (std::size_t i = pool_size_; i < containers.size(); ++i)
+            surplus.push_back(containers[i]->id());
+    }
+    std::sort(surplus.begin(), surplus.end());
+    return surplus;
+}
+
+}  // namespace faascache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Warm-container-pool keep-alive (paper §8 related work, Lin & Glikson:
+ * "a Kubernetes cluster runs a certain number of warm containers for
+ * functions"). Each function keeps at most `pool_size` idle containers
+ * alive; surplus idle containers are released immediately. The paper's
+ * caching-based policies generalize this ("decide which container to
+ * keep-alive, and for how long"); the pool policy is the natural
+ * fixed-budget baseline to compare them against.
+ */
+#ifndef FAASCACHE_CORE_WARM_POOL_POLICY_H_
+#define FAASCACHE_CORE_WARM_POOL_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/keepalive_policy.h"
+
+namespace faascache {
+
+/** Fixed per-function warm pool. */
+class WarmPoolPolicy : public KeepAlivePolicy
+{
+  public:
+    /** @param pool_size Idle containers kept per function (>= 1). */
+    explicit WarmPoolPolicy(std::size_t pool_size = 1);
+
+    std::string name() const override { return "POOL"; }
+
+    std::vector<ContainerId> selectVictims(ContainerPool& pool,
+                                           MemMb needed_mb,
+                                           TimeUs now) override;
+
+    /**
+     * Surplus idle containers beyond the per-function budget are
+     * released eagerly (reported through the expiry channel).
+     */
+    std::vector<ContainerId> expiredContainers(const ContainerPool& pool,
+                                               TimeUs now) override;
+
+    std::size_t poolSize() const { return pool_size_; }
+
+  private:
+    std::size_t pool_size_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_CORE_WARM_POOL_POLICY_H_

@@ -1,0 +1,108 @@
+#include "platform/cluster.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace faascache {
+
+std::int64_t
+ClusterResult::warmStarts() const
+{
+    std::int64_t total = 0;
+    for (const auto& s : servers)
+        total += s.warm_starts;
+    return total;
+}
+
+std::int64_t
+ClusterResult::coldStarts() const
+{
+    std::int64_t total = 0;
+    for (const auto& s : servers)
+        total += s.cold_starts;
+    return total;
+}
+
+std::int64_t
+ClusterResult::dropped() const
+{
+    std::int64_t total = 0;
+    for (const auto& s : servers)
+        total += s.dropped();
+    return total;
+}
+
+double
+ClusterResult::warmPercent() const
+{
+    const std::int64_t served = warmStarts() + coldStarts();
+    if (served == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(warmStarts()) /
+        static_cast<double>(served);
+}
+
+double
+ClusterResult::meanLatencySec() const
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& s : servers) {
+        for (double v : s.latencies_sec)
+            sum += v;
+        count += s.latencies_sec.size();
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+ClusterResult
+runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
+           const PolicyConfig& policy_config)
+{
+    if (config.num_servers == 0)
+        throw std::invalid_argument("runCluster: no servers");
+
+    // Split the invocation stream by the balancing policy. Every
+    // sub-trace carries the full function catalog so function ids stay
+    // stable across servers.
+    std::vector<Trace> shards(config.num_servers);
+    for (std::size_t s = 0; s < config.num_servers; ++s) {
+        shards[s].setName(trace.name() + "-server" + std::to_string(s));
+        for (const auto& fn : trace.functions())
+            shards[s].addFunction(fn);
+    }
+
+    Rng rng(config.seed);
+    std::size_t next_round_robin = 0;
+    for (const auto& inv : trace.invocations()) {
+        std::size_t target = 0;
+        switch (config.balancing) {
+          case LoadBalancing::Random:
+            target = static_cast<std::size_t>(
+                rng.uniformInt(config.num_servers));
+            break;
+          case LoadBalancing::RoundRobin:
+            target = next_round_robin;
+            next_round_robin =
+                (next_round_robin + 1) % config.num_servers;
+            break;
+          case LoadBalancing::FunctionHash:
+            target = static_cast<std::size_t>(
+                Rng::hashMix(inv.function ^ config.seed) %
+                config.num_servers);
+            break;
+        }
+        shards[target].addInvocation(inv.function, inv.arrival_us);
+    }
+
+    ClusterResult result;
+    result.servers.reserve(config.num_servers);
+    for (std::size_t s = 0; s < config.num_servers; ++s) {
+        Server server(makePolicy(kind, policy_config), config.server);
+        result.servers.push_back(server.run(shards[s]));
+    }
+    return result;
+}
+
+}  // namespace faascache

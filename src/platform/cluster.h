@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cluster-level experiments (paper §9 "Cluster-level analysis"): a
+ * front-end load balancer dispatching function invocations to a fleet
+ * of invoker servers, each running its own keep-alive policy instance.
+ *
+ * The paper deliberately evaluates single servers but discusses how
+ * load-balancing affects keep-alive: a stateful policy that pins a
+ * function to a subset of servers concentrates its temporal locality
+ * (better keep-alive), while randomized balancing spreads each
+ * function's invocations thin. This module makes that trade-off
+ * measurable.
+ */
+#ifndef FAASCACHE_PLATFORM_CLUSTER_H_
+#define FAASCACHE_PLATFORM_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "platform/server.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** How the front end picks a server for each invocation. */
+enum class LoadBalancing
+{
+    /** Uniformly random server per invocation (seeded). */
+    Random,
+
+    /** Strict rotation across servers per invocation. */
+    RoundRobin,
+
+    /** Function-affine: hash the function id to one server, keeping
+     *  each function's temporal locality on a single invoker. */
+    FunctionHash,
+};
+
+/** Cluster parameters. */
+struct ClusterConfig
+{
+    /** Number of identical invoker servers. */
+    std::size_t num_servers = 4;
+
+    /** Per-server configuration. */
+    ServerConfig server;
+
+    /** Dispatch policy. */
+    LoadBalancing balancing = LoadBalancing::FunctionHash;
+
+    /** Seed for randomized balancing. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregated cluster outcome. */
+struct ClusterResult
+{
+    /** Per-server results, index = server id. */
+    std::vector<PlatformResult> servers;
+
+    std::int64_t warmStarts() const;
+    std::int64_t coldStarts() const;
+    std::int64_t dropped() const;
+
+    /** Warm starts / served across the cluster, in percent. */
+    double warmPercent() const;
+
+    /** Mean user-visible latency across all served invocations, s. */
+    double meanLatencySec() const;
+};
+
+/**
+ * Replay `trace` through a cluster: the balancer splits the invocation
+ * stream into per-server sub-traces (all servers see the full function
+ * catalog), then every server runs its share under a fresh policy of
+ * `kind`.
+ */
+ClusterResult runCluster(const Trace& trace, PolicyKind kind,
+                         const ClusterConfig& config,
+                         const PolicyConfig& policy_config = {});
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_CLUSTER_H_

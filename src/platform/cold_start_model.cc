@@ -1,0 +1,42 @@
+#include "platform/cold_start_model.h"
+
+namespace faascache {
+
+ColdStartBreakdown
+coldStartBreakdown(const FunctionSpec& function,
+                   const ColdStartModelConfig& config)
+{
+    ColdStartBreakdown out;
+    out.execution_us = function.warm_us;
+
+    const TimeUs init = function.initTime();
+    const TimeUs fixed = config.pool_check_us + config.docker_startup_us +
+        config.ow_runtime_init_us + config.language_init_us;
+
+    if (init >= fixed) {
+        out.pool_check_us = config.pool_check_us;
+        out.docker_startup_us = config.docker_startup_us;
+        out.ow_runtime_init_us = config.ow_runtime_init_us;
+        out.language_init_us = config.language_init_us;
+        out.explicit_init_us = init - fixed;
+        return out;
+    }
+
+    // Lightweight function: scale the platform stages to fit.
+    const double scale =
+        fixed > 0 ? static_cast<double>(init) / static_cast<double>(fixed)
+                  : 0.0;
+    out.pool_check_us = static_cast<TimeUs>(config.pool_check_us * scale);
+    out.docker_startup_us =
+        static_cast<TimeUs>(config.docker_startup_us * scale);
+    out.ow_runtime_init_us =
+        static_cast<TimeUs>(config.ow_runtime_init_us * scale);
+    // Assign the rounding remainder to the language stage so the parts
+    // sum exactly to the function's init time.
+    out.language_init_us = init - out.pool_check_us -
+        out.docker_startup_us - out.ow_runtime_init_us;
+    out.explicit_init_us = 0;
+    return out;
+}
+
+}  // namespace faascache

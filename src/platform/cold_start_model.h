@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Model of the cold-start pipeline observed in OpenWhisk (paper §3,
+ * Figure 1): container-pool check, Akka/Docker container startup,
+ * OpenWhisk+language runtime initialization, explicit (user) function
+ * initialization, and finally the function execution itself.
+ */
+#ifndef FAASCACHE_PLATFORM_COLD_START_MODEL_H_
+#define FAASCACHE_PLATFORM_COLD_START_MODEL_H_
+
+#include "trace/function_spec.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Platform-fixed stage durations (Figure 1 measurements). */
+struct ColdStartModelConfig
+{
+    /** Checking the warm container pool for a match. */
+    TimeUs pool_check_us = fromSeconds(0.04);
+
+    /** Akka scheduling plus Docker container launch. */
+    TimeUs docker_startup_us = fromSeconds(0.45);
+
+    /** OpenWhisk action-runtime initialization. */
+    TimeUs ow_runtime_init_us = fromSeconds(1.50);
+
+    /** Language runtime (e.g. Python interpreter + stdlib) startup. */
+    TimeUs language_init_us = fromSeconds(0.76);
+};
+
+/** Per-stage breakdown of one cold invocation. */
+struct ColdStartBreakdown
+{
+    TimeUs pool_check_us = 0;
+    TimeUs docker_startup_us = 0;
+    TimeUs ow_runtime_init_us = 0;
+    TimeUs language_init_us = 0;
+    TimeUs explicit_init_us = 0;
+    TimeUs execution_us = 0;
+
+    /** Everything before the user's handler runs. */
+    TimeUs overheadUs() const
+    {
+        return pool_check_us + docker_startup_us + ow_runtime_init_us +
+            language_init_us + explicit_init_us;
+    }
+
+    /** Total user-visible latency of the cold invocation. */
+    TimeUs totalUs() const { return overheadUs() + execution_us; }
+};
+
+/**
+ * Decompose a function's cold start into pipeline stages. The platform
+ * stages are fixed; the remainder of the function's initialization time
+ * is attributed to explicit (user) initialization, e.g. model downloads.
+ * If the function's total init time is smaller than the fixed platform
+ * stages (lightweight runtimes), the platform stages are scaled down
+ * proportionally and explicit init is zero.
+ */
+ColdStartBreakdown coldStartBreakdown(const FunctionSpec& function,
+                                      const ColdStartModelConfig& config = {});
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_COLD_START_MODEL_H_

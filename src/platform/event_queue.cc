@@ -1,0 +1,22 @@
+#include "platform/event_queue.h"
+
+#include <cassert>
+
+namespace faascache {
+
+void
+EventQueue::push(TimeUs time_us, EventKind kind, std::uint64_t payload)
+{
+    heap_.push(Event{time_us, next_seq_++, kind, payload});
+}
+
+Event
+EventQueue::pop()
+{
+    assert(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+}
+
+}  // namespace faascache

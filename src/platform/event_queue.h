@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic discrete-event queue for the platform model. Events at
+ * equal timestamps are delivered in insertion (FIFO) order via a
+ * monotonically increasing sequence number.
+ */
+#ifndef FAASCACHE_PLATFORM_EVENT_QUEUE_H_
+#define FAASCACHE_PLATFORM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** What a scheduled event represents. */
+enum class EventKind
+{
+    Arrival,      ///< a request arrived (payload: invocation index)
+    Finish,       ///< an invocation completed (payload: container id)
+    InitDone,     ///< a cold start finished initializing (payload: id)
+    Maintenance,  ///< periodic expiry/prewarm/queue housekeeping
+};
+
+/** One scheduled event. */
+struct Event
+{
+    TimeUs time_us = 0;
+    std::uint64_t seq = 0;  ///< assigned by the queue; breaks time ties
+    EventKind kind = EventKind::Maintenance;
+    std::uint64_t payload = 0;
+};
+
+/** Min-heap of events ordered by (time, seq). */
+class EventQueue
+{
+  public:
+    /** Schedule an event; its sequence number is assigned here. */
+    void push(TimeUs time_us, EventKind kind, std::uint64_t payload = 0);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the next event. @pre !empty(). */
+    TimeUs nextTime() const { return heap_.top().time_us; }
+
+    /** Remove and return the next event. @pre !empty(). */
+    Event pop();
+
+  private:
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.time_us != b.time_us)
+                return a.time_us > b.time_us;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_EVENT_QUEUE_H_

@@ -1,0 +1,60 @@
+#include "platform/experiment.h"
+
+namespace faascache {
+
+double
+PlatformComparison::warmStartRatio() const
+{
+    if (openwhisk.warm_starts == 0)
+        return faascache.warm_starts > 0 ? 1e9 : 1.0;
+    return static_cast<double>(faascache.warm_starts) /
+        static_cast<double>(openwhisk.warm_starts);
+}
+
+double
+PlatformComparison::servedRatio() const
+{
+    if (openwhisk.served() == 0)
+        return faascache.served() > 0 ? 1e9 : 1.0;
+    return static_cast<double>(faascache.served()) /
+        static_cast<double>(openwhisk.served());
+}
+
+double
+PlatformComparison::latencyImprovement() const
+{
+    const double fc = faascache.meanLatencySec();
+    if (fc <= 0.0)
+        return 1.0;
+    return openwhisk.meanLatencySec() / fc;
+}
+
+PlatformResult
+runPlatform(const Trace& trace, PolicyKind kind,
+            const ServerConfig& server_config,
+            const PolicyConfig& policy_config)
+{
+    Server server(makePolicy(kind, policy_config), server_config);
+    return server.run(trace);
+}
+
+PlatformComparison
+compareOpenWhiskVsFaasCache(const Trace& trace,
+                            const ServerConfig& server_config,
+                            const PolicyConfig& policy_config)
+{
+    // Vanilla OpenWhisk: 10-minute TTL, and under memory pressure the
+    // ContainerPool removes the first free container in insertion order
+    // (oldest created), blind to how hot the container is.
+    PolicyConfig openwhisk_config = policy_config;
+    openwhisk_config.ttl_victim_order = TtlVictimOrder::OldestCreated;
+
+    PlatformComparison out;
+    out.openwhisk = runPlatform(trace, PolicyKind::Ttl, server_config,
+                                openwhisk_config);
+    out.faascache = runPlatform(trace, PolicyKind::GreedyDual, server_config,
+                                policy_config);
+    return out;
+}
+
+}  // namespace faascache

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Head-to-head platform experiments: vanilla OpenWhisk (10-minute TTL
+ * keep-alive) versus FaasCache (Greedy-Dual keep-alive) on the same
+ * server and workload (paper §7.2).
+ */
+#ifndef FAASCACHE_PLATFORM_EXPERIMENT_H_
+#define FAASCACHE_PLATFORM_EXPERIMENT_H_
+
+#include "core/policy_factory.h"
+#include "platform/server.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Results of one OpenWhisk-vs-FaasCache comparison. */
+struct PlatformComparison
+{
+    PlatformResult openwhisk;  ///< TTL keep-alive
+    PlatformResult faascache;  ///< Greedy-Dual keep-alive
+
+    /** FaasCache warm starts over OpenWhisk warm starts. */
+    double warmStartRatio() const;
+
+    /** FaasCache served requests over OpenWhisk served requests. */
+    double servedRatio() const;
+
+    /** OpenWhisk mean latency over FaasCache mean latency. */
+    double latencyImprovement() const;
+};
+
+/** Run one policy on a fresh server. */
+PlatformResult runPlatform(const Trace& trace, PolicyKind kind,
+                           const ServerConfig& server_config,
+                           const PolicyConfig& policy_config = {});
+
+/** Run the vanilla-OpenWhisk vs FaasCache comparison. */
+PlatformComparison compareOpenWhiskVsFaasCache(
+    const Trace& trace, const ServerConfig& server_config,
+    const PolicyConfig& policy_config = {});
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_EXPERIMENT_H_

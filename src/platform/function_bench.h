@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The FunctionBench-derived application catalog of the paper's Table 1.
+ *
+ * Each application is characterized by its container memory size, its
+ * total (cold) running time, and its initialization time; the warm run
+ * time is the difference. These six applications drive the OpenWhisk
+ * experiments (§7.2, Figures 7 and 8).
+ */
+#ifndef FAASCACHE_PLATFORM_FUNCTION_BENCH_H_
+#define FAASCACHE_PLATFORM_FUNCTION_BENCH_H_
+
+#include <vector>
+
+#include "trace/function_spec.h"
+
+namespace faascache {
+
+/** The applications of Table 1, in table order. */
+enum class FunctionBenchApp
+{
+    MlInference,     ///< CNN inference: 512 MB, 6.5 s run, 4.5 s init
+    VideoEncoding,   ///< 500 MB, 56 s run, 3 s init
+    MatrixMultiply,  ///< 256 MB, 2.5 s run, 2.2 s init
+    DiskBench,       ///< dd: 256 MB, 2.2 s run, 1.8 s init
+    WebServing,      ///< 64 MB, 2.4 s run, 2 s init
+    FloatingPoint,   ///< 128 MB, 2 s run, 1.7 s init
+};
+
+/** Number of catalog applications. */
+inline constexpr std::size_t kNumFunctionBenchApps = 6;
+
+/**
+ * The full Table 1 catalog with dense function ids (0..5) matching the
+ * FunctionBenchApp enumeration order.
+ */
+const std::vector<FunctionSpec>& functionBenchCatalog();
+
+/** Spec of one application (id as in the full catalog). */
+const FunctionSpec& functionBenchSpec(FunctionBenchApp app);
+
+/**
+ * A catalog restricted to `apps`, with ids remapped densely in the
+ * given order (for building workload traces over a subset).
+ */
+std::vector<FunctionSpec> functionBenchSubset(
+    const std::vector<FunctionBenchApp>& apps);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_FUNCTION_BENCH_H_

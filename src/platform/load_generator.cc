@@ -1,0 +1,61 @@
+#include "platform/load_generator.h"
+
+#include "platform/function_bench.h"
+#include "trace/patterns.h"
+
+namespace faascache {
+
+Trace
+skewedFrequencyWorkload(TimeUs duration_us, std::uint64_t seed)
+{
+    const auto specs = functionBenchSubset({
+        FunctionBenchApp::MlInference,
+        FunctionBenchApp::DiskBench,
+        FunctionBenchApp::WebServing,
+        FunctionBenchApp::FloatingPoint,
+    });
+    const std::vector<TimeUs> iats = {
+        1500 * kMillisecond,  // CNN
+        1500 * kMillisecond,  // disk-bench
+        1500 * kMillisecond,  // web-serving
+        400 * kMillisecond,   // floating-point: the heavy hitter
+    };
+    return makePoissonTrace(specs, iats, duration_us, seed,
+                            "skewed-frequency");
+}
+
+Trace
+cyclicWorkload(TimeUs duration_us, TimeUs gap_us)
+{
+    // Video encoding is excluded: its 53 s warm run time at cyclic
+    // inter-arrival would demand ~30 permanently busy containers,
+    // drowning the keep-alive behaviour this workload targets.
+    const auto specs = functionBenchSubset({
+        FunctionBenchApp::MlInference,
+        FunctionBenchApp::MatrixMultiply,
+        FunctionBenchApp::DiskBench,
+        FunctionBenchApp::WebServing,
+        FunctionBenchApp::FloatingPoint,
+    });
+    return makeCyclicTrace(specs, gap_us, duration_us, "cyclic");
+}
+
+Trace
+skewedSizeWorkload(TimeUs duration_us, std::uint64_t seed)
+{
+    const auto specs = functionBenchSubset({
+        FunctionBenchApp::MlInference,     // 512 MB (large)
+        FunctionBenchApp::MatrixMultiply,  // 256 MB (large-ish)
+        FunctionBenchApp::WebServing,      // 64 MB (small)
+        FunctionBenchApp::FloatingPoint,   // 128 MB (small)
+    });
+    const std::vector<TimeUs> iats = {
+        4 * kSecond,           // large
+        3 * kSecond,           // large-ish
+        800 * kMillisecond,    // small
+        800 * kMillisecond,    // small
+    };
+    return makePoissonTrace(specs, iats, duration_us, seed, "skewed-size");
+}
+
+}  // namespace faascache

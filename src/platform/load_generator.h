@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Section 7.2 workloads: skewed-frequency, cyclic, and skewed-size
+ * traces over the FunctionBench applications, matching the setups of
+ * Figures 7 and 8.
+ */
+#ifndef FAASCACHE_PLATFORM_LOAD_GENERATOR_H_
+#define FAASCACHE_PLATFORM_LOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace faascache {
+
+/**
+ * Figure 8's workload: CNN inference, disk-bench, and web-serving at a
+ * 1500 ms mean inter-arrival time, and floating-point at 400 ms — one
+ * function much more frequent than the rest. Arrivals are Poisson
+ * (seeded, deterministic) to match open-loop request traffic.
+ */
+Trace skewedFrequencyWorkload(TimeUs duration_us, std::uint64_t seed = 1);
+
+/**
+ * Cyclic access pattern over all six Table 1 applications, the classic
+ * recency-adversarial sequence.
+ *
+ * @param gap_us Spacing between consecutive invocations.
+ */
+Trace cyclicWorkload(TimeUs duration_us, TimeUs gap_us = 300 * kMillisecond);
+
+/**
+ * Skewed-size workload: the small-footprint applications fire fast, the
+ * large-footprint ones slowly, so the policies must weigh size against
+ * recency. Poisson arrivals, deterministic in `seed`.
+ */
+Trace skewedSizeWorkload(TimeUs duration_us, std::uint64_t seed = 1);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_LOAD_GENERATOR_H_

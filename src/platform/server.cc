@@ -1,0 +1,270 @@
+#include "platform/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace faascache {
+
+double
+PlatformResult::coldStartPercent() const
+{
+    const std::int64_t n = served();
+    return n > 0 ? 100.0 * static_cast<double>(cold_starts) /
+                   static_cast<double>(n)
+                 : 0.0;
+}
+
+double
+PlatformResult::dropPercent() const
+{
+    const std::int64_t n = total();
+    return n > 0 ? 100.0 * static_cast<double>(dropped()) /
+                   static_cast<double>(n)
+                 : 0.0;
+}
+
+double
+PlatformResult::meanLatencySec() const
+{
+    if (latencies_sec.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : latencies_sec)
+        sum += v;
+    return sum / static_cast<double>(latencies_sec.size());
+}
+
+double
+PlatformResult::meanLatencySecOf(FunctionId function) const
+{
+    const auto& outcome = per_function.at(function);
+    const std::int64_t n = outcome.served();
+    if (n == 0)
+        return 0.0;
+    return latency_sum_sec.at(function) / static_cast<double>(n);
+}
+
+Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
+    : policy_(std::move(policy)), config_(config), pool_(config.memory_mb)
+{
+    if (!policy_)
+        throw std::invalid_argument("Server: null policy");
+    if (config_.cores <= 0)
+        throw std::invalid_argument("Server: cores must be > 0");
+}
+
+void
+Server::evict(ContainerId id, TimeUs now, bool expired)
+{
+    Container* c = pool_.get(id);
+    assert(c != nullptr && c->idle());
+    const bool last = pool_.countOf(c->function()) == 1;
+    policy_->onEviction(*c, last, now);
+    pool_.remove(id);
+    if (expired)
+        ++result_.expirations;
+    else
+        ++result_.evictions;
+}
+
+bool
+Server::tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
+                    TimeUs now)
+{
+    if (running_ >= config_.cores)
+        return false;
+
+    const Invocation& inv = trace_->invocations()[invocation_index];
+    const FunctionSpec& spec = trace_->function(inv.function);
+    FunctionOutcome& outcome = result_.per_function[spec.id];
+
+    if (Container* warm = pool_.findIdleWarm(spec.id)) {
+        warm->startInvocation(now, now + spec.warm_us);
+        policy_->onWarmStart(*warm, spec, now);
+        ++running_;
+        ++result_.warm_starts;
+        ++outcome.warm;
+        inflight_arrival_[warm->id()] = arrival_us;
+        events_.push(warm->busyUntil(), EventKind::Finish, warm->id());
+        return true;
+    }
+
+    // Cold path: initialization burns extra platform CPU.
+    const int cold_slots = std::max(1, config_.cold_start_cpu_slots);
+    if (running_ + cold_slots > config_.cores)
+        return false;
+
+    if (!pool_.fits(spec.mem_mb)) {
+        const MemMb needed = spec.mem_mb - pool_.freeMb();
+        const auto victims = policy_->selectVictims(pool_, needed, now);
+        MemMb freed = 0;
+        for (ContainerId id : victims)
+            freed += pool_.get(id)->memMb();
+        if (pool_.freeMb() + freed < spec.mem_mb)
+            return false;  // busy containers hold the memory: wait
+        for (ContainerId id : victims)
+            evict(id, now, /*expired=*/false);
+    }
+
+    Container& fresh = pool_.add(spec, now);
+    fresh.startInvocation(now, now + spec.cold_us);
+    policy_->onColdStart(fresh, spec, now);
+    running_ += cold_slots;
+    ++result_.cold_starts;
+    ++outcome.cold;
+    inflight_arrival_[fresh.id()] = arrival_us;
+    if (cold_slots > 1) {
+        events_.push(now + spec.initTime(), EventKind::InitDone,
+                     fresh.id());
+    }
+    events_.push(fresh.busyUntil(), EventKind::Finish, fresh.id());
+    return true;
+}
+
+void
+Server::drainQueue(TimeUs now)
+{
+    // Scan in arrival order but skip entries that cannot start yet:
+    // OpenWhisk schedules per activation, so a large function waiting
+    // for memory does not block small warm functions behind it. Once a
+    // core is unavailable nothing can start, so stop scanning.
+    std::deque<PendingRequest> still_waiting;
+    while (!queue_.empty()) {
+        const PendingRequest head = queue_.front();
+        queue_.pop_front();
+        if (now - head.enqueued_us > config_.queue_timeout_us) {
+            const FunctionId fn =
+                trace_->invocations()[head.invocation_index].function;
+            ++result_.dropped_timeout;
+            ++result_.per_function[fn].dropped;
+            continue;
+        }
+        if (running_ >= config_.cores) {
+            still_waiting.push_back(head);
+            break;
+        }
+        if (!tryDispatch(head.invocation_index, head.enqueued_us, now))
+            still_waiting.push_back(head);
+    }
+    // Preserve arrival order of everything not dispatched.
+    while (!queue_.empty()) {
+        still_waiting.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    queue_ = std::move(still_waiting);
+}
+
+void
+Server::maintenance(TimeUs now)
+{
+    // Expire first so a lease ending now cannot block a prewarm via the
+    // skip-if-already-warm check.
+    for (ContainerId id : policy_->expiredContainers(pool_, now))
+        evict(id, now, /*expired=*/true);
+    if (config_.enable_prewarm) {
+        for (FunctionId fn : policy_->duePrewarms(now)) {
+            const FunctionSpec& spec = trace_->function(fn);
+            if (pool_.findIdleWarm(fn) != nullptr)
+                continue;
+            if (!pool_.fits(spec.mem_mb))
+                continue;
+            Container& c = pool_.add(spec, now, /*prewarmed=*/true);
+            policy_->onPrewarm(c, spec, now);
+            ++result_.prewarms;
+        }
+    } else {
+        policy_->duePrewarms(now);
+    }
+    drainQueue(now);
+}
+
+PlatformResult
+Server::run(const Trace& trace)
+{
+    if (!trace.validate() || !trace.isSorted())
+        throw std::invalid_argument("Server::run: invalid trace");
+    trace_ = &trace;
+    result_ = PlatformResult{};
+    result_.policy_name = policy_->name();
+    result_.config = config_;
+    result_.per_function.resize(trace.functions().size());
+    result_.latency_sum_sec.resize(trace.functions().size(), 0.0);
+
+    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+        events_.push(trace.invocations()[i].arrival_us, EventKind::Arrival,
+                     i);
+    }
+    if (!trace.invocations().empty()) {
+        const TimeUs horizon = trace.invocations().back().arrival_us +
+            config_.queue_timeout_us;
+        for (TimeUs t = 0; t <= horizon;
+             t += config_.maintenance_interval_us) {
+            events_.push(t, EventKind::Maintenance);
+        }
+    }
+
+    while (!events_.empty()) {
+        const Event event = events_.pop();
+        const TimeUs now = event.time_us;
+        switch (event.kind) {
+          case EventKind::Arrival: {
+            const std::size_t index = event.payload;
+            const Invocation& inv = trace.invocations()[index];
+            const FunctionSpec& spec = trace.function(inv.function);
+            policy_->onInvocationArrival(spec, now);
+            if (spec.mem_mb > pool_.capacityMb()) {
+                ++result_.dropped_oversize;
+                ++result_.per_function[spec.id].dropped;
+                break;
+            }
+            // Preserve FIFO ordering: join the queue and drain.
+            if (queue_.size() >= config_.queue_capacity) {
+                ++result_.dropped_queue_full;
+                ++result_.per_function[spec.id].dropped;
+                break;
+            }
+            queue_.push_back(PendingRequest{index, now});
+            drainQueue(now);
+            break;
+          }
+          case EventKind::Finish: {
+            const auto id = static_cast<ContainerId>(event.payload);
+            Container* c = pool_.get(id);
+            assert(c != nullptr && c->busy());
+            c->finishInvocation();
+            --running_;
+            auto it = inflight_arrival_.find(id);
+            assert(it != inflight_arrival_.end());
+            const double latency_sec = toSeconds(now - it->second);
+            result_.latencies_sec.push_back(latency_sec);
+            result_.latency_sum_sec[c->function()] += latency_sec;
+            inflight_arrival_.erase(it);
+            drainQueue(now);
+            break;
+          }
+          case EventKind::InitDone:
+            // The init phase's extra CPU slots are released; the
+            // function itself keeps executing on one core.
+            running_ -= std::max(1, config_.cold_start_cpu_slots) - 1;
+            drainQueue(now);
+            break;
+          case EventKind::Maintenance:
+            maintenance(now);
+            break;
+        }
+    }
+
+    // Anything still buffered can never be served (no more events).
+    for (const PendingRequest& pending : queue_) {
+        const FunctionId fn =
+            trace.invocations()[pending.invocation_index].function;
+        ++result_.dropped_timeout;
+        ++result_.per_function[fn].dropped;
+    }
+    queue_.clear();
+    trace_ = nullptr;
+    return result_;
+}
+
+}  // namespace faascache

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Discrete-event model of a FaaS invoker server (paper §7.2).
+ *
+ * The model captures the mechanisms behind the paper's OpenWhisk
+ * results: a finite number of cores, a finite container-pool memory, a
+ * FIFO request buffer with capacity and waiting-time limits (OpenWhisk
+ * "buffers and eventually drops requests if it cannot fulfill them"),
+ * and a pluggable keep-alive policy governing the container pool.
+ * Cold starts hold a core and memory for the full initialization plus
+ * execution time, so a burst of cold starts inflates system load, grows
+ * the queue, and causes drops — the feedback loop the paper observes
+ * with vanilla OpenWhisk.
+ *
+ * Running the same trace with a TtlPolicy models vanilla OpenWhisk;
+ * running it with a GreedyDualPolicy models FaasCache.
+ */
+#ifndef FAASCACHE_PLATFORM_SERVER_H_
+#define FAASCACHE_PLATFORM_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/container_pool.h"
+#include "core/keepalive_policy.h"
+#include "platform/event_queue.h"
+#include "sim/sim_result.h"
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace faascache {
+
+/** Invoker server parameters. */
+struct ServerConfig
+{
+    /** Simultaneously running invocations (CPU slots). */
+    int cores = 8;
+
+    /** Container pool memory, MB. */
+    MemMb memory_mb = 4096.0;
+
+    /** Request buffer capacity; arrivals beyond this are dropped. */
+    std::size_t queue_capacity = 2048;
+
+    /** Maximum queueing delay before a buffered request is dropped. */
+    TimeUs queue_timeout_us = 30 * kSecond;
+
+    /** Period of expiry/prewarm housekeeping. */
+    TimeUs maintenance_interval_us = 10 * kSecond;
+
+    /** Honor policy prewarm requests (HIST). */
+    bool enable_prewarm = true;
+
+    /**
+     * CPU slots a cold start occupies during its initialization phase
+     * (container creation and runtime init are CPU-heavy: dockerd,
+     * cgroups, interpreter startup). 1 models init as ordinary
+     * execution; 2 reproduces the platform-load amplification the paper
+     * observes, where cold-start storms drive OpenWhisk into overload.
+     */
+    int cold_start_cpu_slots = 1;
+};
+
+/** Outcome of a platform run. */
+struct PlatformResult
+{
+    std::string policy_name;
+    ServerConfig config;
+
+    std::int64_t warm_starts = 0;
+    std::int64_t cold_starts = 0;
+    std::int64_t dropped_queue_full = 0;
+    std::int64_t dropped_timeout = 0;
+    std::int64_t dropped_oversize = 0;
+    std::int64_t evictions = 0;
+    std::int64_t expirations = 0;
+    std::int64_t prewarms = 0;
+
+    /** Per-function warm/cold/dropped, indexed by FunctionId. */
+    std::vector<FunctionOutcome> per_function;
+
+    /** User-visible latency (queue wait + execution) per served
+     *  invocation, seconds, in completion order. */
+    std::vector<double> latencies_sec;
+
+    /** Per-function sum of latencies, seconds (for means). */
+    std::vector<double> latency_sum_sec;
+
+    std::int64_t served() const { return warm_starts + cold_starts; }
+    std::int64_t dropped() const
+    {
+        return dropped_queue_full + dropped_timeout + dropped_oversize;
+    }
+    std::int64_t total() const { return served() + dropped(); }
+
+    double coldStartPercent() const;
+    double dropPercent() const;
+
+    /** Mean user-visible latency, seconds. */
+    double meanLatencySec() const;
+
+    /** Mean latency of one function, seconds (0 if never served). */
+    double meanLatencySecOf(FunctionId function) const;
+
+    /** Latency distribution summary, seconds. */
+    Summary latencySummary() const { return summarize(latencies_sec); }
+};
+
+/** FaaS invoker server model. */
+class Server
+{
+  public:
+    /**
+     * @param policy Keep-alive policy governing the container pool.
+     * @param config Server parameters.
+     */
+    Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config);
+
+    /**
+     * Replay a trace to completion and return the accounting.
+     *
+     * The container pool and policy state survive across calls: running
+     * a second trace models a server that is already warm (counters are
+     * reset per run). Use a fresh Server for independent experiments.
+     */
+    PlatformResult run(const Trace& trace);
+
+  private:
+    struct PendingRequest
+    {
+        std::size_t invocation_index;
+        TimeUs enqueued_us;
+    };
+
+    /** Attempt to start `inv` right now; true on success. */
+    bool tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
+                     TimeUs now);
+
+    /** Dispatch queued requests FIFO until blocked; drop timed-out
+     *  entries at the head. */
+    void drainQueue(TimeUs now);
+
+    /** Expire leases and perform due prewarms. */
+    void maintenance(TimeUs now);
+
+    void evict(ContainerId id, TimeUs now, bool expired);
+
+    std::unique_ptr<KeepAlivePolicy> policy_;
+    ServerConfig config_;
+    ContainerPool pool_;
+    EventQueue events_;
+    std::deque<PendingRequest> queue_;
+    const Trace* trace_ = nullptr;
+    PlatformResult result_;
+    /** Occupied CPU slots (cold inits may hold extra slots). */
+    int running_ = 0;
+
+    /** Arrival time of the request a busy container is serving. */
+    std::unordered_map<ContainerId, TimeUs> inflight_arrival_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_SERVER_H_

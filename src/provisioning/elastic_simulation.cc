@@ -1,0 +1,120 @@
+#include "provisioning/elastic_simulation.h"
+
+#include <algorithm>
+
+#include "analysis/online_hrc.h"
+#include "analysis/reuse_distance.h"
+
+namespace faascache {
+
+MemMb
+ElasticResult::averageSizeMb() const
+{
+    if (timeline.empty())
+        return 0.0;
+    if (timeline.size() == 1)
+        return timeline.front().cache_size_mb;
+    double weighted = 0.0;
+    double span = 0.0;
+    for (std::size_t i = 0; i + 1 < timeline.size(); ++i) {
+        const double dt = static_cast<double>(timeline[i + 1].time_us -
+                                              timeline[i].time_us);
+        weighted += timeline[i].cache_size_mb * dt;
+        span += dt;
+    }
+    return span > 0 ? weighted / span : timeline.front().cache_size_mb;
+}
+
+MemMb
+ElasticResult::peakSizeMb() const
+{
+    MemMb peak = 0.0;
+    for (const auto& s : timeline)
+        peak = std::max(peak, s.cache_size_mb);
+    return peak;
+}
+
+ElasticResult
+runElasticSimulation(const Trace& trace,
+                     std::unique_ptr<KeepAlivePolicy> policy,
+                     const ControllerConfig& controller_config,
+                     const ElasticConfig& elastic_config)
+{
+    // Preparation phase (paper §5.2 "Online adjustments"): build the
+    // hit-ratio curve from the workload's reuse distances.
+    HitRatioCurve curve =
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(trace));
+    ProportionalController controller(std::move(curve), controller_config,
+                                      elastic_config.initial_size_mb);
+
+    SimulatorConfig sim_config;
+    sim_config.memory_mb = elastic_config.initial_size_mb;
+    Simulator sim(trace, std::move(policy), sim_config);
+
+    ElasticResult result;
+    const double period_sec = toSeconds(elastic_config.control_period_us);
+    TimeUs period_end = elastic_config.control_period_us;
+    std::int64_t arrivals_at_period_start = 0;
+    std::int64_t cold_at_period_start = 0;
+
+    // Optional online curve refresh (drift handling).
+    const bool online = elastic_config.curve_refresh_period_us > 0;
+    OnlineReuseAnalyzer analyzer(
+        online ? elastic_config.online_sample_rate : 1.0);
+    std::size_t fed_invocations = 0;
+    TimeUs next_refresh_us = elastic_config.curve_refresh_period_us;
+    auto feed_analyzer = [&](TimeUs up_to) {
+        if (!online)
+            return;
+        const auto& invocations = trace.invocations();
+        while (fed_invocations < invocations.size() &&
+               invocations[fed_invocations].arrival_us < up_to) {
+            const Invocation& inv = invocations[fed_invocations++];
+            analyzer.observe(inv.function,
+                             trace.function(inv.function).mem_mb);
+        }
+        while (next_refresh_us <= up_to) {
+            next_refresh_us += elastic_config.curve_refresh_period_us;
+            const HitRatioCurve fresh = analyzer.curve();
+            if (!fresh.empty())
+                controller.setCurve(fresh);
+        }
+    };
+
+    auto close_period = [&](TimeUs at) {
+        feed_analyzer(at);
+        const std::int64_t arrivals =
+            sim.result().total() - arrivals_at_period_start;
+        const std::int64_t cold =
+            sim.result().cold_starts - cold_at_period_start;
+        arrivals_at_period_start = sim.result().total();
+        cold_at_period_start = sim.result().cold_starts;
+
+        ElasticSample sample;
+        sample.time_us = at;
+        sample.arrival_rate = static_cast<double>(arrivals) / period_sec;
+        sample.miss_speed = static_cast<double>(cold) / period_sec;
+        const MemMb next =
+            controller.update(sample.arrival_rate, sample.miss_speed);
+        sample.smoothed_arrival = controller.smoothedArrivalRate();
+        sim.resize(next);
+        sample.cache_size_mb = next;
+        result.timeline.push_back(sample);
+    };
+
+    while (!sim.done()) {
+        while (!sim.done() && sim.nextArrival() < period_end)
+            sim.step();
+        if (sim.done())
+            break;
+        close_period(period_end);
+        period_end += elastic_config.control_period_us;
+    }
+    // Close the final partial period so the timeline covers the trace.
+    close_period(period_end);
+
+    result.sim = sim.result();
+    return result;
+}
+
+}  // namespace faascache

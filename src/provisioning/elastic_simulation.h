@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Elastic vertical-scaling experiment harness (paper §5.2, §7.3,
+ * Figure 9): runs the keep-alive simulator period by period, feeding
+ * observed arrival and cold-start rates to the proportional controller
+ * and applying the returned cache size via VM deflation/inflation.
+ */
+#ifndef FAASCACHE_PROVISIONING_ELASTIC_SIMULATION_H_
+#define FAASCACHE_PROVISIONING_ELASTIC_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/keepalive_policy.h"
+#include "provisioning/proportional_controller.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Elastic scaling knobs. */
+struct ElasticConfig
+{
+    /** Controller invocation period (paper: every 10 minutes). */
+    TimeUs control_period_us = 10 * kMinute;
+
+    /** Starting (and static-baseline) cache size, MB. */
+    MemMb initial_size_mb = 10'000.0;
+
+    /**
+     * Periodically rebuild the controller's hit-ratio curve from the
+     * invocations observed so far (drift handling, §5.2). 0 keeps the
+     * curve from the offline preparation phase for the whole run.
+     */
+    TimeUs curve_refresh_period_us = 0;
+
+    /** SHARDS rate of the online curve estimator. */
+    double online_sample_rate = 0.25;
+};
+
+/** One controller period's observations. */
+struct ElasticSample
+{
+    TimeUs time_us = 0;
+    MemMb cache_size_mb = 0;
+    double arrival_rate = 0.0;      ///< arrivals per second this period
+    double miss_speed = 0.0;        ///< cold starts per second this period
+    double smoothed_arrival = 0.0;  ///< controller's EMA after update
+};
+
+/** Full elastic-scaling run outcome. */
+struct ElasticResult
+{
+    std::vector<ElasticSample> timeline;
+    SimResult sim;
+
+    /** Time-weighted average cache size across the run, MB. */
+    MemMb averageSizeMb() const;
+
+    /** Peak cache size, MB. */
+    MemMb peakSizeMb() const;
+};
+
+/**
+ * Run the full experiment: replay `trace` under `policy` while the
+ * proportional controller resizes the pool every control period.
+ */
+ElasticResult runElasticSimulation(const Trace& trace,
+                                   std::unique_ptr<KeepAlivePolicy> policy,
+                                   const ControllerConfig& controller_config,
+                                   const ElasticConfig& elastic_config);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PROVISIONING_ELASTIC_SIMULATION_H_

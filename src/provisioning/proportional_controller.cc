@@ -1,0 +1,56 @@
+#include "provisioning/proportional_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faascache {
+
+ProportionalController::ProportionalController(HitRatioCurve curve,
+                                               ControllerConfig config,
+                                               MemMb initial_size_mb)
+    : curve_(std::move(curve)), config_(config),
+      current_size_mb_(initial_size_mb),
+      arrival_ema_(config.arrival_smoothing_alpha)
+{
+    if (config_.target_miss_speed <= 0)
+        throw std::invalid_argument("controller: target miss speed <= 0");
+    if (config_.min_size_mb <= 0 ||
+        config_.max_size_mb <= config_.min_size_mb) {
+        throw std::invalid_argument("controller: bad size clamp");
+    }
+    current_size_mb_ = std::clamp(current_size_mb_, config_.min_size_mb,
+                                  config_.max_size_mb);
+}
+
+MemMb
+ProportionalController::update(double arrival_rate, double miss_speed)
+{
+    const double lambda_hat = arrival_ema_.update(std::max(0.0, arrival_rate));
+
+    // Deadband: tolerate up to `deadband` relative error around the
+    // target miss speed before resizing (paper: only capture coarse
+    // diurnal effects, avoid memory fragmentation from small changes).
+    const double error = (miss_speed - config_.target_miss_speed) /
+        config_.target_miss_speed;
+    if (std::fabs(error) <= config_.deadband)
+        return current_size_mb_;
+
+    if (lambda_hat <= 0.0) {
+        // Nothing arriving: fall to the floor size.
+        current_size_mb_ = config_.min_size_mb;
+        return current_size_mb_;
+    }
+
+    // Equation 3: the miss ratio that yields the target miss speed at
+    // the smoothed arrival rate, HR(c') = 1 - target / lambda_hat.
+    const double desired_miss_ratio =
+        std::clamp(config_.target_miss_speed / lambda_hat, 0.0, 1.0);
+    const double desired_hit_ratio = 1.0 - desired_miss_ratio;
+    MemMb next = curve_.sizeForHitRatio(desired_hit_ratio);
+    next = std::clamp(next, config_.min_size_mb, config_.max_size_mb);
+    current_size_mb_ = next;
+    return current_size_mb_;
+}
+
+}  // namespace faascache

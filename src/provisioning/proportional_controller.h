@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Proportional controller for elastic vertical scaling (paper §5.2,
+ * Equation 3).
+ *
+ * The controller tracks a target *miss speed* (cold starts per second).
+ * Periodically, given the exponentially smoothed arrival rate and the
+ * observed miss speed, it computes the miss ratio that would produce the
+ * target miss speed at the current arrival rate, and inverts the
+ * hit-ratio curve to find the corresponding cache size. A large error
+ * deadband (30% by default) avoids thrashing the VM size; only coarse
+ * diurnal effects are captured.
+ */
+#ifndef FAASCACHE_PROVISIONING_PROPORTIONAL_CONTROLLER_H_
+#define FAASCACHE_PROVISIONING_PROPORTIONAL_CONTROLLER_H_
+
+#include "analysis/hit_ratio_curve.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Controller tunables. */
+struct ControllerConfig
+{
+    /** Target cold starts per second. */
+    double target_miss_speed = 0.0015;
+
+    /** Relative error deadband; no resize below this (paper: 30%). */
+    double deadband = 0.30;
+
+    /** Smoothing weight for the arrival rate EMA. */
+    double arrival_smoothing_alpha = 0.3;
+
+    /** Cache size clamp, MB. */
+    MemMb min_size_mb = 512.0;
+    MemMb max_size_mb = 256.0 * 1024.0;
+};
+
+/** Hit-ratio-curve driven proportional controller. */
+class ProportionalController
+{
+  public:
+    /**
+     * @param curve  Workload hit-ratio curve used for size inversion.
+     * @param config Controller tunables.
+     * @param initial_size_mb Starting cache size, MB.
+     */
+    ProportionalController(HitRatioCurve curve, ControllerConfig config,
+                           MemMb initial_size_mb);
+
+    /**
+     * One control period.
+     *
+     * @param arrival_rate Observed arrivals per second this period.
+     * @param miss_speed   Observed cold starts per second this period.
+     * @return The (possibly unchanged) cache size to use next, MB.
+     */
+    MemMb update(double arrival_rate, double miss_speed);
+
+    /** Current recommended size, MB. */
+    MemMb currentSize() const { return current_size_mb_; }
+
+    /**
+     * Replace the hit-ratio curve (periodic refresh when the workload
+     * drifts; the paper re-derives the curve weekly, §5.2).
+     */
+    void setCurve(HitRatioCurve curve) { curve_ = std::move(curve); }
+
+    /** Smoothed arrival rate, per second. */
+    double smoothedArrivalRate() const { return arrival_ema_.value(); }
+
+    const ControllerConfig& config() const { return config_; }
+
+  private:
+    HitRatioCurve curve_;
+    ControllerConfig config_;
+    MemMb current_size_mb_;
+    ExponentialSmoother arrival_ema_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PROVISIONING_PROPORTIONAL_CONTROLLER_H_

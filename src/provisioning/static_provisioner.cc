@@ -1,0 +1,35 @@
+#include "provisioning/static_provisioner.h"
+
+#include <algorithm>
+
+#include "analysis/reuse_distance.h"
+#include "analysis/sizing.h"
+
+namespace faascache {
+
+StaticProvisioner::StaticProvisioner(HitRatioCurve curve)
+    : curve_(std::move(curve))
+{
+}
+
+StaticProvisioner
+StaticProvisioner::fromTrace(const Trace& trace)
+{
+    return StaticProvisioner(
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(trace)));
+}
+
+ProvisioningPlan
+StaticProvisioner::plan(double target_hit_ratio, MemMb max_size_mb) const
+{
+    ProvisioningPlan out;
+    out.max_hit_ratio = curve_.maxHitRatio();
+    out.target_size_mb = curve_.sizeForHitRatio(target_hit_ratio);
+    out.achieved_hit_ratio = curve_.hitRatio(out.target_size_mb);
+    const MemMb min_mb = std::max(1.0, max_size_mb / 1024.0);
+    out.knee_size_mb = kneeSize(curve_, min_mb, max_size_mb);
+    out.knee_hit_ratio = curve_.hitRatio(out.knee_size_mb);
+    return out;
+}
+
+}  // namespace faascache

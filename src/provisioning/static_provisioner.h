@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static server provisioning (paper §5.1): pick a server memory size for
+ * a workload from its hit-ratio curve, either by a target hit ratio or
+ * by the curve's inflection point.
+ */
+#ifndef FAASCACHE_PROVISIONING_STATIC_PROVISIONER_H_
+#define FAASCACHE_PROVISIONING_STATIC_PROVISIONER_H_
+
+#include "analysis/hit_ratio_curve.h"
+#include "trace/trace.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Sizing recommendation. */
+struct ProvisioningPlan
+{
+    /** Smallest memory achieving the target hit ratio, MB. */
+    MemMb target_size_mb = 0;
+
+    /** Hit ratio actually achieved at target_size_mb. */
+    double achieved_hit_ratio = 0.0;
+
+    /** Knee (inflection point) of the hit-ratio curve, MB. */
+    MemMb knee_size_mb = 0;
+
+    /** Hit ratio at the knee. */
+    double knee_hit_ratio = 0.0;
+
+    /** Largest achievable (compulsory-miss-limited) hit ratio. */
+    double max_hit_ratio = 0.0;
+};
+
+/** Hit-ratio-curve based static sizing. */
+class StaticProvisioner
+{
+  public:
+    /** @param curve Workload hit-ratio curve (copied). */
+    explicit StaticProvisioner(HitRatioCurve curve);
+
+    /** Build the curve from a trace's reuse distances, then provision. */
+    static StaticProvisioner fromTrace(const Trace& trace);
+
+    /**
+     * Produce a plan.
+     * @param target_hit_ratio Desired warm-start fraction (e.g. 0.90).
+     * @param max_size_mb      Upper bound for the knee search.
+     */
+    ProvisioningPlan plan(double target_hit_ratio, MemMb max_size_mb) const;
+
+    const HitRatioCurve& curve() const { return curve_; }
+
+  private:
+    HitRatioCurve curve_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PROVISIONING_STATIC_PROVISIONER_H_

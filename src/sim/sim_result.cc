@@ -1,0 +1,51 @@
+#include "sim/sim_result.h"
+
+namespace faascache {
+
+double
+SimResult::coldStartFraction() const
+{
+    const std::int64_t n = served();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(cold_starts) / static_cast<double>(n);
+}
+
+double
+SimResult::execTimeIncreasePercent() const
+{
+    if (baseline_exec_us <= 0)
+        return 0.0;
+    return 100.0 *
+        static_cast<double>(actual_exec_us - baseline_exec_us) /
+        static_cast<double>(baseline_exec_us);
+}
+
+double
+SimResult::dropFraction() const
+{
+    const std::int64_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(dropped) / static_cast<double>(n);
+}
+
+MemMb
+SimResult::meanMemoryUsage() const
+{
+    if (memory_usage.empty())
+        return 0.0;
+    if (memory_usage.size() == 1)
+        return memory_usage.front().used_mb;
+    double weighted = 0.0;
+    double span = 0.0;
+    for (std::size_t i = 0; i + 1 < memory_usage.size(); ++i) {
+        const double dt = static_cast<double>(memory_usage[i + 1].time_us -
+                                              memory_usage[i].time_us);
+        weighted += memory_usage[i].used_mb * dt;
+        span += dt;
+    }
+    return span > 0 ? weighted / span : memory_usage.front().used_mb;
+}
+
+}  // namespace faascache

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Accounting produced by the keep-alive simulator: warm/cold/dropped
+ * counts, execution-time inflation, and a memory-usage timeline. These
+ * are the metrics behind the paper's Figures 3, 5, 6, and 9.
+ */
+#ifndef FAASCACHE_SIM_SIM_RESULT_H_
+#define FAASCACHE_SIM_SIM_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** How one invocation was served. */
+enum class Outcome
+{
+    Warm,     ///< served by an existing warm container (cache hit)
+    Cold,     ///< a new container had to be created and initialized
+    Dropped,  ///< no memory could be freed; the request was rejected
+};
+
+/** Per-function outcome counts. */
+struct FunctionOutcome
+{
+    std::int64_t warm = 0;
+    std::int64_t cold = 0;
+    std::int64_t dropped = 0;
+
+    std::int64_t served() const { return warm + cold; }
+};
+
+/** One sample of the pool's memory consumption. */
+struct MemorySample
+{
+    TimeUs time_us = 0;
+    MemMb used_mb = 0;
+};
+
+/** Full simulation outcome. */
+struct SimResult
+{
+    std::string policy_name;
+    MemMb memory_mb = 0;
+
+    std::int64_t warm_starts = 0;
+    std::int64_t cold_starts = 0;
+    std::int64_t dropped = 0;
+    std::int64_t evictions = 0;
+    std::int64_t expirations = 0;
+    std::int64_t prewarms = 0;
+
+    /** Times the policy's victim-selection slow path ran on the
+     *  invocation critical path (demand evictions). */
+    std::int64_t eviction_rounds = 0;
+
+    /** Containers terminated by the background reclaimer (also counted
+     *  in `evictions`). */
+    std::int64_t background_reclaims = 0;
+
+    /** Sum of actual execution times of served invocations. */
+    TimeUs actual_exec_us = 0;
+
+    /** Sum of warm execution times of served invocations (the ideal). */
+    TimeUs baseline_exec_us = 0;
+
+    /** Per-function breakdown, indexed by FunctionId. */
+    std::vector<FunctionOutcome> per_function;
+
+    /** Sampled pool memory usage over time. */
+    std::vector<MemorySample> memory_usage;
+
+    std::int64_t served() const { return warm_starts + cold_starts; }
+    std::int64_t total() const { return served() + dropped; }
+
+    /** Fraction of served invocations that cold-started, in [0, 1]. */
+    double coldStartFraction() const;
+
+    /** Percent of served invocations that cold-started (Figure 6). */
+    double coldStartPercent() const { return coldStartFraction() * 100.0; }
+
+    /**
+     * Percent increase in total execution time caused by cold starts,
+     * relative to an all-warm execution (Figure 5).
+     */
+    double execTimeIncreasePercent() const;
+
+    /** Fraction of all requests that were dropped. */
+    double dropFraction() const;
+
+    /** Time-weighted mean of the sampled memory usage, MB. */
+    MemMb meanMemoryUsage() const;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_SIM_SIM_RESULT_H_

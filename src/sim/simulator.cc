@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace faascache {
+
+Simulator::Simulator(const Trace& trace,
+                     std::unique_ptr<KeepAlivePolicy> policy,
+                     SimulatorConfig config)
+    : trace_(trace), policy_(std::move(policy)), config_(config),
+      pool_(config.memory_mb)
+{
+    if (!policy_)
+        throw std::invalid_argument("Simulator: null policy");
+    if (!trace_.validate())
+        throw std::invalid_argument("Simulator: invalid trace");
+    if (!trace_.isSorted())
+        throw std::invalid_argument("Simulator: trace not sorted");
+    result_.policy_name = policy_->name();
+    result_.memory_mb = config_.memory_mb;
+    result_.per_function.resize(trace_.functions().size());
+    if (config_.memory_sample_interval_us > 0)
+        next_sample_us_ = 0;
+}
+
+TimeUs
+Simulator::nextArrival() const
+{
+    assert(!done());
+    return trace_.invocations()[next_invocation_].arrival_us;
+}
+
+void
+Simulator::sampleMemory(TimeUs t)
+{
+    if (config_.memory_sample_interval_us <= 0)
+        return;
+    while (next_sample_us_ <= t) {
+        result_.memory_usage.push_back(
+            MemorySample{next_sample_us_, pool_.usedMb()});
+        next_sample_us_ += config_.memory_sample_interval_us;
+    }
+}
+
+void
+Simulator::evict(ContainerId id, TimeUs t, bool expired)
+{
+    Container* c = pool_.get(id);
+    assert(c != nullptr);
+    assert(c->idle());
+    const bool last = pool_.countOf(c->function()) == 1;
+    policy_->onEviction(*c, last, t);
+    pool_.remove(id);
+    if (expired)
+        ++result_.expirations;
+    else
+        ++result_.evictions;
+}
+
+void
+Simulator::advanceTo(TimeUs t)
+{
+    sampleMemory(t);
+    pool_.releaseFinished(t);
+
+    // Expire leases before performing prewarms: a container released at
+    // its expiry must not satisfy the skip-if-already-warm check of a
+    // prewarm scheduled for a later instant.
+    for (ContainerId id : policy_->expiredContainers(pool_, t))
+        evict(id, t, /*expired=*/true);
+
+    // Background reclamation keeps a free-memory reserve so demand
+    // evictions stay off the invocation fast path (§6 future work).
+    if (config_.background_reclaim_interval_us > 0) {
+        while (next_reclaim_us_ <= t) {
+            const TimeUs when = next_reclaim_us_;
+            next_reclaim_us_ += config_.background_reclaim_interval_us;
+            const MemMb deficit =
+                config_.background_free_target_mb - pool_.freeMb();
+            if (deficit <= 0)
+                continue;
+            for (ContainerId id :
+                 policy_->selectVictims(pool_, deficit, when)) {
+                evict(id, when, /*expired=*/false);
+                ++result_.background_reclaims;
+            }
+        }
+    }
+
+    if (config_.enable_prewarm) {
+        for (FunctionId fn : policy_->duePrewarms(t)) {
+            const FunctionSpec& spec = trace_.function(fn);
+            // Skip speculative prewarms when a warm container already
+            // exists or memory is unavailable; prewarming never evicts.
+            if (pool_.findIdleWarm(fn) != nullptr)
+                continue;
+            if (!pool_.fits(spec.mem_mb))
+                continue;
+            Container& c = pool_.add(spec, t, /*prewarmed=*/true);
+            policy_->onPrewarm(c, spec, t);
+            ++result_.prewarms;
+        }
+    } else {
+        policy_->duePrewarms(t);  // drain the schedule regardless
+    }
+}
+
+void
+Simulator::step()
+{
+    assert(!done());
+    const Invocation& inv = trace_.invocations()[next_invocation_++];
+    const FunctionSpec& spec = trace_.function(inv.function);
+    now_ = inv.arrival_us;
+    advanceTo(now_);
+
+    policy_->onInvocationArrival(spec, now_);
+    FunctionOutcome& outcome = result_.per_function[spec.id];
+
+    if (Container* warm = pool_.findIdleWarm(spec.id)) {
+        warm->startInvocation(now_, now_ + spec.warm_us);
+        policy_->onWarmStart(*warm, spec, now_);
+        ++result_.warm_starts;
+        ++outcome.warm;
+        result_.actual_exec_us += spec.warm_us;
+        result_.baseline_exec_us += spec.warm_us;
+        return;
+    }
+
+    // Cold path: make room if needed.
+    if (!pool_.fits(spec.mem_mb)) {
+        const MemMb needed = spec.mem_mb - pool_.freeMb();
+        ++result_.eviction_rounds;
+        const auto victims = policy_->selectVictims(pool_, needed, now_);
+        MemMb freed = 0;
+        for (ContainerId id : victims) {
+            const Container* c = pool_.get(id);
+            assert(c != nullptr && c->idle());
+            freed += c->memMb();
+        }
+        if (pool_.freeMb() + freed < spec.mem_mb) {
+            // Even the policy's best effort cannot make room: the pool
+            // is dominated by running containers. Drop the request and
+            // spare the victims.
+            ++result_.dropped;
+            ++outcome.dropped;
+            return;
+        }
+        for (ContainerId id : victims)
+            evict(id, now_, /*expired=*/false);
+    }
+
+    Container& fresh = pool_.add(spec, now_);
+    fresh.startInvocation(now_, now_ + spec.cold_us);
+    policy_->onColdStart(fresh, spec, now_);
+    ++result_.cold_starts;
+    ++outcome.cold;
+    result_.actual_exec_us += spec.cold_us;
+    result_.baseline_exec_us += spec.warm_us;
+}
+
+SimResult
+Simulator::run()
+{
+    while (!done())
+        step();
+    sampleMemory(now_);
+    return result_;
+}
+
+void
+Simulator::resize(MemMb new_capacity_mb)
+{
+    if (new_capacity_mb <= 0)
+        throw std::invalid_argument("Simulator::resize: capacity must be > 0");
+    pool_.setCapacityMb(new_capacity_mb);
+    result_.memory_mb = new_capacity_mb;
+    if (pool_.usedMb() <= new_capacity_mb)
+        return;
+    // Cascade deflation: shrink the keep-alive pool first by evicting
+    // idle containers; busy containers are allowed to linger over
+    // capacity until they finish.
+    const MemMb excess = pool_.usedMb() - new_capacity_mb;
+    const auto victims = policy_->selectVictims(pool_, excess, now_);
+    for (ContainerId id : victims) {
+        if (pool_.usedMb() <= new_capacity_mb)
+            break;
+        evict(id, now_, /*expired=*/false);
+    }
+}
+
+SimResult
+simulateTrace(const Trace& trace, std::unique_ptr<KeepAlivePolicy> policy,
+              const SimulatorConfig& config)
+{
+    Simulator sim(trace, std::move(policy), config);
+    return sim.run();
+}
+
+}  // namespace faascache

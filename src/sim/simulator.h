@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The trace-driven keep-alive simulator (paper §6, "Keep-alive
+ * Simulator"), a C++ reimplementation of the paper's Python
+ * discrete-event simulator.
+ *
+ * For each invocation, in arrival order:
+ *  1. running containers whose invocations completed become idle;
+ *  2. prewarms requested by the policy (HIST) are performed if memory
+ *     allows and no idle warm container already exists;
+ *  3. containers whose keep-alive lease expired are terminated;
+ *  4. the policy is notified of the arrival;
+ *  5. a warm idle container, if any, serves the invocation (warm start);
+ *     otherwise the policy selects idle victims to free memory and a new
+ *     container cold-starts; if even evicting every idle container
+ *     cannot make room, the request is dropped.
+ *
+ * The simulator exposes a step API plus capacity resizing so the elastic
+ * provisioning controller (§5.2) can drive it period by period.
+ */
+#ifndef FAASCACHE_SIM_SIMULATOR_H_
+#define FAASCACHE_SIM_SIMULATOR_H_
+
+#include <memory>
+
+#include "core/container_pool.h"
+#include "core/keepalive_policy.h"
+#include "sim/sim_result.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Simulator knobs. */
+struct SimulatorConfig
+{
+    /** Keep-alive cache (container pool) capacity, MB. */
+    MemMb memory_mb = 32 * 1024.0;
+
+    /** Interval between memory-usage samples; 0 disables sampling. */
+    TimeUs memory_sample_interval_us = kMinute;
+
+    /** Honor policy prewarm requests (HIST). */
+    bool enable_prewarm = true;
+
+    /**
+     * Background reclamation (paper §6 future work: a kswapd-like
+     * thread that keeps free memory above a threshold so eviction moves
+     * off the invocation critical path). 0 disables it.
+     */
+    TimeUs background_reclaim_interval_us = 0;
+
+    /** Free-memory target the background reclaimer maintains, MB. */
+    MemMb background_free_target_mb = 1000.0;
+};
+
+/** Trace-driven keep-alive simulator. */
+class Simulator
+{
+  public:
+    /**
+     * @param trace  Workload to replay; must be sorted and valid.
+     * @param policy Keep-alive policy under test (owned).
+     * @param config Simulator knobs.
+     */
+    Simulator(const Trace& trace, std::unique_ptr<KeepAlivePolicy> policy,
+              SimulatorConfig config);
+
+    /** Replay the remaining trace to completion and return the result. */
+    SimResult run();
+
+    /** Process the next invocation. @pre !done(). */
+    void step();
+
+    /** Whether the whole trace has been replayed. */
+    bool done() const { return next_invocation_ >= trace_.invocations().size(); }
+
+    /** Arrival time of the last processed invocation (0 initially). */
+    TimeUs now() const { return now_; }
+
+    /** Arrival time of the next invocation. @pre !done(). */
+    TimeUs nextArrival() const;
+
+    /**
+     * Elastic vertical scaling: change the pool capacity. Shrinking
+     * first evicts idle containers (cascade deflation); busy containers
+     * may keep the pool transiently over capacity.
+     */
+    void resize(MemMb new_capacity_mb);
+
+    /** Results accumulated so far (running totals). */
+    const SimResult& result() const { return result_; }
+
+    const ContainerPool& pool() const { return pool_; }
+    const KeepAlivePolicy& policy() const { return *policy_; }
+
+  private:
+    /** Advance housekeeping (release, prewarm, expire) to time t. */
+    void advanceTo(TimeUs t);
+
+    /** Terminate a container and notify the policy. */
+    void evict(ContainerId id, TimeUs t, bool expired);
+
+    /** Record memory-usage samples up to time t. */
+    void sampleMemory(TimeUs t);
+
+    const Trace& trace_;
+    std::unique_ptr<KeepAlivePolicy> policy_;
+    SimulatorConfig config_;
+    ContainerPool pool_;
+    SimResult result_;
+
+    std::size_t next_invocation_ = 0;
+    TimeUs now_ = 0;
+    TimeUs next_sample_us_ = 0;
+    TimeUs next_reclaim_us_ = 0;
+};
+
+/** Convenience: construct, run, and return the result. */
+SimResult simulateTrace(const Trace& trace,
+                        std::unique_ptr<KeepAlivePolicy> policy,
+                        const SimulatorConfig& config);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_SIM_SIMULATOR_H_

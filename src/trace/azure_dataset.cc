@@ -1,0 +1,236 @@
+#include "trace/azure_dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace faascache {
+
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+[[noreturn]] void
+malformed(const std::string& what)
+{
+    throw std::runtime_error("adaptAzureDataset: " + what);
+}
+
+/** Index of a named column in the header row. */
+std::size_t
+columnOf(const std::vector<std::string>& header, const std::string& name)
+{
+    const auto it = std::find(header.begin(), header.end(), name);
+    if (it == header.end())
+        malformed("missing column '" + name + "'");
+    return static_cast<std::size_t>(it - header.begin());
+}
+
+double
+toDouble(const std::string& field, const char* context)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(field, &pos);
+        if (pos != field.size())
+            throw std::invalid_argument(field);
+        return v;
+    } catch (const std::exception&) {
+        malformed(std::string("bad number in ") + context + ": '" + field +
+                  "'");
+    }
+}
+
+struct DurationInfo
+{
+    TimeUs warm_us;
+    TimeUs cold_us;
+};
+
+}  // namespace
+
+AzureDatasetResult
+adaptAzureDataset(const AzureDatasetCsv& csv,
+                  const AzureDatasetOptions& options)
+{
+    const Rows invocations = parseCsv(csv.invocations);
+    const Rows durations = parseCsv(csv.durations);
+    const Rows memory = parseCsv(csv.memory);
+    if (invocations.empty() || durations.empty() || memory.empty())
+        malformed("one of the dataset files is empty");
+
+    // --- Durations: (owner|app|function) -> warm/cold times. The
+    // dataset reports averages and maxima in milliseconds; cold-start
+    // overhead is estimated as max - average (paper §7).
+    std::unordered_map<std::string, DurationInfo> duration_of;
+    {
+        const auto& header = durations.front();
+        const std::size_t owner = columnOf(header, "HashOwner");
+        const std::size_t app = columnOf(header, "HashApp");
+        const std::size_t function = columnOf(header, "HashFunction");
+        const std::size_t average = columnOf(header, "Average");
+        const std::size_t maximum = columnOf(header, "Maximum");
+        for (std::size_t i = 1; i < durations.size(); ++i) {
+            const auto& row = durations[i];
+            if (row.size() <= std::max({owner, app, function, average,
+                                        maximum})) {
+                malformed("short duration row");
+            }
+            const double avg_ms = toDouble(row[average], "durations");
+            const double max_ms = toDouble(row[maximum], "durations");
+            DurationInfo info;
+            info.warm_us = std::max<TimeUs>(kMillisecond,
+                                            fromMillis(avg_ms));
+            info.cold_us = info.warm_us +
+                std::max<TimeUs>(0, fromMillis(max_ms - avg_ms));
+            duration_of[row[owner] + "|" + row[app] + "|" + row[function]] =
+                info;
+        }
+    }
+
+    // --- Memory: (owner|app) -> average allocated MB for the app.
+    std::unordered_map<std::string, double> app_memory;
+    {
+        const auto& header = memory.front();
+        const std::size_t owner = columnOf(header, "HashOwner");
+        const std::size_t app = columnOf(header, "HashApp");
+        const std::size_t avg_mb = columnOf(header, "AverageAllocatedMb");
+        for (std::size_t i = 1; i < memory.size(); ++i) {
+            const auto& row = memory[i];
+            if (row.size() <= std::max({owner, app, avg_mb}))
+                malformed("short memory row");
+            app_memory[row[owner] + "|" + row[app]] =
+                toDouble(row[avg_mb], "memory");
+        }
+    }
+
+    // --- Invocations: per function, 1440 minute buckets. First pass
+    // counts the functions per app (to split the app memory), second
+    // pass emits the trace.
+    const auto& header = invocations.front();
+    const std::size_t owner = columnOf(header, "HashOwner");
+    const std::size_t app = columnOf(header, "HashApp");
+    const std::size_t function = columnOf(header, "HashFunction");
+    std::size_t first_minute = 0;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == "1") {
+            first_minute = i;
+            break;
+        }
+    }
+    if (first_minute == 0)
+        malformed("invocation file has no minute columns");
+
+    std::unordered_map<std::string, std::size_t> functions_per_app;
+    for (std::size_t i = 1; i < invocations.size(); ++i) {
+        const auto& row = invocations[i];
+        if (row.size() <= first_minute)
+            malformed("short invocation row");
+        ++functions_per_app[row[owner] + "|" + row[app]];
+    }
+
+    AzureDatasetResult result;
+    result.trace.setName(options.name);
+    for (std::size_t i = 1; i < invocations.size(); ++i) {
+        const auto& row = invocations[i];
+        const std::string app_key = row[owner] + "|" + row[app];
+        const std::string fn_key = app_key + "|" + row[function];
+
+        const auto duration_it = duration_of.find(fn_key);
+        if (duration_it == duration_of.end()) {
+            ++result.skipped_no_duration;
+            continue;
+        }
+        const auto memory_it = app_memory.find(app_key);
+        if (memory_it == app_memory.end()) {
+            ++result.skipped_no_memory;
+            continue;
+        }
+
+        // Per-minute counts and total.
+        std::vector<std::int64_t> counts;
+        counts.reserve(row.size() - first_minute);
+        std::int64_t total = 0;
+        for (std::size_t m = first_minute; m < row.size(); ++m) {
+            const auto count = static_cast<std::int64_t>(
+                toDouble(row[m], "invocations"));
+            counts.push_back(count);
+            total += count;
+        }
+        if (total < static_cast<std::int64_t>(options.min_invocations)) {
+            ++result.dropped_rare;
+            continue;
+        }
+
+        // Memory: the app allocation split evenly across its functions.
+        const double mem_mb = std::max(
+            1.0, memory_it->second /
+                static_cast<double>(functions_per_app[app_key]));
+
+        FunctionSpec spec;
+        spec.id = static_cast<FunctionId>(result.trace.functions().size());
+        spec.name = fn_key;
+        spec.mem_mb = mem_mb;
+        spec.warm_us = duration_it->second.warm_us;
+        spec.cold_us = duration_it->second.cold_us;
+        result.trace.addFunction(std::move(spec));
+        const FunctionId id =
+            static_cast<FunctionId>(result.trace.functions().size() - 1);
+
+        for (std::size_t m = 0; m < counts.size(); ++m) {
+            const std::int64_t count = counts[m];
+            if (count <= 0)
+                continue;
+            const TimeUs bucket_start =
+                static_cast<TimeUs>(m) * kMinute;
+            if (count == 1) {
+                result.trace.addInvocation(id, bucket_start);
+                continue;
+            }
+            const TimeUs spacing = kMinute / count;
+            for (std::int64_t k = 0; k < count; ++k) {
+                result.trace.addInvocation(id,
+                                           bucket_start + k * spacing);
+            }
+        }
+    }
+    result.trace.sortInvocations();
+    if (!result.trace.validate())
+        malformed("adapted trace failed validation");
+    return result;
+}
+
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("loadAzureDataset: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+}  // namespace
+
+AzureDatasetResult
+loadAzureDataset(const std::string& invocations_path,
+                 const std::string& durations_path,
+                 const std::string& memory_path,
+                 const AzureDatasetOptions& options)
+{
+    AzureDatasetCsv csv;
+    csv.invocations = readFile(invocations_path);
+    csv.durations = readFile(durations_path);
+    csv.memory = readFile(memory_path);
+    return adaptAzureDataset(csv, options);
+}
+
+}  // namespace faascache

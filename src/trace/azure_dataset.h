@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Adapter for the real Azure Functions 2019 dataset
+ * (AzureFunctionsDataset2019), implementing the paper's §7
+ * pre-processing ("Adapting the Azure Functions Trace"):
+ *
+ *  - application-level memory is split evenly across the application's
+ *    functions;
+ *  - the cold-start overhead of a function is estimated as its maximum
+ *    minus its average duration;
+ *  - per-minute invocation counts are replayed with one invocation at
+ *    the start of a minute bucket, or evenly spaced when a bucket holds
+ *    several;
+ *  - functions invoked fewer than two times are dropped.
+ *
+ * The dataset itself is not redistributable; this adapter consumes the
+ * three published CSV files (invocations per function, function
+ * duration percentiles, app memory percentiles). The synthetic
+ * generator in azure_model.h is the drop-in replacement when the
+ * dataset is unavailable.
+ */
+#ifndef FAASCACHE_TRACE_AZURE_DATASET_H_
+#define FAASCACHE_TRACE_AZURE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Raw CSV contents of the three dataset files (one day each). */
+struct AzureDatasetCsv
+{
+    /** invocations_per_function_md.anon.dXX.csv */
+    std::string invocations;
+
+    /** function_durations_percentiles.anon.dXX.csv */
+    std::string durations;
+
+    /** app_memory_percentiles.anon.dXX.csv */
+    std::string memory;
+};
+
+/** Adaptation knobs. */
+struct AzureDatasetOptions
+{
+    /** Functions with fewer invocations than this are dropped. */
+    std::size_t min_invocations = 2;
+
+    /** Name given to the resulting trace. */
+    std::string name = "azure-2019";
+};
+
+/** Outcome of the adaptation, with bookkeeping about skipped rows. */
+struct AzureDatasetResult
+{
+    Trace trace;
+
+    /** Functions present in the invocation file but lacking a duration
+     *  row (skipped). */
+    std::size_t skipped_no_duration = 0;
+
+    /** Functions whose application has no memory row (skipped). */
+    std::size_t skipped_no_memory = 0;
+
+    /** Functions dropped for having < min_invocations invocations. */
+    std::size_t dropped_rare = 0;
+};
+
+/**
+ * Run the paper's adaptation over in-memory CSV contents.
+ * @throws std::runtime_error on malformed headers or rows.
+ */
+AzureDatasetResult adaptAzureDataset(const AzureDatasetCsv& csv,
+                                     const AzureDatasetOptions& options = {});
+
+/**
+ * Convenience: read the three files from disk and adapt.
+ * @throws std::runtime_error on I/O failure or malformed content.
+ */
+AzureDatasetResult loadAzureDataset(const std::string& invocations_path,
+                                    const std::string& durations_path,
+                                    const std::string& memory_path,
+                                    const AzureDatasetOptions& options = {});
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_AZURE_DATASET_H_

@@ -1,0 +1,115 @@
+#include "trace/azure_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace faascache {
+
+double
+diurnalMultiplier(TimeUs t, double peak_to_mean, TimeUs period_us)
+{
+    if (peak_to_mean <= 1.0 || period_us <= 0)
+        return 1.0;
+    const double amplitude = peak_to_mean - 1.0;
+    const double phase = 2.0 * std::numbers::pi *
+        static_cast<double>(t % period_us) / static_cast<double>(period_us);
+    // Peak at the middle of the period.
+    return std::max(0.0, 1.0 - amplitude * std::cos(phase));
+}
+
+Trace
+generateAzureTrace(const AzureModelConfig& config)
+{
+    Rng rng(config.seed);
+    Trace population(config.name);
+
+    struct FunctionModel
+    {
+        double rate_per_sec;
+    };
+    std::vector<FunctionModel> models;
+    models.reserve(config.num_functions);
+
+    const double ln = std::numbers::ln10;  // unused guard against ln() typo
+    (void)ln;
+
+    for (std::size_t i = 0; i < config.num_functions; ++i) {
+        const double iat_sec = rng.lognormal(std::log(config.iat_median_sec),
+                                             config.iat_sigma);
+        const double rate = std::min(config.max_rate_per_sec, 1.0 / iat_sec);
+
+        double mem = rng.lognormal(std::log(config.mem_median_mb),
+                                   config.mem_sigma);
+        mem = std::clamp(mem, config.mem_min_mb, config.mem_max_mb);
+        mem = std::max(1.0, std::round(mem));
+
+        double warm_ms = rng.lognormal(std::log(config.warm_median_ms),
+                                       config.warm_sigma);
+        warm_ms = std::clamp(warm_ms, config.warm_min_ms, config.warm_max_ms);
+        // Keep heavy hitters short (per-function utilization cap).
+        const double max_warm_ms =
+            config.max_utilization * 1000.0 / rate;
+        warm_ms = std::max(config.warm_min_ms,
+                           std::min(warm_ms, max_warm_ms));
+
+        double ratio = rng.lognormal(std::log(config.init_ratio_median),
+                                     config.init_ratio_sigma);
+        ratio = std::clamp(ratio, config.init_ratio_min,
+                           config.init_ratio_max);
+
+        const auto id = static_cast<FunctionId>(i);
+        population.addFunction(makeFunction(
+            id, "fn-" + std::to_string(i), mem, fromMillis(warm_ms),
+            fromMillis(warm_ms * ratio)));
+        models.push_back(FunctionModel{rate});
+    }
+
+    // Emit invocations minute bucket by minute bucket, per function, using
+    // the paper's replay rule.
+    const auto num_minutes = static_cast<std::int64_t>(
+        (config.duration_us + kMinute - 1) / kMinute);
+    for (std::size_t i = 0; i < config.num_functions; ++i) {
+        Rng fn_rng = rng.split();
+        for (std::int64_t minute = 0; minute < num_minutes; ++minute) {
+            const TimeUs bucket_start = minute * kMinute;
+            double rate_per_min = models[i].rate_per_sec * 60.0;
+            if (config.diurnal) {
+                rate_per_min *= diurnalMultiplier(bucket_start,
+                                                  config.diurnal_peak_to_mean,
+                                                  config.diurnal_period_us);
+            }
+            const std::int64_t count = fn_rng.poisson(rate_per_min);
+            if (count <= 0)
+                continue;
+            if (count == 1) {
+                population.addInvocation(static_cast<FunctionId>(i),
+                                         bucket_start);
+                continue;
+            }
+            const TimeUs spacing = kMinute / count;
+            for (std::int64_t k = 0; k < count; ++k) {
+                population.addInvocation(static_cast<FunctionId>(i),
+                                         bucket_start + k * spacing);
+            }
+        }
+    }
+    population.sortInvocations();
+
+    if (!config.drop_single_invocation_functions)
+        return population;
+
+    const auto counts = population.invocationCounts();
+    std::vector<FunctionId> keep;
+    keep.reserve(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] >= 2)
+            keep.push_back(static_cast<FunctionId>(i));
+    }
+    return population.subset(keep, config.name);
+}
+
+}  // namespace faascache

@@ -1,0 +1,100 @@
+#include "trace/patterns.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace faascache {
+
+namespace {
+
+Trace
+catalogOnly(const std::vector<FunctionSpec>& specs, std::string name)
+{
+    Trace trace(std::move(name));
+    for (const auto& spec : specs) {
+        assert(spec.id == trace.functions().size());
+        trace.addFunction(spec);
+    }
+    return trace;
+}
+
+}  // namespace
+
+Trace
+makePeriodicTrace(const std::vector<FunctionSpec>& specs,
+                  const std::vector<TimeUs>& iats_us, TimeUs duration_us,
+                  std::string name)
+{
+    assert(specs.size() == iats_us.size());
+    Trace trace = catalogOnly(specs, std::move(name));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        assert(iats_us[i] > 0);
+        const TimeUs phase = static_cast<TimeUs>(i) * kMillisecond;
+        for (TimeUs t = phase; t < duration_us; t += iats_us[i])
+            trace.addInvocation(static_cast<FunctionId>(i), t);
+    }
+    trace.sortInvocations();
+    return trace;
+}
+
+Trace
+makePoissonTrace(const std::vector<FunctionSpec>& specs,
+                 const std::vector<TimeUs>& iats_us, TimeUs duration_us,
+                 std::uint64_t seed, std::string name)
+{
+    assert(specs.size() == iats_us.size());
+    Trace trace = catalogOnly(specs, std::move(name));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        assert(iats_us[i] > 0);
+        Rng fn_rng = rng.split();
+        const double mean = static_cast<double>(iats_us[i]);
+        TimeUs t = static_cast<TimeUs>(fn_rng.exponential(mean));
+        while (t < duration_us) {
+            trace.addInvocation(static_cast<FunctionId>(i), t);
+            t += static_cast<TimeUs>(fn_rng.exponential(mean));
+        }
+    }
+    trace.sortInvocations();
+    return trace;
+}
+
+Trace
+makeCyclicTrace(const std::vector<FunctionSpec>& specs, TimeUs gap_us,
+                TimeUs duration_us, std::string name)
+{
+    assert(gap_us > 0);
+    assert(!specs.empty());
+    Trace trace = catalogOnly(specs, std::move(name));
+    std::size_t next = 0;
+    for (TimeUs t = 0; t < duration_us; t += gap_us) {
+        trace.addInvocation(static_cast<FunctionId>(next), t);
+        next = (next + 1) % specs.size();
+    }
+    return trace;
+}
+
+Trace
+makeSkewedSizeTrace(const std::vector<FunctionSpec>& specs,
+                    TimeUs small_iat_us, TimeUs large_iat_us,
+                    TimeUs duration_us, std::string name)
+{
+    assert(!specs.empty());
+    std::vector<MemMb> sizes;
+    sizes.reserve(specs.size());
+    for (const auto& spec : specs)
+        sizes.push_back(spec.mem_mb);
+    std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2,
+                     sizes.end());
+    const MemMb median = sizes[sizes.size() / 2];
+
+    std::vector<TimeUs> iats;
+    iats.reserve(specs.size());
+    for (const auto& spec : specs)
+        iats.push_back(spec.mem_mb < median ? small_iat_us : large_iat_us);
+    return makePeriodicTrace(specs, iats, duration_us, std::move(name));
+}
+
+}  // namespace faascache

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic workload patterns used in the paper's OpenWhisk
+ * experiments (§7.2, Figures 7 and 8): skewed-frequency, cyclic, and
+ * skewed-size access patterns over a small catalog of functions.
+ */
+#ifndef FAASCACHE_TRACE_PATTERNS_H_
+#define FAASCACHE_TRACE_PATTERNS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace faascache {
+
+/**
+ * Each function i is invoked periodically with its own inter-arrival
+ * time; function i's stream is phase-shifted by i milliseconds so that
+ * simultaneous arrivals are rare but the trace stays deterministic.
+ *
+ * @param specs        Function catalog (ids must be dense from 0).
+ * @param iats_us      Per-function inter-arrival time; size must match.
+ * @param duration_us  Trace length.
+ */
+Trace makePeriodicTrace(const std::vector<FunctionSpec>& specs,
+                        const std::vector<TimeUs>& iats_us,
+                        TimeUs duration_us, std::string name);
+
+/**
+ * Poisson arrivals: each function i receives an independent Poisson
+ * stream with mean inter-arrival time iats_us[i] (exponential gaps).
+ * Deterministic in `seed`. This is the jittered counterpart of
+ * makePeriodicTrace, matching open-loop web traffic.
+ */
+Trace makePoissonTrace(const std::vector<FunctionSpec>& specs,
+                       const std::vector<TimeUs>& iats_us,
+                       TimeUs duration_us, std::uint64_t seed,
+                       std::string name);
+
+/**
+ * Round-robin (cyclic) pattern: invocations visit functions
+ * 0, 1, ..., n-1, 0, 1, ... with a fixed gap between consecutive
+ * invocations. This is the classic LRU-adversarial sequence.
+ */
+Trace makeCyclicTrace(const std::vector<FunctionSpec>& specs,
+                      TimeUs gap_us, TimeUs duration_us, std::string name);
+
+/**
+ * Skewed-size pattern: functions are split into small/large classes by
+ * the median memory size; small functions fire with `small_iat_us`,
+ * large ones with `large_iat_us`.
+ */
+Trace makeSkewedSizeTrace(const std::vector<FunctionSpec>& specs,
+                          TimeUs small_iat_us, TimeUs large_iat_us,
+                          TimeUs duration_us, std::string name);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_PATTERNS_H_

@@ -1,0 +1,89 @@
+#include "trace/samplers.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace faascache {
+
+namespace {
+
+/** Function ids sorted ascending by invocation count (ties by id). */
+std::vector<FunctionId>
+idsByFrequency(const Trace& population)
+{
+    const auto counts = population.invocationCounts();
+    std::vector<FunctionId> ids(counts.size());
+    std::iota(ids.begin(), ids.end(), FunctionId{0});
+    std::stable_sort(ids.begin(), ids.end(),
+                     [&](FunctionId a, FunctionId b) {
+                         return counts[a] < counts[b];
+                     });
+    return ids;
+}
+
+/** Pick `count` elements of `candidates` uniformly without replacement. */
+std::vector<FunctionId>
+pickRandom(const std::vector<FunctionId>& candidates, std::size_t count,
+           Rng& rng)
+{
+    std::vector<FunctionId> out;
+    if (candidates.empty())
+        return out;
+    count = std::min(count, candidates.size());
+    const auto perm = rng.permutation(candidates.size());
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(candidates[perm[i]]);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace
+
+Trace
+sampleRare(const Trace& population, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto ids = idsByFrequency(population);
+    // Restrict to the rarest half (at least `count` candidates).
+    const std::size_t half = std::max(count, ids.size() / 2);
+    ids.resize(std::min(ids.size(), half));
+    return population.subset(pickRandom(ids, count, rng), "rare");
+}
+
+Trace
+sampleRepresentative(const Trace& population, std::size_t count,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto ids = idsByFrequency(population);
+    std::vector<FunctionId> chosen;
+    const std::size_t per_quartile = count / 4;
+    for (int q = 0; q < 4; ++q) {
+        const std::size_t begin = ids.size() * q / 4;
+        const std::size_t end = ids.size() * (q + 1) / 4;
+        std::vector<FunctionId> quartile(ids.begin() + begin,
+                                         ids.begin() + end);
+        // Give the remainder of count/4 to the top quartile.
+        const std::size_t want =
+            q == 3 ? count - 3 * per_quartile : per_quartile;
+        const auto picked = pickRandom(quartile, want, rng);
+        chosen.insert(chosen.end(), picked.begin(), picked.end());
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return population.subset(chosen, "representative");
+}
+
+Trace
+sampleRandom(const Trace& population, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<FunctionId> ids(population.functions().size());
+    std::iota(ids.begin(), ids.end(), FunctionId{0});
+    return population.subset(pickRandom(ids, count, rng), "random");
+}
+
+}  // namespace faascache

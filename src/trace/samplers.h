@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's three trace-sampling recipes (§7, Table 2):
+ *
+ *  - RARE:           the most infrequently invoked functions — these
+ *                    nearly always cold-start under a 10-minute TTL;
+ *  - REPRESENTATIVE: an equal number of functions from each frequency
+ *                    quartile, preserving workload diversity;
+ *  - RANDOM:         a uniform random sample, which is dominated by
+ *                    infrequent functions because heavy hitters are few.
+ */
+#ifndef FAASCACHE_TRACE_SAMPLERS_H_
+#define FAASCACHE_TRACE_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace faascache {
+
+/**
+ * Sample `count` of the rarest (least frequently invoked) functions.
+ * Draws randomly from the rarest half of the population so repeated
+ * samples differ, like the paper's "random sample of the rarest".
+ */
+Trace sampleRare(const Trace& population, std::size_t count,
+                 std::uint64_t seed);
+
+/**
+ * Sample `count` functions, count/4 from each invocation-frequency
+ * quartile of the population.
+ */
+Trace sampleRepresentative(const Trace& population, std::size_t count,
+                           std::uint64_t seed);
+
+/** Sample `count` functions uniformly at random. */
+Trace sampleRandom(const Trace& population, std::size_t count,
+                   std::uint64_t seed);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_SAMPLERS_H_

@@ -1,0 +1,122 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace faascache {
+
+void
+Trace::addFunction(FunctionSpec spec)
+{
+    assert(spec.id == functions_.size());
+    functions_.push_back(std::move(spec));
+}
+
+void
+Trace::addInvocation(FunctionId function, TimeUs arrival_us)
+{
+    invocations_.push_back(Invocation{function, arrival_us});
+}
+
+const FunctionSpec&
+Trace::function(FunctionId id) const
+{
+    return functions_.at(id);
+}
+
+void
+Trace::sortInvocations()
+{
+    std::stable_sort(invocations_.begin(), invocations_.end(),
+                     [](const Invocation& a, const Invocation& b) {
+                         return a.arrival_us < b.arrival_us;
+                     });
+}
+
+bool
+Trace::isSorted() const
+{
+    return std::is_sorted(invocations_.begin(), invocations_.end(),
+                          [](const Invocation& a, const Invocation& b) {
+                              return a.arrival_us < b.arrival_us;
+                          });
+}
+
+bool
+Trace::validate() const
+{
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+        if (functions_[i].id != i || !functions_[i].valid())
+            return false;
+    }
+    for (const auto& inv : invocations_) {
+        if (inv.function >= functions_.size() || inv.arrival_us < 0)
+            return false;
+    }
+    return true;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats s;
+    s.num_functions = functions_.size();
+    s.num_invocations = invocations_.size();
+    for (const auto& fn : functions_)
+        s.total_unique_mem_mb += fn.mem_mb;
+    if (invocations_.empty())
+        return s;
+    TimeUs first = invocations_.front().arrival_us;
+    TimeUs last = first;
+    for (const auto& inv : invocations_) {
+        first = std::min(first, inv.arrival_us);
+        last = std::max(last, inv.arrival_us);
+    }
+    s.duration_us = last - first;
+    if (s.duration_us > 0) {
+        s.requests_per_sec = static_cast<double>(s.num_invocations) /
+            toSeconds(s.duration_us);
+    }
+    if (s.num_invocations > 1) {
+        s.avg_iat_us = s.duration_us /
+            static_cast<TimeUs>(s.num_invocations - 1);
+    }
+    return s;
+}
+
+std::vector<std::size_t>
+Trace::invocationCounts() const
+{
+    std::vector<std::size_t> counts(functions_.size(), 0);
+    for (const auto& inv : invocations_)
+        ++counts.at(inv.function);
+    return counts;
+}
+
+Trace
+Trace::subset(const std::vector<FunctionId>& keep, std::string name) const
+{
+    Trace out(std::move(name));
+    std::unordered_map<FunctionId, FunctionId> remap;
+    remap.reserve(keep.size());
+    for (FunctionId old_id : keep) {
+        if (old_id >= functions_.size())
+            throw std::out_of_range("Trace::subset: unknown function id");
+        if (remap.count(old_id))
+            continue;
+        FunctionSpec spec = functions_[old_id];
+        spec.id = static_cast<FunctionId>(out.functions_.size());
+        remap[old_id] = spec.id;
+        out.functions_.push_back(std::move(spec));
+    }
+    for (const auto& inv : invocations_) {
+        auto it = remap.find(inv.function);
+        if (it != remap.end())
+            out.invocations_.push_back(Invocation{it->second, inv.arrival_us});
+    }
+    return out;
+}
+
+}  // namespace faascache

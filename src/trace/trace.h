@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A workload trace: a set of functions plus a time-ordered stream of
+ * invocations, mirroring the Azure Functions trace format after the
+ * paper's pre-processing (§7, "Adapting the Azure Functions Trace").
+ */
+#ifndef FAASCACHE_TRACE_TRACE_H_
+#define FAASCACHE_TRACE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/function_spec.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** One function invocation request. */
+struct Invocation
+{
+    FunctionId function = kInvalidFunction;
+    TimeUs arrival_us = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+};
+
+/** Aggregate statistics of a trace (Table 2 of the paper). */
+struct TraceStats
+{
+    std::size_t num_functions = 0;
+    std::size_t num_invocations = 0;
+    TimeUs duration_us = 0;
+    /** Mean arrival rate over the trace duration, requests per second. */
+    double requests_per_sec = 0.0;
+    /** Mean inter-arrival time across consecutive invocations. */
+    TimeUs avg_iat_us = 0;
+    /** Total memory footprint of all unique functions, MB. */
+    MemMb total_unique_mem_mb = 0;
+};
+
+/** A complete workload: function catalog + invocation stream. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param name Label used in bench output. */
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Register a function; its id must equal the current catalog size. */
+    void addFunction(FunctionSpec spec);
+
+    /** Append one invocation (call sortInvocations() when done if the
+     *  stream is not already time-ordered). */
+    void addInvocation(FunctionId function, TimeUs arrival_us);
+
+    const std::vector<FunctionSpec>& functions() const { return functions_; }
+    const std::vector<Invocation>& invocations() const { return invocations_; }
+
+    const FunctionSpec& function(FunctionId id) const;
+
+    /** Stable-sort invocations by arrival time. */
+    void sortInvocations();
+
+    /** True when invocations are non-decreasing in time. */
+    bool isSorted() const;
+
+    /**
+     * True when every invocation references a registered function, all
+     * specs are valid, and ids are dense.
+     */
+    bool validate() const;
+
+    /** Compute Table-2 style statistics. */
+    TraceStats stats() const;
+
+    /** Per-function invocation counts (indexed by FunctionId). */
+    std::vector<std::size_t> invocationCounts() const;
+
+    /**
+     * Build a sub-trace containing only the selected functions (ids are
+     * remapped densely, invocation order preserved, timestamps shifted so
+     * the first retained invocation is at its original time).
+     */
+    Trace subset(const std::vector<FunctionId>& keep, std::string name) const;
+
+  private:
+    std::string name_;
+    std::vector<FunctionSpec> functions_;
+    std::vector<Invocation> invocations_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_TRACE_H_

@@ -1,0 +1,126 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace faascache {
+
+namespace {
+
+[[noreturn]] void
+malformed(const std::string& what)
+{
+    throw std::runtime_error("readTrace: malformed trace: " + what);
+}
+
+std::int64_t
+parseInt(const std::string& s)
+{
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    if (pos != s.size())
+        malformed("bad integer '" + s + "'");
+    return v;
+}
+
+double
+parseDouble(const std::string& s)
+{
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size())
+        malformed("bad number '" + s + "'");
+    return v;
+}
+
+}  // namespace
+
+void
+writeTrace(const Trace& trace, std::ostream& out)
+{
+    CsvWriter csv(out);
+    csv.writeRow({"faascache-trace", "2", trace.name()});
+    for (const auto& fn : trace.functions()) {
+        csv.writeRow({"function", std::to_string(fn.id), fn.name,
+                      std::to_string(fn.mem_mb),
+                      std::to_string(fn.warm_us),
+                      std::to_string(fn.cold_us),
+                      std::to_string(fn.cpu_units),
+                      std::to_string(fn.io_units)});
+    }
+    for (const auto& inv : trace.invocations()) {
+        csv.writeRow({"invocation", std::to_string(inv.function),
+                      std::to_string(inv.arrival_us)});
+    }
+}
+
+Trace
+readTrace(const std::string& text)
+{
+    const auto rows = parseCsv(text);
+    if (rows.empty() || rows[0].size() < 3 ||
+        rows[0][0] != "faascache-trace" ||
+        (rows[0][1] != "1" && rows[0][1] != "2")) {
+        malformed("missing header");
+    }
+    Trace trace(rows[0][2]);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        if (row.empty())
+            continue;
+        if (row[0] == "function") {
+            if (row.size() != 6 && row.size() != 8)
+                malformed("function row arity");
+            FunctionSpec spec;
+            spec.id = static_cast<FunctionId>(parseInt(row[1]));
+            spec.name = row[2];
+            spec.mem_mb = parseDouble(row[3]);
+            spec.warm_us = parseInt(row[4]);
+            spec.cold_us = parseInt(row[5]);
+            if (row.size() == 8) {
+                spec.cpu_units = parseDouble(row[6]);
+                spec.io_units = parseDouble(row[7]);
+            }
+            if (spec.id != trace.functions().size())
+                malformed("non-dense function ids");
+            trace.addFunction(std::move(spec));
+        } else if (row[0] == "invocation") {
+            if (row.size() != 3)
+                malformed("invocation row arity");
+            trace.addInvocation(static_cast<FunctionId>(parseInt(row[1])),
+                                parseInt(row[2]));
+        } else {
+            malformed("unknown row kind '" + row[0] + "'");
+        }
+    }
+    if (!trace.validate())
+        malformed("validation failed");
+    return trace;
+}
+
+void
+saveTraceFile(const Trace& trace, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveTraceFile: cannot open " + path);
+    writeTrace(trace, out);
+    if (!out)
+        throw std::runtime_error("saveTraceFile: write failed for " + path);
+}
+
+Trace
+loadTraceFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("loadTraceFile: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return readTrace(buffer.str());
+}
+
+}  // namespace faascache

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CSV (de)serialization of traces, analogous to the pickle files of the
+ * paper's artifact. The format is line-oriented:
+ *
+ *     faascache-trace,2,<name>
+ *     function,<id>,<name>,<mem_mb>,<warm_us>,<cold_us>[,<cpu>,<io>]
+ *     ...
+ *     invocation,<function_id>,<arrival_us>
+ *     ...
+ *
+ * Version 2 appends the optional cpu/io resource dimensions; version 1
+ * files (6-field function rows) are still read, defaulting cpu to 1 and
+ * io to 0.
+ */
+#ifndef FAASCACHE_TRACE_TRACE_IO_H_
+#define FAASCACHE_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** Serialize a trace to a stream. */
+void writeTrace(const Trace& trace, std::ostream& out);
+
+/**
+ * Parse a trace from CSV text.
+ * @throws std::runtime_error on malformed input.
+ */
+Trace readTrace(const std::string& text);
+
+/** Write a trace to a file. @throws std::runtime_error on I/O failure. */
+void saveTraceFile(const Trace& trace, const std::string& path);
+
+/** Read a trace from a file. @throws std::runtime_error on failure. */
+Trace loadTraceFile(const std::string& path);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_TRACE_IO_H_

@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <ostream>
+
+namespace faascache {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << csvEscape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+csvEscape(const std::string& field)
+{
+    const bool needs_quote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string& text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool row_started = false;
+
+    auto end_field = [&] {
+        row.push_back(field);
+        field.clear();
+    };
+    auto end_row = [&] {
+        end_field();
+        rows.push_back(row);
+        row.clear();
+        row_started = false;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_quotes = true;
+            row_started = true;
+            break;
+          case ',':
+            end_field();
+            row_started = true;
+            break;
+          case '\r':
+            break;
+          case '\n':
+            if (row_started || !field.empty() || !row.empty())
+                end_row();
+            break;
+          default:
+            field += c;
+            row_started = true;
+            break;
+        }
+    }
+    if (row_started || !field.empty() || !row.empty())
+        end_row();
+    return rows;
+}
+
+}  // namespace faascache

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV reading/writing used for trace serialization and bench
+ * output. Supports quoting of fields containing commas, quotes, or
+ * newlines — enough for round-tripping FaasCache traces.
+ */
+#ifndef FAASCACHE_UTIL_CSV_H_
+#define FAASCACHE_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace faascache {
+
+/** Streaming CSV writer over any std::ostream. */
+class CsvWriter
+{
+  public:
+    /** @param out Destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream& out);
+
+    /** Write one row, quoting fields as needed. */
+    void writeRow(const std::vector<std::string>& fields);
+
+  private:
+    std::ostream& out_;
+};
+
+/** Escape a single CSV field (quotes it only when required). */
+std::string csvEscape(const std::string& field);
+
+/**
+ * Parse a complete CSV document into rows of fields. Handles quoted
+ * fields, embedded quotes (doubled), commas and newlines inside quotes.
+ * A trailing newline does not produce an empty final row.
+ */
+std::vector<std::vector<std::string>> parseCsv(const std::string& text);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_CSV_H_

@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascache {
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width), counts_(num_buckets, 0)
+{
+    assert(bucket_width > 0);
+    assert(num_buckets > 0);
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < 0)
+        value = 0;
+    const auto idx = static_cast<std::size_t>(value / bucket_width_);
+    if (idx >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[idx];
+}
+
+double
+Histogram::overflowFraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(overflow_) / static_cast<double>(total_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    p = std::clamp(p, 0.0, 1.0);
+    const std::int64_t in_range = total_ - overflow_;
+    if (in_range <= 0)
+        return 0.0;
+    const auto target = static_cast<std::int64_t>(
+        std::ceil(p * static_cast<double>(in_range)));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return bucket_width_ * static_cast<double>(i + 1);
+    }
+    return bucket_width_ * static_cast<double>(counts_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    overflow_ = 0;
+}
+
+}  // namespace faascache

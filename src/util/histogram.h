@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-width bucket histogram with percentile queries.
+ *
+ * The HIST keep-alive policy records inter-arrival times in minute-wide
+ * buckets spanning up to four hours; this class generalizes that to any
+ * bucket width/count and supports the head/tail percentile lookups the
+ * policy performs.
+ */
+#ifndef FAASCACHE_UTIL_HISTOGRAM_H_
+#define FAASCACHE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace faascache {
+
+/**
+ * Histogram over [0, bucket_width * num_buckets) with an overflow bucket.
+ *
+ * Values below zero clamp into the first bucket; values at or above the
+ * range fall into the overflow bucket, which is reported separately so
+ * callers can decide how to treat out-of-window samples (the HIST policy
+ * treats them as unpredictable).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket (> 0), in caller units.
+     * @param num_buckets  Number of in-range buckets (> 0).
+     */
+    Histogram(double bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(double value);
+
+    /** Total samples recorded, including overflow. */
+    std::int64_t totalCount() const { return total_; }
+
+    /** Samples that fell past the histogram range. */
+    std::int64_t overflowCount() const { return overflow_; }
+
+    /** Fraction of samples in the overflow bucket (0 if empty). */
+    double overflowFraction() const;
+
+    /** Count in bucket i. */
+    std::int64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of in-range buckets. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Bucket width supplied at construction. */
+    double bucketWidth() const { return bucket_width_; }
+
+    /**
+     * Smallest value v such that at least `p` (in [0,1]) of the in-range
+     * samples are <= v, computed at bucket granularity (upper bucket
+     * edge). Returns 0 when the histogram holds no in-range samples.
+     */
+    double percentile(double p) const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    double bucket_width_;
+    std::vector<std::int64_t> counts_;
+    std::int64_t total_ = 0;
+    std::int64_t overflow_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in FaasCache (trace generation, sampling,
+ * SHARDS hashing) flows through this class. The generator and every
+ * distribution are implemented by hand so that results are bit-identical
+ * across standard libraries and platforms — std::*_distribution is
+ * implementation-defined and would break golden tests.
+ */
+#ifndef FAASCACHE_UTIL_RNG_H_
+#define FAASCACHE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace faascache {
+
+/**
+ * Deterministic random number generator (xoshiro256** seeded via
+ * SplitMix64) with a set of hand-rolled distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (cached second deviate). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Lognormal: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Pareto with scale x_m > 0 and shape alpha > 0. */
+    double pareto(double x_m, double alpha);
+
+    /**
+     * Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+     * method for small means and a clamped normal approximation for large
+     * ones.
+     */
+    std::int64_t poisson(double mean);
+
+    /**
+     * Sample an index in [0, weights.size()) with probability proportional
+     * to weights[i]. Requires at least one strictly positive weight.
+     */
+    std::size_t weightedIndex(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** Split off an independent child generator (for parallel streams). */
+    Rng split();
+
+    /**
+     * Stateless 64-bit mix of a key (SplitMix64 finalizer); used for
+     * SHARDS-style hash sampling.
+     */
+    static std::uint64_t hashMix(std::uint64_t key);
+
+  private:
+    std::uint64_t state_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_RNG_H_

@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faascache {
+
+double
+percentileSorted(const std::vector<double>& sorted, double p)
+{
+    assert(!sorted.empty());
+    p = std::clamp(p, 0.0, 1.0);
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary
+summarize(std::vector<double> values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    s.count = values.size();
+    s.min = values.front();
+    s.max = values.back();
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    double sq = 0.0;
+    for (double v : values)
+        sq += (v - s.mean) * (v - s.mean);
+    s.stddev = values.size() > 1
+        ? std::sqrt(sq / static_cast<double>(values.size() - 1)) : 0.0;
+    s.p50 = percentileSorted(values, 0.50);
+    s.p90 = percentileSorted(values, 0.90);
+    s.p99 = percentileSorted(values, 0.99);
+    return s;
+}
+
+ExponentialSmoother::ExponentialSmoother(double alpha) : alpha_(alpha)
+{
+    assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+double
+ExponentialSmoother::update(double sample)
+{
+    if (!initialized_) {
+        value_ = sample;
+        initialized_ = true;
+    } else {
+        value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+}  // namespace faascache

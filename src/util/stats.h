@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Batch descriptive statistics and exponential smoothing.
+ */
+#ifndef FAASCACHE_UTIL_STATS_H_
+#define FAASCACHE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace faascache {
+
+/** Five-number-style summary of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute a Summary over the values (empty input gives all zeros). */
+Summary summarize(std::vector<double> values);
+
+/**
+ * Percentile by linear interpolation between order statistics.
+ * @param sorted Values sorted ascending (non-empty).
+ * @param p      Percentile in [0, 1].
+ */
+double percentileSorted(const std::vector<double>& sorted, double p);
+
+/**
+ * First-order exponential smoother, x' = alpha * sample + (1-alpha) * x.
+ * Initializes to the first sample. Used by the provisioning controller to
+ * smooth the observed arrival rate (paper §5.2).
+ */
+class ExponentialSmoother
+{
+  public:
+    /** @param alpha Smoothing weight of the newest sample, in (0, 1]. */
+    explicit ExponentialSmoother(double alpha);
+
+    /** Feed one sample and return the smoothed value. */
+    double update(double sample);
+
+    /** Smoothed value so far (0 before the first sample). */
+    double value() const { return value_; }
+
+    /** Whether at least one sample was seen. */
+    bool initialized() const { return initialized_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_STATS_H_

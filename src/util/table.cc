@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace faascache {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream& out) const
+{
+    std::size_t cols = headers_.size();
+    for (const auto& row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto consider = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    consider(headers_);
+    for (const auto& row : rows_)
+        consider(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string();
+            out << cell;
+            if (i + 1 < cols)
+                out << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i)
+        total += widths[i] + (i + 1 < cols ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+}  // namespace faascache

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fixed-width console table printing used by the bench harnesses to emit
+ * the rows/series of each paper table and figure.
+ */
+#ifndef FAASCACHE_UTIL_TABLE_H_
+#define FAASCACHE_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace faascache {
+
+/** Accumulates rows and prints them with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** @param headers Column titles. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; extra/missing cells are tolerated. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, separator, rows) to the stream. */
+    void print(std::ostream& out) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double value, int decimals = 2);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_TABLE_H_

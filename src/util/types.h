@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared across FaasCache.
+ *
+ * Time is represented as signed 64-bit microseconds so that event ordering
+ * is exact and deterministic. Memory is represented in megabytes as a
+ * double, matching the granularity of the Azure trace and of container
+ * memory limits.
+ */
+#ifndef FAASCACHE_UTIL_TYPES_H_
+#define FAASCACHE_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace faascache {
+
+/** Absolute simulation time or duration, in microseconds. */
+using TimeUs = std::int64_t;
+
+/** Memory quantity in megabytes. */
+using MemMb = double;
+
+/** Identifier of a registered function. */
+using FunctionId = std::uint32_t;
+
+/** Identifier of a live container instance. */
+using ContainerId = std::uint64_t;
+
+/** Sentinel for "no function". */
+inline constexpr FunctionId kInvalidFunction = ~FunctionId{0};
+
+/** Sentinel for "no container". */
+inline constexpr ContainerId kInvalidContainer = ~ContainerId{0};
+
+/** One millisecond expressed in microseconds. */
+inline constexpr TimeUs kMillisecond = 1'000;
+
+/** One second expressed in microseconds. */
+inline constexpr TimeUs kSecond = 1'000'000;
+
+/** One minute expressed in microseconds. */
+inline constexpr TimeUs kMinute = 60 * kSecond;
+
+/** One hour expressed in microseconds. */
+inline constexpr TimeUs kHour = 60 * kMinute;
+
+/** Convert microseconds to (fractional) seconds. */
+constexpr double toSeconds(TimeUs t) { return static_cast<double>(t) / kSecond; }
+
+/** Convert microseconds to (fractional) milliseconds. */
+constexpr double toMillis(TimeUs t) { return static_cast<double>(t) / kMillisecond; }
+
+/** Convert (fractional) seconds to microseconds, truncating. */
+constexpr TimeUs fromSeconds(double s) { return static_cast<TimeUs>(s * kSecond); }
+
+/** Convert (fractional) milliseconds to microseconds, truncating. */
+constexpr TimeUs fromMillis(double ms) { return static_cast<TimeUs>(ms * kMillisecond); }
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_TYPES_H_

@@ -1,0 +1,69 @@
+#include "util/welford.h"
+
+#include <cmath>
+#include <limits>
+
+namespace faascache {
+
+void
+Welford::add(double value)
+{
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    const double delta2 = value - mean_;
+    m2_ += delta * delta2;
+}
+
+double
+Welford::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Welford::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Welford::coefficientOfVariation() const
+{
+    const double sd = stddev();
+    if (sd == 0.0)
+        return 0.0;
+    if (mean_ == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return sd / std::fabs(mean_);
+}
+
+void
+Welford::merge(const Welford& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+}
+
+void
+Welford::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+}  // namespace faascache

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Welford's online algorithm for running mean/variance.
+ *
+ * Used by the HIST keep-alive policy (Shahrad et al.) to maintain the
+ * coefficient of variation of per-function inter-arrival times without
+ * storing the samples, exactly as the FaasCache paper describes (§7.1).
+ */
+#ifndef FAASCACHE_UTIL_WELFORD_H_
+#define FAASCACHE_UTIL_WELFORD_H_
+
+#include <cstdint>
+
+namespace faascache {
+
+/**
+ * Numerically stable running estimator of mean, variance, and
+ * coefficient of variation.
+ */
+class Welford
+{
+  public:
+    /** Incorporate one sample. */
+    void add(double value);
+
+    /** Number of samples seen so far. */
+    std::int64_t count() const { return count_; }
+
+    /** Running mean (0 if no samples). */
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation, stddev / mean. Returns +infinity when the
+     * mean is zero but samples vary, 0 when degenerate.
+     */
+    double coefficientOfVariation() const;
+
+    /** Merge another estimator into this one (parallel Welford). */
+    void merge(const Welford& other);
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_WELFORD_H_

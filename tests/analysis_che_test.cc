@@ -1,0 +1,108 @@
+#include "analysis/che_approximation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/hit_ratio_curve.h"
+#include "analysis/reuse_distance.h"
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+TEST(CheApproximation, EmptyModel)
+{
+    CheApproximation che({});
+    EXPECT_EQ(che.hitRatio(1'000), 0.0);
+    EXPECT_EQ(che.characteristicTime(1'000), 0.0);
+}
+
+TEST(CheApproximation, EverythingFitsGivesHitRatioOne)
+{
+    CheApproximation che({{1.0, 100.0}, {2.0, 200.0}});
+    EXPECT_DOUBLE_EQ(che.hitRatio(300.0), 1.0);
+    EXPECT_TRUE(std::isinf(che.characteristicTime(300.0)));
+}
+
+TEST(CheApproximation, ZeroCacheGivesZero)
+{
+    CheApproximation che({{1.0, 100.0}});
+    EXPECT_DOUBLE_EQ(che.hitRatio(0.0), 0.0);
+}
+
+TEST(CheApproximation, CharacteristicTimeSolvesFixedPoint)
+{
+    // One function, rate 2/s, size 100: resident(t) = 100(1-e^{-2t}).
+    // For c = 50, t_c solves 1 - e^{-2t} = 0.5 -> t = ln(2)/2.
+    CheApproximation che({{2.0, 100.0}});
+    EXPECT_NEAR(che.characteristicTime(50.0), std::log(2.0) / 2.0, 1e-6);
+    EXPECT_NEAR(che.hitRatio(50.0), 0.5, 1e-6);
+}
+
+TEST(CheApproximation, MonotoneInCacheSize)
+{
+    CheApproximation che({{5.0, 100.0}, {0.5, 400.0}, {0.05, 1'000.0}});
+    double prev = -1.0;
+    for (double c = 0; c <= 1'500.0; c += 50.0) {
+        const double h = che.hitRatio(c);
+        EXPECT_GE(h, prev);
+        EXPECT_LE(h, 1.0);
+        prev = h;
+    }
+}
+
+TEST(CheApproximation, HotFunctionsResidentFirst)
+{
+    // With a small cache the hit ratio exceeds the size fraction,
+    // because hot (high-rate) functions occupy it preferentially.
+    CheApproximation che({{10.0, 100.0}, {0.01, 900.0}});
+    const double h = che.hitRatio(100.0);
+    EXPECT_GT(h, 0.9);  // the hot function dominates the request stream
+}
+
+TEST(CheApproximation, TracksEmpiricalCurveOnPoissonLikeWorkload)
+{
+    AzureModelConfig config;
+    config.seed = 51;
+    config.num_functions = 200;
+    config.duration_us = kHour;
+    config.iat_median_sec = 60.0;
+    config.mem_median_mb = 64.0;
+    config.mem_sigma = 0.7;
+    config.mem_max_mb = 512.0;
+    const Trace t = generateAzureTrace(config);
+
+    const CheApproximation che = CheApproximation::fromTrace(t);
+    const HitRatioCurve exact =
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(t));
+
+    // Che's approximation is exact only for independent Poisson
+    // arrivals and an LRU cache; minute-bucketed replay deviates, so
+    // allow a generous band — the curves must still tell the same
+    // story.
+    for (MemMb size : {1'000.0, 4'000.0, 12'000.0}) {
+        EXPECT_NEAR(che.hitRatio(size), exact.hitRatio(size), 0.2)
+            << "at " << size;
+    }
+}
+
+TEST(CheApproximation, FromTraceUsesObservedRates)
+{
+    Trace t("t");
+    t.addFunction(makeFunction(0, "hot", 100, fromMillis(10),
+                               fromMillis(10)));
+    t.addFunction(makeFunction(1, "cold", 100, fromMillis(10),
+                               fromMillis(10)));
+    for (TimeUs at = 0; at < kMinute; at += kSecond)
+        t.addInvocation(0, at);
+    t.addInvocation(1, 0);
+    t.addInvocation(1, kMinute - kSecond);
+    const CheApproximation che = CheApproximation::fromTrace(t);
+    EXPECT_DOUBLE_EQ(che.totalSizeMb(), 200.0);
+    // At half the total size, the hot function dominates.
+    EXPECT_GT(che.hitRatio(100.0), 0.8);
+}
+
+}  // namespace
+}  // namespace faascache

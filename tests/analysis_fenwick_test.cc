@@ -1,0 +1,82 @@
+#include "analysis/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace faascache {
+namespace {
+
+TEST(Fenwick, EmptyTreeTotalZero)
+{
+    FenwickTree tree(0);
+    EXPECT_DOUBLE_EQ(tree.totalSum(), 0.0);
+}
+
+TEST(Fenwick, SingleElement)
+{
+    FenwickTree tree(1);
+    tree.add(0, 5.0);
+    EXPECT_DOUBLE_EQ(tree.prefixSum(0), 5.0);
+    EXPECT_DOUBLE_EQ(tree.get(0), 5.0);
+}
+
+TEST(Fenwick, PrefixSums)
+{
+    FenwickTree tree(5);
+    for (std::size_t i = 0; i < 5; ++i)
+        tree.add(i, static_cast<double>(i + 1));  // 1 2 3 4 5
+    EXPECT_DOUBLE_EQ(tree.prefixSum(0), 1.0);
+    EXPECT_DOUBLE_EQ(tree.prefixSum(2), 6.0);
+    EXPECT_DOUBLE_EQ(tree.prefixSum(4), 15.0);
+}
+
+TEST(Fenwick, RangeSums)
+{
+    FenwickTree tree(5);
+    for (std::size_t i = 0; i < 5; ++i)
+        tree.add(i, static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(tree.rangeSum(1, 3), 9.0);
+    EXPECT_DOUBLE_EQ(tree.rangeSum(0, 4), 15.0);
+    EXPECT_DOUBLE_EQ(tree.rangeSum(2, 2), 3.0);
+    EXPECT_DOUBLE_EQ(tree.rangeSum(3, 1), 0.0);  // empty range
+}
+
+TEST(Fenwick, SetOverwrites)
+{
+    FenwickTree tree(3);
+    tree.set(1, 10.0);
+    tree.set(1, 4.0);
+    EXPECT_DOUBLE_EQ(tree.get(1), 4.0);
+    EXPECT_DOUBLE_EQ(tree.totalSum(), 4.0);
+}
+
+TEST(Fenwick, MatchesNaiveOnRandomOperations)
+{
+    const std::size_t n = 200;
+    FenwickTree tree(n);
+    std::vector<double> shadow(n, 0.0);
+    Rng rng(5);
+    for (int op = 0; op < 2'000; ++op) {
+        const auto i = static_cast<std::size_t>(rng.uniformInt(n));
+        if (rng.uniform() < 0.5) {
+            const double delta = rng.uniform(-10, 10);
+            tree.add(i, delta);
+            shadow[i] += delta;
+        } else {
+            const double value = rng.uniform(0, 10);
+            tree.set(i, value);
+            shadow[i] = value;
+        }
+        const auto lo = static_cast<std::size_t>(rng.uniformInt(n));
+        const auto hi = static_cast<std::size_t>(rng.uniformInt(n));
+        double naive = 0.0;
+        for (std::size_t j = std::min(lo, hi); j <= std::max(lo, hi); ++j)
+            naive += shadow[j];
+        EXPECT_NEAR(tree.rangeSum(std::min(lo, hi), std::max(lo, hi)),
+                    naive, 1e-6);
+    }
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,109 @@
+#include "analysis/hit_ratio_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/reuse_distance.h"
+
+namespace faascache {
+namespace {
+
+TEST(HitRatioCurve, EmptyCurve)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances({});
+    EXPECT_TRUE(curve.empty());
+    EXPECT_EQ(curve.hitRatio(100), 0.0);
+    EXPECT_EQ(curve.maxHitRatio(), 0.0);
+    EXPECT_EQ(curve.sizeForHitRatio(0.5), 0.0);
+}
+
+TEST(HitRatioCurve, IsCdfOfDistances)
+{
+    // Distances 10, 20, 30 plus one compulsory miss: N = 4.
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {kInfiniteReuseDistance, 10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(curve.hitRatio(0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.hitRatio(10), 0.25);
+    EXPECT_DOUBLE_EQ(curve.hitRatio(20), 0.50);
+    EXPECT_DOUBLE_EQ(curve.hitRatio(29.9), 0.50);
+    EXPECT_DOUBLE_EQ(curve.hitRatio(30), 0.75);
+    EXPECT_DOUBLE_EQ(curve.hitRatio(1e9), 0.75);
+}
+
+TEST(HitRatioCurve, MaxHitRatioBoundedByCompulsoryMisses)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {kInfiniteReuseDistance, kInfiniteReuseDistance, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(curve.maxHitRatio(), 0.5);
+}
+
+TEST(HitRatioCurve, MissRatioComplement)
+{
+    const HitRatioCurve curve =
+        HitRatioCurve::fromReuseDistances({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(curve.hitRatio(15) + curve.missRatio(15), 1.0);
+}
+
+TEST(HitRatioCurve, Monotone)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {5.0, 1.0, 12.0, 7.0, kInfiniteReuseDistance, 3.0});
+    double prev = -1.0;
+    for (MemMb size = 0; size <= 20; size += 0.5) {
+        const double h = curve.hitRatio(size);
+        EXPECT_GE(h, prev);
+        EXPECT_GE(h, 0.0);
+        EXPECT_LE(h, 1.0);
+        prev = h;
+    }
+}
+
+TEST(HitRatioCurve, SizeForHitRatioInvertsCurve)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(1.0), 40.0);
+    // Between steps: the smallest size reaching the next step.
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(0.3), 20.0);
+}
+
+TEST(HitRatioCurve, SizeForZeroTargetIsZero)
+{
+    const HitRatioCurve curve =
+        HitRatioCurve::fromReuseDistances({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(0.0), 0.0);
+}
+
+TEST(HitRatioCurve, SizeForUnreachableTargetClamps)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {kInfiniteReuseDistance, 10.0});
+    // Max achievable is 0.5; target 0.9 clamps to the saturation size.
+    EXPECT_DOUBLE_EQ(curve.sizeForHitRatio(0.9), 10.0);
+}
+
+TEST(HitRatioCurve, RoundTripSizeAndRatio)
+{
+    const HitRatioCurve curve = HitRatioCurve::fromReuseDistances(
+        {5.0, 5.0, 9.0, 13.0, 21.0, kInfiniteReuseDistance});
+    for (double target : {0.1, 0.3, 0.5, 0.8}) {
+        const MemMb size = curve.sizeForHitRatio(target);
+        EXPECT_GE(curve.hitRatio(size), std::min(target,
+                                                 curve.maxHitRatio()) -
+                      1e-12);
+    }
+}
+
+TEST(HitRatioCurve, WeightedEntriesScale)
+{
+    // Two entries with weight 10 behave like twenty unit entries.
+    const HitRatioCurve weighted = HitRatioCurve::fromReuseDistances(
+        {10.0, kInfiniteReuseDistance}, 10.0);
+    EXPECT_DOUBLE_EQ(weighted.hitRatio(10.0), 0.5);
+    EXPECT_DOUBLE_EQ(weighted.totalWeight(), 20.0);
+    EXPECT_DOUBLE_EQ(weighted.finiteWeight(), 10.0);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,116 @@
+#include "analysis/online_hrc.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/reuse_distance.h"
+#include "analysis/shards.h"
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+Trace
+workload()
+{
+    AzureModelConfig config;
+    config.seed = 33;
+    config.num_functions = 200;
+    config.duration_us = 40 * kMinute;
+    config.iat_median_sec = 30.0;
+    return generateAzureTrace(config);
+}
+
+void
+feed(OnlineReuseAnalyzer& analyzer, const Trace& trace)
+{
+    for (const auto& inv : trace.invocations())
+        analyzer.observe(inv.function, trace.function(inv.function).mem_mb);
+}
+
+TEST(OnlineHrc, FullRateMatchesExactReuseDistances)
+{
+    const Trace t = workload();
+    OnlineReuseAnalyzer analyzer(1.0, 0);
+    feed(analyzer, t);
+    const auto exact = computeReuseDistances(t);
+    EXPECT_EQ(analyzer.scaledDistances(), exact);
+    EXPECT_EQ(analyzer.observedCount(), t.invocations().size());
+    EXPECT_EQ(analyzer.sampledCount(), t.invocations().size());
+}
+
+TEST(OnlineHrc, SampledMatchesOfflineShards)
+{
+    // Same rate, same salt, same hash: the streaming analyzer must
+    // produce exactly the offline SHARDS distances.
+    const Trace t = workload();
+    const double rate = 0.3;
+    const std::uint64_t seed = 9;
+    OnlineReuseAnalyzer analyzer(rate, seed);
+    feed(analyzer, t);
+    const ShardsResult offline = shardsSample(t, rate, seed);
+    EXPECT_EQ(analyzer.scaledDistances(), offline.scaled_distances);
+    EXPECT_EQ(analyzer.sampledCount(), offline.sampled_invocations);
+}
+
+TEST(OnlineHrc, CurveApproximatesExact)
+{
+    const Trace t = workload();
+    OnlineReuseAnalyzer analyzer(0.4, 7);
+    feed(analyzer, t);
+    const HitRatioCurve exact =
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(t));
+    const HitRatioCurve online = analyzer.curve();
+    for (MemMb size : {500.0, 2'000.0, 8'000.0}) {
+        EXPECT_NEAR(online.hitRatio(size), exact.hitRatio(size), 0.15)
+            << "at " << size;
+    }
+}
+
+TEST(OnlineHrc, SnapshotsAreIncremental)
+{
+    const Trace t = workload();
+    OnlineReuseAnalyzer analyzer(1.0, 0);
+    const auto& invocations = t.invocations();
+    const std::size_t half = invocations.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        analyzer.observe(invocations[i].function,
+                         t.function(invocations[i].function).mem_mb);
+    }
+    const HitRatioCurve mid = analyzer.curve();
+    EXPECT_FALSE(mid.empty());
+    for (std::size_t i = half; i < invocations.size(); ++i) {
+        analyzer.observe(invocations[i].function,
+                         t.function(invocations[i].function).mem_mb);
+    }
+    const HitRatioCurve full = analyzer.curve();
+    EXPECT_GT(full.totalWeight(), mid.totalWeight());
+}
+
+TEST(OnlineHrc, GrowsPastInitialCapacity)
+{
+    // More than 1024 sampled accesses forces at least one tree regrow.
+    OnlineReuseAnalyzer analyzer(1.0, 0);
+    for (int i = 0; i < 5'000; ++i)
+        analyzer.observe(static_cast<FunctionId>(i % 7), 100.0);
+    EXPECT_EQ(analyzer.sampledCount(), 5'000u);
+    // All re-accesses alternate among 7 functions of 100 MB: every
+    // finite distance is 600 MB.
+    for (std::size_t i = 7; i < analyzer.scaledDistances().size(); ++i)
+        EXPECT_DOUBLE_EQ(analyzer.scaledDistances()[i], 600.0);
+}
+
+TEST(OnlineHrc, ResetClearsState)
+{
+    OnlineReuseAnalyzer analyzer(1.0, 0);
+    analyzer.observe(1, 100.0);
+    analyzer.observe(1, 100.0);
+    analyzer.reset();
+    EXPECT_EQ(analyzer.observedCount(), 0u);
+    EXPECT_TRUE(analyzer.scaledDistances().empty());
+    analyzer.observe(1, 100.0);
+    EXPECT_EQ(analyzer.scaledDistances().size(), 1u);
+    EXPECT_EQ(analyzer.scaledDistances()[0], kInfiniteReuseDistance);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,98 @@
+#include "analysis/shards.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/reuse_distance.h"
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+Trace
+population()
+{
+    AzureModelConfig config;
+    config.seed = 21;
+    config.num_functions = 250;
+    config.duration_us = kHour;
+    config.iat_median_sec = 30.0;
+    return generateAzureTrace(config);
+}
+
+TEST(Shards, FullRateEqualsExactAnalysis)
+{
+    const Trace t = population();
+    const ShardsResult shards = shardsSample(t, 1.0, 0);
+    EXPECT_EQ(shards.sampled_invocations, t.invocations().size());
+    EXPECT_EQ(shards.sampled_functions, t.functions().size());
+    EXPECT_EQ(shards.scaled_distances, computeReuseDistances(t));
+}
+
+TEST(Shards, SampleSizeRoughlyProportional)
+{
+    const Trace t = population();
+    const ShardsResult shards = shardsSample(t, 0.25, 7);
+    const double frac = static_cast<double>(shards.sampled_functions) /
+        static_cast<double>(t.functions().size());
+    EXPECT_NEAR(frac, 0.25, 0.12);
+    EXPECT_LT(shards.sampled_invocations, t.invocations().size());
+}
+
+TEST(Shards, DeterministicInSeed)
+{
+    const Trace t = population();
+    const ShardsResult a = shardsSample(t, 0.3, 5);
+    const ShardsResult b = shardsSample(t, 0.3, 5);
+    EXPECT_EQ(a.sampled_invocations, b.sampled_invocations);
+    EXPECT_EQ(a.scaled_distances, b.scaled_distances);
+}
+
+TEST(Shards, SeedChangesSample)
+{
+    const Trace t = population();
+    const ShardsResult a = shardsSample(t, 0.3, 5);
+    const ShardsResult b = shardsSample(t, 0.3, 6);
+    EXPECT_NE(a.sampled_invocations, b.sampled_invocations);
+}
+
+TEST(Shards, DistancesAreScaledUp)
+{
+    const Trace t = population();
+    const double rate = 0.5;
+    const ShardsResult shards = shardsSample(t, rate, 3);
+    // Every finite scaled distance must be an inflated version of a
+    // plausible raw distance: non-negative and finite.
+    for (double d : shards.scaled_distances) {
+        if (isFiniteReuseDistance(d)) {
+            EXPECT_GE(d, 0.0);
+        }
+    }
+    EXPECT_DOUBLE_EQ(shards.sample_rate, rate);
+}
+
+TEST(Shards, ApproximatesExactHitRatioCurve)
+{
+    const Trace t = population();
+    const HitRatioCurve exact =
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(t));
+    const HitRatioCurve approx = curveFromShards(shardsSample(t, 0.4, 11));
+
+    // Compare at several sizes; SHARDS error should be modest.
+    for (MemMb size : {500.0, 2'000.0, 8'000.0, 32'000.0}) {
+        EXPECT_NEAR(approx.hitRatio(size), exact.hitRatio(size), 0.12)
+            << "at size " << size;
+    }
+}
+
+TEST(Shards, CurveWeightsReflectRate)
+{
+    const Trace t = population();
+    const ShardsResult shards = shardsSample(t, 0.5, 2);
+    const HitRatioCurve curve = curveFromShards(shards);
+    EXPECT_NEAR(curve.totalWeight(),
+                static_cast<double>(shards.sampled_invocations) / 0.5,
+                1e-6);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,61 @@
+#include "analysis/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reuse_distance.h"
+
+namespace faascache {
+namespace {
+
+/** A curve with a sharp knee: most mass at small distances, a thin tail. */
+HitRatioCurve
+kneeCurve()
+{
+    std::vector<double> distances;
+    // 900 invocations reusable within 1000 MB...
+    for (int i = 0; i < 900; ++i)
+        distances.push_back(1.0 + (i % 1000));
+    // ...and a thin tail needing up to 100x more.
+    for (int i = 0; i < 100; ++i)
+        distances.push_back(1'000.0 + i * 990.0);
+    return HitRatioCurve::fromReuseDistances(distances);
+}
+
+TEST(KneeSize, FindsInflectionRegion)
+{
+    const HitRatioCurve curve = kneeCurve();
+    const MemMb knee = kneeSize(curve, 10, 100'000);
+    // The knee should land near the end of the dense region (~1000 MB),
+    // far below the tail's end (~100 GB).
+    EXPECT_GT(knee, 200.0);
+    EXPECT_LT(knee, 10'000.0);
+}
+
+TEST(KneeSize, FlatCurveReturnsMin)
+{
+    const HitRatioCurve flat = HitRatioCurve::fromReuseDistances(
+        {kInfiniteReuseDistance, kInfiniteReuseDistance});
+    EXPECT_DOUBLE_EQ(kneeSize(flat, 5, 1'000), 5.0);
+}
+
+TEST(KneeSize, WithinSearchRange)
+{
+    const HitRatioCurve curve = kneeCurve();
+    const MemMb knee = kneeSize(curve, 50, 500);
+    EXPECT_GE(knee, 50.0);
+    EXPECT_LE(knee, 500.0);
+}
+
+TEST(KneeSize, MoreGridPointsRefineNotBreak)
+{
+    const HitRatioCurve curve = kneeCurve();
+    const MemMb coarse = kneeSize(curve, 10, 100'000, 64);
+    const MemMb fine = kneeSize(curve, 10, 100'000, 1024);
+    // Same knee region regardless of resolution.
+    EXPECT_LT(std::abs(std::log10(coarse) - std::log10(fine)), 0.5);
+}
+
+}  // namespace
+}  // namespace faascache

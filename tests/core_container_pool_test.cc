@@ -1,0 +1,178 @@
+#include "core/container_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(100),
+                        fromMillis(100));
+}
+
+TEST(ContainerPool, CapacityAccounting)
+{
+    ContainerPool pool(1000);
+    EXPECT_DOUBLE_EQ(pool.capacityMb(), 1000.0);
+    EXPECT_DOUBLE_EQ(pool.usedMb(), 0.0);
+    EXPECT_DOUBLE_EQ(pool.freeMb(), 1000.0);
+
+    pool.add(fn(0, 300), 0);
+    EXPECT_DOUBLE_EQ(pool.usedMb(), 300.0);
+    EXPECT_DOUBLE_EQ(pool.freeMb(), 700.0);
+    EXPECT_TRUE(pool.fits(700));
+    EXPECT_FALSE(pool.fits(701));
+}
+
+TEST(ContainerPool, AddRemove)
+{
+    ContainerPool pool(1000);
+    Container& c = pool.add(fn(0, 100), 0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.countOf(0), 1u);
+    pool.remove(c.id());
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.countOf(0), 0u);
+    EXPECT_DOUBLE_EQ(pool.usedMb(), 0.0);
+}
+
+TEST(ContainerPool, IdsAreUnique)
+{
+    ContainerPool pool(1000);
+    Container& a = pool.add(fn(0, 100), 0);
+    const ContainerId a_id = a.id();
+    pool.remove(a_id);
+    Container& b = pool.add(fn(0, 100), 0);
+    EXPECT_NE(b.id(), a_id);
+}
+
+TEST(ContainerPool, GetLookup)
+{
+    ContainerPool pool(1000);
+    Container& c = pool.add(fn(0, 100), 0);
+    EXPECT_EQ(pool.get(c.id()), &c);
+    EXPECT_EQ(pool.get(999999), nullptr);
+}
+
+TEST(ContainerPool, FindIdleWarmPrefersMostRecent)
+{
+    ContainerPool pool(1000);
+    Container& old_c = pool.add(fn(0, 100), 0);
+    Container& new_c = pool.add(fn(0, 100), 0);
+    old_c.startInvocation(10, 20);
+    old_c.finishInvocation();
+    new_c.startInvocation(50, 60);
+    new_c.finishInvocation();
+    EXPECT_EQ(pool.findIdleWarm(0), &new_c);
+}
+
+TEST(ContainerPool, FindIdleWarmSkipsBusy)
+{
+    ContainerPool pool(1000);
+    Container& c = pool.add(fn(0, 100), 0);
+    c.startInvocation(0, 100);
+    EXPECT_EQ(pool.findIdleWarm(0), nullptr);
+    c.finishInvocation();
+    EXPECT_EQ(pool.findIdleWarm(0), &c);
+}
+
+TEST(ContainerPool, FindIdleWarmWrongFunction)
+{
+    ContainerPool pool(1000);
+    pool.add(fn(0, 100), 0);
+    EXPECT_EQ(pool.findIdleWarm(1), nullptr);
+}
+
+TEST(ContainerPool, IdleAccounting)
+{
+    ContainerPool pool(1000);
+    Container& a = pool.add(fn(0, 100), 0);
+    pool.add(fn(1, 200), 0);
+    a.startInvocation(0, 50);
+    EXPECT_EQ(pool.idleCount(), 1u);
+    EXPECT_DOUBLE_EQ(pool.idleMb(), 200.0);
+    EXPECT_EQ(pool.idleContainers().size(), 1u);
+}
+
+TEST(ContainerPool, ReleaseFinished)
+{
+    ContainerPool pool(1000);
+    Container& a = pool.add(fn(0, 100), 0);
+    Container& b = pool.add(fn(1, 100), 0);
+    a.startInvocation(0, 50);
+    b.startInvocation(0, 200);
+    const auto released = pool.releaseFinished(100);
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0], &a);
+    EXPECT_TRUE(a.idle());
+    EXPECT_TRUE(b.busy());
+}
+
+TEST(ContainerPool, ReleaseFinishedAtExactBoundary)
+{
+    ContainerPool pool(1000);
+    Container& a = pool.add(fn(0, 100), 0);
+    a.startInvocation(0, 100);
+    EXPECT_EQ(pool.releaseFinished(100).size(), 1u);
+}
+
+TEST(ContainerPool, ContainersOfTracksPerFunction)
+{
+    ContainerPool pool(1000);
+    pool.add(fn(0, 100), 0);
+    pool.add(fn(0, 100), 0);
+    pool.add(fn(1, 100), 0);
+    EXPECT_EQ(pool.containersOf(0).size(), 2u);
+    EXPECT_EQ(pool.containersOf(1).size(), 1u);
+    EXPECT_TRUE(pool.containersOf(42).empty());
+}
+
+TEST(ContainerPool, SetCapacityAllowsOverCommit)
+{
+    ContainerPool pool(1000);
+    pool.add(fn(0, 800), 0);
+    pool.setCapacityMb(500);
+    EXPECT_DOUBLE_EQ(pool.capacityMb(), 500.0);
+    EXPECT_DOUBLE_EQ(pool.usedMb(), 800.0);
+    EXPECT_DOUBLE_EQ(pool.freeMb(), 0.0);  // clamped, not negative
+    EXPECT_FALSE(pool.fits(1));
+}
+
+TEST(ContainerPool, IdleContainersDeterministicOrder)
+{
+    ContainerPool pool(10'000);
+    for (int i = 0; i < 20; ++i)
+        pool.add(fn(0, 10), 0);
+    const auto idle = pool.idleContainers();
+    for (std::size_t i = 1; i < idle.size(); ++i)
+        EXPECT_LT(idle[i - 1]->id(), idle[i]->id());
+}
+
+TEST(ContainerPool, ForEachVisitsAll)
+{
+    ContainerPool pool(1000);
+    pool.add(fn(0, 100), 0);
+    pool.add(fn(1, 100), 0);
+    int count = 0;
+    pool.forEach([&](Container&) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+TEST(ContainerPoolDeathTest, RemoveBusyAsserts)
+{
+    ContainerPool pool(1000);
+    Container& c = pool.add(fn(0, 100), 0);
+    c.startInvocation(0, 100);
+    EXPECT_DEATH(pool.remove(c.id()), "");
+}
+
+TEST(ContainerPoolDeathTest, AddBeyondCapacityAsserts)
+{
+    ContainerPool pool(100);
+    EXPECT_DEATH(pool.add(fn(0, 200), 0), "");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,82 @@
+#include "core/container.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+spec()
+{
+    return makeFunction(3, "fn", 128, fromMillis(100), fromMillis(400));
+}
+
+TEST(Container, ConstructionDefaults)
+{
+    const Container c(7, spec(), 1000);
+    EXPECT_EQ(c.id(), 7u);
+    EXPECT_EQ(c.function(), 3u);
+    EXPECT_DOUBLE_EQ(c.memMb(), 128.0);
+    EXPECT_EQ(c.createdAt(), 1000);
+    EXPECT_EQ(c.lastUsed(), 1000);
+    EXPECT_TRUE(c.idle());
+    EXPECT_FALSE(c.prewarmed());
+    EXPECT_EQ(c.useCount(), 0);
+}
+
+TEST(Container, PrewarmedFlag)
+{
+    const Container c(1, spec(), 0, /*prewarmed=*/true);
+    EXPECT_TRUE(c.prewarmed());
+}
+
+TEST(Container, InvocationLifecycle)
+{
+    Container c(1, spec(), 0);
+    c.startInvocation(100, 600);
+    EXPECT_TRUE(c.busy());
+    EXPECT_EQ(c.busyUntil(), 600);
+    EXPECT_EQ(c.lastUsed(), 100);
+    EXPECT_EQ(c.useCount(), 1);
+    c.finishInvocation();
+    EXPECT_TRUE(c.idle());
+    EXPECT_EQ(c.lastUsed(), 100);
+}
+
+TEST(Container, MultipleInvocationsIncrementUseCount)
+{
+    Container c(1, spec(), 0);
+    for (int i = 1; i <= 3; ++i) {
+        c.startInvocation(i * 1000, i * 1000 + 10);
+        c.finishInvocation();
+    }
+    EXPECT_EQ(c.useCount(), 3);
+    EXPECT_EQ(c.lastUsed(), 3000);
+}
+
+TEST(Container, PolicyFieldsStored)
+{
+    Container c(1, spec(), 0);
+    c.setPriority(3.5);
+    c.setCredit(1.25);
+    c.setPolicyClock(7.0);
+    EXPECT_DOUBLE_EQ(c.priority(), 3.5);
+    EXPECT_DOUBLE_EQ(c.credit(), 1.25);
+    EXPECT_DOUBLE_EQ(c.policyClock(), 7.0);
+}
+
+TEST(ContainerDeathTest, StartWhileBusyAsserts)
+{
+    Container c(1, spec(), 0);
+    c.startInvocation(0, 10);
+    EXPECT_DEATH(c.startInvocation(5, 15), "");
+}
+
+TEST(ContainerDeathTest, FinishWhileIdleAsserts)
+{
+    Container c(1, spec(), 0);
+    EXPECT_DEATH(c.finishInvocation(), "");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,61 @@
+#include "core/function_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(FunctionStats, DefaultsAreZero)
+{
+    FunctionStatsTable table;
+    const FunctionStats& s = std::as_const(table).of(7);
+    EXPECT_EQ(s.frequency, 0);
+    EXPECT_EQ(s.total_invocations, 0);
+    EXPECT_EQ(s.last_arrival_us, -1);
+    // Const lookup must not create entries.
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FunctionStats, RecordArrivalUpdatesAll)
+{
+    FunctionStatsTable table;
+    table.recordArrival(1, 1000);
+    table.recordArrival(1, 2000);
+    const FunctionStats& s = table.of(1);
+    EXPECT_EQ(s.frequency, 2);
+    EXPECT_EQ(s.total_invocations, 2);
+    EXPECT_EQ(s.last_arrival_us, 2000);
+}
+
+TEST(FunctionStats, ResetFrequencyKeepsTotals)
+{
+    FunctionStatsTable table;
+    table.recordArrival(1, 1000);
+    table.recordArrival(1, 2000);
+    table.resetFrequency(1);
+    const FunctionStats& s = table.of(1);
+    EXPECT_EQ(s.frequency, 0);
+    EXPECT_EQ(s.total_invocations, 2);
+    EXPECT_EQ(s.last_arrival_us, 2000);
+}
+
+TEST(FunctionStats, ResetUnknownFunctionIsNoop)
+{
+    FunctionStatsTable table;
+    table.resetFrequency(99);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FunctionStats, IndependentPerFunction)
+{
+    FunctionStatsTable table;
+    table.recordArrival(1, 10);
+    table.recordArrival(2, 20);
+    table.recordArrival(2, 30);
+    EXPECT_EQ(table.of(1).frequency, 1);
+    EXPECT_EQ(table.of(2).frequency, 2);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+}  // namespace
+}  // namespace faascache

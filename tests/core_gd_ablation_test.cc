@@ -1,0 +1,118 @@
+// Tests of the Greedy-Dual priority-term ablation flags and of the
+// multi-dimensional size norms plugged into GD (paper §4.1/§4.2).
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+#include "core/greedy_dual.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem, double warm_ms, double init_ms)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem,
+                        fromMillis(warm_ms), fromMillis(init_ms));
+}
+
+Container&
+coldUse(ContainerPool& pool, GreedyDualPolicy& policy,
+        const FunctionSpec& spec, TimeUs now)
+{
+    policy.onInvocationArrival(spec, now);
+    Container& c = pool.add(spec, now);
+    c.startInvocation(now, now + spec.cold_us);
+    policy.onColdStart(c, spec, now);
+    c.finishInvocation();
+    return c;
+}
+
+TEST(GdAblation, NoCostTreatsAllInitEqually)
+{
+    GreedyDualConfig config;
+    config.use_cost = false;
+    GreedyDualPolicy policy(config);
+    ContainerPool pool(10'000);
+    // Same size and frequency, wildly different init costs.
+    Container& cheap = coldUse(pool, policy, fn(0, 100, 500, 100), 0);
+    Container& costly =
+        coldUse(pool, policy, fn(1, 100, 500, 9'000), kSecond);
+    EXPECT_DOUBLE_EQ(cheap.priority(), costly.priority());
+}
+
+TEST(GdAblation, NoSizeTreatsAllFootprintsEqually)
+{
+    GreedyDualConfig config;
+    config.use_size = false;
+    GreedyDualPolicy policy(config);
+    ContainerPool pool(10'000);
+    Container& small = coldUse(pool, policy, fn(0, 64, 500, 1000), 0);
+    Container& large =
+        coldUse(pool, policy, fn(1, 4096, 500, 1000), kSecond);
+    EXPECT_DOUBLE_EQ(small.priority(), large.priority());
+}
+
+TEST(GdAblation, OnlyClockDegeneratesToRecency)
+{
+    GreedyDualConfig config;
+    config.use_frequency = false;
+    config.use_cost = false;
+    config.use_size = false;
+    GreedyDualPolicy policy(config);
+    ContainerPool pool(10'000);
+    // All containers get priority clock + 1: ties broken by last use,
+    // i.e. LRU.
+    Container& older = coldUse(pool, policy, fn(0, 100, 500, 1000), 0);
+    coldUse(pool, policy, fn(1, 100, 500, 9000), kSecond);
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], older.id());
+}
+
+TEST(GdAblation, SizeNormChangesVictimChoice)
+{
+    // Two containers: one memory-light but CPU-heavy, one memory-heavy
+    // but CPU-light. MemoryOnly prefers to evict the memory hog;
+    // NormalizedSum (on a CPU-scarce server) prefers the CPU hog.
+    FunctionSpec cpu_hog = fn(0, 64, 500, 1000);
+    cpu_hog.cpu_units = 40.0;
+    FunctionSpec mem_hog = fn(1, 2048, 500, 1000);
+    mem_hog.cpu_units = 0.5;
+
+    GreedyDualConfig memory_only;
+    memory_only.size_norm = SizeNorm::MemoryOnly;
+    GreedyDualPolicy p_mem(memory_only);
+    ContainerPool pool_mem(10'000);
+    coldUse(pool_mem, p_mem, cpu_hog, 0);
+    Container& mem_victim = coldUse(pool_mem, p_mem, mem_hog, 0);
+    auto victims = p_mem.selectVictims(pool_mem, 50, kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], mem_victim.id());
+
+    GreedyDualConfig normalized;
+    normalized.size_norm = SizeNorm::NormalizedSum;
+    normalized.server_resources = ResourceVector{48.0, 256.0 * 1024.0, 0.0};
+    GreedyDualPolicy p_norm(normalized);
+    ContainerPool pool_norm(1e6);
+    Container& cpu_victim = coldUse(pool_norm, p_norm, cpu_hog, 0);
+    coldUse(pool_norm, p_norm, mem_hog, 0);
+    victims = p_norm.selectVictims(pool_norm, 50, kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    // cpu_hog: 40/48 + 64/256k ~ 0.83; mem_hog: 0.5/48 + 2048/256k ~ 0.018.
+    EXPECT_EQ(victims[0], cpu_victim.id());
+}
+
+TEST(GdAblation, FullConfigMatchesDefault)
+{
+    GreedyDualConfig config;  // everything on
+    GreedyDualPolicy a(config);
+    GreedyDualPolicy b;
+    ContainerPool pool_a(10'000), pool_b(10'000);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    Container& ca = coldUse(pool_a, a, f, 0);
+    Container& cb = coldUse(pool_b, b, f, 0);
+    EXPECT_DOUBLE_EQ(ca.priority(), cb.priority());
+}
+
+}  // namespace
+}  // namespace faascache

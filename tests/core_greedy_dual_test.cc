@@ -1,0 +1,231 @@
+#include "core/greedy_dual.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/container_pool.h"
+
+namespace faascache {
+namespace {
+
+// Helper driving a policy + pool pair like the simulator does.
+struct Harness
+{
+    ContainerPool pool;
+    GreedyDualPolicy policy;
+
+    explicit Harness(MemMb capacity, GreedyDualConfig config = {})
+        : pool(capacity), policy(config)
+    {
+    }
+
+    Container&
+    invokeCold(const FunctionSpec& spec, TimeUs now)
+    {
+        policy.onInvocationArrival(spec, now);
+        Container& c = pool.add(spec, now);
+        c.startInvocation(now, now + spec.cold_us);
+        policy.onColdStart(c, spec, now);
+        c.finishInvocation();
+        return c;
+    }
+
+    void
+    invokeWarm(Container& c, const FunctionSpec& spec, TimeUs now)
+    {
+        policy.onInvocationArrival(spec, now);
+        c.startInvocation(now, now + spec.warm_us);
+        policy.onWarmStart(c, spec, now);
+        c.finishInvocation();
+    }
+};
+
+// (memory MB, warm ms, init ms)
+FunctionSpec
+fn(FunctionId id, MemMb mem, double warm_ms, double init_ms)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem,
+                        fromMillis(warm_ms), fromMillis(init_ms));
+}
+
+TEST(GreedyDual, PriorityFormula)
+{
+    Harness h(10'000);
+    // cost = 2 s init, size = 100 MB, freq = 1, clock = 0.
+    const FunctionSpec f = fn(0, 100, 500, 2000);
+    Container& c = h.invokeCold(f, 0);
+    EXPECT_DOUBLE_EQ(c.priority(), 0.0 + 1.0 * 2.0 / 100.0);
+    EXPECT_DOUBLE_EQ(h.policy.priorityOf(f), 1.0 * 2.0 / 100.0);
+}
+
+TEST(GreedyDual, FrequencyScalesPriority)
+{
+    Harness h(10'000);
+    const FunctionSpec f = fn(0, 100, 500, 2000);
+    Container& c = h.invokeCold(f, 0);
+    h.invokeWarm(c, f, kSecond);
+    h.invokeWarm(c, f, 2 * kSecond);
+    // freq = 3 now.
+    EXPECT_DOUBLE_EQ(c.priority(), 3.0 * 2.0 / 100.0);
+}
+
+TEST(GreedyDual, EvictsLowestValueFirst)
+{
+    Harness h(10'000);
+    // Low value: huge and cheap to rebuild. High value: small, costly.
+    const FunctionSpec big_cheap = fn(0, 1000, 500, 100);
+    const FunctionSpec small_costly = fn(1, 50, 500, 4000);
+    h.invokeCold(big_cheap, 0);
+    h.invokeCold(small_costly, kSecond);
+
+    const auto victims = h.policy.selectVictims(h.pool, 10, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(h.pool.get(victims[0])->function(), 0u);
+}
+
+TEST(GreedyDual, ClockAdvancesToEvictedPriority)
+{
+    Harness h(10'000);
+    const FunctionSpec f0 = fn(0, 100, 500, 1000);  // value 0.01
+    const FunctionSpec f1 = fn(1, 100, 500, 5000);  // value 0.05
+    h.invokeCold(f0, 0);
+    h.invokeCold(f1, 0);
+    EXPECT_DOUBLE_EQ(h.policy.clock(), 0.0);
+
+    const auto victims = h.policy.selectVictims(h.pool, 50, kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_DOUBLE_EQ(h.policy.clock(), 0.01);
+}
+
+TEST(GreedyDual, ClockTakesMaxOverEvictedSet)
+{
+    Harness h(10'000);
+    const FunctionSpec f0 = fn(0, 100, 500, 1000);  // value 0.01
+    const FunctionSpec f1 = fn(1, 100, 500, 5000);  // value 0.05
+    const FunctionSpec f2 = fn(2, 100, 500, 9000);  // value 0.09
+    h.invokeCold(f0, 0);
+    h.invokeCold(f1, 0);
+    h.invokeCold(f2, 0);
+
+    // Force evicting two containers: clock = max of the two priorities.
+    const auto victims = h.policy.selectVictims(h.pool, 150, kSecond);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_DOUBLE_EQ(h.policy.clock(), 0.05);
+}
+
+TEST(GreedyDual, AgingLetsNewFunctionsSurvive)
+{
+    // After evictions raise the clock, a fresh low-value function gets a
+    // higher priority than stale high-value ones (recency matters).
+    Harness h(10'000);
+    const FunctionSpec stale = fn(0, 100, 500, 3000);  // value 0.03
+    Container& stale_c = h.invokeCold(stale, 0);
+
+    // Evict an even lower-value function so the clock rises above 0.
+    const FunctionSpec filler = fn(1, 100, 500, 2000);  // value 0.02
+    h.invokeCold(filler, 0);
+    auto victims = h.policy.selectVictims(h.pool, 50, kSecond);
+    // LRU tie-break inside equal priorities doesn't matter here: the
+    // filler (0.02) goes first.
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(h.pool.get(victims[0])->function(), 1u);
+    h.policy.onEviction(*h.pool.get(victims[0]), true, kSecond);
+    h.pool.remove(victims[0]);
+    EXPECT_DOUBLE_EQ(h.policy.clock(), 0.02);
+
+    // A new cheap function used now outranks the stale valuable one
+    // once its clock component counts: 0.02 + 0.015 > 0.00 + 0.03.
+    const FunctionSpec fresh = fn(2, 100, 500, 1500);
+    Container& fresh_c = h.invokeCold(fresh, 2 * kSecond);
+    EXPECT_GT(fresh_c.priority(), stale_c.policyClock() + 0.03 - 1e-12);
+}
+
+TEST(GreedyDual, TieBreaksTowardOlderContainerOfSameFunction)
+{
+    Harness h(10'000);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    Container& first = h.invokeCold(f, 0);
+    // Concurrent second container (cold because first was busy).
+    h.policy.onInvocationArrival(f, 10);
+    Container& second = h.pool.add(f, 10);
+    second.startInvocation(10, 10 + f.cold_us);
+    h.policy.onColdStart(second, f, 10);
+    second.finishInvocation();
+
+    const auto victims = h.policy.selectVictims(h.pool, 50, kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], first.id());
+}
+
+TEST(GreedyDual, FrequencyResetOnLastEviction)
+{
+    Harness h(10'000);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    Container& c = h.invokeCold(f, 0);
+    h.invokeWarm(c, f, kSecond);
+    EXPECT_EQ(h.policy.stats().of(0).frequency, 2);
+
+    h.policy.onEviction(c, /*last_of_function=*/true, 2 * kSecond);
+    EXPECT_EQ(h.policy.stats().of(0).frequency, 0);
+}
+
+TEST(GreedyDual, NoResetWhenOtherContainersRemain)
+{
+    Harness h(10'000);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    Container& c = h.invokeCold(f, 0);
+    h.policy.onEviction(c, /*last_of_function=*/false, kSecond);
+    EXPECT_EQ(h.policy.stats().of(0).frequency, 1);
+}
+
+TEST(GreedyDual, BatchEvictionFreesToThreshold)
+{
+    GreedyDualConfig config;
+    config.batch_free_mb = 500;
+    Harness h(1000, config);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    for (int i = 0; i < 10; ++i)
+        h.invokeCold(fn(static_cast<FunctionId>(i), 100, 500, 1000), 0);
+    ASSERT_DOUBLE_EQ(h.pool.freeMb(), 0.0);
+
+    // Needs only 10 MB but the batch threshold demands 500 MB free.
+    const auto victims = h.policy.selectVictims(h.pool, 10, kSecond);
+    MemMb freed = 0;
+    for (ContainerId id : victims)
+        freed += h.pool.get(id)->memMb();
+    EXPECT_GE(freed, 500.0);
+    (void)f;
+}
+
+TEST(GreedyDual, VictimsAreBestEffortWhenInsufficient)
+{
+    Harness h(1000);
+    h.invokeCold(fn(0, 200, 500, 1000), 0);
+    Container& busy = h.pool.add(fn(1, 800, 500, 1000), 0);
+    busy.startInvocation(0, kMinute);  // busy: not evictable
+
+    const auto victims = h.policy.selectVictims(h.pool, 500, kSecond);
+    ASSERT_EQ(victims.size(), 1u);  // only the idle 200 MB container
+    EXPECT_EQ(h.pool.get(victims[0])->function(), 0u);
+}
+
+TEST(GreedyDual, SizeOnlyVariantIgnoresFrequency)
+{
+    GreedyDualConfig config;
+    config.use_frequency = false;
+    Harness h(10'000, config);
+    const FunctionSpec f = fn(0, 100, 500, 2000);
+    Container& c = h.invokeCold(f, 0);
+    h.invokeWarm(c, f, kSecond);
+    h.invokeWarm(c, f, 2 * kSecond);
+    EXPECT_DOUBLE_EQ(c.priority(), 2.0 / 100.0);
+}
+
+TEST(GreedyDual, NameIsGD)
+{
+    EXPECT_EQ(GreedyDualPolicy().name(), "GD");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,90 @@
+// Configuration-sensitivity tests of the HIST policy: CoV threshold,
+// histogram window, prewarm-minimum, and margins all change the
+// keep-alive window in the documented direction.
+#include <gtest/gtest.h>
+
+#include "core/histogram_policy.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn()
+{
+    return makeFunction(0, "fn", 100, fromMillis(200), fromSeconds(2));
+}
+
+void
+feedRegular(HistogramPolicy& policy, int n, TimeUs iat)
+{
+    for (int i = 0; i < n; ++i)
+        policy.onInvocationArrival(fn(), i * iat);
+}
+
+TEST(HistogramConfig, ZeroCovThresholdMakesEverythingUnpredictable)
+{
+    HistogramPolicyConfig config;
+    config.cov_threshold = -1.0;  // below any achievable CoV
+    HistogramPolicy policy(config);
+    feedRegular(policy, 10, 5 * kMinute);
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+}
+
+TEST(HistogramConfig, HigherMinSamplesDelaysTrust)
+{
+    HistogramPolicyConfig config;
+    config.min_samples = 8;
+    HistogramPolicy policy(config);
+    feedRegular(policy, 6, 5 * kMinute);  // only 5 IAT samples
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+    feedRegular(policy, 5, 5 * kMinute);  // enough now (but IATs shift)
+    // After 8+ samples in total the function is trusted.
+    HistogramPolicy fresh(config);
+    feedRegular(fresh, 10, 5 * kMinute);
+    EXPECT_TRUE(fresh.windowFor(0).predictable);
+}
+
+TEST(HistogramConfig, LargerTailMarginExtendsLease)
+{
+    HistogramPolicyConfig narrow;
+    narrow.tail_margin = 1.0;
+    HistogramPolicyConfig wide;
+    wide.tail_margin = 2.0;
+    HistogramPolicy a(narrow), b(wide);
+    feedRegular(a, 10, 5 * kMinute);
+    feedRegular(b, 10, 5 * kMinute);
+    EXPECT_LT(a.windowFor(0).keepalive_us, b.windowFor(0).keepalive_us);
+}
+
+TEST(HistogramConfig, PrewarmMinSuppressesShortHeads)
+{
+    HistogramPolicyConfig config;
+    config.prewarm_min_us = kHour;  // never worth unloading
+    HistogramPolicy policy(config);
+    feedRegular(policy, 10, 5 * kMinute);
+    const KeepAliveWindow w = policy.windowFor(0);
+    EXPECT_TRUE(w.predictable);
+    EXPECT_EQ(w.prewarm_us, 0);
+}
+
+TEST(HistogramConfig, SmallerWindowOverflowsSooner)
+{
+    HistogramPolicyConfig config;
+    config.num_buckets = 3;  // 3-minute window
+    HistogramPolicy policy(config);
+    feedRegular(policy, 10, 5 * kMinute);  // all IATs out of window
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+}
+
+TEST(HistogramConfig, GenericTtlConfigurable)
+{
+    HistogramPolicyConfig config;
+    config.generic_ttl_us = 7 * kMinute;
+    HistogramPolicy policy(config);
+    const KeepAliveWindow w = policy.windowFor(12345);
+    EXPECT_FALSE(w.predictable);
+    EXPECT_EQ(w.keepalive_us, 7 * kMinute);
+}
+
+}  // namespace
+}  // namespace faascache

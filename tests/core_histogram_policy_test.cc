@@ -1,0 +1,214 @@
+#include "core/histogram_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem = 100)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(200),
+                        fromSeconds(2));
+}
+
+/** Feed `n` arrivals of `spec` spaced `iat` apart, starting at t0. */
+void
+feedArrivals(HistogramPolicy& policy, const FunctionSpec& spec, int n,
+             TimeUs iat, TimeUs t0 = 0)
+{
+    for (int i = 0; i < n; ++i)
+        policy.onInvocationArrival(spec, t0 + i * iat);
+}
+
+TEST(HistogramPolicy, UnknownFunctionGetsGenericTtl)
+{
+    HistogramPolicy policy;
+    const KeepAliveWindow w = policy.windowFor(42);
+    EXPECT_FALSE(w.predictable);
+    EXPECT_EQ(w.keepalive_us, policy.config().generic_ttl_us);
+}
+
+TEST(HistogramPolicy, TooFewSamplesIsUnpredictable)
+{
+    HistogramPolicy policy;
+    feedArrivals(policy, fn(0), 2, 5 * kMinute);  // only 1 IAT sample
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+}
+
+TEST(HistogramPolicy, RegularIatBecomesPredictable)
+{
+    HistogramPolicy policy;
+    feedArrivals(policy, fn(0), 10, 5 * kMinute);
+    const KeepAliveWindow w = policy.windowFor(0);
+    EXPECT_TRUE(w.predictable);
+    // All IATs land in the 5-minute bucket: the head is the bucket's
+    // lower edge (5 min) with the 0.85 safety margin, so the prewarm
+    // fires *before* the predicted arrival.
+    EXPECT_NEAR(static_cast<double>(w.prewarm_us), 0.85 * 5.0 * kMinute,
+                static_cast<double>(kMinute) / 2);
+    EXPECT_GE(w.keepalive_us, w.prewarm_us);
+}
+
+TEST(HistogramPolicy, HighCovIsUnpredictable)
+{
+    HistogramPolicy policy;
+    const FunctionSpec f = fn(0);
+    // One enormous IAT among many tiny ones: CoV above 2 (about 3.2).
+    TimeUs t = 0;
+    const TimeUs iats[] = {kSecond, kSecond, kSecond,       kSecond,
+                           kSecond, kSecond, kSecond,       kSecond,
+                           kSecond, kSecond, 230 * kMinute, kSecond};
+    policy.onInvocationArrival(f, t);
+    for (TimeUs iat : iats) {
+        t += iat;
+        policy.onInvocationArrival(f, t);
+    }
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+}
+
+TEST(HistogramPolicy, OutOfBoundsIatsAreUnpredictable)
+{
+    HistogramPolicyConfig config;
+    config.num_buckets = 10;  // 10-minute window
+    HistogramPolicy policy(config);
+    feedArrivals(policy, fn(0), 10, kHour);  // all IATs overflow
+    EXPECT_FALSE(policy.windowFor(0).predictable);
+}
+
+TEST(HistogramPolicy, ShortHeadSkipsPrewarm)
+{
+    HistogramPolicy policy;
+    feedArrivals(policy, fn(0), 10, 10 * kSecond);  // sub-minute IAT
+    const KeepAliveWindow w = policy.windowFor(0);
+    EXPECT_TRUE(w.predictable);
+    EXPECT_EQ(w.prewarm_us, 0);  // container just stays warm
+}
+
+TEST(HistogramPolicy, PredictableFunctionReleasesAndPrewarms)
+{
+    HistogramPolicy policy;
+    ContainerPool pool(1000);
+    const FunctionSpec f = fn(0);
+    feedArrivals(policy, fn(0), 10, 5 * kMinute);
+    const TimeUs now = 9 * 5 * kMinute;
+
+    // Serve the latest arrival cold.
+    Container& c = pool.add(f, now);
+    c.startInvocation(now, now + f.cold_us);
+    policy.onColdStart(c, f, now);
+    c.finishInvocation();
+
+    // The container expires immediately (release after execution)...
+    EXPECT_EQ(policy.expiredContainers(pool, now + kSecond).size(), 1u);
+
+    // ...and a prewarm is scheduled near the head of the window. Older
+    // arrivals scheduled prewarms too; drain everything up to `now`
+    // first, then the entry from the final arrival remains pending
+    // until now + head.
+    policy.duePrewarms(now);
+    const KeepAliveWindow w = policy.windowFor(0);
+    const auto due = policy.duePrewarms(now + w.prewarm_us + kSecond);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 0u);
+    // Consumed: asking again yields nothing.
+    EXPECT_TRUE(policy.duePrewarms(now + w.prewarm_us + kSecond).empty());
+}
+
+TEST(HistogramPolicy, PrewarmedContainerExpiresAtTail)
+{
+    HistogramPolicy policy;
+    ContainerPool pool(1000);
+    const FunctionSpec f = fn(0);
+    feedArrivals(policy, fn(0), 10, 5 * kMinute);
+    const KeepAliveWindow w = policy.windowFor(0);
+    ASSERT_TRUE(w.predictable);
+    ASSERT_GT(w.prewarm_us, 0);
+
+    const TimeUs prewarm_time = 100 * kMinute;
+    Container& c = pool.add(f, prewarm_time, /*prewarmed=*/true);
+    policy.onPrewarm(c, f, prewarm_time);
+
+    const TimeUs lease = w.keepalive_us - w.prewarm_us;
+    EXPECT_TRUE(
+        policy.expiredContainers(pool, prewarm_time + lease - kSecond)
+            .empty());
+    EXPECT_EQ(
+        policy.expiredContainers(pool, prewarm_time + lease + kSecond)
+            .size(),
+        1u);
+}
+
+TEST(HistogramPolicy, UnpredictableUsesGenericTwoHourTtl)
+{
+    HistogramPolicy policy;
+    ContainerPool pool(1000);
+    const FunctionSpec f = fn(0);
+    policy.onInvocationArrival(f, 0);
+    Container& c = pool.add(f, 0);
+    c.startInvocation(0, f.cold_us);
+    policy.onColdStart(c, f, 0);
+    c.finishInvocation();
+
+    EXPECT_TRUE(policy.expiredContainers(pool, 2 * kHour - kSecond).empty());
+    EXPECT_EQ(policy.expiredContainers(pool, 2 * kHour).size(), 1u);
+}
+
+TEST(HistogramPolicy, EvictionErasesLease)
+{
+    HistogramPolicy policy;
+    ContainerPool pool(1000);
+    const FunctionSpec f = fn(0);
+    policy.onInvocationArrival(f, 0);
+    Container& c = pool.add(f, 0);
+    c.startInvocation(0, f.cold_us);
+    policy.onColdStart(c, f, 0);
+    c.finishInvocation();
+    policy.onEviction(c, true, kSecond);
+    pool.remove(c.id());
+    // No stale lease entries: a new container for another function is
+    // unaffected (smoke check via expiredContainers on empty pool).
+    EXPECT_TRUE(policy.expiredContainers(pool, 3 * kHour).empty());
+}
+
+TEST(HistogramPolicy, PressureEvictionIsLru)
+{
+    HistogramPolicy policy;
+    ContainerPool pool(10'000);
+    const FunctionSpec f0 = fn(0), f1 = fn(1);
+    policy.onInvocationArrival(f0, 0);
+    Container& a = pool.add(f0, 0);
+    a.startInvocation(0, f0.cold_us);
+    policy.onColdStart(a, f0, 0);
+    a.finishInvocation();
+
+    policy.onInvocationArrival(f1, kSecond);
+    Container& b = pool.add(f1, kSecond);
+    b.startInvocation(kSecond, kSecond + f1.cold_us);
+    policy.onColdStart(b, f1, kSecond);
+    b.finishInvocation();
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], a.id());
+}
+
+TEST(HistogramPolicy, DuePrewarmsDeduplicates)
+{
+    HistogramPolicy policy;
+    const FunctionSpec f = fn(0);
+    // Two arrivals close together both schedule prewarms.
+    feedArrivals(policy, f, 12, 5 * kMinute);
+    const auto due = policy.duePrewarms(24 * kHour);
+    EXPECT_LE(due.size(), 1u);
+}
+
+TEST(HistogramPolicy, NameIsHIST)
+{
+    EXPECT_EQ(HistogramPolicy().name(), "HIST");
+}
+
+}  // namespace
+}  // namespace faascache

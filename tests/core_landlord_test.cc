@@ -1,0 +1,143 @@
+#include "core/landlord_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+
+namespace faascache {
+namespace {
+
+// (memory MB, init seconds)
+FunctionSpec
+fn(FunctionId id, MemMb mem, double init_sec)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(100),
+                        fromSeconds(init_sec));
+}
+
+Container&
+coldUse(ContainerPool& pool, LandlordPolicy& policy,
+        const FunctionSpec& spec, TimeUs now)
+{
+    policy.onInvocationArrival(spec, now);
+    Container& c = pool.add(spec, now);
+    c.startInvocation(now, now + spec.cold_us);
+    policy.onColdStart(c, spec, now);
+    c.finishInvocation();
+    return c;
+}
+
+TEST(Landlord, CreditSetToInitCostOnUse)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    Container& c = coldUse(pool, policy, fn(0, 100, 2.0), 0);
+    EXPECT_DOUBLE_EQ(c.credit(), 2.0);
+}
+
+TEST(Landlord, WarmUseRestoresCredit)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    const FunctionSpec f = fn(0, 100, 2.0);
+    Container& c = coldUse(pool, policy, f, 0);
+    c.setCredit(0.1);  // pretend rent was charged
+    policy.onInvocationArrival(f, kSecond);
+    c.startInvocation(kSecond, kSecond + f.warm_us);
+    policy.onWarmStart(c, f, kSecond);
+    c.finishInvocation();
+    EXPECT_DOUBLE_EQ(c.credit(), 2.0);
+}
+
+TEST(Landlord, EvictsLowestCreditDensity)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    // Credit density credit/size: f0 = 2/100 = 0.02, f1 = 3/50 = 0.06.
+    Container& cheap = coldUse(pool, policy, fn(0, 100, 2.0), 0);
+    Container& valuable = coldUse(pool, policy, fn(1, 50, 3.0), kSecond);
+
+    const auto victims = policy.selectVictims(pool, 60, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], cheap.id());
+    // Rent delta = 0.02 charged to everyone: valuable keeps 3 - 0.02*50.
+    EXPECT_NEAR(valuable.credit(), 3.0 - 0.02 * 50.0, 1e-9);
+}
+
+TEST(Landlord, RentIsChargedGlobally)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    Container& a = coldUse(pool, policy, fn(0, 100, 1.0), 0);
+    Container& b = coldUse(pool, policy, fn(1, 100, 2.0), 0);
+    Container& c = coldUse(pool, policy, fn(2, 100, 4.0), 0);
+
+    const auto victims = policy.selectVictims(pool, 50, kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], a.id());
+    // delta = 1/100 = 0.01; b and c each pay 0.01 * 100 = 1.
+    EXPECT_NEAR(b.credit(), 1.0, 1e-9);
+    EXPECT_NEAR(c.credit(), 3.0, 1e-9);
+}
+
+TEST(Landlord, RepeatedRoundsUntilEnoughFreed)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    Container& a = coldUse(pool, policy, fn(0, 100, 1.0), 0);
+    Container& b = coldUse(pool, policy, fn(1, 100, 2.0), 0);
+    coldUse(pool, policy, fn(2, 100, 4.0), 0);
+
+    // Needs 150 MB: two eviction rounds (a then b).
+    const auto victims = policy.selectVictims(pool, 150, kSecond);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(victims[0], a.id());
+    EXPECT_EQ(victims[1], b.id());
+}
+
+TEST(Landlord, SparedInsolventContainersKeepZeroCredit)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    // Two identical containers become insolvent in the same round, but
+    // only one needs to go.
+    Container& a = coldUse(pool, policy, fn(0, 100, 1.0), 0);
+    Container& b = coldUse(pool, policy, fn(1, 100, 1.0), kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], a.id());  // older one goes first
+    EXPECT_DOUBLE_EQ(b.credit(), 0.0);
+}
+
+TEST(Landlord, ZeroInitCostEvictedFirst)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    // A function with zero init cost has zero credit: free to evict.
+    Container& free_fn = coldUse(pool, policy, fn(0, 100, 0.0), 0);
+    Container& costly = coldUse(pool, policy, fn(1, 100, 5.0), kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], free_fn.id());
+    // delta was 0: the costly container pays no rent.
+    EXPECT_DOUBLE_EQ(costly.credit(), 5.0);
+}
+
+TEST(Landlord, BestEffortWhenNotEnoughIdle)
+{
+    ContainerPool pool(10'000);
+    LandlordPolicy policy;
+    coldUse(pool, policy, fn(0, 100, 1.0), 0);
+    const auto victims = policy.selectVictims(pool, 500, kSecond);
+    EXPECT_EQ(victims.size(), 1u);  // all it can offer
+}
+
+TEST(Landlord, NameIsLND)
+{
+    EXPECT_EQ(LandlordPolicy().name(), "LND");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,126 @@
+#include "core/oracle_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+#include "core/greedy_dual.h"
+#include "core/lru_policy.h"
+#include "core/ttl_policy.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem = 100)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(50),
+                        fromMillis(200));
+}
+
+Trace
+abcTrace()
+{
+    Trace t("abc");
+    t.addFunction(fn(0));
+    t.addFunction(fn(1));
+    t.addFunction(fn(2));
+    // A B C, then A soon, C later, B never again.
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);
+    t.addInvocation(2, 2 * kSecond);
+    t.addInvocation(0, 10 * kSecond);
+    t.addInvocation(2, kMinute);
+    return t;
+}
+
+TEST(OraclePolicy, NextUseLookup)
+{
+    const Trace t = abcTrace();
+    OraclePolicy oracle(t);
+    EXPECT_EQ(oracle.nextUseAfter(0, 0), 10 * kSecond);
+    EXPECT_EQ(oracle.nextUseAfter(0, 10 * kSecond), -1);
+    EXPECT_EQ(oracle.nextUseAfter(1, kSecond), -1);
+    EXPECT_EQ(oracle.nextUseAfter(2, 5 * kSecond), kMinute);
+    EXPECT_EQ(oracle.nextUseAfter(99, 0), -1);
+}
+
+TEST(OraclePolicy, EvictsNeverUsedAgainFirst)
+{
+    const Trace t = abcTrace();
+    OraclePolicy oracle(t);
+    ContainerPool pool(10'000);
+    for (FunctionId id : {0u, 1u, 2u}) {
+        const FunctionSpec spec = t.function(id);
+        oracle.onInvocationArrival(spec, id * kSecond);
+        Container& c = pool.add(spec, id * kSecond);
+        c.startInvocation(id * kSecond, id * kSecond + spec.cold_us);
+        oracle.onColdStart(c, spec, id * kSecond);
+        c.finishInvocation();
+    }
+    // At t=3s: B (fn 1) is never used again -> first victim; then C
+    // (next use at 60 s) before A (next use at 10 s).
+    const auto victims = oracle.selectVictims(pool, 250, 3 * kSecond);
+    ASSERT_EQ(victims.size(), 3u);
+    EXPECT_EQ(pool.get(victims[0])->function(), 1u);
+    EXPECT_EQ(pool.get(victims[1])->function(), 2u);
+    EXPECT_EQ(pool.get(victims[2])->function(), 0u);
+}
+
+TEST(OraclePolicy, TieBreaksTowardLargerContainers)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addFunction(fn(1, 400));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 0);
+    OraclePolicy oracle(t);
+    ContainerPool pool(10'000);
+    for (FunctionId id : {0u, 1u}) {
+        const FunctionSpec spec = t.function(id);
+        Container& c = pool.add(spec, 0);
+        c.startInvocation(0, spec.cold_us);
+        oracle.onColdStart(c, spec, 0);
+        c.finishInvocation();
+    }
+    // Both never used again: the 400 MB container goes first.
+    const auto victims = oracle.selectVictims(pool, 50, kSecond);
+    ASSERT_GE(victims.size(), 1u);
+    EXPECT_EQ(pool.get(victims[0])->function(), 1u);
+}
+
+TEST(OraclePolicy, NeverWorseThanOnlinePoliciesOnAverage)
+{
+    AzureModelConfig config;
+    config.seed = 19;
+    config.num_functions = 150;
+    config.duration_us = 20 * kMinute;
+    config.iat_median_sec = 30.0;
+    config.mem_median_mb = 64.0;
+    config.mem_sigma = 0.7;
+    config.mem_max_mb = 512.0;
+    const Trace t = generateAzureTrace(config);
+
+    SimulatorConfig sim_config;
+    sim_config.memory_mb = t.stats().total_unique_mem_mb / 3;
+    sim_config.memory_sample_interval_us = 0;
+
+    const SimResult oracle = simulateTrace(
+        t, std::make_unique<OraclePolicy>(t), sim_config);
+    const SimResult gd = simulateTrace(
+        t, std::make_unique<GreedyDualPolicy>(), sim_config);
+    const SimResult lru =
+        simulateTrace(t, std::make_unique<LruPolicy>(), sim_config);
+    const SimResult ttl =
+        simulateTrace(t, std::make_unique<TtlPolicy>(), sim_config);
+
+    // The farthest-next-use greedy is not provably optimal for weighted
+    // caching, but it should dominate the online policies here.
+    EXPECT_LE(oracle.cold_starts, gd.cold_starts);
+    EXPECT_LE(oracle.cold_starts, lru.cold_starts);
+    EXPECT_LE(oracle.cold_starts, ttl.cold_starts);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,61 @@
+#include "core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ttl_policy.h"
+
+namespace faascache {
+namespace {
+
+TEST(PolicyFactory, AllKindsListedOnce)
+{
+    const auto& kinds = allPolicyKinds();
+    EXPECT_EQ(kinds.size(), 7u);
+}
+
+TEST(PolicyFactory, NamesMatchPaperLegend)
+{
+    EXPECT_EQ(policyKindName(PolicyKind::GreedyDual), "GD");
+    EXPECT_EQ(policyKindName(PolicyKind::Ttl), "TTL");
+    EXPECT_EQ(policyKindName(PolicyKind::Lru), "LRU");
+    EXPECT_EQ(policyKindName(PolicyKind::Hist), "HIST");
+    EXPECT_EQ(policyKindName(PolicyKind::Size), "SIZE");
+    EXPECT_EQ(policyKindName(PolicyKind::Landlord), "LND");
+    EXPECT_EQ(policyKindName(PolicyKind::Lfu), "FREQ");
+}
+
+TEST(PolicyFactory, RoundTripNames)
+{
+    for (PolicyKind kind : allPolicyKinds())
+        EXPECT_EQ(policyKindFromName(policyKindName(kind)), kind);
+}
+
+TEST(PolicyFactory, UnknownNameThrows)
+{
+    EXPECT_THROW(policyKindFromName("NOPE"), std::invalid_argument);
+    EXPECT_THROW(policyKindFromName(""), std::invalid_argument);
+}
+
+TEST(PolicyFactory, ConfigPropagatesToTtl)
+{
+    PolicyConfig config;
+    config.ttl_us = 3 * kMinute;
+    auto policy = makePolicy(PolicyKind::Ttl, config);
+    auto* ttl = dynamic_cast<TtlPolicy*>(policy.get());
+    ASSERT_NE(ttl, nullptr);
+    EXPECT_EQ(ttl->ttl(), 3 * kMinute);
+}
+
+TEST(PolicyFactory, FreshInstancesAreIndependent)
+{
+    auto a = makePolicy(PolicyKind::GreedyDual);
+    auto b = makePolicy(PolicyKind::GreedyDual);
+    const FunctionSpec f =
+        makeFunction(0, "f", 100, fromMillis(100), fromMillis(100));
+    a->onInvocationArrival(f, 0);
+    EXPECT_EQ(a->stats().of(0).frequency, 1);
+    EXPECT_EQ(b->stats().of(0).frequency, 0);
+}
+
+}  // namespace
+}  // namespace faascache

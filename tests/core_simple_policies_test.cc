@@ -1,0 +1,158 @@
+// Tests for the single-characteristic Greedy-Dual specializations
+// (paper §4.2): LRU (recency), FREQ/LFU (frequency), SIZE (1/size).
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+#include "core/lfu_policy.h"
+#include "core/lru_policy.h"
+#include "core/size_policy.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem = 100)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(100),
+                        fromMillis(100));
+}
+
+Container&
+coldUse(ContainerPool& pool, KeepAlivePolicy& policy,
+        const FunctionSpec& spec, TimeUs now)
+{
+    policy.onInvocationArrival(spec, now);
+    Container& c = pool.add(spec, now);
+    c.startInvocation(now, now + spec.cold_us);
+    policy.onColdStart(c, spec, now);
+    c.finishInvocation();
+    return c;
+}
+
+void
+warmUse(ContainerPool&, KeepAlivePolicy& policy, Container& c,
+        const FunctionSpec& spec, TimeUs now)
+{
+    policy.onInvocationArrival(spec, now);
+    c.startInvocation(now, now + spec.warm_us);
+    policy.onWarmStart(c, spec, now);
+    c.finishInvocation();
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed)
+{
+    ContainerPool pool(10'000);
+    LruPolicy policy;
+    Container& a = coldUse(pool, policy, fn(0), 0);
+    Container& b = coldUse(pool, policy, fn(1), kSecond);
+    // Touch a again: b becomes the LRU.
+    warmUse(pool, policy, a, fn(0), 2 * kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 3 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], b.id());
+}
+
+TEST(LruPolicy, ResourceConservingNoExpiry)
+{
+    ContainerPool pool(1000);
+    LruPolicy policy;
+    coldUse(pool, policy, fn(0), 0);
+    EXPECT_TRUE(policy.expiredContainers(pool, 365 * 24 * kHour).empty());
+}
+
+TEST(LruPolicy, SkipsBusyContainers)
+{
+    ContainerPool pool(10'000);
+    LruPolicy policy;
+    policy.onInvocationArrival(fn(0), 0);
+    Container& busy = pool.add(fn(0), 0);
+    busy.startInvocation(0, kHour);
+    policy.onColdStart(busy, fn(0), 0);
+    Container& idle = coldUse(pool, policy, fn(1), kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], idle.id());
+}
+
+TEST(LfuPolicy, EvictsLeastFrequentlyInvoked)
+{
+    ContainerPool pool(10'000);
+    LfuPolicy policy;
+    Container& popular = coldUse(pool, policy, fn(0), 0);
+    Container& unpopular = coldUse(pool, policy, fn(1), kSecond);
+    warmUse(pool, policy, popular, fn(0), 2 * kSecond);
+    warmUse(pool, policy, popular, fn(0), 3 * kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 4 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], unpopular.id());
+}
+
+TEST(LfuPolicy, TieBreaksByRecency)
+{
+    ContainerPool pool(10'000);
+    LfuPolicy policy;
+    Container& older = coldUse(pool, policy, fn(0), 0);
+    coldUse(pool, policy, fn(1), kSecond);  // same frequency (1)
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], older.id());
+}
+
+TEST(LfuPolicy, FrequencyResetMakesFunctionEvictable)
+{
+    ContainerPool pool(10'000);
+    LfuPolicy policy;
+    Container& a = coldUse(pool, policy, fn(0), 0);
+    warmUse(pool, policy, a, fn(0), kSecond);
+    warmUse(pool, policy, a, fn(0), 2 * kSecond);
+    // Evicting the last container of fn 0 resets its frequency.
+    policy.onEviction(a, /*last_of_function=*/true, 3 * kSecond);
+    pool.remove(a.id());
+
+    coldUse(pool, policy, fn(0), 4 * kSecond);      // freq back to 1
+    Container& b = coldUse(pool, policy, fn(1), 5 * kSecond);
+    warmUse(pool, policy, b, fn(1), 6 * kSecond);   // freq 2
+
+    const auto victims = policy.selectVictims(pool, 50, 7 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(pool.get(victims[0])->function(), 0u);
+}
+
+TEST(SizePolicy, EvictsLargestFirst)
+{
+    ContainerPool pool(10'000);
+    SizePolicy policy;
+    coldUse(pool, policy, fn(0, 64), 0);
+    Container& big = coldUse(pool, policy, fn(1, 512), kSecond);
+    coldUse(pool, policy, fn(2, 128), 2 * kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 3 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], big.id());
+}
+
+TEST(SizePolicy, EqualSizesFallBackToLru)
+{
+    ContainerPool pool(10'000);
+    SizePolicy policy;
+    Container& older = coldUse(pool, policy, fn(0, 100), 0);
+    coldUse(pool, policy, fn(1, 100), kSecond);
+
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], older.id());
+}
+
+TEST(SimplePolicies, Names)
+{
+    EXPECT_EQ(LruPolicy().name(), "LRU");
+    EXPECT_EQ(LfuPolicy().name(), "FREQ");
+    EXPECT_EQ(SizePolicy().name(), "SIZE");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,81 @@
+#include "core/size_norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace faascache {
+namespace {
+
+const ResourceVector kServer{48.0, 48.0 * 1024.0, 100.0};
+
+TEST(SizeNorm, MemoryOnlyIgnoresOtherDimensions)
+{
+    const ResourceVector a{1.0, 256.0, 0.0};
+    const ResourceVector b{32.0, 256.0, 90.0};
+    EXPECT_DOUBLE_EQ(scalarSize(a, kServer, SizeNorm::MemoryOnly),
+                     scalarSize(b, kServer, SizeNorm::MemoryOnly));
+    EXPECT_DOUBLE_EQ(scalarSize(a, kServer, SizeNorm::MemoryOnly), 256.0);
+}
+
+TEST(SizeNorm, MagnitudeIsEuclidean)
+{
+    const ResourceVector d{3.0, 4.0, 0.0};
+    EXPECT_DOUBLE_EQ(scalarSize(d, kServer, SizeNorm::Magnitude), 5.0);
+}
+
+TEST(SizeNorm, NormalizedSumMatchesFormula)
+{
+    const ResourceVector d{24.0, 24.0 * 1024.0, 50.0};
+    // Half of each server dimension: 0.5 + 0.5 + 0.5.
+    EXPECT_NEAR(scalarSize(d, kServer, SizeNorm::NormalizedSum), 1.5,
+                1e-12);
+}
+
+TEST(SizeNorm, NormalizedSumSkipsZeroServerDimensions)
+{
+    const ResourceVector server{48.0, 48.0 * 1024.0, 0.0};
+    const ResourceVector d{48.0, 0.0, 1'000.0};
+    EXPECT_NEAR(scalarSize(d, server, SizeNorm::NormalizedSum), 1.0,
+                1e-12);
+}
+
+TEST(SizeNorm, CosineDiscountsAlignedContainers)
+{
+    // A demand proportional to the server vector packs perfectly and
+    // should look "smaller" than an equally heavy skewed demand.
+    const ResourceVector aligned{4.8, 4.8 * 1024.0, 10.0};
+    const ResourceVector skewed{0.0, 2.0 * 4.8 * 1024.0, 0.0};
+    const double s_aligned =
+        scalarSize(aligned, kServer, SizeNorm::CosineWeighted);
+    const double s_aligned_sum =
+        scalarSize(aligned, kServer, SizeNorm::NormalizedSum);
+    EXPECT_LT(s_aligned, s_aligned_sum);
+    EXPECT_GT(s_aligned, 0.0);
+    (void)skewed;
+}
+
+TEST(SizeNorm, AllNormsStrictlyPositive)
+{
+    const ResourceVector tiny{0.0, 0.0, 0.0};
+    for (SizeNorm norm :
+         {SizeNorm::MemoryOnly, SizeNorm::Magnitude,
+          SizeNorm::NormalizedSum, SizeNorm::CosineWeighted}) {
+        EXPECT_GT(scalarSize(tiny, kServer, norm), 0.0);
+    }
+}
+
+TEST(SizeNorm, ResourceVectorOfFunction)
+{
+    FunctionSpec spec =
+        makeFunction(0, "f", 256, fromMillis(100), fromMillis(100));
+    spec.cpu_units = 2.0;
+    spec.io_units = 5.0;
+    const ResourceVector v = resourceVectorOf(spec);
+    EXPECT_DOUBLE_EQ(v.cpu, 2.0);
+    EXPECT_DOUBLE_EQ(v.mem_mb, 256.0);
+    EXPECT_DOUBLE_EQ(v.io, 5.0);
+}
+
+}  // namespace
+}  // namespace faascache

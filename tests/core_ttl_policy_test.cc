@@ -1,0 +1,105 @@
+#include "core/ttl_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem = 100)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(100),
+                        fromMillis(100));
+}
+
+Container&
+coldUse(ContainerPool& pool, TtlPolicy& policy, const FunctionSpec& spec,
+        TimeUs now)
+{
+    policy.onInvocationArrival(spec, now);
+    Container& c = pool.add(spec, now);
+    c.startInvocation(now, now + spec.cold_us);
+    policy.onColdStart(c, spec, now);
+    c.finishInvocation();
+    return c;
+}
+
+TEST(TtlPolicy, DefaultTtlIsTenMinutes)
+{
+    EXPECT_EQ(TtlPolicy().ttl(), 10 * kMinute);
+}
+
+TEST(TtlPolicy, NoExpiryBeforeTtl)
+{
+    ContainerPool pool(1000);
+    TtlPolicy policy(10 * kMinute);
+    coldUse(pool, policy, fn(0), 0);
+    EXPECT_TRUE(policy.expiredContainers(pool, 10 * kMinute - 1).empty());
+}
+
+TEST(TtlPolicy, ExpiresAtTtl)
+{
+    ContainerPool pool(1000);
+    TtlPolicy policy(10 * kMinute);
+    Container& c = coldUse(pool, policy, fn(0), 0);
+    const auto expired = policy.expiredContainers(pool, 10 * kMinute);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0], c.id());
+}
+
+TEST(TtlPolicy, UseRefreshesLease)
+{
+    ContainerPool pool(1000);
+    TtlPolicy policy(10 * kMinute);
+    Container& c = coldUse(pool, policy, fn(0), 0);
+    // Warm use at minute 5 pushes expiry to minute 15.
+    policy.onInvocationArrival(fn(0), 5 * kMinute);
+    c.startInvocation(5 * kMinute, 5 * kMinute + fromMillis(100));
+    policy.onWarmStart(c, fn(0), 5 * kMinute);
+    c.finishInvocation();
+    EXPECT_TRUE(policy.expiredContainers(pool, 14 * kMinute).empty());
+    EXPECT_EQ(policy.expiredContainers(pool, 15 * kMinute).size(), 1u);
+}
+
+TEST(TtlPolicy, BusyContainersNeverExpire)
+{
+    ContainerPool pool(1000);
+    TtlPolicy policy(kMinute);
+    policy.onInvocationArrival(fn(0), 0);
+    Container& c = pool.add(fn(0), 0);
+    c.startInvocation(0, kHour);
+    policy.onColdStart(c, fn(0), 0);
+    EXPECT_TRUE(policy.expiredContainers(pool, 30 * kMinute).empty());
+}
+
+TEST(TtlPolicy, PressureEvictionIsLruOrder)
+{
+    ContainerPool pool(10'000);
+    TtlPolicy policy;
+    Container& oldest = coldUse(pool, policy, fn(0), 0);
+    coldUse(pool, policy, fn(1), kSecond);
+    coldUse(pool, policy, fn(2), 2 * kSecond);
+
+    const auto victims = policy.selectVictims(pool, 150, 3 * kSecond);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(victims[0], oldest.id());
+}
+
+TEST(TtlPolicy, MultipleExpirationsAtOnce)
+{
+    ContainerPool pool(10'000);
+    TtlPolicy policy(kMinute);
+    coldUse(pool, policy, fn(0), 0);
+    coldUse(pool, policy, fn(1), kSecond);
+    EXPECT_EQ(policy.expiredContainers(pool, kHour).size(), 2u);
+}
+
+TEST(TtlPolicy, NameIsTTL)
+{
+    EXPECT_EQ(TtlPolicy().name(), "TTL");
+}
+
+}  // namespace
+}  // namespace faascache

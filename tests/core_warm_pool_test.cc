@@ -1,0 +1,111 @@
+#include "core/warm_pool_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/container_pool.h"
+#include "core/greedy_dual.h"
+#include "sim/simulator.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem = 100)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem, fromMillis(50),
+                        fromMillis(500));
+}
+
+Container&
+addIdle(ContainerPool& pool, const FunctionSpec& spec, TimeUs used_at)
+{
+    Container& c = pool.add(spec, used_at);
+    c.startInvocation(used_at, used_at + spec.warm_us);
+    c.finishInvocation();
+    return c;
+}
+
+TEST(WarmPool, KeepsUpToBudgetPerFunction)
+{
+    ContainerPool pool(10'000);
+    WarmPoolPolicy policy(2);
+    addIdle(pool, fn(0), 0);
+    addIdle(pool, fn(0), kSecond);
+    EXPECT_TRUE(policy.expiredContainers(pool, 2 * kSecond).empty());
+}
+
+TEST(WarmPool, ReleasesSurplusOldestFirst)
+{
+    ContainerPool pool(10'000);
+    WarmPoolPolicy policy(2);
+    Container& oldest = addIdle(pool, fn(0), 0);
+    addIdle(pool, fn(0), kSecond);
+    addIdle(pool, fn(0), 2 * kSecond);
+    const auto surplus = policy.expiredContainers(pool, 3 * kSecond);
+    ASSERT_EQ(surplus.size(), 1u);
+    EXPECT_EQ(surplus[0], oldest.id());
+}
+
+TEST(WarmPool, BudgetIsPerFunction)
+{
+    ContainerPool pool(10'000);
+    WarmPoolPolicy policy(1);
+    addIdle(pool, fn(0), 0);
+    addIdle(pool, fn(1), 0);
+    EXPECT_TRUE(policy.expiredContainers(pool, kSecond).empty());
+    addIdle(pool, fn(0), kSecond);
+    EXPECT_EQ(policy.expiredContainers(pool, 2 * kSecond).size(), 1u);
+}
+
+TEST(WarmPool, BusyContainersDoNotCountAgainstBudget)
+{
+    ContainerPool pool(10'000);
+    WarmPoolPolicy policy(1);
+    Container& busy = pool.add(fn(0), 0);
+    busy.startInvocation(0, kHour);
+    addIdle(pool, fn(0), kSecond);
+    EXPECT_TRUE(policy.expiredContainers(pool, 2 * kSecond).empty());
+}
+
+TEST(WarmPool, PressureEvictionIsLru)
+{
+    ContainerPool pool(10'000);
+    WarmPoolPolicy policy(4);
+    Container& oldest = addIdle(pool, fn(0), 0);
+    addIdle(pool, fn(1), kSecond);
+    const auto victims = policy.selectVictims(pool, 50, 2 * kSecond);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], oldest.id());
+}
+
+TEST(WarmPool, SimulatorRunCapsResidentContainers)
+{
+    // Concurrency bursts create extra containers; the pool policy trims
+    // them back to the budget between bursts.
+    Trace t("t");
+    t.addFunction(fn(0));
+    // Burst of 4 concurrent invocations (cold takes 550 ms).
+    for (int i = 0; i < 4; ++i)
+        t.addInvocation(0, i * fromMillis(10));
+    // A later invocation after the burst settles.
+    t.addInvocation(0, kMinute);
+    SimulatorConfig config;
+    config.memory_mb = 10'000;
+    config.memory_sample_interval_us = 0;
+    Simulator sim(t, std::make_unique<WarmPoolPolicy>(1), config);
+    while (!sim.done())
+        sim.step();
+    // After the final arrival, surplus containers were expired.
+    EXPECT_LE(sim.pool().size(), 2u);
+    EXPECT_GT(sim.result().expirations, 0);
+}
+
+TEST(WarmPool, NameAndBudgetAccessors)
+{
+    WarmPoolPolicy policy(3);
+    EXPECT_EQ(policy.name(), "POOL");
+    EXPECT_EQ(policy.poolSize(), 3u);
+}
+
+}  // namespace
+}  // namespace faascache

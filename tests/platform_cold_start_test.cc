@@ -1,0 +1,71 @@
+#include "platform/cold_start_model.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/function_bench.h"
+
+namespace faascache {
+namespace {
+
+TEST(ColdStartModel, StagesSumToColdTime)
+{
+    for (const auto& spec : functionBenchCatalog()) {
+        const ColdStartBreakdown b = coldStartBreakdown(spec);
+        EXPECT_EQ(b.overheadUs(), spec.initTime()) << spec.name;
+        EXPECT_EQ(b.totalUs(), spec.cold_us) << spec.name;
+        EXPECT_EQ(b.execution_us, spec.warm_us) << spec.name;
+    }
+}
+
+TEST(ColdStartModel, HeavyInitGetsExplicitComponent)
+{
+    // The CNN app (4.5 s init) has room for model downloads beyond the
+    // fixed platform stages (~2.75 s).
+    const ColdStartBreakdown b =
+        coldStartBreakdown(functionBenchSpec(FunctionBenchApp::MlInference));
+    EXPECT_GT(b.explicit_init_us, 0);
+    const ColdStartModelConfig config;
+    EXPECT_EQ(b.docker_startup_us, config.docker_startup_us);
+    EXPECT_EQ(b.ow_runtime_init_us, config.ow_runtime_init_us);
+}
+
+TEST(ColdStartModel, LightweightInitScalesPlatformStages)
+{
+    // Disk-bench init (1.8 s) is below the fixed stages: everything is
+    // scaled down and explicit init is zero.
+    const ColdStartBreakdown b =
+        coldStartBreakdown(functionBenchSpec(FunctionBenchApp::DiskBench));
+    EXPECT_EQ(b.explicit_init_us, 0);
+    const ColdStartModelConfig config;
+    EXPECT_LT(b.docker_startup_us, config.docker_startup_us);
+    EXPECT_EQ(b.overheadUs(),
+              functionBenchSpec(FunctionBenchApp::DiskBench).initTime());
+}
+
+TEST(ColdStartModel, ZeroInitFunction)
+{
+    const FunctionSpec spec =
+        makeFunction(0, "no-init", 64, fromSeconds(1), 0);
+    const ColdStartBreakdown b = coldStartBreakdown(spec);
+    EXPECT_EQ(b.overheadUs(), 0);
+    EXPECT_EQ(b.totalUs(), spec.warm_us);
+}
+
+TEST(ColdStartModel, CustomConfigRespected)
+{
+    ColdStartModelConfig config;
+    config.docker_startup_us = fromSeconds(0.1);
+    config.ow_runtime_init_us = fromSeconds(0.2);
+    config.language_init_us = fromSeconds(0.1);
+    config.pool_check_us = fromSeconds(0.01);
+    const FunctionSpec spec =
+        makeFunction(0, "fn", 64, fromSeconds(1), fromSeconds(2));
+    const ColdStartBreakdown b = coldStartBreakdown(spec, config);
+    EXPECT_EQ(b.docker_startup_us, fromSeconds(0.1));
+    EXPECT_EQ(b.explicit_init_us,
+              fromSeconds(2) - fromSeconds(0.01) - fromSeconds(0.1) -
+                  fromSeconds(0.2) - fromSeconds(0.1));
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,59 @@
+#include "platform/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    q.push(30, EventKind::Arrival, 3);
+    q.push(10, EventKind::Arrival, 1);
+    q.push(20, EventKind::Finish, 2);
+    EXPECT_EQ(q.pop().payload, 1u);
+    EXPECT_EQ(q.pop().payload, 2u);
+    EXPECT_EQ(q.pop().payload, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp)
+{
+    EventQueue q;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        q.push(100, EventKind::Arrival, i);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, NextTimePeeks)
+{
+    EventQueue q;
+    q.push(42, EventKind::Maintenance);
+    EXPECT_EQ(q.nextTime(), 42);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, KindAndPayloadPreserved)
+{
+    EventQueue q;
+    q.push(5, EventKind::Finish, 777);
+    const Event e = q.pop();
+    EXPECT_EQ(e.kind, EventKind::Finish);
+    EXPECT_EQ(e.payload, 777u);
+    EXPECT_EQ(e.time_us, 5);
+}
+
+TEST(EventQueue, InterleavedPushPop)
+{
+    EventQueue q;
+    q.push(10, EventKind::Arrival, 1);
+    q.push(20, EventKind::Arrival, 2);
+    EXPECT_EQ(q.pop().payload, 1u);
+    q.push(15, EventKind::Arrival, 3);
+    EXPECT_EQ(q.pop().payload, 3u);
+    EXPECT_EQ(q.pop().payload, 2u);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,147 @@
+#include "platform/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/load_generator.h"
+
+namespace faascache {
+namespace {
+
+ServerConfig
+fig7Server()
+{
+    ServerConfig c;
+    c.cores = 8;
+    c.memory_mb = 1000;
+    return c;
+}
+
+TEST(LoadGenerator, SkewedFrequencyShape)
+{
+    const Trace t = skewedFrequencyWorkload(10 * kMinute);
+    EXPECT_TRUE(t.validate());
+    EXPECT_TRUE(t.isSorted());
+    ASSERT_EQ(t.functions().size(), 4u);
+    const auto counts = t.invocationCounts();
+    // Floating-point (IAT 400 ms) dominates the 1500 ms functions.
+    EXPECT_GT(counts[3], 2 * counts[0]);
+    EXPECT_GT(counts[3], 2 * counts[1]);
+    EXPECT_GT(counts[3], 2 * counts[2]);
+}
+
+TEST(LoadGenerator, SkewedFrequencyDeterministicInSeed)
+{
+    const Trace a = skewedFrequencyWorkload(5 * kMinute, 7);
+    const Trace b = skewedFrequencyWorkload(5 * kMinute, 7);
+    const Trace c = skewedFrequencyWorkload(5 * kMinute, 8);
+    ASSERT_EQ(a.invocations().size(), b.invocations().size());
+    for (std::size_t i = 0; i < a.invocations().size(); ++i)
+        EXPECT_EQ(a.invocations()[i], b.invocations()[i]);
+    EXPECT_NE(a.invocations().size(), c.invocations().size());
+}
+
+TEST(LoadGenerator, CyclicVisitsAllFunctionsEqually)
+{
+    const Trace t = cyclicWorkload(10 * kMinute);
+    const auto counts = t.invocationCounts();
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]),
+                    static_cast<double>(counts[0]), 1.0);
+}
+
+TEST(LoadGenerator, SkewedSizeSmallFunctionsDominate)
+{
+    const Trace t = skewedSizeWorkload(10 * kMinute);
+    const auto counts = t.invocationCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    // Small (ids 2, 3) fire far more often than large (ids 0, 1).
+    EXPECT_GT(counts[2], 2 * counts[0]);
+    EXPECT_GT(counts[3], 2 * counts[1]);
+}
+
+TEST(Experiment, ComparisonRunsBothPolicies)
+{
+    const Trace t = skewedFrequencyWorkload(5 * kMinute);
+    const PlatformComparison cmp =
+        compareOpenWhiskVsFaasCache(t, fig7Server());
+    EXPECT_EQ(cmp.openwhisk.policy_name, "TTL");
+    EXPECT_EQ(cmp.faascache.policy_name, "GD");
+    EXPECT_GT(cmp.openwhisk.served(), 0);
+    EXPECT_GT(cmp.faascache.served(), 0);
+    EXPECT_EQ(cmp.openwhisk.total(), cmp.faascache.total());
+}
+
+TEST(Experiment, FaasCacheAtLeastMatchesOpenWhiskOnCyclic)
+{
+    // The cyclic pattern is the adversarial case for naive eviction:
+    // Greedy-Dual keeps the small, costly-to-initialize functions warm
+    // while vanilla OpenWhisk churns the whole pool.
+    const Trace t = cyclicWorkload(20 * kMinute);
+    const PlatformComparison cmp =
+        compareOpenWhiskVsFaasCache(t, fig7Server());
+    EXPECT_GE(cmp.warmStartRatio(), 1.2);
+}
+
+TEST(Experiment, RatiosSafeOnDegenerateResults)
+{
+    PlatformComparison cmp;
+    EXPECT_DOUBLE_EQ(cmp.warmStartRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(cmp.servedRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(cmp.latencyImprovement(), 1.0);
+}
+
+TEST(Experiment, ColdStartCpuSlotsSlowDispatch)
+{
+    // With 2 cores and 2 slots per cold init, two simultaneous cold
+    // starts cannot overlap their init phases.
+    Trace t("t");
+    t.addFunction(makeFunction(0, "a", 100, fromSeconds(1), fromSeconds(2)));
+    t.addFunction(makeFunction(1, "b", 100, fromSeconds(1), fromSeconds(2)));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 0);
+
+    ServerConfig config;
+    config.cores = 2;
+    config.memory_mb = 1000;
+    config.cold_start_cpu_slots = 2;
+    Server server(makePolicy(PolicyKind::Lru), config);
+    const PlatformResult r = server.run(t);
+    ASSERT_EQ(r.served(), 2);
+    // First: latency 3 s (2 s init + 1 s run). After its InitDone at
+    // 2 s one slot frees, but a cold start needs both, so the second
+    // request waits for the full Finish at 3 s: latency 3 + 3 = 6 s.
+    EXPECT_NEAR(r.latencies_sec[0], 3.0, 1e-6);
+    EXPECT_NEAR(r.latencies_sec[1], 6.0, 1e-6);
+}
+
+TEST(Experiment, TtlVictimOrderChangesEvictions)
+{
+    // Build a pool where the oldest-created container is the hottest:
+    // OldestCreated evicts it, LRU spares it.
+    ContainerPool pool(10'000);
+    TtlPolicy lru(10 * kMinute, TtlVictimOrder::LeastRecentlyUsed);
+    TtlPolicy fifo(10 * kMinute, TtlVictimOrder::OldestCreated);
+
+    const FunctionSpec hot =
+        makeFunction(0, "hot", 100, fromMillis(100), fromMillis(100));
+    const FunctionSpec cold_fn =
+        makeFunction(1, "cold", 100, fromMillis(100), fromMillis(100));
+
+    Container& oldest_hot = pool.add(hot, 0);
+    oldest_hot.startInvocation(10 * kSecond, 10 * kSecond + hot.warm_us);
+    oldest_hot.finishInvocation();  // recently used
+    Container& newer_cold = pool.add(cold_fn, kSecond);
+    newer_cold.startInvocation(2 * kSecond, 2 * kSecond + cold_fn.warm_us);
+    newer_cold.finishInvocation();  // used long ago
+
+    const auto lru_victims = lru.selectVictims(pool, 50, 20 * kSecond);
+    ASSERT_EQ(lru_victims.size(), 1u);
+    EXPECT_EQ(lru_victims[0], newer_cold.id());
+
+    const auto fifo_victims = fifo.selectVictims(pool, 50, 20 * kSecond);
+    ASSERT_EQ(fifo_victims.size(), 1u);
+    EXPECT_EQ(fifo_victims[0], oldest_hot.id());
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,70 @@
+#include "platform/function_bench.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(FunctionBench, CatalogHasSixApps)
+{
+    EXPECT_EQ(functionBenchCatalog().size(), kNumFunctionBenchApps);
+}
+
+TEST(FunctionBench, Table1Values)
+{
+    const FunctionSpec& cnn =
+        functionBenchSpec(FunctionBenchApp::MlInference);
+    EXPECT_DOUBLE_EQ(cnn.mem_mb, 512.0);
+    EXPECT_EQ(cnn.cold_us, fromSeconds(6.5));
+    EXPECT_EQ(cnn.initTime(), fromSeconds(4.5));
+    EXPECT_EQ(cnn.warm_us, fromSeconds(2.0));
+
+    const FunctionSpec& web = functionBenchSpec(FunctionBenchApp::WebServing);
+    EXPECT_DOUBLE_EQ(web.mem_mb, 64.0);
+    EXPECT_EQ(web.initTime(), fromSeconds(2.0));
+
+    const FunctionSpec& fp =
+        functionBenchSpec(FunctionBenchApp::FloatingPoint);
+    EXPECT_DOUBLE_EQ(fp.mem_mb, 128.0);
+    EXPECT_EQ(fp.cold_us, fromSeconds(2.0));
+}
+
+TEST(FunctionBench, AllSpecsValid)
+{
+    for (const auto& spec : functionBenchCatalog())
+        EXPECT_TRUE(spec.valid()) << spec.name;
+}
+
+TEST(FunctionBench, IdsAreDense)
+{
+    const auto& catalog = functionBenchCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(catalog[i].id, i);
+}
+
+TEST(FunctionBench, InitDominatesForMostApps)
+{
+    // Paper §2.1: initialization can be as much as 80% of total time.
+    int init_heavy = 0;
+    for (const auto& spec : functionBenchCatalog()) {
+        const double frac = static_cast<double>(spec.initTime()) /
+            static_cast<double>(spec.cold_us);
+        if (frac >= 0.5)
+            ++init_heavy;
+    }
+    EXPECT_GE(init_heavy, 4);
+}
+
+TEST(FunctionBench, SubsetRemapsIds)
+{
+    const auto subset = functionBenchSubset(
+        {FunctionBenchApp::FloatingPoint, FunctionBenchApp::MlInference});
+    ASSERT_EQ(subset.size(), 2u);
+    EXPECT_EQ(subset[0].id, 0u);
+    EXPECT_EQ(subset[0].name, "floating-point");
+    EXPECT_EQ(subset[1].id, 1u);
+    EXPECT_EQ(subset[1].name, "ml-inference-cnn");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,260 @@
+#include "platform/server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem, double warm_sec = 1.0, double init_sec = 1.0)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem,
+                        fromSeconds(warm_sec), fromSeconds(init_sec));
+}
+
+ServerConfig
+config(int cores, MemMb mem)
+{
+    ServerConfig c;
+    c.cores = cores;
+    c.memory_mb = mem;
+    return c;
+}
+
+PlatformResult
+run(const Trace& trace, const ServerConfig& cfg,
+    PolicyKind kind = PolicyKind::Lru)
+{
+    Server server(makePolicy(kind), cfg);
+    return server.run(trace);
+}
+
+TEST(Server, ServesSingleInvocationCold)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    const PlatformResult r = run(t, config(2, 1'000));
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.warm_starts, 0);
+    EXPECT_EQ(r.dropped(), 0);
+    ASSERT_EQ(r.latencies_sec.size(), 1u);
+    EXPECT_NEAR(r.latencies_sec[0], 2.0, 1e-6);  // cold = warm + init
+}
+
+TEST(Server, SecondInvocationWarm)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, 5 * kSecond);
+    const PlatformResult r = run(t, config(2, 1'000));
+    EXPECT_EQ(r.warm_starts, 1);
+    EXPECT_NEAR(r.meanLatencySecOf(0), (2.0 + 1.0) / 2.0, 1e-6);
+}
+
+TEST(Server, QueuesWhenCoresBusy)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addFunction(fn(1, 100));
+    // One core: the second request waits for the first to finish.
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);
+    const PlatformResult r = run(t, config(1, 1'000));
+    EXPECT_EQ(r.served(), 2);
+    ASSERT_EQ(r.latencies_sec.size(), 2u);
+    // Second request waited 1 s (cold finished at 2 s) + its own 2 s.
+    EXPECT_NEAR(r.latencies_sec[1], 3.0, 1e-6);
+}
+
+TEST(Server, DropsOnQueueOverflow)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 100.0, 0.0));  // 100 s execution
+    for (int i = 0; i < 5; ++i)
+        t.addInvocation(0, i * kMillisecond);
+    ServerConfig c = config(1, 10'000);
+    c.queue_capacity = 2;
+    c.queue_timeout_us = kHour;
+    const PlatformResult r = run(t, c);
+    // 1 running + 2 queued; the other 2 dropped at arrival.
+    EXPECT_EQ(r.dropped_queue_full, 2);
+}
+
+TEST(Server, DropsOnQueueTimeout)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 120.0, 0.0));  // 2-minute execution
+    t.addInvocation(0, 0);
+    t.addInvocation(0, kSecond);  // can't run for 2 minutes on 1 core
+    ServerConfig c = config(1, 150);  // no memory for a 2nd container
+    c.queue_timeout_us = 30 * kSecond;
+    const PlatformResult r = run(t, c);
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.dropped_timeout, 1);
+}
+
+TEST(Server, DropsOversizedFunctionImmediately)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 9'999));
+    t.addInvocation(0, 0);
+    const PlatformResult r = run(t, config(2, 1'000));
+    EXPECT_EQ(r.dropped_oversize, 1);
+}
+
+TEST(Server, EvictsIdleContainersUnderMemoryPressure)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 600));
+    t.addFunction(fn(1, 600));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 10 * kSecond);
+    const PlatformResult r = run(t, config(4, 1'000));
+    EXPECT_EQ(r.cold_starts, 2);
+    EXPECT_EQ(r.evictions, 1);
+    EXPECT_EQ(r.dropped(), 0);
+}
+
+TEST(Server, WaitsForBusyMemoryInsteadOfDropping)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 600, 5.0, 1.0));
+    t.addFunction(fn(1, 600, 1.0, 1.0));
+    t.addInvocation(0, 0);            // holds 600 MB until t=6 s
+    t.addInvocation(1, kSecond);      // needs 600 MB; waits, then runs
+    const PlatformResult r = run(t, config(4, 1'000));
+    EXPECT_EQ(r.served(), 2);
+    EXPECT_EQ(r.dropped(), 0);
+    // Second invocation waited ~5 s then cold-started (2 s).
+    EXPECT_NEAR(r.latencies_sec[1], 5.0 + 2.0, 1e-6);
+}
+
+TEST(Server, TtlExpiryReleasesMemoryViaMaintenance)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 600));
+    t.addFunction(fn(1, 600));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 15 * kMinute);  // after fn0's 10-minute TTL
+    const PlatformResult r = run(t, config(4, 1'000), PolicyKind::Ttl);
+    EXPECT_EQ(r.expirations, 1);
+    EXPECT_EQ(r.evictions, 0);
+    EXPECT_EQ(r.served(), 2);
+}
+
+TEST(Server, FifoOrderPreserved)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 1.0, 0.0));
+    t.addFunction(fn(1, 100, 1.0, 0.0));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kMillisecond);
+    t.addInvocation(0, 2 * kMillisecond);
+    const PlatformResult r = run(t, config(1, 1'000));
+    EXPECT_EQ(r.served(), 3);
+    // Completion order must follow arrival order on one core.
+    ASSERT_EQ(r.latencies_sec.size(), 3u);
+    EXPECT_LT(r.latencies_sec[0], r.latencies_sec[1]);
+    EXPECT_LT(r.latencies_sec[1], r.latencies_sec[2]);
+}
+
+TEST(Server, PerFunctionAccountingSumsToTotals)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 200));
+    t.addFunction(fn(1, 300));
+    for (int i = 0; i < 20; ++i)
+        t.addInvocation(static_cast<FunctionId>(i % 2), i * kSecond);
+    const PlatformResult r = run(t, config(2, 600));
+    std::int64_t warm = 0, cold = 0, dropped = 0;
+    for (const auto& f : r.per_function) {
+        warm += f.warm;
+        cold += f.cold;
+        dropped += f.dropped;
+    }
+    EXPECT_EQ(warm, r.warm_starts);
+    EXPECT_EQ(cold, r.cold_starts);
+    EXPECT_EQ(dropped, r.dropped());
+    EXPECT_EQ(r.total(), 20);
+}
+
+TEST(Server, Deterministic)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 200));
+    t.addFunction(fn(1, 300));
+    for (int i = 0; i < 30; ++i)
+        t.addInvocation(static_cast<FunctionId>(i % 2),
+                        i * 700 * kMillisecond);
+    const PlatformResult a = run(t, config(2, 600), PolicyKind::GreedyDual);
+    const PlatformResult b = run(t, config(2, 600), PolicyKind::GreedyDual);
+    EXPECT_EQ(a.warm_starts, b.warm_starts);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_EQ(a.latencies_sec, b.latencies_sec);
+}
+
+TEST(Server, HistPrewarmWorksOnPlatform)
+{
+    // The same HIST policy drives the platform model: a periodic
+    // function is eventually served warm via prewarmed containers.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 0.2, 2.0));
+    const TimeUs iat = 5 * kMinute;
+    for (int i = 0; i < 12; ++i)
+        t.addInvocation(0, i * iat);
+    ServerConfig c = config(4, 1'000);
+    const PlatformResult r = run(t, c, PolicyKind::Hist);
+    EXPECT_GT(r.prewarms, 0);
+    EXPECT_GE(r.warm_starts, 8);
+}
+
+TEST(Server, PrewarmDisabledOnPlatform)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 0.2, 2.0));
+    for (int i = 0; i < 12; ++i)
+        t.addInvocation(0, i * 5 * kMinute);
+    ServerConfig c = config(4, 1'000);
+    c.enable_prewarm = false;
+    const PlatformResult r = run(t, c, PolicyKind::Hist);
+    EXPECT_EQ(r.prewarms, 0);
+}
+
+TEST(Server, DefaultColdSlotsMatchLegacyBehaviour)
+{
+    // cold_start_cpu_slots = 1 must behave exactly like the plain
+    // model: one core per invocation, no InitDone bookkeeping effects.
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addFunction(fn(1, 100));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 0);
+    const PlatformResult r = run(t, config(2, 1'000));
+    ASSERT_EQ(r.served(), 2);
+    EXPECT_NEAR(r.latencies_sec[0], 2.0, 1e-6);
+    EXPECT_NEAR(r.latencies_sec[1], 2.0, 1e-6);  // both run in parallel
+}
+
+TEST(Server, RejectsBadConfig)
+{
+    EXPECT_THROW(Server(nullptr, config(2, 1'000)), std::invalid_argument);
+    EXPECT_THROW(Server(makePolicy(PolicyKind::Lru), config(0, 1'000)),
+                 std::invalid_argument);
+}
+
+TEST(Server, RejectsUnsortedTrace)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, kSecond);
+    t.addInvocation(0, 0);
+    Server server(makePolicy(PolicyKind::Lru), config(2, 1'000));
+    EXPECT_THROW(server.run(t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,118 @@
+// Property-style parameterized sweep: core simulator invariants must
+// hold for every (policy, memory size) combination on a randomized
+// workload.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+
+namespace faascache {
+namespace {
+
+const Trace&
+sweepTrace()
+{
+    static const Trace kTrace = [] {
+        AzureModelConfig config;
+        config.seed = 77;
+        config.num_functions = 250;
+        config.duration_us = 20 * kMinute;
+        config.iat_median_sec = 30.0;
+        config.mem_median_mb = 64.0;
+        config.mem_sigma = 0.7;
+        config.mem_max_mb = 512.0;
+        return generateAzureTrace(config);
+    }();
+    return kTrace;
+}
+
+using SweepParam = std::tuple<PolicyKind, int>;  // policy, memory factor %
+
+class SimulatorInvariants : public testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SimulatorInvariants, HoldThroughoutTheRun)
+{
+    const auto [kind, percent] = GetParam();
+    const Trace& trace = sweepTrace();
+    const MemMb memory = std::max(
+        600.0,
+        trace.stats().total_unique_mem_mb * percent / 100.0);
+
+    SimulatorConfig config;
+    config.memory_mb = memory;
+    config.memory_sample_interval_us = 0;
+    Simulator sim(trace, makePolicy(kind), config);
+
+    TimeUs last_time = 0;
+    while (!sim.done()) {
+        sim.step();
+        // Time moves forward.
+        EXPECT_GE(sim.now(), last_time);
+        last_time = sim.now();
+        // Busy containers can exceed nothing: used <= capacity always
+        // holds here because resize() is never called.
+        EXPECT_LE(sim.pool().usedMb(), memory + 1e-6);
+    }
+
+    const SimResult& r = sim.result();
+    // Every invocation is accounted exactly once.
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(trace.invocations().size()));
+    // Cold starts can never beat the warm baseline.
+    EXPECT_GE(r.actual_exec_us, r.baseline_exec_us);
+    // Per-function outcomes sum to the totals.
+    std::int64_t warm = 0, cold = 0, dropped = 0;
+    for (const auto& f : r.per_function) {
+        warm += f.warm;
+        cold += f.cold;
+        dropped += f.dropped;
+    }
+    EXPECT_EQ(warm, r.warm_starts);
+    EXPECT_EQ(cold, r.cold_starts);
+    EXPECT_EQ(dropped, r.dropped);
+    // A cold start happens at most once per eviction round plus the
+    // rounds where no eviction was needed; rounds never exceed colds
+    // plus drops.
+    EXPECT_LE(r.eviction_rounds, r.cold_starts + r.dropped);
+    // The metric helpers stay in range.
+    EXPECT_GE(r.coldStartFraction(), 0.0);
+    EXPECT_LE(r.coldStartFraction(), 1.0);
+    EXPECT_GE(r.dropFraction(), 0.0);
+    EXPECT_LE(r.dropFraction(), 1.0);
+}
+
+TEST_P(SimulatorInvariants, DeterministicAcrossRuns)
+{
+    const auto [kind, percent] = GetParam();
+    const Trace& trace = sweepTrace();
+    SimulatorConfig config;
+    config.memory_mb = std::max(
+        600.0, trace.stats().total_unique_mem_mb * percent / 100.0);
+    config.memory_sample_interval_us = 0;
+
+    const SimResult a = simulateTrace(trace, makePolicy(kind), config);
+    const SimResult b = simulateTrace(trace, makePolicy(kind), config);
+    EXPECT_EQ(a.warm_starts, b.warm_starts);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.actual_exec_us, b.actual_exec_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMemorySweep, SimulatorInvariants,
+    testing::Combine(testing::ValuesIn(allPolicyKinds()),
+                     testing::Values(10, 40, 120)),
+    [](const testing::TestParamInfo<SweepParam>& info) {
+        return policyKindName(std::get<0>(info.param)) + "_mem" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace faascache

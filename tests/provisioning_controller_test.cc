@@ -1,0 +1,123 @@
+#include "provisioning/proportional_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/reuse_distance.h"
+
+namespace faascache {
+namespace {
+
+/** Simple synthetic curve: distances 1k..10k MB uniformly. */
+HitRatioCurve
+linearCurve()
+{
+    std::vector<double> distances;
+    for (int i = 1; i <= 10; ++i)
+        distances.push_back(i * 1'000.0);
+    return HitRatioCurve::fromReuseDistances(distances);
+}
+
+ControllerConfig
+config()
+{
+    ControllerConfig c;
+    c.target_miss_speed = 1.0;  // 1 cold start / sec
+    c.deadband = 0.30;
+    c.arrival_smoothing_alpha = 1.0;  // no smoothing: deterministic tests
+    c.min_size_mb = 500;
+    c.max_size_mb = 50'000;
+    return c;
+}
+
+TEST(Controller, NoResizeInsideDeadband)
+{
+    ProportionalController ctl(linearCurve(), config(), 4'000);
+    // Error 20% < 30%: size unchanged.
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 1.2), 4'000.0);
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 0.8), 4'000.0);
+}
+
+TEST(Controller, GrowsWhenMissSpeedTooHigh)
+{
+    ProportionalController ctl(linearCurve(), config(), 2'000);
+    // Observed 5 misses/s vs target 1; arrival 10/s.
+    // Desired hit ratio = 1 - 1/10 = 0.9 -> size 9000 on this curve.
+    const MemMb next = ctl.update(10.0, 5.0);
+    EXPECT_DOUBLE_EQ(next, 9'000.0);
+    EXPECT_GT(next, 2'000.0);
+}
+
+TEST(Controller, ShrinksWhenMissSpeedTooLow)
+{
+    ProportionalController ctl(linearCurve(), config(), 9'000);
+    // Hardly any misses and low arrivals: shrink.
+    // lambda = 2/s, desired hit ratio = 1 - 1/2 = 0.5 -> size 5000.
+    const MemMb next = ctl.update(2.0, 0.1);
+    EXPECT_DOUBLE_EQ(next, 5'000.0);
+}
+
+TEST(Controller, ClampsToMin)
+{
+    ProportionalController ctl(linearCurve(), config(), 5'000);
+    // Arrivals below the target miss speed: even an empty cache meets
+    // the target, so the size clamps to the floor.
+    const MemMb next = ctl.update(0.9, 0.0);
+    EXPECT_DOUBLE_EQ(next, 500.0);
+}
+
+TEST(Controller, ZeroArrivalsFallsToFloor)
+{
+    ProportionalController ctl(linearCurve(), config(), 5'000);
+    EXPECT_DOUBLE_EQ(ctl.update(0.0, 2.0), 500.0);
+}
+
+TEST(Controller, InitialSizeClamped)
+{
+    ProportionalController ctl(linearCurve(), config(), 1'000'000);
+    EXPECT_DOUBLE_EQ(ctl.currentSize(), 50'000.0);
+}
+
+TEST(Controller, SmoothingDampensArrivalSpikes)
+{
+    ControllerConfig c = config();
+    c.arrival_smoothing_alpha = 0.1;
+    ProportionalController ctl(linearCurve(), c, 4'000);
+    ctl.update(10.0, 1.0);  // within deadband, but EMA initialized to 10
+    // A one-period spike to 100/s barely moves the smoothed rate.
+    ctl.update(100.0, 5.0);
+    EXPECT_NEAR(ctl.smoothedArrivalRate(), 0.1 * 100 + 0.9 * 10, 1e-9);
+}
+
+TEST(Controller, RejectsBadConfig)
+{
+    ControllerConfig bad = config();
+    bad.target_miss_speed = 0.0;
+    EXPECT_THROW(ProportionalController(linearCurve(), bad, 1'000),
+                 std::invalid_argument);
+
+    ControllerConfig bad2 = config();
+    bad2.max_size_mb = bad2.min_size_mb;
+    EXPECT_THROW(ProportionalController(linearCurve(), bad2, 1'000),
+                 std::invalid_argument);
+}
+
+TEST(Controller, ConvergesOnStationaryWorkload)
+{
+    // Feed a consistent (arrival, miss) signal derived from the curve:
+    // the controller should settle at a fixed size.
+    ProportionalController ctl(linearCurve(), config(), 2'000);
+    const double lambda = 10.0;
+    MemMb size = ctl.currentSize();
+    for (int i = 0; i < 20; ++i) {
+        const HitRatioCurve curve = linearCurve();
+        const double miss_speed = lambda * curve.missRatio(size);
+        size = ctl.update(lambda, miss_speed);
+    }
+    const HitRatioCurve curve = linearCurve();
+    const double final_miss = lambda * curve.missRatio(size);
+    // Settled within the deadband of the target.
+    EXPECT_NEAR(final_miss, 1.0, 0.31);
+}
+
+}  // namespace
+}  // namespace faascache

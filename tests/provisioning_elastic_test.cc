@@ -1,0 +1,161 @@
+#include "provisioning/elastic_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+Trace
+diurnalWorkload()
+{
+    // A mild workload whose warm working set (~13 GB of unique
+    // functions) fits comfortably in the static 10,000 MB allocation at
+    // off-peak intensity — the regime of the paper's Figure 9.
+    AzureModelConfig config;
+    config.seed = 17;
+    config.num_functions = 80;
+    config.duration_us = 3 * kHour;
+    config.iat_median_sec = 30.0;
+    config.max_rate_per_sec = 2.0;
+    config.warm_median_ms = 100.0;
+    config.warm_sigma = 0.8;
+    config.mem_median_mb = 128.0;
+    config.mem_sigma = 0.6;
+    config.mem_min_mb = 64;
+    config.mem_max_mb = 512;
+    config.diurnal = true;
+    config.diurnal_peak_to_mean = 2.0;
+    config.diurnal_period_us = 3 * kHour;  // one cycle over the trace
+    return generateAzureTrace(config);
+}
+
+ControllerConfig
+controllerConfig()
+{
+    ControllerConfig c;
+    c.target_miss_speed = 1.0;
+    c.arrival_smoothing_alpha = 0.5;
+    c.min_size_mb = 1024;
+    c.max_size_mb = 32 * 1024;
+    return c;
+}
+
+TEST(ElasticSimulation, TimelineCoversTrace)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    const ElasticResult r = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), elastic);
+    ASSERT_FALSE(r.timeline.empty());
+    // Roughly one sample per 10-minute period over 3 hours.
+    EXPECT_GE(r.timeline.size(), 15u);
+    for (std::size_t i = 1; i < r.timeline.size(); ++i)
+        EXPECT_GT(r.timeline[i].time_us, r.timeline[i - 1].time_us);
+}
+
+TEST(ElasticSimulation, SizesStayWithinClamp)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    const ControllerConfig cc = controllerConfig();
+    const ElasticResult r = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), cc, elastic);
+    for (const auto& sample : r.timeline) {
+        EXPECT_GE(sample.cache_size_mb, cc.min_size_mb);
+        EXPECT_LE(sample.cache_size_mb, cc.max_size_mb);
+    }
+}
+
+TEST(ElasticSimulation, ReducesAverageSizeVersusStatic)
+{
+    // The headline claim of §7.3: dynamic scaling cuts the average
+    // provisioned size versus a conservative static allocation while
+    // tracking the miss-speed target.
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    const ElasticResult r = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), elastic);
+    // Paper: >30% reduction in average server size; assert a
+    // conservative 15% here to keep the test robust across tunings.
+    EXPECT_LT(r.averageSizeMb(), 0.85 * elastic.initial_size_mb);
+}
+
+TEST(ElasticSimulation, ServesWholeTrace)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    const ElasticResult r = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), elastic);
+    EXPECT_EQ(r.sim.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
+TEST(ElasticSimulation, OnlineCurveRefreshStillTracks)
+{
+    // Drift handling (§5.2): rebuilding the hit-ratio curve from the
+    // observed stream must not break the controller — the run completes
+    // and still saves memory versus static provisioning.
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    elastic.curve_refresh_period_us = 30 * kMinute;
+    elastic.online_sample_rate = 0.5;
+    const ElasticResult r = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), elastic);
+    EXPECT_EQ(r.sim.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+    EXPECT_LT(r.averageSizeMb(), elastic.initial_size_mb);
+}
+
+TEST(ElasticSimulation, OnlineRefreshDiffersFromStaticCurve)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig static_curve;
+    static_curve.initial_size_mb = 10'000;
+    ElasticConfig online = static_curve;
+    online.curve_refresh_period_us = 20 * kMinute;
+    online.online_sample_rate = 0.25;
+    const ElasticResult a = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(),
+        static_curve);
+    const ElasticResult b = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), online);
+    // The refreshed curve changes at least one sizing decision.
+    bool differs = false;
+    for (std::size_t i = 0;
+         i < std::min(a.timeline.size(), b.timeline.size()); ++i) {
+        if (a.timeline[i].cache_size_mb != b.timeline[i].cache_size_mb)
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ElasticResult, AverageAndPeakHelpers)
+{
+    ElasticResult r;
+    r.timeline = {
+        {0, 1'000.0, 0, 0, 0},
+        {10, 2'000.0, 0, 0, 0},
+        {20, 2'000.0, 0, 0, 0},
+    };
+    EXPECT_DOUBLE_EQ(r.peakSizeMb(), 2'000.0);
+    EXPECT_NEAR(r.averageSizeMb(), (1'000.0 * 10 + 2'000.0 * 10) / 20.0,
+                1e-9);
+}
+
+TEST(ElasticResult, EmptyTimelineSafe)
+{
+    ElasticResult r;
+    EXPECT_EQ(r.averageSizeMb(), 0.0);
+    EXPECT_EQ(r.peakSizeMb(), 0.0);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,61 @@
+#include "provisioning/static_provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+Trace
+workload()
+{
+    AzureModelConfig config;
+    config.seed = 13;
+    config.num_functions = 200;
+    config.duration_us = kHour;
+    config.iat_median_sec = 45.0;
+    return generateAzureTrace(config);
+}
+
+TEST(StaticProvisioner, PlanAchievesTarget)
+{
+    const StaticProvisioner prov = StaticProvisioner::fromTrace(workload());
+    const ProvisioningPlan plan = prov.plan(0.7, 256 * 1024);
+    EXPECT_GT(plan.target_size_mb, 0.0);
+    EXPECT_GE(plan.achieved_hit_ratio,
+              std::min(0.7, plan.max_hit_ratio) - 1e-9);
+}
+
+TEST(StaticProvisioner, HigherTargetNeedsMoreMemory)
+{
+    const StaticProvisioner prov = StaticProvisioner::fromTrace(workload());
+    const ProvisioningPlan lo = prov.plan(0.5, 256 * 1024);
+    const ProvisioningPlan hi = prov.plan(0.9, 256 * 1024);
+    EXPECT_LE(lo.target_size_mb, hi.target_size_mb);
+}
+
+TEST(StaticProvisioner, KneeWithinBounds)
+{
+    const StaticProvisioner prov = StaticProvisioner::fromTrace(workload());
+    const MemMb max_mb = 256 * 1024;
+    const ProvisioningPlan plan = prov.plan(0.9, max_mb);
+    EXPECT_GT(plan.knee_size_mb, 0.0);
+    EXPECT_LE(plan.knee_size_mb, max_mb);
+    EXPECT_GE(plan.knee_hit_ratio, 0.0);
+    EXPECT_LE(plan.knee_hit_ratio, 1.0);
+}
+
+TEST(StaticProvisioner, MaxHitRatioReflectsCompulsoryMisses)
+{
+    const Trace t = workload();
+    const StaticProvisioner prov = StaticProvisioner::fromTrace(t);
+    const ProvisioningPlan plan = prov.plan(0.9, 256 * 1024);
+    const double expected = 1.0 -
+        static_cast<double>(t.functions().size()) /
+            static_cast<double>(t.invocations().size());
+    EXPECT_NEAR(plan.max_hit_ratio, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,103 @@
+// Tests of the kswapd-style background reclaimer (paper §6 future
+// work): asynchronous eviction keeps a free-memory reserve so demand
+// evictions move off the invocation critical path.
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+
+namespace faascache {
+namespace {
+
+Trace
+workload()
+{
+    AzureModelConfig config;
+    config.seed = 3;
+    config.num_functions = 200;
+    config.duration_us = 30 * kMinute;
+    config.iat_median_sec = 20.0;
+    config.mem_median_mb = 64.0;
+    config.mem_sigma = 0.7;
+    config.mem_max_mb = 512.0;
+    return generateAzureTrace(config);
+}
+
+SimResult
+run(const Trace& trace, TimeUs reclaim_interval, MemMb target,
+    MemMb memory = 2048)
+{
+    SimulatorConfig config;
+    config.memory_mb = memory;
+    config.memory_sample_interval_us = 0;
+    config.background_reclaim_interval_us = reclaim_interval;
+    config.background_free_target_mb = target;
+    return simulateTrace(trace, makePolicy(PolicyKind::GreedyDual), config);
+}
+
+TEST(BackgroundReclaim, DisabledByDefault)
+{
+    const SimResult r = run(workload(), 0, 500);
+    EXPECT_EQ(r.background_reclaims, 0);
+}
+
+TEST(BackgroundReclaim, ReclaimsWhenEnabled)
+{
+    const SimResult r = run(workload(), 10 * kSecond, 500);
+    EXPECT_GT(r.background_reclaims, 0);
+}
+
+TEST(BackgroundReclaim, ReducesCriticalPathEvictionRounds)
+{
+    const Trace t = workload();
+    const SimResult off = run(t, 0, 500);
+    const SimResult on = run(t, 10 * kSecond, 500);
+    EXPECT_LT(on.eviction_rounds, off.eviction_rounds);
+}
+
+TEST(BackgroundReclaim, MaintainsFreeReserve)
+{
+    // Fill a 1000 MB pool with ten idle 100 MB containers, then leave
+    // the server quiet: the reclaimer must evict down to a 500 MB free
+    // reserve before the next (late) arrival.
+    Trace t("t");
+    for (int i = 0; i < 11; ++i) {
+        t.addFunction(makeFunction(static_cast<FunctionId>(i),
+                                   "fn" + std::to_string(i), 100,
+                                   fromMillis(100), fromMillis(100)));
+    }
+    for (int i = 0; i < 10; ++i)
+        t.addInvocation(static_cast<FunctionId>(i), i * kSecond);
+    t.addInvocation(10, 2 * kMinute);
+
+    SimulatorConfig config;
+    config.memory_mb = 1000;
+    config.memory_sample_interval_us = 0;
+    config.background_reclaim_interval_us = 5 * kSecond;
+    config.background_free_target_mb = 500;
+    Simulator sim(t, makePolicy(PolicyKind::GreedyDual), config);
+    while (!sim.done())
+        sim.step();
+    // Reclaims freed 500 MB; the final cold start consumed 100 MB.
+    EXPECT_GE(sim.pool().freeMb(), 400.0);
+    EXPECT_GE(sim.result().background_reclaims, 4);
+}
+
+TEST(BackgroundReclaim, CountsAlsoAppearInEvictions)
+{
+    const SimResult r = run(workload(), 10 * kSecond, 500);
+    EXPECT_GE(r.evictions, r.background_reclaims);
+}
+
+TEST(BackgroundReclaim, NoReclaimsWhenMemoryAmple)
+{
+    const Trace t = workload();
+    const MemMb huge = t.stats().total_unique_mem_mb * 4;
+    const SimResult r = run(t, 10 * kSecond, 500, huge);
+    EXPECT_EQ(r.background_reclaims, 0);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,70 @@
+#include "sim/sim_result.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(SimResult, EmptyResultSafeRatios)
+{
+    SimResult r;
+    EXPECT_EQ(r.coldStartFraction(), 0.0);
+    EXPECT_EQ(r.execTimeIncreasePercent(), 0.0);
+    EXPECT_EQ(r.dropFraction(), 0.0);
+    EXPECT_EQ(r.meanMemoryUsage(), 0.0);
+}
+
+TEST(SimResult, ColdStartFraction)
+{
+    SimResult r;
+    r.warm_starts = 3;
+    r.cold_starts = 1;
+    EXPECT_NEAR(r.coldStartFraction(), 0.25, 1e-12);
+    EXPECT_NEAR(r.coldStartPercent(), 25.0, 1e-12);
+}
+
+TEST(SimResult, DropFractionIncludesServed)
+{
+    SimResult r;
+    r.warm_starts = 6;
+    r.cold_starts = 2;
+    r.dropped = 2;
+    EXPECT_NEAR(r.dropFraction(), 0.2, 1e-12);
+    EXPECT_EQ(r.total(), 10);
+}
+
+TEST(SimResult, ExecIncreasePercent)
+{
+    SimResult r;
+    r.baseline_exec_us = 1'000'000;
+    r.actual_exec_us = 1'500'000;
+    EXPECT_NEAR(r.execTimeIncreasePercent(), 50.0, 1e-12);
+}
+
+TEST(SimResult, MeanMemoryTimeWeighted)
+{
+    SimResult r;
+    r.memory_usage = {{0, 100.0}, {10, 100.0}, {20, 300.0}, {30, 300.0}};
+    // Weighted by the interval each sample value is held: 100 for 20 us
+    // (two intervals), 300 for 10 us.
+    EXPECT_NEAR(r.meanMemoryUsage(), (100.0 * 20 + 300.0 * 10) / 30.0,
+                1e-9);
+}
+
+TEST(SimResult, MeanMemorySingleSample)
+{
+    SimResult r;
+    r.memory_usage = {{0, 42.0}};
+    EXPECT_DOUBLE_EQ(r.meanMemoryUsage(), 42.0);
+}
+
+TEST(FunctionOutcome, ServedSum)
+{
+    FunctionOutcome f;
+    f.warm = 2;
+    f.cold = 3;
+    EXPECT_EQ(f.served(), 5);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,345 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_dual.h"
+#include "core/histogram_policy.h"
+#include "core/lru_policy.h"
+#include "core/policy_factory.h"
+#include "core/ttl_policy.h"
+
+namespace faascache {
+namespace {
+
+FunctionSpec
+fn(FunctionId id, MemMb mem, double warm_ms = 100, double init_ms = 400)
+{
+    return makeFunction(id, "fn" + std::to_string(id), mem,
+                        fromMillis(warm_ms), fromMillis(init_ms));
+}
+
+SimulatorConfig
+config(MemMb mem)
+{
+    SimulatorConfig c;
+    c.memory_mb = mem;
+    c.memory_sample_interval_us = 0;
+    return c;
+}
+
+TEST(Simulator, FirstInvocationIsCold)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.warm_starts, 0);
+    EXPECT_EQ(r.dropped, 0);
+}
+
+TEST(Simulator, ReuseIsWarm)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, kSecond);  // after the cold run finished (500 ms)
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.warm_starts, 1);
+}
+
+TEST(Simulator, ConcurrentInvocationsNeedTwoContainers)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, /*warm_ms=*/1000, /*init_ms=*/1000));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, fromMillis(100));  // first still running (cold 2 s)
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.cold_starts, 2);
+    EXPECT_EQ(r.warm_starts, 0);
+}
+
+TEST(Simulator, ColdWhenOnlyBusyContainerExists)
+{
+    // Second invocation arrives while the single container is busy, and
+    // memory only allows one more: served cold in a second container.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 1000, 1000));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, fromMillis(500));
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(200));
+    EXPECT_EQ(r.cold_starts, 2);
+}
+
+TEST(Simulator, DropWhenMemoryUnavailable)
+{
+    // Pool of 150 MB: one 100 MB container busy; a second 100 MB request
+    // cannot fit and nothing is evictable.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 10'000, 0));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, kSecond);  // first runs until 10 s
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(150));
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.dropped, 1);
+    EXPECT_EQ(r.per_function[0].dropped, 1);
+}
+
+TEST(Simulator, OversizedFunctionAlwaysDrops)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 5'000));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, kSecond);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.dropped, 2);
+    EXPECT_EQ(r.served(), 0);
+}
+
+TEST(Simulator, EvictionMakesRoom)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 600));
+    t.addFunction(fn(1, 600));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);  // forces eviction of fn0's container
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.cold_starts, 2);
+    EXPECT_EQ(r.dropped, 0);
+    EXPECT_EQ(r.evictions, 1);
+}
+
+TEST(Simulator, TtlExpirationsCounted)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addFunction(fn(1, 100));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 20 * kMinute);  // fn0's container expired by now
+    const SimResult r =
+        simulateTrace(t, std::make_unique<TtlPolicy>(), config(1000));
+    EXPECT_EQ(r.expirations, 1);
+    EXPECT_EQ(r.cold_starts, 2);
+}
+
+TEST(Simulator, TtlCausesColdStartAfterExpiry)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    t.addInvocation(0, 20 * kMinute);
+    const SimResult ttl =
+        simulateTrace(t, std::make_unique<TtlPolicy>(), config(1000));
+    EXPECT_EQ(ttl.cold_starts, 2);
+
+    // A resource-conserving policy keeps it warm instead.
+    const SimResult lru =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(lru.cold_starts, 1);
+    EXPECT_EQ(lru.warm_starts, 1);
+}
+
+TEST(Simulator, ExecTimeAccounting)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 100, 400));  // warm 100 ms, cold 500 ms
+    t.addInvocation(0, 0);
+    t.addInvocation(0, kSecond);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.baseline_exec_us, 2 * fromMillis(100));
+    EXPECT_EQ(r.actual_exec_us, fromMillis(500) + fromMillis(100));
+    EXPECT_NEAR(r.execTimeIncreasePercent(), 100.0 * 400.0 / 200.0, 1e-9);
+}
+
+TEST(Simulator, ColdStartPercent)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    for (int i = 0; i < 4; ++i)
+        t.addInvocation(0, i * kSecond);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), config(1000));
+    EXPECT_EQ(r.cold_starts, 1);
+    EXPECT_EQ(r.warm_starts, 3);
+    EXPECT_NEAR(r.coldStartPercent(), 25.0, 1e-9);
+}
+
+TEST(Simulator, MemoryNeverExceedsCapacityWithIdleWorkload)
+{
+    Trace t("t");
+    for (int i = 0; i < 8; ++i)
+        t.addFunction(fn(static_cast<FunctionId>(i), 100));
+    for (int i = 0; i < 64; ++i)
+        t.addInvocation(static_cast<FunctionId>(i % 8), i * kSecond);
+    SimulatorConfig c = config(350);
+    Simulator sim(t, std::make_unique<GreedyDualPolicy>(), c);
+    while (!sim.done()) {
+        sim.step();
+        EXPECT_LE(sim.pool().usedMb(), c.memory_mb + 1e-9);
+    }
+}
+
+TEST(Simulator, StepApiMatchesRun)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addFunction(fn(1, 150));
+    for (int i = 0; i < 20; ++i)
+        t.addInvocation(static_cast<FunctionId>(i % 2), i * kSecond);
+
+    const SimResult whole =
+        simulateTrace(t, std::make_unique<GreedyDualPolicy>(), config(300));
+    Simulator stepper(t, std::make_unique<GreedyDualPolicy>(), config(300));
+    while (!stepper.done())
+        stepper.step();
+    EXPECT_EQ(stepper.result().cold_starts, whole.cold_starts);
+    EXPECT_EQ(stepper.result().warm_starts, whole.warm_starts);
+    EXPECT_EQ(stepper.result().dropped, whole.dropped);
+}
+
+TEST(Simulator, ResizeShrinkEvictsIdle)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 400));
+    t.addFunction(fn(1, 400));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);
+    t.addInvocation(0, kMinute);
+    Simulator sim(t, std::make_unique<LruPolicy>(), config(1000));
+    sim.step();
+    sim.step();
+    EXPECT_DOUBLE_EQ(sim.pool().usedMb(), 800.0);
+    sim.resize(500);
+    EXPECT_LE(sim.pool().usedMb(), 500.0);
+    EXPECT_DOUBLE_EQ(sim.pool().capacityMb(), 500.0);
+}
+
+TEST(Simulator, ResizeGrowAllowsMoreContainers)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 400));
+    t.addFunction(fn(1, 400));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);
+    t.addInvocation(0, 2 * kSecond);
+    Simulator sim(t, std::make_unique<LruPolicy>(), config(500));
+    sim.step();
+    sim.resize(1000);
+    while (!sim.done())
+        sim.step();
+    // With 1000 MB both functions stay resident: third invocation warm.
+    EXPECT_EQ(sim.result().warm_starts, 1);
+    EXPECT_EQ(sim.result().evictions, 0);
+}
+
+TEST(Simulator, ResizeRejectsNonPositive)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    Simulator sim(t, std::make_unique<LruPolicy>(), config(500));
+    EXPECT_THROW(sim.resize(0), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsUnsortedTrace)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, kSecond);
+    t.addInvocation(0, 0);
+    EXPECT_THROW(
+        Simulator(t, std::make_unique<LruPolicy>(), config(1000)),
+        std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNullPolicy)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    EXPECT_THROW(Simulator(t, nullptr, config(1000)),
+                 std::invalid_argument);
+}
+
+TEST(Simulator, MemorySamplingCoversTrace)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    for (int i = 0; i < 10; ++i)
+        t.addInvocation(0, i * kMinute);
+    SimulatorConfig c = config(1000);
+    c.memory_sample_interval_us = kMinute;
+    const SimResult r =
+        simulateTrace(t, std::make_unique<LruPolicy>(), c);
+    ASSERT_GE(r.memory_usage.size(), 10u);
+    EXPECT_EQ(r.memory_usage.front().time_us, 0);
+    for (std::size_t i = 1; i < r.memory_usage.size(); ++i) {
+        EXPECT_EQ(r.memory_usage[i].time_us - r.memory_usage[i - 1].time_us,
+                  kMinute);
+    }
+}
+
+TEST(Simulator, HistPrewarmProducesWarmStart)
+{
+    // A perfectly periodic function under HIST: once the histogram is
+    // trusted, containers are released after execution and prewarmed
+    // before the next arrival, which then hits warm.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 200, 2000));
+    const TimeUs iat = 5 * kMinute;
+    for (int i = 0; i < 12; ++i)
+        t.addInvocation(0, i * iat);
+    SimulatorConfig c = config(1000);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<HistogramPolicy>(), c);
+    EXPECT_GT(r.prewarms, 0);
+    // Later invocations are all warm.
+    EXPECT_GE(r.warm_starts, 8);
+}
+
+TEST(Simulator, PrewarmDisabledByConfig)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100, 200, 2000));
+    for (int i = 0; i < 12; ++i)
+        t.addInvocation(0, i * 5 * kMinute);
+    SimulatorConfig c = config(1000);
+    c.enable_prewarm = false;
+    const SimResult r =
+        simulateTrace(t, std::make_unique<HistogramPolicy>(), c);
+    EXPECT_EQ(r.prewarms, 0);
+}
+
+TEST(Simulator, PerFunctionOutcomesSumToTotals)
+{
+    Trace t("t");
+    for (int i = 0; i < 4; ++i)
+        t.addFunction(fn(static_cast<FunctionId>(i), 100 + 50.0 * i));
+    for (int i = 0; i < 50; ++i)
+        t.addInvocation(static_cast<FunctionId>(i % 4),
+                        i * 500 * kMillisecond);
+    const SimResult r =
+        simulateTrace(t, std::make_unique<GreedyDualPolicy>(), config(400));
+    std::int64_t warm = 0, cold = 0, dropped = 0;
+    for (const auto& f : r.per_function) {
+        warm += f.warm;
+        cold += f.cold;
+        dropped += f.dropped;
+    }
+    EXPECT_EQ(warm, r.warm_starts);
+    EXPECT_EQ(cold, r.cold_starts);
+    EXPECT_EQ(dropped, r.dropped);
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
+}  // namespace
+}  // namespace faascache

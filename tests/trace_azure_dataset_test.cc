@@ -1,0 +1,148 @@
+#include "trace/azure_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace faascache {
+namespace {
+
+/** Build a tiny, well-formed dataset with `minutes` bucket columns. */
+AzureDatasetCsv
+smallDataset(int minutes = 5)
+{
+    AzureDatasetCsv csv;
+    std::string header = "HashOwner,HashApp,HashFunction,Trigger";
+    for (int m = 1; m <= minutes; ++m)
+        header += "," + std::to_string(m);
+    // App a1 has two functions (memory split in half); f1 fires 1, then
+    // 3 in minute 2; f2 once per minute; f3 (app a2) only once (rare).
+    csv.invocations = header + "\n"
+        "o1,a1,f1,http,1,3,0,0,0\n"
+        "o1,a1,f2,timer,1,1,1,1,1\n"
+        "o1,a2,f3,queue,0,0,1,0,0\n";
+    csv.durations =
+        "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n"
+        "o1,a1,f1,100,10,50,600\n"
+        "o1,a1,f2,200,5,100,200\n"
+        "o1,a2,f3,1000,1,1000,5000\n";
+    csv.memory =
+        "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n"
+        "o1,a1,10,300\n"
+        "o1,a2,2,128\n";
+    return csv;
+}
+
+TEST(AzureDataset, AdaptsWellFormedInput)
+{
+    const AzureDatasetResult r = adaptAzureDataset(smallDataset());
+    EXPECT_TRUE(r.trace.validate());
+    EXPECT_TRUE(r.trace.isSorted());
+    // f3 has a single invocation and is dropped.
+    EXPECT_EQ(r.trace.functions().size(), 2u);
+    EXPECT_EQ(r.dropped_rare, 1u);
+    EXPECT_EQ(r.skipped_no_duration, 0u);
+    EXPECT_EQ(r.skipped_no_memory, 0u);
+}
+
+TEST(AzureDataset, MemorySplitAcrossAppFunctions)
+{
+    const AzureDatasetResult r = adaptAzureDataset(smallDataset());
+    // App a1 allocates 300 MB across 2 functions -> 150 MB each.
+    for (const auto& fn : r.trace.functions())
+        EXPECT_DOUBLE_EQ(fn.mem_mb, 150.0);
+}
+
+TEST(AzureDataset, ColdStartIsMaxMinusAverage)
+{
+    const AzureDatasetResult r = adaptAzureDataset(smallDataset());
+    const FunctionSpec* f1 = nullptr;
+    for (const auto& fn : r.trace.functions()) {
+        if (fn.name.find("f1") != std::string::npos)
+            f1 = &fn;
+    }
+    ASSERT_NE(f1, nullptr);
+    EXPECT_EQ(f1->warm_us, fromMillis(100));
+    EXPECT_EQ(f1->initTime(), fromMillis(500));  // 600 - 100
+}
+
+TEST(AzureDataset, MinuteBucketReplayRule)
+{
+    const AzureDatasetResult r = adaptAzureDataset(smallDataset());
+    // f1: minute 1 has one invocation at the bucket start; minute 2 has
+    // three, spaced at 20-second intervals.
+    std::vector<TimeUs> f1_times;
+    for (const auto& inv : r.trace.invocations()) {
+        if (r.trace.function(inv.function).name.find("f1") !=
+            std::string::npos) {
+            f1_times.push_back(inv.arrival_us);
+        }
+    }
+    ASSERT_EQ(f1_times.size(), 4u);
+    EXPECT_EQ(f1_times[0], 0);
+    EXPECT_EQ(f1_times[1], kMinute);
+    EXPECT_EQ(f1_times[2], kMinute + 20 * kSecond);
+    EXPECT_EQ(f1_times[3], kMinute + 40 * kSecond);
+}
+
+TEST(AzureDataset, SkipsFunctionsWithoutDurationRow)
+{
+    AzureDatasetCsv csv = smallDataset();
+    csv.durations =
+        "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n"
+        "o1,a1,f1,100,10,50,600\n";
+    const AzureDatasetResult r = adaptAzureDataset(csv);
+    EXPECT_EQ(r.skipped_no_duration, 2u);
+    EXPECT_EQ(r.trace.functions().size(), 1u);
+}
+
+TEST(AzureDataset, SkipsFunctionsWithoutAppMemory)
+{
+    AzureDatasetCsv csv = smallDataset();
+    csv.memory = "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n"
+                 "o1,a1,10,300\n";
+    const AzureDatasetResult r = adaptAzureDataset(csv);
+    EXPECT_EQ(r.skipped_no_memory, 1u);
+}
+
+TEST(AzureDataset, MinInvocationsConfigurable)
+{
+    AzureDatasetOptions options;
+    options.min_invocations = 1;
+    const AzureDatasetResult r =
+        adaptAzureDataset(smallDataset(), options);
+    EXPECT_EQ(r.trace.functions().size(), 3u);
+    EXPECT_EQ(r.dropped_rare, 0u);
+}
+
+TEST(AzureDataset, RejectsMissingColumns)
+{
+    AzureDatasetCsv csv = smallDataset();
+    csv.memory = "HashOwner,HashApp,SampleCount\no1,a1,10\n";
+    EXPECT_THROW(adaptAzureDataset(csv), std::runtime_error);
+}
+
+TEST(AzureDataset, RejectsMalformedNumbers)
+{
+    AzureDatasetCsv csv = smallDataset();
+    csv.durations =
+        "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n"
+        "o1,a1,f1,abc,10,50,600\n";
+    EXPECT_THROW(adaptAzureDataset(csv), std::runtime_error);
+}
+
+TEST(AzureDataset, RejectsEmptyFiles)
+{
+    AzureDatasetCsv csv;
+    EXPECT_THROW(adaptAzureDataset(csv), std::runtime_error);
+}
+
+TEST(AzureDataset, LoadFromMissingFilesThrows)
+{
+    EXPECT_THROW(loadAzureDataset("/no/such/a.csv", "/no/such/b.csv",
+                                  "/no/such/c.csv"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace faascache

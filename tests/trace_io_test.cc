@@ -1,0 +1,136 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace faascache {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace t("io-sample");
+    t.addFunction(makeFunction(0, "alpha, with comma", 128, fromMillis(50),
+                               fromMillis(200)));
+    t.addFunction(makeFunction(1, "beta", 256, fromSeconds(1),
+                               fromSeconds(2)));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 1'500'000);
+    t.addInvocation(0, 3'000'000);
+    return t;
+}
+
+TEST(TraceIo, RoundTripThroughText)
+{
+    const Trace original = sampleTrace();
+    std::ostringstream out;
+    writeTrace(original, out);
+    const Trace loaded = readTrace(out.str());
+
+    EXPECT_EQ(loaded.name(), original.name());
+    ASSERT_EQ(loaded.functions().size(), original.functions().size());
+    for (std::size_t i = 0; i < original.functions().size(); ++i) {
+        EXPECT_EQ(loaded.functions()[i].name, original.functions()[i].name);
+        EXPECT_EQ(loaded.functions()[i].mem_mb,
+                  original.functions()[i].mem_mb);
+        EXPECT_EQ(loaded.functions()[i].warm_us,
+                  original.functions()[i].warm_us);
+        EXPECT_EQ(loaded.functions()[i].cold_us,
+                  original.functions()[i].cold_us);
+    }
+    ASSERT_EQ(loaded.invocations().size(), original.invocations().size());
+    for (std::size_t i = 0; i < original.invocations().size(); ++i)
+        EXPECT_EQ(loaded.invocations()[i], original.invocations()[i]);
+}
+
+TEST(TraceIo, ResourceDimensionsRoundTrip)
+{
+    Trace t("v2");
+    FunctionSpec spec =
+        makeFunction(0, "multi", 128, fromMillis(50), fromMillis(100));
+    spec.cpu_units = 3.5;
+    spec.io_units = 12.0;
+    t.addFunction(spec);
+    std::ostringstream out;
+    writeTrace(t, out);
+    const Trace loaded = readTrace(out.str());
+    ASSERT_EQ(loaded.functions().size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.functions()[0].cpu_units, 3.5);
+    EXPECT_DOUBLE_EQ(loaded.functions()[0].io_units, 12.0);
+}
+
+TEST(TraceIo, ReadsVersion1WithDefaults)
+{
+    const Trace loaded = readTrace(
+        "faascache-trace,1,old\nfunction,0,legacy,64,1000,2000\n");
+    ASSERT_EQ(loaded.functions().size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.functions()[0].cpu_units, 1.0);
+    EXPECT_DOUBLE_EQ(loaded.functions()[0].io_units, 0.0);
+}
+
+TEST(TraceIo, RejectsMissingHeader)
+{
+    EXPECT_THROW(readTrace("function,0,x,1,1,1\n"), std::runtime_error);
+    EXPECT_THROW(readTrace(""), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    EXPECT_THROW(readTrace("faascache-trace,99,x\n"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadArity)
+{
+    EXPECT_THROW(readTrace("faascache-trace,1,x\nfunction,0,a,64\n"),
+                 std::runtime_error);
+    EXPECT_THROW(readTrace("faascache-trace,1,x\ninvocation,0\n"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownRowKind)
+{
+    EXPECT_THROW(readTrace("faascache-trace,1,x\nbogus,1\n"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonDenseFunctionIds)
+{
+    EXPECT_THROW(
+        readTrace("faascache-trace,1,x\nfunction,3,a,64,1000,2000\n"),
+        std::runtime_error);
+}
+
+TEST(TraceIo, RejectsInvocationOfUnknownFunction)
+{
+    EXPECT_THROW(readTrace("faascache-trace,1,x\ninvocation,7,1000\n"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers)
+{
+    EXPECT_THROW(
+        readTrace("faascache-trace,1,x\nfunction,0,a,64MB,1000,2000\n"),
+        std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace original = sampleTrace();
+    const std::string path = testing::TempDir() + "/faascache_io_test.csv";
+    saveTraceFile(original, path);
+    const Trace loaded = loadTraceFile(path);
+    EXPECT_EQ(loaded.invocations().size(), original.invocations().size());
+    EXPECT_EQ(loaded.functions().size(), original.functions().size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/path/trace.csv"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,76 @@
+#include "trace/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+std::vector<FunctionSpec>
+twoFunctions()
+{
+    return {
+        makeFunction(0, "small", 64, fromMillis(100), fromMillis(500)),
+        makeFunction(1, "large", 512, fromSeconds(1), fromSeconds(3)),
+    };
+}
+
+TEST(Patterns, PeriodicCountsMatchPeriods)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makePeriodicTrace(specs, {kSecond, 2 * kSecond},
+                                      10 * kSecond, "periodic");
+    EXPECT_TRUE(t.validate());
+    EXPECT_TRUE(t.isSorted());
+    const auto counts = t.invocationCounts();
+    EXPECT_EQ(counts[0], 10u);
+    EXPECT_EQ(counts[1], 5u);
+}
+
+TEST(Patterns, PeriodicPhaseShiftPerFunction)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makePeriodicTrace(specs, {kSecond, kSecond},
+                                      3 * kSecond, "periodic");
+    // Function 1's stream starts 1 ms after function 0's.
+    TimeUs first0 = -1, first1 = -1;
+    for (const auto& inv : t.invocations()) {
+        if (inv.function == 0 && first0 < 0)
+            first0 = inv.arrival_us;
+        if (inv.function == 1 && first1 < 0)
+            first1 = inv.arrival_us;
+    }
+    EXPECT_EQ(first0, 0);
+    EXPECT_EQ(first1, kMillisecond);
+}
+
+TEST(Patterns, CyclicVisitsRoundRobin)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makeCyclicTrace(specs, kSecond, 5 * kSecond, "cyclic");
+    ASSERT_EQ(t.invocations().size(), 5u);
+    for (std::size_t i = 0; i < t.invocations().size(); ++i) {
+        EXPECT_EQ(t.invocations()[i].function, i % 2);
+        EXPECT_EQ(t.invocations()[i].arrival_us,
+                  static_cast<TimeUs>(i) * kSecond);
+    }
+}
+
+TEST(Patterns, SkewedSizeFastSmallSlowLarge)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makeSkewedSizeTrace(specs, kSecond, 5 * kSecond,
+                                        20 * kSecond, "skew");
+    const auto counts = t.invocationCounts();
+    EXPECT_GT(counts[0], counts[1]);  // small fires faster
+}
+
+TEST(Patterns, EmptyDurationYieldsNoInvocations)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makePeriodicTrace(specs, {kSecond, kSecond}, 0, "none");
+    EXPECT_TRUE(t.invocations().empty());
+    EXPECT_EQ(t.functions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace faascache

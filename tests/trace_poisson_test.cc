@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/patterns.h"
+
+namespace faascache {
+namespace {
+
+std::vector<FunctionSpec>
+twoFunctions()
+{
+    return {
+        makeFunction(0, "fast", 64, fromMillis(100), fromMillis(500)),
+        makeFunction(1, "slow", 512, fromSeconds(1), fromSeconds(3)),
+    };
+}
+
+TEST(PoissonTrace, MeanRateMatchesConfigured)
+{
+    const Trace t = makePoissonTrace(twoFunctions(),
+                                     {kSecond, 10 * kSecond}, kHour, 1,
+                                     "poisson");
+    const auto counts = t.invocationCounts();
+    // 3600 expected for fn0, 360 for fn1; Poisson 3-sigma bounds.
+    EXPECT_NEAR(static_cast<double>(counts[0]), 3600.0,
+                3 * std::sqrt(3600.0));
+    EXPECT_NEAR(static_cast<double>(counts[1]), 360.0,
+                3 * std::sqrt(360.0));
+}
+
+TEST(PoissonTrace, SortedAndValid)
+{
+    const Trace t = makePoissonTrace(twoFunctions(), {kSecond, kSecond},
+                                     10 * kMinute, 2, "poisson");
+    EXPECT_TRUE(t.validate());
+    EXPECT_TRUE(t.isSorted());
+}
+
+TEST(PoissonTrace, DeterministicInSeed)
+{
+    const Trace a = makePoissonTrace(twoFunctions(), {kSecond, kSecond},
+                                     10 * kMinute, 3, "p");
+    const Trace b = makePoissonTrace(twoFunctions(), {kSecond, kSecond},
+                                     10 * kMinute, 3, "p");
+    ASSERT_EQ(a.invocations().size(), b.invocations().size());
+    for (std::size_t i = 0; i < a.invocations().size(); ++i)
+        EXPECT_EQ(a.invocations()[i], b.invocations()[i]);
+}
+
+TEST(PoissonTrace, GapsAreExponentialIsh)
+{
+    // The squared coefficient of variation of exponential gaps is 1;
+    // periodic gaps would give ~0.
+    const Trace t = makePoissonTrace(
+        {makeFunction(0, "f", 64, fromMillis(100), fromMillis(100))},
+        {kSecond}, 2 * kHour, 4, "p");
+    const auto& inv = t.invocations();
+    ASSERT_GT(inv.size(), 1'000u);
+    double mean = 0, sq = 0;
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < inv.size(); ++i)
+        gaps.push_back(toSeconds(inv[i].arrival_us -
+                                 inv[i - 1].arrival_us));
+    for (double g : gaps)
+        mean += g;
+    mean /= static_cast<double>(gaps.size());
+    for (double g : gaps)
+        sq += (g - mean) * (g - mean);
+    const double cv2 =
+        sq / static_cast<double>(gaps.size() - 1) / (mean * mean);
+    EXPECT_NEAR(cv2, 1.0, 0.15);
+}
+
+TEST(PoissonTrace, EmptyDuration)
+{
+    const Trace t = makePoissonTrace(twoFunctions(), {kSecond, kSecond},
+                                     0, 1, "p");
+    EXPECT_TRUE(t.invocations().empty());
+}
+
+}  // namespace
+}  // namespace faascache

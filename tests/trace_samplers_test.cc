@@ -1,0 +1,122 @@
+#include "trace/samplers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "trace/azure_model.h"
+
+namespace faascache {
+namespace {
+
+Trace
+population()
+{
+    AzureModelConfig config;
+    config.seed = 11;
+    config.num_functions = 300;
+    config.duration_us = 30 * kMinute;
+    config.iat_median_sec = 20.0;
+    return generateAzureTrace(config);
+}
+
+TEST(Samplers, RareSampleHasRequestedSize)
+{
+    const Trace pop = population();
+    const Trace rare = sampleRare(pop, 50, 1);
+    EXPECT_EQ(rare.functions().size(), 50u);
+    EXPECT_TRUE(rare.validate());
+    EXPECT_EQ(rare.name(), "rare");
+}
+
+TEST(Samplers, RareFunctionsAreActuallyRare)
+{
+    const Trace pop = population();
+    const Trace rare = sampleRare(pop, 40, 1);
+    const auto pop_counts = pop.invocationCounts();
+    std::vector<std::size_t> sorted = pop_counts;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t median_count = sorted[sorted.size() / 2];
+
+    // Mean invocation count of the rare sample is below the population
+    // median (rare functions come from the infrequent half).
+    const auto rare_counts = rare.invocationCounts();
+    const double mean_rare =
+        static_cast<double>(std::accumulate(rare_counts.begin(),
+                                            rare_counts.end(), 0ul)) /
+        static_cast<double>(rare_counts.size());
+    EXPECT_LE(mean_rare, static_cast<double>(median_count) * 1.5);
+}
+
+TEST(Samplers, RepresentativeCoversQuartiles)
+{
+    const Trace pop = population();
+    const Trace rep = sampleRepresentative(pop, 40, 1);
+    EXPECT_EQ(rep.functions().size(), 40u);
+    EXPECT_TRUE(rep.validate());
+
+    // The sample must contain both low- and high-frequency functions:
+    // its count spread should cover most of the population's range.
+    const auto counts = rep.invocationCounts();
+    const auto [min_it, max_it] =
+        std::minmax_element(counts.begin(), counts.end());
+    const auto pop_counts = pop.invocationCounts();
+    const auto pop_max = *std::max_element(pop_counts.begin(),
+                                           pop_counts.end());
+    EXPECT_GT(*max_it, pop_max / 4);
+    EXPECT_LT(*min_it, 10u);
+}
+
+TEST(Samplers, RepresentativeHandlesNonMultipleOfFour)
+{
+    const Trace pop = population();
+    const Trace rep = sampleRepresentative(pop, 41, 1);
+    EXPECT_EQ(rep.functions().size(), 41u);
+}
+
+TEST(Samplers, RandomSampleSizeAndValidity)
+{
+    const Trace pop = population();
+    const Trace rnd = sampleRandom(pop, 60, 2);
+    EXPECT_EQ(rnd.functions().size(), 60u);
+    EXPECT_TRUE(rnd.validate());
+    EXPECT_TRUE(rnd.isSorted());
+}
+
+TEST(Samplers, DeterministicInSeed)
+{
+    const Trace pop = population();
+    const Trace a = sampleRandom(pop, 30, 5);
+    const Trace b = sampleRandom(pop, 30, 5);
+    ASSERT_EQ(a.invocations().size(), b.invocations().size());
+    for (std::size_t i = 0; i < a.invocations().size(); ++i)
+        EXPECT_EQ(a.invocations()[i], b.invocations()[i]);
+}
+
+TEST(Samplers, DifferentSeedsDiffer)
+{
+    const Trace pop = population();
+    const Trace a = sampleRandom(pop, 30, 5);
+    const Trace b = sampleRandom(pop, 30, 6);
+    bool differ = a.invocations().size() != b.invocations().size();
+    if (!differ) {
+        for (std::size_t i = 0; i < a.invocations().size(); ++i) {
+            if (!(a.invocations()[i] == b.invocations()[i])) {
+                differ = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(Samplers, CountLargerThanPopulationClamps)
+{
+    const Trace pop = population();
+    const Trace all = sampleRandom(pop, 10'000, 1);
+    EXPECT_EQ(all.functions().size(), pop.functions().size());
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,109 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace faascache {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+    EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(CsvEscape, CommaQuoted)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled)
+{
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted)
+{
+    EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow({"a", "b,c", "d"});
+    writer.writeRow({"1", "2"});
+    EXPECT_EQ(out.str(), "a,\"b,c\",d\n1,2\n");
+}
+
+TEST(ParseCsv, SimpleRows)
+{
+    const auto rows = parseCsv("a,b,c\n1,2,3\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, NoTrailingNewline)
+{
+    const auto rows = parseCsv("x,y");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParseCsv, QuotedFieldWithComma)
+{
+    const auto rows = parseCsv("\"a,b\",c\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsv, EscapedQuote)
+{
+    const auto rows = parseCsv("\"say \"\"hi\"\"\"\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, NewlineInsideQuotes)
+{
+    const auto rows = parseCsv("\"line1\nline2\",x\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseCsv, CarriageReturnsIgnored)
+{
+    const auto rows = parseCsv("a,b\r\nc,d\r\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, EmptyFieldsPreserved)
+{
+    const auto rows = parseCsv("a,,c\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseCsv, EmptyInput)
+{
+    EXPECT_TRUE(parseCsv("").empty());
+    EXPECT_TRUE(parseCsv("\n").empty());
+}
+
+TEST(ParseCsv, RoundTripWithWriter)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    const std::vector<std::string> row = {"plain", "with,comma",
+                                          "with\"quote", "multi\nline"};
+    writer.writeRow(row);
+    const auto rows = parseCsv(out.str());
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], row);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,103 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(1.0, 10);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.totalCount(), 0);
+}
+
+TEST(Histogram, BucketAssignment)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);    // bucket 0
+    h.add(9.99);   // bucket 0
+    h.add(10.0);   // bucket 1
+    h.add(49.99);  // bucket 4
+    EXPECT_EQ(h.bucketCount(0), 2);
+    EXPECT_EQ(h.bucketCount(1), 1);
+    EXPECT_EQ(h.bucketCount(4), 1);
+    EXPECT_EQ(h.totalCount(), 4);
+    EXPECT_EQ(h.overflowCount(), 0);
+}
+
+TEST(Histogram, NegativeClampsToFirstBucket)
+{
+    Histogram h(1.0, 4);
+    h.add(-3.0);
+    EXPECT_EQ(h.bucketCount(0), 1);
+}
+
+TEST(Histogram, OverflowTracked)
+{
+    Histogram h(10.0, 5);
+    h.add(50.0);   // exactly at range end -> overflow
+    h.add(1000.0);
+    h.add(5.0);
+    EXPECT_EQ(h.overflowCount(), 2);
+    EXPECT_EQ(h.totalCount(), 3);
+    EXPECT_NEAR(h.overflowFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PercentileAtBucketGranularity)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    // Each bucket holds one sample; p-th percentile is the upper edge of
+    // the ceil(p*100)-th bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.00), 100.0);
+}
+
+TEST(Histogram, PercentileIgnoresOverflow)
+{
+    Histogram h(1.0, 2);
+    h.add(0.5);
+    h.add(0.5);
+    h.add(100.0);  // overflow
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
+TEST(Histogram, PercentileClampsArgument)
+{
+    Histogram h(1.0, 4);
+    h.add(2.5);
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(2.0, 50);
+    for (int i = 0; i < 500; ++i)
+        h.add(static_cast<double>(i % 100));
+    double prev = 0.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 4);
+    h.add(1.0);
+    h.add(100.0);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0);
+    EXPECT_EQ(h.overflowCount(), 0);
+    EXPECT_EQ(h.bucketCount(1), 0);
+    EXPECT_EQ(h.percentile(0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace faascache {
+namespace {
+
+TEST(Summarize, EmptyInput)
+{
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, SingleValue)
+{
+    const Summary s = summarize({3.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.min, 3.5);
+    EXPECT_DOUBLE_EQ(s.max, 3.5);
+    EXPECT_DOUBLE_EQ(s.p50, 3.5);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownValues)
+{
+    const Summary s = summarize({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_NEAR(s.stddev, 1.5811388300841898, 1e-12);
+}
+
+TEST(Summarize, UnsortedInputHandled)
+{
+    const Summary s = summarize({5, 1, 4, 2, 3});
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(PercentileSorted, InterpolatesBetweenPoints)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.25), 2.5);
+}
+
+TEST(PercentileSorted, ClampsP)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.5), 3.0);
+}
+
+TEST(ExponentialSmoother, InitializesToFirstSample)
+{
+    ExponentialSmoother ema(0.2);
+    EXPECT_FALSE(ema.initialized());
+    EXPECT_DOUBLE_EQ(ema.update(10.0), 10.0);
+    EXPECT_TRUE(ema.initialized());
+}
+
+TEST(ExponentialSmoother, BlendsSubsequentSamples)
+{
+    ExponentialSmoother ema(0.5);
+    ema.update(10.0);
+    EXPECT_DOUBLE_EQ(ema.update(20.0), 15.0);
+    EXPECT_DOUBLE_EQ(ema.update(15.0), 15.0);
+}
+
+TEST(ExponentialSmoother, AlphaOneTracksExactly)
+{
+    ExponentialSmoother ema(1.0);
+    ema.update(3.0);
+    EXPECT_DOUBLE_EQ(ema.update(7.0), 7.0);
+}
+
+TEST(ExponentialSmoother, ConvergesToConstantInput)
+{
+    ExponentialSmoother ema(0.3);
+    ema.update(100.0);
+    for (int i = 0; i < 100; ++i)
+        ema.update(5.0);
+    EXPECT_NEAR(ema.value(), 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace faascache

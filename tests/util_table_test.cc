@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace faascache {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "22"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, ToleratesShortRows)
+{
+    TablePrinter table({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, ToleratesExtraCells)
+{
+    TablePrinter table({"a"});
+    table.addRow({"1", "2", "3"});
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_NE(out.str().find("3"), std::string::npos);
+}
+
+TEST(FormatDouble, Decimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.14159, 0), "3");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(formatDouble(0.0, 3), "0.000");
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,144 @@
+#include "util/welford.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace faascache {
+namespace {
+
+TEST(Welford, EmptyIsZero)
+{
+    Welford w;
+    EXPECT_EQ(w.count(), 0);
+    EXPECT_EQ(w.mean(), 0.0);
+    EXPECT_EQ(w.variance(), 0.0);
+    EXPECT_EQ(w.coefficientOfVariation(), 0.0);
+}
+
+TEST(Welford, SingleSample)
+{
+    Welford w;
+    w.add(5.0);
+    EXPECT_EQ(w.count(), 1);
+    EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+    EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, MatchesNaiveComputation)
+{
+    Rng rng(1);
+    std::vector<double> samples;
+    Welford w;
+    for (int i = 0; i < 1'000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        samples.push_back(v);
+        w.add(v);
+    }
+    double mean = 0;
+    for (double v : samples)
+        mean += v;
+    mean /= samples.size();
+    double var = 0;
+    for (double v : samples)
+        var += (v - mean) * (v - mean);
+    var /= samples.size() - 1;
+
+    EXPECT_NEAR(w.mean(), mean, 1e-9);
+    EXPECT_NEAR(w.variance(), var, 1e-9);
+    EXPECT_NEAR(w.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(Welford, ConstantSamplesHaveZeroCoV)
+{
+    Welford w;
+    for (int i = 0; i < 10; ++i)
+        w.add(42.0);
+    EXPECT_EQ(w.variance(), 0.0);
+    EXPECT_EQ(w.coefficientOfVariation(), 0.0);
+}
+
+TEST(Welford, CoVMatchesDefinition)
+{
+    Welford w;
+    w.add(1.0);
+    w.add(3.0);
+    // mean 2, sample variance 2, stddev sqrt(2), CoV sqrt(2)/2.
+    EXPECT_NEAR(w.coefficientOfVariation(), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(Welford, CoVInfiniteWhenMeanZeroButVarying)
+{
+    Welford w;
+    w.add(-1.0);
+    w.add(1.0);
+    EXPECT_TRUE(std::isinf(w.coefficientOfVariation()));
+}
+
+TEST(Welford, CoVUsesAbsoluteMean)
+{
+    Welford pos, neg;
+    pos.add(1.0);
+    pos.add(3.0);
+    neg.add(-1.0);
+    neg.add(-3.0);
+    EXPECT_NEAR(pos.coefficientOfVariation(), neg.coefficientOfVariation(),
+                1e-12);
+}
+
+TEST(Welford, MergeEqualsSequential)
+{
+    Rng rng(2);
+    Welford all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(0, 100);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Welford, MergeWithEmpty)
+{
+    Welford a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+
+    Welford b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Welford, ResetClears)
+{
+    Welford w;
+    w.add(10.0);
+    w.reset();
+    EXPECT_EQ(w.count(), 0);
+    EXPECT_EQ(w.mean(), 0.0);
+}
+
+TEST(Welford, NumericallyStableWithLargeOffset)
+{
+    // Classic catastrophic-cancellation scenario for naive two-pass sums.
+    Welford w;
+    const double offset = 1e9;
+    for (double v : {4.0, 7.0, 13.0, 16.0})
+        w.add(offset + v);
+    EXPECT_NEAR(w.variance(), 30.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace faascache
