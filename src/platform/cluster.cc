@@ -1,10 +1,45 @@
 #include "platform/cluster.h"
 
+#include <algorithm>
+#include <queue>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.h"
 
 namespace faascache {
+
+void
+FailoverConfig::validate() const
+{
+    if (max_retries < 0) {
+        throw std::invalid_argument(
+            "FailoverConfig: max_retries must be >= 0, got " +
+            std::to_string(max_retries));
+    }
+    if (base_backoff_us <= 0) {
+        throw std::invalid_argument(
+            "FailoverConfig: base_backoff_us must be > 0, got " +
+            std::to_string(base_backoff_us));
+    }
+    if (request_timeout_us <= 0) {
+        throw std::invalid_argument(
+            "FailoverConfig: request_timeout_us must be > 0, got " +
+            std::to_string(request_timeout_us));
+    }
+}
+
+void
+ClusterConfig::validate() const
+{
+    if (num_servers == 0) {
+        throw std::invalid_argument(
+            "ClusterConfig: num_servers must be > 0");
+    }
+    server.validate();
+    faults.validate(num_servers);
+    failover.validate();
+}
 
 std::int64_t
 ClusterResult::warmStarts() const
@@ -33,6 +68,15 @@ ClusterResult::dropped() const
     return total;
 }
 
+RobustnessCounters
+ClusterResult::robustness() const
+{
+    RobustnessCounters total;
+    for (const auto& s : servers)
+        total += s.robustness;
+    return total;
+}
+
 double
 ClusterResult::warmPercent() const
 {
@@ -56,23 +100,18 @@ ClusterResult::meanLatencySec() const
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
-ClusterResult
-runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
-           const PolicyConfig& policy_config)
+namespace {
+
+/**
+ * The balancer's primary server for every invocation, in trace order.
+ * Shared by both paths so the fault-aware simulation assigns the same
+ * primaries (and consumes the same random stream) as the split replay.
+ */
+std::vector<std::size_t>
+primaryTargets(const Trace& trace, const ClusterConfig& config)
 {
-    if (config.num_servers == 0)
-        throw std::invalid_argument("runCluster: no servers");
-
-    // Split the invocation stream by the balancing policy. Every
-    // sub-trace carries the full function catalog so function ids stay
-    // stable across servers.
-    std::vector<Trace> shards(config.num_servers);
-    for (std::size_t s = 0; s < config.num_servers; ++s) {
-        shards[s].setName(trace.name() + "-server" + std::to_string(s));
-        for (const auto& fn : trace.functions())
-            shards[s].addFunction(fn);
-    }
-
+    std::vector<std::size_t> targets;
+    targets.reserve(trace.invocations().size());
     Rng rng(config.seed);
     std::size_t next_round_robin = 0;
     for (const auto& inv : trace.invocations()) {
@@ -93,7 +132,31 @@ runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
                 config.num_servers);
             break;
         }
-        shards[target].addInvocation(inv.function, inv.arrival_us);
+        targets.push_back(target);
+    }
+    return targets;
+}
+
+/** Independent-server replay (the original, fault-free fast path). */
+ClusterResult
+runClusterSplit(const Trace& trace, PolicyKind kind,
+                const ClusterConfig& config,
+                const PolicyConfig& policy_config)
+{
+    // Split the invocation stream by the balancing policy. Every
+    // sub-trace carries the full function catalog so function ids stay
+    // stable across servers.
+    std::vector<Trace> shards(config.num_servers);
+    for (std::size_t s = 0; s < config.num_servers; ++s) {
+        shards[s].setName(trace.name() + "-server" + std::to_string(s));
+        for (const auto& fn : trace.functions())
+            shards[s].addFunction(fn);
+    }
+
+    const std::vector<std::size_t> targets = primaryTargets(trace, config);
+    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+        const auto& inv = trace.invocations()[i];
+        shards[targets[i]].addInvocation(inv.function, inv.arrival_us);
     }
 
     ClusterResult result;
@@ -103,6 +166,203 @@ runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
         result.servers.push_back(server.run(shards[s]));
     }
     return result;
+}
+
+/** Front-end event of the health-aware simulation. */
+struct ClusterEvent
+{
+    enum class Kind
+    {
+        Dispatch,  ///< route invocation `index` (attempt `attempt`)
+        Crash,     ///< crash event `index` of the plan fires
+        Restart,   ///< server `server` rejoins
+    };
+
+    TimeUs time_us = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::Dispatch;
+    std::size_t index = 0;
+    int attempt = 0;
+    std::size_t server = 0;
+};
+
+struct LaterClusterEvent
+{
+    bool operator()(const ClusterEvent& a, const ClusterEvent& b) const
+    {
+        if (a.time_us != b.time_us)
+            return a.time_us > b.time_us;
+        return a.seq > b.seq;
+    }
+};
+
+/**
+ * Interleaved health-aware simulation: one global front-end event loop
+ * feeding incremental servers, with crash fallout re-dispatched under
+ * the failover policy.
+ */
+ClusterResult
+runClusterFaultAware(const Trace& trace, PolicyKind kind,
+                     const ClusterConfig& config,
+                     const PolicyConfig& policy_config)
+{
+    const std::size_t n = config.num_servers;
+    const FailoverConfig& failover = config.failover;
+
+    std::vector<FaultInjector> injectors;
+    injectors.reserve(n);
+    std::vector<std::unique_ptr<Server>> servers;
+    servers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        injectors.emplace_back(config.faults, s);
+        servers.push_back(std::make_unique<Server>(
+            makePolicy(kind, policy_config), config.server));
+        servers.back()->setFaultInjector(&injectors[s]);
+        servers.back()->begin(trace);
+    }
+
+    std::priority_queue<ClusterEvent, std::vector<ClusterEvent>,
+                        LaterClusterEvent>
+        events;
+    std::uint64_t next_seq = 0;
+    auto push = [&](TimeUs at, ClusterEvent::Kind kind, std::size_t index,
+                    int attempt = 0, std::size_t server = 0) {
+        events.push(ClusterEvent{at, next_seq++, kind, index, attempt,
+                                 server});
+    };
+
+    const std::vector<std::size_t> primaries =
+        primaryTargets(trace, config);
+    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+        push(trace.invocations()[i].arrival_us,
+             ClusterEvent::Kind::Dispatch, i);
+    }
+    for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
+        push(config.faults.crashes[k].at_us, ClusterEvent::Kind::Crash,
+             k);
+    }
+
+    ClusterResult result;
+    std::vector<char> down(n, 0);
+    std::vector<int> attempts(trace.invocations().size(), 0);
+    TimeUs last_event_us = 0;
+
+    // Bounded re-dispatch with exponential backoff under the
+    // per-request timeout budget; exhaustion fails the request.
+    auto scheduleRetry = [&](std::size_t index, TimeUs now) {
+        if (attempts[index] >= failover.max_retries) {
+            ++result.failed_requests;
+            return;
+        }
+        const int shift = std::min(attempts[index], 20);
+        const TimeUs backoff = failover.base_backoff_us << shift;
+        const TimeUs at = now + backoff;
+        const TimeUs arrival = trace.invocations()[index].arrival_us;
+        if (at - arrival > failover.request_timeout_us) {
+            ++result.failed_requests;
+            return;
+        }
+        ++attempts[index];
+        ++result.retries;
+        push(at, ClusterEvent::Kind::Dispatch, index, attempts[index]);
+    };
+
+    while (!events.empty()) {
+        const ClusterEvent event = events.top();
+        events.pop();
+        const TimeUs now = event.time_us;
+        last_event_us = std::max(last_event_us, now);
+        // Settle all servers so queue depths and health are current.
+        for (std::size_t s = 0; s < n; ++s)
+            servers[s]->advanceTo(now);
+
+        switch (event.kind) {
+          case ClusterEvent::Kind::Crash: {
+            const CrashEvent& ce = config.faults.crashes[event.index];
+            if (down[ce.server])
+                break;
+            const Server::CrashFallout fallout =
+                servers[ce.server]->crash(now);
+            down[ce.server] = 1;
+            if (ce.restart_after_us > 0) {
+                push(now + ce.restart_after_us,
+                     ClusterEvent::Kind::Restart, 0, 0, ce.server);
+            }
+            // Everything the crash spilled goes back to the front end.
+            for (std::size_t index : fallout.aborted)
+                scheduleRetry(index, now);
+            for (std::size_t index : fallout.flushed_queue)
+                scheduleRetry(index, now);
+            break;
+          }
+          case ClusterEvent::Kind::Restart:
+            servers[event.server]->restart(now);
+            down[event.server] = 0;
+            break;
+          case ClusterEvent::Kind::Dispatch: {
+            // Probe servers starting at the primary (retries start
+            // offset by the attempt number so they prefer a different
+            // server than the one that just failed).
+            const std::size_t primary = primaries[event.index];
+            const std::size_t start =
+                (primary + static_cast<std::size_t>(event.attempt)) % n;
+            std::size_t chosen = n;
+            bool any_healthy = false;
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t s = (start + k) % n;
+                if (down[s])
+                    continue;
+                any_healthy = true;
+                if (failover.shed_queue_depth > 0 &&
+                    servers[s]->queueDepth() >=
+                        failover.shed_queue_depth) {
+                    continue;
+                }
+                chosen = s;
+                break;
+            }
+            if (chosen == n) {
+                if (any_healthy) {
+                    // Overload, not outage: shed instead of buffering
+                    // into a queue that would only time out.
+                    ++result.shed_requests;
+                } else {
+                    scheduleRetry(event.index, now);
+                }
+                break;
+            }
+            if (chosen != primary)
+                ++result.failovers;
+            servers[chosen]->offer(event.index, now,
+                                   /*redispatched=*/event.attempt > 0);
+            break;
+          }
+        }
+    }
+
+    TimeUs horizon = last_event_us;
+    if (!trace.invocations().empty()) {
+        horizon = std::max(horizon,
+                           trace.invocations().back().arrival_us);
+    }
+    horizon += config.server.queue_timeout_us;
+
+    result.servers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s)
+        result.servers.push_back(servers[s]->finish(horizon));
+    return result;
+}
+
+}  // namespace
+
+ClusterResult
+runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
+           const PolicyConfig& policy_config)
+{
+    config.validate();
+    if (config.faults.empty() && config.failover.shed_queue_depth == 0)
+        return runClusterSplit(trace, kind, config, policy_config);
+    return runClusterFaultAware(trace, kind, config, policy_config);
 }
 
 }  // namespace faascache

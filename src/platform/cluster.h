@@ -10,6 +10,17 @@
  * (better keep-alive), while randomized balancing spreads each
  * function's invocations thin. This module makes that trade-off
  * measurable.
+ *
+ * Beyond the paper, the front end is health-aware: a ClusterConfig may
+ * carry a FaultPlan (fault_injection.h) of crashes and stochastic
+ * faults. Under a non-empty plan the cluster runs an interleaved
+ * event simulation — tracking per-server health, failing invocations
+ * over to healthy servers, re-dispatching the work a crash spills with
+ * bounded retries and exponential backoff under a per-request timeout
+ * budget, and shedding load when every healthy server's queue crosses
+ * a high-water mark. With an empty plan (and no admission control) the
+ * original independent-server replay runs unchanged, so the fault
+ * machinery costs nothing when disabled.
  */
 #ifndef FAASCACHE_PLATFORM_CLUSTER_H_
 #define FAASCACHE_PLATFORM_CLUSTER_H_
@@ -19,6 +30,7 @@
 #include <vector>
 
 #include "core/policy_factory.h"
+#include "platform/fault_injection.h"
 #include "platform/server.h"
 #include "trace/trace.h"
 
@@ -38,6 +50,33 @@ enum class LoadBalancing
     FunctionHash,
 };
 
+/** Failure-handling knobs of the health-aware front end. */
+struct FailoverConfig
+{
+    /** Re-dispatch attempts per invocation after its work is lost to a
+     *  crash or no server can accept it. */
+    int max_retries = 2;
+
+    /** First re-dispatch delay; doubles per attempt (exponential
+     *  backoff). */
+    TimeUs base_backoff_us = 100 * kMillisecond;
+
+    /** Per-request budget from original arrival; a re-dispatch that
+     *  would land beyond it fails the request instead. */
+    TimeUs request_timeout_us = 60 * kSecond;
+
+    /**
+     * Admission-control high-water mark: when every healthy server's
+     * queue is at least this deep, new arrivals are shed instead of
+     * buffered (graceful degradation instead of queue collapse).
+     * 0 disables admission control.
+     */
+    std::size_t shed_queue_depth = 0;
+
+    /** Check invariants. @throws std::invalid_argument. */
+    void validate() const;
+};
+
 /** Cluster parameters. */
 struct ClusterConfig
 {
@@ -52,6 +91,17 @@ struct ClusterConfig
 
     /** Seed for randomized balancing. */
     std::uint64_t seed = 1;
+
+    /** Injected faults; an empty plan (the default) disables the
+     *  fault-aware path entirely. */
+    FaultPlan faults;
+
+    /** Failure handling (only consulted on the fault-aware path). */
+    FailoverConfig failover;
+
+    /** Check invariants of the whole tree (servers, faults,
+     *  failover). @throws std::invalid_argument. */
+    void validate() const;
 };
 
 /** Aggregated cluster outcome. */
@@ -60,9 +110,37 @@ struct ClusterResult
     /** Per-server results, index = server id. */
     std::vector<PlatformResult> servers;
 
+    /**
+     * @name Front-end robustness accounting
+     * All zero on the fault-free path.
+     * @{
+     */
+
+    /** Re-dispatch attempts scheduled after crashes or full outages. */
+    std::int64_t retries = 0;
+
+    /** Invocations served by a server other than the balancer's
+     *  primary choice (health-aware re-routing). */
+    std::int64_t failovers = 0;
+
+    /** Arrivals shed by admission control (every healthy server over
+     *  the high-water mark). */
+    std::int64_t shed_requests = 0;
+
+    /** Invocations abandoned after exhausting the retry budget or the
+     *  per-request timeout. */
+    std::int64_t failed_requests = 0;
+    /** @} */
+
     std::int64_t warmStarts() const;
     std::int64_t coldStarts() const;
     std::int64_t dropped() const;
+
+    /** Fleet-wide fault accounting summed over servers. */
+    RobustnessCounters robustness() const;
+
+    /** Total server downtime across the fleet. */
+    TimeUs unavailabilityUs() const { return robustness().downtime_us; }
 
     /** Warm starts / served across the cluster, in percent. */
     double warmPercent() const;
@@ -72,10 +150,15 @@ struct ClusterResult
 };
 
 /**
- * Replay `trace` through a cluster: the balancer splits the invocation
- * stream into per-server sub-traces (all servers see the full function
- * catalog), then every server runs its share under a fresh policy of
- * `kind`.
+ * Replay `trace` through a cluster. With an empty fault plan and no
+ * admission control, the balancer splits the invocation stream into
+ * per-server sub-traces (all servers see the full function catalog)
+ * and every server runs its share under a fresh policy of `kind` —
+ * byte-identical to the pre-fault-injection behaviour. Otherwise the
+ * interleaved health-aware simulation described in the file comment
+ * runs; every invocation then ends in exactly one of: served on some
+ * server, dropped by a server, shed by admission control, or failed
+ * after retries.
  */
 ClusterResult runCluster(const Trace& trace, PolicyKind kind,
                          const ClusterConfig& config,

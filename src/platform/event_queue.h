@@ -22,6 +22,9 @@ enum class EventKind
     Finish,       ///< an invocation completed (payload: container id)
     InitDone,     ///< a cold start finished initializing (payload: id)
     Maintenance,  ///< periodic expiry/prewarm/queue housekeeping
+    Retry,        ///< re-drain the queue after a spawn-failure holdoff
+    Crash,        ///< injected server crash (payload: crash-list index)
+    Restart,      ///< crashed server rejoins, cold
 };
 
 /** One scheduled event. */

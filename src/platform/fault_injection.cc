@@ -1,0 +1,181 @@
+#include "platform/fault_injection.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace faascache {
+
+namespace {
+
+void
+checkProbability(double p, const char* what)
+{
+    if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                    " must be in [0, 1], got " +
+                                    std::to_string(p));
+    }
+}
+
+}  // namespace
+
+bool
+FaultPlan::empty() const
+{
+    return crashes.empty() && spawn_failure_prob == 0.0 &&
+        straggler_prob == 0.0 && reclaim_stall_prob == 0.0;
+}
+
+void
+FaultPlan::validate(std::size_t num_servers) const
+{
+    checkProbability(spawn_failure_prob, "spawn_failure_prob");
+    checkProbability(straggler_prob, "straggler_prob");
+    checkProbability(reclaim_stall_prob, "reclaim_stall_prob");
+    if (straggler_prob > 0.0 && straggler_multiplier < 1.0) {
+        throw std::invalid_argument(
+            "FaultPlan: straggler_multiplier must be >= 1, got " +
+            std::to_string(straggler_multiplier));
+    }
+    if (spawn_failure_prob > 0.0 && spawn_retry_delay_us <= 0) {
+        throw std::invalid_argument(
+            "FaultPlan: spawn_retry_delay_us must be > 0");
+    }
+    if (reclaim_stall_prob > 0.0 && reclaim_stall_us <= 0) {
+        throw std::invalid_argument(
+            "FaultPlan: reclaim_stall_us must be > 0");
+    }
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+        const CrashEvent& c = crashes[i];
+        if (c.at_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash " + std::to_string(i) +
+                " has negative at_us");
+        }
+        if (c.restart_after_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash " + std::to_string(i) +
+                " has negative restart_after_us");
+        }
+        if (num_servers > 0 && c.server >= num_servers) {
+            throw std::invalid_argument(
+                "FaultPlan: crash " + std::to_string(i) +
+                " targets server " + std::to_string(c.server) +
+                " but the cluster has " + std::to_string(num_servers) +
+                " servers");
+        }
+    }
+}
+
+std::vector<CrashEvent>
+FaultPlan::crashesFor(std::size_t server) const
+{
+    std::vector<CrashEvent> mine;
+    for (const CrashEvent& c : crashes) {
+        if (c.server == server)
+            mine.push_back(c);
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const CrashEvent& a, const CrashEvent& b) {
+                         return a.at_us < b.at_us;
+                     });
+    return mine;
+}
+
+std::vector<CapacityLossWindow>
+FaultPlan::capacityLossWindows(std::size_t num_servers) const
+{
+    std::vector<CapacityLossWindow> windows;
+    if (num_servers == 0 || crashes.empty())
+        return windows;
+
+    constexpr TimeUs kForever = std::numeric_limits<TimeUs>::max();
+    // Sweep the crash/restart boundaries, tracking how many servers
+    // are down between consecutive boundaries.
+    struct Edge
+    {
+        TimeUs at;
+        int delta;  // +1 = one more server down, -1 = one restarted
+    };
+    std::vector<Edge> edges;
+    for (const CrashEvent& c : crashes) {
+        edges.push_back({c.at_us, +1});
+        if (c.restart_after_us > 0 &&
+            c.at_us <= kForever - c.restart_after_us) {
+            edges.push_back({c.at_us + c.restart_after_us, -1});
+        }
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge& a, const Edge& b) {
+                         return a.at < b.at;
+                     });
+
+    std::size_t down = 0;
+    std::size_t i = 0;
+    while (i < edges.size()) {
+        const TimeUs at = edges[i].at;
+        while (i < edges.size() && edges[i].at == at) {
+            if (edges[i].delta > 0)
+                ++down;
+            else if (down > 0)
+                --down;
+            ++i;
+        }
+        const TimeUs until = i < edges.size() ? edges[i].at : kForever;
+        if (down > 0 && until > at) {
+            CapacityLossWindow w;
+            w.from_us = at;
+            w.until_us = until;
+            const std::size_t lost = std::min(down, num_servers);
+            w.available_fraction =
+                static_cast<double>(num_servers - lost) /
+                static_cast<double>(num_servers);
+            windows.push_back(w);
+        }
+    }
+    return windows;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t server)
+    : plan_(&plan),
+      rng_(Rng::hashMix(plan.seed ^
+                        (0x9e3779b97f4a7c15ULL +
+                         static_cast<std::uint64_t>(server)))),
+      crashes_(plan.crashesFor(server))
+{
+}
+
+bool
+FaultInjector::spawnFails()
+{
+    return plan_->spawn_failure_prob > 0.0 &&
+        rng_.uniform() < plan_->spawn_failure_prob;
+}
+
+bool
+FaultInjector::coldStartStraggles()
+{
+    return plan_->straggler_prob > 0.0 &&
+        rng_.uniform() < plan_->straggler_prob;
+}
+
+TimeUs
+FaultInjector::straggleInit(TimeUs init_us) const
+{
+    return static_cast<TimeUs>(static_cast<double>(init_us) *
+                               plan_->straggler_multiplier);
+}
+
+TimeUs
+FaultInjector::reclaimStall()
+{
+    if (plan_->reclaim_stall_prob > 0.0 &&
+        rng_.uniform() < plan_->reclaim_stall_prob) {
+        return plan_->reclaim_stall_us;
+    }
+    return 0;
+}
+
+}  // namespace faascache

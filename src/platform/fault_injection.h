@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic fault injection for the platform model.
+ *
+ * The paper's §7.2 experiments assume a perfectly reliable invoker
+ * fleet; real FaaS fleets ("Serverless in the Wild") see server
+ * crashes, transient container-spawn failures, and cold-start
+ * stragglers. A FaultPlan describes such events — scheduled crashes
+ * with restart-after-delay plus seeded stochastic faults — and a
+ * FaultInjector derives each server's deterministic fault stream from
+ * it. An empty plan injects nothing and adds no cost: every draw is
+ * guarded by its probability, so disabled faults consume no randomness
+ * and results stay bit-identical to a run without the plan.
+ */
+#ifndef FAASCACHE_PLATFORM_FAULT_INJECTION_H_
+#define FAASCACHE_PLATFORM_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** One scheduled server crash (and optional restart). */
+struct CrashEvent
+{
+    /** Index of the server that crashes (0 for a single-server run). */
+    std::size_t server = 0;
+
+    /** Crash time. The server drains running work, flushes its
+     *  container pool, and becomes unavailable. */
+    TimeUs at_us = 0;
+
+    /** Downtime before the server rejoins cold; 0 = never restarts. */
+    TimeUs restart_after_us = 0;
+};
+
+/**
+ * A window during which only a fraction of fleet capacity is available
+ * (derived from a FaultPlan's crash schedule; consumed by the elastic
+ * provisioning controller to compensate for lost capacity).
+ */
+struct CapacityLossWindow
+{
+    TimeUs from_us = 0;
+
+    /** Exclusive end; TimeUs max for a permanent loss. */
+    TimeUs until_us = 0;
+
+    /** Healthy servers / total servers, in (0, 1]. */
+    double available_fraction = 1.0;
+};
+
+/** Declarative schedule of platform faults. Default: no faults. */
+struct FaultPlan
+{
+    /** Scheduled crash/restart events. */
+    std::vector<CrashEvent> crashes;
+
+    /** Probability that a container spawn (cold start) fails
+     *  transiently; the request is retried after a holdoff. */
+    double spawn_failure_prob = 0.0;
+
+    /** Holdoff before a failed spawn is attempted again. */
+    TimeUs spawn_retry_delay_us = 250 * kMillisecond;
+
+    /** Probability that a cold start straggles (slow image pull,
+     *  contended dockerd): its initialization time is multiplied. */
+    double straggler_prob = 0.0;
+
+    /** Initialization-time multiplier for straggling cold starts. */
+    double straggler_multiplier = 4.0;
+
+    /** Probability that a demand eviction stalls on memory reclaim,
+     *  delaying the cold start it was freeing memory for. */
+    double reclaim_stall_prob = 0.0;
+
+    /** Duration of one memory-reclaim stall. */
+    TimeUs reclaim_stall_us = 500 * kMillisecond;
+
+    /** Seed of the stochastic fault streams (one per server). */
+    std::uint64_t seed = 0x5EEDFA11ULL;
+
+    /** True when the plan injects nothing (no crashes, all
+     *  probabilities zero) — the zero-cost default. */
+    bool empty() const;
+
+    /**
+     * Check invariants (probabilities in [0, 1], multiplier >= 1,
+     * positive delays, non-negative crash times).
+     * @param num_servers When nonzero, also reject crash events whose
+     *        server index is out of range.
+     * @throws std::invalid_argument with a descriptive message.
+     */
+    void validate(std::size_t num_servers = 0) const;
+
+    /** This server's crash events, sorted by time. */
+    std::vector<CrashEvent> crashesFor(std::size_t server) const;
+
+    /**
+     * Fleet-capacity timeline implied by the crash schedule: one window
+     * per span where fewer than `num_servers` servers are up.
+     * Overlapping downtimes compound (two of four servers down gives
+     * available_fraction 0.5).
+     */
+    std::vector<CapacityLossWindow>
+    capacityLossWindows(std::size_t num_servers) const;
+};
+
+/**
+ * Per-server view of a FaultPlan: owns the server's deterministic
+ * random stream and answers the platform's fault queries. Two
+ * injectors built from equal (plan seed, server index) produce equal
+ * streams, so a run is reproducible counter-for-counter.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan  Fault schedule; must outlive the injector.
+     * @param server Index of the server this injector serves.
+     */
+    FaultInjector(const FaultPlan& plan, std::size_t server);
+
+    const FaultPlan& plan() const { return *plan_; }
+
+    /** Draw: does this container spawn fail transiently? */
+    bool spawnFails();
+
+    /** Draw: does this cold start straggle? */
+    bool coldStartStraggles();
+
+    /** A straggler's inflated initialization time. */
+    TimeUs straggleInit(TimeUs init_us) const;
+
+    /** Draw: stall duration of a demand eviction (0 = no stall). */
+    TimeUs reclaimStall();
+
+    /** This server's crash events, sorted by time. */
+    const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+  private:
+    const FaultPlan* plan_;
+    Rng rng_;
+    std::vector<CrashEvent> crashes_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_FAULT_INJECTION_H_

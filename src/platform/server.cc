@@ -2,9 +2,47 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace faascache {
+
+void
+ServerConfig::validate() const
+{
+    if (cores <= 0) {
+        throw std::invalid_argument("ServerConfig: cores must be > 0, got " +
+                                    std::to_string(cores));
+    }
+    if (!(memory_mb > 0)) {
+        throw std::invalid_argument(
+            "ServerConfig: memory_mb must be > 0, got " +
+            std::to_string(memory_mb));
+    }
+    if (queue_capacity == 0) {
+        throw std::invalid_argument(
+            "ServerConfig: queue_capacity must be > 0 (a zero-length "
+            "buffer would drop every request)");
+    }
+    if (queue_timeout_us <= 0) {
+        throw std::invalid_argument(
+            "ServerConfig: queue_timeout_us must be > 0, got " +
+            std::to_string(queue_timeout_us));
+    }
+    if (maintenance_interval_us <= 0) {
+        throw std::invalid_argument(
+            "ServerConfig: maintenance_interval_us must be > 0, got " +
+            std::to_string(maintenance_interval_us));
+    }
+    if (cold_start_cpu_slots < 1 || cold_start_cpu_slots > cores) {
+        throw std::invalid_argument(
+            "ServerConfig: cold_start_cpu_slots must be in [1, cores], "
+            "got " +
+            std::to_string(cold_start_cpu_slots) + " with " +
+            std::to_string(cores) + " cores");
+    }
+}
 
 double
 PlatformResult::coldStartPercent() const
@@ -46,12 +84,13 @@ PlatformResult::meanLatencySecOf(FunctionId function) const
 }
 
 Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
-    : policy_(std::move(policy)), config_(config), pool_(config.memory_mb)
+    : policy_(std::move(policy)), config_(config),
+      // Validate before the pool captures the capacity (its
+      // constructor asserts on non-positive memory).
+      pool_((config_.validate(), config_.memory_mb))
 {
     if (!policy_)
         throw std::invalid_argument("Server: null policy");
-    if (config_.cores <= 0)
-        throw std::invalid_argument("Server: cores must be > 0");
 }
 
 void
@@ -68,14 +107,13 @@ Server::evict(ContainerId id, TimeUs now, bool expired)
         ++result_.evictions;
 }
 
-bool
-Server::tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
-                    TimeUs now)
+Server::Dispatch
+Server::tryDispatch(const PendingRequest& request, TimeUs now)
 {
     if (running_ >= config_.cores)
-        return false;
+        return Dispatch::Blocked;
 
-    const Invocation& inv = trace_->invocations()[invocation_index];
+    const Invocation& inv = trace_->invocations()[request.invocation_index];
     const FunctionSpec& spec = trace_->function(inv.function);
     FunctionOutcome& outcome = result_.per_function[spec.id];
 
@@ -85,16 +123,19 @@ Server::tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
         ++running_;
         ++result_.warm_starts;
         ++outcome.warm;
-        inflight_arrival_[warm->id()] = arrival_us;
+        inflight_[warm->id()] =
+            Inflight{request.invocation_index, request.latency_anchor_us,
+                     /*cold=*/false, request.redispatched};
         events_.push(warm->busyUntil(), EventKind::Finish, warm->id());
-        return true;
+        return Dispatch::Started;
     }
 
     // Cold path: initialization burns extra platform CPU.
     const int cold_slots = std::max(1, config_.cold_start_cpu_slots);
     if (running_ + cold_slots > config_.cores)
-        return false;
+        return Dispatch::Blocked;
 
+    TimeUs stall_us = 0;
     if (!pool_.fits(spec.mem_mb)) {
         const MemMb needed = spec.mem_mb - pool_.freeMb();
         const auto victims = policy_->selectVictims(pool_, needed, now);
@@ -102,24 +143,42 @@ Server::tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
         for (ContainerId id : victims)
             freed += pool_.get(id)->memMb();
         if (pool_.freeMb() + freed < spec.mem_mb)
-            return false;  // busy containers hold the memory: wait
+            return Dispatch::Blocked;  // busy containers hold the memory
         for (ContainerId id : victims)
             evict(id, now, /*expired=*/false);
+        if (injector_ != nullptr) {
+            stall_us = injector_->reclaimStall();
+            if (stall_us > 0)
+                ++result_.robustness.reclaim_stalls;
+        }
+    }
+
+    if (injector_ != nullptr && injector_->spawnFails())
+        return Dispatch::SpawnFailed;
+
+    TimeUs init_us = spec.initTime();
+    if (injector_ != nullptr && injector_->coldStartStraggles()) {
+        init_us = injector_->straggleInit(init_us);
+        ++result_.robustness.straggler_cold_starts;
     }
 
     Container& fresh = pool_.add(spec, now);
-    fresh.startInvocation(now, now + spec.cold_us);
+    fresh.startInvocation(now, now + stall_us + init_us + spec.warm_us);
     policy_->onColdStart(fresh, spec, now);
     running_ += cold_slots;
     ++result_.cold_starts;
     ++outcome.cold;
-    inflight_arrival_[fresh.id()] = arrival_us;
+    if (request.redispatched)
+        ++result_.robustness.redispatch_cold_starts;
+    inflight_[fresh.id()] =
+        Inflight{request.invocation_index, request.latency_anchor_us,
+                 /*cold=*/true, request.redispatched};
     if (cold_slots > 1) {
-        events_.push(now + spec.initTime(), EventKind::InitDone,
+        events_.push(now + stall_us + init_us, EventKind::InitDone,
                      fresh.id());
     }
     events_.push(fresh.busyUntil(), EventKind::Finish, fresh.id());
-    return true;
+    return Dispatch::Started;
 }
 
 void
@@ -131,7 +190,7 @@ Server::drainQueue(TimeUs now)
     // core is unavailable nothing can start, so stop scanning.
     std::deque<PendingRequest> still_waiting;
     while (!queue_.empty()) {
-        const PendingRequest head = queue_.front();
+        PendingRequest head = queue_.front();
         queue_.pop_front();
         if (now - head.enqueued_us > config_.queue_timeout_us) {
             const FunctionId fn =
@@ -140,11 +199,25 @@ Server::drainQueue(TimeUs now)
             ++result_.per_function[fn].dropped;
             continue;
         }
+        if (now < head.not_before_us) {
+            // Spawn-failure holdoff; entries behind it may still start.
+            still_waiting.push_back(head);
+            continue;
+        }
         if (running_ >= config_.cores) {
             still_waiting.push_back(head);
             break;
         }
-        if (!tryDispatch(head.invocation_index, head.enqueued_us, now))
+        const Dispatch outcome = tryDispatch(head, now);
+        if (outcome == Dispatch::SpawnFailed) {
+            ++result_.robustness.spawn_failures;
+            head.not_before_us =
+                now + injector_->plan().spawn_retry_delay_us;
+            events_.push(head.not_before_us, EventKind::Retry);
+            still_waiting.push_back(head);
+            continue;
+        }
+        if (outcome != Dispatch::Started)
             still_waiting.push_back(head);
     }
     // Preserve arrival order of everything not dispatched.
@@ -179,90 +252,274 @@ Server::maintenance(TimeUs now)
     drainQueue(now);
 }
 
-PlatformResult
-Server::run(const Trace& trace)
+bool
+Server::acceptArrival(std::size_t invocation_index, TimeUs now,
+                      bool redispatched)
+{
+    const Invocation& inv = trace_->invocations()[invocation_index];
+    const FunctionSpec& spec = trace_->function(inv.function);
+    if (down_) {
+        ++result_.robustness.dropped_unavailable;
+        ++result_.per_function[spec.id].dropped;
+        return false;
+    }
+    policy_->onInvocationArrival(spec, now);
+    if (spec.mem_mb > pool_.capacityMb()) {
+        ++result_.dropped_oversize;
+        ++result_.per_function[spec.id].dropped;
+        return false;
+    }
+    // Preserve FIFO ordering: join the queue and drain.
+    if (queue_.size() >= config_.queue_capacity) {
+        ++result_.dropped_queue_full;
+        ++result_.per_function[spec.id].dropped;
+        return false;
+    }
+    PendingRequest request;
+    request.invocation_index = invocation_index;
+    request.enqueued_us = now;
+    request.latency_anchor_us = redispatched ? inv.arrival_us : now;
+    request.redispatched = redispatched;
+    queue_.push_back(request);
+    drainQueue(now);
+    return true;
+}
+
+void
+Server::handleEvent(const Event& event)
+{
+    const TimeUs now = event.time_us;
+    switch (event.kind) {
+      case EventKind::Arrival:
+        acceptArrival(static_cast<std::size_t>(event.payload), now,
+                      /*redispatched=*/false);
+        break;
+      case EventKind::Finish: {
+        const auto id = static_cast<ContainerId>(event.payload);
+        Container* c = pool_.get(id);
+        if (c == nullptr)
+            break;  // stale: the container died with a crash
+        assert(c->busy());
+        c->finishInvocation();
+        --running_;
+        auto it = inflight_.find(id);
+        assert(it != inflight_.end());
+        const double latency_sec =
+            toSeconds(now - it->second.latency_anchor_us);
+        result_.latencies_sec.push_back(latency_sec);
+        result_.latency_sum_sec[c->function()] += latency_sec;
+        inflight_.erase(it);
+        drainQueue(now);
+        break;
+      }
+      case EventKind::InitDone:
+        // The init phase's extra CPU slots are released; the
+        // function itself keeps executing on one core.
+        if (pool_.get(static_cast<ContainerId>(event.payload)) == nullptr)
+            break;  // stale after a crash
+        running_ -= std::max(1, config_.cold_start_cpu_slots) - 1;
+        drainQueue(now);
+        break;
+      case EventKind::Maintenance:
+        if (!down_)
+            maintenance(now);
+        if (incremental_) {
+            const TimeUs next = now + config_.maintenance_interval_us;
+            if (next <= horizon_us_)
+                events_.push(next, EventKind::Maintenance);
+        }
+        break;
+      case EventKind::Retry:
+        if (!down_)
+            drainQueue(now);
+        break;
+      case EventKind::Crash: {
+        // Self-scheduled (standalone run()) crash: there is no front
+        // end to fail the spilled work over to, so it is lost here.
+        if (down_)
+            break;
+        assert(injector_ != nullptr);
+        const CrashEvent& ce =
+            injector_->crashes()[static_cast<std::size_t>(event.payload)];
+        const CrashFallout fallout = crash(now);
+        for (std::size_t index : fallout.aborted) {
+            ++result_.per_function[trace_->invocations()[index].function]
+                  .dropped;
+        }
+        for (std::size_t index : fallout.flushed_queue) {
+            ++result_.robustness.dropped_unavailable;
+            ++result_.per_function[trace_->invocations()[index].function]
+                  .dropped;
+        }
+        if (ce.restart_after_us > 0)
+            events_.push(now + ce.restart_after_us, EventKind::Restart);
+        break;
+      }
+      case EventKind::Restart:
+        restart(now);
+        break;
+    }
+}
+
+Server::CrashFallout
+Server::crash(TimeUs now)
+{
+    CrashFallout fallout;
+    if (down_)
+        return fallout;
+    ++result_.robustness.crashes;
+
+    // Roll back the start accounting of aborted invocations: they did
+    // not complete here, and a cluster may re-dispatch them.
+    for (const auto& [id, inflight] : inflight_) {
+        (void)id;
+        const FunctionId fn =
+            trace_->invocations()[inflight.invocation_index].function;
+        FunctionOutcome& outcome = result_.per_function[fn];
+        if (inflight.cold) {
+            --result_.cold_starts;
+            --outcome.cold;
+            if (inflight.redispatched)
+                --result_.robustness.redispatch_cold_starts;
+        } else {
+            --result_.warm_starts;
+            --outcome.warm;
+        }
+        ++result_.robustness.crash_aborted;
+        fallout.aborted.push_back(inflight.invocation_index);
+    }
+    std::sort(fallout.aborted.begin(), fallout.aborted.end());
+    inflight_.clear();
+    running_ = 0;
+
+    // Flush the container pool: every container (busy, warm, and
+    // prewarmed) dies with the server. Policies observe the flush as
+    // evictions so their per-function bookkeeping stays consistent.
+    std::vector<ContainerId> ids;
+    ids.reserve(pool_.size());
+    pool_.forEach([&ids](Container& c) { ids.push_back(c.id()); });
+    std::sort(ids.begin(), ids.end());
+    for (ContainerId id : ids) {
+        Container* c = pool_.get(id);
+        if (c->busy())
+            c->finishInvocation();
+        const bool last = pool_.countOf(c->function()) == 1;
+        policy_->onEviction(*c, last, now);
+        pool_.remove(id);
+        ++result_.robustness.crash_flushed_containers;
+    }
+
+    for (const PendingRequest& pending : queue_)
+        fallout.flushed_queue.push_back(pending.invocation_index);
+    queue_.clear();
+
+    down_ = true;
+    down_since_ = now;
+    return fallout;
+}
+
+void
+Server::restart(TimeUs now)
+{
+    if (!down_)
+        return;
+    down_ = false;
+    ++result_.robustness.restarts;
+    result_.robustness.downtime_us += now - down_since_;
+}
+
+void
+Server::beginRun(const Trace& trace)
 {
     if (!trace.validate() || !trace.isSorted())
-        throw std::invalid_argument("Server::run: invalid trace");
+        throw std::invalid_argument("Server: invalid or unsorted trace");
     trace_ = &trace;
     result_ = PlatformResult{};
     result_.policy_name = policy_->name();
     result_.config = config_;
     result_.per_function.resize(trace.functions().size());
     result_.latency_sum_sec.resize(trace.functions().size(), 0.0);
+}
+
+PlatformResult
+Server::run(const Trace& trace)
+{
+    beginRun(trace);
+    incremental_ = false;
 
     for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
         events_.push(trace.invocations()[i].arrival_us, EventKind::Arrival,
                      i);
     }
+    TimeUs horizon = 0;
     if (!trace.invocations().empty()) {
-        const TimeUs horizon = trace.invocations().back().arrival_us +
+        horizon = trace.invocations().back().arrival_us +
             config_.queue_timeout_us;
         for (TimeUs t = 0; t <= horizon;
              t += config_.maintenance_interval_us) {
             events_.push(t, EventKind::Maintenance);
         }
     }
-
-    while (!events_.empty()) {
-        const Event event = events_.pop();
-        const TimeUs now = event.time_us;
-        switch (event.kind) {
-          case EventKind::Arrival: {
-            const std::size_t index = event.payload;
-            const Invocation& inv = trace.invocations()[index];
-            const FunctionSpec& spec = trace.function(inv.function);
-            policy_->onInvocationArrival(spec, now);
-            if (spec.mem_mb > pool_.capacityMb()) {
-                ++result_.dropped_oversize;
-                ++result_.per_function[spec.id].dropped;
-                break;
-            }
-            // Preserve FIFO ordering: join the queue and drain.
-            if (queue_.size() >= config_.queue_capacity) {
-                ++result_.dropped_queue_full;
-                ++result_.per_function[spec.id].dropped;
-                break;
-            }
-            queue_.push_back(PendingRequest{index, now});
-            drainQueue(now);
-            break;
-          }
-          case EventKind::Finish: {
-            const auto id = static_cast<ContainerId>(event.payload);
-            Container* c = pool_.get(id);
-            assert(c != nullptr && c->busy());
-            c->finishInvocation();
-            --running_;
-            auto it = inflight_arrival_.find(id);
-            assert(it != inflight_arrival_.end());
-            const double latency_sec = toSeconds(now - it->second);
-            result_.latencies_sec.push_back(latency_sec);
-            result_.latency_sum_sec[c->function()] += latency_sec;
-            inflight_arrival_.erase(it);
-            drainQueue(now);
-            break;
-          }
-          case EventKind::InitDone:
-            // The init phase's extra CPU slots are released; the
-            // function itself keeps executing on one core.
-            running_ -= std::max(1, config_.cold_start_cpu_slots) - 1;
-            drainQueue(now);
-            break;
-          case EventKind::Maintenance:
-            maintenance(now);
-            break;
-        }
+    if (injector_ != nullptr) {
+        const auto& crashes = injector_->crashes();
+        for (std::size_t k = 0; k < crashes.size(); ++k)
+            events_.push(crashes[k].at_us, EventKind::Crash, k);
     }
 
+    while (!events_.empty())
+        handleEvent(events_.pop());
+
+    return closeRun(horizon);
+}
+
+void
+Server::begin(const Trace& trace)
+{
+    beginRun(trace);
+    incremental_ = true;
+    horizon_us_ = std::numeric_limits<TimeUs>::max();
+    events_.push(0, EventKind::Maintenance);
+}
+
+bool
+Server::offer(std::size_t invocation_index, TimeUs now, bool redispatched)
+{
+    assert(trace_ != nullptr);
+    return acceptArrival(invocation_index, now, redispatched);
+}
+
+void
+Server::advanceTo(TimeUs now)
+{
+    while (!events_.empty() && events_.nextTime() < now)
+        handleEvent(events_.pop());
+}
+
+PlatformResult
+Server::finish(TimeUs horizon_us)
+{
+    horizon_us_ = horizon_us;
+    while (!events_.empty())
+        handleEvent(events_.pop());
+    return closeRun(horizon_us);
+}
+
+PlatformResult
+Server::closeRun(TimeUs horizon_us)
+{
     // Anything still buffered can never be served (no more events).
     for (const PendingRequest& pending : queue_) {
         const FunctionId fn =
-            trace.invocations()[pending.invocation_index].function;
+            trace_->invocations()[pending.invocation_index].function;
         ++result_.dropped_timeout;
         ++result_.per_function[fn].dropped;
     }
     queue_.clear();
+    // A server that never came back is unavailable to the end of the
+    // observation window.
+    if (down_ && horizon_us > down_since_)
+        result_.robustness.downtime_us += horizon_us - down_since_;
+    incremental_ = false;
     trace_ = nullptr;
     return result_;
 }

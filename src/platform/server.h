@@ -14,6 +14,18 @@
  *
  * Running the same trace with a TtlPolicy models vanilla OpenWhisk;
  * running it with a GreedyDualPolicy models FaasCache.
+ *
+ * Beyond the paper, the server understands injected faults
+ * (fault_injection.h): transient container-spawn failures, cold-start
+ * stragglers, memory-reclaim stalls, and crashes that drain running
+ * work, flush the container pool, and take the server offline until a
+ * restart. Two driving modes exist:
+ *  - run() replays a whole trace standalone (crashes in the attached
+ *    injector's plan are self-scheduled; work lost to a crash is
+ *    accounted as lost on this server);
+ *  - begin()/offer()/advanceTo()/finish() let an external dispatcher —
+ *    the cluster front end — feed invocations incrementally, observe
+ *    health, and re-dispatch the fallout of a crash to other servers.
  */
 #ifndef FAASCACHE_PLATFORM_SERVER_H_
 #define FAASCACHE_PLATFORM_SERVER_H_
@@ -27,6 +39,7 @@
 #include "core/container_pool.h"
 #include "core/keepalive_policy.h"
 #include "platform/event_queue.h"
+#include "platform/fault_injection.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -62,6 +75,13 @@ struct ServerConfig
      * observes, where cold-start storms drive OpenWhisk into overload.
      */
     int cold_start_cpu_slots = 1;
+
+    /**
+     * Check invariants (positive cores/memory/capacity/periods,
+     * cold_start_cpu_slots in [1, cores]).
+     * @throws std::invalid_argument with a descriptive message.
+     */
+    void validate() const;
 };
 
 /** Outcome of a platform run. */
@@ -79,6 +99,9 @@ struct PlatformResult
     std::int64_t expirations = 0;
     std::int64_t prewarms = 0;
 
+    /** Fault-injection accounting (all zero without a FaultPlan). */
+    RobustnessCounters robustness;
+
     /** Per-function warm/cold/dropped, indexed by FunctionId. */
     std::vector<FunctionOutcome> per_function;
 
@@ -89,12 +112,22 @@ struct PlatformResult
     /** Per-function sum of latencies, seconds (for means). */
     std::vector<double> latency_sum_sec;
 
+    /** Invocations that completed on this server. */
     std::int64_t served() const { return warm_starts + cold_starts; }
+
+    /** Requests this server rejected or lost while up or down. */
     std::int64_t dropped() const
     {
-        return dropped_queue_full + dropped_timeout + dropped_oversize;
+        return dropped_queue_full + dropped_timeout + dropped_oversize +
+            robustness.dropped_unavailable;
     }
-    std::int64_t total() const { return served() + dropped(); }
+
+    /** Requests this server definitively resolved (standalone runs
+     *  additionally lose robustness.crash_aborted mid-flight). */
+    std::int64_t total() const
+    {
+        return served() + dropped() + robustness.crash_aborted;
+    }
 
     double coldStartPercent() const;
     double dropPercent() const;
@@ -113,11 +146,28 @@ struct PlatformResult
 class Server
 {
   public:
+    /** Work spilled by a crash, for the cluster to re-dispatch. */
+    struct CrashFallout
+    {
+        /** Invocation indices that were running (now aborted). */
+        std::vector<std::size_t> aborted;
+
+        /** Invocation indices that were queued (now flushed). */
+        std::vector<std::size_t> flushed_queue;
+    };
+
     /**
      * @param policy Keep-alive policy governing the container pool.
-     * @param config Server parameters.
+     * @param config Server parameters (validated here).
      */
     Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config);
+
+    /**
+     * Attach a fault injector (non-owning; must outlive the server).
+     * run() self-schedules the injector's crash events; the incremental
+     * API leaves crash scheduling to the external dispatcher.
+     */
+    void setFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
     /**
      * Replay a trace to completion and return the accounting.
@@ -128,16 +178,107 @@ class Server
      */
     PlatformResult run(const Trace& trace);
 
+    /**
+     * @name Incremental driving (cluster front end)
+     * begin() starts a run over `trace` without scheduling any
+     * arrivals; the dispatcher then calls advanceTo(t) to settle
+     * internal events strictly before t, offer()s arrivals, and
+     * finally finish()es the run.
+     * @{
+     */
+
+    /** Start an externally driven run. */
+    void begin(const Trace& trace);
+
+    /**
+     * Hand one invocation to this server at time `now` (its internal
+     * events must already be advanced to `now`).
+     * @param redispatched The invocation was failed over after a crash
+     *        elsewhere; user-visible latency is anchored at its
+     *        original trace arrival and a cold start for it counts as
+     *        crash-induced.
+     * @return False when the request was dropped on arrival (queue
+     *         full, oversize, or server down).
+     */
+    bool offer(std::size_t invocation_index, TimeUs now,
+               bool redispatched = false);
+
+    /** Process internal events with time strictly before `now`. */
+    void advanceTo(TimeUs now);
+
+    /**
+     * Drain all remaining events and return the accounting.
+     * @param horizon_us End of the observation window: maintenance
+     *        stops re-arming past it and open downtime is charged up
+     *        to it.
+     */
+    PlatformResult finish(TimeUs horizon_us);
+    /** @} */
+
+    /**
+     * @name Health and failure handling
+     * @{
+     */
+
+    /**
+     * Crash now: abort running invocations (their warm/cold accounting
+     * is rolled back), flush the container pool, clear the queue, and
+     * go offline. No-op (empty fallout) if already down.
+     *
+     * The caller decides the fallout's fate: the cluster re-dispatches
+     * it; run() accounts it as lost on this server.
+     */
+    CrashFallout crash(TimeUs now);
+
+    /** Rejoin after a crash, with a cold (empty) container pool. */
+    void restart(TimeUs now);
+
+    bool isDown() const { return down_; }
+
+    /** Buffered (not yet running) requests — the load-shedding and
+     *  health signal the cluster front end reads. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Occupied CPU slots. */
+    int runningCount() const { return running_; }
+    /** @} */
+
   private:
     struct PendingRequest
     {
-        std::size_t invocation_index;
-        TimeUs enqueued_us;
+        std::size_t invocation_index = 0;
+
+        /** Queue-entry time; anchors the queue-timeout check. */
+        TimeUs enqueued_us = 0;
+
+        /** Latency anchor: original trace arrival for failed-over
+         *  requests, enqueued_us otherwise. */
+        TimeUs latency_anchor_us = 0;
+
+        /** Spawn-failure holdoff: not dispatchable before this. */
+        TimeUs not_before_us = 0;
+
+        bool redispatched = false;
     };
 
-    /** Attempt to start `inv` right now; true on success. */
-    bool tryDispatch(std::size_t invocation_index, TimeUs arrival_us,
-                     TimeUs now);
+    /** What the server knows about a running invocation. */
+    struct Inflight
+    {
+        std::size_t invocation_index = 0;
+        TimeUs latency_anchor_us = 0;
+        bool cold = false;
+        bool redispatched = false;
+    };
+
+    enum class Dispatch
+    {
+        Started,      ///< the invocation is running
+        Blocked,      ///< no core or no reclaimable memory; keep queued
+        SpawnFailed,  ///< transient spawn failure; retry after holdoff
+    };
+
+    /** Attempt to start `request` right now. */
+    Dispatch tryDispatch(const PendingRequest& request, TimeUs now);
 
     /** Dispatch queued requests FIFO until blocked; drop timed-out
      *  entries at the head. */
@@ -148,18 +289,42 @@ class Server
 
     void evict(ContainerId id, TimeUs now, bool expired);
 
+    /** Shared arrival path of run()'s Arrival events and offer(). */
+    bool acceptArrival(std::size_t invocation_index, TimeUs now,
+                       bool redispatched);
+
+    /** Process one event from the internal queue. */
+    void handleEvent(const Event& event);
+
+    /** Reset per-run accounting and bind `trace`. */
+    void beginRun(const Trace& trace);
+
+    /** Final leftover-queue and downtime accounting; unbinds the
+     *  trace and returns the result. */
+    PlatformResult closeRun(TimeUs horizon_us);
+
     std::unique_ptr<KeepAlivePolicy> policy_;
     ServerConfig config_;
     ContainerPool pool_;
     EventQueue events_;
     std::deque<PendingRequest> queue_;
     const Trace* trace_ = nullptr;
+    FaultInjector* injector_ = nullptr;
     PlatformResult result_;
     /** Occupied CPU slots (cold inits may hold extra slots). */
     int running_ = 0;
 
-    /** Arrival time of the request a busy container is serving. */
-    std::unordered_map<ContainerId, TimeUs> inflight_arrival_;
+    /** Externally driven (begin/offer/finish) run in progress. */
+    bool incremental_ = false;
+
+    /** Maintenance re-arm bound for incremental runs. */
+    TimeUs horizon_us_ = 0;
+
+    bool down_ = false;
+    TimeUs down_since_ = 0;
+
+    /** Running invocations by container id. */
+    std::unordered_map<ContainerId, Inflight> inflight_;
 };
 
 }  // namespace faascache

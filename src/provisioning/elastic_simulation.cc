@@ -81,6 +81,17 @@ runElasticSimulation(const Trace& trace,
         }
     };
 
+    // Capacity fraction in effect at time t: the most constrained of the
+    // configured loss windows covering t (crashes overlap pessimally).
+    auto available_fraction_at = [&](TimeUs t) {
+        double fraction = 1.0;
+        for (const auto& window : elastic_config.capacity_loss) {
+            if (window.from_us <= t && t < window.until_us)
+                fraction = std::min(fraction, window.available_fraction);
+        }
+        return fraction;
+    };
+
     auto close_period = [&](TimeUs at) {
         feed_analyzer(at);
         const std::int64_t arrivals =
@@ -94,6 +105,9 @@ runElasticSimulation(const Trace& trace,
         sample.time_us = at;
         sample.arrival_rate = static_cast<double>(arrivals) / period_sec;
         sample.miss_speed = static_cast<double>(cold) / period_sec;
+        sample.available_fraction = available_fraction_at(at);
+        if (!elastic_config.capacity_loss.empty())
+            controller.setAvailableFraction(sample.available_fraction);
         const MemMb next =
             controller.update(sample.arrival_rate, sample.miss_speed);
         sample.smoothed_arrival = controller.smoothedArrivalRate();

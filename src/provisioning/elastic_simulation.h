@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/keepalive_policy.h"
+#include "platform/fault_injection.h"
 #include "provisioning/proportional_controller.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -36,6 +37,15 @@ struct ElasticConfig
 
     /** SHARDS rate of the online curve estimator. */
     double online_sample_rate = 0.25;
+
+    /**
+     * Known windows of reduced fleet capacity (server crash + restart
+     * schedules; see FaultPlan::capacityLossWindows). While a window is
+     * active, the controller compensates by scaling its size request so
+     * the surviving capacity covers the fleet-wide working set. Empty
+     * (the default) leaves the controller untouched.
+     */
+    std::vector<CapacityLossWindow> capacity_loss;
 };
 
 /** One controller period's observations. */
@@ -46,6 +56,7 @@ struct ElasticSample
     double arrival_rate = 0.0;      ///< arrivals per second this period
     double miss_speed = 0.0;        ///< cold starts per second this period
     double smoothed_arrival = 0.0;  ///< controller's EMA after update
+    double available_fraction = 1.0;  ///< capacity fraction this period
 };
 
 /** Full elastic-scaling run outcome. */

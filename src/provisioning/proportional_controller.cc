@@ -23,6 +23,16 @@ ProportionalController::ProportionalController(HitRatioCurve curve,
                                   config_.max_size_mb);
 }
 
+void
+ProportionalController::setAvailableFraction(double fraction)
+{
+    if (!(fraction > 0.0) || fraction > 1.0) {
+        throw std::invalid_argument(
+            "controller: available fraction must be in (0, 1]");
+    }
+    available_fraction_ = fraction;
+}
+
 MemMb
 ProportionalController::update(double arrival_rate, double miss_speed)
 {
@@ -48,6 +58,10 @@ ProportionalController::update(double arrival_rate, double miss_speed)
         std::clamp(config_.target_miss_speed / lambda_hat, 0.0, 1.0);
     const double desired_hit_ratio = 1.0 - desired_miss_ratio;
     MemMb next = curve_.sizeForHitRatio(desired_hit_ratio);
+    // Lost-capacity compensation: the surviving fraction of the fleet
+    // must absorb the whole working set, so its share is scaled up.
+    if (available_fraction_ < 1.0)
+        next /= available_fraction_;
     next = std::clamp(next, config_.min_size_mb, config_.max_size_mb);
     current_size_mb_ = next;
     return current_size_mb_;

@@ -67,6 +67,20 @@ class ProportionalController
      */
     void setCurve(HitRatioCurve curve) { curve_ = std::move(curve); }
 
+    /**
+     * Inform the controller that only `fraction` of the fleet's keep-alive
+     * capacity is currently available (e.g. a server crashed and its pool
+     * was lost). The controller compensates by inflating the size it asks
+     * of the surviving capacity, so the fleet-wide working set stays
+     * cached through the outage. 1.0 (the default) disables compensation.
+     *
+     * @throws std::invalid_argument unless 0 < fraction <= 1.
+     */
+    void setAvailableFraction(double fraction);
+
+    /** Currently assumed available capacity fraction. */
+    double availableFraction() const { return available_fraction_; }
+
     /** Smoothed arrival rate, per second. */
     double smoothedArrivalRate() const { return arrival_ema_.value(); }
 
@@ -77,6 +91,7 @@ class ProportionalController
     ControllerConfig config_;
     MemMb current_size_mb_;
     ExponentialSmoother arrival_ema_;
+    double available_fraction_ = 1.0;
 };
 
 }  // namespace faascache

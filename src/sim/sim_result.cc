@@ -2,6 +2,22 @@
 
 namespace faascache {
 
+RobustnessCounters&
+RobustnessCounters::operator+=(const RobustnessCounters& other)
+{
+    spawn_failures += other.spawn_failures;
+    straggler_cold_starts += other.straggler_cold_starts;
+    reclaim_stalls += other.reclaim_stalls;
+    crashes += other.crashes;
+    restarts += other.restarts;
+    crash_aborted += other.crash_aborted;
+    crash_flushed_containers += other.crash_flushed_containers;
+    dropped_unavailable += other.dropped_unavailable;
+    redispatch_cold_starts += other.redispatch_cold_starts;
+    downtime_us += other.downtime_us;
+    return *this;
+}
+
 double
 SimResult::coldStartFraction() const
 {

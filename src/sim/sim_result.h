@@ -40,6 +40,55 @@ struct MemorySample
     MemMb used_mb = 0;
 };
 
+/**
+ * Fault-injection accounting shared by the platform-server and cluster
+ * results. All counters stay zero when no FaultPlan is active, so the
+ * fault machinery is observably free when disabled.
+ */
+struct RobustnessCounters
+{
+    /** Transient container-spawn failures (each retried in place). */
+    std::int64_t spawn_failures = 0;
+
+    /** Cold starts whose initialization straggled. */
+    std::int64_t straggler_cold_starts = 0;
+
+    /** Demand evictions that stalled on memory reclaim. */
+    std::int64_t reclaim_stalls = 0;
+
+    /** Server crashes suffered. */
+    std::int64_t crashes = 0;
+
+    /** Crash recoveries (restarts that rejoined the fleet). */
+    std::int64_t restarts = 0;
+
+    /** Running invocations killed mid-flight by a crash. In a cluster
+     *  run these are re-dispatched elsewhere; in a single-server run
+     *  they are lost. */
+    std::int64_t crash_aborted = 0;
+
+    /** Containers (busy, warm, and prewarmed) flushed by crashes. */
+    std::int64_t crash_flushed_containers = 0;
+
+    /** Requests lost because the server was down (queued work flushed
+     *  by a crash with no cluster to fail over to, plus arrivals during
+     *  downtime). Zero in cluster runs, which re-dispatch instead. */
+    std::int64_t dropped_unavailable = 0;
+
+    /** Crash-induced cold starts: cold starts served for invocations
+     *  the cluster re-dispatched after a crash. */
+    std::int64_t redispatch_cold_starts = 0;
+
+    /** Total time spent unavailable (crash to restart, or to the end
+     *  of the run for servers that never came back). */
+    TimeUs downtime_us = 0;
+
+    RobustnessCounters& operator+=(const RobustnessCounters& other);
+
+    friend bool operator==(const RobustnessCounters&,
+                           const RobustnessCounters&) = default;
+};
+
 /** Full simulation outcome. */
 struct SimResult
 {

@@ -2,14 +2,46 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace faascache {
+
+void
+SimulatorConfig::validate() const
+{
+    if (!(memory_mb > 0)) {
+        throw std::invalid_argument(
+            "SimulatorConfig: memory_mb must be > 0, got " +
+            std::to_string(memory_mb));
+    }
+    if (memory_sample_interval_us < 0) {
+        throw std::invalid_argument(
+            "SimulatorConfig: memory_sample_interval_us must be >= 0, "
+            "got " +
+            std::to_string(memory_sample_interval_us));
+    }
+    if (background_reclaim_interval_us < 0) {
+        throw std::invalid_argument(
+            "SimulatorConfig: background_reclaim_interval_us must be "
+            ">= 0, got " +
+            std::to_string(background_reclaim_interval_us));
+    }
+    if (background_reclaim_interval_us > 0 &&
+        !(background_free_target_mb > 0)) {
+        throw std::invalid_argument(
+            "SimulatorConfig: background_free_target_mb must be > 0 "
+            "when background reclamation is enabled, got " +
+            std::to_string(background_free_target_mb));
+    }
+}
 
 Simulator::Simulator(const Trace& trace,
                      std::unique_ptr<KeepAlivePolicy> policy,
                      SimulatorConfig config)
     : trace_(trace), policy_(std::move(policy)), config_(config),
-      pool_(config.memory_mb)
+      // Validate before the pool captures the capacity (its
+      // constructor asserts on non-positive memory).
+      pool_((config_.validate(), config_.memory_mb))
 {
     if (!policy_)
         throw std::invalid_argument("Simulator: null policy");

@@ -51,6 +51,12 @@ struct SimulatorConfig
 
     /** Free-memory target the background reclaimer maintains, MB. */
     MemMb background_free_target_mb = 1000.0;
+
+    /**
+     * Check invariants (positive capacity, non-negative intervals).
+     * @throws std::invalid_argument with a descriptive message.
+     */
+    void validate() const;
 };
 
 /** Trace-driven keep-alive simulator. */

@@ -11,28 +11,43 @@ namespace faascache {
 namespace {
 
 [[noreturn]] void
-malformed(const std::string& what)
+malformed(std::size_t line, const std::string& what)
 {
-    throw std::runtime_error("readTrace: malformed trace: " + what);
+    throw std::runtime_error("readTrace: malformed trace at line " +
+                             std::to_string(line) + ": " + what);
 }
 
 std::int64_t
-parseInt(const std::string& s)
+parseInt(std::size_t line, const std::string& s)
 {
     std::size_t pos = 0;
-    const std::int64_t v = std::stoll(s, &pos);
+    std::int64_t v = 0;
+    try {
+        v = std::stoll(s, &pos);
+    } catch (const std::invalid_argument&) {
+        malformed(line, "bad integer '" + s + "'");
+    } catch (const std::out_of_range&) {
+        malformed(line, "integer out of range '" + s + "'");
+    }
     if (pos != s.size())
-        malformed("bad integer '" + s + "'");
+        malformed(line, "bad integer '" + s + "'");
     return v;
 }
 
 double
-parseDouble(const std::string& s)
+parseDouble(std::size_t line, const std::string& s)
 {
     std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
+    double v = 0.0;
+    try {
+        v = std::stod(s, &pos);
+    } catch (const std::invalid_argument&) {
+        malformed(line, "bad number '" + s + "'");
+    } catch (const std::out_of_range&) {
+        malformed(line, "number out of range '" + s + "'");
+    }
     if (pos != s.size())
-        malformed("bad number '" + s + "'");
+        malformed(line, "bad number '" + s + "'");
     return v;
 }
 
@@ -60,44 +75,59 @@ writeTrace(const Trace& trace, std::ostream& out)
 Trace
 readTrace(const std::string& text)
 {
-    const auto rows = parseCsv(text);
-    if (rows.empty() || rows[0].size() < 3 ||
-        rows[0][0] != "faascache-trace" ||
-        (rows[0][1] != "1" && rows[0][1] != "2")) {
-        malformed("missing header");
+    const auto rows = parseCsvLines(text);
+    if (rows.empty() || rows[0].fields.size() < 3 ||
+        rows[0].fields[0] != "faascache-trace" ||
+        (rows[0].fields[1] != "1" && rows[0].fields[1] != "2")) {
+        malformed(rows.empty() ? 1 : rows[0].line,
+                  "missing 'faascache-trace' header");
     }
-    Trace trace(rows[0][2]);
+    Trace trace(rows[0].fields[2]);
     for (std::size_t i = 1; i < rows.size(); ++i) {
-        const auto& row = rows[i];
+        const auto& row = rows[i].fields;
+        const std::size_t line = rows[i].line;
         if (row.empty())
             continue;
         if (row[0] == "function") {
-            if (row.size() != 6 && row.size() != 8)
-                malformed("function row arity");
-            FunctionSpec spec;
-            spec.id = static_cast<FunctionId>(parseInt(row[1]));
-            spec.name = row[2];
-            spec.mem_mb = parseDouble(row[3]);
-            spec.warm_us = parseInt(row[4]);
-            spec.cold_us = parseInt(row[5]);
-            if (row.size() == 8) {
-                spec.cpu_units = parseDouble(row[6]);
-                spec.io_units = parseDouble(row[7]);
+            if (row.size() != 6 && row.size() != 8) {
+                malformed(line, "function row needs 6 or 8 fields, got " +
+                                    std::to_string(row.size()));
             }
-            if (spec.id != trace.functions().size())
-                malformed("non-dense function ids");
+            FunctionSpec spec;
+            spec.id = static_cast<FunctionId>(parseInt(line, row[1]));
+            spec.name = row[2];
+            spec.mem_mb = parseDouble(line, row[3]);
+            spec.warm_us = parseInt(line, row[4]);
+            spec.cold_us = parseInt(line, row[5]);
+            if (row.size() == 8) {
+                spec.cpu_units = parseDouble(line, row[6]);
+                spec.io_units = parseDouble(line, row[7]);
+            }
+            if (spec.id != trace.functions().size()) {
+                malformed(line, "non-dense function id " +
+                                    std::to_string(spec.id) + ", expected " +
+                                    std::to_string(trace.functions().size()));
+            }
             trace.addFunction(std::move(spec));
         } else if (row[0] == "invocation") {
-            if (row.size() != 3)
-                malformed("invocation row arity");
-            trace.addInvocation(static_cast<FunctionId>(parseInt(row[1])),
-                                parseInt(row[2]));
+            if (row.size() != 3) {
+                malformed(line, "invocation row needs 3 fields, got " +
+                                    std::to_string(row.size()));
+            }
+            const std::int64_t fn = parseInt(line, row[1]);
+            if (fn < 0 ||
+                static_cast<std::size_t>(fn) >= trace.functions().size()) {
+                malformed(line, "invocation references unknown function " +
+                                    std::to_string(fn));
+            }
+            trace.addInvocation(static_cast<FunctionId>(fn),
+                                parseInt(line, row[2]));
         } else {
-            malformed("unknown row kind '" + row[0] + "'");
+            malformed(line, "unknown row kind '" + row[0] + "'");
         }
     }
     if (!trace.validate())
-        malformed("validation failed");
+        malformed(rows.back().line, "trace validation failed");
     return trace;
 }
 
@@ -120,7 +150,12 @@ loadTraceFile(const std::string& path)
         throw std::runtime_error("loadTraceFile: cannot open " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return readTrace(buffer.str());
+    try {
+        return readTrace(buffer.str());
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(std::string(e.what()) + " (in " + path +
+                                 ")");
+    }
 }
 
 }  // namespace faascache

@@ -34,14 +34,16 @@ csvEscape(const std::string& field)
     return out;
 }
 
-std::vector<std::vector<std::string>>
-parseCsv(const std::string& text)
+std::vector<CsvRow>
+parseCsvLines(const std::string& text)
 {
-    std::vector<std::vector<std::string>> rows;
+    std::vector<CsvRow> rows;
     std::vector<std::string> row;
     std::string field;
     bool in_quotes = false;
     bool row_started = false;
+    std::size_t line = 1;
+    std::size_t row_line = 1;
 
     auto end_field = [&] {
         row.push_back(field);
@@ -49,9 +51,14 @@ parseCsv(const std::string& text)
     };
     auto end_row = [&] {
         end_field();
-        rows.push_back(row);
+        rows.push_back(CsvRow{row_line, row});
         row.clear();
         row_started = false;
+    };
+    auto start_row = [&] {
+        if (!row_started)
+            row_line = line;
+        row_started = true;
     };
 
     for (std::size_t i = 0; i < text.size(); ++i) {
@@ -65,6 +72,8 @@ parseCsv(const std::string& text)
                     in_quotes = false;
                 }
             } else {
+                if (c == '\n')
+                    ++line;
                 field += c;
             }
             continue;
@@ -72,26 +81,36 @@ parseCsv(const std::string& text)
         switch (c) {
           case '"':
             in_quotes = true;
-            row_started = true;
+            start_row();
             break;
           case ',':
+            start_row();
             end_field();
-            row_started = true;
             break;
           case '\r':
             break;
           case '\n':
             if (row_started || !field.empty() || !row.empty())
                 end_row();
+            ++line;
             break;
           default:
+            start_row();
             field += c;
-            row_started = true;
             break;
         }
     }
     if (row_started || !field.empty() || !row.empty())
         end_row();
+    return rows;
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string& text)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (auto& row : parseCsvLines(text))
+        rows.push_back(std::move(row.fields));
     return rows;
 }
 

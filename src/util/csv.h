@@ -37,6 +37,20 @@ std::string csvEscape(const std::string& field);
  */
 std::vector<std::vector<std::string>> parseCsv(const std::string& text);
 
+/** A parsed CSV row annotated with its 1-based source line number. */
+struct CsvRow
+{
+    std::size_t line = 0;
+    std::vector<std::string> fields;
+};
+
+/**
+ * Like parseCsv, but each row carries the line number where it starts
+ * (blank lines are skipped but still counted), so parsers can report
+ * the offending location of malformed input.
+ */
+std::vector<CsvRow> parseCsvLines(const std::string& text);
+
 }  // namespace faascache
 
 #endif  // FAASCACHE_UTIL_CSV_H_

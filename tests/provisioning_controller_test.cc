@@ -119,5 +119,43 @@ TEST(Controller, ConvergesOnStationaryWorkload)
     EXPECT_NEAR(final_miss, 1.0, 0.31);
 }
 
+TEST(Controller, CapacityLossInflatesSizeRequest)
+{
+    // Same signal, half the fleet: the surviving capacity must be asked
+    // for twice the size so the working set stays cached.
+    ProportionalController full(linearCurve(), config(), 2'000);
+    ProportionalController degraded(linearCurve(), config(), 2'000);
+    degraded.setAvailableFraction(0.5);
+    const MemMb base = full.update(10.0, 5.0);    // 9,000 on this curve
+    const MemMb boosted = degraded.update(10.0, 5.0);
+    EXPECT_DOUBLE_EQ(boosted, 2.0 * base);
+}
+
+TEST(Controller, FullFractionIsNeutral)
+{
+    ProportionalController plain(linearCurve(), config(), 2'000);
+    ProportionalController touched(linearCurve(), config(), 2'000);
+    touched.setAvailableFraction(0.5);
+    touched.setAvailableFraction(1.0);  // recovery resets compensation
+    EXPECT_DOUBLE_EQ(plain.update(10.0, 5.0), touched.update(10.0, 5.0));
+}
+
+TEST(Controller, CompensatedSizeStillClamped)
+{
+    ProportionalController ctl(linearCurve(), config(), 2'000);
+    ctl.setAvailableFraction(0.01);  // absurd loss: clamp holds
+    const MemMb next = ctl.update(10.0, 5.0);
+    EXPECT_DOUBLE_EQ(next, config().max_size_mb);
+}
+
+TEST(Controller, RejectsBadFraction)
+{
+    ProportionalController ctl(linearCurve(), config(), 2'000);
+    EXPECT_THROW(ctl.setAvailableFraction(0.0), std::invalid_argument);
+    EXPECT_THROW(ctl.setAvailableFraction(-0.5), std::invalid_argument);
+    EXPECT_THROW(ctl.setAvailableFraction(1.5), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(ctl.availableFraction(), 1.0);  // unchanged
+}
+
 }  // namespace
 }  // namespace faascache

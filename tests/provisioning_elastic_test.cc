@@ -137,6 +137,61 @@ TEST(ElasticSimulation, OnlineRefreshDiffersFromStaticCurve)
     EXPECT_TRUE(differs);
 }
 
+TEST(ElasticSimulation, CapacityLossGrowsPoolDuringWindow)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig plain;
+    plain.initial_size_mb = 10'000;
+    ElasticConfig degraded = plain;
+    // Half the fleet is gone for the middle hour of the trace.
+    degraded.capacity_loss.push_back({kHour, 2 * kHour, 0.5});
+
+    const ElasticResult a = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(), plain);
+    const ElasticResult b = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(),
+        degraded);
+
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    bool boosted = false;
+    int in_window = 0;
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        const ElasticSample& pa = a.timeline[i];
+        const ElasticSample& pb = b.timeline[i];
+        if (pb.time_us >= kHour && pb.time_us < 2 * kHour) {
+            EXPECT_DOUBLE_EQ(pb.available_fraction, 0.5);
+            ++in_window;
+            if (pb.cache_size_mb > pa.cache_size_mb + 1e-9)
+                boosted = true;
+        } else {
+            EXPECT_DOUBLE_EQ(pb.available_fraction, 1.0);
+        }
+    }
+    ASSERT_GT(in_window, 0);
+    // At some point during the loss the surviving capacity was asked
+    // for more memory than the healthy-fleet run at the same instant.
+    EXPECT_TRUE(boosted);
+}
+
+TEST(ElasticSimulation, EmptyCapacityLossIsNeutral)
+{
+    const Trace t = diurnalWorkload();
+    ElasticConfig elastic;
+    elastic.initial_size_mb = 10'000;
+    const ElasticResult a = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(),
+        elastic);
+    const ElasticResult b = runElasticSimulation(
+        t, makePolicy(PolicyKind::GreedyDual), controllerConfig(),
+        elastic);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.timeline[i].cache_size_mb,
+                         b.timeline[i].cache_size_mb);
+        EXPECT_DOUBLE_EQ(a.timeline[i].available_fraction, 1.0);
+    }
+}
+
 TEST(ElasticResult, AverageAndPeakHelpers)
 {
     ElasticResult r;

@@ -341,5 +341,30 @@ TEST(Simulator, PerFunctionOutcomesSumToTotals)
               static_cast<std::int64_t>(t.invocations().size()));
 }
 
+TEST(Simulator, RejectsBadConfig)
+{
+    Trace t("t");
+    t.addFunction(fn(0, 100));
+    t.addInvocation(0, 0);
+    {
+        SimulatorConfig c = config(0);  // no memory
+        EXPECT_THROW(Simulator(t, makePolicy(PolicyKind::Lru), c),
+                     std::invalid_argument);
+    }
+    {
+        SimulatorConfig c = config(1'000);
+        c.memory_sample_interval_us = -kSecond;
+        EXPECT_THROW(Simulator(t, makePolicy(PolicyKind::Lru), c),
+                     std::invalid_argument);
+    }
+    {
+        SimulatorConfig c = config(1'000);
+        c.background_reclaim_interval_us = kMinute;
+        c.background_free_target_mb = 0;
+        EXPECT_THROW(Simulator(t, makePolicy(PolicyKind::Lru), c),
+                     std::invalid_argument);
+    }
+}
+
 }  // namespace
 }  // namespace faascache

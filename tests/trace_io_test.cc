@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace faascache {
@@ -113,6 +114,99 @@ TEST(TraceIo, RejectsMalformedNumbers)
     EXPECT_THROW(
         readTrace("faascache-trace,1,x\nfunction,0,a,64MB,1000,2000\n"),
         std::runtime_error);
+}
+
+// Capture the message of the runtime_error thrown by `fn`.
+template <typename Fn>
+std::string
+errorMessage(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers)
+{
+    const std::string msg = errorMessage([] {
+        readTrace("faascache-trace,1,x\n"
+                  "function,0,a,64,1000,2000\n"
+                  "invocation,0,oops\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, LineNumbersSkipBlankLines)
+{
+    const std::string msg = errorMessage([] {
+        readTrace("faascache-trace,1,x\n"
+                  "\n"
+                  "\n"
+                  "bogus,1\n");
+    });
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, RejectsNonNumericInteger)
+{
+    // std::stoll would throw std::invalid_argument here; the reader must
+    // translate it into its own descriptive runtime_error.
+    const std::string msg = errorMessage([] {
+        readTrace("faascache-trace,1,x\nfunction,zero,a,64,1000,2000\n");
+    });
+    EXPECT_NE(msg.find("bad integer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, RejectsOutOfRangeInteger)
+{
+    const std::string msg = errorMessage([] {
+        readTrace("faascache-trace,1,x\n"
+                  "function,0,a,64,99999999999999999999999999,2000\n");
+    });
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, ArityErrorsReportFieldCount)
+{
+    const std::string msg = errorMessage([] {
+        readTrace("faascache-trace,1,x\nfunction,0,a,64\n");
+    });
+    EXPECT_NE(msg.find("6 or 8 fields"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 4"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, LoadCorruptFileReportsPath)
+{
+    const std::string path =
+        testing::TempDir() + "/faascache_io_corrupt.csv";
+    {
+        std::ofstream out(path);
+        out << "faascache-trace,2,corrupt\n"
+            << "function,0,a,64,1000,2000,1,0\n"
+            << "invocation,0,not-a-time\n";
+    }
+    const std::string msg =
+        errorMessage([&] { loadTraceFile(path); });
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadTruncatedFileThrows)
+{
+    const std::string path =
+        testing::TempDir() + "/faascache_io_truncated.csv";
+    {
+        std::ofstream out(path);
+        out << "faascache-tra";  // header cut mid-write
+    }
+    EXPECT_THROW(loadTraceFile(path), std::runtime_error);
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, FileRoundTrip)
