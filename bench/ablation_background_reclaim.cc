@@ -3,18 +3,21 @@
  * Ablation of kswapd-style background reclamation (paper §6 future
  * work): a periodic reclaimer keeps a free-memory reserve so demand
  * evictions move off the invocation critical path entirely.
+ *
+ * The reclaimer-setting cells run through the parallel SweepRunner
+ * (`--jobs N`); output is byte-identical for any worker count.
  */
 #include <iostream>
 
 #include "core/policy_factory.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const Trace pop = bench::population();
     const Trace rep = bench::representativeTrace(pop);
@@ -37,17 +40,22 @@ main()
         {"every 60 s, 1024 MB reserve", kMinute, 1024},
     };
 
+    std::vector<SweepCell> cells;
+    for (const Setting& setting : settings) {
+        SweepCell cell = makeCell(rep, PolicyKind::GreedyDual, memory);
+        cell.sim.memory_sample_interval_us = 0;
+        cell.sim.background_reclaim_interval_us = setting.interval;
+        cell.sim.background_free_target_mb = setting.target;
+        cells.push_back(std::move(cell));
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
     TablePrinter table({"Reclaimer", "cold %", "exec increase %",
                         "critical-path rounds", "background reclaims"});
-    for (const Setting& setting : settings) {
-        SimulatorConfig config;
-        config.memory_mb = memory;
-        config.memory_sample_interval_us = 0;
-        config.background_reclaim_interval_us = setting.interval;
-        config.background_free_target_mb = setting.target;
-        const SimResult r = simulateTrace(
-            rep, makePolicy(PolicyKind::GreedyDual), config);
-        table.addRow({setting.label,
+    for (std::size_t i = 0; i < std::size(settings); ++i) {
+        const SimResult& r = results[i];
+        table.addRow({settings[i].label,
                       formatDouble(r.coldStartPercent(), 2),
                       formatDouble(r.execTimeIncreasePercent(), 2),
                       std::to_string(r.eviction_rounds),

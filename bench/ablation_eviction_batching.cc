@@ -5,18 +5,21 @@
  * reach a certain free resource threshold (1000 MB is the current
  * default)"). Larger batches run the sorting slow path less often at
  * the cost of evicting containers earlier than strictly necessary.
+ *
+ * The batch-threshold cells run through the parallel SweepRunner
+ * (`--jobs N`); output is byte-identical for any worker count.
  */
 #include <iostream>
 
 #include "core/greedy_dual.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const Trace pop = bench::population();
     const Trace rep = bench::representativeTrace(pop);
@@ -26,22 +29,34 @@ main()
                  "representative trace at "
               << formatDouble(memory / 1024.0, 0) << " GB\n\n";
 
+    const std::vector<double> batches = {0.0, 256.0, 1024.0, 4096.0};
+    std::vector<SweepCell> cells;
+    for (double batch : batches) {
+        GreedyDualConfig gd;
+        gd.batch_free_mb = batch;
+
+        SweepCell cell;
+        cell.trace = &rep;
+        cell.make_policy = [gd]() {
+            return std::make_unique<GreedyDualPolicy>(gd);
+        };
+        cell.sim.memory_mb = memory;
+        cell.sim.memory_sample_interval_us = 0;
+        cells.push_back(std::move(cell));
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
     TablePrinter table({"Batch threshold (MB)", "cold %",
                         "exec increase %", "slow-path rounds",
                         "evictions", "evictions/round"});
-    for (double batch : {0.0, 256.0, 1024.0, 4096.0}) {
-        GreedyDualConfig gd;
-        gd.batch_free_mb = batch;
-        SimulatorConfig config;
-        config.memory_mb = memory;
-        config.memory_sample_interval_us = 0;
-        const SimResult r = simulateTrace(
-            rep, std::make_unique<GreedyDualPolicy>(gd), config);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        const SimResult& r = results[i];
         const double per_round = r.eviction_rounds > 0
             ? static_cast<double>(r.evictions) /
                 static_cast<double>(r.eviction_rounds)
             : 0.0;
-        table.addRow({formatDouble(batch, 0),
+        table.addRow({formatDouble(batches[i], 0),
                       formatDouble(r.coldStartPercent(), 2),
                       formatDouble(r.execTimeIncreasePercent(), 2),
                       std::to_string(r.eviction_rounds),

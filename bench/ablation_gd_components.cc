@@ -5,11 +5,14 @@
  * with individual terms removed, on the representative trace. Shows
  * what each characteristic contributes — dropping everything leaves
  * pure recency (LRU-like aging).
+ *
+ * The (variant x memory) grid runs through the parallel SweepRunner
+ * (`--jobs N`); output is byte-identical for any worker count.
  */
 #include <iostream>
 
 #include "core/greedy_dual.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
@@ -28,7 +31,7 @@ struct Variant
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     const Trace pop = bench::population();
     const Trace rep = bench::representativeTrace(pop);
@@ -51,19 +54,34 @@ main()
         headers.push_back(formatDouble(gb, 0) + " GB");
     TablePrinter table(std::move(headers));
 
+    std::vector<SweepCell> cells;
     for (const Variant& variant : variants) {
-        std::vector<std::string> row = {variant.label};
         for (double gb : sizes_gb) {
             GreedyDualConfig gd;
             gd.use_frequency = variant.use_frequency;
             gd.use_cost = variant.use_cost;
             gd.use_size = variant.use_size;
-            SimulatorConfig config;
-            config.memory_mb = gb * 1024.0;
-            config.memory_sample_interval_us = 0;
-            const SimResult r = simulateTrace(
-                rep, std::make_unique<GreedyDualPolicy>(gd), config);
-            row.push_back(formatDouble(r.execTimeIncreasePercent(), 2));
+
+            SweepCell cell;
+            cell.trace = &rep;
+            cell.make_policy = [gd]() {
+                return std::make_unique<GreedyDualPolicy>(gd);
+            };
+            cell.sim.memory_mb = gb * 1024.0;
+            cell.sim.memory_sample_interval_us = 0;
+            cells.push_back(std::move(cell));
+        }
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
+    std::size_t next = 0;
+    for (const Variant& variant : variants) {
+        std::vector<std::string> row = {variant.label};
+        for (double gb : sizes_gb) {
+            (void)gb;
+            row.push_back(
+                formatDouble(results[next++].execTimeIncreasePercent(), 2));
         }
         table.addRow(std::move(row));
     }

@@ -5,19 +5,23 @@
  * keep-alive) on the representative trace. Landlord's theoretical
  * guarantee (paper §4.2) is a competitive ratio against exactly this
  * kind of offline optimum; this bench measures the empirical gap.
+ *
+ * The (memory x policy) grid — oracle included — runs through the
+ * parallel SweepRunner (`--jobs N`); output is byte-identical for any
+ * worker count.
  */
 #include <iostream>
 
 #include "core/oracle_policy.h"
 #include "core/policy_factory.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const Trace pop = bench::population();
     const Trace rep = bench::representativeTrace(pop);
@@ -31,19 +35,36 @@ main()
         headers.push_back(policyKindName(kind));
     TablePrinter table(std::move(headers));
 
-    for (double gb : {5.0, 10.0, 15.0, 20.0}) {
-        SimulatorConfig config;
-        config.memory_mb = gb * 1024.0;
-        config.memory_sample_interval_us = 0;
+    const std::vector<double> sizes_gb = {5.0, 10.0, 15.0, 20.0};
+    std::vector<SweepCell> cells;
+    for (double gb : sizes_gb) {
+        const MemMb memory = gb * 1024.0;
 
-        std::vector<std::string> row = {formatDouble(gb, 0)};
-        const SimResult oracle = simulateTrace(
-            rep, std::make_unique<OraclePolicy>(rep), config);
-        row.push_back(formatDouble(oracle.coldStartPercent(), 2));
+        SweepCell oracle;
+        oracle.trace = &rep;
+        oracle.make_policy = [&rep]() {
+            return std::make_unique<OraclePolicy>(rep);
+        };
+        oracle.sim.memory_mb = memory;
+        oracle.sim.memory_sample_interval_us = 0;
+        cells.push_back(std::move(oracle));
+
         for (PolicyKind kind : allPolicyKinds()) {
-            const SimResult r =
-                simulateTrace(rep, makePolicy(kind), config);
-            row.push_back(formatDouble(r.coldStartPercent(), 2));
+            SweepCell cell = makeCell(rep, kind, memory);
+            cell.sim.memory_sample_interval_us = 0;
+            cells.push_back(std::move(cell));
+        }
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
+    std::size_t next = 0;
+    for (double gb : sizes_gb) {
+        std::vector<std::string> row = {formatDouble(gb, 0)};
+        row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
+        for (PolicyKind kind : allPolicyKinds()) {
+            (void)kind;
+            row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
         }
         table.addRow(std::move(row));
     }

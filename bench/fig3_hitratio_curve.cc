@@ -8,6 +8,10 @@
  * large sizes (concurrent executions create duplicate containers) —
  * the "limitations of the caching analogy" the paper discusses.
  * A SHARDS-sampled approximation of the curve is printed alongside.
+ *
+ * The per-size Greedy-Dual simulations run through the parallel
+ * SweepRunner (`--jobs N`); output is byte-identical for any worker
+ * count.
  */
 #include <iostream>
 
@@ -15,14 +19,14 @@
 #include "analysis/reuse_distance.h"
 #include "analysis/shards.h"
 #include "core/policy_factory.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const Trace pop = bench::population();
     const Trace rep = bench::representativeTrace(pop);
@@ -38,15 +42,22 @@ main()
               << rep.name() << ", " << rep.invocations().size()
               << " invocations; SHARDS rate 0.1)\n\n";
 
+    const std::vector<MemMb> sizes = bench::largeMemorySweepMb();
+    std::vector<SweepCell> cells;
+    for (MemMb size_mb : sizes) {
+        SweepCell cell = makeCell(rep, PolicyKind::GreedyDual, size_mb);
+        cell.sim.memory_sample_interval_us = 0;
+        cells.push_back(std::move(cell));
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
     TablePrinter table({"Cache size (GB)", "Reuse-dist HR",
                         "SHARDS HR (R=0.1)", "Che approx HR",
                         "Observed GD HR", "GD drops"});
-    for (MemMb size_mb : bench::largeMemorySweepMb()) {
-        SimulatorConfig config;
-        config.memory_mb = size_mb;
-        config.memory_sample_interval_us = 0;
-        const SimResult r =
-            simulateTrace(rep, makePolicy(PolicyKind::GreedyDual), config);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const MemMb size_mb = sizes[i];
+        const SimResult& r = results[i];
         const double observed = r.total() > 0
             ? static_cast<double>(r.warm_starts) /
                 static_cast<double>(r.total())

@@ -5,11 +5,15 @@
  * RARE, and RANDOM traces. The miss-ratio view of Figure 5 — the paper
  * notes the two do not rank policies identically because classic miss
  * ratios ignore the (initialization) miss cost.
+ *
+ * The whole (trace x memory x policy) grid runs through the parallel
+ * SweepRunner; pass `--jobs N` to pick the worker count (default:
+ * hardware concurrency). Output is byte-identical for any N.
  */
 #include <iostream>
 
 #include "core/policy_factory.h"
-#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
 #include "util/table.h"
 #include "workloads.h"
 
@@ -17,26 +21,43 @@ using namespace faascache;
 
 namespace {
 
-void
-runSubfigure(const char* label, const Trace& trace,
-             const std::vector<MemMb>& sizes)
+struct Subfigure
 {
-    std::cout << label << " — trace '" << trace.name() << "'\n\n";
+    const char* label;
+    Trace trace;
+    std::vector<MemMb> sizes;
+};
+
+std::vector<SweepCell>
+cellsOf(const Subfigure& sub)
+{
+    std::vector<SweepCell> cells;
+    for (MemMb size_mb : sub.sizes) {
+        for (PolicyKind kind : allPolicyKinds()) {
+            SweepCell cell = makeCell(sub.trace, kind, size_mb);
+            cell.sim.memory_sample_interval_us = 0;
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+void
+printSubfigure(const Subfigure& sub, const std::vector<SimResult>& results)
+{
+    std::cout << sub.label << " — trace '" << sub.trace.name() << "'\n\n";
 
     std::vector<std::string> headers = {"Memory (GB)"};
     for (PolicyKind kind : allPolicyKinds())
         headers.push_back(policyKindName(kind));
     TablePrinter table(std::move(headers));
 
-    for (MemMb size_mb : sizes) {
+    std::size_t next = 0;
+    for (MemMb size_mb : sub.sizes) {
         std::vector<std::string> row = {formatDouble(size_mb / 1024.0, 0)};
         for (PolicyKind kind : allPolicyKinds()) {
-            SimulatorConfig config;
-            config.memory_mb = size_mb;
-            config.memory_sample_interval_us = 0;
-            const SimResult r =
-                simulateTrace(trace, makePolicy(kind), config);
-            row.push_back(formatDouble(r.coldStartPercent(), 2));
+            (void)kind;
+            row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
         }
         table.addRow(std::move(row));
     }
@@ -47,16 +68,36 @@ runSubfigure(const char* label, const Trace& trace,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     std::cout << "Figure 6: % cold starts (lower is better)\n\n";
     const Trace pop = bench::population();
-    runSubfigure("(a) Representative functions",
-                 bench::representativeTrace(pop),
-                 bench::largeMemorySweepMb());
-    runSubfigure("(b) Rare functions", bench::rareTrace(pop),
-                 bench::largeMemorySweepMb());
-    runSubfigure("(c) Random sampling", bench::randomTrace(pop),
-                 bench::smallMemorySweepMb());
+    const Subfigure subfigures[] = {
+        {"(a) Representative functions", bench::representativeTrace(pop),
+         bench::largeMemorySweepMb()},
+        {"(b) Rare functions", bench::rareTrace(pop),
+         bench::largeMemorySweepMb()},
+        {"(c) Random sampling", bench::randomTrace(pop),
+         bench::smallMemorySweepMb()},
+    };
+
+    std::vector<SweepCell> cells;
+    for (const Subfigure& sub : subfigures) {
+        std::vector<SweepCell> sub_cells = cellsOf(sub);
+        cells.insert(cells.end(),
+                     std::make_move_iterator(sub_cells.begin()),
+                     std::make_move_iterator(sub_cells.end()));
+    }
+    const std::vector<SimResult> results =
+        runSweep(cells, bench::jobsFromArgs(argc, argv));
+
+    std::size_t offset = 0;
+    for (const Subfigure& sub : subfigures) {
+        const std::size_t count =
+            sub.sizes.size() * allPolicyKinds().size();
+        printSubfigure(sub, {results.begin() + offset,
+                             results.begin() + offset + count});
+        offset += count;
+    }
     return 0;
 }

@@ -4,17 +4,22 @@
  * OpenWhisk (10-minute TTL, oldest-created pressure eviction) versus
  * FaasCache (Greedy-Dual) on three skewed workload types — skewed
  * frequency, cyclic, and skewed size — on a memory-constrained invoker.
+ *
+ * All six platform runs (3 workloads x {OW, FC}) execute concurrently
+ * through runPlatformSweep (`--jobs N`); output is byte-identical for
+ * any worker count.
  */
 #include <iostream>
 
 #include "platform/experiment.h"
 #include "platform/load_generator.h"
 #include "util/table.h"
+#include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const TimeUs duration = kHour;
     ServerConfig server;
@@ -38,13 +43,29 @@ main()
         {"Skewed Size", skewedSizeWorkload(duration)},
     };
 
+    // Vanilla OpenWhisk: 10-minute TTL, oldest-created pressure
+    // eviction (matches compareOpenWhiskVsFaasCache).
+    PolicyConfig openwhisk_config;
+    openwhisk_config.ttl_victim_order = TtlVictimOrder::OldestCreated;
+
+    std::vector<PlatformCell> cells;
+    for (const Workload& workload : workloads) {
+        cells.push_back({&workload.trace, PolicyKind::Ttl, server,
+                         openwhisk_config});
+        cells.push_back({&workload.trace, PolicyKind::GreedyDual, server,
+                         PolicyConfig{}});
+    }
+    const std::vector<PlatformResult> results =
+        runPlatformSweep(cells, bench::jobsFromArgs(argc, argv));
+
     TablePrinter table({"Workload Type", "OW Cold", "OW Warm", "OW Drop",
                         "FC Cold", "FC Warm", "FC Drop", "FC/OW warm",
                         "FC/OW served"});
-    for (auto& workload : workloads) {
-        const PlatformComparison cmp =
-            compareOpenWhiskVsFaasCache(workload.trace, server);
-        table.addRow({workload.label,
+    for (std::size_t i = 0; i < std::size(workloads); ++i) {
+        PlatformComparison cmp;
+        cmp.openwhisk = results[2 * i];
+        cmp.faascache = results[2 * i + 1];
+        table.addRow({workloads[i].label,
                       std::to_string(cmp.openwhisk.cold_starts),
                       std::to_string(cmp.openwhisk.warm_starts),
                       std::to_string(cmp.openwhisk.dropped()),

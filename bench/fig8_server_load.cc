@@ -13,11 +13,12 @@
 #include "platform/experiment.h"
 #include "platform/load_generator.h"
 #include "util/table.h"
+#include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
     const TimeUs duration = kHour;
     const Trace trace = skewedFrequencyWorkload(duration);
@@ -32,8 +33,10 @@ main()
               << server.cores << " cores, " << server.memory_mb
               << " MB pool, " << toSeconds(duration) / 60 << " min)\n\n";
 
-    const PlatformComparison cmp =
-        compareOpenWhiskVsFaasCache(trace, server);
+    // The OW and FC runs execute concurrently (--jobs N; the output is
+    // byte-identical for any worker count).
+    const PlatformComparison cmp = compareOpenWhiskVsFaasCache(
+        trace, server, {}, bench::jobsFromArgs(argc, argv));
 
     TablePrinter table({"Function", "OW warm", "OW cold", "OW drop",
                         "OW hit%", "FC warm", "FC cold", "FC drop",

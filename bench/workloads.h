@@ -6,24 +6,56 @@
  * population (DESIGN.md §1 documents the substitution) using the
  * paper's three sampling recipes, so the numbers across benches are
  * mutually consistent.
+ *
+ * Seeding: every stochastic step (population generation, each sampling
+ * recipe) runs on its own stream derived SplitMix64-style from the
+ * single bench base seed via deriveCellSeed(). Streams are keyed by
+ * stable constants, never by grid position, so adding a policy, a
+ * memory size, or a whole subfigure to a sweep can never perturb the
+ * trace another cell replays.
  */
 #ifndef FAASCACHE_BENCH_WORKLOADS_H_
 #define FAASCACHE_BENCH_WORKLOADS_H_
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "sim/sweep_runner.h"
 #include "trace/azure_model.h"
 #include "trace/samplers.h"
 #include "trace/trace.h"
 
 namespace faascache::bench {
 
+/** Base seed every bench stream is derived from. */
+inline constexpr std::uint64_t kBenchSeed = 2021;
+
+/** Stable stream keys for the derived bench seeds. */
+enum BenchStream : std::uint64_t
+{
+    kStreamPopulation = 1,
+    kStreamRepresentative = 2,
+    kStreamRare = 3,
+    kStreamRandom = 4,
+};
+
+/** The seed of one named bench stream. */
+inline std::uint64_t
+streamSeed(BenchStream stream)
+{
+    return deriveCellSeed(kBenchSeed, stream);
+}
+
 /** The population every sample is drawn from (deterministic). */
 inline Trace
 population()
 {
     AzureModelConfig config;
-    config.seed = 2021;
+    config.seed = streamSeed(kStreamPopulation);
     config.num_functions = 2000;
     config.duration_us = 2 * kHour;
     config.iat_median_sec = 120.0;
@@ -43,7 +75,7 @@ population()
 inline Trace
 representativeTrace(const Trace& pop)
 {
-    return sampleRepresentative(pop, 400, 1);
+    return sampleRepresentative(pop, 400, streamSeed(kStreamRepresentative));
 }
 
 /** RARE sample: 1000 of the most infrequently invoked functions
@@ -51,14 +83,14 @@ representativeTrace(const Trace& pop)
 inline Trace
 rareTrace(const Trace& pop)
 {
-    return sampleRare(pop, 1000, 1);
+    return sampleRare(pop, 1000, streamSeed(kStreamRare));
 }
 
 /** RANDOM sample: 200 functions chosen uniformly (Table 2 row 3). */
 inline Trace
 randomTrace(const Trace& pop)
 {
-    return sampleRandom(pop, 200, 1);
+    return sampleRandom(pop, 200, streamSeed(kStreamRandom));
 }
 
 /** Memory sweep (MB) for the REPRESENTATIVE and RARE figures. */
@@ -79,6 +111,33 @@ smallMemorySweepMb()
     for (double gb : {2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0})
         sizes.push_back(gb * 1024.0);
     return sizes;
+}
+
+/**
+ * Parse the shared bench command line: `--jobs N` (or `--jobs=N`)
+ * selects the sweep worker count; 0 or absence selects
+ * hardware_concurrency. Exits with usage on malformed input, so every
+ * bench gets the flag by routing main(argc, argv) through here.
+ */
+inline std::size_t
+jobsFromArgs(int argc, char** argv)
+{
+    const auto parse = [&](const char* text) -> std::size_t {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(text, &end, 10);
+        if (end == text || *end != '\0') {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            std::exit(2);
+        }
+        return static_cast<std::size_t>(value);
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            return parse(argv[i + 1]);
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            return parse(argv[i] + 7);
+    }
+    return 0;
 }
 
 }  // namespace faascache::bench

@@ -5,6 +5,25 @@
 
 namespace faascache {
 
+namespace {
+
+/** Lexicographic (priority, lastUsed, id) — the eviction order. */
+struct TripleLess
+{
+    bool
+    operator()(double pa, TimeUs la, ContainerId ia, double pb, TimeUs lb,
+               ContainerId ib) const
+    {
+        if (pa != pb)
+            return pa < pb;
+        if (la != lb)
+            return la < lb;
+        return ia < ib;
+    }
+};
+
+}  // namespace
+
 GreedyDualPolicy::GreedyDualPolicy(GreedyDualConfig config) : config_(config)
 {
 }
@@ -52,6 +71,8 @@ GreedyDualPolicy::touch(Container& container, const FunctionSpec& function)
         CostSize{toSeconds(function.initTime()), scalarSizeOf(function)};
     container.setPolicyClock(clock_);
     container.setPriority(clock_ + valueTerm(function.id));
+    if (config_.eviction_engine == GdEvictionEngine::LazyHeap)
+        pushEntry(container);
 }
 
 void
@@ -68,14 +89,60 @@ GreedyDualPolicy::onColdStart(Container& container,
     touch(container, function);
 }
 
+void
+GreedyDualPolicy::onEviction(const Container& container,
+                             bool last_of_function, TimeUs now)
+{
+    // Superseding rather than erasing from the middle of the heap: any
+    // remaining entries for this id become stale and are skipped on pop.
+    entry_seq_.erase(container.id());
+    KeepAlivePolicy::onEviction(container, last_of_function, now);
+}
+
 double
 GreedyDualPolicy::containerPriority(const Container& container) const
 {
     return container.policyClock() + valueTerm(container.function());
 }
 
+bool
+GreedyDualPolicy::entryAfter(const HeapEntry& a, const HeapEntry& b)
+{
+    return TripleLess{}(b.priority, b.last_used, b.id, a.priority,
+                        a.last_used, a.id);
+}
+
+void
+GreedyDualPolicy::pushEntry(const Container& c)
+{
+    HeapEntry entry{containerPriority(c), c.lastUsed(), c.id(), next_seq_++};
+    entry_seq_[c.id()] = entry.seq;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), &entryAfter);
+}
+
+void
+GreedyDualPolicy::maybeCompact()
+{
+    if (heap_.size() < 64 || heap_.size() < 4 * entry_seq_.size())
+        return;
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+        auto it = entry_seq_.find(e.id);
+        return it == entry_seq_.end() || it->second != e.seq;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), &entryAfter);
+}
+
 std::vector<ContainerId>
 GreedyDualPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
+{
+    return config_.eviction_engine == GdEvictionEngine::LazyHeap
+        ? selectVictimsHeap(pool, needed_mb)
+        : selectVictimsSort(pool, needed_mb);
+}
+
+std::vector<ContainerId>
+GreedyDualPolicy::selectVictimsSort(ContainerPool& pool, MemMb needed_mb)
 {
     // Eviction batching: free up to the configured threshold in one
     // slow-path pass.
@@ -108,6 +175,75 @@ GreedyDualPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
     // Clock = max over the evicted set).
     if (freed >= needed_mb && !victims.empty())
         clock_ = max_evicted_priority;
+    return victims;
+}
+
+std::vector<ContainerId>
+GreedyDualPolicy::selectVictimsHeap(ContainerPool& pool, MemMb needed_mb)
+{
+    const MemMb target =
+        std::max(needed_mb, config_.batch_free_mb - pool.freeMb());
+
+    const auto pop_min = [this]() {
+        std::pop_heap(heap_.begin(), heap_.end(), &entryAfter);
+        HeapEntry e = heap_.back();
+        heap_.pop_back();
+        return e;
+    };
+
+    std::vector<ContainerId> victims;
+    std::vector<const Container*> selected;
+    std::vector<const Container*> deferred_busy;
+    MemMb freed = 0;
+    double max_evicted_priority = clock_;
+    while (freed < target && !heap_.empty()) {
+        const HeapEntry e = pop_min();
+        auto it = entry_seq_.find(e.id);
+        if (it == entry_seq_.end() || it->second != e.seq)
+            continue;  // superseded or already evicted
+        Container* c = pool.get(e.id);
+        if (c == nullptr) {
+            // Removed without an onEviction notification (defensive).
+            entry_seq_.erase(it);
+            continue;
+        }
+        if (c->busy()) {
+            // Not an eviction candidate; park it outside the heap for
+            // the rest of this round so it cannot be popped again.
+            entry_seq_.erase(it);
+            deferred_busy.push_back(c);
+            continue;
+        }
+        const double current = containerPriority(*c);
+        if (current != e.priority || c->lastUsed() != e.last_used) {
+            // Key grew since the snapshot (frequency moved on): re-key
+            // and keep popping. The re-pushed key is exact, so the entry
+            // competes at its true priority from now on.
+            c->setPriority(current);
+            pushEntry(*c);
+            continue;
+        }
+        // Key matches the container's current triple, and every other
+        // candidate's key is a lower bound of its own triple, so this
+        // is exactly the sort engine's next victim.
+        c->setPriority(current);
+        victims.push_back(e.id);
+        selected.push_back(c);
+        entry_seq_.erase(it);
+        freed += c->memMb();
+        max_evicted_priority = std::max(max_evicted_priority, current);
+    }
+    // Victims are only *proposed*: the driver declines them (dropping
+    // the request) when even this best effort cannot cover needed_mb.
+    // Re-insert everything popped; an actual eviction invalidates the
+    // new entry through onEviction.
+    for (const Container* c : selected)
+        pushEntry(*c);
+    for (const Container* c : deferred_busy)
+        pushEntry(*c);
+    if (freed >= needed_mb && !victims.empty())
+        clock_ = max_evicted_priority;
+    maybeCompact();
     return victims;
 }
 

@@ -22,10 +22,28 @@
  * is observationally identical to the paper's eager update on every
  * invocation, because a function's frequency only changes when the
  * function itself is invoked (which refreshes its containers anyway).
+ *
+ * Victim selection comes in two engines (GdEvictionEngine):
+ *
+ *  - SortReference re-sorts every idle container on each eviction round
+ *    — the original implementation, O(n log n) per round, kept as the
+ *    conformance oracle;
+ *  - LazyHeap (default) keeps a min-heap of (priority, lastUsed, id)
+ *    snapshots taken when a container is used. Stale entries (dead,
+ *    busy, superseded, or outdated-key) are skipped or re-keyed on pop,
+ *    so a round costs O(k log n) for k popped entries. The two engines
+ *    select identical victim sequences: a live container's priority
+ *    triple never decreases (its clock snapshot is fixed until re-use,
+ *    frequency is monotone while the function has containers, and
+ *    cost/size are per-function constants), so every heap key is a
+ *    lower bound of its container's current triple and the first popped
+ *    entry whose key still matches its current triple is the exact
+ *    minimum.
  */
 #ifndef FAASCACHE_CORE_GREEDY_DUAL_H_
 #define FAASCACHE_CORE_GREEDY_DUAL_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +52,15 @@
 #include "core/size_norm.h"
 
 namespace faascache {
+
+/** Victim-selection implementation of the Greedy-Dual policy. */
+enum class GdEvictionEngine
+{
+    /** Lazy-deletion min-heap over priority snapshots (fast path). */
+    LazyHeap,
+    /** Full re-sort of idle containers per round (reference oracle). */
+    SortReference,
+};
 
 /** Tunables of the Greedy-Dual policy. */
 struct GreedyDualConfig
@@ -67,6 +94,13 @@ struct GreedyDualConfig
     /** Server resource totals used by the normalized/cosine norms. */
     ResourceVector server_resources = ResourceVector{48.0, 48.0 * 1024.0,
                                                      100.0};
+
+    /**
+     * Victim-selection engine. LazyHeap and SortReference are
+     * conformance-tested to produce identical victim sequences; the
+     * sort engine exists as the oracle and for A/B benchmarking.
+     */
+    GdEvictionEngine eviction_engine = GdEvictionEngine::LazyHeap;
 };
 
 /** Greedy-Dual-Size-Frequency keep-alive. */
@@ -81,6 +115,8 @@ class GreedyDualPolicy : public KeepAlivePolicy
                      TimeUs now) override;
     void onColdStart(Container& container, const FunctionSpec& function,
                      TimeUs now) override;
+    void onEviction(const Container& container, bool last_of_function,
+                    TimeUs now) override;
     std::vector<ContainerId> selectVictims(ContainerPool& pool,
                                            MemMb needed_mb,
                                            TimeUs now) override;
@@ -93,6 +129,9 @@ class GreedyDualPolicy : public KeepAlivePolicy
      * given the current clock and frequency.
      */
     double priorityOf(const FunctionSpec& function) const;
+
+    /** Live heap entries, stale included (tests and introspection). */
+    std::size_t heapSize() const { return heap_.size(); }
 
   private:
     /** Frequency x cost / size term for `function` under the current
@@ -108,6 +147,29 @@ class GreedyDualPolicy : public KeepAlivePolicy
     /** Priority of a live container under the current frequency. */
     double containerPriority(const Container& container) const;
 
+    std::vector<ContainerId> selectVictimsSort(ContainerPool& pool,
+                                               MemMb needed_mb);
+    std::vector<ContainerId> selectVictimsHeap(ContainerPool& pool,
+                                               MemMb needed_mb);
+
+    /** A (priority, lastUsed, id) snapshot; seq marks the live one. */
+    struct HeapEntry
+    {
+        double priority;
+        TimeUs last_used;
+        ContainerId id;
+        std::uint64_t seq;
+    };
+
+    /** Heap comparator: a ordered after b (std::*_heap min-heap). */
+    static bool entryAfter(const HeapEntry& a, const HeapEntry& b);
+
+    /** Push a fresh snapshot for `c`, superseding its previous entry. */
+    void pushEntry(const Container& c);
+
+    /** Drop superseded entries once they dominate the heap. */
+    void maybeCompact();
+
     struct CostSize
     {
         double cost_sec;
@@ -118,6 +180,12 @@ class GreedyDualPolicy : public KeepAlivePolicy
     GreedyDualConfig config_;
     double clock_ = 0.0;
     std::unordered_map<FunctionId, CostSize> characteristics_;
+
+    /** Min-heap (via std::*_heap with a greater-than comparator). */
+    std::vector<HeapEntry> heap_;
+    /** Seq of each container's current (non-superseded) entry. */
+    std::unordered_map<ContainerId, std::uint64_t> entry_seq_;
+    std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace faascache

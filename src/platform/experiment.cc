@@ -1,5 +1,9 @@
 #include "platform/experiment.h"
 
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
 namespace faascache {
 
 double
@@ -38,10 +42,25 @@ runPlatform(const Trace& trace, PolicyKind kind,
     return server.run(trace);
 }
 
+std::vector<PlatformResult>
+runPlatformSweep(const std::vector<PlatformCell>& cells, std::size_t jobs)
+{
+    for (const PlatformCell& cell : cells) {
+        if (cell.trace == nullptr)
+            throw std::invalid_argument(
+                "runPlatformSweep: cell without a trace");
+    }
+    ThreadPool pool(jobs);
+    return parallelMap(pool, cells, [](const PlatformCell& cell) {
+        return runPlatform(*cell.trace, cell.kind, cell.server, cell.policy);
+    });
+}
+
 PlatformComparison
 compareOpenWhiskVsFaasCache(const Trace& trace,
                             const ServerConfig& server_config,
-                            const PolicyConfig& policy_config)
+                            const PolicyConfig& policy_config,
+                            std::size_t jobs)
 {
     // Vanilla OpenWhisk: 10-minute TTL, and under memory pressure the
     // ContainerPool removes the first free container in insertion order
@@ -49,11 +68,16 @@ compareOpenWhiskVsFaasCache(const Trace& trace,
     PolicyConfig openwhisk_config = policy_config;
     openwhisk_config.ttl_victim_order = TtlVictimOrder::OldestCreated;
 
+    PlatformCell openwhisk{&trace, PolicyKind::Ttl, server_config,
+                           openwhisk_config};
+    PlatformCell faascache{&trace, PolicyKind::GreedyDual, server_config,
+                           policy_config};
+    std::vector<PlatformResult> results =
+        runPlatformSweep({openwhisk, faascache}, jobs);
+
     PlatformComparison out;
-    out.openwhisk = runPlatform(trace, PolicyKind::Ttl, server_config,
-                                openwhisk_config);
-    out.faascache = runPlatform(trace, PolicyKind::GreedyDual, server_config,
-                                policy_config);
+    out.openwhisk = std::move(results[0]);
+    out.faascache = std::move(results[1]);
     return out;
 }
 

@@ -3,9 +3,15 @@
  * Head-to-head platform experiments: vanilla OpenWhisk (10-minute TTL
  * keep-alive) versus FaasCache (Greedy-Dual keep-alive) on the same
  * server and workload (paper §7.2).
+ *
+ * Independent platform runs fan across a thread pool through
+ * runPlatformSweep(); results come back in submission order, so sweep
+ * output is byte-identical regardless of the worker count.
  */
 #ifndef FAASCACHE_PLATFORM_EXPERIMENT_H_
 #define FAASCACHE_PLATFORM_EXPERIMENT_H_
+
+#include <vector>
 
 #include "core/policy_factory.h"
 #include "platform/server.h"
@@ -34,10 +40,31 @@ PlatformResult runPlatform(const Trace& trace, PolicyKind kind,
                            const ServerConfig& server_config,
                            const PolicyConfig& policy_config = {});
 
-/** Run the vanilla-OpenWhisk vs FaasCache comparison. */
+/** One independent platform run of a sweep. */
+struct PlatformCell
+{
+    /** Workload to replay (non-owning; must outlive the sweep). */
+    const Trace* trace = nullptr;
+    PolicyKind kind = PolicyKind::GreedyDual;
+    ServerConfig server;
+    PolicyConfig policy;
+};
+
+/**
+ * Run every cell on a fixed-size worker pool and return the results in
+ * cell order (deterministic for any jobs; 0 = hardware concurrency).
+ */
+std::vector<PlatformResult> runPlatformSweep(
+    const std::vector<PlatformCell>& cells, std::size_t jobs = 0);
+
+/**
+ * Run the vanilla-OpenWhisk vs FaasCache comparison. The two runs are
+ * independent and execute concurrently (`jobs` workers; 0 = hardware
+ * concurrency, 1 = serial).
+ */
 PlatformComparison compareOpenWhiskVsFaasCache(
     const Trace& trace, const ServerConfig& server_config,
-    const PolicyConfig& policy_config = {});
+    const PolicyConfig& policy_config = {}, std::size_t jobs = 0);
 
 }  // namespace faascache
 

@@ -31,6 +31,9 @@ struct FunctionOutcome
     std::int64_t dropped = 0;
 
     std::int64_t served() const { return warm + cold; }
+
+    friend bool operator==(const FunctionOutcome&,
+                           const FunctionOutcome&) = default;
 };
 
 /** One sample of the pool's memory consumption. */
@@ -38,6 +41,9 @@ struct MemorySample
 {
     TimeUs time_us = 0;
     MemMb used_mb = 0;
+
+    friend bool operator==(const MemorySample&,
+                           const MemorySample&) = default;
 };
 
 /**
@@ -142,6 +148,13 @@ struct SimResult
 
     /** Time-weighted mean of the sampled memory usage, MB. */
     MemMb meanMemoryUsage() const;
+
+    /**
+     * Exact field-by-field equality (doubles compared bitwise-equal) —
+     * the relation behind the "parallel sweeps are byte-identical to
+     * serial runs" determinism guarantee and its differential tests.
+     */
+    friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 }  // namespace faascache

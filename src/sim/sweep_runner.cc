@@ -1,0 +1,74 @@
+#include "sim/sweep_runner.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace faascache {
+
+SweepCell
+makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
+         const PolicyConfig& policy_config)
+{
+    SweepCell cell;
+    cell.trace = &trace;
+    cell.make_policy = [kind, policy_config]() {
+        return makePolicy(kind, policy_config);
+    };
+    cell.sim.memory_mb = memory_mb;
+    return cell;
+}
+
+std::uint64_t
+deriveCellSeed(std::uint64_t base_seed, std::uint64_t cell_key)
+{
+    // Two SplitMix64 finalizer rounds decorrelate sequential keys and
+    // sequential base seeds; the asymmetric constant keeps
+    // deriveCellSeed(a, b) != deriveCellSeed(b, a).
+    return Rng::hashMix(Rng::hashMix(base_seed ^ 0x9e3779b97f4a7c15ULL) +
+                        Rng::hashMix(cell_key));
+}
+
+struct SweepRunner::Impl
+{
+    explicit Impl(std::size_t jobs) : pool(jobs) {}
+
+    ThreadPool pool;
+};
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : impl_(std::make_unique<Impl>(jobs))
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+std::size_t
+SweepRunner::jobs() const
+{
+    return impl_->pool.size();
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SweepCell>& cells)
+{
+    for (const SweepCell& cell : cells) {
+        if (cell.trace == nullptr)
+            throw std::invalid_argument("SweepRunner: cell without a trace");
+        if (!cell.make_policy)
+            throw std::invalid_argument("SweepRunner: cell without a policy");
+    }
+    return parallelMap(impl_->pool, cells, [](const SweepCell& cell) {
+        return simulateTrace(*cell.trace, cell.make_policy(), cell.sim);
+    });
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepCell>& cells, std::size_t jobs)
+{
+    SweepRunner runner(jobs);
+    return runner.run(cells);
+}
+
+}  // namespace faascache

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The deterministic parallel experiment engine.
+ *
+ * Every figure/table bench replays a grid of independent simulation
+ * cells — (trace sample, policy spec, memory_mb) tuples. The SweepRunner
+ * fans those cells across a fixed-size thread pool and merges the
+ * SimResults back in submission order, so the output of a sweep is
+ * byte-identical regardless of the worker count (jobs=1 and jobs=64
+ * produce the same bytes).
+ *
+ * Determinism contract:
+ *  - a cell owns everything mutable it touches: the policy is built
+ *    inside the worker via the cell's factory, the Simulator is local,
+ *    and the result is written only to the cell's own output slot;
+ *  - traces are shared read-only (const Trace*) and must outlive run();
+ *  - any stochastic behaviour a cell needs must flow through the cell's
+ *    `rng_seed`, which callers derive per cell via deriveCellSeed() so
+ *    adding, removing, or reordering other cells never perturbs it.
+ */
+#ifndef FAASCACHE_SIM_SWEEP_RUNNER_H_
+#define FAASCACHE_SIM_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/sim_result.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** One independent simulation: (trace, policy spec, simulator knobs). */
+struct SweepCell
+{
+    /** Workload to replay (non-owning; must outlive the sweep). */
+    const Trace* trace = nullptr;
+
+    /**
+     * Builds the cell's policy inside the worker thread. Must be pure
+     * (no shared mutable state) so cells stay independent.
+     */
+    std::function<std::unique_ptr<KeepAlivePolicy>()> make_policy;
+
+    /** Simulator knobs (memory_mb is the grid's memory axis). */
+    SimulatorConfig sim;
+
+    /**
+     * Per-cell RNG stream seed for stochastic cell extensions. Not read
+     * by the (deterministic) simulator itself; carried so stochastic
+     * cells have a collision-free stream. Fill via deriveCellSeed().
+     */
+    std::uint64_t rng_seed = 0;
+};
+
+/** Convenience: a cell for one of the paper's named policies. */
+SweepCell makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
+                   const PolicyConfig& policy_config = {});
+
+/**
+ * Derive the seed of cell `cell_key` from the sweep's base seed,
+ * SplitMix64-style (util/rng hashMix chain). Distinct keys give
+ * statistically independent streams, and a cell's seed depends only on
+ * (base, its own key) — never on how many other cells exist. Callers
+ * should key cells by stable coordinates (e.g. trace-id × policy-id ×
+ * memory index), not by running position in the grid.
+ */
+std::uint64_t deriveCellSeed(std::uint64_t base_seed, std::uint64_t cell_key);
+
+/** Fans sweep cells across a worker pool; results in submission order. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs Worker threads; 0 selects hardware_concurrency().
+     *             jobs=1 still runs through the pool (one worker) and is
+     *             bit-identical to a direct serial loop.
+     */
+    explicit SweepRunner(std::size_t jobs = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner&) = delete;
+    SweepRunner& operator=(const SweepRunner&) = delete;
+
+    /** Worker count actually in use. */
+    std::size_t jobs() const;
+
+    /**
+     * Run every cell and return results indexed like `cells`. Each
+     * result's policy_name/memory_mb come from the cell's own policy
+     * and config, exactly as a serial simulateTrace() loop would
+     * produce. Rethrows the first cell failure, if any.
+     */
+    std::vector<SimResult> run(const std::vector<SweepCell>& cells);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** One-shot convenience: construct a runner, run the cells. */
+std::vector<SimResult> runSweep(const std::vector<SweepCell>& cells,
+                                std::size_t jobs = 0);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_SIM_SWEEP_RUNNER_H_

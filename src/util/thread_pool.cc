@@ -1,0 +1,51 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace faascache {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultConcurrency();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return shutting_down_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return;  // shutting down and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+std::size_t
+ThreadPool::defaultConcurrency()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace faascache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with futures-based task submission.
+ *
+ * The pool exists so the experiment engine (sim/sweep_runner.h) and the
+ * platform benches can fan independent simulation cells across cores.
+ * Tasks are arbitrary callables; submit() returns a std::future for the
+ * callable's result. Worker threads are started once in the constructor
+ * and joined in the destructor; the pool never grows or shrinks.
+ *
+ * Determinism note: the pool makes no ordering promises between tasks —
+ * callers that need reproducible output must make every task
+ * self-contained (own its RNG stream, write only its own result slot)
+ * and merge results in submission order, as parallelMap() below and the
+ * SweepRunner do.
+ */
+#ifndef FAASCACHE_UTIL_THREAD_POOL_H_
+#define FAASCACHE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace faascache {
+
+/** Fixed-size worker pool. Thread-safe; tasks may submit further tasks. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects defaultConcurrency().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains nothing: pending tasks are completed before join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue `fn(args...)` and return a future for its result. The
+     * callable runs on some worker thread; exceptions propagate through
+     * the future.
+     */
+    template <typename Fn, typename... Args>
+    auto submit(Fn&& fn, Args&&... args)
+        -> std::future<std::invoke_result_t<Fn, Args...>>
+    {
+        using Result = std::invoke_result_t<Fn, Args...>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            [fn = std::forward<Fn>(fn),
+             ... args = std::forward<Args>(args)]() mutable {
+                return std::invoke(std::move(fn), std::move(args)...);
+            });
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * std::thread::hardware_concurrency() with a floor of 1 (the
+     * standard allows it to return 0 when unknown).
+     */
+    static std::size_t defaultConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool shutting_down_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Apply `fn` to every element of `items` on the pool and return the
+ * results in input order (a deterministic parallel map). Blocks until
+ * every task finished; the first exception, if any, is rethrown.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool& pool, const std::vector<T>& items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, const T&>>
+{
+    using Result = std::invoke_result_t<Fn, const T&>;
+    std::vector<std::future<Result>> futures;
+    futures.reserve(items.size());
+    for (const T& item : items)
+        futures.push_back(pool.submit([&fn, &item]() { return fn(item); }));
+    std::vector<Result> results;
+    results.reserve(items.size());
+    for (auto& future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_THREAD_POOL_H_

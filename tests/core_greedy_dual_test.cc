@@ -3,8 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/container_pool.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "util/rng.h"
 
 namespace faascache {
 namespace {
@@ -225,6 +232,181 @@ TEST(GreedyDual, SizeOnlyVariantIgnoresFrequency)
 TEST(GreedyDual, NameIsGD)
 {
     EXPECT_EQ(GreedyDualPolicy().name(), "GD");
+}
+
+// ---------------------------------------------------------------------------
+// Engine conformance: the lazy-deletion heap fast path must be
+// observationally identical to the sort-based reference oracle — same
+// victim sequences, same counts — on every workload and every ablation
+// flag combination.
+
+/** The eight use_{frequency,cost,size} combinations. */
+std::vector<GreedyDualConfig>
+ablationConfigs(MemMb batch_free_mb)
+{
+    std::vector<GreedyDualConfig> configs;
+    for (int mask = 0; mask < 8; ++mask) {
+        GreedyDualConfig config;
+        config.use_frequency = (mask & 1) != 0;
+        config.use_cost = (mask & 2) != 0;
+        config.use_size = (mask & 4) != 0;
+        config.batch_free_mb = batch_free_mb;
+        configs.push_back(config);
+    }
+    return configs;
+}
+
+/**
+ * Drives a heap-engine and a sort-engine policy through an identical
+ * randomized invocation stream (one pool each, mirrored operations, so
+ * container ids line up) and asserts every selectVictims call returns
+ * the same victim sequence.
+ */
+void
+runLockstepTrial(GreedyDualConfig config, std::uint64_t seed)
+{
+    GreedyDualConfig heap_config = config;
+    heap_config.eviction_engine = GdEvictionEngine::LazyHeap;
+    GreedyDualConfig sort_config = config;
+    sort_config.eviction_engine = GdEvictionEngine::SortReference;
+
+    const MemMb capacity = 1500;
+    Harness heap(capacity, heap_config);
+    Harness sort(capacity, sort_config);
+
+    Rng rng(seed);
+    std::vector<FunctionSpec> functions;
+    for (FunctionId id = 0; id < 12; ++id) {
+        functions.push_back(fn(id, 50.0 + 25.0 * (id % 7),
+                               200.0 + 100.0 * (id % 3),
+                               500.0 + 400.0 * (id % 5)));
+    }
+
+    TimeUs now = 0;
+    for (int step = 0; step < 600; ++step) {
+        now += static_cast<TimeUs>(rng.uniformInt(2 * kSecond)) + 1;
+        const FunctionSpec& f = functions[rng.uniformInt(functions.size())];
+
+        // Mirror of the simulator's serve path, applied to both pairs.
+        Container* heap_warm = heap.pool.findIdleWarm(f.id);
+        Container* sort_warm = sort.pool.findIdleWarm(f.id);
+        ASSERT_EQ(heap_warm == nullptr, sort_warm == nullptr);
+        if (heap_warm != nullptr) {
+            heap.invokeWarm(*heap_warm, f, now);
+            sort.invokeWarm(*sort_warm, f, now);
+            continue;
+        }
+        if (!heap.pool.fits(f.mem_mb)) {
+            const MemMb needed = f.mem_mb - heap.pool.freeMb();
+            const auto heap_victims =
+                heap.policy.selectVictims(heap.pool, needed, now);
+            const auto sort_victims =
+                sort.policy.selectVictims(sort.pool, needed, now);
+            ASSERT_EQ(heap_victims, sort_victims)
+                << "victim sequences diverged at step " << step;
+
+            MemMb freed = 0;
+            for (ContainerId id : heap_victims)
+                freed += heap.pool.get(id)->memMb();
+            if (freed < needed)
+                continue;  // simulator would drop the request
+            for (ContainerId id : heap_victims) {
+                const FunctionId victim_fn = heap.pool.get(id)->function();
+                heap.policy.onEviction(*heap.pool.get(id),
+                                       heap.pool.countOf(victim_fn) == 1,
+                                       now);
+                heap.pool.remove(id);
+                sort.policy.onEviction(*sort.pool.get(id),
+                                       sort.pool.countOf(victim_fn) == 1,
+                                       now);
+                sort.pool.remove(id);
+            }
+        }
+        heap.invokeCold(f, now);
+        sort.invokeCold(f, now);
+        ASSERT_EQ(heap.pool.size(), sort.pool.size());
+    }
+}
+
+TEST(GreedyDualEngines, PropertyVictimSequencesMatchAcrossAblations)
+{
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        for (const MemMb batch : {0.0, 400.0}) {
+            for (const GreedyDualConfig& config : ablationConfigs(batch)) {
+                SCOPED_TRACE("seed=" + std::to_string(seed) +
+                             " batch=" + std::to_string(batch) +
+                             " freq=" + std::to_string(config.use_frequency) +
+                             " cost=" + std::to_string(config.use_cost) +
+                             " size=" + std::to_string(config.use_size));
+                runLockstepTrial(config, seed);
+            }
+        }
+    }
+}
+
+TEST(GreedyDualEngines, FullSimulationMatchesOracleOnRandomizedTraces)
+{
+    // End-to-end: identical cold/warm/drop counts (and every other
+    // SimResult field) on randomized seeded traces, heap vs oracle,
+    // across all ablation combinations and batching settings.
+    for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        AzureModelConfig trace_config;
+        trace_config.seed = seed;
+        trace_config.num_functions = 80;
+        trace_config.duration_us = 15 * kMinute;
+        trace_config.iat_median_sec = 20.0;
+        trace_config.max_rate_per_sec = 1.0;
+        trace_config.name = "gd-engine-differential";
+        const Trace trace = generateAzureTrace(trace_config);
+
+        for (const MemMb batch : {0.0, 512.0}) {
+            for (GreedyDualConfig config : ablationConfigs(batch)) {
+                SCOPED_TRACE("seed=" + std::to_string(seed) +
+                             " batch=" + std::to_string(batch) +
+                             " freq=" + std::to_string(config.use_frequency) +
+                             " cost=" + std::to_string(config.use_cost) +
+                             " size=" + std::to_string(config.use_size));
+                SimulatorConfig sim;
+                sim.memory_mb = 800.0;  // tight: forces evictions + drops
+                sim.memory_sample_interval_us = kMinute;
+
+                config.eviction_engine = GdEvictionEngine::LazyHeap;
+                const SimResult heap_result = simulateTrace(
+                    trace, std::make_unique<GreedyDualPolicy>(config), sim);
+                config.eviction_engine = GdEvictionEngine::SortReference;
+                const SimResult sort_result = simulateTrace(
+                    trace, std::make_unique<GreedyDualPolicy>(config), sim);
+
+                EXPECT_EQ(heap_result.cold_starts, sort_result.cold_starts);
+                EXPECT_EQ(heap_result.warm_starts, sort_result.warm_starts);
+                EXPECT_EQ(heap_result.dropped, sort_result.dropped);
+                EXPECT_EQ(heap_result.evictions, sort_result.evictions);
+                EXPECT_TRUE(heap_result == sort_result);
+            }
+        }
+    }
+}
+
+TEST(GreedyDualEngines, HeapStaysCompactedUnderChurn)
+{
+    // The lazy heap accumulates superseded snapshots; compaction must
+    // keep it within a constant factor of the live container count.
+    Harness h(100'000);
+    const FunctionSpec f = fn(0, 100, 500, 1000);
+    Container& c = h.invokeCold(f, 0);
+    for (int i = 1; i <= 5000; ++i)
+        h.invokeWarm(c, f, i * kSecond);
+    EXPECT_GT(h.policy.heapSize(), 1000u);  // superseded snapshots pile up
+    // An eviction round (even a no-op one) triggers compaction.
+    (void)h.policy.selectVictims(h.pool, 0, 5001 * kSecond);
+    EXPECT_LE(h.policy.heapSize(), 64u);
+    // After an eviction round that actually pops, the heap shrinks to
+    // O(live) on compaction.
+    for (int i = 0; i < 70; ++i)
+        h.invokeCold(fn(static_cast<FunctionId>(i + 1), 100, 500, 1000),
+                     6000 * kSecond);
+    (void)h.policy.selectVictims(h.pool, 200, 7000 * kSecond);
+    EXPECT_LE(h.policy.heapSize(), 4 * (h.pool.size() + 1));
 }
 
 }  // namespace

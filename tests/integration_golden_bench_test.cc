@@ -1,0 +1,194 @@
+// Golden-trace regression tests: a miniature fixed-seed bench grid
+// (2 policies x 2 memory sizes) is compared field-for-field against a
+// checked-in expected-results fixture, so a future perf PR cannot
+// silently change simulation semantics — any legitimate semantic change
+// must regenerate the fixture and show the diff in review.
+//
+// Regenerate with:
+//   FAASCACHE_REGEN_GOLDEN=1 ./integration_golden_bench_test
+// which rewrites tests/golden/bench_mini.expected in the source tree.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/sweep_runner.h"
+#include "trace/azure_model.h"
+#include "trace/samplers.h"
+
+#ifndef FAASCACHE_GOLDEN_DIR
+#error "FAASCACHE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace faascache {
+namespace {
+
+const char* const kFixturePath =
+    FAASCACHE_GOLDEN_DIR "/bench_mini.expected";
+
+/** The miniature bench population: fixed derived seeds, small scale. */
+const Trace&
+goldenPopulation()
+{
+    static const Trace kPopulation = [] {
+        AzureModelConfig config;
+        config.seed = deriveCellSeed(2021, 1);
+        config.num_functions = 300;
+        config.duration_us = 30 * kMinute;
+        config.iat_median_sec = 60.0;
+        config.max_rate_per_sec = 1.0;
+        config.mem_median_mb = 64.0;
+        config.mem_sigma = 0.7;
+        config.mem_max_mb = 512.0;
+        config.name = "golden-mini-population";
+        return generateAzureTrace(config);
+    }();
+    return kPopulation;
+}
+
+const Trace&
+goldenTrace()
+{
+    static const Trace kTrace =
+        sampleRepresentative(goldenPopulation(), 80, deriveCellSeed(2021, 2));
+    return kTrace;
+}
+
+/** The 2-policy x 2-memory golden grid. */
+std::vector<SweepCell>
+goldenGrid()
+{
+    std::vector<SweepCell> cells;
+    for (MemMb memory_mb : {1024.0, 4096.0}) {
+        for (PolicyKind kind : {PolicyKind::GreedyDual, PolicyKind::Ttl}) {
+            SweepCell cell = makeCell(goldenTrace(), kind, memory_mb);
+            cell.sim.memory_sample_interval_us = kMinute;
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+/**
+ * One fixture line per cell. Integers exactly; the time-weighted mean
+ * memory as hexfloat so the comparison is bit-exact across platforms.
+ */
+std::string
+formatLine(const SimResult& r)
+{
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "%s,%.0f,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
+        ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%zu,%a",
+        r.policy_name.c_str(), r.memory_mb, r.warm_starts, r.cold_starts,
+        r.dropped, r.evictions, r.expirations, r.prewarms,
+        r.eviction_rounds, r.actual_exec_us, r.baseline_exec_us,
+        r.memory_usage.size(), r.meanMemoryUsage());
+    return buffer;
+}
+
+std::vector<std::string>
+currentLines()
+{
+    std::vector<std::string> lines;
+    for (const SimResult& r : runSweep(goldenGrid(), 2))
+        lines.push_back(formatLine(r));
+    return lines;
+}
+
+std::vector<std::string>
+fixtureLines()
+{
+    std::vector<std::string> lines;
+    std::FILE* file = std::fopen(kFixturePath, "r");
+    if (file == nullptr)
+        return lines;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+        std::string line(buffer);
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+            line.pop_back();
+        if (!line.empty() && line.front() != '#')
+            lines.push_back(line);
+    }
+    std::fclose(file);
+    return lines;
+}
+
+bool
+regenRequested()
+{
+    const char* regen = std::getenv("FAASCACHE_REGEN_GOLDEN");
+    return regen != nullptr && regen[0] != '\0' && regen[0] != '0';
+}
+
+TEST(GoldenBench, MiniGridMatchesCheckedInFixture)
+{
+    const std::vector<std::string> current = currentLines();
+
+    if (regenRequested()) {
+        std::FILE* file = std::fopen(kFixturePath, "w");
+        ASSERT_NE(file, nullptr) << "cannot write " << kFixturePath;
+        std::fputs(
+            "# Golden mini-bench grid (2 policies x 2 memory sizes).\n"
+            "# Columns: policy,memory_mb,warm,cold,dropped,evictions,\n"
+            "#   expirations,prewarms,eviction_rounds,actual_exec_us,\n"
+            "#   baseline_exec_us,n_memory_samples,mean_memory_mb(hexfloat)\n"
+            "# Regenerate: FAASCACHE_REGEN_GOLDEN=1 "
+            "./integration_golden_bench_test\n",
+            file);
+        for (const std::string& line : current)
+            std::fprintf(file, "%s\n", line.c_str());
+        std::fclose(file);
+        GTEST_SKIP() << "fixture regenerated at " << kFixturePath;
+    }
+
+    const std::vector<std::string> expected = fixtureLines();
+    ASSERT_FALSE(expected.empty())
+        << "missing fixture " << kFixturePath
+        << " — run FAASCACHE_REGEN_GOLDEN=1 ./integration_golden_bench_test";
+    ASSERT_EQ(expected.size(), current.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], current[i])
+            << "golden cell " << i << " diverged — simulation semantics "
+            << "changed; if intentional, regenerate the fixture and call "
+            << "the change out in review";
+    }
+}
+
+TEST(GoldenBench, GridIsNonTrivial)
+{
+    // The fixture must keep covering real behaviour: warm and cold
+    // starts, evictions, and memory samples all present somewhere.
+    std::int64_t warm = 0, cold = 0, evictions = 0;
+    std::size_t samples = 0;
+    for (const SimResult& r : runSweep(goldenGrid(), 1)) {
+        warm += r.warm_starts;
+        cold += r.cold_starts;
+        evictions += r.evictions;
+        samples += r.memory_usage.size();
+    }
+    EXPECT_GT(warm, 0);
+    EXPECT_GT(cold, 0);
+    EXPECT_GT(evictions, 0);
+    EXPECT_GT(samples, 0u);
+}
+
+TEST(GoldenBench, GridIsJobsInvariant)
+{
+    // The golden values must not depend on the worker count.
+    EXPECT_EQ(currentLines(), [] {
+        std::vector<std::string> lines;
+        for (const SimResult& r : runSweep(goldenGrid(), 8))
+            lines.push_back(formatLine(r));
+        return lines;
+    }());
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,112 @@
+// The fixed-size worker pool under the sweep engine: result delivery
+// through futures, input-order parallelMap, exception propagation, and
+// heavy contention. The tsan CI job runs this suite to catch races.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace faascache {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask)
+{
+    ThreadPool pool(2);
+    std::future<int> result = pool.submit([]() { return 41 + 1; });
+    EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), ThreadPool::defaultConcurrency());
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestsDefaultConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::defaultConcurrency());
+}
+
+TEST(ThreadPool, ForwardsArguments)
+{
+    ThreadPool pool(1);
+    std::future<std::string> result = pool.submit(
+        [](const std::string& a, int b) { return a + std::to_string(b); },
+        std::string("n="), 7);
+    EXPECT_EQ(result.get(), "n=7");
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    std::future<void> result = pool.submit(
+        []() { throw std::runtime_error("cell failed"); });
+    EXPECT_THROW(result.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, CompletesAllTasksUnderContention)
+{
+    ThreadPool pool(8);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i)
+        futures.push_back(pool.submit([&counter]() { ++counter; }));
+    for (auto& future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, DrainsPendingTasksOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter]() { ++counter; });
+        // No explicit waits: the destructor must run every queued task.
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(200);
+    std::iota(items.begin(), items.end(), 0);
+    const std::vector<int> squares =
+        parallelMap(pool, items, [](const int& v) { return v * v; });
+    ASSERT_EQ(squares.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(squares[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ParallelMapOnEmptyInput)
+{
+    ThreadPool pool(4);
+    const std::vector<int> none;
+    EXPECT_TRUE(parallelMap(pool, none, [](const int& v) { return v; })
+                    .empty());
+}
+
+TEST(ThreadPool, ParallelMapRethrowsFirstFailure)
+{
+    ThreadPool pool(2);
+    const std::vector<int> items = {1, 2, 3};
+    EXPECT_THROW(parallelMap(pool, items,
+                             [](const int& v) {
+                                 if (v == 2)
+                                     throw std::invalid_argument("boom");
+                                 return v;
+                             }),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faascache
