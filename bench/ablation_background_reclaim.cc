@@ -6,6 +6,8 @@
  *
  * The reclaimer-setting cells run through the parallel SweepRunner
  * (`--jobs N`); output is byte-identical for any worker count.
+ * Crash-safety flags: `--deadline-s X`, `--retries N`,
+ * `--ckpt PATH [--resume]`; failed cells render as ERR.
  */
 #include <iostream>
 
@@ -48,22 +50,35 @@ main(int argc, char** argv)
         cell.sim.background_free_target_mb = setting.target;
         cells.push_back(std::move(cell));
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
     TablePrinter table({"Reclaimer", "cold %", "exec increase %",
                         "critical-path rounds", "background reclaims"});
     for (std::size_t i = 0; i < std::size(settings); ++i) {
-        const SimResult& r = results[i];
-        table.addRow({settings[i].label,
-                      formatDouble(r.coldStartPercent(), 2),
-                      formatDouble(r.execTimeIncreasePercent(), 2),
-                      std::to_string(r.eviction_rounds),
-                      std::to_string(r.background_reclaims)});
+        const CellOutcome<SimResult>& cell = report.cells[i];
+        table.addRow(
+            {settings[i].label,
+             bench::cellText(
+                 cell,
+                 [](const SimResult& r) { return r.coldStartPercent(); },
+                 2),
+             bench::cellText(
+                 cell,
+                 [](const SimResult& r) {
+                     return r.execTimeIncreasePercent();
+                 },
+                 2),
+             bench::cellCount(
+                 cell,
+                 [](const SimResult& r) { return r.eviction_rounds; }),
+             bench::cellCount(cell, [](const SimResult& r) {
+                 return r.background_reclaims;
+             })});
     }
     table.print(std::cout);
     std::cout << "\nA modest reserve eliminates most slow-path eviction "
                  "rounds from the invocation\npath at a small hit-ratio "
                  "cost (containers die earlier than strictly needed).\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

@@ -8,6 +8,8 @@
  *
  * The (variant x memory) grid runs through the parallel SweepRunner
  * (`--jobs N`); output is byte-identical for any worker count.
+ * Crash-safety flags: `--deadline-s X`, `--retries N`,
+ * `--ckpt PATH [--resume]`; failed cells render as ERR.
  */
 #include <iostream>
 
@@ -72,16 +74,20 @@ main(int argc, char** argv)
             cells.push_back(std::move(cell));
         }
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
     std::size_t next = 0;
     for (const Variant& variant : variants) {
         std::vector<std::string> row = {variant.label};
         for (double gb : sizes_gb) {
             (void)gb;
-            row.push_back(
-                formatDouble(results[next++].execTimeIncreasePercent(), 2));
+            row.push_back(bench::cellText(
+                report.cells[next++],
+                [](const SimResult& r) {
+                    return r.execTimeIncreasePercent();
+                },
+                2));
         }
         table.addRow(std::move(row));
     }
@@ -90,5 +96,5 @@ main(int argc, char** argv)
                  "cost protects expensive\ninitializations, size stops "
                  "big containers from squatting, frequency keeps\nheavy "
                  "hitters resident.\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

@@ -8,7 +8,8 @@
  *
  * The (memory x policy) grid — oracle included — runs through the
  * parallel SweepRunner (`--jobs N`); output is byte-identical for any
- * worker count.
+ * worker count. Crash-safety flags: `--deadline-s X`, `--retries N`,
+ * `--ckpt PATH [--resume]`; failed cells render as ERR.
  */
 #include <iostream>
 
@@ -55,16 +56,21 @@ main(int argc, char** argv)
             cells.push_back(std::move(cell));
         }
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
+    const auto cold_percent = [](const SimResult& r) {
+        return r.coldStartPercent();
+    };
     std::size_t next = 0;
     for (double gb : sizes_gb) {
         std::vector<std::string> row = {formatDouble(gb, 0)};
-        row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
+        row.push_back(
+            bench::cellText(report.cells[next++], cold_percent, 2));
         for (PolicyKind kind : allPolicyKinds()) {
             (void)kind;
-            row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
+            row.push_back(
+                bench::cellText(report.cells[next++], cold_percent, 2));
         }
         table.addRow(std::move(row));
     }
@@ -72,5 +78,5 @@ main(int argc, char** argv)
     std::cout << "\nGreedy-Dual closes most of the gap between the naive "
                  "baselines and the offline\noptimum without any future "
                  "knowledge.\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

@@ -11,7 +11,8 @@
  *
  * The per-size Greedy-Dual simulations run through the parallel
  * SweepRunner (`--jobs N`); output is byte-identical for any worker
- * count.
+ * count. Crash-safety flags: `--deadline-s X`, `--retries N`,
+ * `--ckpt PATH [--resume]`; failed cells render as ERR.
  */
 #include <iostream>
 
@@ -49,28 +50,34 @@ main(int argc, char** argv)
         cell.sim.memory_sample_interval_us = 0;
         cells.push_back(std::move(cell));
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
     TablePrinter table({"Cache size (GB)", "Reuse-dist HR",
                         "SHARDS HR (R=0.1)", "Che approx HR",
                         "Observed GD HR", "GD drops"});
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         const MemMb size_mb = sizes[i];
-        const SimResult& r = results[i];
-        const double observed = r.total() > 0
-            ? static_cast<double>(r.warm_starts) /
-                static_cast<double>(r.total())
-            : 0.0;
+        const CellOutcome<SimResult>& cell = report.cells[i];
         table.addRow({formatDouble(size_mb / 1024.0, 0),
                       formatDouble(exact.hitRatio(size_mb), 3),
                       formatDouble(sampled.hitRatio(size_mb), 3),
                       formatDouble(che.hitRatio(size_mb), 3),
-                      formatDouble(observed, 3),
-                      std::to_string(r.dropped)});
+                      bench::cellText(
+                          cell,
+                          [](const SimResult& r) {
+                              return r.total() > 0
+                                  ? static_cast<double>(r.warm_starts) /
+                                      static_cast<double>(r.total())
+                                  : 0.0;
+                          },
+                          3),
+                      bench::cellCount(cell, [](const SimResult& r) {
+                          return r.dropped;
+                      })});
     }
     table.print(std::cout);
     std::cout << "\nMax achievable hit ratio (compulsory-miss bound): "
               << formatDouble(exact.maxHitRatio(), 3) << "\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

@@ -6,7 +6,9 @@
  * REPRESENTATIVE, RARE, and RANDOM traces.
  *
  * The grid runs through the parallel SweepRunner (`--jobs N`); output
- * is byte-identical for any worker count.
+ * is byte-identical for any worker count. Crash-safety flags:
+ * `--deadline-s X`, `--retries N`, `--ckpt PATH [--resume]`; failed
+ * cells render as ERR instead of aborting the table.
  */
 #include <iostream>
 
@@ -41,7 +43,8 @@ cellsOf(const Subfigure& sub)
 }
 
 void
-printSubfigure(const Subfigure& sub, const std::vector<SimResult>& results)
+printSubfigure(const Subfigure& sub,
+               const std::vector<CellOutcome<SimResult>>& outcomes)
 {
     std::cout << sub.label << " — trace '" << sub.trace.name() << "' ("
               << sub.trace.invocations().size() << " invocations, "
@@ -57,8 +60,12 @@ printSubfigure(const Subfigure& sub, const std::vector<SimResult>& results)
         std::vector<std::string> row = {formatDouble(size_mb / 1024.0, 0)};
         for (PolicyKind kind : allPolicyKinds()) {
             (void)kind;
-            row.push_back(
-                formatDouble(results[next++].execTimeIncreasePercent(), 2));
+            row.push_back(bench::cellText(
+                outcomes[next++],
+                [](const SimResult& r) {
+                    return r.execTimeIncreasePercent();
+                },
+                2));
         }
         table.addRow(std::move(row));
     }
@@ -90,15 +97,15 @@ main(int argc, char** argv)
                      std::make_move_iterator(sub_cells.begin()),
                      std::make_move_iterator(sub_cells.end()));
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
     std::size_t offset = 0;
     for (const Subfigure& sub : subfigures) {
         const std::size_t count =
             sub.sizes.size() * allPolicyKinds().size();
-        printSubfigure(sub, {results.begin() + offset,
-                             results.begin() + offset + count});
+        printSubfigure(sub, {report.cells.begin() + offset,
+                             report.cells.begin() + offset + count});
         offset += count;
     }
     std::cout << "Expected shape (paper §7.1): GD reaches its floor at a "
@@ -106,5 +113,5 @@ main(int argc, char** argv)
                  "representative trace; recency (LRU) dominates on the "
                  "rare and\nrandom traces where TTL pays its 10-minute "
                  "expirations.\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

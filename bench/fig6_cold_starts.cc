@@ -8,7 +8,10 @@
  *
  * The whole (trace x memory x policy) grid runs through the parallel
  * SweepRunner; pass `--jobs N` to pick the worker count (default:
- * hardware concurrency). Output is byte-identical for any N.
+ * hardware concurrency). Output is byte-identical for any N. The
+ * crash-safety flags `--deadline-s X`, `--retries N`, and
+ * `--ckpt PATH [--resume]` bound, retry, and checkpoint/resume the
+ * sweep; failed cells render as ERR instead of aborting the table.
  */
 #include <iostream>
 
@@ -43,7 +46,8 @@ cellsOf(const Subfigure& sub)
 }
 
 void
-printSubfigure(const Subfigure& sub, const std::vector<SimResult>& results)
+printSubfigure(const Subfigure& sub,
+               const std::vector<CellOutcome<SimResult>>& outcomes)
 {
     std::cout << sub.label << " — trace '" << sub.trace.name() << "'\n\n";
 
@@ -57,7 +61,10 @@ printSubfigure(const Subfigure& sub, const std::vector<SimResult>& results)
         std::vector<std::string> row = {formatDouble(size_mb / 1024.0, 0)};
         for (PolicyKind kind : allPolicyKinds()) {
             (void)kind;
-            row.push_back(formatDouble(results[next++].coldStartPercent(), 2));
+            row.push_back(bench::cellText(
+                outcomes[next++],
+                [](const SimResult& r) { return r.coldStartPercent(); },
+                2));
         }
         table.addRow(std::move(row));
     }
@@ -88,16 +95,16 @@ main(int argc, char** argv)
                      std::make_move_iterator(sub_cells.begin()),
                      std::make_move_iterator(sub_cells.end()));
     }
-    const std::vector<SimResult> results =
-        runSweep(cells, bench::jobsFromArgs(argc, argv));
+    const SweepReport report =
+        bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
 
     std::size_t offset = 0;
     for (const Subfigure& sub : subfigures) {
         const std::size_t count =
             sub.sizes.size() * allPolicyKinds().size();
-        printSubfigure(sub, {results.begin() + offset,
-                             results.begin() + offset + count});
+        printSubfigure(sub, {report.cells.begin() + offset,
+                             report.cells.begin() + offset + count});
         offset += count;
     }
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

@@ -33,10 +33,23 @@ main(int argc, char** argv)
               << server.cores << " cores, " << server.memory_mb
               << " MB pool, " << toSeconds(duration) / 60 << " min)\n\n";
 
-    // The OW and FC runs execute concurrently (--jobs N; the output is
-    // byte-identical for any worker count).
-    const PlatformComparison cmp = compareOpenWhiskVsFaasCache(
-        trace, server, {}, bench::jobsFromArgs(argc, argv));
+    // The OW and FC runs execute concurrently under the crash-safety
+    // harness (--jobs N, --deadline-s X, --retries N; the output is
+    // byte-identical for any worker count). The whole table compares
+    // the two runs, so either failing is fatal here.
+    PolicyConfig openwhisk_config;
+    openwhisk_config.ttl_victim_order = TtlVictimOrder::OldestCreated;
+    const std::vector<PlatformCell> cells = {
+        {&trace, PolicyKind::Ttl, server, openwhisk_config, {}},
+        {&trace, PolicyKind::GreedyDual, server, PolicyConfig{}, {}},
+    };
+    const PlatformSweepReport report = bench::runBenchPlatformSweep(
+        cells, bench::parseBenchArgs(argc, argv));
+    if (!report.allOk())
+        return 1;
+    PlatformComparison cmp;
+    cmp.openwhisk = report.cells[0].result;
+    cmp.faascache = report.cells[1].result;
 
     TablePrinter table({"Function", "OW warm", "OW cold", "OW drop",
                         "OW hit%", "FC warm", "FC cold", "FC drop",

@@ -24,10 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "platform/experiment.h"
 #include "sim/sweep_runner.h"
 #include "trace/azure_model.h"
 #include "trace/samplers.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
+#include "util/table.h"
 
 namespace faascache::bench {
 
@@ -113,31 +116,224 @@ smallMemorySweepMb()
     return sizes;
 }
 
+/** Shared bench command-line options (crash-safe sweep driving). */
+struct BenchOptions
+{
+    /** Sweep worker count; 0 = hardware concurrency. */
+    std::size_t jobs = 0;
+
+    /** Per-cell wall-clock deadline, seconds; 0 disables it. */
+    double deadline_s = 0.0;
+
+    /** Extra attempts after a failed or timed-out cell. */
+    int retries = 0;
+
+    /** Checkpoint journal path (SimResult sweeps only). */
+    std::string checkpoint_path;
+
+    /** Restore completed cells from checkpoint_path before running. */
+    bool resume = false;
+};
+
 /**
- * Parse the shared bench command line: `--jobs N` (or `--jobs=N`)
- * selects the sweep worker count; 0 or absence selects
- * hardware_concurrency. Exits with usage on malformed input, so every
- * bench gets the flag by routing main(argc, argv) through here.
+ * Parse the shared bench command line:
+ *   --jobs N        sweep worker count (0/absent = hardware concurrency)
+ *   --deadline-s X  per-cell wall-clock deadline in seconds
+ *   --retries N     extra attempts for failed/timed-out cells
+ *   --ckpt PATH     journal completed cells to PATH as they finish
+ *   --resume        restore completed cells from --ckpt before running
+ * Every flag also accepts the --flag=value form. Exits with usage on
+ * malformed input; unknown arguments are ignored (benches may layer
+ * their own flags).
  */
+inline BenchOptions
+parseBenchArgs(int argc, char** argv)
+{
+    const auto usage = [&]() {
+        std::cerr << "usage: " << argv[0]
+                  << " [--jobs N] [--deadline-s X] [--retries N]"
+                     " [--ckpt PATH [--resume]]\n";
+        std::exit(2);
+    };
+    const auto parse_size = [&](const char* text) -> std::size_t {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(text, &end, 10);
+        if (end == text || *end != '\0')
+            usage();
+        return static_cast<std::size_t>(value);
+    };
+    const auto parse_double = [&](const char* text) -> double {
+        char* end = nullptr;
+        const double value = std::strtod(text, &end);
+        if (end == text || *end != '\0' || value < 0.0)
+            usage();
+        return value;
+    };
+    // Value of `--name V` / `--name=V`, or nullptr when argv[i] is not
+    // this flag; advances i past a detached value.
+    const auto value_of = [&](const char* name, int& i) -> const char* {
+        const std::size_t len = std::strlen(name);
+        if (std::strcmp(argv[i], name) == 0) {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        }
+        if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+            return argv[i] + len + 1;
+        return nullptr;
+    };
+
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (const char* v = value_of("--jobs", i))
+            options.jobs = parse_size(v);
+        else if (const char* v = value_of("--deadline-s", i))
+            options.deadline_s = parse_double(v);
+        else if (const char* v = value_of("--retries", i))
+            options.retries = static_cast<int>(parse_size(v));
+        else if (const char* v = value_of("--ckpt", i))
+            options.checkpoint_path = v;
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            options.resume = true;
+    }
+    if (options.resume && options.checkpoint_path.empty()) {
+        std::cerr << argv[0] << ": --resume requires --ckpt PATH\n";
+        std::exit(2);
+    }
+    return options;
+}
+
+/** Legacy shim: the worker count alone. */
 inline std::size_t
 jobsFromArgs(int argc, char** argv)
 {
-    const auto parse = [&](const char* text) -> std::size_t {
-        char* end = nullptr;
-        const unsigned long value = std::strtoul(text, &end, 10);
-        if (end == text || *end != '\0') {
-            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
-            std::exit(2);
-        }
-        return static_cast<std::size_t>(value);
-    };
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            return parse(argv[i + 1]);
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            return parse(argv[i] + 7);
+    return parseBenchArgs(argc, argv).jobs;
+}
+
+/**
+ * Non-ok cells, rendered one per line to `err` (empty report prints
+ * nothing). @return the number of cells that did not produce a result.
+ */
+template <typename Result>
+inline std::size_t
+reportCellIssues(const std::vector<CellOutcome<Result>>& cells,
+                 std::ostream& err)
+{
+    std::size_t issues = 0;
+    for (const CellOutcome<Result>& cell : cells) {
+        if (cell.ok())
+            continue;
+        ++issues;
+        err << "ERR cell " << cell.key << " ["
+            << cellStatusName(cell.status) << "]: " << cell.error;
+        if (cell.attempts > 1)
+            err << " (after " << cell.attempts << " attempts)";
+        err << "\n";
     }
-    return 0;
+    return issues;
+}
+
+/**
+ * Run a SimResult sweep under the crash-safety harness with the bench's
+ * shared behaviour:
+ *  - SIGINT/SIGTERM cancel outstanding cells, completed cells are kept
+ *    (and journaled when --ckpt is set), and the bench exits 128+sig;
+ *  - --ckpt journals every completed cell; --resume restores from the
+ *    journal and re-runs only missing cells;
+ *  - failed/timed-out cells are reported to stderr and rendered as ERR
+ *    by the caller's table (cellText below); they never abort the run.
+ */
+inline SweepReport
+runBenchSweep(const std::vector<SweepCell>& cells,
+              const BenchOptions& options)
+{
+    CancellationToken cancel;
+    ScopedSignalCancellation signals(cancel);
+
+    SweepOptions sweep;
+    sweep.deadline_s = options.deadline_s;
+    sweep.max_retries = options.retries;
+    sweep.checkpoint_path = options.checkpoint_path;
+    sweep.resume = options.resume;
+    sweep.cancel = &cancel;
+
+    SweepReport report = runSweepReport(cells, options.jobs, sweep);
+    if (report.restored > 0) {
+        std::cerr << "sweep: restored " << report.restored << " of "
+                  << report.cells.size() << " cells from checkpoint "
+                  << options.checkpoint_path << "\n";
+    }
+    if (!report.completed) {
+        const std::size_t done =
+            report.countWithStatus(CellStatus::Ok);
+        std::cerr << "sweep: interrupted by signal "
+                  << ScopedSignalCancellation::lastSignal() << "; "
+                  << done << " of " << report.cells.size()
+                  << " cells completed";
+        if (!options.checkpoint_path.empty())
+            std::cerr << " (journaled to " << options.checkpoint_path
+                      << "; rerun with --resume to continue)";
+        std::cerr << "\n";
+        std::exit(128 + ScopedSignalCancellation::lastSignal());
+    }
+    reportCellIssues(report.cells, std::cerr);
+    return report;
+}
+
+/** Like runBenchSweep, for platform sweeps (no checkpoint support). */
+inline PlatformSweepReport
+runBenchPlatformSweep(const std::vector<PlatformCell>& cells,
+                      const BenchOptions& options)
+{
+    if (!options.checkpoint_path.empty() || options.resume) {
+        std::cerr << "platform sweeps do not support --ckpt/--resume "
+                     "(runs are few and fast; checkpointing covers the "
+                     "SimResult sweep engine)\n";
+        std::exit(2);
+    }
+    CancellationToken cancel;
+    ScopedSignalCancellation signals(cancel);
+
+    PlatformSweepOptions sweep;
+    sweep.deadline_s = options.deadline_s;
+    sweep.max_retries = options.retries;
+    sweep.cancel = &cancel;
+
+    PlatformSweepReport report =
+        runPlatformSweepReport(cells, options.jobs, sweep);
+    if (!report.completed) {
+        std::cerr << "sweep: interrupted by signal "
+                  << ScopedSignalCancellation::lastSignal() << "; "
+                  << report.countWithStatus(CellStatus::Ok) << " of "
+                  << report.cells.size() << " cells completed\n";
+        std::exit(128 + ScopedSignalCancellation::lastSignal());
+    }
+    reportCellIssues(report.cells, std::cerr);
+    return report;
+}
+
+/**
+ * Table text of one cell metric: formatDouble(metric(result)) when the
+ * cell produced a result, the explicit "ERR" marker otherwise.
+ */
+template <typename Result, typename Metric>
+inline std::string
+cellText(const CellOutcome<Result>& cell, Metric metric, int precision)
+{
+    if (!cell.ok())
+        return "ERR";
+    return formatDouble(metric(cell.result), precision);
+}
+
+/** Table text of one integral cell metric ("ERR" when the cell has no
+ *  result). */
+template <typename Result, typename Metric>
+inline std::string
+cellCount(const CellOutcome<Result>& cell, Metric metric)
+{
+    if (!cell.ok())
+        return "ERR";
+    return std::to_string(metric(cell.result));
 }
 
 }  // namespace faascache::bench

@@ -279,8 +279,16 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         switch (event.kind) {
           case ClusterEvent::Kind::Crash: {
             const CrashEvent& ce = config.faults.crashes[event.index];
-            if (down[ce.server])
+            if (down[ce.server]) {
+                // A restart due at this same instant may be queued
+                // behind this event (FIFO tie-break). Defer the crash
+                // once — reusing `attempt` as the deferral mark — so
+                // the restart runs first; still-down on the second
+                // pass means a wider outage absorbs this crash.
+                if (event.attempt == 0)
+                    push(now, ClusterEvent::Kind::Crash, event.index, 1);
                 break;
+            }
             const Server::CrashFallout fallout =
                 servers[ce.server]->crash(now);
             down[ce.server] = 1;

@@ -1,10 +1,58 @@
 #include "platform/experiment.h"
 
+#include <cstdio>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "util/thread_pool.h"
 
 namespace faascache {
+
+namespace {
+
+/** @throws std::invalid_argument naming the first malformed cell. */
+void
+validatePlatformCells(const std::vector<PlatformCell>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].trace == nullptr)
+            throw std::invalid_argument(
+                "runPlatformSweep: cell without a trace (cell index " +
+                std::to_string(i) + ")");
+    }
+}
+
+/** Effective keys: cell.key or "<trace>/<policy>/<mem>", deduplicated. */
+std::vector<std::string>
+platformCellKeys(const std::vector<PlatformCell>& cells)
+{
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    std::unordered_set<std::string> used;
+    for (const PlatformCell& cell : cells) {
+        std::string key = cell.key;
+        if (key.empty()) {
+            char mem[32];
+            std::snprintf(mem, sizeof mem, "%g", cell.server.memory_mb);
+            key = cell.trace->name() + "/" + policyKindName(cell.kind) +
+                "/" + mem + "MB";
+        }
+        if (!used.insert(key).second) {
+            for (int n = 2;; ++n) {
+                std::string candidate = key + "#" + std::to_string(n);
+                if (used.insert(candidate).second) {
+                    key = std::move(candidate);
+                    break;
+                }
+            }
+        }
+        keys.push_back(std::move(key));
+    }
+    return keys;
+}
+
+}  // namespace
 
 double
 PlatformComparison::warmStartRatio() const
@@ -45,15 +93,82 @@ runPlatform(const Trace& trace, PolicyKind kind,
 std::vector<PlatformResult>
 runPlatformSweep(const std::vector<PlatformCell>& cells, std::size_t jobs)
 {
-    for (const PlatformCell& cell : cells) {
-        if (cell.trace == nullptr)
-            throw std::invalid_argument(
-                "runPlatformSweep: cell without a trace");
-    }
+    validatePlatformCells(cells);
     ThreadPool pool(jobs);
     return parallelMap(pool, cells, [](const PlatformCell& cell) {
         return runPlatform(*cell.trace, cell.kind, cell.server, cell.policy);
     });
+}
+
+std::size_t
+PlatformSweepReport::countWithStatus(CellStatus status) const
+{
+    std::size_t count = 0;
+    for (const CellOutcome<PlatformResult>& cell : cells)
+        count += cell.status == status ? 1 : 0;
+    return count;
+}
+
+bool
+PlatformSweepReport::allOk() const
+{
+    return countWithStatus(CellStatus::Ok) == cells.size();
+}
+
+std::vector<PlatformResult>
+PlatformSweepReport::results() const
+{
+    std::vector<PlatformResult> out;
+    out.reserve(cells.size());
+    for (const CellOutcome<PlatformResult>& cell : cells)
+        out.push_back(cell.result);
+    return out;
+}
+
+PlatformSweepReport
+runPlatformSweepReport(const std::vector<PlatformCell>& cells,
+                       std::size_t jobs,
+                       const PlatformSweepOptions& options)
+{
+    validatePlatformCells(cells);
+    const std::vector<std::string> keys = platformCellKeys(cells);
+
+    PlatformSweepReport report;
+    report.cells.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        report.cells[i].key = keys[i];
+
+    CellHarnessOptions harness;
+    harness.deadline_s = options.deadline_s;
+    harness.max_retries = options.max_retries;
+    harness.cancel = options.cancel;
+
+    ThreadPool pool(jobs);
+    report.completed = runHarnessedCells(
+        pool, report.cells,
+        [&cells](std::size_t index, int /*attempt*/,
+                 const CancellationToken& token) {
+            const PlatformCell& cell = cells[index];
+            ServerConfig server = cell.server;
+            server.cancel = &token;
+            return runPlatform(*cell.trace, cell.kind, server,
+                               cell.policy);
+        },
+        [](std::size_t, const CellOutcome<PlatformResult>&) {},
+        harness);
+
+    if (options.strict) {
+        for (const CellOutcome<PlatformResult>& cell : report.cells) {
+            if (cell.ok())
+                continue;
+            if (cell.exception)
+                std::rethrow_exception(cell.exception);
+            throw std::runtime_error(
+                "runPlatformSweepReport: cell " + cell.key + " " +
+                cellStatusName(cell.status) + ": " + cell.error);
+        }
+    }
+    return report;
 }
 
 PlatformComparison
@@ -69,9 +184,9 @@ compareOpenWhiskVsFaasCache(const Trace& trace,
     openwhisk_config.ttl_victim_order = TtlVictimOrder::OldestCreated;
 
     PlatformCell openwhisk{&trace, PolicyKind::Ttl, server_config,
-                           openwhisk_config};
+                           openwhisk_config, {}};
     PlatformCell faascache{&trace, PolicyKind::GreedyDual, server_config,
-                           policy_config};
+                           policy_config, {}};
     std::vector<PlatformResult> results =
         runPlatformSweep({openwhisk, faascache}, jobs);
 

@@ -11,11 +11,14 @@
 #ifndef FAASCACHE_PLATFORM_EXPERIMENT_H_
 #define FAASCACHE_PLATFORM_EXPERIMENT_H_
 
+#include <string>
 #include <vector>
 
 #include "core/policy_factory.h"
 #include "platform/server.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
+#include "util/cell_harness.h"
 
 namespace faascache {
 
@@ -48,14 +51,69 @@ struct PlatformCell
     PolicyKind kind = PolicyKind::GreedyDual;
     ServerConfig server;
     PolicyConfig policy;
+
+    /**
+     * Stable cell identity for error reports. Leave empty to have the
+     * runner derive "<trace>/<policy>/<memory>" (with a "#n" suffix on
+     * duplicates).
+     */
+    std::string key;
 };
 
 /**
  * Run every cell on a fixed-size worker pool and return the results in
  * cell order (deterministic for any jobs; 0 = hardware concurrency).
+ * Rethrows the first cell failure, if any (strict mode).
  */
 std::vector<PlatformResult> runPlatformSweep(
     const std::vector<PlatformCell>& cells, std::size_t jobs = 0);
+
+/** Crash-safety knobs for runPlatformSweepReport(). */
+struct PlatformSweepOptions
+{
+    /** Per-attempt wall-clock deadline, seconds; 0 disables it. */
+    double deadline_s = 0.0;
+
+    /** Extra attempts after a failed or timed-out first attempt. */
+    int max_retries = 0;
+
+    /** Rethrow the first cell failure instead of reporting it. */
+    bool strict = false;
+
+    /** External cancellation (non-owning; may be null). */
+    const CancellationToken* cancel = nullptr;
+};
+
+/** Everything a harnessed platform sweep produced. */
+struct PlatformSweepReport
+{
+    /** Per-cell outcomes, indexed like the input grid. */
+    std::vector<CellOutcome<PlatformResult>> cells;
+
+    /** False when external cancellation stopped the sweep early. */
+    bool completed = true;
+
+    std::size_t countWithStatus(CellStatus status) const;
+    bool allOk() const;
+
+    /** results()[i] is cells[i].result. @pre allOk(). */
+    std::vector<PlatformResult> results() const;
+};
+
+/**
+ * Harnessed flavour of runPlatformSweep(): every cell resolves to a
+ * CellOutcome (ok | failed | timed_out | skipped) with watchdog
+ * deadlines, bounded retry, and clean external cancellation — one
+ * poisoned cell no longer aborts the sweep. Platform sweeps are small
+ * (a handful of head-to-head runs), so they have no checkpoint
+ * journal; use the SimResult sweep engine for checkpointable grids.
+ *
+ * @throws std::invalid_argument for a malformed cell (null trace),
+ *         naming the offending cell index.
+ */
+PlatformSweepReport runPlatformSweepReport(
+    const std::vector<PlatformCell>& cells, std::size_t jobs = 0,
+    const PlatformSweepOptions& options = {});
 
 /**
  * Run the vanilla-OpenWhisk vs FaasCache comparison. The two runs are

@@ -336,8 +336,19 @@ Server::handleEvent(const Event& event)
       case EventKind::Crash: {
         // Self-scheduled (standalone run()) crash: there is no front
         // end to fail the spilled work over to, so it is lost here.
-        if (down_)
+        if (down_) {
+            // A restart due at this very instant may still be queued
+            // behind this event (same-timestamp FIFO tie-break). Defer
+            // the crash once so the restart runs first; if the server
+            // is still down on the second pass, the crash sits inside
+            // a wider outage and is absorbed by it.
+            if (!crash_deferred_[static_cast<std::size_t>(event.payload)]) {
+                crash_deferred_[static_cast<std::size_t>(event.payload)] =
+                    1;
+                events_.push(now, EventKind::Crash, event.payload);
+            }
             break;
+        }
         assert(injector_ != nullptr);
         const CrashEvent& ce =
             injector_->crashes()[static_cast<std::size_t>(event.payload)];
@@ -462,12 +473,16 @@ Server::run(const Trace& trace)
     }
     if (injector_ != nullptr) {
         const auto& crashes = injector_->crashes();
+        crash_deferred_.assign(crashes.size(), 0);
         for (std::size_t k = 0; k < crashes.size(); ++k)
             events_.push(crashes[k].at_us, EventKind::Crash, k);
     }
 
-    while (!events_.empty())
+    while (!events_.empty()) {
+        if (config_.cancel != nullptr)
+            config_.cancel->throwIfCancelled();
         handleEvent(events_.pop());
+    }
 
     return closeRun(horizon);
 }

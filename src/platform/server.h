@@ -42,6 +42,7 @@
 #include "platform/fault_injection.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
 #include "util/stats.h"
 
 namespace faascache {
@@ -75,6 +76,14 @@ struct ServerConfig
      * observes, where cold-start storms drive OpenWhisk into overload.
      */
     int cold_start_cpu_slots = 1;
+
+    /**
+     * Cooperative cancellation (non-owning; may be null). Checked once
+     * per processed event in run(), so a watchdog or signal handler can
+     * unwind a long replay promptly (CancelledError propagates out of
+     * run()). Never perturbs the results of a run that completes.
+     */
+    const CancellationToken* cancel = nullptr;
 
     /**
      * Check invariants (positive cores/memory/capacity/periods,
@@ -322,6 +331,10 @@ class Server
 
     bool down_ = false;
     TimeUs down_since_ = 0;
+
+    /** Per-crash-event one-shot deferral marks: a crash arriving while
+     *  down is requeued once so a same-instant restart runs first. */
+    std::vector<char> crash_deferred_;
 
     /** Running invocations by container id. */
     std::unordered_map<ContainerId, Inflight> inflight_;

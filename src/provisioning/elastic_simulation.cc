@@ -49,6 +49,7 @@ runElasticSimulation(const Trace& trace,
 
     SimulatorConfig sim_config;
     sim_config.memory_mb = elastic_config.initial_size_mb;
+    sim_config.cancel = elastic_config.cancel;
     Simulator sim(trace, std::move(policy), sim_config);
 
     ElasticResult result;

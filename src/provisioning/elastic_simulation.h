@@ -46,6 +46,13 @@ struct ElasticConfig
      * (the default) leaves the controller untouched.
      */
     std::vector<CapacityLossWindow> capacity_loss;
+
+    /**
+     * Cooperative cancellation (non-owning; may be null), forwarded to
+     * the inner Simulator so each step checks it; a cancelled run
+     * throws CancelledError out of runElasticSimulation().
+     */
+    const CancellationToken* cancel = nullptr;
 };
 
 /** One controller period's observations. */

@@ -142,6 +142,8 @@ void
 Simulator::step()
 {
     assert(!done());
+    if (config_.cancel != nullptr)
+        config_.cancel->throwIfCancelled();
     const Invocation& inv = trace_.invocations()[next_invocation_++];
     const FunctionSpec& spec = trace_.function(inv.function);
     now_ = inv.arrival_us;

@@ -27,6 +27,7 @@
 #include "core/keepalive_policy.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
 
 namespace faascache {
 
@@ -51,6 +52,16 @@ struct SimulatorConfig
 
     /** Free-memory target the background reclaimer maintains, MB. */
     MemMb background_free_target_mb = 1000.0;
+
+    /**
+     * Cooperative cancellation (non-owning; may be null). Checked at
+     * every step() so a watchdog or signal handler can unwind a
+     * long-running replay promptly; a cancelled simulation throws
+     * CancelledError out of step()/run(). Does not perturb results:
+     * a run that is never cancelled is byte-identical with or without
+     * a token installed.
+     */
+    const CancellationToken* cancel = nullptr;
 
     /**
      * Check invariants (positive capacity, non-negative intervals).

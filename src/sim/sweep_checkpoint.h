@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Append-only checkpoint journal for sweep results (checkpoint/resume).
+ *
+ * A sweep over an Azure-scale trace replays days of simulated time per
+ * cell; a killed process must not discard every completed cell. The
+ * journal makes completed work durable:
+ *
+ *   faascache-sweep-ckpt v1 fp=<grid fingerprint, 16 hex digits>
+ *   cell <fnv1a64 checksum> <payload>
+ *   cell <fnv1a64 checksum> <payload>
+ *   ...
+ *
+ * One record per completed cell, appended and flushed as cells finish
+ * (completion order — the journal is unordered; final output order
+ * comes from the sweep grid). The payload is a full-fidelity text
+ * encoding of the cell's stable key plus its SimResult: integers in
+ * decimal, doubles in C hexfloat (`%a`), so a restored result is
+ * field-for-field — bit-for-bit for doubles — equal to the simulated
+ * one. That exactness is what makes a `--resume` run byte-identical to
+ * an uninterrupted one.
+ *
+ * Robustness rules on load:
+ *  - the header's grid fingerprint identifies the sweep (trace
+ *    contents, cell keys, memory axis, simulator knobs, seeds); the
+ *    runner refuses to resume under a different fingerprint;
+ *  - records are validated line by line (structure + checksum); the
+ *    first invalid or unterminated line ends the valid prefix — a torn
+ *    tail from a mid-write SIGKILL is truncated with a warning and its
+ *    cells are simply re-run;
+ *  - duplicate keys keep the last record (idempotent re-appends).
+ */
+#ifndef FAASCACHE_SIM_SWEEP_CHECKPOINT_H_
+#define FAASCACHE_SIM_SWEEP_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/sim_result.h"
+
+namespace faascache {
+
+/** FNV-1a 64-bit hash (the journal's record checksum). */
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** One journaled cell. */
+struct SweepCheckpointRecord
+{
+    std::string key;
+    SimResult result;
+};
+
+/** What loadSweepCheckpoint() recovered from a journal file. */
+struct SweepCheckpointLoad
+{
+    /** Grid fingerprint the journal was written for. */
+    std::uint64_t fingerprint = 0;
+
+    /** Validated records, file order (duplicates not yet collapsed). */
+    std::vector<SweepCheckpointRecord> records;
+
+    /** Byte length of the valid prefix (header + intact records). */
+    std::size_t valid_bytes = 0;
+
+    /** Data past the valid prefix existed (torn tail — a record cut by
+     *  a crash mid-write) and was discarded. */
+    bool torn_tail = false;
+};
+
+/**
+ * Read and validate a checkpoint journal.
+ * @throws std::runtime_error when the file cannot be read or its
+ *         header is not a faascache sweep checkpoint.
+ */
+SweepCheckpointLoad loadSweepCheckpoint(const std::string& path);
+
+/** Appends completed-cell records to a journal file. Thread-safe. */
+class SweepCheckpointWriter
+{
+  public:
+    /**
+     * Start a fresh journal at `path` (truncating any previous file)
+     * with the sweep's grid fingerprint in the header.
+     * @throws std::runtime_error when the file cannot be created.
+     */
+    static SweepCheckpointWriter beginFresh(const std::string& path,
+                                            std::uint64_t fingerprint);
+
+    /**
+     * Reopen an existing journal for appending after a resume:
+     * truncates the file to `valid_bytes` (discarding any torn tail)
+     * and appends after it.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    static SweepCheckpointWriter continueAt(const std::string& path,
+                                            std::size_t valid_bytes);
+
+    SweepCheckpointWriter(SweepCheckpointWriter&&) noexcept;
+    SweepCheckpointWriter& operator=(SweepCheckpointWriter&&) noexcept;
+    ~SweepCheckpointWriter();
+
+    /** Append one completed cell and flush it to the OS. Thread-safe. */
+    void append(const std::string& key, const SimResult& result);
+
+    const std::string& path() const;
+
+  private:
+    struct Impl;
+    explicit SweepCheckpointWriter(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * @name Record codec (exposed for tests)
+ * The payload is `<key> <policy> <fields...>` with keys/names
+ * percent-escaped and doubles in hexfloat; see the file comment.
+ * @{
+ */
+std::string encodeCheckpointPayload(const std::string& key,
+                                    const SimResult& result);
+
+/** @return false when the payload is malformed. */
+bool decodeCheckpointPayload(const std::string& payload, std::string* key,
+                             SimResult* result);
+/** @} */
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_SIM_SWEEP_CHECKPOINT_H_

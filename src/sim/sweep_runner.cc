@@ -1,11 +1,74 @@
 #include "sim/sweep_runner.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "sim/sweep_checkpoint.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace faascache {
+
+namespace {
+
+/** @throws std::invalid_argument naming the first malformed cell. */
+void
+validateCells(const std::vector<SweepCell>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].trace == nullptr)
+            throw std::invalid_argument(
+                "SweepRunner: cell without a trace (cell index " +
+                std::to_string(i) + ")");
+        if (!cells[i].make_policy)
+            throw std::invalid_argument(
+                "SweepRunner: cell without a policy (cell index " +
+                std::to_string(i) + ")");
+    }
+}
+
+std::string
+defaultCellKey(const SweepCell& cell)
+{
+    // The policy factory must be pure, so building one instance just to
+    // read its name is side-effect free.
+    const std::string policy_name = cell.make_policy()->name();
+    char mem[32];
+    std::snprintf(mem, sizeof mem, "%g", cell.sim.memory_mb);
+    return cell.trace->name() + "/" + policy_name + "/" + mem + "MB";
+}
+
+void
+hashHexDouble(std::ostringstream& out, double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", value);
+    out << buf << ';';
+}
+
+std::uint64_t
+traceFingerprint(const Trace& trace)
+{
+    std::ostringstream out;
+    out << trace.name() << ';';
+    for (const FunctionSpec& spec : trace.functions()) {
+        out << spec.id << ';' << spec.name << ';';
+        hashHexDouble(out, spec.mem_mb);
+        hashHexDouble(out, spec.cpu_units);
+        hashHexDouble(out, spec.io_units);
+        out << spec.warm_us << ';' << spec.cold_us << ';';
+    }
+    for (const Invocation& inv : trace.invocations())
+        out << inv.function << ',' << inv.arrival_us << ';';
+    return fnv1a64(out.str());
+}
+
+}  // namespace
 
 SweepCell
 makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
@@ -28,6 +91,88 @@ deriveCellSeed(std::uint64_t base_seed, std::uint64_t cell_key)
     // deriveCellSeed(a, b) != deriveCellSeed(b, a).
     return Rng::hashMix(Rng::hashMix(base_seed ^ 0x9e3779b97f4a7c15ULL) +
                         Rng::hashMix(cell_key));
+}
+
+std::vector<std::string>
+sweepCellKeys(const std::vector<SweepCell>& cells)
+{
+    validateCells(cells);
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    std::unordered_set<std::string> used;
+    for (const SweepCell& cell : cells) {
+        std::string key =
+            cell.key.empty() ? defaultCellKey(cell) : cell.key;
+        if (!used.insert(key).second) {
+            // Later duplicates get "#2", "#3", ... so every cell has a
+            // distinct checkpoint identity.
+            for (int n = 2;; ++n) {
+                std::string candidate =
+                    key + "#" + std::to_string(n);
+                if (used.insert(candidate).second) {
+                    key = std::move(candidate);
+                    break;
+                }
+            }
+        }
+        keys.push_back(std::move(key));
+    }
+    return keys;
+}
+
+std::uint64_t
+sweepGridFingerprint(const std::vector<SweepCell>& cells)
+{
+    const std::vector<std::string> keys = sweepCellKeys(cells);
+    // Traces are shared across the grid; hash each distinct one once.
+    std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
+    std::ostringstream out;
+    out << "faascache-sweep-grid-v1;" << cells.size() << ';';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell& cell = cells[i];
+        auto it = trace_hashes.find(cell.trace);
+        if (it == trace_hashes.end())
+            it = trace_hashes
+                     .emplace(cell.trace, traceFingerprint(*cell.trace))
+                     .first;
+        out << keys[i] << ';';
+        char trace_hash[24];
+        std::snprintf(trace_hash, sizeof trace_hash, "%016" PRIx64,
+                      it->second);
+        out << trace_hash << ';';
+        hashHexDouble(out, cell.sim.memory_mb);
+        out << cell.sim.memory_sample_interval_us << ';'
+            << (cell.sim.enable_prewarm ? 1 : 0) << ';'
+            << cell.sim.background_reclaim_interval_us << ';';
+        hashHexDouble(out, cell.sim.background_free_target_mb);
+        out << cell.rng_seed << ';';
+    }
+    return fnv1a64(out.str());
+}
+
+std::size_t
+SweepReport::countWithStatus(CellStatus status) const
+{
+    std::size_t count = 0;
+    for (const CellOutcome<SimResult>& cell : cells)
+        count += cell.status == status ? 1 : 0;
+    return count;
+}
+
+bool
+SweepReport::allOk() const
+{
+    return countWithStatus(CellStatus::Ok) == cells.size();
+}
+
+std::vector<SimResult>
+SweepReport::results() const
+{
+    std::vector<SimResult> out;
+    out.reserve(cells.size());
+    for (const CellOutcome<SimResult>& cell : cells)
+        out.push_back(cell.result);
+    return out;
 }
 
 struct SweepRunner::Impl
@@ -53,15 +198,111 @@ SweepRunner::jobs() const
 std::vector<SimResult>
 SweepRunner::run(const std::vector<SweepCell>& cells)
 {
-    for (const SweepCell& cell : cells) {
-        if (cell.trace == nullptr)
-            throw std::invalid_argument("SweepRunner: cell without a trace");
-        if (!cell.make_policy)
-            throw std::invalid_argument("SweepRunner: cell without a policy");
+    SweepOptions options;
+    options.strict = true;
+    return runReport(cells, options).results();
+}
+
+SweepReport
+SweepRunner::runReport(const std::vector<SweepCell>& cells,
+                       const SweepOptions& options)
+{
+    validateCells(cells);
+    if (options.resume && options.checkpoint_path.empty())
+        throw std::invalid_argument(
+            "SweepRunner: resume requested without a checkpoint path");
+
+    const std::vector<std::string> keys = sweepCellKeys(cells);
+
+    SweepReport report;
+    report.cells.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        report.cells[i].key = keys[i];
+
+    const bool journaling = !options.checkpoint_path.empty();
+    std::uint64_t fingerprint = 0;
+    if (journaling)
+        fingerprint = sweepGridFingerprint(cells);
+
+    // Restore journaled cells before anything runs.
+    std::unique_ptr<SweepCheckpointWriter> writer;
+    if (options.resume) {
+        SweepCheckpointLoad load =
+            loadSweepCheckpoint(options.checkpoint_path);
+        if (load.fingerprint != fingerprint) {
+            char want[24], got[24];
+            std::snprintf(want, sizeof want, "%016" PRIx64, fingerprint);
+            std::snprintf(got, sizeof got, "%016" PRIx64,
+                          load.fingerprint);
+            throw std::runtime_error(
+                "SweepRunner: checkpoint " + options.checkpoint_path +
+                " belongs to a different sweep grid (fingerprint " +
+                got + ", this grid is " + want +
+                "); refusing to resume");
+        }
+        if (load.torn_tail) {
+            report.torn_tail = true;
+            std::fprintf(stderr,
+                         "sweep: checkpoint %s has a torn tail (record "
+                         "cut mid-write); truncating to %zu valid bytes "
+                         "and re-running the affected cell\n",
+                         options.checkpoint_path.c_str(),
+                         load.valid_bytes);
+        }
+        std::unordered_map<std::string, const SimResult*> restored;
+        for (const SweepCheckpointRecord& record : load.records)
+            restored[record.key] = &record.result;  // last record wins
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto it = restored.find(keys[i]);
+            if (it == restored.end())
+                continue;
+            report.cells[i].status = CellStatus::Ok;
+            report.cells[i].result = *it->second;
+            report.cells[i].restored = true;
+            ++report.restored;
+        }
+        writer = std::make_unique<SweepCheckpointWriter>(
+            SweepCheckpointWriter::continueAt(options.checkpoint_path,
+                                              load.valid_bytes));
+    } else if (journaling) {
+        writer = std::make_unique<SweepCheckpointWriter>(
+            SweepCheckpointWriter::beginFresh(options.checkpoint_path,
+                                              fingerprint));
     }
-    return parallelMap(impl_->pool, cells, [](const SweepCell& cell) {
-        return simulateTrace(*cell.trace, cell.make_policy(), cell.sim);
-    });
+
+    CellHarnessOptions harness;
+    harness.deadline_s = options.deadline_s;
+    harness.max_retries = options.max_retries;
+    harness.cancel = options.cancel;
+
+    report.completed = runHarnessedCells(
+        impl_->pool, report.cells,
+        [&cells](std::size_t index, int /*attempt*/,
+                 const CancellationToken& token) {
+            const SweepCell& cell = cells[index];
+            SimulatorConfig config = cell.sim;
+            config.cancel = &token;
+            return simulateTrace(*cell.trace, cell.make_policy(), config);
+        },
+        [&writer](std::size_t /*index*/,
+                  const CellOutcome<SimResult>& outcome) {
+            if (writer)
+                writer->append(outcome.key, outcome.result);
+        },
+        harness);
+
+    if (options.strict) {
+        for (const CellOutcome<SimResult>& cell : report.cells) {
+            if (cell.ok())
+                continue;
+            if (cell.exception)
+                std::rethrow_exception(cell.exception);
+            throw std::runtime_error("SweepRunner: cell " + cell.key +
+                                     " " + cellStatusName(cell.status) +
+                                     ": " + cell.error);
+        }
+    }
+    return report;
 }
 
 std::vector<SimResult>
@@ -69,6 +310,14 @@ runSweep(const std::vector<SweepCell>& cells, std::size_t jobs)
 {
     SweepRunner runner(jobs);
     return runner.run(cells);
+}
+
+SweepReport
+runSweepReport(const std::vector<SweepCell>& cells, std::size_t jobs,
+               const SweepOptions& options)
+{
+    SweepRunner runner(jobs);
+    return runner.runReport(cells, options);
 }
 
 }  // namespace faascache

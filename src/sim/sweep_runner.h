@@ -1,6 +1,6 @@
 /**
  * @file
- * The deterministic parallel experiment engine.
+ * The deterministic, crash-safe parallel experiment engine.
  *
  * Every figure/table bench replays a grid of independent simulation
  * cells — (trace sample, policy spec, memory_mb) tuples. The SweepRunner
@@ -17,6 +17,28 @@
  *  - any stochastic behaviour a cell needs must flow through the cell's
  *    `rng_seed`, which callers derive per cell via deriveCellSeed() so
  *    adding, removing, or reordering other cells never perturbs it.
+ *
+ * Crash-safety (this layer's robustness contract, DESIGN.md §4b):
+ *  - **Failure isolation** — runReport() resolves every cell to a
+ *    CellOutcome (ok | failed | timed_out | skipped) instead of letting
+ *    one poisoned cell abort the sweep; run() keeps the historical
+ *    strict throw-on-first-failure semantics.
+ *  - **Watchdog deadlines** — SweepOptions::deadline_s bounds each
+ *    attempt's wall-clock time; a monitor thread cancels stragglers
+ *    through the simulator's cooperative CancellationToken.
+ *  - **Bounded retry** — failed/timed-out cells are re-run up to
+ *    `max_retries` times; each attempt derives a fresh seed from the
+ *    cell's own rng_seed (deriveCellSeed(cell.rng_seed, attempt)), so
+ *    the attempt stream is deterministic and cell-local.
+ *  - **Checkpoint/resume** — with a checkpoint_path, every completed
+ *    cell is journaled (sim/sweep_checkpoint.h) as it finishes; a
+ *    resumed sweep restores journaled cells, validates the grid
+ *    fingerprint, and re-runs only what is missing, producing output
+ *    byte-identical to an uninterrupted run.
+ *  - **Clean cancellation** — an external token (typically bound to
+ *    SIGINT/SIGTERM via ScopedSignalCancellation) stops the sweep:
+ *    running cells unwind, pending ones are marked skipped, completed
+ *    outcomes (and their journal records) are preserved.
  */
 #ifndef FAASCACHE_SIM_SWEEP_RUNNER_H_
 #define FAASCACHE_SIM_SWEEP_RUNNER_H_
@@ -24,12 +46,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/policy_factory.h"
 #include "sim/sim_result.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
+#include "util/cell_harness.h"
 
 namespace faascache {
 
@@ -54,6 +79,14 @@ struct SweepCell
      * cells have a collision-free stream. Fill via deriveCellSeed().
      */
     std::uint64_t rng_seed = 0;
+
+    /**
+     * Stable cell identity for checkpointing and error reports. Leave
+     * empty to have the runner derive "<trace>/<policy>/<memory>" (with
+     * a "#n" suffix when that collides); set it explicitly when the
+     * grid varies knobs that derivation cannot see.
+     */
+    std::string key;
 };
 
 /** Convenience: a cell for one of the paper's named policies. */
@@ -69,6 +102,75 @@ SweepCell makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
  * memory index), not by running position in the grid.
  */
 std::uint64_t deriveCellSeed(std::uint64_t base_seed, std::uint64_t cell_key);
+
+/**
+ * Effective per-cell keys: cell.key where set, otherwise
+ * "<trace>/<policy>/<memory_mb MB>", with "#n" appended to later
+ * duplicates so every key is unique. Requires validated cells
+ * (non-null trace and policy factory).
+ */
+std::vector<std::string> sweepCellKeys(const std::vector<SweepCell>& cells);
+
+/**
+ * Fingerprint of the whole sweep grid: trace contents (names, specs,
+ * invocations), effective cell keys, the memory axis and simulator
+ * knobs, and rng seeds. Two sweeps share a fingerprint iff they would
+ * replay the same cells, which is the safety check behind --resume.
+ */
+std::uint64_t sweepGridFingerprint(const std::vector<SweepCell>& cells);
+
+/** Crash-safety knobs for SweepRunner::runReport(). */
+struct SweepOptions
+{
+    /** Per-attempt wall-clock deadline, seconds; 0 disables it. */
+    double deadline_s = 0.0;
+
+    /** Extra attempts after a failed or timed-out first attempt. */
+    int max_retries = 0;
+
+    /**
+     * Rethrow the first (submission-order) cell failure after the sweep
+     * settles, like the legacy run() API, instead of reporting it.
+     */
+    bool strict = false;
+
+    /** Journal completed cells here; empty disables checkpointing. */
+    std::string checkpoint_path;
+
+    /**
+     * Restore completed cells from checkpoint_path before running.
+     * The file must exist and carry this grid's fingerprint.
+     */
+    bool resume = false;
+
+    /** External cancellation (non-owning; may be null). */
+    const CancellationToken* cancel = nullptr;
+};
+
+/** Everything a harnessed sweep produced. */
+struct SweepReport
+{
+    /** Per-cell outcomes, indexed like the input grid. */
+    std::vector<CellOutcome<SimResult>> cells;
+
+    /** False when external cancellation stopped the sweep early. */
+    bool completed = true;
+
+    /** Cells restored from the checkpoint instead of re-simulated. */
+    std::size_t restored = 0;
+
+    /** The resumed checkpoint had a torn tail (truncated, re-run). */
+    bool torn_tail = false;
+
+    std::size_t countWithStatus(CellStatus status) const;
+    bool allOk() const;
+
+    /**
+     * results()[i] is cells[i].result; usable as a drop-in for the
+     * legacy run() return value. @pre allOk().
+     */
+    std::vector<SimResult> results() const;
+};
 
 /** Fans sweep cells across a worker pool; results in submission order. */
 class SweepRunner
@@ -92,9 +194,24 @@ class SweepRunner
      * Run every cell and return results indexed like `cells`. Each
      * result's policy_name/memory_mb come from the cell's own policy
      * and config, exactly as a serial simulateTrace() loop would
-     * produce. Rethrows the first cell failure, if any.
+     * produce. Rethrows the first cell failure, if any (strict mode).
      */
     std::vector<SimResult> run(const std::vector<SweepCell>& cells);
+
+    /**
+     * Run every cell under the crash-safety harness and return per-cell
+     * outcomes indexed like `cells`. Never throws for a cell's own
+     * failure unless options.strict is set.
+     *
+     * @throws std::invalid_argument when a cell is malformed (null
+     *         trace or missing policy factory), naming the offending
+     *         cell index — malformed grids are caller bugs, detected
+     *         up front before any cell runs.
+     * @throws std::runtime_error when options.resume is set and the
+     *         checkpoint cannot be read or belongs to a different grid.
+     */
+    SweepReport runReport(const std::vector<SweepCell>& cells,
+                          const SweepOptions& options = {});
 
   private:
     struct Impl;
@@ -104,6 +221,11 @@ class SweepRunner
 /** One-shot convenience: construct a runner, run the cells. */
 std::vector<SimResult> runSweep(const std::vector<SweepCell>& cells,
                                 std::size_t jobs = 0);
+
+/** One-shot convenience for the harnessed flavour. */
+SweepReport runSweepReport(const std::vector<SweepCell>& cells,
+                           std::size_t jobs = 0,
+                           const SweepOptions& options = {});
 
 }  // namespace faascache
 

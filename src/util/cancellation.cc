@@ -1,0 +1,97 @@
+#include "util/cancellation.h"
+
+#include <csignal>
+#include <stdexcept>
+
+namespace faascache {
+
+const char*
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+        case CancelReason::None: return "none";
+        case CancelReason::Manual: return "cancelled";
+        case CancelReason::Deadline: return "deadline exceeded";
+        case CancelReason::Signal: return "interrupted by signal";
+    }
+    return "unknown";
+}
+
+CancelledError::CancelledError(CancelReason reason)
+    : std::runtime_error(cancelReasonName(reason)), reason_(reason)
+{
+}
+
+void
+CancellationToken::cancel(CancelReason reason)
+{
+    int expected = static_cast<int>(CancelReason::None);
+    // First cause wins; later calls (e.g. a deadline firing on an
+    // already signal-cancelled cell) keep the original reason.
+    state_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                   std::memory_order_relaxed);
+}
+
+void
+CancellationToken::throwIfCancelled() const
+{
+    const CancelReason r = reason();
+    if (r != CancelReason::None)
+        throw CancelledError(r);
+}
+
+namespace {
+
+// The handler may only touch lock-free atomics: it cancels the bound
+// token and records which signal fired.
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+volatile std::sig_atomic_t g_last_signal = 0;
+
+extern "C" void
+faascacheSignalHandler(int signum)
+{
+    g_last_signal = signum;
+    if (CancellationToken* token =
+            g_signal_token.load(std::memory_order_relaxed))
+        token->cancel(CancelReason::Signal);
+}
+
+struct SavedHandlers
+{
+    struct sigaction on_int;
+    struct sigaction on_term;
+};
+
+SavedHandlers g_saved;
+
+}  // namespace
+
+ScopedSignalCancellation::ScopedSignalCancellation(CancellationToken& token)
+{
+    CancellationToken* expected = nullptr;
+    if (!g_signal_token.compare_exchange_strong(expected, &token))
+        throw std::logic_error(
+            "ScopedSignalCancellation: another instance is already "
+            "installed");
+    struct sigaction action = {};
+    action.sa_handler = faascacheSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls
+    sigaction(SIGINT, &action, &g_saved.on_int);
+    sigaction(SIGTERM, &action, &g_saved.on_term);
+}
+
+ScopedSignalCancellation::~ScopedSignalCancellation()
+{
+    sigaction(SIGINT, &g_saved.on_int, nullptr);
+    sigaction(SIGTERM, &g_saved.on_term, nullptr);
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+}
+
+int
+ScopedSignalCancellation::lastSignal()
+{
+    return static_cast<int>(g_last_signal);
+}
+
+}  // namespace faascache

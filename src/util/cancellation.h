@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation work.
+ *
+ * A CancellationToken is a thread-safe latch: a watchdog, a signal
+ * handler, or any controller thread requests cancellation once, and
+ * workers poll `cancelled()` (a relaxed atomic load, cheap enough for
+ * per-step checks) or call `throwIfCancelled()` at their checkpoints.
+ * The Simulator, the elastic-scaling harness, and the platform server
+ * thread a token through their step loops so a wedged or over-deadline
+ * sweep cell can be unwound promptly and cleanly via CancelledError
+ * instead of being killed (and taking every completed result with it).
+ *
+ * Cancellation is strictly cooperative and one-way: a token never
+ * un-cancels, and the first recorded reason wins. The signal-requested
+ * path (`ScopedSignalCancellation`) touches only lock-free atomics, so
+ * it is safe to drive from a SIGINT/SIGTERM handler.
+ */
+#ifndef FAASCACHE_UTIL_CANCELLATION_H_
+#define FAASCACHE_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace faascache {
+
+/** Why a token was cancelled (first cause is kept). */
+enum class CancelReason
+{
+    None,      ///< not cancelled
+    Manual,    ///< an explicit cancel() call
+    Deadline,  ///< a watchdog observed a wall-clock deadline expire
+    Signal,    ///< SIGINT/SIGTERM requested an orderly shutdown
+};
+
+/** Human-readable name of a cancel reason. */
+const char* cancelReasonName(CancelReason reason);
+
+/** Thrown by cancellation checkpoints once a token is cancelled. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(CancelReason reason);
+
+    CancelReason reason() const { return reason_; }
+
+  private:
+    CancelReason reason_;
+};
+
+/** One-way cooperative cancellation latch. Thread- and signal-safe. */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    CancellationToken(const CancellationToken&) = delete;
+    CancellationToken& operator=(const CancellationToken&) = delete;
+
+    /**
+     * Request cancellation. Idempotent; the first reason is kept.
+     * Touches only a lock-free atomic, so it is async-signal-safe.
+     */
+    void cancel(CancelReason reason = CancelReason::Manual);
+
+    /** Whether cancellation has been requested (relaxed load). */
+    bool cancelled() const
+    {
+        return state_.load(std::memory_order_relaxed) !=
+            static_cast<int>(CancelReason::None);
+    }
+
+    /** The recorded reason (None while not cancelled). */
+    CancelReason reason() const
+    {
+        return static_cast<CancelReason>(
+            state_.load(std::memory_order_relaxed));
+    }
+
+    /** Checkpoint: throw CancelledError if cancellation was requested. */
+    void throwIfCancelled() const;
+
+  private:
+    std::atomic<int> state_{static_cast<int>(CancelReason::None)};
+};
+
+/**
+ * RAII SIGINT/SIGTERM hookup: while alive, either signal cancels the
+ * bound token with CancelReason::Signal (and nothing else — the
+ * handler is async-signal-safe), letting sweep drivers cancel
+ * outstanding cells, flush completed ones, and exit cleanly. The
+ * previous handlers are restored on destruction. At most one instance
+ * may be alive at a time.
+ */
+class ScopedSignalCancellation
+{
+  public:
+    explicit ScopedSignalCancellation(CancellationToken& token);
+    ~ScopedSignalCancellation();
+
+    ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
+    ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) =
+        delete;
+
+    /** Signal number delivered while installed (0 if none yet). */
+    static int lastSignal();
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_CANCELLATION_H_

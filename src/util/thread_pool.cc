@@ -1,45 +1,113 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace faascache {
 
 ThreadPool::ThreadPool(std::size_t threads)
+    : state_(std::make_shared<State>())
 {
     if (threads == 0)
         threads = defaultConcurrency();
+    state_->alive_workers = threads;
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+        workers_.emplace_back([state = state_]() { workerLoop(state); });
 }
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        shutting_down_ = true;
+    const ShutdownReport report = shutdown(drain_timeout_);
+    if (!report.drained) {
+        std::fprintf(
+            stderr,
+            "ThreadPool: drain timed out after %lld ms: %zu worker(s) "
+            "still busy (wedged or deadlocked task?) were detached, %zu "
+            "queued task(s) abandoned\n",
+            static_cast<long long>(drain_timeout_.value_or(
+                std::chrono::milliseconds(0)).count()),
+            report.unjoined_workers, report.abandoned_tasks);
     }
-    cv_.notify_all();
-    for (std::thread& worker : workers_)
-        worker.join();
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        if (state_->shutting_down)
+            throw std::runtime_error(
+                "ThreadPool: submit() after shutdown");
+        state_->tasks.push_back(std::move(task));
+    }
+    state_->work_cv.notify_one();
+}
+
+ThreadPool::ShutdownReport
+ThreadPool::shutdown(std::optional<std::chrono::milliseconds> timeout)
+{
+    if (shutdown_report_)
+        return *shutdown_report_;
+
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->shutting_down = true;
+    }
+    state_->work_cv.notify_all();
+
+    ShutdownReport report;
+    bool detach = false;
+    if (timeout) {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        const bool drained = state_->drained_cv.wait_for(
+            lock, *timeout,
+            [this]() { return state_->alive_workers == 0; });
+        if (!drained) {
+            report.drained = false;
+            report.unjoined_workers = state_->alive_workers;
+            report.abandoned_tasks = state_->tasks.size();
+            // Abandoning the queue breaks the pending futures
+            // (broken_promise) so waiters unblock instead of hanging
+            // on work that will never run.
+            state_->tasks.clear();
+            detach = true;
+        }
+    }
+    for (std::thread& worker : workers_) {
+        if (detach)
+            worker.detach();
+        else
+            worker.join();
+    }
+    workers_.clear();
+    shutdown_report_ = report;
+    return report;
+}
+
+void
+ThreadPool::workerLoop(const std::shared_ptr<State>& state)
 {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this]() { return shutting_down_ || !tasks_.empty(); });
-            if (tasks_.empty())
-                return;  // shutting down and drained
-            task = std::move(tasks_.front());
-            tasks_.pop_front();
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->work_cv.wait(lock, [&state]() {
+                return state->shutting_down || !state->tasks.empty();
+            });
+            if (state->tasks.empty())
+                break;  // shutting down and drained
+            task = std::move(state->tasks.front());
+            state->tasks.pop_front();
         }
         task();
     }
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->alive_workers;
+    }
+    state->drained_cv.notify_all();
 }
 
 std::size_t

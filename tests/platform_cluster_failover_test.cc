@@ -181,6 +181,62 @@ TEST(ClusterFailover, TtlVersusGreedyDualBothSurviveCrashes)
     }
 }
 
+// --- Restart-boundary edges ----------------------------------------------
+
+TEST(ClusterFailover, CrashExactlyAtTheRestartBoundary)
+{
+    // The second crash lands on the precise instant the first restart
+    // completes: the server must come up, immediately go down again,
+    // and both windows must be charged — with no invocation lost.
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    ClusterConfig c = config();
+    c.faults.crashes.push_back({1, 5 * kMinute, 5 * kMinute});
+    c.faults.crashes.push_back({1, 10 * kMinute, 5 * kMinute});
+    const ClusterResult r = runCluster(t, PolicyKind::GreedyDual, c);
+
+    EXPECT_EQ(r.robustness().crashes, 2);
+    EXPECT_EQ(r.robustness().restarts, 2);
+    // The two abutting windows stack into 10 minutes of downtime.
+    EXPECT_EQ(r.unavailabilityUs(), 10 * kMinute);
+    expectConservation(r, t);
+}
+
+TEST(ClusterFailover, BackToBackCrashWindowsOnDistinctServers)
+{
+    // Server 1's outage hands its traffic to server 2 — which itself
+    // dies the moment server 1 comes back. Failover must chase the
+    // moving target without double-counting or losing requests.
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    ClusterConfig c = config();
+    c.faults.crashes.push_back({1, 5 * kMinute, 5 * kMinute});
+    c.faults.crashes.push_back({2, 10 * kMinute, 5 * kMinute});
+    const ClusterResult r = runCluster(t, PolicyKind::GreedyDual, c);
+
+    EXPECT_EQ(r.robustness().crashes, 2);
+    EXPECT_EQ(r.robustness().restarts, 2);
+    EXPECT_EQ(r.unavailabilityUs(), 10 * kMinute);
+    EXPECT_GT(r.failovers, 0);
+    expectConservation(r, t);
+}
+
+TEST(ClusterFailover, RepeatedCrashesOfOneServerConserveRequests)
+{
+    // A crash-looping server: four short windows in one run. Every
+    // window must recover cleanly (restart counters in lockstep) and
+    // the fleet-wide ledger must still balance.
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    ClusterConfig c = config();
+    for (int i = 0; i < 4; ++i)
+        c.faults.crashes.push_back(
+            {0, (4 + 6 * i) * kMinute, 2 * kMinute});
+    const ClusterResult r = runCluster(t, PolicyKind::GreedyDual, c);
+
+    EXPECT_EQ(r.robustness().crashes, 4);
+    EXPECT_EQ(r.robustness().restarts, 4);
+    EXPECT_EQ(r.unavailabilityUs(), 4 * 2 * kMinute);
+    expectConservation(r, t);
+}
+
 TEST(ClusterFailover, ConfigValidationRejectsBadValues)
 {
     const Trace t = skewedFrequencyWorkload(kMinute);

@@ -323,6 +323,44 @@ TEST(ServerFaults, PermanentCrashChargesDowntimeToHorizon)
               static_cast<std::int64_t>(t.invocations().size()));
 }
 
+TEST(ServerFaults, CrashExactlyAtTheRestartBoundary)
+{
+    // The second crash is scheduled for the precise restart instant of
+    // the first: the server restarts and immediately dies again. Both
+    // downtimes must be charged and the request ledger must balance.
+    const Trace t = steadyTrace(30, kSecond);
+    FaultPlan plan;
+    plan.crashes.push_back({0, 5 * kSecond, 3 * kSecond});
+    plan.crashes.push_back({0, 8 * kSecond, 3 * kSecond});
+    const PlatformResult r = runWithPlan(t, config(2, 1'000), plan);
+
+    EXPECT_EQ(r.robustness.crashes, 2);
+    EXPECT_EQ(r.robustness.restarts, 2);
+    EXPECT_EQ(r.robustness.downtime_us, 6 * kSecond);
+    // Conservation: served + dropped (all flavours) covers the trace.
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
+TEST(ServerFaults, BackToBackCrashWindowsConserveRequests)
+{
+    // Two windows separated by a single second of uptime: the brief
+    // recovery must actually serve (or queue) traffic, and nothing may
+    // be double-dropped across the windows.
+    const Trace t = steadyTrace(40, kSecond);
+    FaultPlan plan;
+    plan.crashes.push_back({0, 5 * kSecond, 4 * kSecond});
+    plan.crashes.push_back({0, 10 * kSecond, 4 * kSecond});
+    const PlatformResult r = runWithPlan(t, config(2, 1'000), plan);
+
+    EXPECT_EQ(r.robustness.crashes, 2);
+    EXPECT_EQ(r.robustness.restarts, 2);
+    EXPECT_EQ(r.robustness.downtime_us, 8 * kSecond);
+    EXPECT_GT(r.robustness.dropped_unavailable, 0);
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
 TEST(ServerFaults, SameSeedReproducesCounters)
 {
     const Trace t = steadyTrace(300, 200 * kMillisecond, 6);

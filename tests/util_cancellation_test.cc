@@ -1,0 +1,118 @@
+// The cooperative cancellation latch under the sweep watchdog and the
+// bench signal handlers: one-way state, first-reason-wins, checkpoint
+// throws, and the RAII SIGINT/SIGTERM hookup.
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace faascache {
+namespace {
+
+TEST(CancellationToken, StartsUncancelled)
+{
+    CancellationToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+    token.throwIfCancelled();  // must be a no-op
+}
+
+TEST(CancellationToken, CancelLatchesReason)
+{
+    CancellationToken token;
+    token.cancel(CancelReason::Deadline);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Deadline);
+}
+
+TEST(CancellationToken, FirstReasonWins)
+{
+    CancellationToken token;
+    token.cancel(CancelReason::Signal);
+    token.cancel(CancelReason::Deadline);
+    token.cancel(CancelReason::Manual);
+    EXPECT_EQ(token.reason(), CancelReason::Signal);
+}
+
+TEST(CancellationToken, ThrowIfCancelledCarriesReason)
+{
+    CancellationToken token;
+    token.cancel(CancelReason::Deadline);
+    try {
+        token.throwIfCancelled();
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.reason(), CancelReason::Deadline);
+        EXPECT_NE(std::string(e.what()).find("deadline"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancellationToken, ConcurrentCancelKeepsOneReason)
+{
+    // Many racing cancellers: exactly one reason is recorded and the
+    // token never reads as uncancelled afterwards.
+    CancellationToken token;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&token, i]() {
+            token.cancel(i % 2 == 0 ? CancelReason::Manual
+                                    : CancelReason::Deadline);
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_TRUE(token.cancelled());
+    const CancelReason reason = token.reason();
+    EXPECT_TRUE(reason == CancelReason::Manual ||
+                reason == CancelReason::Deadline);
+}
+
+TEST(CancelReasonName, NamesEveryReason)
+{
+    EXPECT_STREQ(cancelReasonName(CancelReason::None), "none");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Manual), "cancelled");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Deadline),
+                 "deadline exceeded");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Signal),
+                 "interrupted by signal");
+}
+
+TEST(ScopedSignalCancellation, SigtermCancelsBoundToken)
+{
+    CancellationToken token;
+    {
+        ScopedSignalCancellation scope(token);
+        std::raise(SIGTERM);
+        EXPECT_TRUE(token.cancelled());
+        EXPECT_EQ(token.reason(), CancelReason::Signal);
+        EXPECT_EQ(ScopedSignalCancellation::lastSignal(), SIGTERM);
+    }
+}
+
+TEST(ScopedSignalCancellation, ReinstallableAfterScopeEnds)
+{
+    // The previous handlers are restored on destruction, so a second
+    // scope (a second sweep in the same process) works the same way.
+    CancellationToken token;
+    {
+        ScopedSignalCancellation scope(token);
+        std::raise(SIGINT);
+        EXPECT_EQ(token.reason(), CancelReason::Signal);
+        EXPECT_EQ(ScopedSignalCancellation::lastSignal(), SIGINT);
+    }
+    CancellationToken second;
+    {
+        ScopedSignalCancellation scope(second);
+        EXPECT_FALSE(second.cancelled());
+        std::raise(SIGTERM);
+        EXPECT_TRUE(second.cancelled());
+    }
+}
+
+}  // namespace
+}  // namespace faascache

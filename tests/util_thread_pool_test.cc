@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -106,6 +110,130 @@ TEST(ThreadPool, ParallelMapRethrowsFirstFailure)
                                  return v;
                              }),
                  std::invalid_argument);
+}
+
+// --- Bounded-drain shutdown (the sweep engine's wedged-task escape) ------
+
+/** A task that blocks until released, shared so a detached worker can
+ *  outlive the test body safely. */
+struct Wedge
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool released = false;
+    bool started = false;
+
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [this]() { return released; });
+    }
+
+    void waitUntilStarted()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this]() { return started; });
+    }
+
+    void release()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        released = true;
+        cv.notify_all();
+    }
+};
+
+TEST(ThreadPoolShutdown, CleanShutdownReportsDrained)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&counter]() { ++counter; });
+    const ThreadPool::ShutdownReport report = pool.shutdown();
+    EXPECT_TRUE(report.drained);
+    EXPECT_EQ(report.unjoined_workers, 0u);
+    EXPECT_EQ(report.abandoned_tasks, 0u);
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolShutdown, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, WedgedWorkerIsDetachedAndReported)
+{
+    auto wedge = std::make_shared<Wedge>();
+    ThreadPool pool(1);
+    pool.submit([wedge]() { wedge->wait(); });
+    wedge->waitUntilStarted();
+
+    const ThreadPool::ShutdownReport report =
+        pool.shutdown(std::chrono::milliseconds(50));
+    EXPECT_FALSE(report.drained);
+    EXPECT_EQ(report.unjoined_workers, 1u);
+    // The detached worker keeps running; releasing it lets it finish
+    // against the shared pool state (kept alive past the pool object).
+    wedge->release();
+}
+
+TEST(ThreadPoolShutdown, AbandonedTasksGetBrokenPromises)
+{
+    auto wedge = std::make_shared<Wedge>();
+    ThreadPool pool(1);
+    pool.submit([wedge]() { wedge->wait(); });
+    wedge->waitUntilStarted();
+    // Queued behind the wedged task; it can never start.
+    std::future<int> abandoned = pool.submit([]() { return 1; });
+
+    const ThreadPool::ShutdownReport report =
+        pool.shutdown(std::chrono::milliseconds(50));
+    EXPECT_FALSE(report.drained);
+    EXPECT_EQ(report.abandoned_tasks, 1u);
+    try {
+        abandoned.get();
+        FAIL() << "expected broken_promise";
+    } catch (const std::future_error& e) {
+        EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+    }
+    wedge->release();
+}
+
+TEST(ThreadPoolShutdown, RepeatedShutdownReturnsFirstReport)
+{
+    auto wedge = std::make_shared<Wedge>();
+    ThreadPool pool(1);
+    pool.submit([wedge]() { wedge->wait(); });
+    wedge->waitUntilStarted();
+
+    const ThreadPool::ShutdownReport first =
+        pool.shutdown(std::chrono::milliseconds(50));
+    EXPECT_FALSE(first.drained);
+    wedge->release();
+    // Idempotent: the second call reports the first call's outcome, it
+    // does not re-drain.
+    const ThreadPool::ShutdownReport second = pool.shutdown();
+    EXPECT_EQ(second.drained, first.drained);
+    EXPECT_EQ(second.unjoined_workers, first.unjoined_workers);
+    EXPECT_EQ(second.abandoned_tasks, first.abandoned_tasks);
+}
+
+TEST(ThreadPoolShutdown, DrainTimeoutArmsTheDestructor)
+{
+    auto wedge = std::make_shared<Wedge>();
+    {
+        ThreadPool pool(1);
+        pool.setDrainTimeout(std::chrono::milliseconds(50));
+        pool.submit([wedge]() { wedge->wait(); });
+        wedge->waitUntilStarted();
+        // The destructor must come back (logging the diagnostics)
+        // instead of blocking on the wedged worker forever.
+    }
+    wedge->release();
 }
 
 }  // namespace
