@@ -5,22 +5,26 @@
  * diurnal workload swings, reducing the average provisioned size versus
  * a conservative static 10,000 MB allocation by >= 30%.
  *
- * A single long replay rather than a sweep; SIGINT/SIGTERM cancel it
- * cooperatively mid-step instead of killing the process mid-write.
+ * A single long replay, driven as a one-cell elastic sweep so it shares
+ * the crash-safe bench contract: SIGINT/SIGTERM cancel it cooperatively
+ * (exit 128+sig), --ckpt/--resume journal and restore the completed
+ * run, and --deadline-s/--retries bound it.
  */
 #include <iostream>
+#include <vector>
 
 #include "core/policy_factory.h"
-#include "provisioning/elastic_simulation.h"
+#include "provisioning/elastic_sweep.h"
 #include "trace/azure_model.h"
-#include "util/cancellation.h"
 #include "util/table.h"
+#include "workloads.h"
 
 using namespace faascache;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const bench::BenchOptions options = bench::parseBenchArgs(argc, argv);
     AzureModelConfig workload;
     workload.seed = 17;
     workload.num_functions = 80;
@@ -54,21 +58,14 @@ main()
               << " cold starts/s, 10-minute control period, 30% error "
                  "deadband)\n\n";
 
-    CancellationToken cancel;
-    ScopedSignalCancellation signals(cancel);
-    elastic.cancel = &cancel;
-
-    ElasticResult r;
-    try {
-        r = runElasticSimulation(trace,
-                                 makePolicy(PolicyKind::GreedyDual),
-                                 controller, elastic);
-    } catch (const CancelledError&) {
-        std::cerr << "fig9: interrupted by signal "
-                  << ScopedSignalCancellation::lastSignal()
-                  << "; exiting cleanly\n";
-        return 128 + ScopedSignalCancellation::lastSignal();
-    }
+    std::vector<ElasticCell> cells;
+    cells.push_back({&trace, PolicyKind::GreedyDual, {}, controller,
+                     elastic, "diurnal/GreedyDual/fig9"});
+    const ElasticSweepReport report =
+        bench::runBenchElasticSweep(cells, options);
+    if (!report.cells[0].ok())
+        return 1;
+    const ElasticResult& r = report.cells[0].result;
 
     TablePrinter table({"t (min)", "arrivals/s", "smoothed/s",
                         "cold starts/s", "cache size (MB)", ""});

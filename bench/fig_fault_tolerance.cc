@@ -19,6 +19,7 @@
 #include "platform/cluster.h"
 #include "trace/azure_model.h"
 #include "util/table.h"
+#include "workloads.h"
 
 using namespace faascache;
 
@@ -74,17 +75,12 @@ outagePlan()
     return plan;
 }
 
-struct Row
-{
-    std::string label;
-    ClusterResult result;
-};
-
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const bench::BenchOptions options = bench::parseBenchArgs(argc, argv);
     const TimeUs duration = kHour;
     const Trace trace = workload(duration);
 
@@ -97,26 +93,36 @@ main()
                  "and\nserver 2 at 35 min for 10 min, with 2% spawn "
                  "failures and 5% 4x cold-start stragglers)\n\n";
 
-    std::vector<Row> rows;
+    std::vector<std::string> labels;
+    std::vector<ClusterCell> cells;
     for (PolicyKind kind : {PolicyKind::Ttl, PolicyKind::GreedyDual}) {
         const std::string name =
             kind == PolicyKind::Ttl ? "TTL" : "GreedyDual";
-        rows.push_back(
-            {name + " healthy", runCluster(trace, kind, baseConfig())});
+        labels.push_back(name + " healthy");
+        cells.push_back(
+            {&trace, kind, baseConfig(), {}, name + "/healthy"});
         ClusterConfig faulted = baseConfig();
         faulted.faults = outagePlan();
         faulted.failover.shed_queue_depth = 256;
-        rows.push_back(
-            {name + " faulted", runCluster(trace, kind, faulted)});
+        labels.push_back(name + " faulted");
+        cells.push_back({&trace, kind, faulted, {}, name + "/faulted"});
     }
+    const ClusterSweepReport report =
+        bench::runBenchClusterSweep(cells, options);
 
     TablePrinter table({"Run", "Warm%", "Cold", "Dropped", "Shed",
                         "Failed", "Retries", "Failovers", "CrashCold",
                         "Down(s)", "MeanLat(s)"});
-    for (const Row& row : rows) {
-        const ClusterResult& r = row.result;
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CellOutcome<ClusterResult>& cell = report.cells[i];
+        if (!cell.ok()) {
+            table.addRow({labels[i], "ERR", "ERR", "ERR", "ERR", "ERR",
+                          "ERR", "ERR", "ERR", "ERR", "ERR"});
+            continue;
+        }
+        const ClusterResult& r = cell.result;
         const RobustnessCounters rc = r.robustness();
-        table.addRow({row.label, formatDouble(r.warmPercent(), 1),
+        table.addRow({labels[i], formatDouble(r.warmPercent(), 1),
                       std::to_string(r.coldStarts()),
                       std::to_string(r.dropped()),
                       std::to_string(r.shed_requests),
@@ -129,8 +135,10 @@ main()
     }
     table.print(std::cout);
 
-    const ClusterResult& ttl = rows[1].result;
-    const ClusterResult& gd = rows[3].result;
+    if (!report.cells[1].ok() || !report.cells[3].ok())
+        return 1;
+    const ClusterResult& ttl = report.cells[1].result;
+    const ClusterResult& gd = report.cells[3].result;
     const auto lost = [](const ClusterResult& r) {
         return r.dropped() + r.shed_requests + r.failed_requests;
     };
@@ -145,5 +153,5 @@ main()
               << formatDouble(toSeconds(gd.unavailabilityUs()), 0)
               << " s); the policies differ in what the outage costs the "
                  "requests that survive it.\n";
-    return 0;
+    return report.allOk() ? 0 : 1;
 }

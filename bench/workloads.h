@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "platform/experiment.h"
+#include "provisioning/elastic_sweep.h"
 #include "sim/sweep_runner.h"
 #include "trace/azure_model.h"
 #include "trace/samplers.h"
@@ -128,7 +129,7 @@ struct BenchOptions
     /** Extra attempts after a failed or timed-out cell. */
     int retries = 0;
 
-    /** Checkpoint journal path (SimResult sweeps only). */
+    /** Checkpoint journal path; empty disables checkpointing. */
     std::string checkpoint_path;
 
     /** Restore completed cells from checkpoint_path before running. */
@@ -234,30 +235,19 @@ reportCellIssues(const std::vector<CellOutcome<Result>>& cells,
 }
 
 /**
- * Run a SimResult sweep under the crash-safety harness with the bench's
- * shared behaviour:
- *  - SIGINT/SIGTERM cancel outstanding cells, completed cells are kept
- *    (and journaled when --ckpt is set), and the bench exits 128+sig;
- *  - --ckpt journals every completed cell; --resume restores from the
- *    journal and re-runs only missing cells;
+ * The bench's shared post-sweep behaviour, applied to any report
+ * flavour (sim, platform, cluster, elastic — they share the
+ * cells/completed/restored shape):
+ *  - restored cells are announced on stderr;
+ *  - a signal-interrupted sweep prints progress (with a resume hint
+ *    when --ckpt is set) and exits 128+sig;
  *  - failed/timed-out cells are reported to stderr and rendered as ERR
  *    by the caller's table (cellText below); they never abort the run.
  */
-inline SweepReport
-runBenchSweep(const std::vector<SweepCell>& cells,
-              const BenchOptions& options)
+template <typename Report>
+inline Report
+finishBenchSweep(Report report, const BenchOptions& options)
 {
-    CancellationToken cancel;
-    ScopedSignalCancellation signals(cancel);
-
-    SweepOptions sweep;
-    sweep.deadline_s = options.deadline_s;
-    sweep.max_retries = options.retries;
-    sweep.checkpoint_path = options.checkpoint_path;
-    sweep.resume = options.resume;
-    sweep.cancel = &cancel;
-
-    SweepReport report = runSweepReport(cells, options.jobs, sweep);
     if (report.restored > 0) {
         std::cerr << "sweep: restored " << report.restored << " of "
                   << report.cells.size() << " cells from checkpoint "
@@ -280,36 +270,88 @@ runBenchSweep(const std::vector<SweepCell>& cells,
     return report;
 }
 
-/** Like runBenchSweep, for platform sweeps (no checkpoint support). */
+/**
+ * Run a SimResult sweep under the crash-safety harness with the bench's
+ * shared behaviour:
+ *  - SIGINT/SIGTERM cancel outstanding cells, completed cells are kept
+ *    (and journaled when --ckpt is set), and the bench exits 128+sig;
+ *  - --ckpt journals every completed cell; --resume restores from the
+ *    journal and re-runs only missing cells;
+ *  - failed/timed-out cells never abort the run (see finishBenchSweep).
+ */
+inline SweepReport
+runBenchSweep(const std::vector<SweepCell>& cells,
+              const BenchOptions& options)
+{
+    CancellationToken cancel;
+    ScopedSignalCancellation signals(cancel);
+
+    SweepOptions sweep;
+    sweep.deadline_s = options.deadline_s;
+    sweep.max_retries = options.retries;
+    sweep.checkpoint_path = options.checkpoint_path;
+    sweep.resume = options.resume;
+    sweep.cancel = &cancel;
+
+    return finishBenchSweep(runSweepReport(cells, options.jobs, sweep),
+                            options);
+}
+
+/** Like runBenchSweep, for platform sweeps (PlatformResult journal). */
 inline PlatformSweepReport
 runBenchPlatformSweep(const std::vector<PlatformCell>& cells,
                       const BenchOptions& options)
 {
-    if (!options.checkpoint_path.empty() || options.resume) {
-        std::cerr << "platform sweeps do not support --ckpt/--resume "
-                     "(runs are few and fast; checkpointing covers the "
-                     "SimResult sweep engine)\n";
-        std::exit(2);
-    }
     CancellationToken cancel;
     ScopedSignalCancellation signals(cancel);
 
     PlatformSweepOptions sweep;
     sweep.deadline_s = options.deadline_s;
     sweep.max_retries = options.retries;
+    sweep.checkpoint_path = options.checkpoint_path;
+    sweep.resume = options.resume;
     sweep.cancel = &cancel;
 
-    PlatformSweepReport report =
-        runPlatformSweepReport(cells, options.jobs, sweep);
-    if (!report.completed) {
-        std::cerr << "sweep: interrupted by signal "
-                  << ScopedSignalCancellation::lastSignal() << "; "
-                  << report.countWithStatus(CellStatus::Ok) << " of "
-                  << report.cells.size() << " cells completed\n";
-        std::exit(128 + ScopedSignalCancellation::lastSignal());
-    }
-    reportCellIssues(report.cells, std::cerr);
-    return report;
+    return finishBenchSweep(
+        runPlatformSweepReport(cells, options.jobs, sweep), options);
+}
+
+/** Like runBenchSweep, for cluster sweeps (ClusterResult journal). */
+inline ClusterSweepReport
+runBenchClusterSweep(const std::vector<ClusterCell>& cells,
+                     const BenchOptions& options)
+{
+    CancellationToken cancel;
+    ScopedSignalCancellation signals(cancel);
+
+    PlatformSweepOptions sweep;
+    sweep.deadline_s = options.deadline_s;
+    sweep.max_retries = options.retries;
+    sweep.checkpoint_path = options.checkpoint_path;
+    sweep.resume = options.resume;
+    sweep.cancel = &cancel;
+
+    return finishBenchSweep(
+        runClusterSweepReport(cells, options.jobs, sweep), options);
+}
+
+/** Like runBenchSweep, for elastic sweeps (ElasticResult journal). */
+inline ElasticSweepReport
+runBenchElasticSweep(const std::vector<ElasticCell>& cells,
+                     const BenchOptions& options)
+{
+    CancellationToken cancel;
+    ScopedSignalCancellation signals(cancel);
+
+    SweepOptions sweep;
+    sweep.deadline_s = options.deadline_s;
+    sweep.max_retries = options.retries;
+    sweep.checkpoint_path = options.checkpoint_path;
+    sweep.resume = options.resume;
+    sweep.cancel = &cancel;
+
+    return finishBenchSweep(
+        runElasticSweepReport(cells, options.jobs, sweep), options);
 }
 
 /**

@@ -6,61 +6,85 @@
 # been journaled, resumes from the checkpoint, and requires the resumed
 # run's stdout to be byte-identical to the uninterrupted reference.
 #
-# Usage: kill_resume_smoke.sh <bench-binary> [bench args...]
+# Usage: kill_resume_smoke.sh [<bench-binary> [bench args...]]
 # Example: kill_resume_smoke.sh build/bench/fig6_cold_starts --jobs 2
+#
+# With no arguments, smokes one bench per checkpoint flavour: a
+# SimResult sweep (fig6_cold_starts) and a PlatformResult sweep
+# (fig7_skewed_workloads), both from ./build/bench.
 set -u
 
-if [ $# -lt 1 ]; then
-    echo "usage: $0 <bench-binary> [bench args...]" >&2
-    exit 2
-fi
-BENCH=$1
-shift
+smoke_one() {
+    local bench=$1
+    shift
 
-WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
-CKPT=$WORK/sweep.ckpt
+    local work
+    work=$(mktemp -d)
+    local ckpt=$work/sweep.ckpt
 
-echo "== reference run (uninterrupted, checkpointing)"
-"$BENCH" "$@" --ckpt "$CKPT" > "$WORK/reference.out" || {
-    echo "FAIL: reference run exited non-zero" >&2
-    exit 1
-}
-TOTAL=$(grep -c '^cell ' "$CKPT")
-echo "   $TOTAL cells journaled"
+    echo "=== $bench $*"
+    echo "== reference run (uninterrupted, checkpointing)"
+    "$bench" "$@" --ckpt "$ckpt" > "$work/reference.out" || {
+        echo "FAIL: reference run exited non-zero" >&2
+        rm -rf "$work"
+        return 1
+    }
+    local total
+    total=$(grep -c '^cell ' "$ckpt")
+    echo "   $total cells journaled"
 
-echo "== interrupted run (SIGKILL once a cell is journaled)"
-rm -f "$CKPT"
-"$BENCH" "$@" --ckpt "$CKPT" > "$WORK/killed.out" 2> "$WORK/killed.err" &
-PID=$!
+    echo "== interrupted run (SIGKILL once a cell is journaled)"
+    rm -f "$ckpt"
+    "$bench" "$@" --ckpt "$ckpt" > "$work/killed.out" 2> "$work/killed.err" &
+    local pid=$!
 
-# Wait (up to ~30 s) for the journal to hold at least one record, then
-# SIGKILL mid-sweep. If the bench wins the race and finishes first, the
-# resume below still has to reproduce the reference byte-for-byte.
-for _ in $(seq 1 300); do
-    if ! kill -0 "$PID" 2>/dev/null; then
-        break
+    # Wait (up to ~30 s) for the journal to hold at least one record,
+    # then SIGKILL mid-sweep. If the bench wins the race and finishes
+    # first, the resume below still has to reproduce the reference
+    # byte-for-byte.
+    for _ in $(seq 1 300); do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        if [ -f "$ckpt" ] && [ "$(grep -c '^cell ' "$ckpt" 2>/dev/null)" -ge 1 ]; then
+            kill -9 "$pid" 2>/dev/null
+            break
+        fi
+        sleep 0.1
+    done
+    wait "$pid" 2>/dev/null
+    local done_cells
+    done_cells=$(grep -c '^cell ' "$ckpt" 2>/dev/null || echo 0)
+    echo "   killed with $done_cells of $total cells journaled"
+
+    echo "== resumed run"
+    "$bench" "$@" --ckpt "$ckpt" --resume > "$work/resumed.out" 2> "$work/resumed.err" || {
+        echo "FAIL: resumed run exited non-zero" >&2
+        cat "$work/resumed.err" >&2
+        rm -rf "$work"
+        return 1
+    }
+
+    if ! cmp -s "$work/reference.out" "$work/resumed.out"; then
+        echo "FAIL: resumed output differs from the uninterrupted run" >&2
+        diff "$work/reference.out" "$work/resumed.out" | head -40 >&2
+        rm -rf "$work"
+        return 1
     fi
-    if [ -f "$CKPT" ] && [ "$(grep -c '^cell ' "$CKPT" 2>/dev/null)" -ge 1 ]; then
-        kill -9 "$PID" 2>/dev/null
-        break
-    fi
-    sleep 0.1
-done
-wait "$PID" 2>/dev/null
-DONE=$(grep -c '^cell ' "$CKPT" 2>/dev/null || echo 0)
-echo "   killed with $DONE of $TOTAL cells journaled"
-
-echo "== resumed run"
-"$BENCH" "$@" --ckpt "$CKPT" --resume > "$WORK/resumed.out" 2> "$WORK/resumed.err" || {
-    echo "FAIL: resumed run exited non-zero" >&2
-    cat "$WORK/resumed.err" >&2
-    exit 1
+    echo "PASS: resumed output is byte-identical to the uninterrupted run"
+    rm -rf "$work"
+    return 0
 }
 
-if ! cmp -s "$WORK/reference.out" "$WORK/resumed.out"; then
-    echo "FAIL: resumed output differs from the uninterrupted run" >&2
-    diff "$WORK/reference.out" "$WORK/resumed.out" | head -40 >&2
-    exit 1
+if [ $# -ge 1 ]; then
+    smoke_one "$@"
+    exit $?
 fi
-echo "PASS: resumed output is byte-identical to the uninterrupted run"
+
+# Default: one sim-sweep bench and one platform-sweep bench, so both
+# checkpoint flavours get the SIGKILL treatment.
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+STATUS=0
+smoke_one "$ROOT/build/bench/fig6_cold_starts" --jobs 2 || STATUS=1
+smoke_one "$ROOT/build/bench/fig7_skewed_workloads" --jobs 2 || STATUS=1
+exit $STATUS

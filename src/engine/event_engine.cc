@@ -1,0 +1,17 @@
+#include "engine/event_engine.h"
+
+namespace faascache {
+
+const char*
+eventLaneName(EventLane lane)
+{
+    switch (lane) {
+      case EventLane::Normal:
+        return "normal";
+      case EventLane::Failure:
+        return "failure";
+    }
+    return "unknown";
+}
+
+}  // namespace faascache

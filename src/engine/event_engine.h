@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The shared discrete-event engine core (DESIGN.md §4c).
+ *
+ * All three execution layers — the trace-driven simulator (sim/), the
+ * OpenWhisk-like platform model (platform/), and the elastic
+ * provisioning harness (provisioning/) — schedule through this one
+ * engine instead of hand-rolling their own loops:
+ *
+ *  - EventCore<Kind>: a deterministic event queue ordered by
+ *    (time, lane, seq). Events at equal timestamps are delivered by
+ *    tie-break lane first, then in insertion (FIFO) order via a
+ *    monotonically increasing sequence number.
+ *  - SimClock: the simulation clock, advanced monotonically as events
+ *    are delivered.
+ *  - PeriodicSchedule (periodic_schedule.h): registered periodic tasks
+ *    (maintenance, memory sampling, background reclaim, controller
+ *    periods, HRC refresh).
+ *
+ * Tie-break lanes. A lane is the engine-level replacement for PR 3's
+ * same-timestamp crash/restart deferral hack: instead of popping a
+ * crash, noticing the server is down, and re-enqueueing it once so a
+ * same-instant restart can run first, fault-injection events are
+ * scheduled in the late `Failure` lane up front. At any timestamp t:
+ *
+ *    lane      | delivered | carries
+ *    ----------+-----------+------------------------------------------
+ *    Normal=0  | first     | arrivals, finishes, maintenance, retries,
+ *              |           | restarts — all ordinary simulation events
+ *    Failure=1 | last      | injected faults (crashes)
+ *
+ * so a restart due at the exact instant of a crash always runs before
+ * it, and a crash that still finds the server down is absorbed by the
+ * wider outage — with no special-case code at the delivery site. The
+ * lane is also the engine's fault-injection hook: any future injected
+ * fault kind schedules in the Failure lane and inherits the same
+ * deterministic ordering guarantee.
+ *
+ * Cooperative cancellation. A bound util/cancellation token is checked
+ * on every pop(), so a watchdog or signal handler unwinds any event
+ * loop built on the engine promptly (CancelledError propagates out of
+ * the loop). A run that is never cancelled is byte-identical with or
+ * without a token bound.
+ *
+ * Cancellation handles. schedule() returns an EventHandle; cancel()
+ * marks the event dead without disturbing the heap (lazy deletion: dead
+ * events are discarded before they can surface), so the head of the
+ * queue is never a cancelled event and empty()/size()/nextTime() stay
+ * exact.
+ */
+#ifndef FAASCACHE_ENGINE_EVENT_ENGINE_H_
+#define FAASCACHE_ENGINE_EVENT_ENGINE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/cancellation.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/**
+ * Same-timestamp tie-break lane. Lower lanes deliver first; within a
+ * lane, insertion (FIFO) order wins. Keep ordinary simulation traffic
+ * in Normal so existing FIFO semantics are untouched; schedule injected
+ * faults in Failure so same-instant recovery events always precede
+ * them.
+ */
+enum class EventLane : std::uint8_t
+{
+    Normal = 0,   ///< ordinary simulation events (FIFO among themselves)
+    Failure = 1,  ///< injected faults; delivered after all Normal events
+};
+
+/** Lower-case display name of a lane ("normal", "failure"). */
+const char* eventLaneName(EventLane lane);
+
+/** Ticket for cancelling a scheduled event. */
+struct EventHandle
+{
+    static constexpr std::uint64_t kInvalid = ~0ULL;
+
+    std::uint64_t seq = kInvalid;
+
+    bool valid() const { return seq != kInvalid; }
+};
+
+/** One scheduled event; `Kind` is the layer's own event vocabulary. */
+template <typename Kind>
+struct EngineEvent
+{
+    TimeUs time_us = 0;
+    EventLane lane = EventLane::Normal;
+    std::uint64_t seq = 0;  ///< assigned by the core; breaks time ties
+    Kind kind{};
+    std::uint64_t payload = 0;
+    std::uint64_t payload2 = 0;
+};
+
+/**
+ * Deterministic min-heap of events ordered by (time, lane, seq), over
+ * an explicit vector so callers can reserve() capacity up front (no
+ * mid-run reallocation) and clear() state between runs.
+ */
+template <typename Kind>
+class EventCore
+{
+  public:
+    /** Schedule an event; its sequence number is assigned here. */
+    EventHandle schedule(TimeUs time_us, Kind kind,
+                         std::uint64_t payload = 0,
+                         std::uint64_t payload2 = 0,
+                         EventLane lane = EventLane::Normal)
+    {
+        EngineEvent<Kind> event;
+        event.time_us = time_us;
+        event.lane = lane;
+        event.seq = next_seq_++;
+        event.kind = kind;
+        event.payload = payload;
+        event.payload2 = payload2;
+        heap_.push_back(event);
+        std::push_heap(heap_.begin(), heap_.end(), later);
+        return EventHandle{event.seq};
+    }
+
+    /** Shorthand for scheduling into the Failure lane (fault hook). */
+    EventHandle scheduleFailure(TimeUs time_us, Kind kind,
+                                std::uint64_t payload = 0,
+                                std::uint64_t payload2 = 0)
+    {
+        return schedule(time_us, kind, payload, payload2,
+                        EventLane::Failure);
+    }
+
+    /**
+     * Cancel a scheduled event. O(pending) — cancellation is expected
+     * to be rare; delivery stays O(log n).
+     * @return True when the event was pending and is now dead; false
+     *         when the handle is invalid, already delivered, or already
+     *         cancelled.
+     */
+    bool cancel(EventHandle handle)
+    {
+        if (!handle.valid() || handle.seq >= next_seq_)
+            return false;
+        if (cancelled_.count(handle.seq) != 0)
+            return false;
+        const bool pending = std::any_of(
+            heap_.begin(), heap_.end(),
+            [&](const EngineEvent<Kind>& e) { return e.seq == handle.seq; });
+        if (!pending)
+            return false;
+        cancelled_.insert(handle.seq);
+        pruneCancelled();
+        return true;
+    }
+
+    /**
+     * Bind a cooperative cancellation token (non-owning; null unbinds).
+     * Checked on every pop(): a cancelled token throws CancelledError
+     * out of the event loop before the next event is delivered.
+     */
+    void bindCancellation(const CancellationToken* token)
+    {
+        cancel_token_ = token;
+    }
+
+    /** Pre-size the heap (e.g. from the trace size at setup) so the
+     *  run never reallocates mid-flight. */
+    void reserve(std::size_t events) { heap_.reserve(events); }
+
+    /** Drop all pending events and reset sequence numbering, so the
+     *  next run never observes a stale heap. Keeps capacity. */
+    void clear()
+    {
+        heap_.clear();
+        cancelled_.clear();
+        next_seq_ = 0;
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Pending (non-cancelled) events. */
+    std::size_t size() const { return heap_.size() - cancelled_.size(); }
+
+    /** Heap slots currently allocated. */
+    std::size_t capacity() const { return heap_.capacity(); }
+
+    /** Timestamp of the next event. @pre !empty(). */
+    TimeUs nextTime() const
+    {
+        assert(!heap_.empty());
+        return heap_.front().time_us;
+    }
+
+    /**
+     * Remove and return the next event. @pre !empty().
+     * @throws CancelledError when a bound token is cancelled.
+     */
+    EngineEvent<Kind> pop()
+    {
+        assert(!heap_.empty());
+        if (cancel_token_ != nullptr)
+            cancel_token_->throwIfCancelled();
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        const EngineEvent<Kind> event = heap_.back();
+        heap_.pop_back();
+        pruneCancelled();
+        return event;
+    }
+
+  private:
+    /** Heap order: `a` delivers after `b` (min by time, lane, seq). */
+    static bool later(const EngineEvent<Kind>& a, const EngineEvent<Kind>& b)
+    {
+        if (a.time_us != b.time_us)
+            return a.time_us > b.time_us;
+        if (a.lane != b.lane)
+            return a.lane > b.lane;
+        return a.seq > b.seq;
+    }
+
+    /** Discard cancelled events from the head, restoring the invariant
+     *  that the head of the queue is live (or the queue is empty). */
+    void pruneCancelled()
+    {
+        while (!heap_.empty() && !cancelled_.empty() &&
+               cancelled_.count(heap_.front().seq) != 0) {
+            cancelled_.erase(heap_.front().seq);
+            std::pop_heap(heap_.begin(), heap_.end(), later);
+            heap_.pop_back();
+        }
+    }
+
+    std::vector<EngineEvent<Kind>> heap_;
+
+    /** Seqs cancelled but still buried in the heap (lazy deletion). */
+    std::unordered_set<std::uint64_t> cancelled_;
+
+    std::uint64_t next_seq_ = 0;
+    const CancellationToken* cancel_token_ = nullptr;
+};
+
+/**
+ * The simulation clock: current simulated time, advanced monotonically
+ * as events are delivered (event queues deliver in time order, so the
+ * clock never runs backwards within a run).
+ */
+class SimClock
+{
+  public:
+    TimeUs now() const { return now_; }
+
+    /** Advance to `t`. @pre t >= now() (time is monotonic). */
+    void advanceTo(TimeUs t)
+    {
+        assert(t >= now_);
+        now_ = t;
+    }
+
+    /** Rewind for a fresh run. */
+    void reset(TimeUs t = 0) { now_ = t; }
+
+  private:
+    TimeUs now_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ENGINE_EVENT_ENGINE_H_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Registered periodic tasks for the shared discrete-event engine
+ * (DESIGN.md §4c): maintenance ticks, memory sampling, background
+ * reclaim, controller periods, HRC refresh.
+ *
+ * A PeriodicSchedule replaces a layer's hand-rolled
+ * `while (next_due <= t) { next_due += interval; ... }` advancement
+ * loop. catchUp() is deliberately *phase-ordered*, not time-interleaved
+ * across schedules: a layer catches up one schedule fully (all its due
+ * ticks <= t) before the next, which is exactly what the historical
+ * while-loops did — so porting a layer onto PeriodicSchedule is
+ * mechanical and byte-identical. Layers that need strict cross-task
+ * time interleaving should schedule EventCore events instead.
+ */
+#ifndef FAASCACHE_ENGINE_PERIODIC_SCHEDULE_H_
+#define FAASCACHE_ENGINE_PERIODIC_SCHEDULE_H_
+
+#include <utility>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** One periodic task's due-time state. */
+class PeriodicSchedule
+{
+  public:
+    /** A disabled schedule (never due). */
+    PeriodicSchedule() = default;
+
+    /**
+     * @param first_due_us First tick's due time.
+     * @param interval_us  Period between ticks; <= 0 disables the
+     *                     schedule entirely (catchUp() is a no-op).
+     */
+    PeriodicSchedule(TimeUs first_due_us, TimeUs interval_us)
+        : next_due_us_(first_due_us), interval_us_(interval_us)
+    {
+    }
+
+    bool enabled() const { return interval_us_ > 0; }
+
+    TimeUs interval() const { return interval_us_; }
+
+    /** Due time of the next tick (meaningful only when enabled). */
+    TimeUs nextDue() const { return next_due_us_; }
+
+    /** Whether at least one tick is due at or before `t`. */
+    bool due(TimeUs t) const { return enabled() && next_due_us_ <= t; }
+
+    /** Consume one tick: return its due time and arm the next. */
+    TimeUs tick()
+    {
+        const TimeUs due_us = next_due_us_;
+        next_due_us_ += interval_us_;
+        return due_us;
+    }
+
+    /**
+     * Fire every tick due at or before `t`, in due-time order, passing
+     * each tick's own due time to `fn(TimeUs due)`. The next tick is
+     * armed *before* fn runs, so fn may consult nextDue() safely.
+     */
+    template <typename Fn>
+    void catchUp(TimeUs t, Fn&& fn)
+    {
+        if (!enabled())
+            return;
+        while (next_due_us_ <= t)
+            std::forward<Fn>(fn)(tick());
+    }
+
+  private:
+    TimeUs next_due_us_ = 0;
+    TimeUs interval_us_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_ENGINE_PERIODIC_SCHEDULE_H_

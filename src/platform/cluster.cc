@@ -1,10 +1,10 @@
 #include "platform/cluster.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 #include <string>
 
+#include "engine/event_engine.h"
 #include "util/rng.h"
 
 namespace faascache {
@@ -168,32 +168,16 @@ runClusterSplit(const Trace& trace, PolicyKind kind,
     return result;
 }
 
-/** Front-end event of the health-aware simulation. */
-struct ClusterEvent
+/**
+ * Front-end event of the health-aware simulation.
+ * payload/payload2 carry: Dispatch — invocation index / attempt number;
+ * Crash — crash-plan index; Restart — rejoining server index.
+ */
+enum class FrontEndEvent
 {
-    enum class Kind
-    {
-        Dispatch,  ///< route invocation `index` (attempt `attempt`)
-        Crash,     ///< crash event `index` of the plan fires
-        Restart,   ///< server `server` rejoins
-    };
-
-    TimeUs time_us = 0;
-    std::uint64_t seq = 0;
-    Kind kind = Kind::Dispatch;
-    std::size_t index = 0;
-    int attempt = 0;
-    std::size_t server = 0;
-};
-
-struct LaterClusterEvent
-{
-    bool operator()(const ClusterEvent& a, const ClusterEvent& b) const
-    {
-        if (a.time_us != b.time_us)
-            return a.time_us > b.time_us;
-        return a.seq > b.seq;
-    }
+    Dispatch,  ///< route an invocation (possibly a retry attempt)
+    Crash,     ///< a crash event of the plan fires (Failure lane)
+    Restart,   ///< a crashed server rejoins
 };
 
 /**
@@ -221,25 +205,20 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         servers.back()->begin(trace);
     }
 
-    std::priority_queue<ClusterEvent, std::vector<ClusterEvent>,
-                        LaterClusterEvent>
-        events;
-    std::uint64_t next_seq = 0;
-    auto push = [&](TimeUs at, ClusterEvent::Kind kind, std::size_t index,
-                    int attempt = 0, std::size_t server = 0) {
-        events.push(ClusterEvent{at, next_seq++, kind, index, attempt,
-                                 server});
-    };
+    EventCore<FrontEndEvent> events;
+    events.bindCancellation(config.server.cancel);
+    events.reserve(trace.invocations().size() +
+                   config.faults.crashes.size());
 
     const std::vector<std::size_t> primaries =
         primaryTargets(trace, config);
     for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
-        push(trace.invocations()[i].arrival_us,
-             ClusterEvent::Kind::Dispatch, i);
+        events.schedule(trace.invocations()[i].arrival_us,
+                        FrontEndEvent::Dispatch, i);
     }
     for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
-        push(config.faults.crashes[k].at_us, ClusterEvent::Kind::Crash,
-             k);
+        events.scheduleFailure(config.faults.crashes[k].at_us,
+                               FrontEndEvent::Crash, k);
     }
 
     ClusterResult result;
@@ -264,12 +243,12 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         }
         ++attempts[index];
         ++result.retries;
-        push(at, ClusterEvent::Kind::Dispatch, index, attempts[index]);
+        events.schedule(at, FrontEndEvent::Dispatch, index,
+                        static_cast<std::uint64_t>(attempts[index]));
     };
 
     while (!events.empty()) {
-        const ClusterEvent event = events.top();
-        events.pop();
+        const EngineEvent<FrontEndEvent> event = events.pop();
         const TimeUs now = event.time_us;
         last_event_us = std::max(last_event_us, now);
         // Settle all servers so queue depths and health are current.
@@ -277,24 +256,21 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
             servers[s]->advanceTo(now);
 
         switch (event.kind) {
-          case ClusterEvent::Kind::Crash: {
-            const CrashEvent& ce = config.faults.crashes[event.index];
-            if (down[ce.server]) {
-                // A restart due at this same instant may be queued
-                // behind this event (FIFO tie-break). Defer the crash
-                // once — reusing `attempt` as the deferral mark — so
-                // the restart runs first; still-down on the second
-                // pass means a wider outage absorbs this crash.
-                if (event.attempt == 0)
-                    push(now, ClusterEvent::Kind::Crash, event.index, 1);
+          case FrontEndEvent::Crash: {
+            const CrashEvent& ce =
+                config.faults.crashes[static_cast<std::size_t>(
+                    event.payload)];
+            // Crashes ride the Failure lane, so a restart due at this
+            // same instant has already run; a server still down here is
+            // inside a wider outage that absorbs this crash.
+            if (down[ce.server])
                 break;
-            }
             const Server::CrashFallout fallout =
                 servers[ce.server]->crash(now);
             down[ce.server] = 1;
             if (ce.restart_after_us > 0) {
-                push(now + ce.restart_after_us,
-                     ClusterEvent::Kind::Restart, 0, 0, ce.server);
+                events.schedule(now + ce.restart_after_us,
+                                FrontEndEvent::Restart, ce.server);
             }
             // Everything the crash spilled goes back to the front end.
             for (std::size_t index : fallout.aborted)
@@ -303,17 +279,21 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                 scheduleRetry(index, now);
             break;
           }
-          case ClusterEvent::Kind::Restart:
-            servers[event.server]->restart(now);
-            down[event.server] = 0;
+          case FrontEndEvent::Restart: {
+            const auto server = static_cast<std::size_t>(event.payload);
+            servers[server]->restart(now);
+            down[server] = 0;
             break;
-          case ClusterEvent::Kind::Dispatch: {
+          }
+          case FrontEndEvent::Dispatch: {
+            const auto index = static_cast<std::size_t>(event.payload);
+            const int attempt = static_cast<int>(event.payload2);
             // Probe servers starting at the primary (retries start
             // offset by the attempt number so they prefer a different
             // server than the one that just failed).
-            const std::size_t primary = primaries[event.index];
+            const std::size_t primary = primaries[index];
             const std::size_t start =
-                (primary + static_cast<std::size_t>(event.attempt)) % n;
+                (primary + static_cast<std::size_t>(attempt)) % n;
             std::size_t chosen = n;
             bool any_healthy = false;
             for (std::size_t k = 0; k < n; ++k) {
@@ -335,14 +315,14 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                     // into a queue that would only time out.
                     ++result.shed_requests;
                 } else {
-                    scheduleRetry(event.index, now);
+                    scheduleRetry(index, now);
                 }
                 break;
             }
             if (chosen != primary)
                 ++result.failovers;
-            servers[chosen]->offer(event.index, now,
-                                   /*redispatched=*/event.attempt > 0);
+            servers[chosen]->offer(index, now,
+                                   /*redispatched=*/attempt > 0);
             break;
           }
         }

@@ -5,6 +5,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "platform/experiment_checkpoint.h"
+#include "util/checkpoint_journal.h"
+#include "util/sweep_journal.h"
 #include "util/thread_pool.h"
 
 namespace faascache {
@@ -23,33 +26,53 @@ validatePlatformCells(const std::vector<PlatformCell>& cells)
     }
 }
 
-/** Effective keys: cell.key or "<trace>/<policy>/<mem>", deduplicated. */
-std::vector<std::string>
-platformCellKeys(const std::vector<PlatformCell>& cells)
+/** @throws std::invalid_argument naming the first malformed cell. */
+void
+validateClusterCells(const std::vector<ClusterCell>& cells)
 {
-    std::vector<std::string> keys;
-    keys.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].trace == nullptr)
+            throw std::invalid_argument(
+                "runClusterSweepReport: cell without a trace (cell "
+                "index " +
+                std::to_string(i) + ")");
+    }
+}
+
+/** Deduplicate derived keys with "#n" suffixes, preserving order. */
+std::vector<std::string>
+dedupeKeys(std::vector<std::string> keys)
+{
     std::unordered_set<std::string> used;
-    for (const PlatformCell& cell : cells) {
-        std::string key = cell.key;
-        if (key.empty()) {
-            char mem[32];
-            std::snprintf(mem, sizeof mem, "%g", cell.server.memory_mb);
-            key = cell.trace->name() + "/" + policyKindName(cell.kind) +
-                "/" + mem + "MB";
-        }
-        if (!used.insert(key).second) {
-            for (int n = 2;; ++n) {
-                std::string candidate = key + "#" + std::to_string(n);
-                if (used.insert(candidate).second) {
-                    key = std::move(candidate);
-                    break;
-                }
+    for (std::string& key : keys) {
+        if (used.insert(key).second)
+            continue;
+        for (int n = 2;; ++n) {
+            std::string candidate = key + "#" + std::to_string(n);
+            if (used.insert(candidate).second) {
+                key = std::move(candidate);
+                break;
             }
         }
-        keys.push_back(std::move(key));
     }
     return keys;
+}
+
+/** Strict mode: rethrow the first (submission-order) cell failure. */
+template <typename Result>
+void
+rethrowFirstFailure(const std::vector<CellOutcome<Result>>& cells,
+                    const char* who)
+{
+    for (const CellOutcome<Result>& cell : cells) {
+        if (cell.ok())
+            continue;
+        if (cell.exception)
+            std::rethrow_exception(cell.exception);
+        throw std::runtime_error(std::string(who) + ": cell " + cell.key +
+                                 " " + cellStatusName(cell.status) + ": " +
+                                 cell.error);
+    }
 }
 
 }  // namespace
@@ -90,6 +113,46 @@ runPlatform(const Trace& trace, PolicyKind kind,
     return server.run(trace);
 }
 
+std::vector<std::string>
+platformCellKeys(const std::vector<PlatformCell>& cells)
+{
+    validatePlatformCells(cells);
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    for (const PlatformCell& cell : cells) {
+        std::string key = cell.key;
+        if (key.empty()) {
+            char mem[32];
+            std::snprintf(mem, sizeof mem, "%g", cell.server.memory_mb);
+            key = cell.trace->name() + "/" + policyKindName(cell.kind) +
+                "/" + mem + "MB";
+        }
+        keys.push_back(std::move(key));
+    }
+    return dedupeKeys(std::move(keys));
+}
+
+std::vector<std::string>
+clusterCellKeys(const std::vector<ClusterCell>& cells)
+{
+    validateClusterCells(cells);
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    for (const ClusterCell& cell : cells) {
+        std::string key = cell.key;
+        if (key.empty()) {
+            char shape[48];
+            std::snprintf(shape, sizeof shape, "%dx%g",
+                          cell.config.num_servers,
+                          cell.config.server.memory_mb);
+            key = cell.trace->name() + "/" + policyKindName(cell.kind) +
+                "/" + shape + "MB";
+        }
+        keys.push_back(std::move(key));
+    }
+    return dedupeKeys(std::move(keys));
+}
+
 std::vector<PlatformResult>
 runPlatformSweep(const std::vector<PlatformCell>& cells, std::size_t jobs)
 {
@@ -125,6 +188,31 @@ PlatformSweepReport::results() const
     return out;
 }
 
+std::size_t
+ClusterSweepReport::countWithStatus(CellStatus status) const
+{
+    std::size_t count = 0;
+    for (const CellOutcome<ClusterResult>& cell : cells)
+        count += cell.status == status ? 1 : 0;
+    return count;
+}
+
+bool
+ClusterSweepReport::allOk() const
+{
+    return countWithStatus(CellStatus::Ok) == cells.size();
+}
+
+std::vector<ClusterResult>
+ClusterSweepReport::results() const
+{
+    std::vector<ClusterResult> out;
+    out.reserve(cells.size());
+    for (const CellOutcome<ClusterResult>& cell : cells)
+        out.push_back(cell.result);
+    return out;
+}
+
 PlatformSweepReport
 runPlatformSweepReport(const std::vector<PlatformCell>& cells,
                        std::size_t jobs,
@@ -137,6 +225,15 @@ runPlatformSweepReport(const std::vector<PlatformCell>& cells,
     report.cells.resize(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i)
         report.cells[i].key = keys[i];
+
+    const std::uint64_t fingerprint = options.checkpoint_path.empty()
+        ? 0
+        : platformSweepFingerprint(cells);
+    std::unique_ptr<CheckpointJournalWriter> writer = openSweepJournal(
+        options.checkpoint_path, options.resume,
+        "runPlatformSweepReport", fingerprint, keys, report.cells,
+        &report.restored, &report.torn_tail,
+        decodePlatformCheckpointPayload);
 
     CellHarnessOptions harness;
     harness.deadline_s = options.deadline_s;
@@ -154,20 +251,65 @@ runPlatformSweepReport(const std::vector<PlatformCell>& cells,
             return runPlatform(*cell.trace, cell.kind, server,
                                cell.policy);
         },
-        [](std::size_t, const CellOutcome<PlatformResult>&) {},
+        [&writer](std::size_t /*index*/,
+                  const CellOutcome<PlatformResult>& outcome) {
+            if (writer)
+                writer->append(encodePlatformCheckpointPayload(
+                    outcome.key, outcome.result));
+        },
         harness);
 
-    if (options.strict) {
-        for (const CellOutcome<PlatformResult>& cell : report.cells) {
-            if (cell.ok())
-                continue;
-            if (cell.exception)
-                std::rethrow_exception(cell.exception);
-            throw std::runtime_error(
-                "runPlatformSweepReport: cell " + cell.key + " " +
-                cellStatusName(cell.status) + ": " + cell.error);
-        }
-    }
+    if (options.strict)
+        rethrowFirstFailure(report.cells, "runPlatformSweepReport");
+    return report;
+}
+
+ClusterSweepReport
+runClusterSweepReport(const std::vector<ClusterCell>& cells,
+                      std::size_t jobs,
+                      const PlatformSweepOptions& options)
+{
+    validateClusterCells(cells);
+    const std::vector<std::string> keys = clusterCellKeys(cells);
+
+    ClusterSweepReport report;
+    report.cells.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        report.cells[i].key = keys[i];
+
+    const std::uint64_t fingerprint = options.checkpoint_path.empty()
+        ? 0
+        : clusterSweepFingerprint(cells);
+    std::unique_ptr<CheckpointJournalWriter> writer = openSweepJournal(
+        options.checkpoint_path, options.resume, "runClusterSweepReport",
+        fingerprint, keys, report.cells, &report.restored,
+        &report.torn_tail, decodeClusterCheckpointPayload);
+
+    CellHarnessOptions harness;
+    harness.deadline_s = options.deadline_s;
+    harness.max_retries = options.max_retries;
+    harness.cancel = options.cancel;
+
+    ThreadPool pool(jobs);
+    report.completed = runHarnessedCells(
+        pool, report.cells,
+        [&cells](std::size_t index, int /*attempt*/,
+                 const CancellationToken& token) {
+            const ClusterCell& cell = cells[index];
+            ClusterConfig config = cell.config;
+            config.server.cancel = &token;
+            return runCluster(*cell.trace, cell.kind, config, cell.policy);
+        },
+        [&writer](std::size_t /*index*/,
+                  const CellOutcome<ClusterResult>& outcome) {
+            if (writer)
+                writer->append(encodeClusterCheckpointPayload(
+                    outcome.key, outcome.result));
+        },
+        harness);
+
+    if (options.strict)
+        rethrowFirstFailure(report.cells, "runClusterSweepReport");
     return report;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/policy_factory.h"
+#include "platform/cluster.h"
 #include "platform/server.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
@@ -68,7 +69,15 @@ struct PlatformCell
 std::vector<PlatformResult> runPlatformSweep(
     const std::vector<PlatformCell>& cells, std::size_t jobs = 0);
 
-/** Crash-safety knobs for runPlatformSweepReport(). */
+/**
+ * Effective per-cell keys of a platform sweep (cell.key or the derived
+ * "<trace>/<policy>/<memory>MB" default, deduplicated with "#n").
+ * Requires non-null traces.
+ */
+std::vector<std::string> platformCellKeys(
+    const std::vector<PlatformCell>& cells);
+
+/** Crash-safety knobs shared by the platform and cluster sweeps. */
 struct PlatformSweepOptions
 {
     /** Per-attempt wall-clock deadline, seconds; 0 disables it. */
@@ -79,6 +88,15 @@ struct PlatformSweepOptions
 
     /** Rethrow the first cell failure instead of reporting it. */
     bool strict = false;
+
+    /** Journal completed cells here; empty disables checkpointing. */
+    std::string checkpoint_path;
+
+    /**
+     * Restore completed cells from checkpoint_path before running.
+     * The file must exist and carry this grid's fingerprint.
+     */
+    bool resume = false;
 
     /** External cancellation (non-owning; may be null). */
     const CancellationToken* cancel = nullptr;
@@ -93,6 +111,12 @@ struct PlatformSweepReport
     /** False when external cancellation stopped the sweep early. */
     bool completed = true;
 
+    /** Cells restored from the checkpoint instead of re-run. */
+    std::size_t restored = 0;
+
+    /** The resumed checkpoint had a torn tail (truncated, re-run). */
+    bool torn_tail = false;
+
     std::size_t countWithStatus(CellStatus status) const;
     bool allOk() const;
 
@@ -103,16 +127,82 @@ struct PlatformSweepReport
 /**
  * Harnessed flavour of runPlatformSweep(): every cell resolves to a
  * CellOutcome (ok | failed | timed_out | skipped) with watchdog
- * deadlines, bounded retry, and clean external cancellation — one
- * poisoned cell no longer aborts the sweep. Platform sweeps are small
- * (a handful of head-to-head runs), so they have no checkpoint
- * journal; use the SimResult sweep engine for checkpointable grids.
+ * deadlines, bounded retry, checkpoint/resume (the PlatformResult
+ * journal flavour, platform/experiment_checkpoint.h), and clean
+ * external cancellation — one poisoned cell no longer aborts the
+ * sweep.
  *
  * @throws std::invalid_argument for a malformed cell (null trace),
  *         naming the offending cell index.
+ * @throws std::runtime_error when options.resume is set and the
+ *         checkpoint cannot be read or belongs to a different grid.
  */
 PlatformSweepReport runPlatformSweepReport(
     const std::vector<PlatformCell>& cells, std::size_t jobs = 0,
+    const PlatformSweepOptions& options = {});
+
+/** One independent cluster run of a sweep. */
+struct ClusterCell
+{
+    /** Workload to replay (non-owning; must outlive the sweep). */
+    const Trace* trace = nullptr;
+    PolicyKind kind = PolicyKind::GreedyDual;
+    ClusterConfig config;
+    PolicyConfig policy;
+
+    /**
+     * Stable cell identity for checkpointing and error reports. Leave
+     * empty to have the runner derive
+     * "<trace>/<policy>/<servers>x<memory>" (with a "#n" suffix on
+     * duplicates); set it explicitly when the grid varies knobs that
+     * derivation cannot see (balancers, fault plans).
+     */
+    std::string key;
+};
+
+/**
+ * Effective per-cell keys of a cluster sweep (cell.key or the derived
+ * default, deduplicated with "#n"). Requires non-null traces.
+ */
+std::vector<std::string> clusterCellKeys(
+    const std::vector<ClusterCell>& cells);
+
+/** Everything a harnessed cluster sweep produced. */
+struct ClusterSweepReport
+{
+    /** Per-cell outcomes, indexed like the input grid. */
+    std::vector<CellOutcome<ClusterResult>> cells;
+
+    /** False when external cancellation stopped the sweep early. */
+    bool completed = true;
+
+    /** Cells restored from the checkpoint instead of re-run. */
+    std::size_t restored = 0;
+
+    /** The resumed checkpoint had a torn tail (truncated, re-run). */
+    bool torn_tail = false;
+
+    std::size_t countWithStatus(CellStatus status) const;
+    bool allOk() const;
+
+    /** results()[i] is cells[i].result. @pre allOk(). */
+    std::vector<ClusterResult> results() const;
+};
+
+/**
+ * Cluster flavour of runPlatformSweepReport(): fan independent
+ * runCluster() cells across a worker pool under the crash-safety
+ * harness, with the same deadline/retry/checkpoint/cancellation
+ * contract and submission-order (byte-identical for any jobs)
+ * results.
+ *
+ * @throws std::invalid_argument for a malformed cell (null trace),
+ *         naming the offending cell index.
+ * @throws std::runtime_error when options.resume is set and the
+ *         checkpoint cannot be read or belongs to a different grid.
+ */
+ClusterSweepReport runClusterSweepReport(
+    const std::vector<ClusterCell>& cells, std::size_t jobs = 0,
     const PlatformSweepOptions& options = {});
 
 /**

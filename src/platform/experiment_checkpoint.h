@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Platform and cluster flavours of the checkpoint journal
+ * (util/checkpoint_journal.h): full-fidelity payload codecs for
+ * PlatformResult and ClusterResult plus the grid fingerprints that
+ * guard --resume, giving the platform/cluster benches the same
+ * SIGKILL-and-resume contract the SimResult sweeps have had since
+ * PR 3.
+ *
+ * Encoding rules match the SimResult codec: integers in decimal,
+ * doubles in C hexfloat (`%a`), strings percent-escaped — a restored
+ * result is field-for-field (bit-for-bit for doubles) equal to the
+ * computed one, so a resumed bench's output is byte-identical to an
+ * uninterrupted run. A ClusterResult payload nests one PlatformResult
+ * field block per server. The non-owning ServerConfig::cancel pointer
+ * is deliberately not journaled (a restored result carries no token).
+ */
+#ifndef FAASCACHE_PLATFORM_EXPERIMENT_CHECKPOINT_H_
+#define FAASCACHE_PLATFORM_EXPERIMENT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/experiment.h"
+
+namespace faascache {
+
+/**
+ * @name PlatformResult payload codec
+ * @{
+ */
+std::string encodePlatformCheckpointPayload(const std::string& key,
+                                            const PlatformResult& result);
+
+/** @return false when the payload is malformed. */
+bool decodePlatformCheckpointPayload(const std::string& payload,
+                                     std::string* key,
+                                     PlatformResult* result);
+/** @} */
+
+/**
+ * @name ClusterResult payload codec
+ * @{
+ */
+std::string encodeClusterCheckpointPayload(const std::string& key,
+                                           const ClusterResult& result);
+
+/** @return false when the payload is malformed. */
+bool decodeClusterCheckpointPayload(const std::string& payload,
+                                    std::string* key,
+                                    ClusterResult* result);
+/** @} */
+
+/**
+ * Fingerprint of a platform sweep grid: trace contents, effective cell
+ * keys, policy kinds, and server knobs. Two sweeps share a fingerprint
+ * iff they would replay the same cells (the --resume safety check).
+ */
+std::uint64_t platformSweepFingerprint(
+    const std::vector<PlatformCell>& cells);
+
+/**
+ * Fingerprint of a cluster sweep grid: trace contents, effective cell
+ * keys, policy kinds, and the full cluster configuration (fleet shape,
+ * balancing, failover knobs, fault plan).
+ */
+std::uint64_t clusterSweepFingerprint(
+    const std::vector<ClusterCell>& cells);
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_EXPERIMENT_CHECKPOINT_H_

@@ -91,6 +91,7 @@ Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
 {
     if (!policy_)
         throw std::invalid_argument("Server: null policy");
+    events_.bindCancellation(config_.cancel);
 }
 
 void
@@ -126,7 +127,7 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         inflight_[warm->id()] =
             Inflight{request.invocation_index, request.latency_anchor_us,
                      /*cold=*/false, request.redispatched};
-        events_.push(warm->busyUntil(), EventKind::Finish, warm->id());
+        events_.schedule(warm->busyUntil(), EventKind::Finish, warm->id());
         return Dispatch::Started;
     }
 
@@ -174,10 +175,10 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         Inflight{request.invocation_index, request.latency_anchor_us,
                  /*cold=*/true, request.redispatched};
     if (cold_slots > 1) {
-        events_.push(now + stall_us + init_us, EventKind::InitDone,
-                     fresh.id());
+        events_.schedule(now + stall_us + init_us, EventKind::InitDone,
+                         fresh.id());
     }
-    events_.push(fresh.busyUntil(), EventKind::Finish, fresh.id());
+    events_.schedule(fresh.busyUntil(), EventKind::Finish, fresh.id());
     return Dispatch::Started;
 }
 
@@ -213,7 +214,7 @@ Server::drainQueue(TimeUs now)
             ++result_.robustness.spawn_failures;
             head.not_before_us =
                 now + injector_->plan().spawn_retry_delay_us;
-            events_.push(head.not_before_us, EventKind::Retry);
+            events_.schedule(head.not_before_us, EventKind::Retry);
             still_waiting.push_back(head);
             continue;
         }
@@ -286,9 +287,10 @@ Server::acceptArrival(std::size_t invocation_index, TimeUs now,
 }
 
 void
-Server::handleEvent(const Event& event)
+Server::handleEvent(const ServerEvent& event)
 {
     const TimeUs now = event.time_us;
+    clock_.advanceTo(now);
     switch (event.kind) {
       case EventKind::Arrival:
         acceptArrival(static_cast<std::size_t>(event.payload), now,
@@ -326,7 +328,7 @@ Server::handleEvent(const Event& event)
         if (incremental_) {
             const TimeUs next = now + config_.maintenance_interval_us;
             if (next <= horizon_us_)
-                events_.push(next, EventKind::Maintenance);
+                events_.schedule(next, EventKind::Maintenance);
         }
         break;
       case EventKind::Retry:
@@ -336,19 +338,11 @@ Server::handleEvent(const Event& event)
       case EventKind::Crash: {
         // Self-scheduled (standalone run()) crash: there is no front
         // end to fail the spilled work over to, so it is lost here.
-        if (down_) {
-            // A restart due at this very instant may still be queued
-            // behind this event (same-timestamp FIFO tie-break). Defer
-            // the crash once so the restart runs first; if the server
-            // is still down on the second pass, the crash sits inside
-            // a wider outage and is absorbed by it.
-            if (!crash_deferred_[static_cast<std::size_t>(event.payload)]) {
-                crash_deferred_[static_cast<std::size_t>(event.payload)] =
-                    1;
-                events_.push(now, EventKind::Crash, event.payload);
-            }
+        // Crashes ride the Failure lane, so a restart due at this very
+        // instant has already run; finding the server still down means
+        // this crash sits inside a wider outage and is absorbed by it.
+        if (down_)
             break;
-        }
         assert(injector_ != nullptr);
         const CrashEvent& ce =
             injector_->crashes()[static_cast<std::size_t>(event.payload)];
@@ -363,7 +357,7 @@ Server::handleEvent(const Event& event)
                   .dropped;
         }
         if (ce.restart_after_us > 0)
-            events_.push(now + ce.restart_after_us, EventKind::Restart);
+            events_.schedule(now + ce.restart_after_us, EventKind::Restart);
         break;
       }
       case EventKind::Restart:
@@ -445,6 +439,10 @@ Server::beginRun(const Trace& trace)
     if (!trace.validate() || !trace.isSorted())
         throw std::invalid_argument("Server: invalid or unsorted trace");
     trace_ = &trace;
+    // A cancelled or abandoned previous run may have left events
+    // pending; a fresh run must never observe a stale heap.
+    events_.clear();
+    clock_.reset();
     result_ = PlatformResult{};
     result_.policy_name = policy_->name();
     result_.config = config_;
@@ -458,31 +456,40 @@ Server::run(const Trace& trace)
     beginRun(trace);
     incremental_ = false;
 
-    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
-        events_.push(trace.invocations()[i].arrival_us, EventKind::Arrival,
-                     i);
-    }
     TimeUs horizon = 0;
+    std::size_t maintenance_ticks = 0;
     if (!trace.invocations().empty()) {
         horizon = trace.invocations().back().arrival_us +
             config_.queue_timeout_us;
-        for (TimeUs t = 0; t <= horizon;
-             t += config_.maintenance_interval_us) {
-            events_.push(t, EventKind::Maintenance);
-        }
+        maintenance_ticks = static_cast<std::size_t>(
+            horizon / config_.maintenance_interval_us) + 1;
+    }
+    const std::size_t crashes_count =
+        injector_ != nullptr ? injector_->crashes().size() : 0;
+    // Reserve the whole setup load (arrivals + maintenance ticks +
+    // crashes) up front so the heap never reallocates mid-run; runtime
+    // events (finishes, retries, restarts) only replace delivered setup
+    // events, so the high-water mark is the setup count.
+    events_.reserve(trace.invocations().size() + maintenance_ticks +
+                    crashes_count);
+
+    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+        events_.schedule(trace.invocations()[i].arrival_us,
+                         EventKind::Arrival, i);
+    }
+    for (std::size_t k = 0; k < maintenance_ticks; ++k) {
+        events_.schedule(
+            static_cast<TimeUs>(k) * config_.maintenance_interval_us,
+            EventKind::Maintenance);
     }
     if (injector_ != nullptr) {
         const auto& crashes = injector_->crashes();
-        crash_deferred_.assign(crashes.size(), 0);
         for (std::size_t k = 0; k < crashes.size(); ++k)
-            events_.push(crashes[k].at_us, EventKind::Crash, k);
+            events_.scheduleFailure(crashes[k].at_us, EventKind::Crash, k);
     }
 
-    while (!events_.empty()) {
-        if (config_.cancel != nullptr)
-            config_.cancel->throwIfCancelled();
+    while (!events_.empty())
         handleEvent(events_.pop());
-    }
 
     return closeRun(horizon);
 }
@@ -493,7 +500,8 @@ Server::begin(const Trace& trace)
     beginRun(trace);
     incremental_ = true;
     horizon_us_ = std::numeric_limits<TimeUs>::max();
-    events_.push(0, EventKind::Maintenance);
+    events_.reserve(trace.invocations().size());
+    events_.schedule(0, EventKind::Maintenance);
 }
 
 bool

@@ -38,7 +38,7 @@
 
 #include "core/container_pool.h"
 #include "core/keepalive_policy.h"
-#include "platform/event_queue.h"
+#include "engine/event_engine.h"
 #include "platform/fault_injection.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
@@ -46,6 +46,25 @@
 #include "util/stats.h"
 
 namespace faascache {
+
+/**
+ * What a scheduled platform event represents. Crashes ride the engine's
+ * Failure tie-break lane (engine/event_engine.h); everything else is
+ * Normal-lane FIFO traffic.
+ */
+enum class EventKind
+{
+    Arrival,      ///< a request arrived (payload: invocation index)
+    Finish,       ///< an invocation completed (payload: container id)
+    InitDone,     ///< a cold start finished initializing (payload: id)
+    Maintenance,  ///< periodic expiry/prewarm/queue housekeeping
+    Retry,        ///< re-drain the queue after a spawn-failure holdoff
+    Crash,        ///< injected server crash (payload: crash-list index)
+    Restart,      ///< crashed server rejoins, cold
+};
+
+/** One scheduled platform event. */
+using ServerEvent = EngineEvent<EventKind>;
 
 /** Invoker server parameters. */
 struct ServerConfig
@@ -250,6 +269,9 @@ class Server
 
     /** Occupied CPU slots. */
     int runningCount() const { return running_; }
+
+    /** Engine clock: time of the last internally processed event. */
+    TimeUs now() const { return clock_.now(); }
     /** @} */
 
   private:
@@ -303,7 +325,7 @@ class Server
                        bool redispatched);
 
     /** Process one event from the internal queue. */
-    void handleEvent(const Event& event);
+    void handleEvent(const ServerEvent& event);
 
     /** Reset per-run accounting and bind `trace`. */
     void beginRun(const Trace& trace);
@@ -315,7 +337,8 @@ class Server
     std::unique_ptr<KeepAlivePolicy> policy_;
     ServerConfig config_;
     ContainerPool pool_;
-    EventQueue events_;
+    EventCore<EventKind> events_;
+    SimClock clock_;
     std::deque<PendingRequest> queue_;
     const Trace* trace_ = nullptr;
     FaultInjector* injector_ = nullptr;
@@ -331,10 +354,6 @@ class Server
 
     bool down_ = false;
     TimeUs down_since_ = 0;
-
-    /** Per-crash-event one-shot deferral marks: a crash arriving while
-     *  down is requeued once so a same-instant restart runs first. */
-    std::vector<char> crash_deferred_;
 
     /** Running invocations by container id. */
     std::unordered_map<ContainerId, Inflight> inflight_;

@@ -4,6 +4,7 @@
 
 #include "analysis/online_hrc.h"
 #include "analysis/reuse_distance.h"
+#include "engine/periodic_schedule.h"
 
 namespace faascache {
 
@@ -54,16 +55,23 @@ runElasticSimulation(const Trace& trace,
 
     ElasticResult result;
     const double period_sec = toSeconds(elastic_config.control_period_us);
-    TimeUs period_end = elastic_config.control_period_us;
+
+    // Engine periodic tasks: the controller fires at the end of every
+    // control period, the online HRC refresh (when enabled) at the end
+    // of every refresh period.
+    PeriodicSchedule control(elastic_config.control_period_us,
+                             elastic_config.control_period_us);
+    PeriodicSchedule refresh(elastic_config.curve_refresh_period_us,
+                             elastic_config.curve_refresh_period_us);
+
     std::int64_t arrivals_at_period_start = 0;
     std::int64_t cold_at_period_start = 0;
 
     // Optional online curve refresh (drift handling).
-    const bool online = elastic_config.curve_refresh_period_us > 0;
+    const bool online = refresh.enabled();
     OnlineReuseAnalyzer analyzer(
         online ? elastic_config.online_sample_rate : 1.0);
     std::size_t fed_invocations = 0;
-    TimeUs next_refresh_us = elastic_config.curve_refresh_period_us;
     auto feed_analyzer = [&](TimeUs up_to) {
         if (!online)
             return;
@@ -74,12 +82,11 @@ runElasticSimulation(const Trace& trace,
             analyzer.observe(inv.function,
                              trace.function(inv.function).mem_mb);
         }
-        while (next_refresh_us <= up_to) {
-            next_refresh_us += elastic_config.curve_refresh_period_us;
+        refresh.catchUp(up_to, [&](TimeUs /*due*/) {
             const HitRatioCurve fresh = analyzer.curve();
             if (!fresh.empty())
                 controller.setCurve(fresh);
-        }
+        });
     };
 
     // Capacity fraction in effect at time t: the most constrained of the
@@ -118,15 +125,14 @@ runElasticSimulation(const Trace& trace,
     };
 
     while (!sim.done()) {
-        while (!sim.done() && sim.nextArrival() < period_end)
+        while (!sim.done() && sim.nextArrival() < control.nextDue())
             sim.step();
         if (sim.done())
             break;
-        close_period(period_end);
-        period_end += elastic_config.control_period_us;
+        close_period(control.tick());
     }
     // Close the final partial period so the timeline covers the trace.
-    close_period(period_end);
+    close_period(control.nextDue());
 
     result.sim = sim.result();
     return result;

@@ -52,8 +52,11 @@ Simulator::Simulator(const Trace& trace,
     result_.policy_name = policy_->name();
     result_.memory_mb = config_.memory_mb;
     result_.per_function.resize(trace_.functions().size());
-    if (config_.memory_sample_interval_us > 0)
-        next_sample_us_ = 0;
+    // Registered periodic tasks: both start due at t=0 (a sample of the
+    // empty pool, a reclaim pass over it) and re-arm every interval; a
+    // non-positive interval disables the schedule entirely.
+    sampling_ = PeriodicSchedule(0, config_.memory_sample_interval_us);
+    reclaim_ = PeriodicSchedule(0, config_.background_reclaim_interval_us);
 }
 
 TimeUs
@@ -66,13 +69,9 @@ Simulator::nextArrival() const
 void
 Simulator::sampleMemory(TimeUs t)
 {
-    if (config_.memory_sample_interval_us <= 0)
-        return;
-    while (next_sample_us_ <= t) {
-        result_.memory_usage.push_back(
-            MemorySample{next_sample_us_, pool_.usedMb()});
-        next_sample_us_ += config_.memory_sample_interval_us;
-    }
+    sampling_.catchUp(t, [this](TimeUs due) {
+        result_.memory_usage.push_back(MemorySample{due, pool_.usedMb()});
+    });
 }
 
 void
@@ -104,21 +103,16 @@ Simulator::advanceTo(TimeUs t)
 
     // Background reclamation keeps a free-memory reserve so demand
     // evictions stay off the invocation fast path (§6 future work).
-    if (config_.background_reclaim_interval_us > 0) {
-        while (next_reclaim_us_ <= t) {
-            const TimeUs when = next_reclaim_us_;
-            next_reclaim_us_ += config_.background_reclaim_interval_us;
-            const MemMb deficit =
-                config_.background_free_target_mb - pool_.freeMb();
-            if (deficit <= 0)
-                continue;
-            for (ContainerId id :
-                 policy_->selectVictims(pool_, deficit, when)) {
-                evict(id, when, /*expired=*/false);
-                ++result_.background_reclaims;
-            }
+    reclaim_.catchUp(t, [this](TimeUs when) {
+        const MemMb deficit =
+            config_.background_free_target_mb - pool_.freeMb();
+        if (deficit <= 0)
+            return;
+        for (ContainerId id : policy_->selectVictims(pool_, deficit, when)) {
+            evict(id, when, /*expired=*/false);
+            ++result_.background_reclaims;
         }
-    }
+    });
 
     if (config_.enable_prewarm) {
         for (FunctionId fn : policy_->duePrewarms(t)) {
@@ -146,15 +140,16 @@ Simulator::step()
         config_.cancel->throwIfCancelled();
     const Invocation& inv = trace_.invocations()[next_invocation_++];
     const FunctionSpec& spec = trace_.function(inv.function);
-    now_ = inv.arrival_us;
-    advanceTo(now_);
+    clock_.advanceTo(inv.arrival_us);
+    const TimeUs now_us = clock_.now();
+    advanceTo(now_us);
 
-    policy_->onInvocationArrival(spec, now_);
+    policy_->onInvocationArrival(spec, now_us);
     FunctionOutcome& outcome = result_.per_function[spec.id];
 
     if (Container* warm = pool_.findIdleWarm(spec.id)) {
-        warm->startInvocation(now_, now_ + spec.warm_us);
-        policy_->onWarmStart(*warm, spec, now_);
+        warm->startInvocation(now_us, now_us + spec.warm_us);
+        policy_->onWarmStart(*warm, spec, now_us);
         ++result_.warm_starts;
         ++outcome.warm;
         result_.actual_exec_us += spec.warm_us;
@@ -166,7 +161,7 @@ Simulator::step()
     if (!pool_.fits(spec.mem_mb)) {
         const MemMb needed = spec.mem_mb - pool_.freeMb();
         ++result_.eviction_rounds;
-        const auto victims = policy_->selectVictims(pool_, needed, now_);
+        const auto victims = policy_->selectVictims(pool_, needed, now_us);
         MemMb freed = 0;
         for (ContainerId id : victims) {
             const Container* c = pool_.get(id);
@@ -182,12 +177,12 @@ Simulator::step()
             return;
         }
         for (ContainerId id : victims)
-            evict(id, now_, /*expired=*/false);
+            evict(id, now_us, /*expired=*/false);
     }
 
-    Container& fresh = pool_.add(spec, now_);
-    fresh.startInvocation(now_, now_ + spec.cold_us);
-    policy_->onColdStart(fresh, spec, now_);
+    Container& fresh = pool_.add(spec, now_us);
+    fresh.startInvocation(now_us, now_us + spec.cold_us);
+    policy_->onColdStart(fresh, spec, now_us);
     ++result_.cold_starts;
     ++outcome.cold;
     result_.actual_exec_us += spec.cold_us;
@@ -199,7 +194,7 @@ Simulator::run()
 {
     while (!done())
         step();
-    sampleMemory(now_);
+    sampleMemory(clock_.now());
     return result_;
 }
 
@@ -216,11 +211,11 @@ Simulator::resize(MemMb new_capacity_mb)
     // idle containers; busy containers are allowed to linger over
     // capacity until they finish.
     const MemMb excess = pool_.usedMb() - new_capacity_mb;
-    const auto victims = policy_->selectVictims(pool_, excess, now_);
+    const auto victims = policy_->selectVictims(pool_, excess, clock_.now());
     for (ContainerId id : victims) {
         if (pool_.usedMb() <= new_capacity_mb)
             break;
-        evict(id, now_, /*expired=*/false);
+        evict(id, clock_.now(), /*expired=*/false);
     }
 }
 

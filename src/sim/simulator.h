@@ -25,6 +25,8 @@
 
 #include "core/container_pool.h"
 #include "core/keepalive_policy.h"
+#include "engine/event_engine.h"
+#include "engine/periodic_schedule.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
@@ -92,7 +94,7 @@ class Simulator
     bool done() const { return next_invocation_ >= trace_.invocations().size(); }
 
     /** Arrival time of the last processed invocation (0 initially). */
-    TimeUs now() const { return now_; }
+    TimeUs now() const { return clock_.now(); }
 
     /** Arrival time of the next invocation. @pre !done(). */
     TimeUs nextArrival() const;
@@ -127,9 +129,13 @@ class Simulator
     SimResult result_;
 
     std::size_t next_invocation_ = 0;
-    TimeUs now_ = 0;
-    TimeUs next_sample_us_ = 0;
-    TimeUs next_reclaim_us_ = 0;
+
+    /** Engine clock: the arrival instant being processed. */
+    SimClock clock_;
+
+    /** Registered periodic tasks (engine/periodic_schedule.h). */
+    PeriodicSchedule sampling_;
+    PeriodicSchedule reclaim_;
 };
 
 /** Convenience: construct, run, and return the result. */

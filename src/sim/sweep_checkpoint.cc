@@ -1,123 +1,17 @@
 #include "sim/sweep_checkpoint.h"
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <mutex>
 #include <sstream>
-#include <stdexcept>
-
-#include <unistd.h>
+#include <utility>
 
 namespace faascache {
-
-namespace {
-
-constexpr const char* kHeaderMagic = "faascache-sweep-ckpt v1 fp=";
-constexpr const char* kRecordTag = "cell ";
-
-std::string
-escapeToken(const std::string& raw)
-{
-    std::string out;
-    out.reserve(raw.size());
-    for (unsigned char c : raw) {
-        if (c <= 0x20 || c == '%' || c >= 0x7f) {
-            char buf[4];
-            std::snprintf(buf, sizeof buf, "%%%02X", c);
-            out += buf;
-        } else {
-            out += static_cast<char>(c);
-        }
-    }
-    // An empty token would vanish in the whitespace-separated payload.
-    return out.empty() ? std::string("%00") : out;
-}
-
-bool
-unescapeToken(const std::string& escaped, std::string* out)
-{
-    out->clear();
-    if (escaped == "%00")  // the empty-token marker
-        return true;
-    out->reserve(escaped.size());
-    for (std::size_t i = 0; i < escaped.size(); ++i) {
-        if (escaped[i] != '%') {
-            *out += escaped[i];
-            continue;
-        }
-        if (i + 2 >= escaped.size())
-            return false;
-        char hex[3] = {escaped[i + 1], escaped[i + 2], '\0'};
-        char* end = nullptr;
-        const long value = std::strtol(hex, &end, 16);
-        if (end != hex + 2)
-            return false;
-        *out += static_cast<char>(value);
-        i += 2;
-    }
-    return true;
-}
-
-std::string
-hexDouble(double value)
-{
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%a", value);
-    return buf;
-}
-
-bool
-parseDouble(const std::string& token, double* out)
-{
-    if (token.empty())
-        return false;
-    char* end = nullptr;
-    *out = std::strtod(token.c_str(), &end);
-    return end == token.c_str() + token.size();
-}
-
-bool
-parseI64(const std::string& token, std::int64_t* out)
-{
-    if (token.empty())
-        return false;
-    char* end = nullptr;
-    *out = std::strtoll(token.c_str(), &end, 10);
-    return end == token.c_str() + token.size();
-}
-
-bool
-parseU64(const std::string& token, std::uint64_t* out)
-{
-    if (token.empty())
-        return false;
-    char* end = nullptr;
-    *out = std::strtoull(token.c_str(), &end, 16);
-    return end == token.c_str() + token.size();
-}
-
-}  // namespace
-
-std::uint64_t
-fnv1a64(std::string_view data, std::uint64_t seed)
-{
-    std::uint64_t hash = seed;
-    for (unsigned char c : data) {
-        hash ^= c;
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
 
 std::string
 encodeCheckpointPayload(const std::string& key, const SimResult& r)
 {
     std::ostringstream out;
-    out << escapeToken(key) << ' ' << escapeToken(r.policy_name) << ' '
-        << hexDouble(r.memory_mb) << ' ' << r.warm_starts << ' '
+    out << escapeJournalToken(key) << ' '
+        << escapeJournalToken(r.policy_name) << ' '
+        << hexDoubleToken(r.memory_mb) << ' ' << r.warm_starts << ' '
         << r.cold_starts << ' ' << r.dropped << ' ' << r.evictions << ' '
         << r.expirations << ' ' << r.prewarms << ' ' << r.eviction_rounds
         << ' ' << r.background_reclaims << ' ' << r.actual_exec_us << ' '
@@ -127,7 +21,7 @@ encodeCheckpointPayload(const std::string& key, const SimResult& r)
         out << ' ' << f.warm << ' ' << f.cold << ' ' << f.dropped;
     out << ' ' << r.memory_usage.size();
     for (const MemorySample& s : r.memory_usage)
-        out << ' ' << s.time_us << ' ' << hexDouble(s.used_mb);
+        out << ' ' << s.time_us << ' ' << hexDoubleToken(s.used_mb);
     return out.str();
 }
 
@@ -145,18 +39,18 @@ decodeCheckpointPayload(const std::string& payload, std::string* key,
     };
     const auto next_i64 = [&](std::int64_t* out) {
         std::string t;
-        return next(&t) && parseI64(t, out);
+        return next(&t) && parseI64Token(t, out);
     };
     const auto next_double = [&](double* out) {
         std::string t;
-        return next(&t) && parseDouble(t, out);
+        return next(&t) && parseDoubleToken(t, out);
     };
 
     SimResult r;
     std::string escaped;
-    if (!next(&escaped) || !unescapeToken(escaped, key))
+    if (!next(&escaped) || !unescapeJournalToken(escaped, key))
         return false;
-    if (!next(&escaped) || !unescapeToken(escaped, &r.policy_name))
+    if (!next(&escaped) || !unescapeJournalToken(escaped, &r.policy_name))
         return false;
     if (!next_double(&r.memory_mb))
         return false;
@@ -192,77 +86,32 @@ decodeCheckpointPayload(const std::string& payload, std::string* key,
 SweepCheckpointLoad
 loadSweepCheckpoint(const std::string& path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("cannot read checkpoint file: " + path);
-    std::string content((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
+    const CheckpointJournalLoad journal = loadCheckpointJournal(path);
 
     SweepCheckpointLoad load;
+    load.fingerprint = journal.fingerprint;
+    load.valid_bytes = journal.valid_bytes;
+    load.torn_tail = journal.torn_tail;
 
-    // Header line.
-    const std::size_t header_end = content.find('\n');
-    if (header_end == std::string::npos ||
-        content.compare(0, std::strlen(kHeaderMagic), kHeaderMagic) != 0) {
-        throw std::runtime_error(
-            "not a faascache sweep checkpoint (bad header): " + path);
+    // A checksum-valid record that is not a SimResult payload ends the
+    // valid prefix, exactly as a structurally torn record would.
+    std::size_t prefix = journal.header_bytes;
+    for (const CheckpointJournalRecord& record : journal.records) {
+        SweepCheckpointRecord decoded;
+        if (!decodeCheckpointPayload(record.payload, &decoded.key,
+                                     &decoded.result)) {
+            load.valid_bytes = prefix;
+            load.torn_tail = true;
+            return load;
+        }
+        prefix = record.end_offset;
+        load.records.push_back(std::move(decoded));
     }
-    const std::string fp_hex = content.substr(
-        std::strlen(kHeaderMagic), header_end - std::strlen(kHeaderMagic));
-    if (!parseU64(fp_hex, &load.fingerprint))
-        throw std::runtime_error(
-            "not a faascache sweep checkpoint (bad fingerprint field): " +
-            path);
-    load.valid_bytes = header_end + 1;
-
-    // Records: extend the valid prefix line by line; the first invalid
-    // or unterminated line ends it.
-    std::size_t pos = load.valid_bytes;
-    while (pos < content.size()) {
-        const std::size_t eol = content.find('\n', pos);
-        if (eol == std::string::npos)
-            break;  // unterminated tail (write cut mid-record)
-        const std::string line = content.substr(pos, eol - pos);
-        if (line.compare(0, std::strlen(kRecordTag), kRecordTag) != 0)
-            break;
-        const std::size_t space =
-            line.find(' ', std::strlen(kRecordTag));
-        if (space == std::string::npos)
-            break;
-        const std::string checksum_hex =
-            line.substr(std::strlen(kRecordTag),
-                        space - std::strlen(kRecordTag));
-        const std::string payload = line.substr(space + 1);
-        std::uint64_t checksum = 0;
-        if (!parseU64(checksum_hex, &checksum) ||
-            checksum != fnv1a64(payload))
-            break;
-        SweepCheckpointRecord record;
-        if (!decodeCheckpointPayload(payload, &record.key, &record.result))
-            break;
-        load.records.push_back(std::move(record));
-        pos = eol + 1;
-        load.valid_bytes = pos;
-    }
-    load.torn_tail = load.valid_bytes < content.size();
     return load;
 }
 
-struct SweepCheckpointWriter::Impl
-{
-    std::string path;
-    std::FILE* file = nullptr;
-    std::mutex mutex;
-
-    ~Impl()
-    {
-        if (file != nullptr)
-            std::fclose(file);
-    }
-};
-
-SweepCheckpointWriter::SweepCheckpointWriter(std::unique_ptr<Impl> impl)
-    : impl_(std::move(impl))
+SweepCheckpointWriter::SweepCheckpointWriter(CheckpointJournalWriter writer)
+    : writer_(std::make_unique<CheckpointJournalWriter>(std::move(writer)))
 {
 }
 
@@ -276,61 +125,29 @@ SweepCheckpointWriter
 SweepCheckpointWriter::beginFresh(const std::string& path,
                                   std::uint64_t fingerprint)
 {
-    auto impl = std::make_unique<Impl>();
-    impl->path = path;
-    impl->file = std::fopen(path.c_str(), "wb");
-    if (impl->file == nullptr)
-        throw std::runtime_error("cannot create checkpoint file: " + path);
-    std::fprintf(impl->file, "%s%016" PRIx64 "\n", kHeaderMagic,
-                 fingerprint);
-    std::fflush(impl->file);
-    return SweepCheckpointWriter(std::move(impl));
+    return SweepCheckpointWriter(
+        CheckpointJournalWriter::beginFresh(path, fingerprint));
 }
 
 SweepCheckpointWriter
 SweepCheckpointWriter::continueAt(const std::string& path,
                                   std::size_t valid_bytes)
 {
-    auto impl = std::make_unique<Impl>();
-    impl->path = path;
-    // "r+b" so we can truncate the torn tail in place, then append.
-    impl->file = std::fopen(path.c_str(), "r+b");
-    if (impl->file == nullptr)
-        throw std::runtime_error("cannot reopen checkpoint file: " + path);
-    std::fflush(impl->file);
-    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
-        std::fclose(impl->file);
-        impl->file = nullptr;
-        throw std::runtime_error(
-            "cannot truncate checkpoint torn tail: " + path);
-    }
-    if (std::fseek(impl->file, static_cast<long>(valid_bytes), SEEK_SET) !=
-        0) {
-        std::fclose(impl->file);
-        impl->file = nullptr;
-        throw std::runtime_error("cannot seek checkpoint file: " + path);
-    }
-    return SweepCheckpointWriter(std::move(impl));
+    return SweepCheckpointWriter(
+        CheckpointJournalWriter::continueAt(path, valid_bytes));
 }
 
 void
 SweepCheckpointWriter::append(const std::string& key,
                               const SimResult& result)
 {
-    const std::string payload = encodeCheckpointPayload(key, result);
-    const std::uint64_t checksum = fnv1a64(payload);
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    std::fprintf(impl_->file, "%s%016" PRIx64 " %s\n", kRecordTag,
-                 checksum, payload.c_str());
-    // Flush record-by-record: a SIGKILL can tear at most the record
-    // being written, which the loader truncates and re-runs.
-    std::fflush(impl_->file);
+    writer_->append(encodeCheckpointPayload(key, result));
 }
 
 const std::string&
 SweepCheckpointWriter::path() const
 {
-    return impl_->path;
+    return writer_->path();
 }
 
 }  // namespace faascache

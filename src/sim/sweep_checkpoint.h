@@ -1,34 +1,21 @@
 /**
  * @file
- * Append-only checkpoint journal for sweep results (checkpoint/resume).
+ * SimResult flavour of the checkpoint journal (checkpoint/resume for
+ * trace-driven sweeps).
  *
- * A sweep over an Azure-scale trace replays days of simulated time per
- * cell; a killed process must not discard every completed cell. The
- * journal makes completed work durable:
+ * The journal mechanics — header/fingerprint validation, checksummed
+ * records, torn-tail truncation, record-at-a-time flushing — live in
+ * util/checkpoint_journal.h and are shared with the platform and
+ * elastic flavours; this file contributes the SimResult payload codec:
+ * a full-fidelity text encoding of the cell's stable key plus its
+ * SimResult, integers in decimal and doubles in C hexfloat (`%a`), so
+ * a restored result is field-for-field — bit-for-bit for doubles —
+ * equal to the simulated one. That exactness is what makes a
+ * `--resume` run byte-identical to an uninterrupted one.
  *
- *   faascache-sweep-ckpt v1 fp=<grid fingerprint, 16 hex digits>
- *   cell <fnv1a64 checksum> <payload>
- *   cell <fnv1a64 checksum> <payload>
- *   ...
- *
- * One record per completed cell, appended and flushed as cells finish
- * (completion order — the journal is unordered; final output order
- * comes from the sweep grid). The payload is a full-fidelity text
- * encoding of the cell's stable key plus its SimResult: integers in
- * decimal, doubles in C hexfloat (`%a`), so a restored result is
- * field-for-field — bit-for-bit for doubles — equal to the simulated
- * one. That exactness is what makes a `--resume` run byte-identical to
- * an uninterrupted one.
- *
- * Robustness rules on load:
- *  - the header's grid fingerprint identifies the sweep (trace
- *    contents, cell keys, memory axis, simulator knobs, seeds); the
- *    runner refuses to resume under a different fingerprint;
- *  - records are validated line by line (structure + checksum); the
- *    first invalid or unterminated line ends the valid prefix — a torn
- *    tail from a mid-write SIGKILL is truncated with a warning and its
- *    cells are simply re-run;
- *  - duplicate keys keep the last record (idempotent re-appends).
+ * On load, a checksum-valid record whose payload fails to decode as a
+ * SimResult ends the valid prefix exactly like a torn record would:
+ * the journal is truncated there on resume and the cells re-run.
  */
 #ifndef FAASCACHE_SIM_SWEEP_CHECKPOINT_H_
 #define FAASCACHE_SIM_SWEEP_CHECKPOINT_H_
@@ -36,16 +23,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "sim/sim_result.h"
+#include "util/checkpoint_journal.h"
 
 namespace faascache {
-
-/** FNV-1a 64-bit hash (the journal's record checksum). */
-std::uint64_t fnv1a64(std::string_view data,
-                      std::uint64_t seed = 0xcbf29ce484222325ULL);
 
 /** One journaled cell. */
 struct SweepCheckpointRecord
@@ -109,9 +92,8 @@ class SweepCheckpointWriter
     const std::string& path() const;
 
   private:
-    struct Impl;
-    explicit SweepCheckpointWriter(std::unique_ptr<Impl> impl);
-    std::unique_ptr<Impl> impl_;
+    explicit SweepCheckpointWriter(CheckpointJournalWriter writer);
+    std::unique_ptr<CheckpointJournalWriter> writer_;
 };
 
 /**

@@ -51,6 +51,8 @@ hashHexDouble(std::ostringstream& out, double value)
     out << buf << ';';
 }
 
+}  // namespace
+
 std::uint64_t
 traceFingerprint(const Trace& trace)
 {
@@ -67,8 +69,6 @@ traceFingerprint(const Trace& trace)
         out << inv.function << ',' << inv.arrival_us << ';';
     return fnv1a64(out.str());
 }
-
-}  // namespace
 
 SweepCell
 makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,

@@ -119,6 +119,13 @@ std::vector<std::string> sweepCellKeys(const std::vector<SweepCell>& cells);
  */
 std::uint64_t sweepGridFingerprint(const std::vector<SweepCell>& cells);
 
+/**
+ * Fingerprint of one trace's contents (name, function specs,
+ * invocation stream). The building block every sweep-grid fingerprint
+ * — sim, platform, cluster, elastic — mixes per distinct trace.
+ */
+std::uint64_t traceFingerprint(const Trace& trace);
+
 /** Crash-safety knobs for SweepRunner::runReport(). */
 struct SweepOptions
 {

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Generic append-only checkpoint journal (crash-safe progress records).
+ *
+ * PR 3 introduced checkpoint/resume for SimResult sweeps; porting the
+ * cluster and elastic benches onto the same crash-safety contract needs
+ * the journal mechanics — header/fingerprint validation, checksummed
+ * records, torn-tail truncation, record-at-a-time flushing — without
+ * the SimResult payload codec baked in. This file is that split: the
+ * journal carries opaque payload strings, and each result kind
+ * (sim/sweep_checkpoint.h, platform/experiment_checkpoint.h,
+ * provisioning/elastic_sweep.h) layers its own payload codec on top.
+ *
+ * File format (unchanged from PR 3, so existing journals stay
+ * readable):
+ *
+ *   faascache-sweep-ckpt v1 fp=<grid fingerprint, 16 hex digits>
+ *   cell <fnv1a64 checksum, 16 hex digits> <payload>
+ *   ...
+ *
+ * Robustness rules on load:
+ *  - the header names the grid fingerprint; callers refuse to resume
+ *    under a mismatch;
+ *  - records are validated line by line (structure + checksum); the
+ *    first invalid or unterminated line ends the valid prefix — a torn
+ *    tail from a mid-write SIGKILL is truncated and its cells re-run;
+ *  - payload *meaning* is the caller's concern: every record carries
+ *    its end offset so a typed loader that fails to decode a payload
+ *    can end its own valid prefix at that record.
+ */
+#ifndef FAASCACHE_UTIL_CHECKPOINT_JOURNAL_H_
+#define FAASCACHE_UTIL_CHECKPOINT_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faascache {
+
+/** FNV-1a 64-bit hash (the journal's record checksum). */
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/**
+ * @name Payload token helpers
+ * Journal payloads are single-line, whitespace-separated token streams.
+ * Strings are percent-escaped (bytes <= 0x20, '%', and >= 0x7f; the
+ * empty string encodes as "%00") and doubles use C hexfloat (`%a`) so
+ * a decoded value is bit-for-bit equal to the encoded one.
+ * @{
+ */
+std::string escapeJournalToken(const std::string& raw);
+
+/** @return false when the escaped form is malformed. */
+bool unescapeJournalToken(const std::string& escaped, std::string* out);
+
+std::string hexDoubleToken(double value);
+
+bool parseDoubleToken(const std::string& token, double* out);
+bool parseI64Token(const std::string& token, std::int64_t* out);
+
+/** Parses 16-digit lower-case hex (fingerprints, checksums). */
+bool parseU64HexToken(const std::string& token, std::uint64_t* out);
+/** @} */
+
+/** One structurally valid journal record. */
+struct CheckpointJournalRecord
+{
+    /** The record's payload (checksum already verified). */
+    std::string payload;
+
+    /** Byte offset just past this record's newline — the valid-prefix
+     *  length a typed loader truncates to when *this* record's payload
+     *  fails to decode. */
+    std::size_t end_offset = 0;
+};
+
+/** What loadCheckpointJournal() recovered from a journal file. */
+struct CheckpointJournalLoad
+{
+    /** Grid fingerprint the journal was written for. */
+    std::uint64_t fingerprint = 0;
+
+    /** Structurally valid records, file order. */
+    std::vector<CheckpointJournalRecord> records;
+
+    /** Byte length of the header line (where the first record starts). */
+    std::size_t header_bytes = 0;
+
+    /** Byte length of the valid prefix (header + intact records). */
+    std::size_t valid_bytes = 0;
+
+    /** Data past the valid prefix existed (torn tail — a record cut by
+     *  a crash mid-write) and was discarded. */
+    bool torn_tail = false;
+};
+
+/**
+ * Read and validate a checkpoint journal's structure (header, record
+ * framing, checksums). Payload decoding is the caller's.
+ * @throws std::runtime_error when the file cannot be read or its
+ *         header is not a faascache checkpoint journal.
+ */
+CheckpointJournalLoad loadCheckpointJournal(const std::string& path);
+
+/** Appends checksummed payload records to a journal file. Thread-safe. */
+class CheckpointJournalWriter
+{
+  public:
+    /**
+     * Start a fresh journal at `path` (truncating any previous file)
+     * with the sweep's grid fingerprint in the header.
+     * @throws std::runtime_error when the file cannot be created.
+     */
+    static CheckpointJournalWriter beginFresh(const std::string& path,
+                                              std::uint64_t fingerprint);
+
+    /**
+     * Reopen an existing journal for appending after a resume:
+     * truncates the file to `valid_bytes` (discarding any torn tail)
+     * and appends after it.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    static CheckpointJournalWriter continueAt(const std::string& path,
+                                              std::size_t valid_bytes);
+
+    CheckpointJournalWriter(CheckpointJournalWriter&&) noexcept;
+    CheckpointJournalWriter& operator=(CheckpointJournalWriter&&) noexcept;
+    ~CheckpointJournalWriter();
+
+    /** Append one record (checksum computed here) and flush it to the
+     *  OS. Thread-safe. */
+    void append(const std::string& payload);
+
+    const std::string& path() const;
+
+  private:
+    struct Impl;
+    explicit CheckpointJournalWriter(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_CHECKPOINT_JOURNAL_H_

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared resume/journal wiring for harnessed sweeps.
+ *
+ * Every sweep flavour (platform, cluster, elastic) opens its checkpoint
+ * journal the same way: validate the grid fingerprint, decode the
+ * journaled records with the flavour's typed codec, pre-mark restored
+ * cells Ok so the harness skips them, and reopen the journal for
+ * appending at the end of the valid prefix. openSweepJournal() is that
+ * wiring, templated on the result type and payload decoder. (The sim
+ * sweep predates this helper and keeps its own equivalent wiring in
+ * sim/sweep_runner.cc.)
+ */
+#ifndef FAASCACHE_UTIL_SWEEP_JOURNAL_H_
+#define FAASCACHE_UTIL_SWEEP_JOURNAL_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/cell_harness.h"
+#include "util/checkpoint_journal.h"
+
+namespace faascache {
+
+/**
+ * Open the checkpoint journal for a harnessed sweep, restoring any
+ * journaled cells into `outcomes` first.
+ *
+ * @param checkpoint_path Journal file; empty disables checkpointing
+ *                        (returns null).
+ * @param resume          Restore from an existing journal instead of
+ *                        starting fresh.
+ * @param who             Caller name for error/warning messages.
+ * @param fingerprint     This grid's fingerprint; a resumed journal
+ *                        must carry the same one.
+ * @param keys            Effective per-cell keys, indexed like
+ *                        `outcomes`.
+ * @param outcomes        Pre-sized outcome slots; restored cells are
+ *                        marked Ok with `restored` set.
+ * @param restored_count  Incremented once per restored cell.
+ * @param torn_tail       Set when the journal's tail was truncated.
+ * @param decode          Typed payload decoder:
+ *                        bool(const std::string&, std::string*, Result*).
+ *                        A checksum-valid record that fails to decode
+ *                        ends the valid prefix exactly like a torn
+ *                        tail.
+ *
+ * @throws std::invalid_argument when resume is requested without a
+ *         checkpoint path.
+ * @throws std::runtime_error when the journal cannot be read or
+ *         belongs to a different grid.
+ */
+template <typename Result, typename DecodeFn>
+std::unique_ptr<CheckpointJournalWriter>
+openSweepJournal(const std::string& checkpoint_path, bool resume,
+                 const char* who, std::uint64_t fingerprint,
+                 const std::vector<std::string>& keys,
+                 std::vector<CellOutcome<Result>>& outcomes,
+                 std::size_t* restored_count, bool* torn_tail,
+                 DecodeFn decode)
+{
+    if (checkpoint_path.empty()) {
+        if (resume)
+            throw std::invalid_argument(
+                std::string(who) +
+                ": resume requested without a checkpoint path");
+        return nullptr;
+    }
+    if (!resume)
+        return std::make_unique<CheckpointJournalWriter>(
+            CheckpointJournalWriter::beginFresh(checkpoint_path,
+                                                fingerprint));
+
+    CheckpointJournalLoad load = loadCheckpointJournal(checkpoint_path);
+    if (load.fingerprint != fingerprint) {
+        char want[24], got[24];
+        std::snprintf(want, sizeof want, "%016" PRIx64, fingerprint);
+        std::snprintf(got, sizeof got, "%016" PRIx64, load.fingerprint);
+        throw std::runtime_error(
+            std::string(who) + ": checkpoint " + checkpoint_path +
+            " belongs to a different sweep grid (fingerprint " + got +
+            ", this grid is " + want + "); refusing to resume");
+    }
+
+    std::unordered_map<std::string, Result> restored;
+    std::size_t prefix = load.header_bytes;
+    bool torn = load.torn_tail;
+    for (const CheckpointJournalRecord& record : load.records) {
+        std::string key;
+        Result result;
+        if (!decode(record.payload, &key, &result)) {
+            torn = true;
+            break;
+        }
+        restored[key] = std::move(result);  // last record wins
+        prefix = record.end_offset;
+    }
+    const std::size_t valid_bytes =
+        prefix < load.valid_bytes ? prefix : load.valid_bytes;
+    if (torn) {
+        *torn_tail = true;
+        std::fprintf(stderr,
+                     "%s: checkpoint %s has a torn tail (record cut "
+                     "mid-write); truncating to %zu valid bytes and "
+                     "re-running the affected cell\n",
+                     who, checkpoint_path.c_str(), valid_bytes);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = restored.find(keys[i]);
+        if (it == restored.end())
+            continue;
+        outcomes[i].status = CellStatus::Ok;
+        outcomes[i].result = it->second;
+        outcomes[i].restored = true;
+        ++*restored_count;
+    }
+    return std::make_unique<CheckpointJournalWriter>(
+        CheckpointJournalWriter::continueAt(checkpoint_path, valid_bytes));
+}
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_SWEEP_JOURNAL_H_

@@ -1,0 +1,336 @@
+// Checkpoint/resume for the platform and cluster sweeps
+// (platform/experiment_checkpoint.h): full-fidelity payload codecs,
+// grid fingerprints, and runPlatformSweepReport()/
+// runClusterSweepReport() resume that restores results bit-for-bit.
+#include "platform/experiment_checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "platform/experiment.h"
+#include "trace/function_spec.h"
+#include "util/checkpoint_journal.h"
+
+namespace faascache {
+namespace {
+
+/** Unique temp path per test; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) +
+                "faascache_platform_" + tag + ".ckpt")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Two functions contending for memory: warm hits, colds, and drops. */
+const Trace&
+testTrace()
+{
+    static const Trace kTrace = [] {
+        Trace t("platform-ckpt-test");
+        t.addFunction(makeFunction(0, "hot", 400, fromSeconds(0.5),
+                                   fromSeconds(2.0)));
+        t.addFunction(makeFunction(1, "big", 700, fromSeconds(0.5),
+                                   fromSeconds(2.0)));
+        for (int i = 0; i < 200; ++i)
+            t.addInvocation(i % 4 == 3 ? 1 : 0, i * 2 * kSecond);
+        return t;
+    }();
+    return kTrace;
+}
+
+std::vector<PlatformCell>
+platformGrid()
+{
+    std::vector<PlatformCell> cells;
+    for (double memory_mb : {600.0, 1200.0}) {
+        for (PolicyKind kind :
+             {PolicyKind::Ttl, PolicyKind::GreedyDual}) {
+            PlatformCell cell;
+            cell.trace = &testTrace();
+            cell.kind = kind;
+            cell.server.cores = 2;
+            cell.server.memory_mb = memory_mb;
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+std::vector<ClusterCell>
+clusterGrid()
+{
+    std::vector<ClusterCell> cells;
+    for (PolicyKind kind : {PolicyKind::Ttl, PolicyKind::GreedyDual}) {
+        ClusterCell cell;
+        cell.trace = &testTrace();
+        cell.kind = kind;
+        cell.config.num_servers = 2;
+        cell.config.server.cores = 2;
+        cell.config.server.memory_mb = 700;
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+void
+expectSameServerConfig(const ServerConfig& a, const ServerConfig& b)
+{
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.memory_mb, b.memory_mb);
+    EXPECT_EQ(a.queue_capacity, b.queue_capacity);
+    EXPECT_EQ(a.queue_timeout_us, b.queue_timeout_us);
+    EXPECT_EQ(a.maintenance_interval_us, b.maintenance_interval_us);
+    EXPECT_EQ(a.enable_prewarm, b.enable_prewarm);
+    EXPECT_EQ(a.cold_start_cpu_slots, b.cold_start_cpu_slots);
+}
+
+void
+expectSamePlatformResult(const PlatformResult& a, const PlatformResult& b)
+{
+    EXPECT_EQ(a.policy_name, b.policy_name);
+    expectSameServerConfig(a.config, b.config);
+    EXPECT_EQ(a.warm_starts, b.warm_starts);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_EQ(a.dropped_queue_full, b.dropped_queue_full);
+    EXPECT_EQ(a.dropped_timeout, b.dropped_timeout);
+    EXPECT_EQ(a.dropped_oversize, b.dropped_oversize);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.expirations, b.expirations);
+    EXPECT_EQ(a.prewarms, b.prewarms);
+    EXPECT_EQ(a.robustness.spawn_failures, b.robustness.spawn_failures);
+    EXPECT_EQ(a.robustness.crashes, b.robustness.crashes);
+    EXPECT_EQ(a.robustness.restarts, b.robustness.restarts);
+    EXPECT_EQ(a.robustness.dropped_unavailable,
+              b.robustness.dropped_unavailable);
+    EXPECT_EQ(a.robustness.redispatch_cold_starts,
+              b.robustness.redispatch_cold_starts);
+    EXPECT_EQ(a.robustness.downtime_us, b.robustness.downtime_us);
+    ASSERT_EQ(a.per_function.size(), b.per_function.size());
+    for (std::size_t i = 0; i < a.per_function.size(); ++i) {
+        EXPECT_EQ(a.per_function[i].warm, b.per_function[i].warm);
+        EXPECT_EQ(a.per_function[i].cold, b.per_function[i].cold);
+        EXPECT_EQ(a.per_function[i].dropped, b.per_function[i].dropped);
+    }
+    // Bit-exact doubles: the hexfloat codec must round-trip perfectly.
+    ASSERT_EQ(a.latencies_sec.size(), b.latencies_sec.size());
+    for (std::size_t i = 0; i < a.latencies_sec.size(); ++i)
+        EXPECT_EQ(a.latencies_sec[i], b.latencies_sec[i]);
+    ASSERT_EQ(a.latency_sum_sec.size(), b.latency_sum_sec.size());
+    for (std::size_t i = 0; i < a.latency_sum_sec.size(); ++i)
+        EXPECT_EQ(a.latency_sum_sec[i], b.latency_sum_sec[i]);
+}
+
+void
+expectSameClusterResult(const ClusterResult& a, const ClusterResult& b)
+{
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.shed_requests, b.shed_requests);
+    EXPECT_EQ(a.failed_requests, b.failed_requests);
+    ASSERT_EQ(a.servers.size(), b.servers.size());
+    for (std::size_t i = 0; i < a.servers.size(); ++i)
+        expectSamePlatformResult(a.servers[i], b.servers[i]);
+}
+
+TEST(PlatformCheckpointCodec, RoundTripsARealRun)
+{
+    const PlatformCell cell = platformGrid()[1];
+    const PlatformResult result =
+        runPlatform(*cell.trace, cell.kind, cell.server, cell.policy);
+    ASSERT_GT(result.served(), 0);
+    ASSERT_FALSE(result.latencies_sec.empty());
+
+    const std::string payload =
+        encodePlatformCheckpointPayload("grid key/with spaces", result);
+    std::string key;
+    PlatformResult decoded;
+    ASSERT_TRUE(decodePlatformCheckpointPayload(payload, &key, &decoded));
+    EXPECT_EQ(key, "grid key/with spaces");
+    expectSamePlatformResult(result, decoded);
+}
+
+TEST(PlatformCheckpointCodec, RejectsTruncationAndTrailingGarbage)
+{
+    const PlatformCell cell = platformGrid()[0];
+    const PlatformResult result =
+        runPlatform(*cell.trace, cell.kind, cell.server, cell.policy);
+    const std::string payload =
+        encodePlatformCheckpointPayload("k", result);
+
+    std::string key;
+    PlatformResult decoded;
+    EXPECT_FALSE(decodePlatformCheckpointPayload(
+        payload.substr(0, payload.size() / 2), &key, &decoded));
+    EXPECT_FALSE(decodePlatformCheckpointPayload(payload + " 7", &key,
+                                                 &decoded));
+    EXPECT_FALSE(decodePlatformCheckpointPayload("", &key, &decoded));
+}
+
+TEST(ClusterCheckpointCodec, RoundTripsARealRun)
+{
+    const ClusterCell cell = clusterGrid()[1];
+    const ClusterResult result =
+        runCluster(*cell.trace, cell.kind, cell.config, cell.policy);
+    ASSERT_EQ(result.servers.size(), 2u);
+
+    const std::string payload =
+        encodeClusterCheckpointPayload("cluster/cell", result);
+    std::string key;
+    ClusterResult decoded;
+    ASSERT_TRUE(decodeClusterCheckpointPayload(payload, &key, &decoded));
+    EXPECT_EQ(key, "cluster/cell");
+    expectSameClusterResult(result, decoded);
+}
+
+TEST(PlatformFingerprint, SensitiveToGridKnobs)
+{
+    const std::vector<PlatformCell> grid = platformGrid();
+    EXPECT_EQ(platformSweepFingerprint(grid),
+              platformSweepFingerprint(platformGrid()));
+
+    std::vector<PlatformCell> resized = platformGrid();
+    resized[0].server.memory_mb += 1.0;
+    EXPECT_NE(platformSweepFingerprint(grid),
+              platformSweepFingerprint(resized));
+
+    std::vector<PlatformCell> fewer = platformGrid();
+    fewer.pop_back();
+    EXPECT_NE(platformSweepFingerprint(grid),
+              platformSweepFingerprint(fewer));
+}
+
+TEST(ClusterFingerprint, SensitiveToFleetAndFaultKnobs)
+{
+    const std::vector<ClusterCell> grid = clusterGrid();
+    EXPECT_EQ(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(clusterGrid()));
+
+    std::vector<ClusterCell> rebalanced = clusterGrid();
+    rebalanced[0].config.balancing = LoadBalancing::RoundRobin;
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(rebalanced));
+
+    std::vector<ClusterCell> faulted = clusterGrid();
+    faulted[1].config.faults.crashes.push_back(
+        {0, 10 * kMinute, 2 * kMinute});
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(faulted));
+
+    std::vector<ClusterCell> bigger = clusterGrid();
+    bigger[0].config.num_servers = 3;
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(bigger));
+}
+
+TEST(PlatformSweepResume, RestoresEveryCellBitForBit)
+{
+    TempFile ckpt("platform_resume");
+    const std::vector<PlatformCell> grid = platformGrid();
+
+    PlatformSweepOptions options;
+    options.checkpoint_path = ckpt.path();
+    const PlatformSweepReport first =
+        runPlatformSweepReport(grid, 2, options);
+    ASSERT_TRUE(first.allOk());
+    EXPECT_EQ(first.restored, 0u);
+
+    options.resume = true;
+    const PlatformSweepReport resumed =
+        runPlatformSweepReport(grid, 2, options);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.restored, grid.size());
+    EXPECT_FALSE(resumed.torn_tail);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_TRUE(resumed.cells[i].restored);
+        expectSamePlatformResult(first.cells[i].result,
+                                 resumed.cells[i].result);
+    }
+}
+
+TEST(PlatformSweepResume, RefusesACheckpointFromAnotherGrid)
+{
+    TempFile ckpt("platform_refuse");
+    PlatformSweepOptions options;
+    options.checkpoint_path = ckpt.path();
+    ASSERT_TRUE(runPlatformSweepReport(platformGrid(), 2, options).allOk());
+
+    std::vector<PlatformCell> other = platformGrid();
+    other[0].server.memory_mb = 50.0;
+    options.resume = true;
+    EXPECT_THROW(runPlatformSweepReport(other, 2, options),
+                 std::runtime_error);
+}
+
+TEST(ClusterSweepResume, RestoresEveryCellBitForBit)
+{
+    TempFile ckpt("cluster_resume");
+    const std::vector<ClusterCell> grid = clusterGrid();
+
+    PlatformSweepOptions options;
+    options.checkpoint_path = ckpt.path();
+    const ClusterSweepReport first =
+        runClusterSweepReport(grid, 2, options);
+    ASSERT_TRUE(first.allOk());
+
+    options.resume = true;
+    const ClusterSweepReport resumed =
+        runClusterSweepReport(grid, 2, options);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.restored, grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_TRUE(resumed.cells[i].restored);
+        expectSameClusterResult(first.cells[i].result,
+                                resumed.cells[i].result);
+    }
+}
+
+TEST(ClusterSweepResume, PartialJournalRerunsOnlyMissingCells)
+{
+    TempFile ckpt("cluster_partial");
+    const std::vector<ClusterCell> grid = clusterGrid();
+    const std::vector<std::string> keys = clusterCellKeys(grid);
+
+    PlatformSweepOptions options;
+    options.checkpoint_path = ckpt.path();
+    const ClusterSweepReport first =
+        runClusterSweepReport(grid, 2, options);
+    ASSERT_TRUE(first.allOk());
+
+    // Rewrite the journal with only the first cell's record, as if the
+    // process was killed before the second cell finished.
+    {
+        CheckpointJournalWriter writer = CheckpointJournalWriter::beginFresh(
+            ckpt.path(), clusterSweepFingerprint(grid));
+        writer.append(encodeClusterCheckpointPayload(
+            keys[0], first.cells[0].result));
+    }
+
+    options.resume = true;
+    const ClusterSweepReport resumed =
+        runClusterSweepReport(grid, 2, options);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.restored, 1u);
+    EXPECT_TRUE(resumed.cells[0].restored);
+    EXPECT_FALSE(resumed.cells[1].restored);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        expectSameClusterResult(first.cells[i].result,
+                                resumed.cells[i].result);
+}
+
+}  // namespace
+}  // namespace faascache
