@@ -8,6 +8,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "core/container_pool.h"
 #include "core/policy_factory.h"
 #include "util/rng.h"
@@ -106,6 +110,153 @@ policyArgs(benchmark::internal::Benchmark* bench)
 
 BENCHMARK(BM_WarmLookupAndTouch)->Apply(policyArgs);
 BENCHMARK(BM_VictimSelection)->Apply(policyArgs);
+
+// ---------------------------------------------------------------------
+// Pool-backend benchmarks (PR 5): the slab arena vs the reference
+// hash-map pool, at pool sizes far beyond what the policy benches
+// above use. Containers per function is deliberately high (64) so the
+// backends' per-function bookkeeping — intrusive idle lists vs vector
+// scan-and-erase — dominates, which is the regime the platform model
+// hits under load.
+
+constexpr std::int64_t kContainersPerFunction = 64;
+
+PoolBackend
+backendFromIndex(std::int64_t index)
+{
+    return index == 0 ? PoolBackend::Slab : PoolBackend::ReferenceMap;
+}
+
+/** Fill `pool` with `num_containers` idle containers spread over
+ *  num_containers / kContainersPerFunction functions. */
+std::vector<ContainerId>
+fillPoolDense(ContainerPool& pool, std::size_t num_containers)
+{
+    const std::size_t num_functions =
+        std::max<std::size_t>(1, num_containers / kContainersPerFunction);
+    std::vector<ContainerId> ids;
+    ids.reserve(num_containers);
+    for (std::size_t i = 0; i < num_containers; ++i) {
+        const FunctionSpec spec =
+            specOf(static_cast<FunctionId>(i % num_functions));
+        Container& c = pool.add(spec, static_cast<TimeUs>(i));
+        ids.push_back(c.id());
+    }
+    return ids;
+}
+
+/**
+ * Steady-state add/remove churn: each iteration evicts one tracked
+ * (random) container and admits a fresh one, holding the pool at a
+ * constant size. Slab: O(1) intrusive unlink + O(1) slot reuse, no
+ * allocation. Reference: a linear scan of the per-function vector, a
+ * hash-map erase, and a heap free, then an allocation on re-add.
+ */
+void
+BM_PoolChurn(benchmark::State& state)
+{
+    const PoolBackend backend = backendFromIndex(state.range(0));
+    const auto num_containers = static_cast<std::size_t>(state.range(1));
+    const std::size_t num_functions =
+        std::max<std::size_t>(1, num_containers / kContainersPerFunction);
+    ContainerPool pool(1e12, backend);
+    pool.reserve(num_containers, num_functions);
+    std::vector<ContainerId> ids = fillPoolDense(pool, num_containers);
+
+    Rng rng(13);
+    TimeUs now = static_cast<TimeUs>(num_containers);
+    for (auto _ : state) {
+        const std::size_t pick = rng.uniformInt(ids.size());
+        now += 1;
+        pool.remove(ids[pick]);
+        const auto add_fn =
+            static_cast<FunctionId>(rng.uniformInt(num_functions));
+        Container& fresh = pool.add(specOf(add_fn), now);
+        ids[pick] = fresh.id();
+        benchmark::DoNotOptimize(&fresh);
+    }
+    state.SetLabel(poolBackendName(backend));
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * Busy/idle lifecycle churn: start a batch of invocations and release
+ * them via releaseFinished(). Slab walks the busy list only; the
+ * reference pool re-scans every container per release pass.
+ */
+void
+BM_PoolLifecycle(benchmark::State& state)
+{
+    const PoolBackend backend = backendFromIndex(state.range(0));
+    const auto num_containers = static_cast<std::size_t>(state.range(1));
+    ContainerPool pool(1e12, backend);
+    pool.reserve(num_containers, num_containers / kContainersPerFunction);
+    const std::vector<ContainerId> ids = fillPoolDense(pool, num_containers);
+
+    Rng rng(17);
+    constexpr std::size_t kBatch = 64;
+    TimeUs now = static_cast<TimeUs>(num_containers);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            Container* c = pool.get(ids[rng.uniformInt(ids.size())]);
+            if (c != nullptr && c->idle())
+                c->startInvocation(now, now + 1);
+        }
+        now += 2;
+        auto released = pool.releaseFinished(now);
+        benchmark::DoNotOptimize(released);
+    }
+    state.SetLabel(poolBackendName(backend));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kBatch));
+}
+
+/**
+ * Victim selection against a big pool: the GD lazy heap (and its dense
+ * slot-keyed live table) scanning a slab vs reference pool.
+ */
+void
+BM_PoolVictimSelection(benchmark::State& state)
+{
+    const PoolBackend backend = backendFromIndex(state.range(0));
+    const auto num_containers = static_cast<std::size_t>(state.range(1));
+    ContainerPool pool(1e12, backend);
+    auto policy = makePolicy(PolicyKind::GreedyDual);
+    const std::size_t num_functions =
+        std::max<std::size_t>(1, num_containers / kContainersPerFunction);
+    policy->reserveFunctions(num_functions);
+    pool.reserve(num_containers, num_functions);
+    for (std::size_t i = 0; i < num_containers; ++i) {
+        const FunctionSpec spec =
+            specOf(static_cast<FunctionId>(i % num_functions));
+        const auto now = static_cast<TimeUs>(i);
+        policy->onInvocationArrival(spec, now);
+        Container& c = pool.add(spec, now);
+        c.startInvocation(now, now + spec.warm_us);
+        policy->onColdStart(c, spec, now);
+        c.finishInvocation();
+    }
+
+    const TimeUs now = static_cast<TimeUs>(num_containers + 1);
+    for (auto _ : state) {
+        auto victims = policy->selectVictims(pool, 512.0, now);
+        benchmark::DoNotOptimize(victims);
+    }
+    state.SetLabel(poolBackendName(backend));
+}
+
+void
+poolArgs(benchmark::internal::Benchmark* bench)
+{
+    for (std::int64_t backend : {0, 1}) {
+        for (std::int64_t size : {1'000, 10'000, 100'000})
+            bench->Args({backend, size});
+    }
+}
+
+BENCHMARK(BM_PoolChurn)->Apply(poolArgs);
+BENCHMARK(BM_PoolLifecycle)->Apply(poolArgs);
+BENCHMARK(BM_PoolVictimSelection)->Apply(poolArgs);
 
 }  // namespace
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Perf-regression harness driver (PR 5).
+#
+# Full mode (default) regenerates the committed baseline:
+#   scripts/run_benchmarks.sh [build-dir]
+#     -> runs build/bench/perf_harness --reps 3 --out BENCH_PR5.json
+#
+# Smoke mode is the CI gate:
+#   scripts/run_benchmarks.sh --smoke [build-dir]
+#     -> runs a reduced-size harness pass and compares each bench's
+#        slab/reference *speedup ratio* against the committed
+#        BENCH_PR5.json. The ratio is machine-speed-invariant (the
+#        reference backend is the pre-PR data structure, timed in the
+#        same process), so a slower CI box cancels out and only a real
+#        relative regression trips the gate.
+#
+# A bench regresses when its smoke speedup drops below
+# (1 - TOLERANCE) x the baseline speedup. Benches present only in the
+# full baseline (the 100k-container sizes are skipped in smoke) are
+# ignored. TOLERANCE defaults to 0.25 and can be overridden via env.
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+    SMOKE=1
+    shift
+fi
+BUILD_DIR=${1:-"$ROOT/build"}
+HARNESS="$BUILD_DIR/bench/perf_harness"
+BASELINE="$ROOT/BENCH_PR5.json"
+TOLERANCE=${TOLERANCE:-0.25}
+
+if [ ! -x "$HARNESS" ]; then
+    echo "run_benchmarks: $HARNESS missing; build it first:" >&2
+    echo "  cmake -B build -S . && cmake --build build --target perf_harness" >&2
+    exit 2
+fi
+
+if [ "$SMOKE" -eq 0 ]; then
+    exec "$HARNESS" --reps 3 --out "$BASELINE"
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "run_benchmarks: baseline $BASELINE missing;" \
+         "run scripts/run_benchmarks.sh (full mode) and commit it" >&2
+    exit 2
+fi
+
+SMOKE_OUT=$(mktemp /tmp/bench_pr5_smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE_OUT"' EXIT
+
+"$HARNESS" --smoke --reps 2 --out "$SMOKE_OUT" || exit 1
+
+python3 - "$BASELINE" "$SMOKE_OUT" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+baseline_path, smoke_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    baseline = {b["name"]: b for b in json.load(f)["benches"]}
+with open(smoke_path) as f:
+    smoke = {b["name"]: b for b in json.load(f)["benches"]}
+
+failed = []
+print(f"{'bench':<22} {'baseline':>9} {'smoke':>9} {'floor':>9}")
+for name, base in baseline.items():
+    if name not in smoke:
+        print(f"{name:<22} {base['speedup']:>8.2f}x {'-':>9} {'-':>9}  (full-only, skipped)")
+        continue
+    got = smoke[name]["speedup"]
+    floor = base["speedup"] * (1.0 - tolerance)
+    verdict = "ok" if got >= floor else "REGRESSED"
+    print(f"{name:<22} {base['speedup']:>8.2f}x {got:>8.2f}x {floor:>8.2f}x  {verdict}")
+    if got < floor:
+        failed.append(name)
+
+if failed:
+    print(f"\nrun_benchmarks: perf regression in: {', '.join(failed)}", file=sys.stderr)
+    sys.exit(1)
+print("\nrun_benchmarks: no perf regression")
+EOF

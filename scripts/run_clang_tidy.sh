@@ -34,8 +34,9 @@ fi
 
 cd "$ROOT"
 
-# The engine is always in scope; add the branch's touched C++ sources.
-FILES=$(ls src/engine/*.cc 2>/dev/null)
+# The engine and the core hot path (slab pool, policies) are always in
+# scope; add the branch's touched C++ sources.
+FILES=$(ls src/engine/*.cc src/core/*.cc 2>/dev/null)
 if git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
     DIFF_BASE=$BASE_REF
 elif git rev-parse --verify --quiet HEAD~1 >/dev/null; then

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/container_pool.h"
+
 namespace faascache {
 
 Container::Container(ContainerId id, const FunctionSpec& function, TimeUs now,
@@ -21,6 +23,8 @@ Container::startInvocation(TimeUs now, TimeUs finish_us)
     busy_until_ = finish_us;
     last_used_ = now;
     ++use_count_;
+    if (pool_ != nullptr)
+        pool_->onContainerBusy(*this);
 }
 
 void
@@ -28,6 +32,8 @@ Container::finishInvocation()
 {
     assert(busy_);
     busy_ = false;
+    if (pool_ != nullptr)
+        pool_->onContainerIdle(*this);
 }
 
 }  // namespace faascache

@@ -7,6 +7,11 @@
  * priority idle containers under memory pressure. A container is either
  * running an invocation (busy) or idle/warm; only idle containers may be
  * evicted.
+ *
+ * A container owned by a ContainerPool notifies the pool on every
+ * busy/idle transition so the pool can maintain its intrusive idle/busy
+ * lists without scanning (DESIGN.md §4d). Standalone containers (unit
+ * tests) have no pool bound and skip the notification.
  */
 #ifndef FAASCACHE_CORE_CONTAINER_H_
 #define FAASCACHE_CORE_CONTAINER_H_
@@ -18,10 +23,15 @@
 
 namespace faascache {
 
+class ContainerPool;
+
 /** One virtual execution environment for a single function. */
 class Container
 {
   public:
+    /** An invalid placeholder (unoccupied slab slot). */
+    Container() = default;
+
     /**
      * @param id        Pool-unique identifier.
      * @param function  Function this container can execute.
@@ -56,6 +66,14 @@ class Container
     std::int64_t useCount() const { return use_count_; }
 
     /**
+     * Dense index of this container inside its owning pool (stable for
+     * the container's lifetime, recycled after removal). Policies use it
+     * to key per-container state in flat arrays instead of hash maps.
+     * Zero for unbound (standalone) containers.
+     */
+    std::uint32_t poolSlot() const { return pool_slot_; }
+
+    /**
      * Begin executing an invocation.
      * @pre idle(); finish_us >= now.
      */
@@ -83,20 +101,33 @@ class Container
     /** @} */
 
   private:
-    ContainerId id_;
-    FunctionId function_;
-    MemMb mem_mb_;
-    TimeUs created_at_;
-    bool prewarmed_;
+    friend class ContainerPool;
+
+    /** Attach to `pool` as slot `slot` (pool-internal). */
+    void bindPool(ContainerPool* pool, std::uint32_t slot)
+    {
+        pool_ = pool;
+        pool_slot_ = slot;
+    }
+
+    ContainerId id_ = kInvalidContainer;
+    FunctionId function_ = kInvalidFunction;
+    MemMb mem_mb_ = 0;
+    TimeUs created_at_ = 0;
+    bool prewarmed_ = false;
 
     bool busy_ = false;
     TimeUs busy_until_ = 0;
-    TimeUs last_used_;
+    TimeUs last_used_ = 0;
     std::int64_t use_count_ = 0;
 
     double priority_ = 0.0;
     double credit_ = 0.0;
     double policy_clock_ = 0.0;
+
+    /** Owning pool (null for standalone containers) and slab slot. */
+    ContainerPool* pool_ = nullptr;
+    std::uint32_t pool_slot_ = 0;
 };
 
 }  // namespace faascache

@@ -5,7 +5,39 @@
 
 namespace faascache {
 
-ContainerPool::ContainerPool(MemMb capacity_mb) : capacity_mb_(capacity_mb)
+namespace {
+
+/** Warm-lookup preference: most recent lastUsed, ties to the lowest id. */
+bool
+warmerThan(const Container& a, const Container& b)
+{
+    if (a.lastUsed() != b.lastUsed())
+        return a.lastUsed() > b.lastUsed();
+    return a.id() < b.id();
+}
+
+bool
+byIdAsc(const Container* a, const Container* b)
+{
+    return a->id() < b->id();
+}
+
+}  // namespace
+
+const char*
+poolBackendName(PoolBackend backend)
+{
+    switch (backend) {
+    case PoolBackend::Slab:
+        return "slab";
+    case PoolBackend::ReferenceMap:
+        return "reference";
+    }
+    return "?";
+}
+
+ContainerPool::ContainerPool(MemMb capacity_mb, PoolBackend backend)
+    : backend_(backend), capacity_mb_(capacity_mb)
 {
     assert(capacity_mb > 0);
 }
@@ -20,10 +52,10 @@ MemMb
 ContainerPool::idleMb() const
 {
     MemMb total = 0;
-    for (const auto& [id, c] : containers_) {
-        if (c->idle())
-            total += c->memMb();
-    }
+    forEach([&total](const Container& c) {
+        if (c.idle())
+            total += c.memMb();
+    });
     return total;
 }
 
@@ -38,11 +70,145 @@ std::size_t
 ContainerPool::idleCount() const
 {
     std::size_t n = 0;
-    for (const auto& [id, c] : containers_) {
-        if (c->idle())
+    forEach([&n](const Container& c) {
+        if (c.idle())
             ++n;
-    }
+    });
     return n;
+}
+
+void
+ContainerPool::reserve(std::size_t containers, std::size_t functions)
+{
+    if (backend_ == PoolBackend::ReferenceMap) {
+        containers_.reserve(containers);
+        by_function_.reserve(functions);
+        free_ref_slots_.reserve(containers);
+        return;
+    }
+    const std::size_t chunks = (containers + kChunkSize - 1) / kChunkSize;
+    chunks_.reserve(chunks);
+    slot_by_id_.reserve(std::max(containers, kMinCompactWindow));
+    if (idle_head_.size() < functions) {
+        idle_head_.resize(functions, kNilSlot);
+        fn_count_.resize(functions, 0);
+    }
+}
+
+std::uint32_t
+ContainerPool::slotUpperBound() const
+{
+    return backend_ == PoolBackend::Slab ? slot_count_ : next_ref_slot_;
+}
+
+std::uint32_t&
+ContainerPool::idleHead(FunctionId function)
+{
+    if (function >= idle_head_.size()) {
+        std::size_t grown = std::max<std::size_t>(
+            static_cast<std::size_t>(function) + 1, idle_head_.size() * 2);
+        idle_head_.resize(grown, kNilSlot);
+        fn_count_.resize(grown, 0);
+    }
+    return idle_head_[function];
+}
+
+std::uint32_t
+ContainerPool::acquireSlot()
+{
+    if (free_head_ != kNilSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slotAt(slot).next_free;
+        return slot;
+    }
+    if ((slot_count_ >> kChunkShift) == chunks_.size())
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    return slot_count_++;
+}
+
+void
+ContainerPool::pushList(std::uint32_t& head, std::uint32_t slot)
+{
+    Slot& s = slotAt(slot);
+    s.prev = kNilSlot;
+    s.next = head;
+    if (head != kNilSlot)
+        slotAt(head).prev = slot;
+    head = slot;
+}
+
+void
+ContainerPool::unlinkList(std::uint32_t& head, std::uint32_t slot)
+{
+    Slot& s = slotAt(slot);
+    if (s.prev != kNilSlot)
+        slotAt(s.prev).next = s.next;
+    else
+        head = s.next;
+    if (s.next != kNilSlot)
+        slotAt(s.next).prev = s.prev;
+    s.prev = kNilSlot;
+    s.next = kNilSlot;
+}
+
+void
+ContainerPool::insertIdleSorted(FunctionId function, std::uint32_t slot)
+{
+    std::uint32_t& head = idleHead(function);
+    const Container& c = slotAt(slot).container;
+    std::uint32_t prev = kNilSlot;
+    std::uint32_t cur = head;
+    while (cur != kNilSlot && warmerThan(slotAt(cur).container, c)) {
+        prev = cur;
+        cur = slotAt(cur).next;
+    }
+    Slot& s = slotAt(slot);
+    s.prev = prev;
+    s.next = cur;
+    if (prev != kNilSlot)
+        slotAt(prev).next = slot;
+    else
+        head = slot;
+    if (cur != kNilSlot)
+        slotAt(cur).prev = slot;
+}
+
+void
+ContainerPool::maybeCompactIdWindow()
+{
+    if (slot_by_id_.size() < compact_at_)
+        return;
+    std::size_t drop = 0;
+    while (drop < slot_by_id_.size() && slot_by_id_[drop] == kNilSlot)
+        ++drop;
+    if (drop > 0) {
+        slot_by_id_.erase(slot_by_id_.begin(),
+                          slot_by_id_.begin() + static_cast<long>(drop));
+        id_base_ += static_cast<ContainerId>(drop);
+    }
+    // Double the threshold past the surviving window so a long-lived
+    // oldest container cannot make compaction quadratic.
+    compact_at_ = std::max(2 * slot_by_id_.size(), kMinCompactWindow);
+}
+
+void
+ContainerPool::onContainerBusy(Container& c)
+{
+    if (backend_ != PoolBackend::Slab)
+        return;
+    const std::uint32_t slot = c.pool_slot_;
+    unlinkList(idleHead(c.function()), slot);
+    pushList(busy_head_, slot);
+}
+
+void
+ContainerPool::onContainerIdle(Container& c)
+{
+    if (backend_ != PoolBackend::Slab)
+        return;
+    const std::uint32_t slot = c.pool_slot_;
+    unlinkList(busy_head_, slot);
+    insertIdleSorted(c.function(), slot);
 }
 
 Container&
@@ -50,90 +216,169 @@ ContainerPool::add(const FunctionSpec& function, TimeUs now, bool prewarmed)
 {
     assert(fits(function.mem_mb));
     const ContainerId id = next_id_++;
-    auto container = std::make_unique<Container>(id, function, now, prewarmed);
-    Container& ref = *container;
-    containers_.emplace(id, std::move(container));
-    by_function_[function.id].push_back(&ref);
     used_mb_ += function.mem_mb;
-    return ref;
+    ++size_;
+
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto container =
+            std::make_unique<Container>(id, function, now, prewarmed);
+        Container& ref = *container;
+        std::uint32_t slot = next_ref_slot_;
+        if (!free_ref_slots_.empty()) {
+            slot = free_ref_slots_.back();
+            free_ref_slots_.pop_back();
+        } else {
+            ++next_ref_slot_;
+        }
+        ref.bindPool(this, slot);
+        containers_.emplace(id, std::move(container));
+        by_function_[function.id].push_back(&ref);
+        return ref;
+    }
+
+    const std::uint32_t slot = acquireSlot();
+    Slot& s = slotAt(slot);
+    s.container = Container(id, function, now, prewarmed);
+    s.container.bindPool(this, slot);
+    s.live = true;
+    insertIdleSorted(function.id, slot);
+    ++fn_count_[function.id];
+
+    // Ids are sequential, so the new id always lands one past the window.
+    assert(id - id_base_ == slot_by_id_.size());
+    slot_by_id_.push_back(slot);
+    return s.container;
 }
 
 void
 ContainerPool::remove(ContainerId id)
 {
-    auto it = containers_.find(id);
-    assert(it != containers_.end());
-    assert(it->second->idle());
-    Container* raw = it->second.get();
-    auto& vec = by_function_[raw->function()];
-    vec.erase(std::remove(vec.begin(), vec.end(), raw), vec.end());
-    if (vec.empty())
-        by_function_.erase(raw->function());
-    used_mb_ -= raw->memMb();
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto it = containers_.find(id);
+        assert(it != containers_.end());
+        assert(it->second->idle());
+        Container* raw = it->second.get();
+        auto& vec = by_function_[raw->function()];
+        // Swap-remove: by_function_ order is not meaningful (warm lookup
+        // scans for an explicit best), so O(1) beats the old O(n) erase.
+        auto pos = std::find(vec.begin(), vec.end(), raw);
+        assert(pos != vec.end());
+        *pos = vec.back();
+        vec.pop_back();
+        if (vec.empty())
+            by_function_.erase(raw->function());
+        used_mb_ -= raw->memMb();
+        if (used_mb_ < 0)
+            used_mb_ = 0;  // defend against float drift
+        free_ref_slots_.push_back(raw->poolSlot());
+        containers_.erase(it);
+        --size_;
+        return;
+    }
+
+    assert(id >= id_base_ && id < next_id_);
+    const std::uint32_t slot =
+        slot_by_id_[static_cast<std::size_t>(id - id_base_)];
+    assert(slot != kNilSlot);
+    Slot& s = slotAt(slot);
+    assert(s.live);
+    assert(s.container.idle());
+    unlinkList(idleHead(s.container.function()), slot);
+    --fn_count_[s.container.function()];
+    used_mb_ -= s.container.memMb();
     if (used_mb_ < 0)
         used_mb_ = 0;  // defend against float drift
-    containers_.erase(it);
+    slot_by_id_[static_cast<std::size_t>(id - id_base_)] = kNilSlot;
+    s.live = false;
+    s.container = Container();
+    s.next_free = free_head_;
+    free_head_ = slot;
+    --size_;
+    maybeCompactIdWindow();
 }
 
 Container*
 ContainerPool::get(ContainerId id)
 {
-    auto it = containers_.find(id);
-    return it == containers_.end() ? nullptr : it->second.get();
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto it = containers_.find(id);
+        return it == containers_.end() ? nullptr : it->second.get();
+    }
+    if (id < id_base_ || id >= next_id_)
+        return nullptr;
+    const std::uint32_t slot =
+        slot_by_id_[static_cast<std::size_t>(id - id_base_)];
+    return slot == kNilSlot ? nullptr : &slotAt(slot).container;
 }
 
 const Container*
 ContainerPool::get(ContainerId id) const
 {
-    auto it = containers_.find(id);
-    return it == containers_.end() ? nullptr : it->second.get();
+    return const_cast<ContainerPool*>(this)->get(id);
 }
 
 Container*
 ContainerPool::findIdleWarm(FunctionId function)
 {
-    auto it = by_function_.find(function);
-    if (it == by_function_.end())
-        return nullptr;
-    Container* best = nullptr;
-    for (Container* c : it->second) {
-        if (!c->idle())
-            continue;
-        if (!best || c->lastUsed() > best->lastUsed())
-            best = c;
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto it = by_function_.find(function);
+        if (it == by_function_.end())
+            return nullptr;
+        Container* best = nullptr;
+        for (Container* c : it->second) {
+            if (!c->idle())
+                continue;
+            if (best == nullptr || warmerThan(*c, *best))
+                best = c;
+        }
+        return best;
     }
-    return best;
+    if (function >= idle_head_.size())
+        return nullptr;
+    // The idle list is sorted warmest-first, so the head is the answer.
+    const std::uint32_t head = idle_head_[function];
+    return head == kNilSlot ? nullptr : &slotAt(head).container;
 }
 
-const std::vector<Container*>&
+std::vector<const Container*>
 ContainerPool::containersOf(FunctionId function) const
 {
-    static const std::vector<Container*> kEmpty;
-    auto it = by_function_.find(function);
-    return it == by_function_.end() ? kEmpty : it->second;
+    std::vector<const Container*> out;
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto it = by_function_.find(function);
+        if (it != by_function_.end())
+            out.assign(it->second.begin(), it->second.end());
+    } else {
+        forEach([&](const Container& c) {
+            if (c.function() == function)
+                out.push_back(&c);
+        });
+    }
+    std::sort(out.begin(), out.end(), byIdAsc);
+    return out;
 }
 
 std::size_t
 ContainerPool::countOf(FunctionId function) const
 {
-    auto it = by_function_.find(function);
-    return it == by_function_.end() ? 0 : it->second.size();
+    if (backend_ == PoolBackend::ReferenceMap) {
+        auto it = by_function_.find(function);
+        return it == by_function_.end() ? 0 : it->second.size();
+    }
+    return function < fn_count_.size() ? fn_count_[function] : 0;
 }
 
 std::vector<Container*>
 ContainerPool::idleContainers()
 {
     std::vector<Container*> out;
-    out.reserve(containers_.size());
-    for (auto& [id, c] : containers_) {
-        if (c->idle())
-            out.push_back(c.get());
-    }
-    // Deterministic order independent of hash-map iteration.
-    std::sort(out.begin(), out.end(),
-              [](const Container* a, const Container* b) {
-                  return a->id() < b->id();
-              });
+    out.reserve(size_);
+    forEach([&out](Container& c) {
+        if (c.idle())
+            out.push_back(&c);
+    });
+    // Deterministic order independent of backend enumeration.
+    std::sort(out.begin(), out.end(), byIdAsc);
     return out;
 }
 
@@ -141,46 +386,68 @@ std::vector<const Container*>
 ContainerPool::idleContainers() const
 {
     std::vector<const Container*> out;
-    out.reserve(containers_.size());
-    for (const auto& [id, c] : containers_) {
-        if (c->idle())
-            out.push_back(c.get());
-    }
-    std::sort(out.begin(), out.end(),
-              [](const Container* a, const Container* b) {
-                  return a->id() < b->id();
-              });
+    out.reserve(size_);
+    forEach([&out](const Container& c) {
+        if (c.idle())
+            out.push_back(&c);
+    });
+    std::sort(out.begin(), out.end(), byIdAsc);
     return out;
 }
 
 void
 ContainerPool::forEach(const std::function<void(Container&)>& fn)
 {
-    for (auto& [id, c] : containers_)
-        fn(*c);
+    if (backend_ == PoolBackend::ReferenceMap) {
+        for (auto& [id, c] : containers_)
+            fn(*c);
+        return;
+    }
+    for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+        Slot& s = slotAt(slot);
+        if (s.live)
+            fn(s.container);
+    }
 }
 
 void
 ContainerPool::forEach(const std::function<void(const Container&)>& fn) const
 {
-    for (const auto& [id, c] : containers_)
-        fn(*c);
+    if (backend_ == PoolBackend::ReferenceMap) {
+        for (const auto& [id, c] : containers_)
+            fn(*c);
+        return;
+    }
+    for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+        const Slot& s = slotAt(slot);
+        if (s.live)
+            fn(s.container);
+    }
 }
 
 std::vector<Container*>
 ContainerPool::releaseFinished(TimeUs now)
 {
     std::vector<Container*> released;
-    for (auto& [id, c] : containers_) {
-        if (c->busy() && c->busyUntil() <= now) {
-            c->finishInvocation();
-            released.push_back(c.get());
+    if (backend_ == PoolBackend::ReferenceMap) {
+        for (auto& [id, c] : containers_) {
+            if (c->busy() && c->busyUntil() <= now) {
+                c->finishInvocation();
+                released.push_back(c.get());
+            }
         }
+    } else {
+        // Collect first: finishInvocation relinks the busy list.
+        for (std::uint32_t slot = busy_head_; slot != kNilSlot;
+             slot = slotAt(slot).next) {
+            Container& c = slotAt(slot).container;
+            if (c.busyUntil() <= now)
+                released.push_back(&c);
+        }
+        for (Container* c : released)
+            c->finishInvocation();
     }
-    std::sort(released.begin(), released.end(),
-              [](const Container* a, const Container* b) {
-                  return a->id() < b->id();
-              });
+    std::sort(released.begin(), released.end(), byIdAsc);
     return released;
 }
 

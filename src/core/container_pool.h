@@ -6,10 +6,30 @@
  * Following the FaasCache implementation, the pool is not kept sorted by
  * priority on the invocation fast path; policies sort candidates only
  * when an eviction is needed.
+ *
+ * Two interchangeable backends (DESIGN.md §4d):
+ *
+ *  - PoolBackend::Slab (default): containers live in a chunked slab
+ *    arena of recycled slots with stable addresses. Each function's
+ *    intrusive idle list is kept sorted warmest-first (lastUsed is
+ *    immutable while a container is idle), so warm lookup is O(1);
+ *    invocation completion walks an intrusive global busy list.
+ *    Add/remove/busy/idle transitions are allocation-free in steady
+ *    state.
+ *
+ *  - PoolBackend::ReferenceMap: the original hash-map pool, kept as a
+ *    differential-testing oracle (mirroring the Greedy-Dual heap-vs-sort
+ *    pattern).
+ *
+ * Both backends are observably identical: same container ids, same
+ * warm-container choice (most recent lastUsed, ties to the lowest id),
+ * and deterministic orderings on every enumeration a policy result can
+ * depend on.
  */
 #ifndef FAASCACHE_CORE_CONTAINER_POOL_H_
 #define FAASCACHE_CORE_CONTAINER_POOL_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -21,12 +41,30 @@
 
 namespace faascache {
 
+/** Storage strategy for the container pool. */
+enum class PoolBackend : std::uint8_t {
+    /** Slab arena + intrusive lists (fast path, default). */
+    Slab,
+    /** Original unordered_map pool (reference oracle). */
+    ReferenceMap,
+};
+
+/** Stable lowercase name ("slab" / "reference") for configs and logs. */
+const char* poolBackendName(PoolBackend backend);
+
 /** Set of live containers bounded by server memory. */
 class ContainerPool
 {
   public:
     /** @param capacity_mb Total keep-alive cache memory, MB (> 0). */
-    explicit ContainerPool(MemMb capacity_mb);
+    explicit ContainerPool(MemMb capacity_mb,
+                           PoolBackend backend = PoolBackend::Slab);
+
+    /** Containers hold back-pointers into the pool; it must not move. */
+    ContainerPool(const ContainerPool&) = delete;
+    ContainerPool& operator=(const ContainerPool&) = delete;
+
+    PoolBackend backend() const { return backend_; }
 
     MemMb capacityMb() const { return capacity_mb_; }
 
@@ -50,10 +88,25 @@ class ContainerPool
     bool fits(MemMb mem_mb) const { return used_mb_ + mem_mb <= capacity_mb_; }
 
     /** Number of live containers. */
-    std::size_t size() const { return containers_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Number of idle containers. */
     std::size_t idleCount() const;
+
+    /**
+     * Pre-size internal storage for an expected load (slots for
+     * `containers` concurrent containers, id tables for `functions`
+     * distinct functions). Purely an allocation hint; growing past it is
+     * always safe.
+     */
+    void reserve(std::size_t containers, std::size_t functions);
+
+    /**
+     * Exclusive upper bound on Container::poolSlot() values handed out
+     * so far. Policies size slot-indexed side tables from this; it only
+     * grows.
+     */
+    std::uint32_t slotUpperBound() const;
 
     /**
      * Create a container for `function`.
@@ -72,37 +125,114 @@ class ContainerPool
 
     /**
      * An idle warm container for `function`, preferring the most
-     * recently used one; nullptr if none.
+     * recently used one (ties to the lowest id); nullptr if none.
      */
     Container* findIdleWarm(FunctionId function);
 
-    /** All containers of one function (busy and idle). */
-    const std::vector<Container*>& containersOf(FunctionId function) const;
+    /** All containers of one function (busy and idle), ordered by id. */
+    std::vector<const Container*> containersOf(FunctionId function) const;
 
     /** Number of live containers (busy + idle) for `function`. */
     std::size_t countOf(FunctionId function) const;
 
-    /** Pointers to all idle containers (arbitrary stable order). */
+    /** Pointers to all idle containers, ordered by id. */
     std::vector<Container*> idleContainers();
     std::vector<const Container*> idleContainers() const;
 
-    /** Visit every container. */
+    /** Visit every container (order is backend-specific). */
     void forEach(const std::function<void(Container&)>& fn);
     void forEach(const std::function<void(const Container&)>& fn) const;
 
     /**
      * Transition every busy container whose invocation completed by
      * `now` to idle.
-     * @return Containers released this call.
+     * @return Containers released this call, ordered by id.
      */
     std::vector<Container*> releaseFinished(TimeUs now);
 
   private:
+    friend class Container;
+
+    /** Null link / empty list head in the intrusive lists. */
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+    /** Slab chunk geometry: 256 containers per chunk. */
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+    static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+    /** Smallest id-window size that triggers prefix compaction. */
+    static constexpr std::size_t kMinCompactWindow = 1024;
+
+    /**
+     * One slab cell. A live slot is on exactly one intrusive list: its
+     * function's idle list when the container is idle, the global busy
+     * list while an invocation runs. Dead slots chain on the free list.
+     */
+    struct Slot
+    {
+        Container container;
+        std::uint32_t prev = kNilSlot;
+        std::uint32_t next = kNilSlot;
+        std::uint32_t next_free = kNilSlot;
+        bool live = false;
+    };
+
+    Slot& slotAt(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
+    const Slot& slotAt(std::uint32_t slot) const
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
+
+    /** Head of the idle list for `function` (kNilSlot when empty). */
+    std::uint32_t& idleHead(FunctionId function);
+
+    /** Take a slot from the free list, allocating a chunk if needed. */
+    std::uint32_t acquireSlot();
+
+    /** Push `slot` onto the list rooted at `head`. */
+    void pushList(std::uint32_t& head, std::uint32_t slot);
+    /**
+     * Insert `slot` into its function's idle list, keeping the list
+     * sorted warmest-first. A newly idle container's lastUsed is its
+     * invocation start time, so it usually outranks (or nearly
+     * outranks) everything already idle and the walk stays short.
+     */
+    void insertIdleSorted(FunctionId function, std::uint32_t slot);
+    /** Remove `slot` from the list rooted at `head`. */
+    void unlinkList(std::uint32_t& head, std::uint32_t slot);
+
+    /** Drop the dead prefix of the id→slot window (amortized O(1)). */
+    void maybeCompactIdWindow();
+
+    /** Container state-change hooks (slab list maintenance). */
+    void onContainerBusy(Container& c);
+    void onContainerIdle(Container& c);
+
+    PoolBackend backend_;
     MemMb capacity_mb_;
     MemMb used_mb_ = 0;
     ContainerId next_id_ = 1;
+    std::size_t size_ = 0;
+
+    // --- Slab backend ---
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::uint32_t slot_count_ = 0;     ///< Slots ever carved from chunks.
+    std::uint32_t free_head_ = kNilSlot;
+    std::uint32_t busy_head_ = kNilSlot;
+    std::vector<std::uint32_t> idle_head_;  ///< Per-function idle lists.
+    std::vector<std::uint32_t> fn_count_;   ///< Live containers per function.
+    /** id→slot, indexed by (id - id_base_); kNilSlot for dead ids. */
+    std::vector<std::uint32_t> slot_by_id_;
+    ContainerId id_base_ = 1;
+    std::size_t compact_at_ = kMinCompactWindow;
+
+    // --- ReferenceMap backend ---
     std::unordered_map<ContainerId, std::unique_ptr<Container>> containers_;
     std::unordered_map<FunctionId, std::vector<Container*>> by_function_;
+    std::uint32_t next_ref_slot_ = 0;
+    std::vector<std::uint32_t> free_ref_slots_;
 };
 
 }  // namespace faascache

@@ -1,19 +1,28 @@
 #include "core/function_stats.h"
 
+#include <algorithm>
+
 namespace faascache {
 
-const FunctionStats&
-FunctionStatsTable::of(FunctionId function) const
+void
+FunctionStatsTable::touch(FunctionId function)
 {
-    static const FunctionStats kZero;
-    auto it = table_.find(function);
-    return it == table_.end() ? kZero : it->second;
+    if (function >= table_.size()) {
+        const std::size_t grown = std::max<std::size_t>(
+            static_cast<std::size_t>(function) + 1, table_.size() * 2);
+        table_.resize(grown);
+        seen_.resize(grown, 0);
+    }
+    if (seen_[function] == 0) {
+        seen_[function] = 1;
+        ++observed_;
+    }
 }
 
 void
 FunctionStatsTable::recordArrival(FunctionId function, TimeUs now)
 {
-    FunctionStats& s = table_[function];
+    FunctionStats& s = of(function);
     ++s.frequency;
     ++s.total_invocations;
     s.last_arrival_us = now;
@@ -22,9 +31,15 @@ FunctionStatsTable::recordArrival(FunctionId function, TimeUs now)
 void
 FunctionStatsTable::resetFrequency(FunctionId function)
 {
-    auto it = table_.find(function);
-    if (it != table_.end())
-        it->second.frequency = 0;
+    if (function < table_.size())
+        table_[function].frequency = 0;
+}
+
+void
+FunctionStatsTable::reserve(std::size_t functions)
+{
+    table_.reserve(functions);
+    seen_.reserve(functions);
 }
 
 }  // namespace faascache

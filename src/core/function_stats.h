@@ -6,12 +6,16 @@
  * the paper (§4.1), "frequency" counts invocations across all of a
  * function's containers and resets to zero when the function's last
  * container is terminated.
+ *
+ * FunctionId is a dense uint32 assigned by the trace catalog, so the
+ * table is a flat vector indexed by id — a per-arrival array load on the
+ * hot path instead of a hash probe (DESIGN.md §4d).
  */
 #ifndef FAASCACHE_CORE_FUNCTION_STATS_H_
 #define FAASCACHE_CORE_FUNCTION_STATS_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "util/types.h"
 
@@ -30,15 +34,23 @@ struct FunctionStats
     TimeUs last_arrival_us = -1;
 };
 
-/** Table of FunctionStats keyed by function id. */
+/** Table of FunctionStats indexed by dense function id. */
 class FunctionStatsTable
 {
   public:
     /** Stats for `function`, default-constructed on first access. */
-    FunctionStats& of(FunctionId function) { return table_[function]; }
+    FunctionStats& of(FunctionId function)
+    {
+        touch(function);
+        return table_[function];
+    }
 
     /** Read-only lookup; returns a zero value if never seen. */
-    const FunctionStats& of(FunctionId function) const;
+    const FunctionStats& of(FunctionId function) const
+    {
+        static const FunctionStats kZero;
+        return function < table_.size() ? table_[function] : kZero;
+    }
 
     /** Record an invocation arrival. */
     void recordArrival(FunctionId function, TimeUs now);
@@ -46,11 +58,21 @@ class FunctionStatsTable
     /** Reset the Greedy-Dual frequency (last container evicted). */
     void resetFrequency(FunctionId function);
 
+    /** Pre-size for ids in [0, functions) (allocation hint only). */
+    void reserve(std::size_t functions);
+
     /** Number of functions ever observed. */
-    std::size_t size() const { return table_.size(); }
+    std::size_t size() const { return observed_; }
 
   private:
-    std::unordered_map<FunctionId, FunctionStats> table_;
+    /** Ensure `function` is in range and counted as observed. */
+    void touch(FunctionId function);
+
+    std::vector<FunctionStats> table_;
+    /** Parallel observed-markers; `table_` slots default to zero stats,
+     *  so this only feeds the observed-function count. */
+    std::vector<std::uint8_t> seen_;
+    std::size_t observed_ = 0;
 };
 
 }  // namespace faascache

@@ -28,18 +28,27 @@ GreedyDualPolicy::GreedyDualPolicy(GreedyDualConfig config) : config_(config)
 {
 }
 
+void
+GreedyDualPolicy::reserveFunctions(std::size_t n)
+{
+    KeepAlivePolicy::reserveFunctions(n);
+    characteristics_.reserve(n);
+}
+
 double
 GreedyDualPolicy::valueTerm(FunctionId function) const
 {
-    auto it = characteristics_.find(function);
-    if (it == characteristics_.end())
+    if (function >= characteristics_.size() ||
+        characteristics_[function].size == 0.0) {
         return 0.0;
+    }
+    const CostSize& cs = characteristics_[function];
     const double freq = config_.use_frequency
         ? static_cast<double>(std::max<std::int64_t>(
               1, stats_.of(function).frequency))
         : 1.0;
-    const double cost = config_.use_cost ? it->second.cost_sec : 1.0;
-    const double size = config_.use_size ? it->second.size : 1.0;
+    const double cost = config_.use_cost ? cs.cost_sec : 1.0;
+    const double size = config_.use_size ? cs.size : 1.0;
     return freq * cost / size;
 }
 
@@ -67,8 +76,14 @@ void
 GreedyDualPolicy::touch(Container& container, const FunctionSpec& function)
 {
     assert(function.mem_mb > 0);
+    if (function.id >= characteristics_.size()) {
+        characteristics_.resize(std::max<std::size_t>(
+            static_cast<std::size_t>(function.id) + 1,
+            characteristics_.size() * 2));
+    }
     characteristics_[function.id] =
         CostSize{toSeconds(function.initTime()), scalarSizeOf(function)};
+    assert(characteristics_[function.id].size > 0.0);
     container.setPolicyClock(clock_);
     container.setPriority(clock_ + valueTerm(function.id));
     if (config_.eviction_engine == GdEvictionEngine::LazyHeap)
@@ -94,8 +109,9 @@ GreedyDualPolicy::onEviction(const Container& container,
                              bool last_of_function, TimeUs now)
 {
     // Superseding rather than erasing from the middle of the heap: any
-    // remaining entries for this id become stale and are skipped on pop.
-    entry_seq_.erase(container.id());
+    // remaining entries for this container become stale and are skipped
+    // on pop.
+    dropEntry(container.poolSlot());
     KeepAlivePolicy::onEviction(container, last_of_function, now);
 }
 
@@ -113,10 +129,27 @@ GreedyDualPolicy::entryAfter(const HeapEntry& a, const HeapEntry& b)
 }
 
 void
+GreedyDualPolicy::dropEntry(std::uint32_t slot)
+{
+    if (slot < entry_seq_.size() && entry_seq_[slot] != 0) {
+        entry_seq_[slot] = 0;
+        --live_entries_;
+    }
+}
+
+void
 GreedyDualPolicy::pushEntry(const Container& c)
 {
-    HeapEntry entry{containerPriority(c), c.lastUsed(), c.id(), next_seq_++};
-    entry_seq_[c.id()] = entry.seq;
+    const std::uint32_t slot = c.poolSlot();
+    if (slot >= entry_seq_.size()) {
+        entry_seq_.resize(std::max<std::size_t>(
+            static_cast<std::size_t>(slot) + 1, entry_seq_.size() * 2), 0);
+    }
+    HeapEntry entry{containerPriority(c), c.lastUsed(), c.id(), next_seq_++,
+                    slot};
+    if (entry_seq_[slot] == 0)
+        ++live_entries_;
+    entry_seq_[slot] = entry.seq;
     heap_.push_back(entry);
     std::push_heap(heap_.begin(), heap_.end(), &entryAfter);
 }
@@ -124,11 +157,10 @@ GreedyDualPolicy::pushEntry(const Container& c)
 void
 GreedyDualPolicy::maybeCompact()
 {
-    if (heap_.size() < 64 || heap_.size() < 4 * entry_seq_.size())
+    if (heap_.size() < 64 || heap_.size() < 4 * live_entries_)
         return;
     std::erase_if(heap_, [this](const HeapEntry& e) {
-        auto it = entry_seq_.find(e.id);
-        return it == entry_seq_.end() || it->second != e.seq;
+        return e.slot >= entry_seq_.size() || entry_seq_[e.slot] != e.seq;
     });
     std::make_heap(heap_.begin(), heap_.end(), &entryAfter);
 }
@@ -198,19 +230,18 @@ GreedyDualPolicy::selectVictimsHeap(ContainerPool& pool, MemMb needed_mb)
     double max_evicted_priority = clock_;
     while (freed < target && !heap_.empty()) {
         const HeapEntry e = pop_min();
-        auto it = entry_seq_.find(e.id);
-        if (it == entry_seq_.end() || it->second != e.seq)
+        if (e.slot >= entry_seq_.size() || entry_seq_[e.slot] != e.seq)
             continue;  // superseded or already evicted
         Container* c = pool.get(e.id);
         if (c == nullptr) {
             // Removed without an onEviction notification (defensive).
-            entry_seq_.erase(it);
+            dropEntry(e.slot);
             continue;
         }
         if (c->busy()) {
             // Not an eviction candidate; park it outside the heap for
             // the rest of this round so it cannot be popped again.
-            entry_seq_.erase(it);
+            dropEntry(e.slot);
             deferred_busy.push_back(c);
             continue;
         }
@@ -229,7 +260,7 @@ GreedyDualPolicy::selectVictimsHeap(ContainerPool& pool, MemMb needed_mb)
         c->setPriority(current);
         victims.push_back(e.id);
         selected.push_back(c);
-        entry_seq_.erase(it);
+        dropEntry(e.slot);
         freed += c->memMb();
         max_evicted_priority = std::max(max_evicted_priority, current);
     }

@@ -45,7 +45,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/keepalive_policy.h"
@@ -111,6 +110,8 @@ class GreedyDualPolicy : public KeepAlivePolicy
 
     std::string name() const override { return "GD"; }
 
+    void reserveFunctions(std::size_t n) override;
+
     void onWarmStart(Container& container, const FunctionSpec& function,
                      TimeUs now) override;
     void onColdStart(Container& container, const FunctionSpec& function,
@@ -152,13 +153,16 @@ class GreedyDualPolicy : public KeepAlivePolicy
     std::vector<ContainerId> selectVictimsHeap(ContainerPool& pool,
                                                MemMb needed_mb);
 
-    /** A (priority, lastUsed, id) snapshot; seq marks the live one. */
+    /** A (priority, lastUsed, id) snapshot; seq marks the live one.
+     *  `slot` keys the dense live-seq table (ids never recycle, seqs are
+     *  globally unique, so a recycled slot cannot false-match). */
     struct HeapEntry
     {
         double priority;
         TimeUs last_used;
         ContainerId id;
         std::uint64_t seq;
+        std::uint32_t slot;
     };
 
     /** Heap comparator: a ordered after b (std::*_heap min-heap). */
@@ -172,19 +176,27 @@ class GreedyDualPolicy : public KeepAlivePolicy
 
     struct CostSize
     {
-        double cost_sec;
-        /** Scalarized size under the configured SizeNorm. */
-        double size;
+        double cost_sec = 0.0;
+        /** Scalarized size under the configured SizeNorm; zero marks a
+         *  function never touched (sizes of real functions are > 0). */
+        double size = 0.0;
     };
+
+    /** Invalidate the live entry keyed at `slot`, if any. */
+    void dropEntry(std::uint32_t slot);
 
     GreedyDualConfig config_;
     double clock_ = 0.0;
-    std::unordered_map<FunctionId, CostSize> characteristics_;
+    /** Per-function cost/size, indexed by dense function id. */
+    std::vector<CostSize> characteristics_;
 
     /** Min-heap (via std::*_heap with a greater-than comparator). */
     std::vector<HeapEntry> heap_;
-    /** Seq of each container's current (non-superseded) entry. */
-    std::unordered_map<ContainerId, std::uint64_t> entry_seq_;
+    /** Seq of each pool slot's current (non-superseded) entry; zero =
+     *  none. Indexed by Container::poolSlot(). */
+    std::vector<std::uint64_t> entry_seq_;
+    /** Number of non-zero entries in entry_seq_ (compaction trigger). */
+    std::size_t live_entries_ = 0;
     std::uint64_t next_seq_ = 1;
 };
 

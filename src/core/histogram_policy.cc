@@ -12,13 +12,34 @@ HistogramPolicy::HistogramPolicy(HistogramPolicyConfig config)
     assert(config.num_buckets > 0);
 }
 
+void
+HistogramPolicy::reserveFunctions(std::size_t n)
+{
+    KeepAlivePolicy::reserveFunctions(n);
+    models_.reserve(n);
+}
+
 HistogramPolicy::FunctionModel&
 HistogramPolicy::modelOf(FunctionId function)
 {
-    auto it = models_.find(function);
-    if (it == models_.end())
-        it = models_.emplace(function, FunctionModel(config_)).first;
-    return it->second;
+    if (function >= models_.size()) {
+        models_.resize(std::max<std::size_t>(
+            static_cast<std::size_t>(function) + 1, models_.size() * 2));
+    }
+    if (!models_[function].has_value())
+        models_[function].emplace(config_);
+    return *models_[function];
+}
+
+void
+HistogramPolicy::setLease(const Container& container, TimeUs deadline)
+{
+    const std::uint32_t slot = container.poolSlot();
+    if (slot >= leases_.size()) {
+        leases_.resize(std::max<std::size_t>(
+            static_cast<std::size_t>(slot) + 1, leases_.size() * 2));
+    }
+    leases_[slot] = Lease{container.id(), deadline};
 }
 
 KeepAliveWindow
@@ -27,10 +48,9 @@ HistogramPolicy::windowFor(FunctionId function) const
     KeepAliveWindow window;
     window.keepalive_us = config_.generic_ttl_us;
 
-    auto it = models_.find(function);
-    if (it == models_.end())
+    if (function >= models_.size() || !models_[function].has_value())
         return window;
-    const FunctionModel& model = it->second;
+    const FunctionModel& model = *models_[function];
     if (model.iat_moments.count() < config_.min_samples)
         return window;
     if (model.iat_moments.coefficientOfVariation() > config_.cov_threshold)
@@ -92,9 +112,9 @@ HistogramPolicy::assignExpiry(Container& container, FunctionId function,
         // Release as soon as the execution finishes; the scheduled
         // prewarm will bring a container back shortly before the
         // predicted next invocation.
-        expiry_[container.id()] = now;
+        setLease(container, now);
     } else {
-        expiry_[container.id()] = now + window.keepalive_us;
+        setLease(container, now + window.keepalive_us);
     }
 }
 
@@ -124,7 +144,7 @@ HistogramPolicy::onPrewarm(Container& container, const FunctionSpec& function,
         ? std::max<TimeUs>(window.keepalive_us - window.prewarm_us,
                            config_.bucket_width_us)
         : config_.generic_ttl_us;
-    expiry_[container.id()] = now + lease;
+    setLease(container, now + lease);
 }
 
 void
@@ -132,7 +152,9 @@ HistogramPolicy::onEviction(const Container& container, bool last_of_function,
                             TimeUs now)
 {
     KeepAlivePolicy::onEviction(container, last_of_function, now);
-    expiry_.erase(container.id());
+    const std::uint32_t slot = container.poolSlot();
+    if (slot < leases_.size() && leases_[slot].id == container.id())
+        leases_[slot] = Lease{};
 }
 
 std::vector<ContainerId>
@@ -153,9 +175,12 @@ HistogramPolicy::expiredContainers(const ContainerPool& pool, TimeUs now)
     pool.forEach([&](const Container& c) {
         if (!c.idle())
             return;
-        auto it = expiry_.find(c.id());
-        const TimeUs deadline = it != expiry_.end()
-            ? it->second : c.lastUsed() + config_.generic_ttl_us;
+        const std::uint32_t slot = c.poolSlot();
+        const bool leased =
+            slot < leases_.size() && leases_[slot].id == c.id();
+        const TimeUs deadline = leased
+            ? leases_[slot].deadline_us
+            : c.lastUsed() + config_.generic_ttl_us;
         if (now >= deadline)
             expired.push_back(c.id());
     });

@@ -24,9 +24,9 @@
 #ifndef FAASCACHE_CORE_HISTOGRAM_POLICY_H_
 #define FAASCACHE_CORE_HISTOGRAM_POLICY_H_
 
+#include <optional>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/keepalive_policy.h"
@@ -94,6 +94,8 @@ class HistogramPolicy : public KeepAlivePolicy
 
     std::string name() const override { return "HIST"; }
 
+    void reserveFunctions(std::size_t n) override;
+
     void onInvocationArrival(const FunctionSpec& function,
                              TimeUs now) override;
     void onWarmStart(Container& container, const FunctionSpec& function,
@@ -137,9 +139,25 @@ class HistogramPolicy : public KeepAlivePolicy
     /** Expiry assignment shared by cold/warm start handling. */
     void assignExpiry(Container& container, FunctionId function, TimeUs now);
 
+    /** Store `deadline` as `container`'s lease. */
+    void setLease(const Container& container, TimeUs deadline);
+
+    /**
+     * A keep-alive lease, keyed by pool slot. The stored id guards
+     * against slot recycling: a lease is only valid for the container
+     * whose id it recorded.
+     */
+    struct Lease
+    {
+        ContainerId id = kInvalidContainer;
+        TimeUs deadline_us = 0;
+    };
+
     HistogramPolicyConfig config_;
-    std::unordered_map<FunctionId, FunctionModel> models_;
-    std::unordered_map<ContainerId, TimeUs> expiry_;
+    /** Per-function IAT model, indexed by dense function id. */
+    std::vector<std::optional<FunctionModel>> models_;
+    /** Per-container lease, indexed by Container::poolSlot(). */
+    std::vector<Lease> leases_;
 
     struct ScheduledPrewarm
     {

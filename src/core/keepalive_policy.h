@@ -32,6 +32,14 @@ class KeepAlivePolicy
     virtual std::string name() const = 0;
 
     /**
+     * Allocation hint: function ids will fall in [0, n). Drivers call
+     * this once with the trace catalog size before the run so dense
+     * per-function tables can be sized up front. Overrides must call the
+     * base. Never required for correctness — tables grow on demand.
+     */
+    virtual void reserveFunctions(std::size_t n);
+
+    /**
      * Notification: an invocation of `function` arrived at `now`, before
      * any placement decision. Default updates the shared function stats;
      * overrides must call the base.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 namespace faascache {
 
@@ -28,26 +27,29 @@ WarmPoolPolicy::selectVictims(ContainerPool& pool, MemMb needed_mb, TimeUs)
 std::vector<ContainerId>
 WarmPoolPolicy::expiredContainers(const ContainerPool& pool, TimeUs)
 {
-    // Group idle containers per function, newest first; everything past
-    // the budget is released.
-    std::unordered_map<FunctionId, std::vector<const Container*>> idle;
-    pool.forEach([&](const Container& c) {
+    // Group idle containers per function (one sort, no hashing), newest
+    // first within a function; everything past the budget is released.
+    std::vector<const Container*> idle;
+    pool.forEach([&idle](const Container& c) {
         if (c.idle())
-            idle[c.function()].push_back(&c);
+            idle.push_back(&c);
     });
+    std::sort(idle.begin(), idle.end(),
+              [](const Container* a, const Container* b) {
+                  if (a->function() != b->function())
+                      return a->function() < b->function();
+                  if (a->lastUsed() != b->lastUsed())
+                      return a->lastUsed() > b->lastUsed();
+                  return a->id() > b->id();
+              });
 
     std::vector<ContainerId> surplus;
-    for (auto& [function, containers] : idle) {
-        if (containers.size() <= pool_size_)
-            continue;
-        std::sort(containers.begin(), containers.end(),
-                  [](const Container* a, const Container* b) {
-                      if (a->lastUsed() != b->lastUsed())
-                          return a->lastUsed() > b->lastUsed();
-                      return a->id() > b->id();
-                  });
-        for (std::size_t i = pool_size_; i < containers.size(); ++i)
-            surplus.push_back(containers[i]->id());
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < idle.size(); ++i) {
+        run = (i > 0 && idle[i]->function() == idle[i - 1]->function())
+            ? run + 1 : 0;
+        if (run >= pool_size_)
+            surplus.push_back(idle[i]->id());
     }
     std::sort(surplus.begin(), surplus.end());
     return surplus;

@@ -47,6 +47,16 @@
  * events are discarded before they can surface), so the head of the
  * queue is never a cancelled event and empty()/size()/nextTime() stay
  * exact.
+ *
+ * Heap layout (DESIGN.md §4d). The queue is a flat 4-ary heap: children
+ * of node i sit at 4i+1..4i+4, so the tree is half as deep as a binary
+ * heap and a sift touches one cache line of children per level. Because
+ * (time, lane, seq) is a *total* order (seq is unique), the pop sequence
+ * is the sorted event sequence regardless of heap arity — switching
+ * arity cannot change observable behavior, only constant factors. The
+ * backing vector is recycled through a per-thread stash across
+ * EventCore lifetimes, so consecutive sweep cells on a worker thread
+ * reuse the previous cell's reserved capacity instead of reallocating.
  */
 #ifndef FAASCACHE_ENGINE_EVENT_ENGINE_H_
 #define FAASCACHE_ENGINE_EVENT_ENGINE_H_
@@ -101,14 +111,24 @@ struct EngineEvent
 };
 
 /**
- * Deterministic min-heap of events ordered by (time, lane, seq), over
- * an explicit vector so callers can reserve() capacity up front (no
- * mid-run reallocation) and clear() state between runs.
+ * Deterministic min-heap of events ordered by (time, lane, seq), laid
+ * out as a flat 4-ary heap over an explicit vector so callers can
+ * reserve() capacity up front (no mid-run reallocation) and clear()
+ * state between runs.
  */
 template <typename Kind>
 class EventCore
 {
   public:
+    /** Adopts the calling thread's stashed buffer (capacity reuse). */
+    EventCore() { heap_ = acquireStash(); }
+
+    /** Returns the buffer to the thread stash for the next EventCore. */
+    ~EventCore() { releaseStash(std::move(heap_)); }
+
+    EventCore(const EventCore&) = delete;
+    EventCore& operator=(const EventCore&) = delete;
+
     /** Schedule an event; its sequence number is assigned here. */
     EventHandle schedule(TimeUs time_us, Kind kind,
                          std::uint64_t payload = 0,
@@ -123,7 +143,7 @@ class EventCore
         event.payload = payload;
         event.payload2 = payload2;
         heap_.push_back(event);
-        std::push_heap(heap_.begin(), heap_.end(), later);
+        siftUp(heap_.size() - 1);
         return EventHandle{event.seq};
     }
 
@@ -206,9 +226,7 @@ class EventCore
         assert(!heap_.empty());
         if (cancel_token_ != nullptr)
             cancel_token_->throwIfCancelled();
-        std::pop_heap(heap_.begin(), heap_.end(), later);
-        const EngineEvent<Kind> event = heap_.back();
-        heap_.pop_back();
+        const EngineEvent<Kind> event = popRoot();
         pruneCancelled();
         return event;
     }
@@ -224,6 +242,56 @@ class EventCore
         return a.seq > b.seq;
     }
 
+    /** 4-ary sift toward the root: the hole at `i` bubbles up until its
+     *  parent is not later than the inserted event. */
+    void siftUp(std::size_t i)
+    {
+        const EngineEvent<Kind> event = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) >> 2;
+            if (!later(heap_[parent], event))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = event;
+    }
+
+    /** 4-ary sift toward the leaves: the hole at `i` sinks, pulling the
+     *  earliest of up to four children per level. */
+    void siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        const EngineEvent<Kind> event = heap_[i];
+        for (;;) {
+            const std::size_t first = (i << 2) + 1;
+            if (first >= n)
+                break;
+            std::size_t best = first;
+            const std::size_t last = std::min(first + 4, n);
+            for (std::size_t child = first + 1; child < last; ++child) {
+                if (later(heap_[best], heap_[child]))
+                    best = child;
+            }
+            if (!later(event, heap_[best]))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = event;
+    }
+
+    /** Remove and return the root. @pre !heap_.empty(). */
+    EngineEvent<Kind> popRoot()
+    {
+        const EngineEvent<Kind> event = heap_.front();
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return event;
+    }
+
     /** Discard cancelled events from the head, restoring the invariant
      *  that the head of the queue is live (or the queue is empty). */
     void pruneCancelled()
@@ -231,8 +299,36 @@ class EventCore
         while (!heap_.empty() && !cancelled_.empty() &&
                cancelled_.count(heap_.front().seq) != 0) {
             cancelled_.erase(heap_.front().seq);
-            std::pop_heap(heap_.begin(), heap_.end(), later);
-            heap_.pop_back();
+            (void)popRoot();
+        }
+    }
+
+    /**
+     * Per-thread buffer stash. One retired heap buffer is kept per
+     * thread (per Kind instantiation) and handed to the next EventCore
+     * constructed on that thread, so back-to-back sweep cells reuse
+     * reserved capacity instead of growing a fresh vector each run.
+     * Thread-local, so sweep workers never contend or share buffers.
+     */
+    static std::vector<EngineEvent<Kind>>& stash()
+    {
+        static thread_local std::vector<EngineEvent<Kind>> stashed;
+        return stashed;
+    }
+
+    static std::vector<EngineEvent<Kind>> acquireStash()
+    {
+        std::vector<EngineEvent<Kind>> buffer;
+        buffer.swap(stash());
+        buffer.clear();
+        return buffer;
+    }
+
+    static void releaseStash(std::vector<EngineEvent<Kind>>&& buffer)
+    {
+        if (buffer.capacity() > stash().capacity()) {
+            stash() = std::move(buffer);
+            stash().clear();
         }
     }
 

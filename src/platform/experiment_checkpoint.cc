@@ -208,7 +208,8 @@ hashServerConfig(std::ostringstream& out, const ServerConfig& c)
     hashHexDouble(out, c.memory_mb);
     out << c.queue_capacity << ';' << c.queue_timeout_us << ';'
         << c.maintenance_interval_us << ';' << (c.enable_prewarm ? 1 : 0)
-        << ';' << c.cold_start_cpu_slots << ';';
+        << ';' << c.cold_start_cpu_slots << ';'
+        << poolBackendName(c.pool_backend) << ';';
 }
 
 void

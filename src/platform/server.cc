@@ -87,11 +87,41 @@ Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
     : policy_(std::move(policy)), config_(config),
       // Validate before the pool captures the capacity (its
       // constructor asserts on non-positive memory).
-      pool_((config_.validate(), config_.memory_mb))
+      pool_((config_.validate(), config_.memory_mb), config_.pool_backend)
 {
     if (!policy_)
         throw std::invalid_argument("Server: null policy");
     events_.bindCancellation(config_.cancel);
+}
+
+void
+Server::setInflight(const Container& c, const Inflight& data)
+{
+    const std::uint32_t slot = c.poolSlot();
+    if (slot >= inflight_.size())
+        inflight_.resize(std::max<std::size_t>(2 * inflight_.size(),
+                                               slot + 1));
+    assert(inflight_[slot].id == kInvalidContainer);
+    inflight_[slot] = InflightEntry{c.id(), data};
+    ++inflight_count_;
+}
+
+Server::Inflight
+Server::takeInflight(const Container& c)
+{
+    const std::uint32_t slot = c.poolSlot();
+    assert(slot < inflight_.size() && inflight_[slot].id == c.id());
+    const Inflight data = inflight_[slot].data;
+    inflight_[slot].id = kInvalidContainer;
+    --inflight_count_;
+    return data;
+}
+
+void
+Server::clearInflight()
+{
+    inflight_.clear();
+    inflight_count_ = 0;
 }
 
 void
@@ -124,9 +154,10 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         ++running_;
         ++result_.warm_starts;
         ++outcome.warm;
-        inflight_[warm->id()] =
-            Inflight{request.invocation_index, request.latency_anchor_us,
-                     /*cold=*/false, request.redispatched};
+        setInflight(*warm,
+                    Inflight{request.invocation_index,
+                             request.latency_anchor_us,
+                             /*cold=*/false, request.redispatched});
         events_.schedule(warm->busyUntil(), EventKind::Finish, warm->id());
         return Dispatch::Started;
     }
@@ -171,9 +202,10 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     ++outcome.cold;
     if (request.redispatched)
         ++result_.robustness.redispatch_cold_starts;
-    inflight_[fresh.id()] =
-        Inflight{request.invocation_index, request.latency_anchor_us,
-                 /*cold=*/true, request.redispatched};
+    setInflight(fresh,
+                Inflight{request.invocation_index,
+                         request.latency_anchor_us,
+                         /*cold=*/true, request.redispatched});
     if (cold_slots > 1) {
         events_.schedule(now + stall_us + init_us, EventKind::InitDone,
                          fresh.id());
@@ -304,13 +336,11 @@ Server::handleEvent(const ServerEvent& event)
         assert(c->busy());
         c->finishInvocation();
         --running_;
-        auto it = inflight_.find(id);
-        assert(it != inflight_.end());
+        const Inflight inflight = takeInflight(*c);
         const double latency_sec =
-            toSeconds(now - it->second.latency_anchor_us);
+            toSeconds(now - inflight.latency_anchor_us);
         result_.latencies_sec.push_back(latency_sec);
         result_.latency_sum_sec[c->function()] += latency_sec;
-        inflight_.erase(it);
         drainQueue(now);
         break;
       }
@@ -376,8 +406,10 @@ Server::crash(TimeUs now)
 
     // Roll back the start accounting of aborted invocations: they did
     // not complete here, and a cluster may re-dispatch them.
-    for (const auto& [id, inflight] : inflight_) {
-        (void)id;
+    for (const InflightEntry& entry : inflight_) {
+        if (entry.id == kInvalidContainer)
+            continue;
+        const Inflight& inflight = entry.data;
         const FunctionId fn =
             trace_->invocations()[inflight.invocation_index].function;
         FunctionOutcome& outcome = result_.per_function[fn];
@@ -394,7 +426,7 @@ Server::crash(TimeUs now)
         fallout.aborted.push_back(inflight.invocation_index);
     }
     std::sort(fallout.aborted.begin(), fallout.aborted.end());
-    inflight_.clear();
+    clearInflight();
     running_ = 0;
 
     // Flush the container pool: every container (busy, warm, and
@@ -448,6 +480,10 @@ Server::beginRun(const Trace& trace)
     result_.config = config_;
     result_.per_function.resize(trace.functions().size());
     result_.latency_sum_sec.resize(trace.functions().size(), 0.0);
+    clearInflight();
+    // Allocation hints: size dense per-function tables from the catalog.
+    policy_->reserveFunctions(trace.functions().size());
+    pool_.reserve(/*containers=*/256, trace.functions().size());
 }
 
 PlatformResult

@@ -33,7 +33,6 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/container_pool.h"
@@ -74,6 +73,13 @@ struct ServerConfig
 
     /** Container pool memory, MB. */
     MemMb memory_mb = 4096.0;
+
+    /**
+     * Container-pool storage backend. Slab (default) is the dense
+     * allocation-free arena; ReferenceMap is the original hash-map pool
+     * kept as a differential-testing oracle. Observably identical.
+     */
+    PoolBackend pool_backend = PoolBackend::Slab;
 
     /** Request buffer capacity; arrivals beyond this are dropped. */
     std::size_t queue_capacity = 2048;
@@ -301,6 +307,19 @@ class Server
         bool redispatched = false;
     };
 
+    /**
+     * One slot of the dense in-flight table, indexed by the running
+     * container's ContainerPool slot (Container::poolSlot()). The
+     * stored container id validates the entry: slots are recycled, so
+     * an entry only belongs to container `c` while `id == c.id()`.
+     * kInvalidContainer marks a free slot.
+     */
+    struct InflightEntry
+    {
+        ContainerId id = kInvalidContainer;
+        Inflight data;
+    };
+
     enum class Dispatch
     {
         Started,      ///< the invocation is running
@@ -355,8 +374,23 @@ class Server
     bool down_ = false;
     TimeUs down_since_ = 0;
 
-    /** Running invocations by container id. */
-    std::unordered_map<ContainerId, Inflight> inflight_;
+    /** Attach the in-flight record of a running container. */
+    void setInflight(const Container& c, const Inflight& data);
+
+    /** Detach and return the record of `c`. @pre one was attached. */
+    Inflight takeInflight(const Container& c);
+
+    /** Drop every in-flight record (crash flush / run reset). */
+    void clearInflight();
+
+    /**
+     * Running invocations, indexed by container pool slot (dense,
+     * allocation-free steady state; see InflightEntry for validity).
+     */
+    std::vector<InflightEntry> inflight_;
+
+    /** Live entries in inflight_ (crash-path fast exit). */
+    std::size_t inflight_count_ = 0;
 };
 
 }  // namespace faascache

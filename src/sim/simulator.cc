@@ -41,7 +41,7 @@ Simulator::Simulator(const Trace& trace,
     : trace_(trace), policy_(std::move(policy)), config_(config),
       // Validate before the pool captures the capacity (its
       // constructor asserts on non-positive memory).
-      pool_((config_.validate(), config_.memory_mb))
+      pool_((config_.validate(), config_.memory_mb), config_.pool_backend)
 {
     if (!policy_)
         throw std::invalid_argument("Simulator: null policy");
@@ -52,6 +52,9 @@ Simulator::Simulator(const Trace& trace,
     result_.policy_name = policy_->name();
     result_.memory_mb = config_.memory_mb;
     result_.per_function.resize(trace_.functions().size());
+    // Allocation hints: size dense per-function tables from the catalog.
+    policy_->reserveFunctions(trace_.functions().size());
+    pool_.reserve(/*containers=*/256, trace_.functions().size());
     // Registered periodic tasks: both start due at t=0 (a sample of the
     // empty pool, a reclaim pass over it) and re-arm every interval; a
     // non-positive interval disables the schedule entirely.

@@ -39,6 +39,13 @@ struct SimulatorConfig
     /** Keep-alive cache (container pool) capacity, MB. */
     MemMb memory_mb = 32 * 1024.0;
 
+    /**
+     * Container-pool storage backend. Slab (default) is the dense
+     * allocation-free arena; ReferenceMap is the original hash-map pool
+     * kept as a differential-testing oracle. Observably identical.
+     */
+    PoolBackend pool_backend = PoolBackend::Slab;
+
     /** Interval between memory-usage samples; 0 disables sampling. */
     TimeUs memory_sample_interval_us = kMinute;
 

@@ -145,6 +145,10 @@ sweepGridFingerprint(const std::vector<SweepCell>& cells)
             << (cell.sim.enable_prewarm ? 1 : 0) << ';'
             << cell.sim.background_reclaim_interval_us << ';';
         hashHexDouble(out, cell.sim.background_free_target_mb);
+        // Mixed in for completeness only: both backends are observably
+        // identical, but a resumed sweep should still notice the knob
+        // changed under it.
+        out << poolBackendName(cell.sim.pool_backend) << ';';
         out << cell.rng_seed << ';';
     }
     return fnv1a64(out.str());

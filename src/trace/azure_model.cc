@@ -26,6 +26,7 @@ generateAzureTrace(const AzureModelConfig& config)
 {
     Rng rng(config.seed);
     Trace population(config.name);
+    population.reserveFunctions(config.num_functions);
 
     struct FunctionModel
     {
@@ -72,6 +73,17 @@ generateAzureTrace(const AzureModelConfig& config)
     // the paper's replay rule.
     const auto num_minutes = static_cast<std::int64_t>(
         (config.duration_us + kMinute - 1) / kMinute);
+    // Reserve the invocation stream at its expected size (sum of the
+    // per-function Poisson means over the whole duration; the diurnal
+    // multiplier averages ~1 over full periods). One allocation instead
+    // of a realloc cascade on large traces.
+    double expected_invocations = 0.0;
+    for (const FunctionModel& model : models) {
+        expected_invocations +=
+            model.rate_per_sec * 60.0 * static_cast<double>(num_minutes);
+    }
+    population.reserveInvocations(
+        static_cast<std::size_t>(expected_invocations * 1.02) + 64);
     for (std::size_t i = 0; i < config.num_functions; ++i) {
         Rng fn_rng = rng.split();
         for (std::int64_t minute = 0; minute < num_minutes; ++minute) {

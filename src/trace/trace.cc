@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace faascache {
 
@@ -99,22 +98,36 @@ Trace
 Trace::subset(const std::vector<FunctionId>& keep, std::string name) const
 {
     Trace out(std::move(name));
-    std::unordered_map<FunctionId, FunctionId> remap;
-    remap.reserve(keep.size());
+    // Dense remap table (the catalog is dense by construction), doubling
+    // as the membership test for the counting pre-pass below.
+    std::vector<FunctionId> remap(functions_.size(), kInvalidFunction);
+    std::size_t kept_functions = 0;
     for (FunctionId old_id : keep) {
         if (old_id >= functions_.size())
             throw std::out_of_range("Trace::subset: unknown function id");
-        if (remap.count(old_id))
+        if (remap[old_id] != kInvalidFunction)
             continue;
+        remap[old_id] = static_cast<FunctionId>(kept_functions++);
+    }
+    out.functions_.reserve(kept_functions);
+    for (FunctionId old_id : keep) {
+        const FunctionId new_id = remap[old_id];
+        if (new_id != static_cast<FunctionId>(out.functions_.size()))
+            continue;  // duplicate keep entry, already copied
         FunctionSpec spec = functions_[old_id];
-        spec.id = static_cast<FunctionId>(out.functions_.size());
-        remap[old_id] = spec.id;
+        spec.id = new_id;
         out.functions_.push_back(std::move(spec));
     }
+    // Exact-count pre-pass: one cheap scan buys a single allocation for
+    // the (typically much larger) invocation stream.
+    std::size_t kept_invocations = 0;
+    for (const auto& inv : invocations_)
+        kept_invocations += remap[inv.function] != kInvalidFunction ? 1 : 0;
+    out.invocations_.reserve(kept_invocations);
     for (const auto& inv : invocations_) {
-        auto it = remap.find(inv.function);
-        if (it != remap.end())
-            out.invocations_.push_back(Invocation{it->second, inv.arrival_us});
+        const FunctionId target = remap[inv.function];
+        if (target != kInvalidFunction)
+            out.invocations_.push_back(Invocation{target, inv.arrival_us});
     }
     return out;
 }

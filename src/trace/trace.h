@@ -50,6 +50,18 @@ class Trace
     const std::string& name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 
+    /**
+     * @name Allocation hints
+     * Pre-size the catalog / invocation stream when the producer knows
+     * (or can estimate) the final counts, eliminating realloc churn on
+     * large generated traces. Purely an optimization — never changes
+     * the contents.
+     * @{
+     */
+    void reserveFunctions(std::size_t n) { functions_.reserve(n); }
+    void reserveInvocations(std::size_t n) { invocations_.reserve(n); }
+    /** @} */
+
     /** Register a function; its id must equal the current catalog size. */
     void addFunction(FunctionSpec spec);
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace faascache {
 namespace {
 
@@ -12,9 +15,20 @@ fn(FunctionId id, MemMb mem)
                         fromMillis(100));
 }
 
-TEST(ContainerPool, CapacityAccounting)
+/** Every behavioral test runs against both storage backends: the slab
+ *  arena (default) and the reference hash-map oracle. */
+class ContainerPoolTest : public ::testing::TestWithParam<PoolBackend>
 {
-    ContainerPool pool(1000);
+  protected:
+    ContainerPool makePool(MemMb capacity_mb)
+    {
+        return ContainerPool(capacity_mb, GetParam());
+    }
+};
+
+TEST_P(ContainerPoolTest, CapacityAccounting)
+{
+    ContainerPool pool = makePool(1000);
     EXPECT_DOUBLE_EQ(pool.capacityMb(), 1000.0);
     EXPECT_DOUBLE_EQ(pool.usedMb(), 0.0);
     EXPECT_DOUBLE_EQ(pool.freeMb(), 1000.0);
@@ -26,9 +40,9 @@ TEST(ContainerPool, CapacityAccounting)
     EXPECT_FALSE(pool.fits(701));
 }
 
-TEST(ContainerPool, AddRemove)
+TEST_P(ContainerPoolTest, AddRemove)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& c = pool.add(fn(0, 100), 0);
     EXPECT_EQ(pool.size(), 1u);
     EXPECT_EQ(pool.countOf(0), 1u);
@@ -38,9 +52,9 @@ TEST(ContainerPool, AddRemove)
     EXPECT_DOUBLE_EQ(pool.usedMb(), 0.0);
 }
 
-TEST(ContainerPool, IdsAreUnique)
+TEST_P(ContainerPoolTest, IdsAreUnique)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& a = pool.add(fn(0, 100), 0);
     const ContainerId a_id = a.id();
     pool.remove(a_id);
@@ -48,17 +62,52 @@ TEST(ContainerPool, IdsAreUnique)
     EXPECT_NE(b.id(), a_id);
 }
 
-TEST(ContainerPool, GetLookup)
+TEST_P(ContainerPoolTest, GetLookup)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& c = pool.add(fn(0, 100), 0);
     EXPECT_EQ(pool.get(c.id()), &c);
     EXPECT_EQ(pool.get(999999), nullptr);
 }
 
-TEST(ContainerPool, FindIdleWarmPrefersMostRecent)
+TEST_P(ContainerPoolTest, ReferencesStableAcrossGrowth)
 {
-    ContainerPool pool(1000);
+    // Both backends promise stable Container addresses: the slab stores
+    // slots in fixed-size chunks, the reference pool heap-allocates.
+    ContainerPool pool = makePool(100'000);
+    std::vector<Container*> added;
+    std::vector<ContainerId> ids;
+    for (int i = 0; i < 600; ++i) {  // crosses two slab chunks
+        Container& c = pool.add(fn(0, 1), i);
+        added.push_back(&c);
+        ids.push_back(c.id());
+    }
+    for (std::size_t i = 0; i < added.size(); ++i) {
+        EXPECT_EQ(pool.get(ids[i]), added[i]);
+        EXPECT_EQ(added[i]->id(), ids[i]);
+    }
+}
+
+TEST_P(ContainerPoolTest, SlotsRecycleButStayUniqueAmongLive)
+{
+    ContainerPool pool = makePool(10'000);
+    Container& a = pool.add(fn(0, 10), 0);
+    Container& b = pool.add(fn(0, 10), 0);
+    const std::uint32_t freed_slot = a.poolSlot();
+    EXPECT_NE(a.poolSlot(), b.poolSlot());
+    pool.remove(a.id());
+    Container& c = pool.add(fn(1, 10), 1);
+    // LIFO free-list: the new container reuses the freed slot, and every
+    // live slot stays below the dense upper bound.
+    EXPECT_EQ(c.poolSlot(), freed_slot);
+    EXPECT_NE(c.poolSlot(), b.poolSlot());
+    EXPECT_LT(b.poolSlot(), pool.slotUpperBound());
+    EXPECT_LT(c.poolSlot(), pool.slotUpperBound());
+}
+
+TEST_P(ContainerPoolTest, FindIdleWarmPrefersMostRecent)
+{
+    ContainerPool pool = makePool(1000);
     Container& old_c = pool.add(fn(0, 100), 0);
     Container& new_c = pool.add(fn(0, 100), 0);
     old_c.startInvocation(10, 20);
@@ -68,9 +117,20 @@ TEST(ContainerPool, FindIdleWarmPrefersMostRecent)
     EXPECT_EQ(pool.findIdleWarm(0), &new_c);
 }
 
-TEST(ContainerPool, FindIdleWarmSkipsBusy)
+TEST_P(ContainerPoolTest, FindIdleWarmBreaksLastUsedTiesById)
 {
-    ContainerPool pool(1000);
+    // Freshly added containers share lastUsed == add time; the contract
+    // (explicit in both backends) is lowest id wins the tie.
+    ContainerPool pool = makePool(1000);
+    Container& first = pool.add(fn(0, 100), 7);
+    pool.add(fn(0, 100), 7);
+    pool.add(fn(0, 100), 7);
+    EXPECT_EQ(pool.findIdleWarm(0), &first);
+}
+
+TEST_P(ContainerPoolTest, FindIdleWarmSkipsBusy)
+{
+    ContainerPool pool = makePool(1000);
     Container& c = pool.add(fn(0, 100), 0);
     c.startInvocation(0, 100);
     EXPECT_EQ(pool.findIdleWarm(0), nullptr);
@@ -78,16 +138,16 @@ TEST(ContainerPool, FindIdleWarmSkipsBusy)
     EXPECT_EQ(pool.findIdleWarm(0), &c);
 }
 
-TEST(ContainerPool, FindIdleWarmWrongFunction)
+TEST_P(ContainerPoolTest, FindIdleWarmWrongFunction)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     pool.add(fn(0, 100), 0);
     EXPECT_EQ(pool.findIdleWarm(1), nullptr);
 }
 
-TEST(ContainerPool, IdleAccounting)
+TEST_P(ContainerPoolTest, IdleAccounting)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& a = pool.add(fn(0, 100), 0);
     pool.add(fn(1, 200), 0);
     a.startInvocation(0, 50);
@@ -96,9 +156,9 @@ TEST(ContainerPool, IdleAccounting)
     EXPECT_EQ(pool.idleContainers().size(), 1u);
 }
 
-TEST(ContainerPool, ReleaseFinished)
+TEST_P(ContainerPoolTest, ReleaseFinished)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& a = pool.add(fn(0, 100), 0);
     Container& b = pool.add(fn(1, 100), 0);
     a.startInvocation(0, 50);
@@ -110,17 +170,32 @@ TEST(ContainerPool, ReleaseFinished)
     EXPECT_TRUE(b.busy());
 }
 
-TEST(ContainerPool, ReleaseFinishedAtExactBoundary)
+TEST_P(ContainerPoolTest, ReleaseFinishedAtExactBoundary)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     Container& a = pool.add(fn(0, 100), 0);
     a.startInvocation(0, 100);
     EXPECT_EQ(pool.releaseFinished(100).size(), 1u);
 }
 
-TEST(ContainerPool, ContainersOfTracksPerFunction)
+TEST_P(ContainerPoolTest, ReleaseFinishedSortedById)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(10'000);
+    std::vector<ContainerId> ids;
+    for (int i = 0; i < 8; ++i) {
+        Container& c = pool.add(fn(0, 10), 0);
+        c.startInvocation(0, 10 + i);
+        ids.push_back(c.id());
+    }
+    const auto released = pool.releaseFinished(100);
+    ASSERT_EQ(released.size(), ids.size());
+    for (std::size_t i = 1; i < released.size(); ++i)
+        EXPECT_LT(released[i - 1]->id(), released[i]->id());
+}
+
+TEST_P(ContainerPoolTest, ContainersOfTracksPerFunction)
+{
+    ContainerPool pool = makePool(1000);
     pool.add(fn(0, 100), 0);
     pool.add(fn(0, 100), 0);
     pool.add(fn(1, 100), 0);
@@ -129,9 +204,39 @@ TEST(ContainerPool, ContainersOfTracksPerFunction)
     EXPECT_TRUE(pool.containersOf(42).empty());
 }
 
-TEST(ContainerPool, SetCapacityAllowsOverCommit)
+TEST_P(ContainerPoolTest, ContainersOfOrderedById)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(10'000);
+    for (int i = 0; i < 12; ++i)
+        pool.add(fn(0, 10), i);
+    const auto mine = pool.containersOf(0);
+    ASSERT_EQ(mine.size(), 12u);
+    for (std::size_t i = 1; i < mine.size(); ++i)
+        EXPECT_LT(mine[i - 1]->id(), mine[i]->id());
+}
+
+TEST_P(ContainerPoolTest, CountOfTracksBusyAndIdle)
+{
+    // countOf must include busy containers in both backends (the slab
+    // keeps a separate per-function counter; make sure the busy/idle
+    // list transitions never desync it).
+    ContainerPool pool = makePool(1000);
+    Container& a = pool.add(fn(0, 100), 0);
+    Container& b = pool.add(fn(0, 100), 0);
+    EXPECT_EQ(pool.countOf(0), 2u);
+    a.startInvocation(0, 50);
+    EXPECT_EQ(pool.countOf(0), 2u);
+    b.startInvocation(0, 60);
+    EXPECT_EQ(pool.countOf(0), 2u);
+    a.finishInvocation();
+    EXPECT_EQ(pool.countOf(0), 2u);
+    pool.remove(a.id());
+    EXPECT_EQ(pool.countOf(0), 1u);
+}
+
+TEST_P(ContainerPoolTest, SetCapacityAllowsOverCommit)
+{
+    ContainerPool pool = makePool(1000);
     pool.add(fn(0, 800), 0);
     pool.setCapacityMb(500);
     EXPECT_DOUBLE_EQ(pool.capacityMb(), 500.0);
@@ -140,9 +245,9 @@ TEST(ContainerPool, SetCapacityAllowsOverCommit)
     EXPECT_FALSE(pool.fits(1));
 }
 
-TEST(ContainerPool, IdleContainersDeterministicOrder)
+TEST_P(ContainerPoolTest, IdleContainersDeterministicOrder)
 {
-    ContainerPool pool(10'000);
+    ContainerPool pool = makePool(10'000);
     for (int i = 0; i < 20; ++i)
         pool.add(fn(0, 10), 0);
     const auto idle = pool.idleContainers();
@@ -150,9 +255,9 @@ TEST(ContainerPool, IdleContainersDeterministicOrder)
         EXPECT_LT(idle[i - 1]->id(), idle[i]->id());
 }
 
-TEST(ContainerPool, ForEachVisitsAll)
+TEST_P(ContainerPoolTest, ForEachVisitsAll)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(1000);
     pool.add(fn(0, 100), 0);
     pool.add(fn(1, 100), 0);
     int count = 0;
@@ -160,19 +265,92 @@ TEST(ContainerPool, ForEachVisitsAll)
     EXPECT_EQ(count, 2);
 }
 
-TEST(ContainerPoolDeathTest, RemoveBusyAsserts)
+TEST_P(ContainerPoolTest, ForEachSkipsRemoved)
 {
-    ContainerPool pool(1000);
+    ContainerPool pool = makePool(10'000);
+    std::vector<ContainerId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(pool.add(fn(0, 10), 0).id());
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        pool.remove(ids[i]);
+    int count = 0;
+    pool.forEach([&](Container& c) {
+        ++count;
+        EXPECT_NE(pool.get(c.id()), nullptr);
+    });
+    EXPECT_EQ(count, 5);
+}
+
+TEST_P(ContainerPoolTest, ChurnKeepsAccountingExact)
+{
+    // Add/remove churn far past the initial window exercises slab slot
+    // recycling, the id-window compaction, and the free-list.
+    ContainerPool pool = makePool(1'000'000);
+    std::vector<ContainerId> live;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 40; ++i)
+            live.push_back(pool.add(fn(i % 3, 5), round).id());
+        // Remove the older half, front-first.
+        const std::size_t goal = live.size() / 2;
+        while (live.size() > goal) {
+            pool.remove(live.front());
+            live.erase(live.begin());
+        }
+    }
+    EXPECT_EQ(pool.size(), live.size());
+    EXPECT_DOUBLE_EQ(pool.usedMb(), 5.0 * static_cast<double>(live.size()));
+    for (ContainerId id : live) {
+        Container* c = pool.get(id);
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->id(), id);
+    }
+    std::size_t per_function = 0;
+    for (FunctionId f = 0; f < 3; ++f)
+        per_function += pool.countOf(f);
+    EXPECT_EQ(per_function, live.size());
+}
+
+TEST_P(ContainerPoolTest, ReserveIsBehaviorNeutral)
+{
+    ContainerPool pool = makePool(10'000);
+    pool.reserve(512, 64);
+    Container& c = pool.add(fn(0, 100), 0);
+    EXPECT_EQ(pool.get(c.id()), &c);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.countOf(0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContainerPoolTest,
+                         ::testing::Values(PoolBackend::Slab,
+                                           PoolBackend::ReferenceMap),
+                         [](const auto& info) {
+                             return std::string(
+                                 poolBackendName(info.param));
+                         });
+
+using ContainerPoolDeathTest = ContainerPoolTest;
+
+TEST_P(ContainerPoolDeathTest, RemoveBusyAsserts)
+{
+    ContainerPool pool = makePool(1000);
     Container& c = pool.add(fn(0, 100), 0);
     c.startInvocation(0, 100);
     EXPECT_DEATH(pool.remove(c.id()), "");
 }
 
-TEST(ContainerPoolDeathTest, AddBeyondCapacityAsserts)
+TEST_P(ContainerPoolDeathTest, AddBeyondCapacityAsserts)
 {
-    ContainerPool pool(100);
+    ContainerPool pool = makePool(100);
     EXPECT_DEATH(pool.add(fn(0, 200), 0), "");
 }
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContainerPoolDeathTest,
+                         ::testing::Values(PoolBackend::Slab,
+                                           PoolBackend::ReferenceMap),
+                         [](const auto& info) {
+                             return std::string(
+                                 poolBackendName(info.param));
+                         });
 
 }  // namespace
 }  // namespace faascache
