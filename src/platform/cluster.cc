@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engine/event_engine.h"
+#include "sim/sweep_runner.h"
 #include "util/rng.h"
 
 namespace faascache {
@@ -27,6 +28,14 @@ FailoverConfig::validate() const
             "FailoverConfig: request_timeout_us must be > 0, got " +
             std::to_string(request_timeout_us));
     }
+    if (backoff_jitter_frac < 0.0 || backoff_jitter_frac > 1.0) {
+        throw std::invalid_argument(
+            "FailoverConfig: backoff_jitter_frac must be in [0, 1], "
+            "got " +
+            std::to_string(backoff_jitter_frac));
+    }
+    retry_budget.validate();
+    breaker.validate();
 }
 
 void
@@ -39,6 +48,14 @@ ClusterConfig::validate() const
     server.validate();
     faults.validate(num_servers);
     failover.validate();
+    if (failover.shed_queue_depth > server.queue_capacity) {
+        throw std::invalid_argument(
+            "ClusterConfig: failover.shed_queue_depth (" +
+            std::to_string(failover.shed_queue_depth) +
+            ") must not exceed server.queue_capacity (" +
+            std::to_string(server.queue_capacity) +
+            "); a deeper mark could never trigger");
+    }
 }
 
 std::int64_t
@@ -74,6 +91,15 @@ ClusterResult::robustness() const
     RobustnessCounters total;
     for (const auto& s : servers)
         total += s.robustness;
+    return total;
+}
+
+OverloadCounters
+ClusterResult::overload() const
+{
+    OverloadCounters total;
+    for (const auto& s : servers)
+        total += s.overload;
     return total;
 }
 
@@ -226,15 +252,63 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
     std::vector<int> attempts(trace.invocations().size(), 0);
     TimeUs last_event_us = 0;
 
-    // Bounded re-dispatch with exponential backoff under the
-    // per-request timeout budget; exhaustion fails the request.
-    auto scheduleRetry = [&](std::size_t index, TimeUs now) {
+    // Per-server overload defenses: retry token buckets and circuit
+    // breakers. Breakers are driven by diffing each server's monotonic
+    // failure/success counters at settle points, so the signal is a
+    // pure function of simulation state — deterministic for any --jobs.
+    std::vector<RetryBudget> budgets(
+        n, RetryBudget(failover.retry_budget));
+    std::vector<CircuitBreaker> breakers(
+        n, CircuitBreaker(failover.breaker));
+    std::vector<std::int64_t> seen_failures(n, 0);
+    std::vector<std::int64_t> seen_successes(n, 0);
+    const bool breaker_on = failover.breaker.enabled();
+    auto observeServer = [&](std::size_t s, TimeUs now) {
+        const std::int64_t failures = servers[s]->spawnFailureCount() +
+            servers[s]->queueTimeoutDropCount();
+        const std::int64_t successes = servers[s]->spawnSuccessCount() +
+            servers[s]->warmStartCount();
+        // Failures first so a settle window containing both ends on the
+        // success (the server's latest state is "making progress").
+        for (; seen_failures[s] < failures; ++seen_failures[s])
+            breakers[s].recordFailure(now);
+        for (; seen_successes[s] < successes; ++seen_successes[s])
+            breakers[s].recordSuccess(now);
+    };
+
+    // Jitter stream: one splitmix-derived draw per (request, attempt),
+    // independent of the balancer's stream and of every other request.
+    const std::uint64_t jitter_base =
+        deriveCellSeed(config.seed, 0xBACC0FFEULL);
+
+    // Bounded re-dispatch with jittered exponential backoff under the
+    // per-request timeout budget; exhaustion fails the request. The
+    // retry debits `provoker`'s token bucket — the server whose crash
+    // or outage caused it — so one sick server cannot spend the whole
+    // fleet's retry capacity.
+    auto scheduleRetry = [&](std::size_t index, TimeUs now,
+                             std::size_t provoker) {
         if (attempts[index] >= failover.max_retries) {
             ++result.failed_requests;
             return;
         }
+        if (!budgets[provoker].trySpend()) {
+            ++result.failed_requests;
+            ++result.retry_budget_exhausted;
+            return;
+        }
         const int shift = std::min(attempts[index], 20);
-        const TimeUs backoff = failover.base_backoff_us << shift;
+        TimeUs backoff = failover.base_backoff_us << shift;
+        if (failover.backoff_jitter_frac > 0.0) {
+            const std::uint64_t draw = deriveCellSeed(
+                jitter_base,
+                (static_cast<std::uint64_t>(index) << 8) |
+                    (static_cast<std::uint64_t>(attempts[index]) & 0xff));
+            const auto span = static_cast<std::uint64_t>(
+                static_cast<double>(backoff) *
+                failover.backoff_jitter_frac) + 1;
+            backoff += static_cast<TimeUs>(draw % span);
+        }
         const TimeUs at = now + backoff;
         const TimeUs arrival = trace.invocations()[index].arrival_us;
         if (at - arrival > failover.request_timeout_us) {
@@ -252,8 +326,11 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         const TimeUs now = event.time_us;
         last_event_us = std::max(last_event_us, now);
         // Settle all servers so queue depths and health are current.
-        for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t s = 0; s < n; ++s) {
             servers[s]->advanceTo(now);
+            if (breaker_on)
+                observeServer(s, now);
+        }
 
         switch (event.kind) {
           case FrontEndEvent::Crash: {
@@ -272,11 +349,12 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                 events.schedule(now + ce.restart_after_us,
                                 FrontEndEvent::Restart, ce.server);
             }
-            // Everything the crash spilled goes back to the front end.
+            // Everything the crash spilled goes back to the front end,
+            // spending the crashed server's retry budget.
             for (std::size_t index : fallout.aborted)
-                scheduleRetry(index, now);
+                scheduleRetry(index, now, ce.server);
             for (std::size_t index : fallout.flushed_queue)
-                scheduleRetry(index, now);
+                scheduleRetry(index, now, ce.server);
             break;
           }
           case FrontEndEvent::Restart: {
@@ -300,6 +378,11 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                 const std::size_t s = (start + k) % n;
                 if (down[s])
                     continue;
+                // An open breaker means "treat as down": route around
+                // it, and if the whole fleet is open, back off and
+                // retry instead of shedding — the breakers re-probe.
+                if (!breakers[s].allowRequest(now))
+                    continue;
                 any_healthy = true;
                 if (failover.shed_queue_depth > 0 &&
                     servers[s]->queueDepth() >=
@@ -315,12 +398,14 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                     // into a queue that would only time out.
                     ++result.shed_requests;
                 } else {
-                    scheduleRetry(index, now);
+                    scheduleRetry(index, now, primary);
                 }
                 break;
             }
             if (chosen != primary)
                 ++result.failovers;
+            if (attempt == 0)
+                budgets[chosen].onFreshArrival();
             servers[chosen]->offer(index, now,
                                    /*redispatched=*/attempt > 0);
             break;
@@ -336,8 +421,12 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
     horizon += config.server.queue_timeout_us;
 
     result.servers.reserve(n);
-    for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t s = 0; s < n; ++s) {
         result.servers.push_back(servers[s]->finish(horizon));
+        result.breaker_opens += breakers[s].opens();
+        result.breaker_closes += breakers[s].closes();
+        result.breaker_probes += breakers[s].probes();
+    }
     return result;
 }
 
@@ -348,7 +437,13 @@ runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
            const PolicyConfig& policy_config)
 {
     config.validate();
-    if (config.faults.empty() && config.failover.shed_queue_depth == 0)
+    // The independent-server fast path is only equivalent when no
+    // front-end machinery can fire: no faults, no admission mark, no
+    // retry budget, no breakers. Server-local overload features run
+    // identically on both paths (they live inside Server).
+    if (config.faults.empty() && config.failover.shed_queue_depth == 0 &&
+        !config.failover.retry_budget.enabled() &&
+        !config.failover.breaker.enabled())
         return runClusterSplit(trace, kind, config, policy_config);
     return runClusterFaultAware(trace, kind, config, policy_config);
 }

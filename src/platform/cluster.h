@@ -31,6 +31,8 @@
 
 #include "core/policy_factory.h"
 #include "platform/fault_injection.h"
+#include "platform/overload/circuit_breaker.h"
+#include "platform/overload/retry_budget.h"
 #include "platform/server.h"
 #include "trace/trace.h"
 
@@ -69,9 +71,25 @@ struct FailoverConfig
      * Admission-control high-water mark: when every healthy server's
      * queue is at least this deep, new arrivals are shed instead of
      * buffered (graceful degradation instead of queue collapse).
-     * 0 disables admission control.
+     * 0 disables admission control. Must not exceed the per-server
+     * queue_capacity (a deeper mark could never trigger).
      */
     std::size_t shed_queue_depth = 0;
+
+    /**
+     * Jitter fraction on the retry backoff: each re-dispatch delay is
+     * stretched by a seeded, per-(request, attempt) uniform amount in
+     * [0, backoff * frac]. Decorrelates the retry herd a crash spills —
+     * without it every flushed request re-dispatches at the same
+     * instant. In [0, 1]; 0 restores the synchronized backoff.
+     */
+    double backoff_jitter_frac = 0.5;
+
+    /** Per-server retry token bucket (ratio 0 = unlimited retries). */
+    RetryBudgetConfig retry_budget;
+
+    /** Per-server circuit breaker (threshold 0 = disabled). */
+    CircuitBreakerConfig breaker;
 
     /** Check invariants. @throws std::invalid_argument. */
     void validate() const;
@@ -127,9 +145,18 @@ struct ClusterResult
      *  the high-water mark). */
     std::int64_t shed_requests = 0;
 
-    /** Invocations abandoned after exhausting the retry budget or the
-     *  per-request timeout. */
+    /** Invocations abandoned after exhausting the retry attempts or
+     *  the per-request timeout. */
     std::int64_t failed_requests = 0;
+
+    /** Retries abandoned because the provoking server's retry token
+     *  bucket was empty (also counted in failed_requests). */
+    std::int64_t retry_budget_exhausted = 0;
+
+    /** Circuit-breaker transitions across the fleet. */
+    std::int64_t breaker_opens = 0;
+    std::int64_t breaker_closes = 0;
+    std::int64_t breaker_probes = 0;
     /** @} */
 
     std::int64_t warmStarts() const;
@@ -138,6 +165,9 @@ struct ClusterResult
 
     /** Fleet-wide fault accounting summed over servers. */
     RobustnessCounters robustness() const;
+
+    /** Fleet-wide overload accounting summed over servers. */
+    OverloadCounters overload() const;
 
     /** Total server downtime across the fleet. */
     TimeUs unavailabilityUs() const { return robustness().downtime_us; }

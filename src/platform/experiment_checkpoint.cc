@@ -92,7 +92,14 @@ encodeServerConfigFields(std::ostringstream& out, const ServerConfig& c)
     out << c.cores << ' ' << hexDoubleToken(c.memory_mb) << ' '
         << c.queue_capacity << ' ' << c.queue_timeout_us << ' '
         << c.maintenance_interval_us << ' ' << (c.enable_prewarm ? 1 : 0)
-        << ' ' << c.cold_start_cpu_slots;
+        << ' ' << c.cold_start_cpu_slots << ' '
+        << (c.overload.admission.enabled ? 1 : 0) << ' '
+        << c.overload.admission.target_delay_us << ' '
+        << c.overload.admission.interval_us << ' '
+        << (c.overload.brownout.enabled ? 1 : 0) << ' '
+        << c.overload.brownout.min_duration_us << ' '
+        << (c.overload.brownout.on_admission_violation ? 1 : 0) << ' '
+        << (c.overload.brownout.on_memory_pressure ? 1 : 0);
 }
 
 bool
@@ -103,7 +110,14 @@ decodeServerConfigFields(TokenReader& in, ServerConfig* c)
         in.nextI64(&c->queue_timeout_us) &&
         in.nextI64(&c->maintenance_interval_us) &&
         in.nextBool(&c->enable_prewarm) &&
-        in.nextInt(&c->cold_start_cpu_slots);
+        in.nextInt(&c->cold_start_cpu_slots) &&
+        in.nextBool(&c->overload.admission.enabled) &&
+        in.nextI64(&c->overload.admission.target_delay_us) &&
+        in.nextI64(&c->overload.admission.interval_us) &&
+        in.nextBool(&c->overload.brownout.enabled) &&
+        in.nextI64(&c->overload.brownout.min_duration_us) &&
+        in.nextBool(&c->overload.brownout.on_admission_violation) &&
+        in.nextBool(&c->overload.brownout.on_memory_pressure);
 }
 
 void
@@ -131,6 +145,23 @@ decodeRobustnessFields(TokenReader& in, RobustnessCounters* r)
 }
 
 void
+encodeOverloadFields(std::ostringstream& out, const OverloadCounters& o)
+{
+    out << o.admission_shed << ' ' << o.admission_violations << ' '
+        << o.brownout_denied_cold << ' ' << o.brownout_windows << ' '
+        << o.brownout_us;
+}
+
+bool
+decodeOverloadFields(TokenReader& in, OverloadCounters* o)
+{
+    return in.nextI64(&o->admission_shed) &&
+        in.nextI64(&o->admission_violations) &&
+        in.nextI64(&o->brownout_denied_cold) &&
+        in.nextI64(&o->brownout_windows) && in.nextI64(&o->brownout_us);
+}
+
+void
 encodePlatformFields(std::ostringstream& out, const PlatformResult& r)
 {
     out << escapeJournalToken(r.policy_name) << ' ';
@@ -140,6 +171,9 @@ encodePlatformFields(std::ostringstream& out, const PlatformResult& r)
         << r.dropped_oversize << ' ' << r.evictions << ' '
         << r.expirations << ' ' << r.prewarms << ' ';
     encodeRobustnessFields(out, r.robustness);
+    out << ' ';
+    encodeOverloadFields(out, r.overload);
+    out << ' ' << r.last_congested_us;
     out << ' ' << r.per_function.size();
     for (const FunctionOutcome& f : r.per_function)
         out << ' ' << f.warm << ' ' << f.cold << ' ' << f.dropped;
@@ -166,6 +200,9 @@ decodePlatformFields(TokenReader& in, PlatformResult* result)
         !in.nextI64(&r.expirations) || !in.nextI64(&r.prewarms))
         return false;
     if (!decodeRobustnessFields(in, &r.robustness))
+        return false;
+    if (!decodeOverloadFields(in, &r.overload) ||
+        !in.nextI64(&r.last_congested_us))
         return false;
 
     std::size_t count = 0;
@@ -209,7 +246,14 @@ hashServerConfig(std::ostringstream& out, const ServerConfig& c)
     out << c.queue_capacity << ';' << c.queue_timeout_us << ';'
         << c.maintenance_interval_us << ';' << (c.enable_prewarm ? 1 : 0)
         << ';' << c.cold_start_cpu_slots << ';'
-        << poolBackendName(c.pool_backend) << ';';
+        << poolBackendName(c.pool_backend) << ';'
+        << (c.overload.admission.enabled ? 1 : 0) << ';'
+        << c.overload.admission.target_delay_us << ';'
+        << c.overload.admission.interval_us << ';'
+        << (c.overload.brownout.enabled ? 1 : 0) << ';'
+        << c.overload.brownout.min_duration_us << ';'
+        << (c.overload.brownout.on_admission_violation ? 1 : 0) << ';'
+        << (c.overload.brownout.on_memory_pressure ? 1 : 0) << ';';
 }
 
 void
@@ -258,7 +302,10 @@ encodeClusterCheckpointPayload(const std::string& key,
     std::ostringstream out;
     out << escapeJournalToken(key) << ' ' << result.retries << ' '
         << result.failovers << ' ' << result.shed_requests << ' '
-        << result.failed_requests << ' ' << result.servers.size();
+        << result.failed_requests << ' '
+        << result.retry_budget_exhausted << ' ' << result.breaker_opens
+        << ' ' << result.breaker_closes << ' ' << result.breaker_probes
+        << ' ' << result.servers.size();
     for (const PlatformResult& server : result.servers) {
         out << ' ';
         encodePlatformFields(out, server);
@@ -275,7 +322,10 @@ decodeClusterCheckpointPayload(const std::string& payload,
         return false;
     ClusterResult r;
     if (!in.nextI64(&r.retries) || !in.nextI64(&r.failovers) ||
-        !in.nextI64(&r.shed_requests) || !in.nextI64(&r.failed_requests))
+        !in.nextI64(&r.shed_requests) || !in.nextI64(&r.failed_requests) ||
+        !in.nextI64(&r.retry_budget_exhausted) ||
+        !in.nextI64(&r.breaker_opens) || !in.nextI64(&r.breaker_closes) ||
+        !in.nextI64(&r.breaker_probes))
         return false;
     std::size_t count = 0;
     if (!in.nextCount(&count))
@@ -301,7 +351,7 @@ platformSweepFingerprint(const std::vector<PlatformCell>& cells)
     const std::vector<std::string> keys = platformCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    out << "faascache-platform-grid-v1;" << cells.size() << ';';
+    out << "faascache-platform-grid-v2;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const PlatformCell& cell = cells[i];
         out << keys[i] << ';';
@@ -318,7 +368,7 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
     const std::vector<std::string> keys = clusterCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    out << "faascache-cluster-grid-v1;" << cells.size() << ';';
+    out << "faascache-cluster-grid-v2;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const ClusterCell& cell = cells[i];
         const ClusterConfig& config = cell.config;
@@ -332,6 +382,11 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
             << config.failover.base_backoff_us << ';'
             << config.failover.request_timeout_us << ';'
             << config.failover.shed_queue_depth << ';';
+        hashHexDouble(out, config.failover.backoff_jitter_frac);
+        hashHexDouble(out, config.failover.retry_budget.ratio);
+        hashHexDouble(out, config.failover.retry_budget.burst);
+        out << config.failover.breaker.failure_threshold << ';'
+            << config.failover.breaker.open_duration_us << ';';
         const FaultPlan& faults = config.faults;
         out << faults.crashes.size() << ';';
         for (const CrashEvent& crash : faults.crashes)

@@ -1,0 +1,60 @@
+#include "platform/overload/admission_controller.h"
+
+#include <cmath>
+
+namespace faascache {
+
+void
+AdmissionController::reset()
+{
+    first_above_us_ = 0;
+    violating_ = false;
+    shed_count_ = 0;
+    next_shed_us_ = 0;
+    violations_ = 0;
+}
+
+void
+AdmissionController::onDequeue(TimeUs sojourn_us, TimeUs now)
+{
+    if (!config_.enabled)
+        return;
+    if (sojourn_us < config_.target_delay_us) {
+        // Queue delay recovered: disarm and leave violation.
+        first_above_us_ = 0;
+        violating_ = false;
+        shed_count_ = 0;
+        return;
+    }
+    if (first_above_us_ == 0) {
+        // First above-target sojourn: give the queue one interval to
+        // recover before declaring a standing queue.
+        first_above_us_ = now + config_.interval_us;
+        return;
+    }
+    if (!violating_ && now >= first_above_us_) {
+        violating_ = true;
+        ++violations_;
+        shed_count_ = 0;
+        next_shed_us_ = now;  // first shed fires immediately
+    }
+}
+
+bool
+AdmissionController::shouldShed(TimeUs now)
+{
+    if (!config_.enabled || !violating_)
+        return false;
+    if (now < next_shed_us_)
+        return false;
+    ++shed_count_;
+    // CoDel control law: successive sheds come interval/sqrt(count)
+    // apart, escalating the shed rate while the violation persists.
+    const auto gap = static_cast<TimeUs>(
+        static_cast<double>(config_.interval_us) /
+        std::sqrt(static_cast<double>(shed_count_)));
+    next_shed_us_ = now + (gap > 0 ? gap : 1);
+    return true;
+}
+
+}  // namespace faascache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CoDel-style adaptive admission control for one invoker server.
+ *
+ * Classic tail-drop (a fixed queue capacity or high-water depth) only
+ * reacts once the buffer is full — by then every queued request is
+ * already doomed to a timeout, the paper's queue-collapse regime. CoDel
+ * ("Controlling Queue Delay", Nichols & Jacobson 2012) instead watches
+ * *how long* work sits in the queue: if the sojourn time of dequeued
+ * requests stays above a target for a full control interval the queue
+ * is standing, not bursting, and load must be shed.
+ *
+ * This adaptation sheds at the *arrival* edge (a FaaS front end cannot
+ * drop work it already accepted without breaking request semantics):
+ * while the target is violated, arrivals are shed on the CoDel control
+ * law — the k-th shed of an episode happens interval/sqrt(k) after the
+ * previous one, so the shed rate escalates the longer the violation
+ * lasts and relaxes the moment sojourns recover. Everything is
+ * deterministic: no randomness, integer time, and std::sqrt (exactly
+ * rounded per IEEE-754) on small integer counts.
+ */
+#ifndef FAASCACHE_PLATFORM_OVERLOAD_ADMISSION_CONTROLLER_H_
+#define FAASCACHE_PLATFORM_OVERLOAD_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "platform/overload/overload.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Deterministic CoDel-style arrival-shedding controller. */
+class AdmissionController
+{
+  public:
+    AdmissionController() = default;
+    explicit AdmissionController(const AdmissionConfig& config)
+        : config_(config)
+    {
+    }
+
+    /** Forget all state (fresh run). */
+    void reset();
+
+    /**
+     * Record the sojourn time of a request leaving the queue for a
+     * core. Drives the violation detector: a sojourn below target
+     * clears it instantly; sojourns above target arm it after one full
+     * interval.
+     */
+    void onDequeue(TimeUs sojourn_us, TimeUs now);
+
+    /**
+     * Should this arrival be shed? Mutates the shed schedule: while in
+     * violation, sheds escalate on the interval/sqrt(count) law.
+     * Returns false always when the controller is disabled.
+     */
+    bool shouldShed(TimeUs now);
+
+    /** In the violation (shedding) state? */
+    bool violating() const { return violating_; }
+
+    /** Times the violation state was entered since reset(). */
+    std::int64_t violations() const { return violations_; }
+
+  private:
+    AdmissionConfig config_;
+
+    /** Deadline by which sojourns must recover (0 = not armed). */
+    TimeUs first_above_us_ = 0;
+
+    bool violating_ = false;
+
+    /** Sheds in the current violation episode. */
+    std::int64_t shed_count_ = 0;
+
+    /** Next time an arrival gets shed while violating. */
+    TimeUs next_shed_us_ = 0;
+
+    std::int64_t violations_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_OVERLOAD_ADMISSION_CONTROLLER_H_

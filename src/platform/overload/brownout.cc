@@ -1,0 +1,61 @@
+#include "platform/overload/brownout.h"
+
+namespace faascache {
+
+void
+BrownoutGovernor::reset()
+{
+    active_ = false;
+    since_us_ = 0;
+    pressure_until_us_ = 0;
+    windows_ = 0;
+    total_us_ = 0;
+}
+
+void
+BrownoutGovernor::noteMemoryPressure(TimeUs now)
+{
+    if (!config_.enabled || !config_.on_memory_pressure)
+        return;
+    pressure_until_us_ = now + config_.min_duration_us;
+    if (!active_) {
+        active_ = true;
+        since_us_ = now;
+        ++windows_;
+    }
+}
+
+void
+BrownoutGovernor::update(bool admission_violating, TimeUs now)
+{
+    if (!config_.enabled)
+        return;
+    const bool triggered =
+        (config_.on_admission_violation && admission_violating) ||
+        (config_.on_memory_pressure && now < pressure_until_us_);
+    if (!active_) {
+        if (triggered) {
+            active_ = true;
+            since_us_ = now;
+            ++windows_;
+        }
+        return;
+    }
+    // Engaged: hold at least min_duration_us, then release once every
+    // trigger has cleared.
+    if (!triggered && now >= since_us_ + config_.min_duration_us) {
+        active_ = false;
+        total_us_ += now - since_us_;
+    }
+}
+
+TimeUs
+BrownoutGovernor::activeUs(TimeUs now) const
+{
+    TimeUs total = total_us_;
+    if (active_ && now > since_us_)
+        total += now - since_us_;
+    return total;
+}
+
+}  // namespace faascache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cold-start brownout governor for one invoker server.
+ *
+ * The paper's §7.2 destabilizing loop is cold-start-powered: cold
+ * starts hold extra cores and memory for their full initialization, so
+ * a burst of them starves the warm path that could still be serving
+ * cheaply. Brownout is the targeted countermeasure — while engaged, the
+ * server denies only cold-path invocations (no warm container
+ * available) and keeps serving warm hits untouched. Crucially this also
+ * stops demand evictions: a denied cold start never evicts warm
+ * Greedy-Dual cache to make room, so the cache value the paper argues
+ * for survives the overload instead of being churned into it.
+ *
+ * Engagement is event-driven and deterministic:
+ *  - memory pressure: a cold dispatch was blocked because busy
+ *    containers hold the memory it needs (noteMemoryPressure); the
+ *    trigger holds for min_duration_us past the last such event;
+ *  - admission violation: the server's AdmissionController is in the
+ *    shedding state (passed into update()).
+ *
+ * A window stays engaged at least min_duration_us (hysteresis), and
+ * total browned-out time is accounted for the result counters.
+ */
+#ifndef FAASCACHE_PLATFORM_OVERLOAD_BROWNOUT_H_
+#define FAASCACHE_PLATFORM_OVERLOAD_BROWNOUT_H_
+
+#include <cstdint>
+
+#include "platform/overload/overload.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Hysteretic brownout state machine. */
+class BrownoutGovernor
+{
+  public:
+    BrownoutGovernor() = default;
+    explicit BrownoutGovernor(const BrownoutConfig& config)
+        : config_(config)
+    {
+    }
+
+    /** Forget all state (fresh run). */
+    void reset();
+
+    /**
+     * A cold dispatch was blocked on memory held by busy containers.
+     * Arms the memory-pressure trigger for min_duration_us.
+     */
+    void noteMemoryPressure(TimeUs now);
+
+    /**
+     * Re-evaluate engagement. Call before dispatch decisions.
+     * @param admission_violating The server's admission controller is
+     *        currently in its violation state.
+     */
+    void update(bool admission_violating, TimeUs now);
+
+    /** Deny cold-path invocations right now? */
+    bool active() const { return active_; }
+
+    /** Windows entered since reset(). */
+    std::int64_t windows() const { return windows_; }
+
+    /**
+     * Total browned-out time: closed windows plus the still-open tail
+     * charged up to `now` (pass the run horizon at close). */
+    TimeUs activeUs(TimeUs now) const;
+
+  private:
+    BrownoutConfig config_;
+    bool active_ = false;
+    TimeUs since_us_ = 0;
+
+    /** Memory-pressure trigger holds until this time. */
+    TimeUs pressure_until_us_ = 0;
+
+    std::int64_t windows_ = 0;
+    TimeUs total_us_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_OVERLOAD_BROWNOUT_H_

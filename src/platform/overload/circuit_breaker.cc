@@ -1,0 +1,90 @@
+#include "platform/overload/circuit_breaker.h"
+
+namespace faascache {
+
+void
+CircuitBreaker::reset()
+{
+    state_ = BreakerState::Closed;
+    consecutive_failures_ = 0;
+    opened_at_us_ = 0;
+    next_probe_us_ = 0;
+    opens_ = 0;
+    closes_ = 0;
+    probes_ = 0;
+}
+
+BreakerState
+CircuitBreaker::state(TimeUs now) const
+{
+    if (state_ == BreakerState::Open &&
+        now >= opened_at_us_ + config_.open_duration_us)
+        return BreakerState::HalfOpen;
+    return state_;
+}
+
+void
+CircuitBreaker::open(TimeUs now)
+{
+    state_ = BreakerState::Open;
+    opened_at_us_ = now;
+    next_probe_us_ = now + config_.open_duration_us;
+    consecutive_failures_ = 0;
+    ++opens_;
+}
+
+bool
+CircuitBreaker::allowRequest(TimeUs now)
+{
+    if (!config_.enabled())
+        return true;
+    switch (state(now)) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        return false;
+      case BreakerState::HalfOpen:
+        state_ = BreakerState::HalfOpen;
+        if (now < next_probe_us_)
+            return false;
+        // Claim the probe slot; the next one needs another cool-down
+        // unless a success closes the breaker first.
+        next_probe_us_ = now + config_.open_duration_us;
+        ++probes_;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::recordSuccess(TimeUs now)
+{
+    if (!config_.enabled())
+        return;
+    consecutive_failures_ = 0;
+    if (state(now) != BreakerState::Closed) {
+        state_ = BreakerState::Closed;
+        ++closes_;
+    }
+}
+
+void
+CircuitBreaker::recordFailure(TimeUs now)
+{
+    if (!config_.enabled())
+        return;
+    switch (state(now)) {
+      case BreakerState::HalfOpen:
+        // The probe failed: straight back to Open.
+        open(now);
+        break;
+      case BreakerState::Open:
+        break;  // already failing fast
+      case BreakerState::Closed:
+        if (++consecutive_failures_ >= config_.failure_threshold)
+            open(now);
+        break;
+    }
+}
+
+}  // namespace faascache

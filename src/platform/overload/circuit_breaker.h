@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-server circuit breaker for the cluster front end.
+ *
+ * A server suffering a spawn-failure storm (flaky dockerd, image-pull
+ * outage — the FaultPlan's transient faults) keeps accepting requests
+ * it cannot start, turning each into a queue-timeout or a retry. The
+ * breaker converts that slow failure into fast failover: after
+ * `failure_threshold` consecutive failures the breaker opens and the
+ * front end routes around the server; after `open_duration_us` it goes
+ * half-open and admits a single probe; a success closes it, a failure
+ * reopens it. While half-open, at most one probe per cool-down is
+ * admitted so an unresponsive server cannot soak up traffic.
+ *
+ * The state machine is time-driven off the simulation clock and fully
+ * deterministic. Transition counts are exposed for the result
+ * accounting and the checkpoint codecs.
+ */
+#ifndef FAASCACHE_PLATFORM_OVERLOAD_CIRCUIT_BREAKER_H_
+#define FAASCACHE_PLATFORM_OVERLOAD_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "platform/overload/overload.h"
+#include "util/types.h"
+
+namespace faascache {
+
+/** Breaker position. */
+enum class BreakerState
+{
+    Closed,    ///< normal dispatch
+    Open,      ///< failing fast; no dispatch until cool-down elapses
+    HalfOpen,  ///< cool-down elapsed; one probe admitted per cool-down
+};
+
+/** Deterministic circuit-breaker state machine. */
+class CircuitBreaker
+{
+  public:
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(const CircuitBreakerConfig& config)
+        : config_(config)
+    {
+    }
+
+    /** Forget all state (fresh run). */
+    void reset();
+
+    /** Current position (Open lazily becomes HalfOpen as time passes). */
+    BreakerState state(TimeUs now) const;
+
+    /**
+     * May a request be dispatched to this server now? Closed: always.
+     * Open: no. HalfOpen: admits one probe per cool-down period
+     * (claiming the probe slot). Disabled breakers always allow.
+     */
+    bool allowRequest(TimeUs now);
+
+    /** A success signal (warm start or successful container spawn). */
+    void recordSuccess(TimeUs now);
+
+    /** A failure signal (spawn failure or queue-timeout drop). */
+    void recordFailure(TimeUs now);
+
+    /**
+     * @name Transition accounting since reset()
+     * @{
+     */
+    std::int64_t opens() const { return opens_; }
+    std::int64_t closes() const { return closes_; }
+    std::int64_t probes() const { return probes_; }
+    /** @} */
+
+  private:
+    void open(TimeUs now);
+
+    CircuitBreakerConfig config_;
+    BreakerState state_ = BreakerState::Closed;
+    int consecutive_failures_ = 0;
+    TimeUs opened_at_us_ = 0;
+
+    /** Next half-open probe admission time. */
+    TimeUs next_probe_us_ = 0;
+
+    std::int64_t opens_ = 0;
+    std::int64_t closes_ = 0;
+    std::int64_t probes_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_OVERLOAD_CIRCUIT_BREAKER_H_

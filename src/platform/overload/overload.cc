@@ -1,0 +1,92 @@
+#include "platform/overload/overload.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace faascache {
+
+void
+AdmissionConfig::validate() const
+{
+    if (!enabled)
+        return;
+    if (target_delay_us <= 0) {
+        throw std::invalid_argument(
+            "AdmissionConfig: target_delay_us must be > 0, got " +
+            std::to_string(target_delay_us));
+    }
+    if (interval_us <= 0) {
+        throw std::invalid_argument(
+            "AdmissionConfig: interval_us must be > 0, got " +
+            std::to_string(interval_us));
+    }
+}
+
+void
+BrownoutConfig::validate() const
+{
+    if (!enabled)
+        return;
+    if (min_duration_us <= 0) {
+        throw std::invalid_argument(
+            "BrownoutConfig: min_duration_us must be > 0, got " +
+            std::to_string(min_duration_us));
+    }
+    if (!on_admission_violation && !on_memory_pressure) {
+        throw std::invalid_argument(
+            "BrownoutConfig: enabled but both triggers "
+            "(on_admission_violation, on_memory_pressure) are off");
+    }
+}
+
+void
+OverloadConfig::validate() const
+{
+    admission.validate();
+    brownout.validate();
+}
+
+void
+RetryBudgetConfig::validate() const
+{
+    if (ratio < 0.0) {
+        throw std::invalid_argument(
+            "RetryBudgetConfig: ratio must be >= 0, got " +
+            std::to_string(ratio));
+    }
+    if (enabled() && burst < 1.0) {
+        throw std::invalid_argument(
+            "RetryBudgetConfig: burst must be >= 1 when the budget is "
+            "enabled, got " +
+            std::to_string(burst));
+    }
+}
+
+void
+CircuitBreakerConfig::validate() const
+{
+    if (failure_threshold < 0) {
+        throw std::invalid_argument(
+            "CircuitBreakerConfig: failure_threshold must be >= 0, got " +
+            std::to_string(failure_threshold));
+    }
+    if (enabled() && open_duration_us <= 0) {
+        throw std::invalid_argument(
+            "CircuitBreakerConfig: open_duration_us must be > 0 when the "
+            "breaker is enabled, got " +
+            std::to_string(open_duration_us));
+    }
+}
+
+OverloadCounters&
+OverloadCounters::operator+=(const OverloadCounters& other)
+{
+    admission_shed += other.admission_shed;
+    admission_violations += other.admission_violations;
+    brownout_denied_cold += other.brownout_denied_cold;
+    brownout_windows += other.brownout_windows;
+    brownout_us += other.brownout_us;
+    return *this;
+}
+
+}  // namespace faascache

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Overload-control subsystem for the platform layer: graceful
+ * degradation when the paper's §7.2 feedback loop — cold starts hold
+ * cores and memory longer, the queue grows, requests drop — turns a
+ * burst into a collapse.
+ *
+ * Four cooperating mechanisms, all deterministic and all default-off so
+ * the undefended platform model is byte-identical to the pre-overload
+ * behaviour:
+ *
+ *  - **Adaptive admission** (admission_controller.h): a CoDel-style
+ *    controller per server tracks the sojourn time of dequeued requests
+ *    against a target queueing delay and sheds arrivals at an
+ *    increasing deterministic rate while the target stays violated —
+ *    replacing the blunt fixed-depth queue gate with a latency-based
+ *    one.
+ *  - **Cold-start brownout** (BrownoutGovernor below): under memory
+ *    pressure or admission violation the server denies only cold-path
+ *    invocations while continuing to serve warm hits, preserving the
+ *    Greedy-Dual cache value the paper argues for instead of evicting
+ *    it to feed doomed cold starts.
+ *  - **Retry budgets** (retry_budget.h): cluster-level token buckets —
+ *    one per server — cap crash/outage re-dispatches as a fraction of
+ *    fresh arrivals so retry storms cannot multiply a burst.
+ *  - **Circuit breakers** (circuit_breaker.h): a per-server breaker
+ *    opens on consecutive spawn failures/timeouts, half-open probes
+ *    after a cool-down, and closes on success, composing with the
+ *    health-aware failover of the cluster front end.
+ *
+ * This header holds the configuration tree (OverloadConfig rides
+ * ServerConfig; the cluster-level knobs ride FailoverConfig) and the
+ * OverloadCounters accounting block that rides PlatformResult and the
+ * checkpoint codecs.
+ */
+#ifndef FAASCACHE_PLATFORM_OVERLOAD_OVERLOAD_H_
+#define FAASCACHE_PLATFORM_OVERLOAD_OVERLOAD_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** CoDel-style adaptive admission control (per server). */
+struct AdmissionConfig
+{
+    /** Master switch; disabled costs one branch per arrival. */
+    bool enabled = false;
+
+    /**
+     * Target queueing delay: the sojourn time (enqueue to dispatch) the
+     * controller tries to keep the queue under.
+     */
+    TimeUs target_delay_us = 500 * kMillisecond;
+
+    /**
+     * Control interval: sojourn must stay above target for a full
+     * interval before shedding starts, and the shed rate escalates on
+     * the CoDel interval/sqrt(count) schedule.
+     */
+    TimeUs interval_us = 10 * kSecond;
+
+    /** Check invariants. @throws std::invalid_argument. */
+    void validate() const;
+};
+
+/** Cold-start brownout: deny cold-path work, keep serving warm hits. */
+struct BrownoutConfig
+{
+    /** Master switch; disabled costs one branch per dispatch. */
+    bool enabled = false;
+
+    /**
+     * Minimum time a brownout window stays engaged once entered
+     * (hysteresis), and the hold time after a memory-starved cold
+     * dispatch before the memory-pressure trigger clears.
+     */
+    TimeUs min_duration_us = 5 * kSecond;
+
+    /**
+     * Also engage while the server's admission controller is in
+     * violation (requires admission.enabled to have any effect).
+     */
+    bool on_admission_violation = true;
+
+    /**
+     * Also engage when a cold dispatch was blocked because busy
+     * containers hold the memory it needs (the §7.2 feedback loop's
+     * signature state).
+     */
+    bool on_memory_pressure = true;
+
+    /** Check invariants. @throws std::invalid_argument. */
+    void validate() const;
+};
+
+/** Per-server overload knobs (rides ServerConfig). */
+struct OverloadConfig
+{
+    AdmissionConfig admission;
+    BrownoutConfig brownout;
+
+    /** Any per-server overload feature enabled? */
+    bool any() const { return admission.enabled || brownout.enabled; }
+
+    /** Check invariants of the tree. @throws std::invalid_argument. */
+    void validate() const;
+};
+
+/**
+ * Cluster-level retry budget: a token bucket per server. Fresh
+ * arrivals dispatched toward a server credit its bucket by `ratio`
+ * tokens (capped at `burst`); each re-dispatch provoked by that server
+ * debits one token. An empty bucket fails the request instead of
+ * retrying, so retries stay a bounded fraction of real load.
+ */
+struct RetryBudgetConfig
+{
+    /** Tokens earned per fresh arrival; 0 disables the budget. */
+    double ratio = 0.0;
+
+    /** Bucket capacity (maximum banked retries). */
+    double burst = 16.0;
+
+    bool enabled() const { return ratio > 0.0; }
+
+    /** Check invariants. @throws std::invalid_argument. */
+    void validate() const;
+};
+
+/**
+ * Per-server circuit breaker driven by the server's failure signals
+ * (consecutive spawn failures and queue timeouts from the FaultPlan
+ * machinery). Closed -> Open at `failure_threshold` consecutive
+ * failures; Open -> HalfOpen after `open_duration_us`; a half-open
+ * probe closes the breaker on success and reopens it on failure.
+ */
+struct CircuitBreakerConfig
+{
+    /** Consecutive failures that trip the breaker; 0 disables it. */
+    int failure_threshold = 0;
+
+    /** Cool-down before a half-open probe is allowed. */
+    TimeUs open_duration_us = 5 * kSecond;
+
+    bool enabled() const { return failure_threshold > 0; }
+
+    /** Check invariants. @throws std::invalid_argument. */
+    void validate() const;
+};
+
+/**
+ * Per-server overload accounting (rides PlatformResult and the
+ * checkpoint codecs). All zero when the overload features are off.
+ */
+struct OverloadCounters
+{
+    /** Arrivals shed by the admission controller. */
+    std::int64_t admission_shed = 0;
+
+    /** Times the admission controller entered the violation state. */
+    std::int64_t admission_violations = 0;
+
+    /** Cold-path invocations denied while browned out. */
+    std::int64_t brownout_denied_cold = 0;
+
+    /** Brownout windows entered. */
+    std::int64_t brownout_windows = 0;
+
+    /** Total time spent browned out. */
+    TimeUs brownout_us = 0;
+
+    OverloadCounters& operator+=(const OverloadCounters& other);
+
+    friend bool operator==(const OverloadCounters&,
+                           const OverloadCounters&) = default;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_OVERLOAD_OVERLOAD_H_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Token-bucket retry budget for the cluster front end.
+ *
+ * Unbounded retries turn an outage into a self-inflicted burst: every
+ * crash spills its queue into re-dispatches that land on the survivors
+ * at the same instant. A retry budget caps re-dispatches as a fraction
+ * of fresh arrivals — each fresh arrival dispatched toward a server
+ * credits its bucket by `ratio` tokens (capped at `burst`), each retry
+ * provoked by that server debits one token, and an empty bucket fails
+ * the request immediately instead of amplifying the storm. The
+ * arithmetic is plain double addition on exact binary fractions of
+ * typical ratios, deterministic across platforms.
+ */
+#ifndef FAASCACHE_PLATFORM_OVERLOAD_RETRY_BUDGET_H_
+#define FAASCACHE_PLATFORM_OVERLOAD_RETRY_BUDGET_H_
+
+#include "platform/overload/overload.h"
+
+namespace faascache {
+
+/** One server's retry token bucket. */
+class RetryBudget
+{
+  public:
+    RetryBudget() = default;
+    explicit RetryBudget(const RetryBudgetConfig& config)
+        : config_(config), tokens_(config.enabled() ? config.burst : 0.0)
+    {
+    }
+
+    /** A fresh arrival was dispatched toward this server. */
+    void onFreshArrival()
+    {
+        if (!config_.enabled())
+            return;
+        tokens_ = tokens_ + config_.ratio > config_.burst
+            ? config_.burst
+            : tokens_ + config_.ratio;
+    }
+
+    /**
+     * Spend one token for a retry. Always succeeds when the budget is
+     * disabled. @return false when the bucket is empty (the retry must
+     * be abandoned).
+     */
+    bool trySpend()
+    {
+        if (!config_.enabled())
+            return true;
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /** Remaining tokens (diagnostics/tests). */
+    double tokens() const { return tokens_; }
+
+  private:
+    RetryBudgetConfig config_;
+    double tokens_ = 0.0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_PLATFORM_OVERLOAD_RETRY_BUDGET_H_

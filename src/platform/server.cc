@@ -42,6 +42,7 @@ ServerConfig::validate() const
             std::to_string(cold_start_cpu_slots) + " with " +
             std::to_string(cores) + " cores");
     }
+    overload.validate();
 }
 
 double
@@ -87,7 +88,9 @@ Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
     : policy_(std::move(policy)), config_(config),
       // Validate before the pool captures the capacity (its
       // constructor asserts on non-positive memory).
-      pool_((config_.validate(), config_.memory_mb), config_.pool_backend)
+      pool_((config_.validate(), config_.memory_mb), config_.pool_backend),
+      admission_(config_.overload.admission),
+      brownout_(config_.overload.brownout)
 {
     if (!policy_)
         throw std::invalid_argument("Server: null policy");
@@ -149,6 +152,8 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     FunctionOutcome& outcome = result_.per_function[spec.id];
 
     if (Container* warm = pool_.findIdleWarm(spec.id)) {
+        // Warm hits are served even while browned out: that is the
+        // whole point of the brownout mode.
         warm->startInvocation(now, now + spec.warm_us);
         policy_->onWarmStart(*warm, spec, now);
         ++running_;
@@ -162,7 +167,12 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         return Dispatch::Started;
     }
 
-    // Cold path: initialization burns extra platform CPU.
+    // Cold path: initialization burns extra platform CPU. A browned-out
+    // server denies cold work outright — before any victim selection,
+    // so the warm Greedy-Dual cache is never evicted to feed a cold
+    // start the overload will starve anyway.
+    if (brownout_.active())
+        return Dispatch::BrownoutDenied;
     const int cold_slots = std::max(1, config_.cold_start_cpu_slots);
     if (running_ + cold_slots > config_.cores)
         return Dispatch::Blocked;
@@ -174,8 +184,12 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         MemMb freed = 0;
         for (ContainerId id : victims)
             freed += pool_.get(id)->memMb();
-        if (pool_.freeMb() + freed < spec.mem_mb)
-            return Dispatch::Blocked;  // busy containers hold the memory
+        if (pool_.freeMb() + freed < spec.mem_mb) {
+            // Busy containers hold the memory: the §7.2 feedback loop's
+            // signature state and the brownout memory-pressure trigger.
+            brownout_.noteMemoryPressure(now);
+            return Dispatch::Blocked;
+        }
         for (ContainerId id : victims)
             evict(id, now, /*expired=*/false);
         if (injector_ != nullptr) {
@@ -195,6 +209,7 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     }
 
     Container& fresh = pool_.add(spec, now);
+    ++spawn_successes_;
     fresh.startInvocation(now, now + stall_us + init_us + spec.warm_us);
     policy_->onColdStart(fresh, spec, now);
     running_ += cold_slots;
@@ -217,6 +232,10 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
 void
 Server::drainQueue(TimeUs now)
 {
+    // Re-evaluate brownout before dispatch decisions so this drain sees
+    // the current admission/memory-pressure state.
+    if (config_.overload.brownout.enabled)
+        brownout_.update(admission_.violating(), now);
     // Scan in arrival order but skip entries that cannot start yet:
     // OpenWhisk schedules per activation, so a large function waiting
     // for memory does not block small warm functions behind it. Once a
@@ -238,10 +257,39 @@ Server::drainQueue(TimeUs now)
             continue;
         }
         if (running_ >= config_.cores) {
-            still_waiting.push_back(head);
-            break;
+            if (!brownout_.active()) {
+                still_waiting.push_back(head);
+                break;
+            }
+            // Brownout queue purge: deny cold-path entries even while
+            // every core is busy — otherwise the scan would stop here
+            // and the cold backlog would stand through the brownout,
+            // keeping the sojourn target violated forever. Entries that
+            // could be served warm keep their place in line.
+            const FunctionId fn =
+                trace_->invocations()[head.invocation_index].function;
+            if (pool_.findIdleWarm(fn) == nullptr) {
+                ++result_.overload.brownout_denied_cold;
+                ++result_.per_function[fn].dropped;
+            } else {
+                still_waiting.push_back(head);
+            }
+            continue;
         }
         const Dispatch outcome = tryDispatch(head, now);
+        if (outcome == Dispatch::Started) {
+            // Sojourn feedback: how long this request waited for a core
+            // is the admission controller's control signal.
+            admission_.onDequeue(now - head.enqueued_us, now);
+            continue;
+        }
+        if (outcome == Dispatch::BrownoutDenied) {
+            const FunctionId fn =
+                trace_->invocations()[head.invocation_index].function;
+            ++result_.overload.brownout_denied_cold;
+            ++result_.per_function[fn].dropped;
+            continue;
+        }
         if (outcome == Dispatch::SpawnFailed) {
             ++result_.robustness.spawn_failures;
             head.not_before_us =
@@ -250,8 +298,7 @@ Server::drainQueue(TimeUs now)
             still_waiting.push_back(head);
             continue;
         }
-        if (outcome != Dispatch::Started)
-            still_waiting.push_back(head);
+        still_waiting.push_back(head);
     }
     // Preserve arrival order of everything not dispatched.
     while (!queue_.empty()) {
@@ -259,6 +306,16 @@ Server::drainQueue(TimeUs now)
         queue_.pop_front();
     }
     queue_ = std::move(still_waiting);
+    // Congestion watermark: a core's worth of backlog whose head has
+    // stood for several service times (5 s). The age requirement keeps
+    // the synchronized minute-bucket arrival spikes of the Azure replay
+    // rule — which drain as fast as running containers finish — from
+    // reading as congestion. Feeds the time-to-recovery metric of
+    // bench/fig_overload.
+    if (queue_.size() >= static_cast<std::size_t>(config_.cores) &&
+        now - queue_.front().enqueued_us >= 5 * kSecond) {
+        result_.last_congested_us = now;
+    }
 }
 
 void
@@ -299,6 +356,13 @@ Server::acceptArrival(std::size_t invocation_index, TimeUs now,
     policy_->onInvocationArrival(spec, now);
     if (spec.mem_mb > pool_.capacityMb()) {
         ++result_.dropped_oversize;
+        ++result_.per_function[spec.id].dropped;
+        return false;
+    }
+    // Adaptive admission: shed at the arrival edge while the queue
+    // delay target stays violated (deterministic CoDel schedule).
+    if (config_.overload.admission.enabled && admission_.shouldShed(now)) {
+        ++result_.overload.admission_shed;
         ++result_.per_function[spec.id].dropped;
         return false;
     }
@@ -481,6 +545,9 @@ Server::beginRun(const Trace& trace)
     result_.per_function.resize(trace.functions().size());
     result_.latency_sum_sec.resize(trace.functions().size(), 0.0);
     clearInflight();
+    admission_.reset();
+    brownout_.reset();
+    spawn_successes_ = 0;
     // Allocation hints: size dense per-function tables from the catalog.
     policy_->reserveFunctions(trace.functions().size());
     pool_.reserve(/*containers=*/256, trace.functions().size());
@@ -578,6 +645,9 @@ Server::closeRun(TimeUs horizon_us)
     // observation window.
     if (down_ && horizon_us > down_since_)
         result_.robustness.downtime_us += horizon_us - down_since_;
+    result_.overload.admission_violations = admission_.violations();
+    result_.overload.brownout_windows = brownout_.windows();
+    result_.overload.brownout_us = brownout_.activeUs(horizon_us);
     incremental_ = false;
     trace_ = nullptr;
     return result_;

@@ -39,6 +39,9 @@
 #include "core/keepalive_policy.h"
 #include "engine/event_engine.h"
 #include "platform/fault_injection.h"
+#include "platform/overload/admission_controller.h"
+#include "platform/overload/brownout.h"
+#include "platform/overload/overload.h"
 #include "sim/sim_result.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
@@ -103,6 +106,14 @@ struct ServerConfig
     int cold_start_cpu_slots = 1;
 
     /**
+     * Overload control: CoDel-style adaptive admission and cold-start
+     * brownout (platform/overload/overload.h). Both default off, in
+     * which case behaviour and results are identical to a server
+     * without the subsystem.
+     */
+    OverloadConfig overload;
+
+    /**
      * Cooperative cancellation (non-owning; may be null). Checked once
      * per processed event in run(), so a watchdog or signal handler can
      * unwind a long replay promptly (CancelledError propagates out of
@@ -112,7 +123,7 @@ struct ServerConfig
 
     /**
      * Check invariants (positive cores/memory/capacity/periods,
-     * cold_start_cpu_slots in [1, cores]).
+     * cold_start_cpu_slots in [1, cores], overload knobs in range).
      * @throws std::invalid_argument with a descriptive message.
      */
     void validate() const;
@@ -136,6 +147,17 @@ struct PlatformResult
     /** Fault-injection accounting (all zero without a FaultPlan). */
     RobustnessCounters robustness;
 
+    /** Overload-control accounting (all zero with overload off). */
+    OverloadCounters overload;
+
+    /**
+     * Last event time at which the request queue held at least one
+     * core's worth of backlog — the congestion watermark behind the
+     * time-to-recovery metric of bench/fig_overload (0 = the queue
+     * never backed up).
+     */
+    TimeUs last_congested_us = 0;
+
     /** Per-function warm/cold/dropped, indexed by FunctionId. */
     std::vector<FunctionOutcome> per_function;
 
@@ -153,7 +175,8 @@ struct PlatformResult
     std::int64_t dropped() const
     {
         return dropped_queue_full + dropped_timeout + dropped_oversize +
-            robustness.dropped_unavailable;
+            robustness.dropped_unavailable + overload.admission_shed +
+            overload.brownout_denied_cold;
     }
 
     /** Requests this server definitively resolved (standalone runs
@@ -276,6 +299,37 @@ class Server
     /** Occupied CPU slots. */
     int runningCount() const { return running_; }
 
+    /**
+     * @name Overload signals (cluster front end)
+     * Monotonic within one run; the front end diffs successive reads to
+     * drive the per-server circuit breaker.
+     * @{
+     */
+
+    /** Transient container-spawn failures so far. */
+    std::int64_t spawnFailureCount() const
+    {
+        return result_.robustness.spawn_failures;
+    }
+
+    /** Successful container spawns (cold starts that got a container)
+     *  so far; unlike cold_starts this is never rolled back. */
+    std::int64_t spawnSuccessCount() const { return spawn_successes_; }
+
+    /** Requests dropped on queue timeout so far. */
+    std::int64_t queueTimeoutDropCount() const
+    {
+        return result_.dropped_timeout;
+    }
+
+    /** Warm starts so far (a liveness signal: the server is making
+     *  progress even if cold spawns are failing). */
+    std::int64_t warmStartCount() const { return result_.warm_starts; }
+
+    /** Cold-start brownout currently engaged? */
+    bool brownedOut() const { return brownout_.active(); }
+    /** @} */
+
     /** Engine clock: time of the last internally processed event. */
     TimeUs now() const { return clock_.now(); }
     /** @} */
@@ -322,9 +376,10 @@ class Server
 
     enum class Dispatch
     {
-        Started,      ///< the invocation is running
-        Blocked,      ///< no core or no reclaimable memory; keep queued
-        SpawnFailed,  ///< transient spawn failure; retry after holdoff
+        Started,        ///< the invocation is running
+        Blocked,        ///< no core or no reclaimable memory; keep queued
+        SpawnFailed,    ///< transient spawn failure; retry after holdoff
+        BrownoutDenied, ///< cold path denied while browned out; dropped
     };
 
     /** Attempt to start `request` right now. */
@@ -362,6 +417,15 @@ class Server
     const Trace* trace_ = nullptr;
     FaultInjector* injector_ = nullptr;
     PlatformResult result_;
+
+    /** CoDel-style admission controller (overload.admission). */
+    AdmissionController admission_;
+
+    /** Cold-start brownout governor (overload.brownout). */
+    BrownoutGovernor brownout_;
+
+    /** Successful container spawns this run (monotonic). */
+    std::int64_t spawn_successes_ = 0;
     /** Occupied CPU slots (cold inits may hold extra slots). */
     int running_ = 0;
 

@@ -66,6 +66,7 @@ runElasticSimulation(const Trace& trace,
 
     std::int64_t arrivals_at_period_start = 0;
     std::int64_t cold_at_period_start = 0;
+    std::int64_t dropped_at_period_start = 0;
 
     // Optional online curve refresh (drift handling).
     const bool online = refresh.enabled();
@@ -106,16 +107,24 @@ runElasticSimulation(const Trace& trace,
             sim.result().total() - arrivals_at_period_start;
         const std::int64_t cold =
             sim.result().cold_starts - cold_at_period_start;
+        const std::int64_t dropped =
+            sim.result().dropped - dropped_at_period_start;
         arrivals_at_period_start = sim.result().total();
         cold_at_period_start = sim.result().cold_starts;
+        dropped_at_period_start = sim.result().dropped;
 
         ElasticSample sample;
         sample.time_us = at;
         sample.arrival_rate = static_cast<double>(arrivals) / period_sec;
         sample.miss_speed = static_cast<double>(cold) / period_sec;
         sample.available_fraction = available_fraction_at(at);
+        sample.overload_pressure = arrivals > 0
+            ? static_cast<double>(dropped) / static_cast<double>(arrivals)
+            : 0.0;
         if (!elastic_config.capacity_loss.empty())
             controller.setAvailableFraction(sample.available_fraction);
+        if (controller_config.overload_grow_frac > 0.0)
+            controller.noteOverloadPressure(sample.overload_pressure);
         const MemMb next =
             controller.update(sample.arrival_rate, sample.miss_speed);
         sample.smoothed_arrival = controller.smoothedArrivalRate();

@@ -64,6 +64,7 @@ struct ElasticSample
     double miss_speed = 0.0;        ///< cold starts per second this period
     double smoothed_arrival = 0.0;  ///< controller's EMA after update
     double available_fraction = 1.0;  ///< capacity fraction this period
+    double overload_pressure = 0.0;   ///< dropped/arrivals this period
 };
 
 /** Full elastic-scaling run outcome. */

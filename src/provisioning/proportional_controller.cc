@@ -19,6 +19,10 @@ ProportionalController::ProportionalController(HitRatioCurve curve,
         config_.max_size_mb <= config_.min_size_mb) {
         throw std::invalid_argument("controller: bad size clamp");
     }
+    if (config_.overload_grow_frac < 0) {
+        throw std::invalid_argument(
+            "controller: overload_grow_frac must be >= 0");
+    }
     current_size_mb_ = std::clamp(current_size_mb_, config_.min_size_mb,
                                   config_.max_size_mb);
 }
@@ -33,17 +37,29 @@ ProportionalController::setAvailableFraction(double fraction)
     available_fraction_ = fraction;
 }
 
+void
+ProportionalController::noteOverloadPressure(double dropped_fraction)
+{
+    if (config_.overload_grow_frac <= 0.0)
+        return;
+    pending_pressure_ = std::clamp(dropped_fraction, 0.0, 1.0);
+}
+
 MemMb
 ProportionalController::update(double arrival_rate, double miss_speed)
 {
     const double lambda_hat = arrival_ema_.update(std::max(0.0, arrival_rate));
+    const double pressure = pending_pressure_;
+    pending_pressure_ = 0.0;
 
     // Deadband: tolerate up to `deadband` relative error around the
     // target miss speed before resizing (paper: only capture coarse
     // diurnal effects, avoid memory fragmentation from small changes).
+    // Overload pressure overrides the deadband: drops are a stronger
+    // signal than miss-speed error.
     const double error = (miss_speed - config_.target_miss_speed) /
         config_.target_miss_speed;
-    if (std::fabs(error) <= config_.deadband)
+    if (std::fabs(error) <= config_.deadband && pressure <= 0.0)
         return current_size_mb_;
 
     if (lambda_hat <= 0.0) {
@@ -62,6 +78,12 @@ ProportionalController::update(double arrival_rate, double miss_speed)
     // must absorb the whole working set, so its share is scaled up.
     if (available_fraction_ < 1.0)
         next /= available_fraction_;
+    // Overload response: a shedding fleet must not shrink, and grows in
+    // proportion to the drop fraction.
+    if (pressure > 0.0) {
+        next = std::max(next, current_size_mb_) *
+            (1.0 + config_.overload_grow_frac * pressure);
+    }
     next = std::clamp(next, config_.min_size_mb, config_.max_size_mb);
     current_size_mb_ = next;
     return current_size_mb_;

@@ -35,6 +35,15 @@ struct ControllerConfig
     /** Cache size clamp, MB. */
     MemMb min_size_mb = 512.0;
     MemMb max_size_mb = 256.0 * 1024.0;
+
+    /**
+     * Scale-out response to overload pressure reported via
+     * noteOverloadPressure(): with pressure p (fraction of arrivals
+     * shed or denied last period), the next size request bypasses the
+     * deadband, never shrinks, and is inflated by (1 + frac * p).
+     * 0 (the default) ignores overload pressure entirely.
+     */
+    double overload_grow_frac = 0.0;
 };
 
 /** Hit-ratio-curve driven proportional controller. */
@@ -81,6 +90,13 @@ class ProportionalController
     /** Currently assumed available capacity fraction. */
     double availableFraction() const { return available_fraction_; }
 
+    /**
+     * Report overload pressure observed since the last update(): the
+     * fraction of arrivals shed or denied (clamped to [0, 1]). Consumed
+     * by the next update(); a no-op unless overload_grow_frac > 0.
+     */
+    void noteOverloadPressure(double dropped_fraction);
+
     /** Smoothed arrival rate, per second. */
     double smoothedArrivalRate() const { return arrival_ema_.value(); }
 
@@ -92,6 +108,7 @@ class ProportionalController
     MemMb current_size_mb_;
     ExponentialSmoother arrival_ema_;
     double available_fraction_ = 1.0;
+    double pending_pressure_ = 0.0;
 };
 
 }  // namespace faascache

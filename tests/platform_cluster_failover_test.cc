@@ -45,7 +45,7 @@ TEST(ClusterFailover, FaultAwarePathMatchesLegacyWithoutFaults)
         const ClusterResult legacy =
             runCluster(t, PolicyKind::GreedyDual, config(lb));
         ClusterConfig forced = config(lb);
-        forced.failover.shed_queue_depth = 1'000'000;
+        forced.failover.shed_queue_depth = forced.server.queue_capacity;
         const ClusterResult fault_aware =
             runCluster(t, PolicyKind::GreedyDual, forced);
 
@@ -273,6 +273,58 @@ TEST(ClusterFailover, ConfigValidationRejectsBadValues)
     {
         ClusterConfig c = config();
         c.server.cores = 0;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.server.queue_capacity = 0;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.server.queue_timeout_us = 0;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        // A shed mark deeper than the queue could never trigger.
+        ClusterConfig c = config();
+        c.failover.shed_queue_depth = c.server.queue_capacity + 1;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.failover.backoff_jitter_frac = 1.5;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.failover.retry_budget.ratio = -0.1;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.failover.breaker.failure_threshold = 3;
+        c.failover.breaker.open_duration_us = 0;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.server.overload.admission.enabled = true;
+        c.server.overload.admission.target_delay_us = 0;
+        EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
+                     std::invalid_argument);
+    }
+    {
+        ClusterConfig c = config();
+        c.server.overload.brownout.enabled = true;
+        c.server.overload.brownout.min_duration_us = -1;
         EXPECT_THROW(runCluster(t, PolicyKind::Ttl, c),
                      std::invalid_argument);
     }

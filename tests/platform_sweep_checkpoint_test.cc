@@ -97,6 +97,18 @@ expectSameServerConfig(const ServerConfig& a, const ServerConfig& b)
     EXPECT_EQ(a.maintenance_interval_us, b.maintenance_interval_us);
     EXPECT_EQ(a.enable_prewarm, b.enable_prewarm);
     EXPECT_EQ(a.cold_start_cpu_slots, b.cold_start_cpu_slots);
+    EXPECT_EQ(a.overload.admission.enabled, b.overload.admission.enabled);
+    EXPECT_EQ(a.overload.admission.target_delay_us,
+              b.overload.admission.target_delay_us);
+    EXPECT_EQ(a.overload.admission.interval_us,
+              b.overload.admission.interval_us);
+    EXPECT_EQ(a.overload.brownout.enabled, b.overload.brownout.enabled);
+    EXPECT_EQ(a.overload.brownout.min_duration_us,
+              b.overload.brownout.min_duration_us);
+    EXPECT_EQ(a.overload.brownout.on_admission_violation,
+              b.overload.brownout.on_admission_violation);
+    EXPECT_EQ(a.overload.brownout.on_memory_pressure,
+              b.overload.brownout.on_memory_pressure);
 }
 
 void
@@ -120,6 +132,8 @@ expectSamePlatformResult(const PlatformResult& a, const PlatformResult& b)
     EXPECT_EQ(a.robustness.redispatch_cold_starts,
               b.robustness.redispatch_cold_starts);
     EXPECT_EQ(a.robustness.downtime_us, b.robustness.downtime_us);
+    EXPECT_EQ(a.overload, b.overload);
+    EXPECT_EQ(a.last_congested_us, b.last_congested_us);
     ASSERT_EQ(a.per_function.size(), b.per_function.size());
     for (std::size_t i = 0; i < a.per_function.size(); ++i) {
         EXPECT_EQ(a.per_function[i].warm, b.per_function[i].warm);
@@ -142,6 +156,10 @@ expectSameClusterResult(const ClusterResult& a, const ClusterResult& b)
     EXPECT_EQ(a.failovers, b.failovers);
     EXPECT_EQ(a.shed_requests, b.shed_requests);
     EXPECT_EQ(a.failed_requests, b.failed_requests);
+    EXPECT_EQ(a.retry_budget_exhausted, b.retry_budget_exhausted);
+    EXPECT_EQ(a.breaker_opens, b.breaker_opens);
+    EXPECT_EQ(a.breaker_closes, b.breaker_closes);
+    EXPECT_EQ(a.breaker_probes, b.breaker_probes);
     ASSERT_EQ(a.servers.size(), b.servers.size());
     for (std::size_t i = 0; i < a.servers.size(); ++i)
         expectSamePlatformResult(a.servers[i], b.servers[i]);
@@ -162,6 +180,50 @@ TEST(PlatformCheckpointCodec, RoundTripsARealRun)
     ASSERT_TRUE(decodePlatformCheckpointPayload(payload, &key, &decoded));
     EXPECT_EQ(key, "grid key/with spaces");
     expectSamePlatformResult(result, decoded);
+}
+
+TEST(PlatformCheckpointCodec, RoundTripsOverloadCounters)
+{
+    // Non-zero overload accounting (a hand-built result: the grid's
+    // cells never trip the controllers) must survive the codec.
+    PlatformCell cell = platformGrid()[0];
+    PlatformResult result =
+        runPlatform(*cell.trace, cell.kind, cell.server, cell.policy);
+    result.config.overload.admission.enabled = true;
+    result.config.overload.admission.target_delay_us = 123;
+    result.config.overload.brownout.enabled = true;
+    result.config.overload.brownout.on_memory_pressure = false;
+    result.overload.admission_shed = 17;
+    result.overload.admission_violations = 3;
+    result.overload.brownout_denied_cold = 9;
+    result.overload.brownout_windows = 2;
+    result.overload.brownout_us = 42 * kSecond;
+    result.last_congested_us = 7 * kMinute;
+
+    const std::string payload =
+        encodePlatformCheckpointPayload("overload", result);
+    std::string key;
+    PlatformResult decoded;
+    ASSERT_TRUE(decodePlatformCheckpointPayload(payload, &key, &decoded));
+    expectSamePlatformResult(result, decoded);
+}
+
+TEST(ClusterCheckpointCodec, RoundTripsOverloadCounters)
+{
+    const ClusterCell cell = clusterGrid()[0];
+    ClusterResult result =
+        runCluster(*cell.trace, cell.kind, cell.config, cell.policy);
+    result.retry_budget_exhausted = 5;
+    result.breaker_opens = 4;
+    result.breaker_closes = 3;
+    result.breaker_probes = 11;
+
+    const std::string payload =
+        encodeClusterCheckpointPayload("overload", result);
+    std::string key;
+    ClusterResult decoded;
+    ASSERT_TRUE(decodeClusterCheckpointPayload(payload, &key, &decoded));
+    expectSameClusterResult(result, decoded);
 }
 
 TEST(PlatformCheckpointCodec, RejectsTruncationAndTrailingGarbage)
@@ -212,6 +274,18 @@ TEST(PlatformFingerprint, SensitiveToGridKnobs)
     fewer.pop_back();
     EXPECT_NE(platformSweepFingerprint(grid),
               platformSweepFingerprint(fewer));
+
+    // Overload knobs are part of the grid identity: a resumed sweep
+    // must not mix defended and undefended cells.
+    std::vector<PlatformCell> defended = platformGrid();
+    defended[0].server.overload.admission.enabled = true;
+    EXPECT_NE(platformSweepFingerprint(grid),
+              platformSweepFingerprint(defended));
+
+    std::vector<PlatformCell> browned = platformGrid();
+    browned[0].server.overload.brownout.enabled = true;
+    EXPECT_NE(platformSweepFingerprint(grid),
+              platformSweepFingerprint(browned));
 }
 
 TEST(ClusterFingerprint, SensitiveToFleetAndFaultKnobs)
@@ -235,6 +309,21 @@ TEST(ClusterFingerprint, SensitiveToFleetAndFaultKnobs)
     bigger[0].config.num_servers = 3;
     EXPECT_NE(clusterSweepFingerprint(grid),
               clusterSweepFingerprint(bigger));
+
+    std::vector<ClusterCell> jittered = clusterGrid();
+    jittered[0].config.failover.backoff_jitter_frac = 0.25;
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(jittered));
+
+    std::vector<ClusterCell> budgeted = clusterGrid();
+    budgeted[0].config.failover.retry_budget.ratio = 0.1;
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(budgeted));
+
+    std::vector<ClusterCell> broken = clusterGrid();
+    broken[0].config.failover.breaker.failure_threshold = 5;
+    EXPECT_NE(clusterSweepFingerprint(grid),
+              clusterSweepFingerprint(broken));
 }
 
 TEST(PlatformSweepResume, RestoresEveryCellBitForBit)

@@ -148,6 +148,41 @@ TEST(Controller, CompensatedSizeStillClamped)
     EXPECT_DOUBLE_EQ(next, config().max_size_mb);
 }
 
+TEST(Controller, OverloadPressureBypassesDeadbandAndGrows)
+{
+    ControllerConfig cfg = config();
+    cfg.overload_grow_frac = 1.0;
+    ProportionalController ctl(linearCurve(), cfg, 9'000);
+    // Inside the deadband (error 20%) a plain update holds the size...
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 1.2), 9'000.0);
+    // ...but drop pressure overrides it: never shrink, grow by
+    // (1 + frac * pressure) = 1.5x -> 13,500.
+    ctl.noteOverloadPressure(0.5);
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 1.2), 13'500.0);
+    // Pressure is consumed: the next quiet update holds again.
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 1.2), 13'500.0);
+}
+
+TEST(Controller, OverloadPressureIgnoredWhenDisabled)
+{
+    // Default overload_grow_frac = 0: noteOverloadPressure is inert and
+    // the update stream is identical to an untouched controller.
+    ProportionalController plain(linearCurve(), config(), 4'000);
+    ProportionalController pressed(linearCurve(), config(), 4'000);
+    pressed.noteOverloadPressure(1.0);
+    EXPECT_DOUBLE_EQ(plain.update(10.0, 1.2), pressed.update(10.0, 1.2));
+    EXPECT_DOUBLE_EQ(plain.update(10.0, 5.0), pressed.update(10.0, 5.0));
+}
+
+TEST(Controller, OverloadGrowthStillClamped)
+{
+    ControllerConfig cfg = config();
+    cfg.overload_grow_frac = 100.0;
+    ProportionalController ctl(linearCurve(), cfg, 9'000);
+    ctl.noteOverloadPressure(1.0);
+    EXPECT_DOUBLE_EQ(ctl.update(10.0, 1.2), cfg.max_size_mb);
+}
+
 TEST(Controller, RejectsBadFraction)
 {
     ProportionalController ctl(linearCurve(), config(), 2'000);
