@@ -1,19 +1,22 @@
 /**
  * @file
- * Perf-regression harness for the allocation-free hot path (PR 5).
+ * Perf-regression harness for the allocation-free hot paths (PR 5 pool
+ * rebuild, PR 7 platform rebuild).
  *
- * Times the pool-churn micro-benchmarks and two representative
- * end-to-end benches (a fig6-style simulator sweep and a fig8-style
- * platform run) through BOTH ContainerPool backends, plus the
- * trace-generation reserve() win, and emits a JSON report
- * (BENCH_PR5.json) with per-bench wall-clock, operations/sec,
- * backend speedups, and peak RSS.
+ * Times the pool-churn micro-benchmarks through BOTH ContainerPool
+ * backends, the fig6-style simulator sweep through both pool backends,
+ * the fig8-style platform run through BOTH PlatformBackends (dense
+ * arena queue + batched event admission vs the retained reference
+ * deque path, pool backend held at Slab so the ratio isolates the
+ * platform rebuild), plus the trace-generation reserve() win, and
+ * emits a JSON report (BENCH_PR7.json) with per-bench wall-clock,
+ * operations/sec, backend speedups, and peak RSS.
  *
  * The regression signal is the *speedup ratio* (reference backend
- * wall-clock / slab wall-clock), not absolute times: the reference
- * backend is the pre-PR data structure kept alive as an oracle, so the
- * ratio is machine-speed-invariant and a CI smoke run on any hardware
- * can compare it against the committed baseline.
+ * wall-clock / optimized wall-clock), not absolute times: each
+ * reference backend is the pre-PR data structure kept alive as an
+ * oracle, so the ratio is machine-speed-invariant and a CI smoke run
+ * on any hardware can compare it against the committed baseline.
  *
  * Usage:
  *   perf_harness [--smoke] [--reps N] [--out PATH]
@@ -280,14 +283,16 @@ runFig6(PoolBackend backend)
 
 /** fig8-style: one loaded platform-server replay under GD — the whole
  *  population against a single invoker, the paper's server-load
- *  regime. */
+ *  regime. The pool backend stays Slab on both sides so the measured
+ *  ratio isolates the PR 7 platform rebuild (arena request queue +
+ *  batched event admission) from the PR 5 pool rebuild. */
 void
-runFig8(PoolBackend backend)
+runFig8(PlatformBackend backend)
 {
     ServerConfig config;
     config.cores = 16;
     config.memory_mb = 8.0 * 1024.0;
-    config.pool_backend = backend;
+    config.platform_backend = backend;
     const PlatformResult result =
         runPlatform(miniPopulation(), PolicyKind::GreedyDual, config);
     if (result.served() < 0)
@@ -305,6 +310,20 @@ endToEndBench(const std::string& name, std::int64_t ops, int reps,
         bestOf(reps, [&] { body(PoolBackend::Slab); });
     result.reference_wall_s =
         bestOf(reps, [&] { body(PoolBackend::ReferenceMap); });
+    return result;
+}
+
+BenchResult
+platformBench(const std::string& name, std::int64_t ops, int reps,
+              void (*body)(PlatformBackend))
+{
+    BenchResult result;
+    result.name = name;
+    result.ops = ops;
+    result.optimized_wall_s =
+        bestOf(reps, [&] { body(PlatformBackend::Dense); });
+    result.reference_wall_s =
+        bestOf(reps, [&] { body(PlatformBackend::Reference); });
     return result;
 }
 
@@ -359,7 +378,7 @@ writeJson(std::ostream& out, const HarnessOptions& options,
         return std::string(buffer);
     };
     out << "{\n";
-    out << "  \"schema\": \"faascache-bench-pr5-v1\",\n";
+    out << "  \"schema\": \"faascache-bench-pr7-v1\",\n";
     out << "  \"mode\": \"" << (options.smoke ? "smoke" : "full")
         << "\",\n";
     out << "  \"reps\": " << options.reps << ",\n";
@@ -370,12 +389,12 @@ writeJson(std::ostream& out, const HarnessOptions& options,
         out << "    {\n";
         out << "      \"name\": \"" << b.name << "\",\n";
         out << "      \"ops\": " << b.ops << ",\n";
-        out << "      \"slab_wall_s\": " << num(b.optimized_wall_s)
+        out << "      \"optimized_wall_s\": " << num(b.optimized_wall_s)
             << ",\n";
         out << "      \"reference_wall_s\": " << num(b.reference_wall_s)
             << ",\n";
-        out << "      \"slab_ops_per_sec\": " << num(b.optimizedOpsPerSec())
-            << ",\n";
+        out << "      \"optimized_ops_per_sec\": "
+            << num(b.optimizedOpsPerSec()) << ",\n";
         out << "      \"reference_ops_per_sec\": "
             << num(b.referenceOpsPerSec()) << ",\n";
         out << "      \"speedup\": " << num(b.speedup()) << "\n";
@@ -443,7 +462,7 @@ main(int argc, char** argv)
     std::cerr << "perf_harness: fig8 end-to-end...\n";
     const auto population_invocations =
         static_cast<std::int64_t>(miniPopulation().invocations().size());
-    benches.push_back(endToEndBench("fig8_mini", population_invocations,
+    benches.push_back(platformBench("fig8_mini", population_invocations,
                                     reps, runFig8));
     std::cerr << "perf_harness: trace reserve...\n";
     benches.push_back(traceReserveBench(reps));
@@ -461,7 +480,7 @@ main(int argc, char** argv)
         std::cerr << "perf_harness: wrote " << options.out_path << "\n";
     }
     for (const BenchResult& b : benches) {
-        std::fprintf(stderr, "  %-20s slab %8.4fs  ref %8.4fs  %5.2fx\n",
+        std::fprintf(stderr, "  %-20s opt  %8.4fs  ref %8.4fs  %5.2fx\n",
                      b.name.c_str(), b.optimized_wall_s,
                      b.reference_wall_s, b.speedup());
     }

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
-# Perf-regression harness driver (PR 5).
+# Perf-regression harness driver (PR 5 pool rebuild, PR 7 platform rebuild).
 #
 # Full mode (default) regenerates the committed baseline:
 #   scripts/run_benchmarks.sh [build-dir]
-#     -> runs build/bench/perf_harness --reps 3 --out BENCH_PR5.json
+#     -> runs build/bench/perf_harness --reps 3 --out BENCH_PR7.json
 #
 # Smoke mode is the CI gate:
 #   scripts/run_benchmarks.sh --smoke [build-dir]
 #     -> runs a reduced-size harness pass and compares each bench's
 #        slab/reference *speedup ratio* against the committed
-#        BENCH_PR5.json. The ratio is machine-speed-invariant (the
+#        BENCH_PR7.json. The ratio is machine-speed-invariant (the
 #        reference backend is the pre-PR data structure, timed in the
 #        same process), so a slower CI box cancels out and only a real
 #        relative regression trips the gate.
@@ -28,7 +28,7 @@ if [ "${1:-}" = "--smoke" ]; then
 fi
 BUILD_DIR=${1:-"$ROOT/build"}
 HARNESS="$BUILD_DIR/bench/perf_harness"
-BASELINE="$ROOT/BENCH_PR5.json"
+BASELINE="$ROOT/BENCH_PR7.json"
 TOLERANCE=${TOLERANCE:-0.25}
 
 if [ ! -x "$HARNESS" ]; then
@@ -47,7 +47,7 @@ if [ ! -f "$BASELINE" ]; then
     exit 2
 fi
 
-SMOKE_OUT=$(mktemp /tmp/bench_pr5_smoke.XXXXXX.json)
+SMOKE_OUT=$(mktemp /tmp/bench_pr7_smoke.XXXXXX.json)
 trap 'rm -f "$SMOKE_OUT"' EXIT
 
 "$HARNESS" --smoke --reps 2 --out "$SMOKE_OUT" || exit 1

@@ -111,6 +111,21 @@ struct EngineEvent
 };
 
 /**
+ * One entry of a bulk admission (EventCore::scheduleBatch). Sequence
+ * numbers are assigned at admission in array order, so a batch keeps
+ * the exact FIFO tie-break it would have had as individual schedule()
+ * calls in the same order.
+ */
+template <typename Kind>
+struct EventBatchItem
+{
+    TimeUs time_us = 0;
+    Kind kind{};
+    std::uint64_t payload = 0;
+    std::uint64_t payload2 = 0;
+};
+
+/**
  * Deterministic min-heap of events ordered by (time, lane, seq), laid
  * out as a flat 4-ary heap over an explicit vector so callers can
  * reserve() capacity up front (no mid-run reallocation) and clear()
@@ -145,6 +160,42 @@ class EventCore
         heap_.push_back(event);
         siftUp(heap_.size() - 1);
         return EventHandle{event.seq};
+    }
+
+    /**
+     * Admit a whole setup schedule in one coalesced push. Equivalent to
+     * calling schedule() once per item in array order — sequence
+     * numbers are assigned in that order, and because (time, lane, seq)
+     * is a total order the pop sequence cannot depend on how the heap
+     * was built — but the heap is restored once per batch instead of
+     * once per item: appended items are sifted individually only while
+     * they are few relative to the existing heap; a batch that
+     * dominates the heap triggers a single bottom-up (Floyd) rebuild,
+     * O(n) instead of O(n log n) sifts.
+     */
+    void scheduleBatch(const std::vector<EventBatchItem<Kind>>& items,
+                       EventLane lane = EventLane::Normal)
+    {
+        if (items.empty())
+            return;
+        const std::size_t old_size = heap_.size();
+        heap_.reserve(old_size + items.size());
+        for (const EventBatchItem<Kind>& item : items) {
+            EngineEvent<Kind> event;
+            event.time_us = item.time_us;
+            event.lane = lane;
+            event.seq = next_seq_++;
+            event.kind = item.kind;
+            event.payload = item.payload;
+            event.payload2 = item.payload2;
+            heap_.push_back(event);
+        }
+        if (items.size() < old_size / 4) {
+            for (std::size_t i = old_size; i < heap_.size(); ++i)
+                siftUp(i);
+        } else {
+            rebuildHeap();
+        }
     }
 
     /** Shorthand for scheduling into the Failure lane (fault hook). */
@@ -279,6 +330,17 @@ class EventCore
             i = best;
         }
         heap_[i] = event;
+    }
+
+    /** Bottom-up (Floyd) heap construction over the whole vector:
+     *  sift every internal node down, deepest parents first. */
+    void rebuildHeap()
+    {
+        const std::size_t n = heap_.size();
+        if (n < 2)
+            return;
+        for (std::size_t i = ((n - 2) >> 2) + 1; i-- > 0;)
+            siftDown(i);
     }
 
     /** Remove and return the root. @pre !heap_.empty(). */

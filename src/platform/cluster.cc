@@ -172,14 +172,20 @@ runClusterSplit(const Trace& trace, PolicyKind kind,
     // Split the invocation stream by the balancing policy. Every
     // sub-trace carries the full function catalog so function ids stay
     // stable across servers.
+    const std::vector<std::size_t> targets = primaryTargets(trace, config);
+    std::vector<std::size_t> shard_sizes(config.num_servers, 0);
+    for (std::size_t target : targets)
+        ++shard_sizes[target];
+
     std::vector<Trace> shards(config.num_servers);
     for (std::size_t s = 0; s < config.num_servers; ++s) {
         shards[s].setName(trace.name() + "-server" + std::to_string(s));
+        shards[s].reserveFunctions(trace.functions().size());
+        shards[s].reserveInvocations(shard_sizes[s]);
         for (const auto& fn : trace.functions())
             shards[s].addFunction(fn);
     }
 
-    const std::vector<std::size_t> targets = primaryTargets(trace, config);
     for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
         const auto& inv = trace.invocations()[i];
         shards[targets[i]].addInvocation(inv.function, inv.arrival_us);
@@ -231,20 +237,39 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         servers.back()->begin(trace);
     }
 
+    const bool dense =
+        config.server.platform_backend == PlatformBackend::Dense;
+
     EventCore<FrontEndEvent> events;
     events.bindCancellation(config.server.cancel);
-    events.reserve(trace.invocations().size() +
-                   config.faults.crashes.size());
-
     const std::vector<std::size_t> primaries =
         primaryTargets(trace, config);
-    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
-        events.schedule(trace.invocations()[i].arrival_us,
-                        FrontEndEvent::Dispatch, i);
-    }
-    for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
-        events.scheduleFailure(config.faults.crashes[k].at_us,
-                               FrontEndEvent::Crash, k);
+    if (dense) {
+        // Attempt-0 dispatches are delivered straight off the sorted
+        // trace by the cursor merge below; only the crash plan is
+        // scheduled up front (retries and restarts arrive at runtime).
+        events.reserve(config.faults.crashes.size() + 64);
+        std::vector<EventBatchItem<FrontEndEvent>> setup;
+        setup.reserve(config.faults.crashes.size());
+        for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
+            EventBatchItem<FrontEndEvent> item;
+            item.time_us = config.faults.crashes[k].at_us;
+            item.kind = FrontEndEvent::Crash;
+            item.payload = k;
+            setup.push_back(item);
+        }
+        events.scheduleBatch(setup, EventLane::Failure);
+    } else {
+        events.reserve(trace.invocations().size() +
+                       config.faults.crashes.size());
+        for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+            events.schedule(trace.invocations()[i].arrival_us,
+                            FrontEndEvent::Dispatch, i);
+        }
+        for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
+            events.scheduleFailure(config.faults.crashes[k].at_us,
+                                   FrontEndEvent::Crash, k);
+        }
     }
 
     ClusterResult result;
@@ -321,8 +346,28 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                         static_cast<std::uint64_t>(attempts[index]));
     };
 
-    while (!events.empty()) {
-        const EngineEvent<FrontEndEvent> event = events.pop();
+    // Dense cursor merge over the sorted trace: the reference setup
+    // hands attempt-0 dispatches the lowest sequence numbers (0..N-1),
+    // so at any shared timestamp they deliver before every retry,
+    // restart, and (Failure-lane) crash — "arrival wins all ties"
+    // reproduces the reference front-end order exactly. The reference
+    // backend keeps cursor at N so only the heap drives its loop.
+    const auto& arrivals = trace.invocations();
+    std::size_t cursor = dense ? 0 : arrivals.size();
+    while (cursor < arrivals.size() || !events.empty()) {
+        EngineEvent<FrontEndEvent> event;
+        if (cursor < arrivals.size() &&
+            (events.empty() ||
+             arrivals[cursor].arrival_us <= events.nextTime())) {
+            if (config.server.cancel != nullptr)
+                config.server.cancel->throwIfCancelled();
+            event.time_us = arrivals[cursor].arrival_us;
+            event.kind = FrontEndEvent::Dispatch;
+            event.payload = cursor;
+            ++cursor;
+        } else {
+            event = events.pop();
+        }
         const TimeUs now = event.time_us;
         last_event_us = std::max(last_event_us, now);
         // Settle all servers so queue depths and health are current.

@@ -247,6 +247,7 @@ hashServerConfig(std::ostringstream& out, const ServerConfig& c)
         << c.maintenance_interval_us << ';' << (c.enable_prewarm ? 1 : 0)
         << ';' << c.cold_start_cpu_slots << ';'
         << poolBackendName(c.pool_backend) << ';'
+        << platformBackendName(c.platform_backend) << ';'
         << (c.overload.admission.enabled ? 1 : 0) << ';'
         << c.overload.admission.target_delay_us << ';'
         << c.overload.admission.interval_us << ';'
@@ -351,7 +352,10 @@ platformSweepFingerprint(const std::vector<PlatformCell>& cells)
     const std::vector<std::string> keys = platformCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    out << "faascache-platform-grid-v2;" << cells.size() << ';';
+    // v3: hashServerConfig gained the platform backend (the dense
+    // rebuild's Reference oracle switch), so journals written before
+    // the rebuild never silently resume against it.
+    out << "faascache-platform-grid-v3;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const PlatformCell& cell = cells[i];
         out << keys[i] << ';';
@@ -368,7 +372,7 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
     const std::vector<std::string> keys = clusterCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    out << "faascache-cluster-grid-v2;" << cells.size() << ';';
+    out << "faascache-cluster-grid-v3;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const ClusterCell& cell = cells[i];
         const ClusterConfig& config = cell.config;

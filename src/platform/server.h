@@ -30,6 +30,7 @@
 #ifndef FAASCACHE_PLATFORM_SERVER_H_
 #define FAASCACHE_PLATFORM_SERVER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -68,6 +69,28 @@ enum class EventKind
 /** One scheduled platform event. */
 using ServerEvent = EngineEvent<EventKind>;
 
+/**
+ * Platform hot-path backend (DESIGN.md §4f). Dense is the production
+ * interior: queued requests live in a recycled-slot arena threaded as
+ * an intrusive FIFO (the drain walks and unlinks in place instead of
+ * rebuilding a deque per event), and run() merges the sorted trace
+ * against the event heap with same-instant arrivals admitted as one
+ * batch, so the heap never carries the O(trace) arrival load.
+ * Reference is the original deque-rebuild + arrival-heap path, kept
+ * alive as a differential-testing oracle exactly like
+ * PoolBackend::ReferenceMap. The two are observably identical —
+ * byte-identical PlatformResult/ClusterResult — which
+ * tests/platform_differential_test.cc enforces.
+ */
+enum class PlatformBackend : std::uint8_t
+{
+    Dense,      ///< arena request queue + arrival-cursor merge (default)
+    Reference,  ///< original per-event deque rebuild + arrival heap
+};
+
+/** Lower-case display name ("dense", "reference"). */
+const char* platformBackendName(PlatformBackend backend);
+
 /** Invoker server parameters. */
 struct ServerConfig
 {
@@ -83,6 +106,13 @@ struct ServerConfig
      * kept as a differential-testing oracle. Observably identical.
      */
     PoolBackend pool_backend = PoolBackend::Slab;
+
+    /**
+     * Platform hot-path backend (see PlatformBackend). Dense (default)
+     * is the arena/batched interior; Reference is the original path
+     * kept as a differential-testing oracle. Observably identical.
+     */
+    PlatformBackend platform_backend = PlatformBackend::Dense;
 
     /** Request buffer capacity; arrivals beyond this are dropped. */
     std::size_t queue_capacity = 2048;
@@ -294,7 +324,12 @@ class Server
 
     /** Buffered (not yet running) requests — the load-shedding and
      *  health signal the cluster front end reads. */
-    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueDepth() const
+    {
+        return config_.platform_backend == PlatformBackend::Reference
+            ? queue_.size()
+            : queue_size_;
+    }
 
     /** Occupied CPU slots. */
     int runningCount() const { return running_; }
@@ -386,8 +421,16 @@ class Server
     Dispatch tryDispatch(const PendingRequest& request, TimeUs now);
 
     /** Dispatch queued requests FIFO until blocked; drop timed-out
-     *  entries at the head. */
+     *  entries at the head. Branches to the backend's drain. */
     void drainQueue(TimeUs now);
+
+    /** Original drain: pops into a freshly built deque per call. */
+    void drainQueueReference(TimeUs now);
+
+    /** Dense drain: walks the intrusive request list in place,
+     *  unlinking dispatched/dropped nodes — identical scan order and
+     *  side effects to drainQueueReference, zero rebuild traffic. */
+    void drainQueueDense(TimeUs now);
 
     /** Expire leases and perform due prewarms. */
     void maintenance(TimeUs now);
@@ -408,12 +451,48 @@ class Server
      *  trace and returns the result. */
     PlatformResult closeRun(TimeUs horizon_us);
 
+    /** Nil slot/link of the dense request arena. */
+    static constexpr std::uint32_t kNilRequest = 0xffffffffu;
+
+    /**
+     * One arena slot of the dense request queue: a PendingRequest
+     * threaded into an intrusive doubly-linked FIFO. Free slots are
+     * chained through `next` (free list), so steady state recycles
+     * slots with no allocation; nodes never move once linked, so the
+     * drain can unlink mid-walk without shifting neighbors.
+     */
+    struct RequestNode
+    {
+        PendingRequest req;
+        std::uint32_t prev = kNilRequest;
+        std::uint32_t next = kNilRequest;
+    };
+
+    /** Append a request at the tail of the dense FIFO. */
+    void pushRequestDense(const PendingRequest& request);
+
+    /** Unlink node `i` from the FIFO and recycle its slot. */
+    void eraseRequestDense(std::uint32_t i);
+
+    /** Drop all queued requests and recycle the arena (crash flush /
+     *  run reset). Keeps slot capacity. */
+    void clearRequestQueueDense();
+
     std::unique_ptr<KeepAlivePolicy> policy_;
     ServerConfig config_;
     ContainerPool pool_;
     EventCore<EventKind> events_;
     SimClock clock_;
+
+    /** Reference-backend request buffer. */
     std::deque<PendingRequest> queue_;
+
+    /** Dense-backend request arena + intrusive FIFO through it. */
+    std::vector<RequestNode> request_nodes_;
+    std::uint32_t queue_head_ = kNilRequest;
+    std::uint32_t queue_tail_ = kNilRequest;
+    std::uint32_t request_free_ = kNilRequest;
+    std::size_t queue_size_ = 0;
     const Trace* trace_ = nullptr;
     FaultInjector* injector_ = nullptr;
     PlatformResult result_;

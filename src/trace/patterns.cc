@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/rng.h"
 
@@ -13,11 +14,23 @@ Trace
 catalogOnly(const std::vector<FunctionSpec>& specs, std::string name)
 {
     Trace trace(std::move(name));
+    trace.reserveFunctions(specs.size());
     for (const auto& spec : specs) {
         assert(spec.id == trace.functions().size());
         trace.addFunction(spec);
     }
     return trace;
+}
+
+/** Invocations a periodic stream of period `iat_us` starting at
+ *  `phase_us` emits before `duration_us` (0 when it never fires). */
+std::size_t
+periodicCount(TimeUs phase_us, TimeUs iat_us, TimeUs duration_us)
+{
+    if (phase_us >= duration_us)
+        return 0;
+    return static_cast<std::size_t>(
+        (duration_us - phase_us + iat_us - 1) / iat_us);
 }
 
 }  // namespace
@@ -29,8 +42,14 @@ makePeriodicTrace(const std::vector<FunctionSpec>& specs,
 {
     assert(specs.size() == iats_us.size());
     Trace trace = catalogOnly(specs, std::move(name));
+    std::size_t total = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         assert(iats_us[i] > 0);
+        total += periodicCount(static_cast<TimeUs>(i) * kMillisecond,
+                               iats_us[i], duration_us);
+    }
+    trace.reserveInvocations(total);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         const TimeUs phase = static_cast<TimeUs>(i) * kMillisecond;
         for (TimeUs t = phase; t < duration_us; t += iats_us[i])
             trace.addInvocation(static_cast<FunctionId>(i), t);
@@ -46,9 +65,18 @@ makePoissonTrace(const std::vector<FunctionSpec>& specs,
 {
     assert(specs.size() == iats_us.size());
     Trace trace = catalogOnly(specs, std::move(name));
-    Rng rng(seed);
+    double expected = 0.0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         assert(iats_us[i] > 0);
+        expected += static_cast<double>(duration_us) /
+                    static_cast<double>(iats_us[i]);
+    }
+    // Mean arrival count plus three standard deviations of Poisson
+    // spread, so reallocation is a tail event rather than the norm.
+    trace.reserveInvocations(
+        static_cast<std::size_t>(expected + 3.0 * std::sqrt(expected)));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         Rng fn_rng = rng.split();
         const double mean = static_cast<double>(iats_us[i]);
         TimeUs t = static_cast<TimeUs>(fn_rng.exponential(mean));
@@ -68,6 +96,7 @@ makeCyclicTrace(const std::vector<FunctionSpec>& specs, TimeUs gap_us,
     assert(gap_us > 0);
     assert(!specs.empty());
     Trace trace = catalogOnly(specs, std::move(name));
+    trace.reserveInvocations(periodicCount(0, gap_us, duration_us));
     std::size_t next = 0;
     for (TimeUs t = 0; t < duration_us; t += gap_us) {
         trace.addInvocation(static_cast<FunctionId>(next), t);

@@ -333,5 +333,99 @@ TEST(EventLaneName, NamesAreStable)
     EXPECT_STREQ(eventLaneName(EventLane::Failure), "failure");
 }
 
+TEST(EventCoreBatch, EmptyBatchIsNoOp)
+{
+    Core q;
+    q.scheduleBatch({});
+    EXPECT_TRUE(q.empty());
+    q.schedule(5, TestKind::A, 1);
+    q.scheduleBatch({});
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pop().payload, 1u);
+}
+
+TEST(EventCoreBatch, AssignsSequenceNumbersInArrayOrder)
+{
+    // Three same-timestamp items: FIFO among themselves, and a later
+    // schedule() continues the same sequence (pops after them).
+    Core q;
+    std::vector<EventBatchItem<TestKind>> items;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        items.push_back(EventBatchItem<TestKind>{10, TestKind::A, i, 0});
+    q.scheduleBatch(items);
+    q.schedule(10, TestKind::B, 99);
+    EXPECT_EQ(q.pop().payload, 0u);
+    EXPECT_EQ(q.pop().payload, 1u);
+    EXPECT_EQ(q.pop().payload, 2u);
+    EXPECT_EQ(q.pop().payload, 99u);
+}
+
+TEST(EventCoreBatch, FailureLaneBatchDeliversAfterNormal)
+{
+    Core q;
+    std::vector<EventBatchItem<TestKind>> faults;
+    faults.push_back(EventBatchItem<TestKind>{10, TestKind::Fault, 7, 0});
+    q.scheduleBatch(faults, EventLane::Failure);
+    q.schedule(10, TestKind::A, 1);
+    EXPECT_EQ(q.pop().payload, 1u);
+    const auto fault = q.pop();
+    EXPECT_EQ(fault.payload, 7u);
+    EXPECT_EQ(fault.lane, EventLane::Failure);
+}
+
+/**
+ * Property: a batch admission pops in exactly the order the same items
+ * would have popped had they been schedule()d one by one — across
+ * small batches into a large heap (per-item sift path) and large
+ * batches into a small heap (Floyd rebuild path), interleaved with
+ * pops and further singles.
+ */
+TEST(EventCoreBatch, PropertyBatchPopOrderMatchesIndividualSchedules)
+{
+    Rng rng(0xBA7C4u);
+    for (int round = 0; round < 40; ++round) {
+        Core batched;
+        Core individual;
+        std::uint64_t payload = 0;
+        // Alternate phases: a run of singles, then a batch (sized to
+        // hit both the sift and rebuild branches), then drain a few.
+        for (int phase = 0; phase < 6; ++phase) {
+            const std::size_t singles = rng.uniformInt(20);
+            for (std::size_t i = 0; i < singles; ++i) {
+                const TimeUs t = rng.uniformInt(50);
+                const auto lane = rng.uniformInt(4) == 0
+                    ? EventLane::Failure
+                    : EventLane::Normal;
+                batched.schedule(t, TestKind::A, payload, 0, lane);
+                individual.schedule(t, TestKind::A, payload, 0, lane);
+                ++payload;
+            }
+            std::vector<EventBatchItem<TestKind>> items;
+            const std::size_t batch = rng.uniformInt(60);
+            for (std::size_t i = 0; i < batch; ++i) {
+                items.push_back(EventBatchItem<TestKind>{
+                    rng.uniformInt(50), TestKind::B, payload, 0});
+                ++payload;
+            }
+            batched.scheduleBatch(items);
+            for (const auto& item : items)
+                individual.schedule(item.time_us, item.kind, item.payload);
+            const std::size_t pops =
+                rng.uniformInt(batched.size() + 1);
+            for (std::size_t i = 0; i < pops; ++i) {
+                const auto a = batched.pop();
+                const auto b = individual.pop();
+                ASSERT_EQ(a.payload, b.payload);
+                ASSERT_EQ(a.time_us, b.time_us);
+                ASSERT_EQ(a.lane, b.lane);
+                ASSERT_EQ(a.seq, b.seq);
+            }
+        }
+        ASSERT_EQ(batched.size(), individual.size());
+        while (!batched.empty())
+            ASSERT_EQ(batched.pop().payload, individual.pop().payload);
+    }
+}
+
 }  // namespace
 }  // namespace faascache

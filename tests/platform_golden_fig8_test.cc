@@ -1,0 +1,204 @@
+// Golden fixture for the fig8 platform path: a miniature fixed-seed
+// version of bench/fig8_server_load.cc (OpenWhisk-style TTL vs
+// FaasCache Greedy-Dual on the skewed-frequency FunctionBench workload,
+// overloaded single invoker) compared field-for-field against a
+// checked-in fixture — so platform-path regressions are caught by
+// ctest, not only by the perf harness. The grid also rides as a
+// dense-vs-reference differential: both PlatformBackends must produce
+// byte-identical results before either is compared to the fixture.
+//
+// Regenerate with:
+//   FAASCACHE_REGEN_GOLDEN=1 ./platform_golden_fig8_test
+// which rewrites tests/golden/fig8_mini.expected in the source tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "platform/experiment.h"
+#include "platform/experiment_checkpoint.h"
+#include "platform/load_generator.h"
+#include "platform/server.h"
+
+#ifndef FAASCACHE_GOLDEN_DIR
+#error "FAASCACHE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace faascache {
+namespace {
+
+const char* const kFixturePath =
+    FAASCACHE_GOLDEN_DIR "/fig8_mini.expected";
+
+/** The fig8 workload at test scale: same generator and seed as the
+ *  bench, a quarter of its duration. */
+const Trace&
+fig8MiniTrace()
+{
+    static const Trace kTrace = skewedFrequencyWorkload(15 * kMinute);
+    return kTrace;
+}
+
+/** The fig8 server: overloaded single invoker, cold starts burn two
+ *  CPU slots (the paper's load-amplification regime). */
+ServerConfig
+fig8Server(PlatformBackend backend)
+{
+    ServerConfig server;
+    server.cores = 8;
+    server.memory_mb = 1000;
+    server.cold_start_cpu_slots = 2;
+    server.platform_backend = backend;
+    return server;
+}
+
+std::vector<PlatformCell>
+fig8Grid(PlatformBackend backend)
+{
+    PolicyConfig openwhisk;
+    openwhisk.ttl_victim_order = TtlVictimOrder::OldestCreated;
+    std::vector<PlatformCell> cells;
+    cells.push_back(PlatformCell{&fig8MiniTrace(), PolicyKind::Ttl,
+                                 fig8Server(backend), openwhisk, "ow"});
+    cells.push_back(PlatformCell{&fig8MiniTrace(), PolicyKind::GreedyDual,
+                                 fig8Server(backend), PolicyConfig{},
+                                 "fc"});
+    return cells;
+}
+
+/** One fixture line per cell: integers exactly, the latency mean as
+ *  hexfloat so the comparison is bit-exact across platforms. */
+std::string
+formatLine(const PlatformResult& r)
+{
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "%s,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
+        ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%zu,%a",
+        r.policy_name.c_str(), r.warm_starts, r.cold_starts,
+        r.dropped_queue_full, r.dropped_timeout, r.dropped_oversize,
+        r.evictions, r.expirations, r.prewarms, r.last_congested_us,
+        r.latencies_sec.size(), r.meanLatencySec());
+    return buffer;
+}
+
+std::vector<std::string>
+linesFor(PlatformBackend backend, std::size_t jobs)
+{
+    std::vector<std::string> lines;
+    for (const PlatformResult& r :
+         runPlatformSweep(fig8Grid(backend), jobs))
+        lines.push_back(formatLine(r));
+    return lines;
+}
+
+std::vector<std::string>
+fixtureLines()
+{
+    std::vector<std::string> lines;
+    std::FILE* file = std::fopen(kFixturePath, "r");
+    if (file == nullptr)
+        return lines;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+        std::string line(buffer);
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r'))
+            line.pop_back();
+        if (!line.empty() && line.front() != '#')
+            lines.push_back(line);
+    }
+    std::fclose(file);
+    return lines;
+}
+
+bool
+regenRequested()
+{
+    const char* regen = std::getenv("FAASCACHE_REGEN_GOLDEN");
+    return regen != nullptr && regen[0] != '\0' && regen[0] != '0';
+}
+
+TEST(GoldenFig8, BackendsAgreeBeforeFixtureComparison)
+{
+    const auto dense = runPlatformSweep(fig8Grid(PlatformBackend::Dense), 2);
+    const auto reference =
+        runPlatformSweep(fig8Grid(PlatformBackend::Reference), 2);
+    ASSERT_EQ(dense.size(), reference.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        EXPECT_EQ(encodePlatformCheckpointPayload("cell", dense[i]),
+                  encodePlatformCheckpointPayload("cell", reference[i]))
+            << "fig8 cell " << i << " diverged between backends";
+    }
+}
+
+TEST(GoldenFig8, MiniGridMatchesCheckedInFixture)
+{
+    const std::vector<std::string> current =
+        linesFor(PlatformBackend::Dense, 2);
+
+    if (regenRequested()) {
+        std::FILE* file = std::fopen(kFixturePath, "w");
+        ASSERT_NE(file, nullptr) << "cannot write " << kFixturePath;
+        std::fputs(
+            "# Golden fig8-mini platform grid (OpenWhisk TTL vs "
+            "FaasCache GD,\n"
+            "# skewed-frequency FunctionBench workload, 8 cores / "
+            "1000 MB / 15 min).\n"
+            "# Columns: policy,warm,cold,dropped_queue_full,"
+            "dropped_timeout,\n"
+            "#   dropped_oversize,evictions,expirations,prewarms,"
+            "last_congested_us,\n"
+            "#   n_latencies,mean_latency_sec(hexfloat)\n"
+            "# Regenerate: FAASCACHE_REGEN_GOLDEN=1 "
+            "./platform_golden_fig8_test\n",
+            file);
+        for (const std::string& line : current)
+            std::fprintf(file, "%s\n", line.c_str());
+        std::fclose(file);
+        GTEST_SKIP() << "fixture regenerated at " << kFixturePath;
+    }
+
+    const std::vector<std::string> expected = fixtureLines();
+    ASSERT_FALSE(expected.empty())
+        << "missing fixture " << kFixturePath
+        << " — run FAASCACHE_REGEN_GOLDEN=1 ./platform_golden_fig8_test";
+    ASSERT_EQ(expected.size(), current.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], current[i])
+            << "fig8 golden cell " << i << " diverged — platform "
+            << "semantics changed; if intentional, regenerate the "
+            << "fixture and call the change out in review";
+    }
+}
+
+TEST(GoldenFig8, GridIsNonTrivialAndJobsInvariant)
+{
+    // The overloaded regime must keep covering real behaviour: warm
+    // and cold starts, drops, and congestion all present somewhere —
+    // and none of it may depend on the worker count.
+    std::int64_t warm = 0, cold = 0, dropped = 0;
+    TimeUs congested = 0;
+    for (const PlatformResult& r :
+         runPlatformSweep(fig8Grid(PlatformBackend::Dense), 1)) {
+        warm += r.warm_starts;
+        cold += r.cold_starts;
+        dropped += r.dropped();
+        congested = std::max(congested, r.last_congested_us);
+    }
+    EXPECT_GT(warm, 0);
+    EXPECT_GT(cold, 0);
+    EXPECT_GT(dropped, 0);
+    EXPECT_GT(congested, 0);
+    EXPECT_EQ(linesFor(PlatformBackend::Dense, 1),
+              linesFor(PlatformBackend::Dense, 8));
+}
+
+}  // namespace
+}  // namespace faascache

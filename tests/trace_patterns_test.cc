@@ -72,5 +72,45 @@ TEST(Patterns, EmptyDurationYieldsNoInvocations)
     EXPECT_EQ(t.functions().size(), 2u);
 }
 
+TEST(Patterns, PeriodicFunctionPhasedPastDurationGetsZeroInvocations)
+{
+    // Function 1's phase shift (1 ms) lands beyond the trace duration:
+    // it must contribute zero invocations yet stay in the catalog, and
+    // the reserve sizing must not assume every function fires.
+    const auto specs = twoFunctions();
+    const Trace t = makePeriodicTrace(specs, {kMillisecond / 4, kSecond},
+                                      kMillisecond / 2, "phased-out");
+    EXPECT_TRUE(t.validate());
+    EXPECT_EQ(t.functions().size(), 2u);
+    const auto counts = t.invocationCounts();
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(Patterns, PoissonFunctionSlowerThanDurationGetsZeroInvocations)
+{
+    // Function 1's mean inter-arrival dwarfs the duration, so its first
+    // arrival draw lands past the end: a catalog entry with no traffic.
+    auto specs = twoFunctions();
+    const Trace t = makePoissonTrace(specs, {10 * kMillisecond,
+                                             1000000 * kSecond},
+                                     kSecond, /*seed=*/42, "quiet-tail");
+    EXPECT_TRUE(t.validate());
+    EXPECT_TRUE(t.isSorted());
+    EXPECT_EQ(t.functions().size(), 2u);
+    const auto counts = t.invocationCounts();
+    EXPECT_GT(counts[0], 0u);
+    EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(Patterns, CyclicZeroDurationKeepsCatalog)
+{
+    const auto specs = twoFunctions();
+    const Trace t = makeCyclicTrace(specs, kSecond, 0, "empty-cycle");
+    EXPECT_TRUE(t.validate());
+    EXPECT_TRUE(t.invocations().empty());
+    EXPECT_EQ(t.functions().size(), 2u);
+}
+
 }  // namespace
 }  // namespace faascache
