@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <string>
 
 namespace faascache {
 
@@ -194,6 +196,19 @@ ContainerPool::maybeCompactIdWindow()
 void
 ContainerPool::onContainerBusy(Container& c)
 {
+    if (audit_ != nullptr) {
+        // The only legal path into Busy is startInvocation() on an idle
+        // container, which stamps lastUsed = now and busyUntil >= now.
+        audit_->require(c.busy(), "container-transition", c.lastUsed(),
+                        static_cast<std::int64_t>(c.id()),
+                        "busy hook fired on a container not in the "
+                        "Busy state");
+        audit_->require(c.busyUntil() >= c.lastUsed(),
+                        "container-transition", c.lastUsed(),
+                        static_cast<std::int64_t>(c.id()),
+                        "invocation completes before it starts "
+                        "(busyUntil < lastUsed)");
+    }
     if (backend_ != PoolBackend::Slab)
         return;
     const std::uint32_t slot = c.pool_slot_;
@@ -204,6 +219,12 @@ ContainerPool::onContainerBusy(Container& c)
 void
 ContainerPool::onContainerIdle(Container& c)
 {
+    if (audit_ != nullptr) {
+        audit_->require(c.idle(), "container-transition", c.lastUsed(),
+                        static_cast<std::int64_t>(c.id()),
+                        "idle hook fired on a container not in the "
+                        "Idle state");
+    }
     if (backend_ != PoolBackend::Slab)
         return;
     const std::uint32_t slot = c.pool_slot_;
@@ -423,6 +444,170 @@ ContainerPool::forEach(const std::function<void(const Container&)>& fn) const
         if (s.live)
             fn(s.container);
     }
+}
+
+void
+ContainerPool::auditInvariants(Auditor& audit, TimeUs now) const
+{
+    // Shared accounting: memory and population recomputed from a full
+    // walk must match the incrementally maintained totals.
+    MemMb mem = 0;
+    std::size_t live = 0;
+    std::size_t busy = 0;
+    std::vector<std::size_t> per_fn_live;
+    forEach([&](const Container& c) {
+        mem += c.memMb();
+        ++live;
+        if (c.busy())
+            ++busy;
+        if (c.function() >= per_fn_live.size())
+            per_fn_live.resize(c.function() + 1, 0);
+        ++per_fn_live[c.function()];
+    });
+    const double eps = 1e-6 * std::max(1.0, std::abs(used_mb_)) + 1e-6;
+    if (std::abs(mem - used_mb_) > eps) {
+        audit.fail("pool-memory-accounting", now, -1,
+                   "sum of live container memory " + std::to_string(mem) +
+                       " MB != tracked used " + std::to_string(used_mb_) +
+                       " MB");
+    }
+    audit.require(used_mb_ > -eps, "pool-memory-accounting", now, -1,
+                  "tracked used memory is negative");
+    if (live != size_) {
+        audit.fail("pool-size-accounting", now, -1,
+                   "walk found " + std::to_string(live) +
+                       " live containers, tracked size is " +
+                       std::to_string(size_));
+    }
+
+    if (backend_ == PoolBackend::ReferenceMap) {
+        audit.require(containers_.size() == size_,
+                      "pool-size-accounting", now, -1,
+                      "id map size disagrees with tracked size");
+        std::size_t indexed = 0;
+        for (const auto& [fn, vec] : by_function_) {
+            audit.require(!vec.empty(), "pool-index-consistency", now,
+                          static_cast<std::int64_t>(fn),
+                          "per-function index holds an empty list");
+            for (const Container* c : vec) {
+                ++indexed;
+                if (c->function() != fn) {
+                    audit.fail("pool-index-consistency", now,
+                               static_cast<std::int64_t>(c->id()),
+                               "container filed under function " +
+                                   std::to_string(fn) + " belongs to " +
+                                   std::to_string(c->function()));
+                }
+                auto it = containers_.find(c->id());
+                audit.require(it != containers_.end() &&
+                                  it->second.get() == c,
+                              "pool-index-consistency", now,
+                              static_cast<std::int64_t>(c->id()),
+                              "per-function index points at a container "
+                              "absent from the id map");
+            }
+        }
+        audit.require(indexed == size_, "pool-index-consistency", now, -1,
+                      "per-function index population disagrees with "
+                      "tracked size");
+        return;
+    }
+
+    // Slab: free + live slots partition everything ever carved.
+    std::size_t free_slots = 0;
+    for (std::uint32_t s = free_head_; s != kNilSlot;
+         s = slotAt(s).next_free) {
+        ++free_slots;
+        audit.require(!slotAt(s).live, "pool-slot-accounting", now,
+                      static_cast<std::int64_t>(s),
+                      "free-list slot is marked live");
+        if (free_slots > slot_count_)
+            break;  // cycle guard: the count check below reports it
+    }
+    if (free_slots + live != slot_count_) {
+        audit.fail("pool-slot-accounting", now, -1,
+                   "free (" + std::to_string(free_slots) + ") + live (" +
+                       std::to_string(live) +
+                       ") slots != slots carved (" +
+                       std::to_string(slot_count_) + ")");
+    }
+
+    // Busy list: every node live and busy; covers all busy containers.
+    std::size_t busy_listed = 0;
+    for (std::uint32_t s = busy_head_; s != kNilSlot;
+         s = slotAt(s).next) {
+        ++busy_listed;
+        const Slot& slot = slotAt(s);
+        audit.require(slot.live && slot.container.busy(),
+                      "pool-busy-list", now,
+                      static_cast<std::int64_t>(slot.container.id()),
+                      "busy-list node is not a live busy container");
+        if (busy_listed > slot_count_)
+            break;
+    }
+    audit.require(busy_listed == busy, "pool-busy-list", now, -1,
+                  "busy list does not cover every busy container");
+
+    // Per-function idle lists: live, idle, right function, sorted
+    // warmest-first; together with the busy count they partition the
+    // live population.
+    std::size_t idle_listed = 0;
+    for (FunctionId fn = 0; fn < idle_head_.size(); ++fn) {
+        const Container* prev = nullptr;
+        for (std::uint32_t s = idle_head_[fn]; s != kNilSlot;
+             s = slotAt(s).next) {
+            ++idle_listed;
+            const Slot& slot = slotAt(s);
+            const Container& c = slot.container;
+            audit.require(slot.live && c.idle() && c.function() == fn,
+                          "pool-idle-list", now,
+                          static_cast<std::int64_t>(c.id()),
+                          "idle-list node is not a live idle container "
+                          "of its function");
+            if (prev != nullptr && warmerThan(c, *prev)) {
+                audit.fail("pool-idle-list", now,
+                           static_cast<std::int64_t>(c.id()),
+                           "idle list of function " + std::to_string(fn) +
+                               " is not sorted warmest-first");
+            }
+            prev = &c;
+            if (idle_listed > slot_count_)
+                break;
+        }
+        const std::size_t expect =
+            fn < per_fn_live.size() ? per_fn_live[fn] : 0;
+        if (fn < fn_count_.size() && fn_count_[fn] != expect) {
+            audit.fail("pool-fn-count", now,
+                       static_cast<std::int64_t>(fn),
+                       "per-function count " +
+                           std::to_string(fn_count_[fn]) +
+                           " != live containers " +
+                           std::to_string(expect));
+        }
+    }
+    audit.require(idle_listed + busy == live, "pool-idle-list", now, -1,
+                  "idle lists + busy list do not partition the live "
+                  "population");
+
+    // Dense id→slot map round-trips: every window entry either dead or
+    // pointing at the live container with that id.
+    std::size_t mapped = 0;
+    for (std::size_t i = 0; i < slot_by_id_.size(); ++i) {
+        const std::uint32_t s = slot_by_id_[i];
+        if (s == kNilSlot)
+            continue;
+        ++mapped;
+        const ContainerId id = id_base_ + static_cast<ContainerId>(i);
+        const Slot& slot = slotAt(s);
+        if (!slot.live || slot.container.id() != id) {
+            audit.fail("pool-id-map", now,
+                       static_cast<std::int64_t>(id),
+                       "id map entry does not point at the live "
+                       "container with that id");
+        }
+    }
+    audit.require(mapped == size_, "pool-id-map", now, -1,
+                  "id map population disagrees with tracked size");
 }
 
 std::vector<Container*>

@@ -37,6 +37,7 @@
 
 #include "core/container.h"
 #include "trace/function_spec.h"
+#include "util/audit.h"
 #include "util/types.h"
 
 namespace faascache {
@@ -150,6 +151,29 @@ class ContainerPool
      */
     std::vector<Container*> releaseFinished(TimeUs now);
 
+    /**
+     * Attach a runtime invariant auditor (non-owning; null or Off
+     * detaches). With an auditor attached, busy/idle transition hooks
+     * verify container state-machine legality; auditInvariants() runs
+     * the deep structural walk. Null = zero overhead.
+     */
+    void setAuditor(Auditor* auditor)
+    {
+        audit_ =
+            auditor != nullptr && auditor->enabled() ? auditor : nullptr;
+    }
+
+    /**
+     * Deep structural audit (util/audit.h): used memory equals the sum
+     * over live containers, live == busy + idle, slab free/busy/idle
+     * lists partition the slots, per-function idle lists stay
+     * warmest-first and agree with the per-function counts, and the
+     * dense id→slot map round-trips. Reference backend: the id map and
+     * per-function index agree. O(slots) — call from periodic
+     * maintenance, not per event.
+     */
+    void auditInvariants(Auditor& audit, TimeUs now) const;
+
   private:
     friend class Container;
 
@@ -213,6 +237,7 @@ class ContainerPool
     PoolBackend backend_;
     MemMb capacity_mb_;
     MemMb used_mb_ = 0;
+    Auditor* audit_ = nullptr;
     ContainerId next_id_ = 1;
     std::size_t size_ = 0;
 

@@ -64,9 +64,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "util/audit.h"
 #include "util/cancellation.h"
 #include "util/types.h"
 
@@ -240,6 +242,18 @@ class EventCore
         cancel_token_ = token;
     }
 
+    /**
+     * Bind a runtime invariant auditor (non-owning; null or Off
+     * unbinds). With an auditor bound, every pop() verifies the
+     * delivered (time, lane, seq) strictly follows the previous one —
+     * the engine's total-order delivery guarantee, checked live.
+     */
+    void bindAuditor(Auditor* auditor)
+    {
+        audit_ =
+            auditor != nullptr && auditor->enabled() ? auditor : nullptr;
+    }
+
     /** Pre-size the heap (e.g. from the trace size at setup) so the
      *  run never reallocates mid-flight. */
     void reserve(std::size_t events) { heap_.reserve(events); }
@@ -251,6 +265,7 @@ class EventCore
         heap_.clear();
         cancelled_.clear();
         next_seq_ = 0;
+        delivered_any_ = false;
     }
 
     bool empty() const { return heap_.empty(); }
@@ -279,6 +294,8 @@ class EventCore
             cancel_token_->throwIfCancelled();
         const EngineEvent<Kind> event = popRoot();
         pruneCancelled();
+        if (audit_ != nullptr)
+            auditDelivery(event);
         return event;
     }
 
@@ -394,6 +411,35 @@ class EventCore
         }
     }
 
+    /** Audit: delivery must strictly follow (time, lane, seq) order. */
+    void auditDelivery(const EngineEvent<Kind>& event)
+    {
+        if (delivered_any_) {
+            const bool ordered =
+                event.time_us > last_time_ ||
+                (event.time_us == last_time_ &&
+                 (event.lane > last_lane_ ||
+                  (event.lane == last_lane_ && event.seq > last_seq_)));
+            if (!ordered) {
+                audit_->fail(
+                    "event-order", event.time_us,
+                    static_cast<std::int64_t>(event.seq),
+                    "delivered (t=" + std::to_string(event.time_us) +
+                        ", lane=" +
+                        std::to_string(static_cast<int>(event.lane)) +
+                        ", seq=" + std::to_string(event.seq) +
+                        ") not after (t=" + std::to_string(last_time_) +
+                        ", lane=" +
+                        std::to_string(static_cast<int>(last_lane_)) +
+                        ", seq=" + std::to_string(last_seq_) + ")");
+            }
+        }
+        delivered_any_ = true;
+        last_time_ = event.time_us;
+        last_lane_ = event.lane;
+        last_seq_ = event.seq;
+    }
+
     std::vector<EngineEvent<Kind>> heap_;
 
     /** Seqs cancelled but still buried in the heap (lazy deletion). */
@@ -401,6 +447,13 @@ class EventCore
 
     std::uint64_t next_seq_ = 0;
     const CancellationToken* cancel_token_ = nullptr;
+
+    /** Audit state: the last delivered (time, lane, seq). */
+    Auditor* audit_ = nullptr;
+    bool delivered_any_ = false;
+    TimeUs last_time_ = 0;
+    EventLane last_lane_ = EventLane::Normal;
+    std::uint64_t last_seq_ = 0;
 };
 
 /**

@@ -203,13 +203,15 @@ runClusterSplit(const Trace& trace, PolicyKind kind,
 /**
  * Front-end event of the health-aware simulation.
  * payload/payload2 carry: Dispatch — invocation index / attempt number;
- * Crash — crash-plan index; Restart — rejoining server index.
+ * Crash — expanded-crash-schedule index; Restart — rejoining server
+ * index; OomKill — oom-plan index.
  */
 enum class FrontEndEvent
 {
     Dispatch,  ///< route an invocation (possibly a retry attempt)
     Crash,     ///< a crash event of the plan fires (Failure lane)
     Restart,   ///< a crashed server rejoins
+    OomKill,   ///< a memory-pressure kill fires (Failure lane)
 };
 
 /**
@@ -225,12 +227,24 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
     const std::size_t n = config.num_servers;
     const FailoverConfig& failover = config.failover;
 
+    // One expansion of the crash schedule (explicit crashes + burst
+    // victims) shared by the front end and every injector, so a burst
+    // victim's self-view matches the front end's plan.
+    const std::vector<CrashEvent> crashes =
+        config.faults.expandedCrashes(n);
+    const std::vector<OomKillEvent>& ooms = config.faults.oom_kills;
+
+    Auditor* audit =
+        config.server.audit != nullptr && config.server.audit->enabled()
+        ? config.server.audit
+        : nullptr;
+
     std::vector<FaultInjector> injectors;
     injectors.reserve(n);
     std::vector<std::unique_ptr<Server>> servers;
     servers.reserve(n);
     for (std::size_t s = 0; s < n; ++s) {
-        injectors.emplace_back(config.faults, s);
+        injectors.emplace_back(config.faults, s, n);
         servers.push_back(std::make_unique<Server>(
             makePolicy(kind, policy_config), config.server));
         servers.back()->setFaultInjector(&injectors[s]);
@@ -242,35 +256,64 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
 
     EventCore<FrontEndEvent> events;
     events.bindCancellation(config.server.cancel);
+    events.bindAuditor(audit);
     const std::vector<std::size_t> primaries =
         primaryTargets(trace, config);
     if (dense) {
         // Attempt-0 dispatches are delivered straight off the sorted
-        // trace by the cursor merge below; only the crash plan is
+        // trace by the cursor merge below; only the fault plan is
         // scheduled up front (retries and restarts arrive at runtime).
-        events.reserve(config.faults.crashes.size() + 64);
+        events.reserve(crashes.size() + ooms.size() + 64);
         std::vector<EventBatchItem<FrontEndEvent>> setup;
-        setup.reserve(config.faults.crashes.size());
-        for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
+        setup.reserve(std::max(crashes.size(), ooms.size()));
+        for (std::size_t k = 0; k < crashes.size(); ++k) {
             EventBatchItem<FrontEndEvent> item;
-            item.time_us = config.faults.crashes[k].at_us;
+            item.time_us = crashes[k].at_us;
             item.kind = FrontEndEvent::Crash;
             item.payload = k;
             setup.push_back(item);
         }
         events.scheduleBatch(setup, EventLane::Failure);
+        setup.clear();
+        for (std::size_t k = 0; k < ooms.size(); ++k) {
+            EventBatchItem<FrontEndEvent> item;
+            item.time_us = ooms[k].at_us;
+            item.kind = FrontEndEvent::OomKill;
+            item.payload = k;
+            setup.push_back(item);
+        }
+        events.scheduleBatch(setup, EventLane::Failure);
     } else {
-        events.reserve(trace.invocations().size() +
-                       config.faults.crashes.size());
+        events.reserve(trace.invocations().size() + crashes.size() +
+                       ooms.size());
         for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
             events.schedule(trace.invocations()[i].arrival_us,
                             FrontEndEvent::Dispatch, i);
         }
-        for (std::size_t k = 0; k < config.faults.crashes.size(); ++k) {
-            events.scheduleFailure(config.faults.crashes[k].at_us,
+        for (std::size_t k = 0; k < crashes.size(); ++k) {
+            events.scheduleFailure(crashes[k].at_us,
                                    FrontEndEvent::Crash, k);
         }
+        for (std::size_t k = 0; k < ooms.size(); ++k) {
+            events.scheduleFailure(ooms[k].at_us,
+                                   FrontEndEvent::OomKill, k);
+        }
     }
+
+    // Per-server partition windows with a monotonic cursor each:
+    // front-end event times never decrease, so one forward scan per
+    // server answers every "is s reachable now" query in O(1) amortized.
+    std::vector<std::vector<PartitionWindow>> partition_windows(n);
+    std::vector<std::size_t> partition_cursor(n, 0);
+    for (std::size_t s = 0; s < n; ++s)
+        partition_windows[s] = config.faults.partitionsFor(s);
+    auto partitioned = [&](std::size_t s, TimeUs now) {
+        const auto& wins = partition_windows[s];
+        std::size_t& cur = partition_cursor[s];
+        while (cur < wins.size() && wins[cur].until_us <= now)
+            ++cur;
+        return cur < wins.size() && wins[cur].from_us <= now;
+    };
 
     ClusterResult result;
     std::vector<char> down(n, 0);
@@ -376,12 +419,31 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
             if (breaker_on)
                 observeServer(s, now);
         }
+        if (audit != nullptr) {
+            for (std::size_t s = 0; s < n; ++s) {
+                // Token bucket bounded; a breaker can only close what
+                // it opened (a failed half-open probe re-opens without
+                // an intervening close, so opens may run ahead of
+                // closes by more than one).
+                const double tokens = budgets[s].tokens();
+                audit->require(
+                    tokens >= -1e-9 &&
+                        tokens <= failover.retry_budget.burst + 1e-9,
+                    "retry-budget-bounds", now,
+                    static_cast<std::int64_t>(s),
+                    "retry tokens outside [0, burst]");
+                audit->require(
+                    breakers[s].closes() <= breakers[s].opens(),
+                    "breaker-transitions", now,
+                    static_cast<std::int64_t>(s),
+                    "more closes than opens");
+            }
+        }
 
         switch (event.kind) {
           case FrontEndEvent::Crash: {
             const CrashEvent& ce =
-                config.faults.crashes[static_cast<std::size_t>(
-                    event.payload)];
+                crashes[static_cast<std::size_t>(event.payload)];
             // Crashes ride the Failure lane, so a restart due at this
             // same instant has already run; a server still down here is
             // inside a wider outage that absorbs this crash.
@@ -408,6 +470,20 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
             down[server] = 0;
             break;
           }
+          case FrontEndEvent::OomKill: {
+            const OomKillEvent& oe =
+                ooms[static_cast<std::size_t>(event.payload)];
+            // A kill scheduled inside a crash outage has nothing left
+            // to kill — the crash already flushed every container.
+            if (down[oe.server])
+                break;
+            const auto aborted = servers[oe.server]->oomKill(now);
+            // The aborted invocation goes back to the front end like
+            // crash fallout, debiting the killing server's budget.
+            if (aborted.has_value())
+                scheduleRetry(*aborted, now, oe.server);
+            break;
+          }
           case FrontEndEvent::Dispatch: {
             const auto index = static_cast<std::size_t>(event.payload);
             const int attempt = static_cast<int>(event.payload2);
@@ -423,6 +499,16 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                 const std::size_t s = (start + k) % n;
                 if (down[s])
                     continue;
+                // A partitioned server is unreachable, not unhealthy:
+                // it keeps draining its queue, but new dispatches fail
+                // fast and fall through to the next probe. Like a
+                // crash, it does not count as healthy — if every
+                // reachable server is gone the request backs off and
+                // retries rather than being shed.
+                if (partitioned(s, now)) {
+                    ++result.partition_unreachable;
+                    continue;
+                }
                 // An open breaker means "treat as down": route around
                 // it, and if the whole fleet is open, back off and
                 // retry instead of shedding — the breakers re-probe.
@@ -471,6 +557,23 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         result.breaker_opens += breakers[s].opens();
         result.breaker_closes += breakers[s].closes();
         result.breaker_probes += breakers[s].probes();
+    }
+    if (audit != nullptr) {
+        // Fleet-wide request conservation: every trace invocation ends
+        // in exactly one of served-on-a-server, dropped-by-a-server,
+        // shed by admission control, or failed after retries.
+        std::int64_t terminal =
+            result.shed_requests + result.failed_requests;
+        for (const PlatformResult& s : result.servers)
+            terminal += s.served() + s.dropped();
+        const auto expected =
+            static_cast<std::int64_t>(trace.invocations().size());
+        if (terminal != expected) {
+            audit->fail("fleet-conservation", horizon, -1,
+                        "trace invocations " + std::to_string(expected) +
+                            " != shed + failed + sum(served + dropped) " +
+                            std::to_string(terminal));
+        }
     }
     return result;
 }

@@ -153,6 +153,10 @@ struct ClusterResult
      *  bucket was empty (also counted in failed_requests). */
     std::int64_t retry_budget_exhausted = 0;
 
+    /** Dispatch probes skipped because a network partition made the
+     *  server unreachable from the front end. */
+    std::int64_t partition_unreachable = 0;
+
     /** Circuit-breaker transitions across the fleet. */
     std::int64_t breaker_opens = 0;
     std::int64_t breaker_closes = 0;

@@ -128,7 +128,7 @@ encodeRobustnessFields(std::ostringstream& out,
         << r.reclaim_stalls << ' ' << r.crashes << ' ' << r.restarts << ' '
         << r.crash_aborted << ' ' << r.crash_flushed_containers << ' '
         << r.dropped_unavailable << ' ' << r.redispatch_cold_starts << ' '
-        << r.downtime_us;
+        << r.oom_kills << ' ' << r.downtime_us;
 }
 
 bool
@@ -141,7 +141,7 @@ decodeRobustnessFields(TokenReader& in, RobustnessCounters* r)
         in.nextI64(&r->crash_flushed_containers) &&
         in.nextI64(&r->dropped_unavailable) &&
         in.nextI64(&r->redispatch_cold_starts) &&
-        in.nextI64(&r->downtime_us);
+        in.nextI64(&r->oom_kills) && in.nextI64(&r->downtime_us);
 }
 
 void
@@ -304,7 +304,8 @@ encodeClusterCheckpointPayload(const std::string& key,
     out << escapeJournalToken(key) << ' ' << result.retries << ' '
         << result.failovers << ' ' << result.shed_requests << ' '
         << result.failed_requests << ' '
-        << result.retry_budget_exhausted << ' ' << result.breaker_opens
+        << result.retry_budget_exhausted << ' '
+        << result.partition_unreachable << ' ' << result.breaker_opens
         << ' ' << result.breaker_closes << ' ' << result.breaker_probes
         << ' ' << result.servers.size();
     for (const PlatformResult& server : result.servers) {
@@ -325,6 +326,7 @@ decodeClusterCheckpointPayload(const std::string& payload,
     if (!in.nextI64(&r.retries) || !in.nextI64(&r.failovers) ||
         !in.nextI64(&r.shed_requests) || !in.nextI64(&r.failed_requests) ||
         !in.nextI64(&r.retry_budget_exhausted) ||
+        !in.nextI64(&r.partition_unreachable) ||
         !in.nextI64(&r.breaker_opens) || !in.nextI64(&r.breaker_closes) ||
         !in.nextI64(&r.breaker_probes))
         return false;
@@ -352,10 +354,10 @@ platformSweepFingerprint(const std::vector<PlatformCell>& cells)
     const std::vector<std::string> keys = platformCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    // v3: hashServerConfig gained the platform backend (the dense
-    // rebuild's Reference oracle switch), so journals written before
-    // the rebuild never silently resume against it.
-    out << "faascache-platform-grid-v3;" << cells.size() << ';';
+    // v4: RobustnessCounters gained oom_kills (chaos fault model), so
+    // journals written before the expanded fault model never silently
+    // resume against the new payload layout.
+    out << "faascache-platform-grid-v4;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const PlatformCell& cell = cells[i];
         out << keys[i] << ';';
@@ -372,7 +374,9 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
     const std::vector<std::string> keys = clusterCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    out << "faascache-cluster-grid-v3;" << cells.size() << ';';
+    // v4: payloads gained partition_unreachable/oom_kills and the plan
+    // hash below covers crash bursts, partitions, and OOM kills.
+    out << "faascache-cluster-grid-v4;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const ClusterCell& cell = cells[i];
         const ClusterConfig& config = cell.config;
@@ -396,6 +400,18 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
         for (const CrashEvent& crash : faults.crashes)
             out << crash.server << ',' << crash.at_us << ','
                 << crash.restart_after_us << ';';
+        out << faults.crash_bursts.size() << ';';
+        for (const CrashBurst& burst : faults.crash_bursts)
+            out << burst.at_us << ',' << burst.window_us << ','
+                << burst.servers << ',' << burst.restart_after_us << ','
+                << burst.seed << ';';
+        out << faults.partitions.size() << ';';
+        for (const PartitionWindow& p : faults.partitions)
+            out << p.server << ',' << p.from_us << ',' << p.until_us
+                << ';';
+        out << faults.oom_kills.size() << ';';
+        for (const OomKillEvent& o : faults.oom_kills)
+            out << o.server << ',' << o.at_us << ';';
         hashHexDouble(out, faults.spawn_failure_prob);
         out << faults.spawn_retry_delay_us << ';';
         hashHexDouble(out, faults.straggler_prob);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -24,8 +25,10 @@ checkProbability(double p, const char* what)
 bool
 FaultPlan::empty() const
 {
-    return crashes.empty() && spawn_failure_prob == 0.0 &&
-        straggler_prob == 0.0 && reclaim_stall_prob == 0.0;
+    return crashes.empty() && crash_bursts.empty() &&
+        partitions.empty() && oom_kills.empty() &&
+        spawn_failure_prob == 0.0 && straggler_prob == 0.0 &&
+        reclaim_stall_prob == 0.0;
 }
 
 void
@@ -67,6 +70,105 @@ FaultPlan::validate(std::size_t num_servers) const
                 " servers");
         }
     }
+    for (std::size_t i = 0; i < crash_bursts.size(); ++i) {
+        const CrashBurst& b = crash_bursts[i];
+        if (b.at_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash_burst " + std::to_string(i) +
+                " has negative at_us");
+        }
+        if (b.window_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash_burst " + std::to_string(i) +
+                " has negative window_us");
+        }
+        if (b.restart_after_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash_burst " + std::to_string(i) +
+                " has negative restart_after_us");
+        }
+        if (b.servers == 0) {
+            throw std::invalid_argument(
+                "FaultPlan: crash_burst " + std::to_string(i) +
+                " must take down at least one server (servers == 0)");
+        }
+    }
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+        const PartitionWindow& p = partitions[i];
+        if (p.from_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: partition " + std::to_string(i) +
+                " has negative from_us");
+        }
+        if (p.until_us <= p.from_us) {
+            throw std::invalid_argument(
+                "FaultPlan: partition " + std::to_string(i) +
+                " is empty or inverted (until_us " +
+                std::to_string(p.until_us) + " <= from_us " +
+                std::to_string(p.from_us) + ")");
+        }
+        if (num_servers > 0 && p.server >= num_servers) {
+            throw std::invalid_argument(
+                "FaultPlan: partition " + std::to_string(i) +
+                " targets server " + std::to_string(p.server) +
+                " but the cluster has " + std::to_string(num_servers) +
+                " servers");
+        }
+    }
+    for (std::size_t i = 0; i < oom_kills.size(); ++i) {
+        const OomKillEvent& o = oom_kills[i];
+        if (o.at_us < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: oom_kill " + std::to_string(i) +
+                " has negative at_us");
+        }
+        if (num_servers > 0 && o.server >= num_servers) {
+            throw std::invalid_argument(
+                "FaultPlan: oom_kill " + std::to_string(i) +
+                " targets server " + std::to_string(o.server) +
+                " but the cluster has " + std::to_string(num_servers) +
+                " servers");
+        }
+    }
+
+    // Overlapping crash windows on one server: a crash landing while
+    // the server is already down is silently absorbed by the wider
+    // outage — near-certainly a plan-authoring mistake, so reject it.
+    // Equality at the restart boundary is legal: the Failure lane
+    // delivers the restart first, so the second crash applies.
+    std::vector<CrashEvent> schedule =
+        num_servers > 0 ? expandedCrashes(num_servers) : crashes;
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const CrashEvent& a, const CrashEvent& b) {
+                         if (a.server != b.server)
+                             return a.server < b.server;
+                         return a.at_us < b.at_us;
+                     });
+    for (std::size_t i = 1; i < schedule.size(); ++i) {
+        const CrashEvent& prev = schedule[i - 1];
+        const CrashEvent& cur = schedule[i];
+        if (prev.server != cur.server)
+            continue;
+        if (prev.restart_after_us == 0) {
+            throw std::invalid_argument(
+                "FaultPlan: server " + std::to_string(cur.server) +
+                " crashes at t=" + std::to_string(cur.at_us) +
+                " but its earlier crash at t=" +
+                std::to_string(prev.at_us) +
+                " never restarts (restart_after_us == 0); the later "
+                "crash would be silently absorbed");
+        }
+        if (cur.at_us < prev.at_us + prev.restart_after_us) {
+            throw std::invalid_argument(
+                "FaultPlan: overlapping crash windows on server " +
+                std::to_string(cur.server) + ": crash at t=" +
+                std::to_string(cur.at_us) +
+                " lands inside the downtime [" +
+                std::to_string(prev.at_us) + ", " +
+                std::to_string(prev.at_us + prev.restart_after_us) +
+                ") of the crash at t=" + std::to_string(prev.at_us));
+        }
+    }
 }
 
 std::vector<CrashEvent>
@@ -84,11 +186,106 @@ FaultPlan::crashesFor(std::size_t server) const
     return mine;
 }
 
+std::vector<CrashEvent>
+FaultPlan::expandedCrashes(std::size_t num_servers) const
+{
+    std::vector<CrashEvent> schedule = crashes;
+    if (crash_bursts.empty())
+        return schedule;
+
+    const std::size_t fleet = num_servers > 0 ? num_servers : 1;
+    for (std::size_t b = 0; b < crash_bursts.size(); ++b) {
+        const CrashBurst& burst = crash_bursts[b];
+        Rng rng(Rng::hashMix(seed ^ burst.seed ^
+                             (0xB125700000000000ULL +
+                              b * 0x9e3779b97f4a7c15ULL)));
+        const std::size_t k = std::min(burst.servers, fleet);
+        // Victims without replacement: partial Fisher-Yates over the
+        // fleet ids.
+        std::vector<std::size_t> ids(fleet);
+        std::iota(ids.begin(), ids.end(), std::size_t{0});
+        std::vector<CrashEvent> victims;
+        victims.reserve(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t j =
+                i + static_cast<std::size_t>(rng.uniformInt(
+                        static_cast<std::uint64_t>(fleet - i)));
+            std::swap(ids[i], ids[j]);
+            CrashEvent c;
+            c.server = ids[i];
+            c.at_us = burst.at_us;
+            if (burst.window_us > 0) {
+                c.at_us += static_cast<TimeUs>(rng.uniformInt(
+                    static_cast<std::uint64_t>(burst.window_us) + 1));
+            }
+            c.restart_after_us = burst.restart_after_us;
+            victims.push_back(c);
+        }
+        std::sort(victims.begin(), victims.end(),
+                  [](const CrashEvent& a, const CrashEvent& b2) {
+                      if (a.at_us != b2.at_us)
+                          return a.at_us < b2.at_us;
+                      return a.server < b2.server;
+                  });
+        schedule.insert(schedule.end(), victims.begin(), victims.end());
+    }
+    return schedule;
+}
+
+std::vector<CrashEvent>
+FaultPlan::expandedCrashesFor(std::size_t server,
+                              std::size_t num_servers) const
+{
+    std::vector<CrashEvent> mine;
+    for (const CrashEvent& c : expandedCrashes(num_servers)) {
+        if (c.server == server)
+            mine.push_back(c);
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const CrashEvent& a, const CrashEvent& b) {
+                         return a.at_us < b.at_us;
+                     });
+    return mine;
+}
+
+std::vector<PartitionWindow>
+FaultPlan::partitionsFor(std::size_t server) const
+{
+    std::vector<PartitionWindow> mine;
+    for (const PartitionWindow& p : partitions) {
+        if (p.server == server)
+            mine.push_back(p);
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const PartitionWindow& a, const PartitionWindow& b) {
+                         return a.from_us < b.from_us;
+                     });
+    return mine;
+}
+
+std::vector<OomKillEvent>
+FaultPlan::oomKillsFor(std::size_t server) const
+{
+    std::vector<OomKillEvent> mine;
+    for (const OomKillEvent& o : oom_kills) {
+        if (o.server == server)
+            mine.push_back(o);
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const OomKillEvent& a, const OomKillEvent& b) {
+                         return a.at_us < b.at_us;
+                     });
+    return mine;
+}
+
 std::vector<CapacityLossWindow>
 FaultPlan::capacityLossWindows(std::size_t num_servers) const
 {
     std::vector<CapacityLossWindow> windows;
-    if (num_servers == 0 || crashes.empty())
+    if (num_servers == 0)
+        return windows;
+    const std::vector<CrashEvent> schedule = expandedCrashes(num_servers);
+    if (schedule.empty())
         return windows;
 
     constexpr TimeUs kForever = std::numeric_limits<TimeUs>::max();
@@ -100,7 +297,7 @@ FaultPlan::capacityLossWindows(std::size_t num_servers) const
         int delta;  // +1 = one more server down, -1 = one restarted
     };
     std::vector<Edge> edges;
-    for (const CrashEvent& c : crashes) {
+    for (const CrashEvent& c : schedule) {
         edges.push_back({c.at_us, +1});
         if (c.restart_after_us > 0 &&
             c.at_us <= kForever - c.restart_after_us) {
@@ -138,12 +335,15 @@ FaultPlan::capacityLossWindows(std::size_t num_servers) const
     return windows;
 }
 
-FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t server)
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t server,
+                             std::size_t num_servers)
     : plan_(&plan),
       rng_(Rng::hashMix(plan.seed ^
                         (0x9e3779b97f4a7c15ULL +
                          static_cast<std::uint64_t>(server)))),
-      crashes_(plan.crashesFor(server))
+      crashes_(plan.expandedCrashesFor(
+          server, num_servers > 0 ? num_servers : server + 1)),
+      ooms_(plan.oomKillsFor(server))
 {
 }
 

@@ -38,6 +38,62 @@ struct CrashEvent
 };
 
 /**
+ * A correlated crash burst: one failure domain (rack power, a bad
+ * kernel rollout) takes down `servers` distinct servers within a time
+ * window. Victims and their exact crash instants are drawn
+ * deterministically from the burst's seed when the plan is expanded
+ * (FaultPlan::expandedCrashes()), so equal plans give equal bursts for
+ * any fleet size.
+ */
+struct CrashBurst
+{
+    /** Start of the burst window. */
+    TimeUs at_us = 0;
+
+    /** Width of the window the victim crashes land in (0 = all victims
+     *  crash at exactly at_us). */
+    TimeUs window_us = 0;
+
+    /** Distinct servers taken down (clamped to the fleet size). */
+    std::size_t servers = 1;
+
+    /** Downtime of each victim before it rejoins cold; 0 = none of the
+     *  victims ever restart. */
+    TimeUs restart_after_us = 0;
+
+    /** Burst-local seed (mixed with the plan seed). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * A cluster↔server network partition: the front end cannot reach
+ * `server` during [from_us, until_us). The server itself keeps running
+ * (queued work drains, containers stay warm) but dispatch to it fails
+ * fast — failover, retry budgets, and breakers see an unreachable
+ * target, not a crash.
+ */
+struct PartitionWindow
+{
+    std::size_t server = 0;
+    TimeUs from_us = 0;
+
+    /** Exclusive end of the partition. */
+    TimeUs until_us = 0;
+};
+
+/**
+ * A memory-pressure OOM kill: at `at_us` the kernel on `server` kills
+ * the fattest busy container (most memory, ties to the lowest id). The
+ * victim invocation is aborted — a cluster re-dispatches it, a
+ * standalone run loses it — and the container is destroyed.
+ */
+struct OomKillEvent
+{
+    std::size_t server = 0;
+    TimeUs at_us = 0;
+};
+
+/**
  * A window during which only a fraction of fleet capacity is available
  * (derived from a FaultPlan's crash schedule; consumed by the elastic
  * provisioning controller to compensate for lost capacity).
@@ -58,6 +114,16 @@ struct FaultPlan
 {
     /** Scheduled crash/restart events. */
     std::vector<CrashEvent> crashes;
+
+    /** Correlated crash bursts (expanded deterministically into
+     *  per-server crash events; see expandedCrashes()). */
+    std::vector<CrashBurst> crash_bursts;
+
+    /** Cluster↔server network-partition windows. */
+    std::vector<PartitionWindow> partitions;
+
+    /** Scheduled memory-pressure OOM kills. */
+    std::vector<OomKillEvent> oom_kills;
 
     /** Probability that a container spawn (cold start) fails
      *  transiently; the request is retried after a holdoff. */
@@ -89,8 +155,17 @@ struct FaultPlan
 
     /**
      * Check invariants (probabilities in [0, 1], multiplier >= 1,
-     * positive delays, non-negative crash times).
-     * @param num_servers When nonzero, also reject crash events whose
+     * positive delays, non-negative fault times, well-formed bursts and
+     * partition windows) and reject overlapping crash windows: two
+     * crashes of one server must not overlap in downtime — a second
+     * crash while the server is already down would be silently
+     * absorbed, which is almost always a plan-authoring mistake. A
+     * crash landing exactly at the previous restart instant is legal
+     * (the Failure lane delivers the restart first). When `num_servers`
+     * is nonzero the check runs over the *expanded* schedule (bursts
+     * included); otherwise bursts cannot be expanded and only explicit
+     * crashes are checked.
+     * @param num_servers When nonzero, also reject fault events whose
      *        server index is out of range.
      * @throws std::invalid_argument with a descriptive message.
      */
@@ -100,10 +175,32 @@ struct FaultPlan
     std::vector<CrashEvent> crashesFor(std::size_t server) const;
 
     /**
-     * Fleet-capacity timeline implied by the crash schedule: one window
-     * per span where fewer than `num_servers` servers are up.
-     * Overlapping downtimes compound (two of four servers down gives
-     * available_fraction 0.5).
+     * The full crash schedule: explicit `crashes` (in declaration
+     * order, so plans without bursts expand to exactly `crashes` and
+     * keep their event sequence numbers) followed by each burst's
+     * victims. Victims are drawn without replacement via a seeded
+     * partial Fisher-Yates over the fleet, each with a uniform crash
+     * offset inside the burst window, then ordered by (time, server) —
+     * deterministic for equal (plan, num_servers).
+     */
+    std::vector<CrashEvent> expandedCrashes(std::size_t num_servers) const;
+
+    /** expandedCrashes() filtered to one server, sorted by time. */
+    std::vector<CrashEvent> expandedCrashesFor(std::size_t server,
+                                               std::size_t num_servers)
+        const;
+
+    /** `partitions` filtered to one server, sorted by from_us. */
+    std::vector<PartitionWindow> partitionsFor(std::size_t server) const;
+
+    /** `oom_kills` filtered to one server, sorted by time. */
+    std::vector<OomKillEvent> oomKillsFor(std::size_t server) const;
+
+    /**
+     * Fleet-capacity timeline implied by the crash schedule (bursts
+     * included): one window per span where fewer than `num_servers`
+     * servers are up. Overlapping downtimes compound (two of four
+     * servers down gives available_fraction 0.5).
      */
     std::vector<CapacityLossWindow>
     capacityLossWindows(std::size_t num_servers) const;
@@ -121,8 +218,11 @@ class FaultInjector
     /**
      * @param plan  Fault schedule; must outlive the injector.
      * @param server Index of the server this injector serves.
+     * @param num_servers Fleet size, for expanding correlated crash
+     *        bursts; 0 (standalone) expands over a fleet of server+1.
      */
-    FaultInjector(const FaultPlan& plan, std::size_t server);
+    FaultInjector(const FaultPlan& plan, std::size_t server,
+                  std::size_t num_servers = 0);
 
     const FaultPlan& plan() const { return *plan_; }
 
@@ -138,13 +238,17 @@ class FaultInjector
     /** Draw: stall duration of a demand eviction (0 = no stall). */
     TimeUs reclaimStall();
 
-    /** This server's crash events, sorted by time. */
+    /** This server's crash events (bursts expanded), sorted by time. */
     const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+    /** This server's scheduled OOM kills, sorted by time. */
+    const std::vector<OomKillEvent>& oomKills() const { return ooms_; }
 
   private:
     const FaultPlan* plan_;
     Rng rng_;
     std::vector<CrashEvent> crashes_;
+    std::vector<OomKillEvent> ooms_;
 };
 
 }  // namespace faascache

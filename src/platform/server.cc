@@ -107,6 +107,27 @@ Server::Server(std::unique_ptr<KeepAlivePolicy> policy, ServerConfig config)
     if (!policy_)
         throw std::invalid_argument("Server: null policy");
     events_.bindCancellation(config_.cancel);
+    audit_ = config_.audit != nullptr && config_.audit->enabled()
+        ? config_.audit
+        : nullptr;
+    events_.bindAuditor(audit_);
+    pool_.setAuditor(audit_);
+}
+
+void
+Server::auditConservation(TimeUs now)
+{
+    if (audit_ == nullptr)
+        return;
+    const std::int64_t open = static_cast<std::int64_t>(queueDepth()) +
+        static_cast<std::int64_t>(inflight_count_);
+    if (audit_arrivals_ != audit_resolved_ + open) {
+        audit_->fail("request-conservation", now, -1,
+                     "arrivals " + std::to_string(audit_arrivals_) +
+                         " != resolved " + std::to_string(audit_resolved_) +
+                         " + queued " + std::to_string(queueDepth()) +
+                         " + inflight " + std::to_string(inflight_count_));
+    }
 }
 
 void
@@ -232,7 +253,8 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     setInflight(fresh,
                 Inflight{request.invocation_index,
                          request.latency_anchor_us,
-                         /*cold=*/true, request.redispatched});
+                         /*cold=*/true, request.redispatched,
+                         /*extra_slots=*/cold_slots - 1});
     if (cold_slots > 1) {
         events_.schedule(now + stall_us + init_us, EventKind::InitDone,
                          fresh.id());
@@ -321,6 +343,8 @@ Server::drainQueueReference(TimeUs now)
                 trace_->invocations()[head.invocation_index].function;
             ++result_.dropped_timeout;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
             continue;
         }
         if (now < head.not_before_us) {
@@ -343,6 +367,8 @@ Server::drainQueueReference(TimeUs now)
             if (pool_.findIdleWarm(fn) == nullptr) {
                 ++result_.overload.brownout_denied_cold;
                 ++result_.per_function[fn].dropped;
+                if (audit_ != nullptr)
+                    ++audit_resolved_;
             } else {
                 still_waiting.push_back(head);
             }
@@ -360,6 +386,8 @@ Server::drainQueueReference(TimeUs now)
                 trace_->invocations()[head.invocation_index].function;
             ++result_.overload.brownout_denied_cold;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
             continue;
         }
         if (outcome == Dispatch::SpawnFailed) {
@@ -388,6 +416,7 @@ Server::drainQueueReference(TimeUs now)
         now - queue_.front().enqueued_us >= 5 * kSecond) {
         result_.last_congested_us = now;
     }
+    auditConservation(now);
 }
 
 void
@@ -412,6 +441,8 @@ Server::drainQueueDense(TimeUs now)
                 trace_->invocations()[head.invocation_index].function;
             ++result_.dropped_timeout;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
             eraseRequestDense(i);
             i = next;
             continue;
@@ -432,6 +463,8 @@ Server::drainQueueDense(TimeUs now)
             if (pool_.findIdleWarm(fn) == nullptr) {
                 ++result_.overload.brownout_denied_cold;
                 ++result_.per_function[fn].dropped;
+                if (audit_ != nullptr)
+                    ++audit_resolved_;
                 eraseRequestDense(i);
             }
             i = next;
@@ -449,6 +482,8 @@ Server::drainQueueDense(TimeUs now)
                 trace_->invocations()[head.invocation_index].function;
             ++result_.overload.brownout_denied_cold;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
             eraseRequestDense(i);
             i = next;
             continue;
@@ -467,6 +502,7 @@ Server::drainQueueDense(TimeUs now)
         now - request_nodes_[queue_head_].req.enqueued_us >= 5 * kSecond) {
         result_.last_congested_us = now;
     }
+    auditConservation(now);
 }
 
 void
@@ -491,6 +527,10 @@ Server::maintenance(TimeUs now)
         policy_->duePrewarms(now);
     }
     drainQueue(now);
+    // Deep structural pool audit: O(slots), so it rides the periodic
+    // maintenance tick rather than the per-event fast path.
+    if (audit_ != nullptr)
+        pool_.auditInvariants(*audit_, now);
 }
 
 bool
@@ -499,15 +539,21 @@ Server::acceptArrival(std::size_t invocation_index, TimeUs now,
 {
     const Invocation& inv = trace_->invocations()[invocation_index];
     const FunctionSpec& spec = trace_->function(inv.function);
+    if (audit_ != nullptr)
+        ++audit_arrivals_;
     if (down_) {
         ++result_.robustness.dropped_unavailable;
         ++result_.per_function[spec.id].dropped;
+        if (audit_ != nullptr)
+            ++audit_resolved_;
         return false;
     }
     policy_->onInvocationArrival(spec, now);
     if (spec.mem_mb > pool_.capacityMb()) {
         ++result_.dropped_oversize;
         ++result_.per_function[spec.id].dropped;
+        if (audit_ != nullptr)
+            ++audit_resolved_;
         return false;
     }
     // Adaptive admission: shed at the arrival edge while the queue
@@ -515,12 +561,16 @@ Server::acceptArrival(std::size_t invocation_index, TimeUs now,
     if (config_.overload.admission.enabled && admission_.shouldShed(now)) {
         ++result_.overload.admission_shed;
         ++result_.per_function[spec.id].dropped;
+        if (audit_ != nullptr)
+            ++audit_resolved_;
         return false;
     }
     // Preserve FIFO ordering: join the queue and drain.
     if (queueDepth() >= config_.queue_capacity) {
         ++result_.dropped_queue_full;
         ++result_.per_function[spec.id].dropped;
+        if (audit_ != nullptr)
+            ++audit_resolved_;
         return false;
     }
     PendingRequest request;
@@ -555,6 +605,8 @@ Server::handleEvent(const ServerEvent& event)
         c->finishInvocation();
         --running_;
         const Inflight inflight = takeInflight(*c);
+        if (audit_ != nullptr)
+            ++audit_resolved_;
         const double latency_sec =
             toSeconds(now - inflight.latency_anchor_us);
         result_.latencies_sec.push_back(latency_sec);
@@ -562,14 +614,21 @@ Server::handleEvent(const ServerEvent& event)
         drainQueue(now);
         break;
       }
-      case EventKind::InitDone:
+      case EventKind::InitDone: {
         // The init phase's extra CPU slots are released; the
         // function itself keeps executing on one core.
-        if (pool_.get(static_cast<ContainerId>(event.payload)) == nullptr)
+        Container* c = pool_.get(static_cast<ContainerId>(event.payload));
+        if (c == nullptr)
             break;  // stale after a crash
         running_ -= std::max(1, config_.cold_start_cpu_slots) - 1;
+        // The in-flight record now holds only its base core, so an
+        // abort after this point releases exactly one slot.
+        assert(c->poolSlot() < inflight_.size() &&
+               inflight_[c->poolSlot()].id == c->id());
+        inflight_[c->poolSlot()].data.extra_slots = 0;
         drainQueue(now);
         break;
+      }
       case EventKind::Maintenance:
         if (!down_)
             maintenance(now);
@@ -611,6 +670,19 @@ Server::handleEvent(const ServerEvent& event)
       case EventKind::Restart:
         restart(now);
         break;
+      case EventKind::OomKill: {
+        // Self-scheduled (standalone run()) OOM kill: no front end to
+        // re-dispatch the aborted invocation, so it is lost here.
+        if (down_)
+            break;
+        const auto aborted = oomKill(now);
+        if (aborted.has_value()) {
+            ++result_
+                  .per_function[trace_->invocations()[*aborted].function]
+                  .dropped;
+        }
+        break;
+      }
     }
 }
 
@@ -642,6 +714,8 @@ Server::crash(TimeUs now)
         }
         ++result_.robustness.crash_aborted;
         fallout.aborted.push_back(inflight.invocation_index);
+        if (audit_ != nullptr)
+            ++audit_resolved_;
     }
     std::sort(fallout.aborted.begin(), fallout.aborted.end());
     clearInflight();
@@ -676,6 +750,18 @@ Server::crash(TimeUs now)
         }
         clearRequestQueueDense();
     }
+    if (audit_ != nullptr) {
+        // Flushed entries leave this server's books: the standalone
+        // crash handler counts them dropped_unavailable; under
+        // incremental driving the front end re-dispatches them, so
+        // they resolve externally.
+        audit_resolved_ +=
+            static_cast<std::int64_t>(fallout.flushed_queue.size());
+        if (incremental_) {
+            audit_external_returns_ +=
+                static_cast<std::int64_t>(fallout.flushed_queue.size());
+        }
+    }
 
     down_ = true;
     down_since_ = now;
@@ -690,6 +776,62 @@ Server::restart(TimeUs now)
     down_ = false;
     ++result_.robustness.restarts;
     result_.robustness.downtime_us += now - down_since_;
+}
+
+std::optional<std::size_t>
+Server::oomKill(TimeUs now)
+{
+    if (down_)
+        return std::nullopt;
+    // Victim: the fattest busy container, ties to the lowest id. The
+    // comparison is order-independent, so the backend-specific forEach
+    // order cannot change the choice.
+    Container* victim = nullptr;
+    pool_.forEach([&victim](Container& c) {
+        if (!c.busy())
+            return;
+        if (victim == nullptr || c.memMb() > victim->memMb() ||
+            (c.memMb() == victim->memMb() && c.id() < victim->id())) {
+            victim = &c;
+        }
+    });
+    if (victim == nullptr)
+        return std::nullopt;
+
+    ++result_.robustness.oom_kills;
+    const Inflight inflight = takeInflight(*victim);
+    // Roll back the start accounting exactly like a crash abort: the
+    // invocation did not complete here, and a cluster may re-dispatch
+    // it.
+    const FunctionId fn =
+        trace_->invocations()[inflight.invocation_index].function;
+    FunctionOutcome& outcome = result_.per_function[fn];
+    if (inflight.cold) {
+        --result_.cold_starts;
+        --outcome.cold;
+        if (inflight.redispatched)
+            --result_.robustness.redispatch_cold_starts;
+    } else {
+        --result_.warm_starts;
+        --outcome.warm;
+    }
+    ++result_.robustness.crash_aborted;
+    running_ -= 1 + inflight.extra_slots;
+
+    // The container dies with its invocation. The policy observes an
+    // eviction so its per-function bookkeeping stays consistent; the
+    // pending Finish (and InitDone) events go stale and are absorbed
+    // by the id checks, since pool ids are never reused.
+    victim->finishInvocation();
+    const bool last = pool_.countOf(victim->function()) == 1;
+    policy_->onEviction(*victim, last, now);
+    pool_.remove(victim->id());
+    if (audit_ != nullptr)
+        ++audit_resolved_;
+
+    // The freed core and memory may unblock queued work immediately.
+    drainQueue(now);
+    return inflight.invocation_index;
 }
 
 void
@@ -717,6 +859,9 @@ Server::beginRun(const Trace& trace)
     admission_.reset();
     brownout_.reset();
     spawn_successes_ = 0;
+    audit_arrivals_ = 0;
+    audit_resolved_ = 0;
+    audit_external_returns_ = 0;
     // Allocation hints: size dense per-function tables from the catalog.
     policy_->reserveFunctions(trace.functions().size());
     pool_.reserve(/*containers=*/256, trace.functions().size());
@@ -738,6 +883,8 @@ Server::run(const Trace& trace)
     }
     const std::size_t crashes_count =
         injector_ != nullptr ? injector_->crashes().size() : 0;
+    const std::size_t ooms_count =
+        injector_ != nullptr ? injector_->oomKills().size() : 0;
 
     if (config_.platform_backend == PlatformBackend::Reference) {
         // Reserve the whole setup load (arrivals + maintenance ticks +
@@ -746,7 +893,7 @@ Server::run(const Trace& trace)
         // delivered setup events, so the high-water mark is the setup
         // count.
         events_.reserve(trace.invocations().size() + maintenance_ticks +
-                        crashes_count);
+                        crashes_count + ooms_count);
 
         for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
             events_.schedule(trace.invocations()[i].arrival_us,
@@ -762,6 +909,11 @@ Server::run(const Trace& trace)
             for (std::size_t k = 0; k < crashes.size(); ++k) {
                 events_.scheduleFailure(crashes[k].at_us,
                                         EventKind::Crash, k);
+            }
+            const auto& ooms = injector_->oomKills();
+            for (std::size_t k = 0; k < ooms.size(); ++k) {
+                events_.scheduleFailure(ooms[k].at_us,
+                                        EventKind::OomKill, k);
             }
         }
 
@@ -780,9 +932,9 @@ Server::run(const Trace& trace)
     // reproduces the reference delivery order event for event, while
     // the heap only carries the periodic schedule plus runtime traffic
     // — thousands of entries instead of the whole trace.
-    events_.reserve(maintenance_ticks + crashes_count + 64);
+    events_.reserve(maintenance_ticks + crashes_count + ooms_count + 64);
     std::vector<EventBatchItem<EventKind>> setup;
-    setup.reserve(std::max(maintenance_ticks, crashes_count));
+    setup.reserve(std::max({maintenance_ticks, crashes_count, ooms_count}));
     for (std::size_t k = 0; k < maintenance_ticks; ++k) {
         EventBatchItem<EventKind> item;
         item.time_us =
@@ -798,6 +950,16 @@ Server::run(const Trace& trace)
             EventBatchItem<EventKind> item;
             item.time_us = crashes[k].at_us;
             item.kind = EventKind::Crash;
+            item.payload = k;
+            setup.push_back(item);
+        }
+        events_.scheduleBatch(setup, EventLane::Failure);
+        const auto& ooms = injector_->oomKills();
+        setup.clear();
+        for (std::size_t k = 0; k < ooms.size(); ++k) {
+            EventBatchItem<EventKind> item;
+            item.time_us = ooms[k].at_us;
+            item.kind = EventKind::OomKill;
             item.payload = k;
             setup.push_back(item);
         }
@@ -874,6 +1036,8 @@ Server::closeRun(TimeUs horizon_us)
                 trace_->invocations()[pending.invocation_index].function;
             ++result_.dropped_timeout;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
         }
         queue_.clear();
     } else {
@@ -885,6 +1049,8 @@ Server::closeRun(TimeUs horizon_us)
                     .function;
             ++result_.dropped_timeout;
             ++result_.per_function[fn].dropped;
+            if (audit_ != nullptr)
+                ++audit_resolved_;
         }
         clearRequestQueueDense();
     }
@@ -895,6 +1061,44 @@ Server::closeRun(TimeUs horizon_us)
     result_.overload.admission_violations = admission_.violations();
     result_.overload.brownout_windows = brownout_.windows();
     result_.overload.brownout_us = brownout_.activeUs(horizon_us);
+    if (audit_ != nullptr) {
+        const TimeUs now = clock_.now();
+        if (inflight_count_ != 0) {
+            audit_->fail("inflight-drained", now, -1,
+                         std::to_string(inflight_count_) +
+                             " invocation(s) still in flight at close");
+        }
+        if (audit_arrivals_ != audit_resolved_) {
+            audit_->fail("request-conservation", now, -1,
+                         "at close: arrivals " +
+                             std::to_string(audit_arrivals_) +
+                             " != resolved " +
+                             std::to_string(audit_resolved_));
+        }
+        const auto completions =
+            static_cast<std::int64_t>(result_.latencies_sec.size());
+        if (result_.served() != completions) {
+            audit_->fail("start-accounting", now, -1,
+                         "warm+cold " + std::to_string(result_.served()) +
+                             " != completions " +
+                             std::to_string(completions));
+        }
+        // Every arrival must land in exactly one terminal counter.
+        const std::int64_t ledger = completions +
+            result_.dropped_queue_full + result_.dropped_timeout +
+            result_.dropped_oversize +
+            result_.robustness.dropped_unavailable +
+            result_.overload.admission_shed +
+            result_.overload.brownout_denied_cold +
+            result_.robustness.crash_aborted + audit_external_returns_;
+        if (audit_arrivals_ != ledger) {
+            audit_->fail("request-ledger", now, -1,
+                         "arrivals " + std::to_string(audit_arrivals_) +
+                             " != terminal-counter sum " +
+                             std::to_string(ledger));
+        }
+        pool_.auditInvariants(*audit_, now);
+    }
     incremental_ = false;
     trace_ = nullptr;
     return result_;

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,7 @@ enum class EventKind
     Retry,        ///< re-drain the queue after a spawn-failure holdoff
     Crash,        ///< injected server crash (payload: crash-list index)
     Restart,      ///< crashed server rejoins, cold
+    OomKill,      ///< injected OOM kill (payload: oom-list index)
 };
 
 /** One scheduled platform event. */
@@ -150,6 +152,18 @@ struct ServerConfig
      * run()). Never perturbs the results of a run that completes.
      */
     const CancellationToken* cancel = nullptr;
+
+    /**
+     * Runtime invariant auditor (util/audit.h; non-owning, may be
+     * null). When attached and enabled, the server verifies request
+     * conservation per queue drain and at end of run, container
+     * state-machine legality on every busy/idle transition, event
+     * delivery order, and the container pool's structural invariants at
+     * every maintenance tick. Null (or AuditMode::Off) costs nothing
+     * and leaves results byte-identical. Like `cancel`, never encoded
+     * in checkpoint codecs.
+     */
+    Auditor* audit = nullptr;
 
     /**
      * Check invariants (positive cores/memory/capacity/periods,
@@ -320,6 +334,17 @@ class Server
     /** Rejoin after a crash, with a cold (empty) container pool. */
     void restart(TimeUs now);
 
+    /**
+     * Memory-pressure OOM kill: the kernel kills the fattest busy
+     * container (most memory, ties to the lowest id). The victim's
+     * start accounting is rolled back exactly like a crash abort and
+     * the container is destroyed; queued work is untouched.
+     * @return The aborted invocation's index (for the cluster to
+     *         re-dispatch), or nullopt when the server is down or no
+     *         container is busy.
+     */
+    std::optional<std::size_t> oomKill(TimeUs now);
+
     bool isDown() const { return down_; }
 
     /** Buffered (not yet running) requests — the load-shedding and
@@ -394,6 +419,11 @@ class Server
         TimeUs latency_anchor_us = 0;
         bool cold = false;
         bool redispatched = false;
+
+        /** Extra CPU slots held beyond the base core (a cold start in
+         *  its init phase holds cold_start_cpu_slots - 1 more; zeroed
+         *  at InitDone). Lets an abort release exactly what it holds. */
+        int extra_slots = 0;
     };
 
     /**
@@ -446,6 +476,9 @@ class Server
 
     /** Reset per-run accounting and bind `trace`. */
     void beginRun(const Trace& trace);
+
+    /** O(1) request-conservation check (audit-only; see audit_). */
+    void auditConservation(TimeUs now);
 
     /** Final leftover-queue and downtime accounting; unbinds the
      *  trace and returns the result. */
@@ -516,6 +549,24 @@ class Server
 
     bool down_ = false;
     TimeUs down_since_ = 0;
+
+    /** Normalized invariant auditor (null unless attached + enabled). */
+    Auditor* audit_ = nullptr;
+
+    /**
+     * Request-conservation ledger, maintained only while auditing:
+     * every accepted call into acceptArrival() increments arrivals;
+     * every definitive disposition (drop, completion, crash abort,
+     * crash flush, OOM abort, leftover at close) increments resolved.
+     * Invariant: arrivals == resolved + queued + in-flight.
+     */
+    std::int64_t audit_arrivals_ = 0;
+    std::int64_t audit_resolved_ = 0;
+
+    /** Resolved entries handed back to an external dispatcher (crash
+     *  fallout under incremental driving) rather than counted in a
+     *  drop/served counter of this server's result. */
+    std::int64_t audit_external_returns_ = 0;
 
     /** Attach the in-flight record of a running container. */
     void setInflight(const Container& c, const Inflight& data);

@@ -14,6 +14,7 @@ RobustnessCounters::operator+=(const RobustnessCounters& other)
     crash_flushed_containers += other.crash_flushed_containers;
     dropped_unavailable += other.dropped_unavailable;
     redispatch_cold_starts += other.redispatch_cold_starts;
+    oom_kills += other.oom_kills;
     downtime_us += other.downtime_us;
     return *this;
 }

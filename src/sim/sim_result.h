@@ -85,6 +85,10 @@ struct RobustnessCounters
      *  the cluster re-dispatched after a crash. */
     std::int64_t redispatch_cold_starts = 0;
 
+    /** Busy containers killed by injected memory-pressure OOM events
+     *  (their invocations are also counted in crash_aborted). */
+    std::int64_t oom_kills = 0;
+
     /** Total time spent unavailable (crash to restart, or to the end
      *  of the run for servers that never came back). */
     TimeUs downtime_us = 0;

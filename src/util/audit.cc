@@ -1,0 +1,75 @@
+#include "util/audit.h"
+
+#include <sstream>
+#include <utility>
+
+namespace faascache {
+
+std::string
+AuditViolation::format() const
+{
+    std::ostringstream out;
+    out << invariant << " @" << time_us;
+    if (entity >= 0)
+        out << " entity=" << entity;
+    out << ": " << detail;
+    return out.str();
+}
+
+void
+Auditor::fail(const char* invariant, TimeUs time_us, std::int64_t entity,
+              std::string detail)
+{
+    if (mode_ == AuditMode::Off)
+        return;  // inert even when a hook site skips the enabled() guard
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+    if (stored_.size() < kMaxStored) {
+        AuditViolation v;
+        v.invariant = invariant;
+        v.time_us = time_us;
+        v.entity = entity;
+        v.detail = std::move(detail);
+        stored_.push_back(std::move(v));
+    }
+}
+
+std::int64_t
+Auditor::violationCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::vector<AuditViolation>
+Auditor::violations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stored_;
+}
+
+std::string
+Auditor::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0)
+        return "";
+    std::ostringstream out;
+    out << count_ << " invariant violation(s)";
+    if (static_cast<std::size_t>(count_) > stored_.size())
+        out << " (first " << stored_.size() << " shown)";
+    out << ":\n";
+    for (const AuditViolation& v : stored_)
+        out << "  " << v.format() << '\n';
+    return out.str();
+}
+
+void
+Auditor::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    stored_.clear();
+}
+
+}  // namespace faascache

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Runtime invariant auditor (DESIGN.md §4g).
+ *
+ * The platform's correctness story so far rests on differential tests
+ * and golden fixtures: two backends agree, so both are presumed right.
+ * The auditor adds a second, orthogonal line of defense — the layers
+ * themselves assert their *semantic* invariants while a run executes:
+ *
+ *  - request conservation: every arrival ends in exactly one of
+ *    completed / shed / dropped / timed-out / failed (checked per drain
+ *    and at end-of-run);
+ *  - ContainerPool accounting: used memory equals the sum of live
+ *    containers, busy + idle == live, per-function idle lists stay
+ *    warmest-first and consistent with the dense id→slot map;
+ *  - container state-machine legality (cold→warm→busy→idle only);
+ *  - EventCore delivery order: strictly increasing (time, lane, seq);
+ *  - overload-state legality: retry-budget tokens within bounds,
+ *    circuit-breaker transition counters consistent.
+ *
+ * The auditor is compiled in always and enabled per run by attaching an
+ * Auditor to the config (ServerConfig::audit). A null pointer — or an
+ * Auditor constructed with AuditMode::Off — disables every check: hook
+ * sites guard on a single pointer, maintain no counters, and perturb
+ * nothing, so audited-off runs stay byte-identical to pre-auditor
+ * builds.
+ *
+ * Violations do not abort the run (a chaos soak wants the full list,
+ * and production telemetry cannot throw): they are recorded with a
+ * named invariant, the simulation timestamp, and an entity id, bounded
+ * in storage but exactly counted. Thread-safe, so one Auditor can watch
+ * every cell of a parallel sweep.
+ */
+#ifndef FAASCACHE_UTIL_AUDIT_H_
+#define FAASCACHE_UTIL_AUDIT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace faascache {
+
+/** Whether an Auditor instance actually checks anything. */
+enum class AuditMode : std::uint8_t
+{
+    Off,  ///< hooks are dead: no counters, no checks, no overhead
+    On,   ///< every layer's invariants are checked as the run executes
+};
+
+/** One recorded invariant violation. */
+struct AuditViolation
+{
+    /** Named invariant, e.g. "request-conservation". */
+    std::string invariant;
+
+    /** Simulation time at which the violation was observed. */
+    TimeUs time_us = 0;
+
+    /** Offending entity (server index, container id, event seq);
+     *  -1 when no single entity applies. */
+    std::int64_t entity = -1;
+
+    /** Human-readable specifics (expected vs. observed). */
+    std::string detail;
+
+    /** "invariant @t entity=e: detail" on one line. */
+    std::string format() const;
+};
+
+/**
+ * Collects invariant violations from every audited layer. Recording is
+ * thread-safe; storage is bounded (the first kMaxStored violations are
+ * kept verbatim) while the total count is exact.
+ */
+class Auditor
+{
+  public:
+    /** Violations stored verbatim; later ones only count. */
+    static constexpr std::size_t kMaxStored = 64;
+
+    explicit Auditor(AuditMode mode = AuditMode::On) : mode_(mode) {}
+
+    Auditor(const Auditor&) = delete;
+    Auditor& operator=(const Auditor&) = delete;
+
+    bool enabled() const { return mode_ == AuditMode::On; }
+
+    /** Record one violation. */
+    void fail(const char* invariant, TimeUs time_us, std::int64_t entity,
+              std::string detail);
+
+    /** Record a violation iff `ok` is false (detail is a literal so the
+     *  passing fast path builds no strings). */
+    void require(bool ok, const char* invariant, TimeUs time_us,
+                 std::int64_t entity, const char* detail)
+    {
+        if (!ok)
+            fail(invariant, time_us, entity, detail);
+    }
+
+    /** Exact number of violations recorded so far. */
+    std::int64_t violationCount() const;
+
+    /** The stored violations (first kMaxStored), in record order. */
+    std::vector<AuditViolation> violations() const;
+
+    /** Multi-line human-readable report ("" when clean). */
+    std::string report() const;
+
+    /** Forget everything recorded (mode is retained). */
+    void reset();
+
+  private:
+    const AuditMode mode_;
+    mutable std::mutex mutex_;
+    std::int64_t count_ = 0;
+    std::vector<AuditViolation> stored_;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_UTIL_AUDIT_H_

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Runtime invariant auditor (DESIGN.md §4g): the Auditor recorder
+ * itself, and end-to-end audited runs — a clean platform/cluster run
+ * must produce zero violations, and attaching an auditor must never
+ * change the simulation outcome (byte-identical checkpoint payloads).
+ */
+#include "util/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/cluster.h"
+#include "platform/experiment_checkpoint.h"
+#include "platform/load_generator.h"
+#include "platform/server.h"
+
+namespace faascache {
+namespace {
+
+// --- The recorder itself -------------------------------------------------
+
+TEST(Auditor, OffModeRecordsNothing)
+{
+    Auditor a(AuditMode::Off);
+    EXPECT_FALSE(a.enabled());
+    // Layers guard on enabled(), but even a direct fail() must stay
+    // inert so a stale pointer can't corrupt an audited-off run.
+    a.require(false, "some-invariant", 10, 1, "ignored");
+    EXPECT_EQ(a.violationCount(), 0);
+    EXPECT_TRUE(a.violations().empty());
+    EXPECT_EQ(a.report(), "");
+}
+
+TEST(Auditor, RecordsNamedViolations)
+{
+    Auditor a;
+    EXPECT_TRUE(a.enabled());
+    a.fail("request-conservation", 42 * kSecond, 3, "arrivals 5 != 4");
+    a.require(true, "pool-memory-accounting", kSecond, 0, "fine");
+    a.require(false, "event-order", 2 * kSecond, 17, "went backwards");
+
+    EXPECT_EQ(a.violationCount(), 2);
+    const auto v = a.violations();
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0].invariant, "request-conservation");
+    EXPECT_EQ(v[0].time_us, 42 * kSecond);
+    EXPECT_EQ(v[0].entity, 3);
+    EXPECT_EQ(v[1].invariant, "event-order");
+
+    const std::string line = v[0].format();
+    EXPECT_NE(line.find("request-conservation"), std::string::npos);
+    EXPECT_NE(line.find("arrivals 5 != 4"), std::string::npos);
+
+    const std::string report = a.report();
+    EXPECT_NE(report.find("event-order"), std::string::npos);
+}
+
+TEST(Auditor, StorageIsBoundedButCountIsExact)
+{
+    Auditor a;
+    for (int i = 0; i < 100; ++i)
+        a.fail("flood", i, i, "x");
+    EXPECT_EQ(a.violationCount(), 100);
+    EXPECT_EQ(a.violations().size(), Auditor::kMaxStored);
+    // The first kMaxStored are kept verbatim.
+    EXPECT_EQ(a.violations().back().time_us,
+              static_cast<TimeUs>(Auditor::kMaxStored - 1));
+
+    a.reset();
+    EXPECT_EQ(a.violationCount(), 0);
+    EXPECT_TRUE(a.enabled()) << "reset() must not change the mode";
+}
+
+// --- Audited end-to-end runs ---------------------------------------------
+
+ServerConfig
+serverConfig(Auditor* audit = nullptr)
+{
+    ServerConfig c;
+    c.cores = 4;
+    c.memory_mb = 512;
+    c.audit = audit;
+    return c;
+}
+
+TEST(AuditedRuns, CleanServerRunHasZeroViolations)
+{
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    Auditor audit;
+    Server server(makePolicy(PolicyKind::GreedyDual),
+                  serverConfig(&audit));
+    const PlatformResult r = server.run(t);
+    EXPECT_GT(r.served(), 0);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+}
+
+TEST(AuditedRuns, AuditingDoesNotPerturbServerResults)
+{
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+
+    Server plain(makePolicy(PolicyKind::GreedyDual), serverConfig());
+    const PlatformResult base = plain.run(t);
+
+    Auditor audit;
+    Server audited(makePolicy(PolicyKind::GreedyDual),
+                   serverConfig(&audit));
+    const PlatformResult checked = audited.run(t);
+
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+    EXPECT_EQ(encodePlatformCheckpointPayload("cell", base),
+              encodePlatformCheckpointPayload("cell", checked));
+}
+
+TEST(AuditedRuns, OffModeAuditorIsIgnoredEntirely)
+{
+    const Trace t = skewedFrequencyWorkload(10 * kMinute);
+
+    Server plain(makePolicy(PolicyKind::GreedyDual), serverConfig());
+    const PlatformResult base = plain.run(t);
+
+    Auditor off(AuditMode::Off);
+    Server muted(makePolicy(PolicyKind::GreedyDual),
+                 serverConfig(&off));
+    const PlatformResult r = muted.run(t);
+
+    EXPECT_EQ(off.violationCount(), 0);
+    EXPECT_EQ(encodePlatformCheckpointPayload("cell", base),
+              encodePlatformCheckpointPayload("cell", r));
+}
+
+TEST(AuditedRuns, FaultyServerRunStaysConservative)
+{
+    // Crashes and OOM kills stress every rollback path; the ledger
+    // must still balance.
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    Auditor audit;
+    ServerConfig cfg = serverConfig(&audit);
+
+    FaultPlan plan;
+    plan.crashes.push_back({0, 5 * kMinute, kMinute});
+    plan.crashes.push_back({0, 15 * kMinute, 2 * kMinute});
+    plan.oom_kills.push_back({0, 10 * kMinute});
+    plan.oom_kills.push_back({0, 20 * kMinute});
+    FaultInjector injector(plan, 0);
+
+    Server server(makePolicy(PolicyKind::GreedyDual), cfg);
+    server.setFaultInjector(&injector);
+    const PlatformResult r = server.run(t);
+
+    EXPECT_GT(r.robustness.crashes, 0);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+}
+
+TEST(AuditedRuns, ChaoticClusterRunHasZeroViolations)
+{
+    const Trace t = skewedFrequencyWorkload(30 * kMinute);
+    Auditor audit;
+
+    ClusterConfig c;
+    c.num_servers = 4;
+    c.server.cores = 4;
+    c.server.memory_mb = 512;
+    c.server.audit = &audit;
+    c.faults.crashes.push_back({1, 5 * kMinute, 2 * kMinute});
+    CrashBurst burst;
+    burst.at_us = 12 * kMinute;
+    burst.servers = 2;
+    burst.restart_after_us = kMinute;
+    c.faults.crash_bursts.push_back(burst);
+    c.faults.partitions.push_back({0, 8 * kMinute, 9 * kMinute});
+    c.faults.oom_kills.push_back({2, 10 * kMinute});
+    c.failover.retry_budget.ratio = 0.2;
+    c.failover.breaker.failure_threshold = 3;
+
+    const ClusterResult r = runCluster(t, PolicyKind::GreedyDual, c);
+    EXPECT_GT(r.robustness().crashes, 1);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+}
+
+TEST(AuditedRuns, AuditingDoesNotPerturbClusterResults)
+{
+    const Trace t = skewedFrequencyWorkload(20 * kMinute);
+    ClusterConfig c;
+    c.num_servers = 3;
+    c.server.cores = 4;
+    c.server.memory_mb = 512;
+    c.faults.crashes.push_back({0, 5 * kMinute, kMinute});
+    c.faults.partitions.push_back({1, 7 * kMinute, 8 * kMinute});
+
+    const ClusterResult base = runCluster(t, PolicyKind::GreedyDual, c);
+
+    Auditor audit;
+    c.server.audit = &audit;
+    const ClusterResult checked =
+        runCluster(t, PolicyKind::GreedyDual, c);
+
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+    EXPECT_EQ(encodeClusterCheckpointPayload("cell", base),
+              encodeClusterCheckpointPayload("cell", checked));
+}
+
+}  // namespace
+}  // namespace faascache

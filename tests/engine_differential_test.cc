@@ -17,6 +17,7 @@
 #include "provisioning/elastic_simulation.h"
 #include "sim/simulator.h"
 #include "trace/azure_model.h"
+#include "util/audit.h"
 
 namespace faascache {
 namespace {
@@ -114,25 +115,33 @@ TEST(EngineDifferential, SimulatorReplaysBitExact)
 
 TEST(EngineDifferential, ServerReplaysBitExact)
 {
+    // Both replays run under the runtime invariant auditor (ISSUE 8):
+    // bit-identity and semantic legality are checked together.
+    Auditor audit;
     ServerConfig config;
     config.cores = 2;
     config.memory_mb = 900.0;
+    config.audit = &audit;
     const PlatformResult a = runPlatform(
         seededWorkload(), PolicyKind::GreedyDual, config);
     const PlatformResult b = runPlatform(
         seededWorkload(), PolicyKind::GreedyDual, config);
     expectSamePlatformResult(a, b);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
 }
 
 TEST(EngineDifferential, FaultedClusterReplaysBitExact)
 {
     // Crashes and restarts ride the engine's Failure lane; seeded
     // stochastic faults exercise the same-timestamp tie-breaks that
-    // used to be a hand-rolled deferral hack.
+    // used to be a hand-rolled deferral hack. The auditor watches both
+    // replays end to end.
+    Auditor audit;
     ClusterConfig config;
     config.num_servers = 3;
     config.server.cores = 2;
     config.server.memory_mb = 700.0;
+    config.server.audit = &audit;
     config.faults.crashes.push_back({1, 10 * kMinute, 5 * kMinute});
     config.faults.spawn_failure_prob = 0.05;
     config.faults.straggler_prob = 0.05;
@@ -149,6 +158,7 @@ TEST(EngineDifferential, FaultedClusterReplaysBitExact)
     ASSERT_EQ(a.servers.size(), b.servers.size());
     for (std::size_t i = 0; i < a.servers.size(); ++i)
         expectSamePlatformResult(a.servers[i], b.servers[i]);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
 }
 
 TEST(EngineDifferential, ElasticSimulationReplaysBitExact)

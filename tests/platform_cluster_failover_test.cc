@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "platform/load_generator.h"
+#include "util/audit.h"
 
 namespace faascache {
 namespace {
@@ -235,6 +236,44 @@ TEST(ClusterFailover, RepeatedCrashesOfOneServerConserveRequests)
     EXPECT_EQ(r.robustness().restarts, 4);
     EXPECT_EQ(r.unavailabilityUs(), 4 * 2 * kMinute);
     expectConservation(r, t);
+}
+
+TEST(ClusterFailover, HalfOpenProbeFailsAtCrashRestartBoundary)
+{
+    // A spawn-failure storm on a lone server cycles its breaker:
+    // open -> (cool-down) -> half-open -> failed probe -> open again.
+    // A crash window is placed so its restart boundary lands exactly on
+    // an arrival timestamp, exercising the same-timestamp FIFO path:
+    // the arrival delivers first (server still down, so it retries),
+    // then the restart, and the later retry is the half-open probe that
+    // fails at a settle point. The breaker must keep its transitions in
+    // lockstep (closes <= opens <= closes + 1) under the auditor.
+    Trace t("storm");
+    t.addFunction(makeFunction(0, "f", 100, fromSeconds(1),
+                               fromSeconds(1)));
+    for (int i = 0; i <= 60; ++i)
+        t.addInvocation(0, i * kSecond);  // one lands exactly at 30 s
+    ClusterConfig c = config(LoadBalancing::RoundRobin, 1);
+    c.faults.spawn_failure_prob = 1.0;  // every probe fails
+    c.faults.crashes.push_back({0, 20 * kSecond, 10 * kSecond});
+    c.failover.breaker.failure_threshold = 3;
+    c.failover.breaker.open_duration_us = 5 * kSecond;
+    Auditor audit;
+    c.server.audit = &audit;
+    const ClusterResult r = runCluster(t, PolicyKind::GreedyDual, c);
+
+    EXPECT_EQ(r.robustness().crashes, 1);
+    EXPECT_EQ(r.robustness().restarts, 1);
+    // The breaker opened, probed while half-open, and the failing
+    // probes re-opened it — repeatedly, since the storm never ends.
+    EXPECT_GE(r.breaker_opens, 2);
+    EXPECT_GE(r.breaker_probes, 1);
+    EXPECT_LE(r.breaker_closes, r.breaker_opens);
+    // Nothing ever spawns, so nothing is served...
+    EXPECT_EQ(r.warmStarts() + r.coldStarts(), 0);
+    // ...yet every request still resolves exactly once.
+    expectConservation(r, t);
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
 }
 
 TEST(ClusterFailover, ConfigValidationRejectsBadValues)

@@ -28,6 +28,7 @@
 #include "trace/function_spec.h"
 #include "trace/patterns.h"
 #include "trace/trace.h"
+#include "util/audit.h"
 #include "util/rng.h"
 
 namespace faascache {
@@ -114,12 +115,18 @@ runOne(const Trace& trace, PolicyKind kind, ServerConfig server,
     return s.run(trace);
 }
 
-/** Assert byte-identical standalone results across the two backends. */
+/**
+ * Assert byte-identical standalone results across the two backends.
+ * Both runs execute under the runtime invariant auditor (ISSUE 8), so
+ * every differential case doubles as a semantic-invariant check.
+ */
 void
 expectBackendsAgree(const Trace& trace, PolicyKind kind,
                     ServerConfig server, const PolicyConfig& policy,
                     const FaultPlan* plan, const std::string& label)
 {
+    Auditor audit;
+    server.audit = &audit;
     server.platform_backend = PlatformBackend::Dense;
     const std::string dense = encodePlatformCheckpointPayload(
         "cell", runOne(trace, kind, server, policy, plan));
@@ -127,6 +134,8 @@ expectBackendsAgree(const Trace& trace, PolicyKind kind,
     const std::string reference = encodePlatformCheckpointPayload(
         "cell", runOne(trace, kind, server, policy, plan));
     EXPECT_EQ(dense, reference) << "backends diverged: " << label;
+    EXPECT_EQ(audit.violationCount(), 0)
+        << label << ": " << audit.report();
 }
 
 OverloadConfig
@@ -326,6 +335,8 @@ expectClusterBackendsAgree(const Trace& trace, PolicyKind kind,
                            ClusterConfig config,
                            const std::string& label)
 {
+    Auditor audit;
+    config.server.audit = &audit;
     config.server.platform_backend = PlatformBackend::Dense;
     const std::string dense = encodeClusterCheckpointPayload(
         "cell", runCluster(trace, kind, config));
@@ -333,6 +344,8 @@ expectClusterBackendsAgree(const Trace& trace, PolicyKind kind,
     const std::string reference = encodeClusterCheckpointPayload(
         "cell", runCluster(trace, kind, config));
     EXPECT_EQ(dense, reference) << "cluster backends diverged: " << label;
+    EXPECT_EQ(audit.violationCount(), 0)
+        << label << ": " << audit.report();
 }
 
 TEST(ClusterDifferential, SplitAndFaultAwarePathsAgree)

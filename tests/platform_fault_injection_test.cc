@@ -410,5 +410,267 @@ TEST(ServerConfigValidation, RejectsBadValues)
     }
 }
 
+// --- Expanded fault model: validation ------------------------------------
+
+/** The validate() error message must name the offending field. */
+void
+expectValidateError(const FaultPlan& plan, const std::string& needle,
+                    std::size_t num_servers = 0)
+{
+    try {
+        plan.validate(num_servers);
+        FAIL() << "expected validate() to reject a plan mentioning \""
+               << needle << "\"";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "error message was: " << e.what();
+    }
+}
+
+TEST(FaultPlanValidation, RejectsNegativeDurations)
+{
+    {
+        FaultPlan p;
+        p.crash_bursts.push_back({-kSecond, 0, 2, kSecond, 0});
+        expectValidateError(p, "crash_burst 0");
+    }
+    {
+        FaultPlan p;
+        p.crash_bursts.push_back({kSecond, -kSecond, 2, kSecond, 0});
+        expectValidateError(p, "window_us");
+    }
+    {
+        FaultPlan p;
+        p.crash_bursts.push_back({kSecond, 0, 0, kSecond, 0});
+        expectValidateError(p, "servers == 0");
+    }
+    {
+        FaultPlan p;
+        p.partitions.push_back({0, -kSecond, kSecond});
+        expectValidateError(p, "from_us");
+    }
+    {
+        FaultPlan p;
+        p.partitions.push_back({0, 2 * kSecond, kSecond});  // inverted
+        expectValidateError(p, "inverted");
+    }
+    {
+        FaultPlan p;
+        p.oom_kills.push_back({0, -kSecond});
+        expectValidateError(p, "oom_kill 0");
+    }
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeServers)
+{
+    {
+        FaultPlan p;
+        p.partitions.push_back({7, kSecond, kMinute});
+        p.validate();  // fine without a fleet size...
+        expectValidateError(p, "server 7", 4);  // ...not with
+    }
+    {
+        FaultPlan p;
+        p.oom_kills.push_back({9, kSecond});
+        p.validate();
+        expectValidateError(p, "server 9", 4);
+    }
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingCrashWindows)
+{
+    // Second crash lands inside the first downtime [5, 15) s.
+    FaultPlan p;
+    p.crashes.push_back({0, 5 * kSecond, 10 * kSecond});
+    p.crashes.push_back({0, 8 * kSecond, kSecond});
+    expectValidateError(p, "overlapping crash windows on server 0");
+}
+
+TEST(FaultPlanValidation, RejectsCrashAfterPermanentCrash)
+{
+    // The earlier crash never restarts; the later one would be
+    // silently absorbed by the open-ended outage.
+    FaultPlan p;
+    p.crashes.push_back({0, 5 * kSecond, 0});
+    p.crashes.push_back({0, 60 * kSecond, kSecond});
+    expectValidateError(p, "never restarts");
+}
+
+TEST(FaultPlanValidation, AcceptsBoundaryAndDisjointWindows)
+{
+    // Crash exactly at the restart instant (Failure lane delivers the
+    // restart first) and fully disjoint windows are both fine, in
+    // either declaration order.
+    FaultPlan p;
+    p.crashes.push_back({0, 8 * kSecond, 3 * kSecond});
+    p.crashes.push_back({0, 5 * kSecond, 3 * kSecond});
+    p.crashes.push_back({1, 6 * kSecond, kSecond});
+    p.validate(2);
+}
+
+TEST(FaultPlanValidation, ChecksBurstVictimsWhenFleetKnown)
+{
+    // A burst victim crashing inside an explicit crash's downtime must
+    // be caught — overlap checking runs over the expanded schedule.
+    FaultPlan p;
+    p.crashes.push_back({0, kSecond, kMinute});
+    CrashBurst burst;
+    burst.at_us = 10 * kSecond;
+    burst.window_us = 0;
+    burst.servers = 1;  // the only server: guaranteed collision
+    burst.restart_after_us = kSecond;
+    p.crash_bursts.push_back(burst);
+    expectValidateError(p, "overlapping crash windows", 1);
+}
+
+// --- Expanded fault model: burst expansion -------------------------------
+
+TEST(FaultPlanExpansion, NoBurstsExpandsToExplicitCrashes)
+{
+    FaultPlan p;
+    p.crashes.push_back({1, 5 * kSecond, kSecond});
+    p.crashes.push_back({0, 2 * kSecond, kSecond});
+    const auto expanded = p.expandedCrashes(4);
+    ASSERT_EQ(expanded.size(), 2u);
+    // Declaration order preserved, so fault-free-of-bursts plans keep
+    // their exact event sequence numbers.
+    EXPECT_EQ(expanded[0].server, 1u);
+    EXPECT_EQ(expanded[1].server, 0u);
+}
+
+TEST(FaultPlanExpansion, BurstPicksDistinctServersInWindow)
+{
+    FaultPlan p;
+    CrashBurst burst;
+    burst.at_us = 10 * kSecond;
+    burst.window_us = 2 * kSecond;
+    burst.servers = 3;
+    burst.restart_after_us = 5 * kSecond;
+    p.crash_bursts.push_back(burst);
+    const auto expanded = p.expandedCrashes(8);
+    ASSERT_EQ(expanded.size(), 3u);
+    std::vector<std::size_t> victims;
+    for (const CrashEvent& c : expanded) {
+        EXPECT_GE(c.at_us, 10 * kSecond);
+        EXPECT_LE(c.at_us, 12 * kSecond);
+        EXPECT_EQ(c.restart_after_us, 5 * kSecond);
+        EXPECT_LT(c.server, 8u);
+        victims.push_back(c.server);
+    }
+    std::sort(victims.begin(), victims.end());
+    EXPECT_EQ(std::unique(victims.begin(), victims.end()), victims.end())
+        << "burst victims must be distinct servers";
+}
+
+TEST(FaultPlanExpansion, ExpansionIsDeterministicAndSeedSensitive)
+{
+    FaultPlan p;
+    CrashBurst burst;
+    burst.at_us = kMinute;
+    burst.window_us = 10 * kSecond;
+    burst.servers = 4;
+    p.crash_bursts.push_back(burst);
+
+    const auto a = p.expandedCrashes(16);
+    const auto b = p.expandedCrashes(16);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].server, b[i].server);
+        EXPECT_EQ(a[i].at_us, b[i].at_us);
+    }
+
+    FaultPlan q = p;
+    q.crash_bursts[0].seed = 99;
+    const auto c = q.expandedCrashes(16);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs || a[i].server != c[i].server ||
+            a[i].at_us != c[i].at_us;
+    EXPECT_TRUE(differs) << "burst seed must steer the expansion";
+}
+
+TEST(FaultPlanExpansion, BurstClampsToFleetSize)
+{
+    FaultPlan p;
+    CrashBurst burst;
+    burst.at_us = kMinute;
+    burst.servers = 100;
+    p.crash_bursts.push_back(burst);
+    EXPECT_EQ(p.expandedCrashes(3).size(), 3u);
+}
+
+TEST(FaultPlanExpansion, CapacityLossIncludesBurstVictims)
+{
+    FaultPlan p;
+    CrashBurst burst;
+    burst.at_us = kMinute;
+    burst.window_us = 0;
+    burst.servers = 2;
+    burst.restart_after_us = kMinute;
+    p.crash_bursts.push_back(burst);
+    const auto windows = p.capacityLossWindows(4);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_DOUBLE_EQ(windows[0].available_fraction, 0.5);
+}
+
+// --- Expanded fault model: OOM kills -------------------------------------
+
+TEST(ServerFaults, OomKillAbortsFattestBusyContainer)
+{
+    // Two functions running concurrently; the kill at 0.5 s must pick
+    // the fat one and roll its start accounting back.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 2.0, 0.5));
+    t.addFunction(fn(1, 400, 2.0, 0.5));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, 0);
+    FaultPlan plan;
+    plan.oom_kills.push_back({0, 500 * kMillisecond});
+    const PlatformResult r = runWithPlan(t, config(4, 1'000), plan);
+    EXPECT_EQ(r.robustness.oom_kills, 1);
+    EXPECT_EQ(r.robustness.crash_aborted, 1);
+    // The fat function (id 1) lost its invocation; the small one kept
+    // running to completion.
+    EXPECT_EQ(r.per_function[1].dropped, 1);
+    EXPECT_EQ(r.per_function[1].served(), 0);
+    EXPECT_EQ(r.per_function[0].served(), 1);
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
+TEST(ServerFaults, OomKillWithNothingBusyIsNoOp)
+{
+    // The kill fires long after the only invocation finished.
+    Trace t("t");
+    t.addFunction(fn(0, 100, 1.0, 0.5));
+    t.addInvocation(0, 0);
+    FaultPlan plan;
+    plan.oom_kills.push_back({0, 20 * kSecond});
+    const PlatformResult r = runWithPlan(t, config(2, 1'000), plan);
+    EXPECT_EQ(r.robustness.oom_kills, 0);
+    EXPECT_EQ(r.served(), 1);
+}
+
+TEST(ServerFaults, OomKillFreesCoresForQueuedWork)
+{
+    // One core, a long-running fat invocation, a queued second request:
+    // the kill must release the core and let the queue drain.
+    Trace t("t");
+    t.addFunction(fn(0, 400, 60.0, 0.5));
+    t.addFunction(fn(1, 100, 1.0, 0.5));
+    t.addInvocation(0, 0);
+    t.addInvocation(1, kSecond);
+    ServerConfig cfg = config(1, 1'000);
+    cfg.queue_timeout_us = 60 * kSecond;
+    FaultPlan plan;
+    plan.oom_kills.push_back({0, 5 * kSecond});
+    const PlatformResult r = runWithPlan(t, cfg, plan);
+    EXPECT_EQ(r.robustness.oom_kills, 1);
+    EXPECT_EQ(r.per_function[0].served(), 0);
+    EXPECT_EQ(r.per_function[1].served(), 1);
+    EXPECT_EQ(r.total(),
+              static_cast<std::int64_t>(t.invocations().size()));
+}
+
 }  // namespace
 }  // namespace faascache
