@@ -12,11 +12,26 @@
  * crash-safety flags `--deadline-s X`, `--retries N`, and
  * `--ckpt PATH [--resume]` bound, retry, and checkpoint/resume the
  * sweep; failed cells render as ERR instead of aborting the table.
+ *
+ * `--streamed` compiles each subfigure's trace to a temporary
+ * `.ftrace` file and runs the grid on mmap-backed stream cells
+ * (DESIGN.md §4h) instead of materialized traces. The output — and the
+ * checkpoint journal, thanks to the portable workload fingerprint — is
+ * byte-identical to the default mode; CI's kill-and-resume smoke runs
+ * this mode to cover checkpoint/resume over streamed cells.
  */
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "core/policy_factory.h"
 #include "sim/sweep_runner.h"
+#include "trace/ftrace_format.h"
+#include "trace/invocation_source.h"
 #include "util/table.h"
 #include "workloads.h"
 
@@ -31,13 +46,22 @@ struct Subfigure
     std::vector<MemMb> sizes;
 };
 
+/** Cells for one subfigure; with a non-empty `ftrace_path` the cells
+ *  stream the compiled trace instead of holding the materialized one. */
 std::vector<SweepCell>
-cellsOf(const Subfigure& sub)
+cellsOf(const Subfigure& sub, const std::string& ftrace_path)
 {
     std::vector<SweepCell> cells;
     for (MemMb size_mb : sub.sizes) {
         for (PolicyKind kind : allPolicyKinds()) {
-            SweepCell cell = makeCell(sub.trace, kind, size_mb);
+            SweepCell cell = ftrace_path.empty()
+                ? makeCell(sub.trace, kind, size_mb)
+                : makeStreamCell(
+                      [ftrace_path]() {
+                          return std::make_unique<FtraceSource>(
+                              ftrace_path);
+                      },
+                      kind, size_mb);
             cell.sim.memory_sample_interval_us = 0;
             cells.push_back(std::move(cell));
         }
@@ -77,6 +101,11 @@ printSubfigure(const Subfigure& sub,
 int
 main(int argc, char** argv)
 {
+    bool streamed = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--streamed") == 0)
+            streamed = true;
+
     std::cout << "Figure 6: % cold starts (lower is better)\n\n";
     const Trace pop = bench::population();
     const Subfigure subfigures[] = {
@@ -88,15 +117,33 @@ main(int argc, char** argv)
          bench::smallMemorySweepMb()},
     };
 
+    // --streamed: compile each subfigure trace to a private temp
+    // .ftrace (pid-keyed so concurrent CI runs cannot collide) and
+    // sweep mmap-backed stream cells instead.
+    std::vector<std::string> ftrace_paths(std::size(subfigures));
+    if (streamed) {
+        for (std::size_t i = 0; i < std::size(subfigures); ++i) {
+            ftrace_paths[i] = "/tmp/fig6_stream_" +
+                std::to_string(getpid()) + "_" + std::to_string(i) +
+                ".ftrace";
+            TraceSource source(subfigures[i].trace);
+            writeFtraceFile(ftrace_paths[i], source);
+        }
+    }
+
     std::vector<SweepCell> cells;
-    for (const Subfigure& sub : subfigures) {
-        std::vector<SweepCell> sub_cells = cellsOf(sub);
+    for (std::size_t i = 0; i < std::size(subfigures); ++i) {
+        std::vector<SweepCell> sub_cells =
+            cellsOf(subfigures[i], ftrace_paths[i]);
         cells.insert(cells.end(),
                      std::make_move_iterator(sub_cells.begin()),
                      std::make_move_iterator(sub_cells.end()));
     }
     const SweepReport report =
         bench::runBenchSweep(cells, bench::parseBenchArgs(argc, argv));
+    for (const std::string& path : ftrace_paths)
+        if (!path.empty())
+            std::remove(path.c_str());
 
     std::size_t offset = 0;
     for (const Subfigure& sub : subfigures) {

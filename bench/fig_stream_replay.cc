@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Streaming-substrate memory/wall bench (DESIGN.md §4h, PR 9).
+ *
+ * Replays the fig6-style simulator grid, the fig8-style loaded server,
+ * and an oversized (>= 10x invocations) workload through BOTH trace
+ * shapes — the materialized Trace and the streamed `.ftrace` cursor —
+ * and reports wall-clock plus per-phase peak RSS. The headline claim
+ * this bench defends: streamed peak RSS is flat in trace length (the
+ * oversized streamed replay stays within ~1.1x of the small streamed
+ * replay), while the materialized shape grows with the invocation
+ * count.
+ *
+ * Peak RSS is measured per phase by resetting the kernel's VmHWM
+ * high-water mark (`echo 5 > /proc/self/clear_refs`) before the phase
+ * and reading VmHWM from /proc/self/status after it; where clear_refs
+ * is unavailable the monotonic getrusage(ru_maxrss) is reported and
+ * the JSON marks the degraded measurement. Streamed phases run before
+ * any workload is materialized so allocator retention of a big
+ * materialized heap can never flatter (or smear) the streamed numbers.
+ *
+ * Usage:
+ *   fig_stream_replay [--smoke] [--out PATH]
+ *
+ * Full mode regenerates the committed BENCH_PR9.json via
+ * scripts/run_benchmarks.sh; --smoke shrinks durations ~10x for the CI
+ * gate, which asserts the rss flatness ratio, not absolute sizes.
+ */
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "platform/experiment.h"
+#include "platform/server.h"
+#include "sim/simulator.h"
+#include "sim/sweep_runner.h"
+#include "trace/azure_model.h"
+#include "trace/ftrace_format.h"
+#include "trace/generated_source.h"
+#include "trace/invocation_source.h"
+#include "trace/trace.h"
+
+using namespace faascache;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Reset the kernel's peak-RSS high-water mark for this process.
+ *  @return false when /proc/self/clear_refs is unavailable. */
+bool
+resetPeakRss()
+{
+    std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+    if (f == nullptr)
+        return false;
+    const bool ok = std::fputs("5", f) >= 0;
+    std::fclose(f);
+    return ok;
+}
+
+/** Peak RSS in MB: VmHWM from /proc/self/status (resettable), falling
+ *  back to the monotonic getrusage high-water mark. */
+double
+peakRssMb(bool* from_hwm = nullptr)
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            if (from_hwm != nullptr)
+                *from_hwm = true;
+            return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+        }
+    }
+    if (from_hwm != nullptr)
+        *from_hwm = false;
+    struct rusage usage
+    {
+    };
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct Phase
+{
+    double wall_s = 0.0;
+    double peak_rss_mb = 0.0;
+    bool rss_resettable = false;
+};
+
+/** Run `body` as one measured phase (single rep: RSS, the headline
+ *  metric here, is deterministic; wall-clock is informational). */
+template <typename Body>
+Phase
+measure(const std::string& label, Body&& body)
+{
+    std::cerr << "fig_stream_replay: " << label << "...\n";
+    Phase phase;
+    phase.rss_resettable = resetPeakRss();
+    const double start = nowSeconds();
+    body();
+    phase.wall_s = nowSeconds() - start;
+    phase.peak_rss_mb = peakRssMb();
+    return phase;
+}
+
+struct BenchRow
+{
+    std::string name;
+    std::int64_t invocations = 0;
+    Phase streamed;
+    Phase materialized;
+};
+
+AzureModelConfig
+workloadConfig(bool smoke, bool oversized)
+{
+    AzureModelConfig config;
+    config.seed = deriveCellSeed(2026, oversized ? 9 : 8);
+    config.num_functions = 400;
+    // The oversized workload is the same population shape run 10x
+    // longer, so its invocation count is >= 10x the small one's.
+    const TimeUs base = smoke ? 6 * kMinute : kHour;
+    config.duration_us = oversized ? 10 * base : base;
+    config.iat_median_sec = 20.0;
+    config.max_rate_per_sec = 2.0;
+    config.mem_median_mb = 64.0;
+    config.mem_sigma = 0.7;
+    config.mem_max_mb = 512.0;
+    config.name = oversized ? "stream-bench-oversized"
+                            : "stream-bench-small";
+    return config;
+}
+
+/** Compile a workload to .ftrace by pure streaming (the invocation
+ *  vector is never built). @return invocations written. */
+std::size_t
+compileStreaming(const AzureModelConfig& config, const std::string& path)
+{
+    const auto source = makeAzureSource(config);
+    return writeFtraceFile(path, *source);
+}
+
+void
+simReplaySource(InvocationSource& source)
+{
+    SimulatorConfig config;
+    config.memory_mb = 6.0 * 1024.0;
+    const SimResult result =
+        simulateSource(source, makePolicy(PolicyKind::GreedyDual), config);
+    if (result.warm_starts < 0)
+        std::abort();  // defeat over-eager optimizers
+}
+
+void
+serverReplay(Server& server, auto&& workload)
+{
+    const PlatformResult result = server.run(workload);
+    if (result.served() < 0)
+        std::abort();
+}
+
+ServerConfig
+loadedServerConfig()
+{
+    ServerConfig config;
+    config.cores = 16;
+    config.memory_mb = 8.0 * 1024.0;
+    return config;
+}
+
+void
+writeJson(std::ostream& out, bool smoke,
+          const std::vector<BenchRow>& rows, double rss_flatness)
+{
+    char buffer[64];
+    const auto num = [&](double value) {
+        std::snprintf(buffer, sizeof buffer, "%.6g", value);
+        return std::string(buffer);
+    };
+    out << "{\n";
+    out << "  \"schema\": \"faascache-bench-pr9-v1\",\n";
+    out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+    out << "  \"rss_flatness_streamed_oversized_vs_small\": "
+        << num(rss_flatness) << ",\n";
+    out << "  \"benches\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const BenchRow& row = rows[i];
+        const auto phase = [&](const char* key, const Phase& p,
+                               bool last) {
+            out << "      \"" << key << "\": {\"wall_s\": "
+                << num(p.wall_s)
+                << ", \"peak_rss_mb\": " << num(p.peak_rss_mb)
+                << ", \"rss_resettable\": "
+                << (p.rss_resettable ? "true" : "false") << "}"
+                << (last ? "\n" : ",\n");
+        };
+        out << "    {\n";
+        out << "      \"name\": \"" << row.name << "\",\n";
+        out << "      \"invocations\": " << row.invocations << ",\n";
+        phase("streamed", row.streamed, false);
+        phase("materialized", row.materialized, true);
+        out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--smoke] [--out PATH]\n";
+            return 2;
+        }
+    }
+
+    const std::string dir = "/tmp/";
+    const std::string small_path = dir + "faascache_bench_small.ftrace";
+    const std::string big_path = dir + "faascache_bench_big.ftrace";
+    const AzureModelConfig small_config = workloadConfig(smoke, false);
+    const AzureModelConfig big_config = workloadConfig(smoke, true);
+
+    // Compile both workloads by streaming generation (untimed; nothing
+    // materialized yet).
+    std::cerr << "fig_stream_replay: compiling workloads...\n";
+    const std::size_t small_count =
+        compileStreaming(small_config, small_path);
+    const std::size_t big_count = compileStreaming(big_config, big_path);
+    std::cerr << "fig_stream_replay: small=" << small_count
+              << " oversized=" << big_count << " invocations ("
+              << static_cast<double>(big_count) /
+            static_cast<double>(small_count ? small_count : 1)
+              << "x)\n";
+
+    BenchRow fig6{"fig6_sim_small", static_cast<std::int64_t>(small_count),
+                  {}, {}};
+    BenchRow fig8{"fig8_server_small",
+                  static_cast<std::int64_t>(small_count), {}, {}};
+    BenchRow oversized{"oversized_sim",
+                       static_cast<std::int64_t>(big_count), {}, {}};
+
+    // All streamed phases run before any trace is materialized.
+    fig6.streamed = measure("fig6 streamed", [&] {
+        FtraceSource source(small_path);
+        simReplaySource(source);
+    });
+    fig8.streamed = measure("fig8 streamed", [&] {
+        FtraceSource source(small_path);
+        Server server(makePolicy(PolicyKind::GreedyDual),
+                      loadedServerConfig());
+        serverReplay(server, source);
+    });
+    oversized.streamed = measure("oversized streamed", [&] {
+        FtraceSource source(big_path);
+        simReplaySource(source);
+    });
+
+    // Materialized oracles of the same replays.
+    fig6.materialized = measure("fig6 materialized", [&] {
+        const Trace trace = generateAzureTrace(small_config);
+        TraceSource source(trace);
+        simReplaySource(source);
+    });
+    fig8.materialized = measure("fig8 materialized", [&] {
+        const Trace trace = generateAzureTrace(small_config);
+        Server server(makePolicy(PolicyKind::GreedyDual),
+                      loadedServerConfig());
+        serverReplay(server, trace);
+    });
+    oversized.materialized = measure("oversized materialized", [&] {
+        const Trace trace = generateAzureTrace(big_config);
+        TraceSource source(trace);
+        simReplaySource(source);
+    });
+
+    std::remove(small_path.c_str());
+    std::remove(big_path.c_str());
+
+    const double flatness = fig6.streamed.peak_rss_mb > 0
+        ? oversized.streamed.peak_rss_mb / fig6.streamed.peak_rss_mb
+        : 0.0;
+    const std::vector<BenchRow> rows = {fig6, fig8, oversized};
+    if (out_path.empty()) {
+        writeJson(std::cout, smoke, rows, flatness);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "fig_stream_replay: cannot write " << out_path
+                      << "\n";
+            return 1;
+        }
+        writeJson(out, smoke, rows, flatness);
+        std::cerr << "fig_stream_replay: wrote " << out_path << "\n";
+    }
+    for (const BenchRow& row : rows) {
+        std::fprintf(
+            stderr,
+            "  %-18s %9lld inv  streamed %7.1f MB / %6.2fs"
+            "  materialized %7.1f MB / %6.2fs\n",
+            row.name.c_str(), static_cast<long long>(row.invocations),
+            row.streamed.peak_rss_mb, row.streamed.wall_s,
+            row.materialized.peak_rss_mb, row.materialized.wall_s);
+    }
+    std::fprintf(stderr,
+                 "  rss flatness (oversized streamed / small streamed): "
+                 "%.3fx\n",
+                 flatness);
+    return 0;
+}

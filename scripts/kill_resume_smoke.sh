@@ -81,14 +81,18 @@ if [ $# -ge 1 ]; then
     exit $?
 fi
 
-# Default: one sim-sweep bench, two platform-sweep benches (fig7, plus
-# fig8 whose overloaded single invoker exercises the dense platform
-# hot path under checkpointing), and one cluster-sweep bench
-# (fig_overload, whose cells carry the overload counters), so every
-# checkpoint flavour gets the SIGKILL treatment.
+# Default: one sim-sweep bench (in both trace shapes: materialized,
+# then --streamed mmap-backed .ftrace cells whose portable workload
+# fingerprint must survive the SIGKILL/resume cycle), two
+# platform-sweep benches (fig7, plus fig8 whose overloaded single
+# invoker exercises the dense platform hot path under checkpointing),
+# and one cluster-sweep bench (fig_overload, whose cells carry the
+# overload counters), so every checkpoint flavour gets the SIGKILL
+# treatment.
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 STATUS=0
 smoke_one "$ROOT/build/bench/fig6_cold_starts" --jobs 2 || STATUS=1
+smoke_one "$ROOT/build/bench/fig6_cold_starts" --streamed --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig7_skewed_workloads" --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig8_server_load" --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig_overload" --smoke --jobs 2 || STATUS=1

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Perf-regression harness driver (PR 5 pool rebuild, PR 7 platform rebuild).
+# Perf-regression harness driver (PR 5 pool rebuild, PR 7 platform
+# rebuild, PR 9 streaming trace substrate).
 #
-# Full mode (default) regenerates the committed baseline:
+# Full mode (default) regenerates the committed baselines:
 #   scripts/run_benchmarks.sh [build-dir]
 #     -> runs build/bench/perf_harness --reps 3 --out BENCH_PR7.json
+#     -> runs build/bench/fig_stream_replay --out BENCH_PR9.json
 #
 # Smoke mode is the CI gate:
 #   scripts/run_benchmarks.sh --smoke [build-dir]
@@ -13,6 +15,11 @@
 #        reference backend is the pre-PR data structure, timed in the
 #        same process), so a slower CI box cancels out and only a real
 #        relative regression trips the gate.
+#     -> runs a reduced fig_stream_replay pass and asserts the PR 9
+#        memory contract: streamed peak RSS on the oversized (>= 10x)
+#        trace stays within RSS_FLATNESS_MAX (default 1.1) x the small
+#        streamed replay's peak RSS. The ratio is trace-length
+#        flatness, so it is machine- and mode-invariant.
 #
 # A bench regresses when its smoke speedup drops below
 # (1 - TOLERANCE) x the baseline speedup. Benches present only in the
@@ -28,17 +35,54 @@ if [ "${1:-}" = "--smoke" ]; then
 fi
 BUILD_DIR=${1:-"$ROOT/build"}
 HARNESS="$BUILD_DIR/bench/perf_harness"
+STREAM_HARNESS="$BUILD_DIR/bench/fig_stream_replay"
 BASELINE="$ROOT/BENCH_PR7.json"
+STREAM_BASELINE="$ROOT/BENCH_PR9.json"
 TOLERANCE=${TOLERANCE:-0.25}
+RSS_FLATNESS_MAX=${RSS_FLATNESS_MAX:-1.1}
 
-if [ ! -x "$HARNESS" ]; then
-    echo "run_benchmarks: $HARNESS missing; build it first:" >&2
-    echo "  cmake -B build -S . && cmake --build build --target perf_harness" >&2
+if [ ! -x "$HARNESS" ] || [ ! -x "$STREAM_HARNESS" ]; then
+    echo "run_benchmarks: $HARNESS or $STREAM_HARNESS missing; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build --target perf_harness fig_stream_replay" >&2
     exit 2
 fi
 
+check_rss_flatness() {
+    python3 - "$1" "$RSS_FLATNESS_MAX" <<'EOF'
+import json
+import sys
+
+path, ceiling = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    report = json.load(f)
+flatness = report["rss_flatness_streamed_oversized_vs_small"]
+rows = {b["name"]: b for b in report["benches"]}
+small = rows["fig6_sim_small"]
+big = rows["oversized_sim"]
+scale = big["invocations"] / max(1, small["invocations"])
+print(f"stream replay: oversized trace is {scale:.1f}x the small one")
+print(f"stream replay: streamed peak RSS {small['streamed']['peak_rss_mb']:.1f} MB"
+      f" (small) -> {big['streamed']['peak_rss_mb']:.1f} MB (oversized),"
+      f" flatness {flatness:.3f}x (ceiling {ceiling}x)")
+if scale < 10.0:
+    print("run_benchmarks: oversized trace is under 10x", file=sys.stderr)
+    sys.exit(1)
+if not small["streamed"]["rss_resettable"]:
+    print("run_benchmarks: VmHWM reset unavailable; RSS gate skipped")
+    sys.exit(0)
+if flatness > ceiling:
+    print(f"run_benchmarks: streamed RSS is not flat ({flatness:.3f}x)",
+          file=sys.stderr)
+    sys.exit(1)
+print("run_benchmarks: streamed RSS flat across trace length")
+EOF
+}
+
 if [ "$SMOKE" -eq 0 ]; then
-    exec "$HARNESS" --reps 3 --out "$BASELINE"
+    "$HARNESS" --reps 3 --out "$BASELINE" || exit 1
+    "$STREAM_HARNESS" --out "$STREAM_BASELINE" || exit 1
+    check_rss_flatness "$STREAM_BASELINE" || exit 1
+    exit 0
 fi
 
 if [ ! -f "$BASELINE" ]; then
@@ -48,7 +92,11 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 SMOKE_OUT=$(mktemp /tmp/bench_pr7_smoke.XXXXXX.json)
-trap 'rm -f "$SMOKE_OUT"' EXIT
+STREAM_SMOKE_OUT=$(mktemp /tmp/bench_pr9_smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE_OUT" "$STREAM_SMOKE_OUT"' EXIT
+
+"$STREAM_HARNESS" --smoke --out "$STREAM_SMOKE_OUT" || exit 1
+check_rss_flatness "$STREAM_SMOKE_OUT" || exit 1
 
 "$HARNESS" --smoke --reps 2 --out "$SMOKE_OUT" || exit 1
 

@@ -54,6 +54,24 @@ computeReuseDistances(const Trace& trace)
 }
 
 std::vector<double>
+computeReuseDistances(InvocationSource& source)
+{
+    source.reset();
+    std::vector<FunctionId> accesses;
+    const SourceCountHint hint = source.countHint();
+    accesses.reserve(hint.count);
+    Invocation inv;
+    while (source.next(inv))
+        accesses.push_back(inv.function);
+    source.reset();
+    std::vector<MemMb> sizes;
+    sizes.reserve(source.functions().size());
+    for (const auto& fn : source.functions())
+        sizes.push_back(fn.mem_mb);
+    return computeReuseDistancesOf(accesses, sizes);
+}
+
+std::vector<double>
 computeReuseDistancesNaive(const Trace& trace)
 {
     const auto& invocations = trace.invocations();

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "trace/invocation_source.h"
 #include "trace/trace.h"
 #include "util/types.h"
 
@@ -29,6 +30,15 @@ constexpr bool isFiniteReuseDistance(double d) { return d >= 0.0; }
  * O(N log N) via a Fenwick tree over invocation positions.
  */
 std::vector<double> computeReuseDistances(const Trace& trace);
+
+/**
+ * Streaming overload: one pass over the source (reset before and
+ * after). Identical output to the Trace overload on the materialized
+ * equivalent. Note the result is still O(N) doubles — reuse-distance
+ * *storage* is inherently per-invocation; only the trace itself stays
+ * out of memory.
+ */
+std::vector<double> computeReuseDistances(InvocationSource& source);
 
 /**
  * Reference implementation scanning all intermediate invocations per

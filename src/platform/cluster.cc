@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "engine/event_engine.h"
 #include "sim/sweep_runner.h"
@@ -163,6 +164,155 @@ primaryTargets(const Trace& trace, const ClusterConfig& config)
     return targets;
 }
 
+/**
+ * Streaming replacement for primaryTargets(): the balancer's primary
+ * for each arrival, computed in stream order with the exact draw
+ * sequence of the materialized path. RoundRobin and FunctionHash
+ * primaries are pure functions of (index, function) and cost nothing
+ * to recall later; Random primaries are sequential RNG draws, so when
+ * `record` is set each draw is kept (4 bytes/arrival) for the crash
+ * fallout's recall — the one deliberate O(stream) allowance of the
+ * streamed cluster (documented on runCluster).
+ */
+class PrimaryTracker
+{
+  public:
+    PrimaryTracker(const ClusterConfig& config, bool record)
+        : config_(&config), rng_(config.seed), record_(record)
+    {
+    }
+
+    /** Primary of the next arrival; call once per arrival, in order. */
+    std::size_t onArrival(std::size_t index, const Invocation& inv)
+    {
+        switch (config_->balancing) {
+          case LoadBalancing::Random: {
+            const auto draw = static_cast<std::size_t>(
+                rng_.uniformInt(config_->num_servers));
+            if (record_)
+                draws_.push_back(static_cast<std::uint32_t>(draw));
+            return draw;
+          }
+          case LoadBalancing::RoundRobin:
+            return index % config_->num_servers;
+          case LoadBalancing::FunctionHash:
+            break;
+        }
+        return static_cast<std::size_t>(
+            Rng::hashMix(inv.function ^ config_->seed) %
+            config_->num_servers);
+    }
+
+    /** Primary of an already-seen arrival. @pre record was set for
+     *  Random balancing. */
+    std::size_t recall(std::size_t index, const Invocation& inv) const
+    {
+        switch (config_->balancing) {
+          case LoadBalancing::Random:
+            return draws_.at(index);
+          case LoadBalancing::RoundRobin:
+            return index % config_->num_servers;
+          case LoadBalancing::FunctionHash:
+            break;
+        }
+        return static_cast<std::size_t>(
+            Rng::hashMix(inv.function ^ config_->seed) %
+            config_->num_servers);
+    }
+
+  private:
+    const ClusterConfig* config_;
+    Rng rng_;
+    bool record_;
+    std::vector<std::uint32_t> draws_;
+};
+
+/**
+ * The sub-stream server `server` would receive from the balancer: a
+ * filter view over the shared source that consumes one balancer draw
+ * per inner invocation (in stream order, so every pass replays the
+ * identical draw sequence) and emits only the invocations routed to
+ * this server. Streaming analogue of runClusterSplit()'s shards —
+ * function ids pass through untouched, every shard keeps the full
+ * catalog. Non-owning; reset() rewinds the shared source.
+ */
+class BalancerFilterSource final : public InvocationSource
+{
+  public:
+    BalancerFilterSource(InvocationSource& inner,
+                         const ClusterConfig& config, std::size_t server,
+                         std::size_t exact_count)
+        : inner_(&inner), config_(&config), server_(server),
+          exact_count_(exact_count),
+          name_(inner.name() + "-server" + std::to_string(server)),
+          tracker_(config, /*record=*/false)
+    {
+    }
+
+    const std::string& name() const override { return name_; }
+
+    const std::vector<FunctionSpec>& functions() const override
+    {
+        return inner_->functions();
+    }
+
+    bool peek(Invocation& out) override
+    {
+        if (!settle())
+            return false;
+        out = pending_;
+        return true;
+    }
+
+    bool next(Invocation& out) override
+    {
+        if (!settle())
+            return false;
+        out = pending_;
+        has_pending_ = false;
+        return true;
+    }
+
+    void reset() override
+    {
+        inner_->reset();
+        tracker_ = PrimaryTracker(*config_, /*record=*/false);
+        index_ = 0;
+        has_pending_ = false;
+    }
+
+    SourceCountHint countHint() const override
+    {
+        return SourceCountHint{exact_count_, true};
+    }
+
+  private:
+    /** Consume inner arrivals (and their draws) until one is ours. */
+    bool settle()
+    {
+        while (!has_pending_) {
+            Invocation inv;
+            if (!inner_->next(inv))
+                return false;
+            if (tracker_.onArrival(index_++, inv) == server_) {
+                pending_ = inv;
+                has_pending_ = true;
+            }
+        }
+        return true;
+    }
+
+    InvocationSource* inner_;
+    const ClusterConfig* config_;
+    std::size_t server_;
+    std::size_t exact_count_;
+    std::string name_;
+    PrimaryTracker tracker_;
+    std::size_t index_ = 0;
+    Invocation pending_;
+    bool has_pending_ = false;
+};
+
 /** Independent-server replay (the original, fault-free fast path). */
 ClusterResult
 runClusterSplit(const Trace& trace, PolicyKind kind,
@@ -201,6 +351,37 @@ runClusterSplit(const Trace& trace, PolicyKind kind,
 }
 
 /**
+ * Streamed independent-server replay: one counting pass replays the
+ * balancer to size each shard, then every server consumes its
+ * balancer-filter view of the shared source — n+1 passes over the
+ * stream, zero materialization.
+ */
+ClusterResult
+runClusterSplitStreamed(InvocationSource& source, PolicyKind kind,
+                        const ClusterConfig& config,
+                        const PolicyConfig& policy_config)
+{
+    source.reset();
+    std::vector<std::size_t> shard_sizes(config.num_servers, 0);
+    {
+        PrimaryTracker tracker(config, /*record=*/false);
+        std::size_t index = 0;
+        Invocation inv;
+        while (source.next(inv))
+            ++shard_sizes[tracker.onArrival(index++, inv)];
+    }
+
+    ClusterResult result;
+    result.servers.reserve(config.num_servers);
+    for (std::size_t s = 0; s < config.num_servers; ++s) {
+        BalancerFilterSource shard(source, config, s, shard_sizes[s]);
+        Server server(makePolicy(kind, policy_config), config.server);
+        result.servers.push_back(server.run(shard));
+    }
+    return result;
+}
+
+/**
  * Front-end event of the health-aware simulation.
  * payload/payload2 carry: Dispatch — invocation index / attempt number;
  * Crash — expanded-crash-schedule index; Restart — rejoining server
@@ -215,9 +396,12 @@ enum class FrontEndEvent
 };
 
 /**
- * Interleaved health-aware simulation: one global front-end event loop
- * feeding incremental servers, with crash fallout re-dispatched under
- * the failover policy.
+ * Interleaved health-aware simulation, Reference backend: one global
+ * front-end event loop feeding incremental servers, with every
+ * attempt-0 dispatch prescheduled in the heap by trace index and crash
+ * fallout re-dispatched under the failover policy. The Dense backend
+ * runs runClusterFaultAwareStreamed() instead; this path is the
+ * differential-testing oracle it is compared against.
  */
 ClusterResult
 runClusterFaultAware(const Trace& trace, PolicyKind kind,
@@ -251,53 +435,22 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
         servers.back()->begin(trace);
     }
 
-    const bool dense =
-        config.server.platform_backend == PlatformBackend::Dense;
-
     EventCore<FrontEndEvent> events;
     events.bindCancellation(config.server.cancel);
     events.bindAuditor(audit);
     const std::vector<std::size_t> primaries =
         primaryTargets(trace, config);
-    if (dense) {
-        // Attempt-0 dispatches are delivered straight off the sorted
-        // trace by the cursor merge below; only the fault plan is
-        // scheduled up front (retries and restarts arrive at runtime).
-        events.reserve(crashes.size() + ooms.size() + 64);
-        std::vector<EventBatchItem<FrontEndEvent>> setup;
-        setup.reserve(std::max(crashes.size(), ooms.size()));
-        for (std::size_t k = 0; k < crashes.size(); ++k) {
-            EventBatchItem<FrontEndEvent> item;
-            item.time_us = crashes[k].at_us;
-            item.kind = FrontEndEvent::Crash;
-            item.payload = k;
-            setup.push_back(item);
-        }
-        events.scheduleBatch(setup, EventLane::Failure);
-        setup.clear();
-        for (std::size_t k = 0; k < ooms.size(); ++k) {
-            EventBatchItem<FrontEndEvent> item;
-            item.time_us = ooms[k].at_us;
-            item.kind = FrontEndEvent::OomKill;
-            item.payload = k;
-            setup.push_back(item);
-        }
-        events.scheduleBatch(setup, EventLane::Failure);
-    } else {
-        events.reserve(trace.invocations().size() + crashes.size() +
-                       ooms.size());
-        for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
-            events.schedule(trace.invocations()[i].arrival_us,
-                            FrontEndEvent::Dispatch, i);
-        }
-        for (std::size_t k = 0; k < crashes.size(); ++k) {
-            events.scheduleFailure(crashes[k].at_us,
-                                   FrontEndEvent::Crash, k);
-        }
-        for (std::size_t k = 0; k < ooms.size(); ++k) {
-            events.scheduleFailure(ooms[k].at_us,
-                                   FrontEndEvent::OomKill, k);
-        }
+    events.reserve(trace.invocations().size() + crashes.size() +
+                   ooms.size());
+    for (std::size_t i = 0; i < trace.invocations().size(); ++i) {
+        events.schedule(trace.invocations()[i].arrival_us,
+                        FrontEndEvent::Dispatch, i);
+    }
+    for (std::size_t k = 0; k < crashes.size(); ++k) {
+        events.scheduleFailure(crashes[k].at_us, FrontEndEvent::Crash, k);
+    }
+    for (std::size_t k = 0; k < ooms.size(); ++k) {
+        events.scheduleFailure(ooms[k].at_us, FrontEndEvent::OomKill, k);
     }
 
     // Per-server partition windows with a monotonic cursor each:
@@ -389,28 +542,8 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
                         static_cast<std::uint64_t>(attempts[index]));
     };
 
-    // Dense cursor merge over the sorted trace: the reference setup
-    // hands attempt-0 dispatches the lowest sequence numbers (0..N-1),
-    // so at any shared timestamp they deliver before every retry,
-    // restart, and (Failure-lane) crash — "arrival wins all ties"
-    // reproduces the reference front-end order exactly. The reference
-    // backend keeps cursor at N so only the heap drives its loop.
-    const auto& arrivals = trace.invocations();
-    std::size_t cursor = dense ? 0 : arrivals.size();
-    while (cursor < arrivals.size() || !events.empty()) {
-        EngineEvent<FrontEndEvent> event;
-        if (cursor < arrivals.size() &&
-            (events.empty() ||
-             arrivals[cursor].arrival_us <= events.nextTime())) {
-            if (config.server.cancel != nullptr)
-                config.server.cancel->throwIfCancelled();
-            event.time_us = arrivals[cursor].arrival_us;
-            event.kind = FrontEndEvent::Dispatch;
-            event.payload = cursor;
-            ++cursor;
-        } else {
-            event = events.pop();
-        }
+    while (!events.empty()) {
+        const EngineEvent<FrontEndEvent> event = events.pop();
         const TimeUs now = event.time_us;
         last_event_us = std::max(last_event_us, now);
         // Settle all servers so queue depths and health are current.
@@ -458,10 +591,11 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
             }
             // Everything the crash spilled goes back to the front end,
             // spending the crashed server's retry budget.
-            for (std::size_t index : fallout.aborted)
-                scheduleRetry(index, now, ce.server);
-            for (std::size_t index : fallout.flushed_queue)
-                scheduleRetry(index, now, ce.server);
+            for (const Server::SpilledRequest& spilled : fallout.aborted)
+                scheduleRetry(spilled.invocation_index, now, ce.server);
+            for (const Server::SpilledRequest& spilled :
+                 fallout.flushed_queue)
+                scheduleRetry(spilled.invocation_index, now, ce.server);
             break;
           }
           case FrontEndEvent::Restart: {
@@ -481,7 +615,7 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
             // The aborted invocation goes back to the front end like
             // crash fallout, debiting the killing server's budget.
             if (aborted.has_value())
-                scheduleRetry(*aborted, now, oe.server);
+                scheduleRetry(aborted->invocation_index, now, oe.server);
             break;
           }
           case FrontEndEvent::Dispatch: {
@@ -578,6 +712,349 @@ runClusterFaultAware(const Trace& trace, PolicyKind kind,
     return result;
 }
 
+/**
+ * Interleaved health-aware simulation, Dense backend: the front-end
+ * loop merges the arrival cursor against its event heap with "arrival
+ * wins all ties" (the reference setup hands attempt-0 dispatches the
+ * lowest sequence numbers, so at any shared timestamp they deliver
+ * before every retry, restart, and Failure-lane crash), servers are
+ * driven through the catalog begin() and the Invocation-carrying
+ * offer(), and per-request retry state lives in a sparse map keyed by
+ * stream index — only requests actually spilled by a fault ever
+ * allocate an entry. Decision-for-decision identical to
+ * runClusterFaultAware(), which platform_differential_test enforces.
+ */
+ClusterResult
+runClusterFaultAwareStreamed(InvocationSource& source, PolicyKind kind,
+                             const ClusterConfig& config,
+                             const PolicyConfig& policy_config)
+{
+    const std::size_t n = config.num_servers;
+    const FailoverConfig& failover = config.failover;
+
+    // One expansion of the crash schedule (explicit crashes + burst
+    // victims) shared by the front end and every injector, so a burst
+    // victim's self-view matches the front end's plan.
+    const std::vector<CrashEvent> crashes =
+        config.faults.expandedCrashes(n);
+    const std::vector<OomKillEvent>& ooms = config.faults.oom_kills;
+
+    Auditor* audit =
+        config.server.audit != nullptr && config.server.audit->enabled()
+        ? config.server.audit
+        : nullptr;
+
+    source.reset();
+    const std::vector<FunctionSpec>& catalog = source.functions();
+    const SourceCountHint hint = source.countHint();
+
+    std::vector<FaultInjector> injectors;
+    injectors.reserve(n);
+    std::vector<std::unique_ptr<Server>> servers;
+    servers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        injectors.emplace_back(config.faults, s, n);
+        servers.push_back(std::make_unique<Server>(
+            makePolicy(kind, policy_config), config.server));
+        servers.back()->setFaultInjector(&injectors[s]);
+        // Sizing hint only: each server sees roughly 1/n of the stream.
+        servers.back()->begin(catalog, hint.count / n + 16);
+    }
+
+    EventCore<FrontEndEvent> events;
+    events.bindCancellation(config.server.cancel);
+    events.bindAuditor(audit);
+    // Attempt-0 dispatches are delivered straight off the sorted stream
+    // by the cursor merge below; only the fault plan is scheduled up
+    // front (retries and restarts arrive at runtime).
+    events.reserve(crashes.size() + ooms.size() + 64);
+    std::vector<EventBatchItem<FrontEndEvent>> setup;
+    setup.reserve(std::max(crashes.size(), ooms.size()));
+    for (std::size_t k = 0; k < crashes.size(); ++k) {
+        EventBatchItem<FrontEndEvent> item;
+        item.time_us = crashes[k].at_us;
+        item.kind = FrontEndEvent::Crash;
+        item.payload = k;
+        setup.push_back(item);
+    }
+    events.scheduleBatch(setup, EventLane::Failure);
+    setup.clear();
+    for (std::size_t k = 0; k < ooms.size(); ++k) {
+        EventBatchItem<FrontEndEvent> item;
+        item.time_us = ooms[k].at_us;
+        item.kind = FrontEndEvent::OomKill;
+        item.payload = k;
+        setup.push_back(item);
+    }
+    events.scheduleBatch(setup, EventLane::Failure);
+
+    // Per-server partition windows with a monotonic cursor each (see
+    // runClusterFaultAware).
+    std::vector<std::vector<PartitionWindow>> partition_windows(n);
+    std::vector<std::size_t> partition_cursor(n, 0);
+    for (std::size_t s = 0; s < n; ++s)
+        partition_windows[s] = config.faults.partitionsFor(s);
+    auto partitioned = [&](std::size_t s, TimeUs now) {
+        const auto& wins = partition_windows[s];
+        std::size_t& cur = partition_cursor[s];
+        while (cur < wins.size() && wins[cur].until_us <= now)
+            ++cur;
+        return cur < wins.size() && wins[cur].from_us <= now;
+    };
+
+    ClusterResult result;
+    std::vector<char> down(n, 0);
+    TimeUs last_event_us = 0;
+
+    // Retry state, sparse: the reference path's attempts array and
+    // trace lookups collapse into one map entry per request spilled at
+    // least once — everything else streams through untouched.
+    struct RetryEntry
+    {
+        Invocation inv;
+        int attempts = 0;
+    };
+    std::unordered_map<std::size_t, RetryEntry> retry_state;
+
+    PrimaryTracker primaries(config, /*record=*/true);
+
+    std::vector<RetryBudget> budgets(
+        n, RetryBudget(failover.retry_budget));
+    std::vector<CircuitBreaker> breakers(
+        n, CircuitBreaker(failover.breaker));
+    std::vector<std::int64_t> seen_failures(n, 0);
+    std::vector<std::int64_t> seen_successes(n, 0);
+    const bool breaker_on = failover.breaker.enabled();
+    auto observeServer = [&](std::size_t s, TimeUs now) {
+        const std::int64_t failures = servers[s]->spawnFailureCount() +
+            servers[s]->queueTimeoutDropCount();
+        const std::int64_t successes = servers[s]->spawnSuccessCount() +
+            servers[s]->warmStartCount();
+        for (; seen_failures[s] < failures; ++seen_failures[s])
+            breakers[s].recordFailure(now);
+        for (; seen_successes[s] < successes; ++seen_successes[s])
+            breakers[s].recordSuccess(now);
+    };
+
+    const std::uint64_t jitter_base =
+        deriveCellSeed(config.seed, 0xBACC0FFEULL);
+
+    // Identical decision sequence to the reference scheduleRetry; the
+    // invocation rides in instead of being looked up in the trace.
+    auto scheduleRetry = [&](std::size_t index, const Invocation& inv,
+                             TimeUs now, std::size_t provoker) {
+        RetryEntry& entry = retry_state[index];
+        entry.inv = inv;
+        if (entry.attempts >= failover.max_retries) {
+            ++result.failed_requests;
+            return;
+        }
+        if (!budgets[provoker].trySpend()) {
+            ++result.failed_requests;
+            ++result.retry_budget_exhausted;
+            return;
+        }
+        const int shift = std::min(entry.attempts, 20);
+        TimeUs backoff = failover.base_backoff_us << shift;
+        if (failover.backoff_jitter_frac > 0.0) {
+            const std::uint64_t draw = deriveCellSeed(
+                jitter_base,
+                (static_cast<std::uint64_t>(index) << 8) |
+                    (static_cast<std::uint64_t>(entry.attempts) & 0xff));
+            const auto span = static_cast<std::uint64_t>(
+                static_cast<double>(backoff) *
+                failover.backoff_jitter_frac) + 1;
+            backoff += static_cast<TimeUs>(draw % span);
+        }
+        const TimeUs at = now + backoff;
+        if (at - inv.arrival_us > failover.request_timeout_us) {
+            ++result.failed_requests;
+            return;
+        }
+        ++entry.attempts;
+        ++result.retries;
+        events.schedule(at, FrontEndEvent::Dispatch, index,
+                        static_cast<std::uint64_t>(entry.attempts));
+    };
+
+    std::size_t cursor_index = 0;
+    TimeUs last_arrival = 0;
+    Invocation arr;
+    for (;;) {
+        const bool have_arrival = source.peek(arr);
+        if (!have_arrival && events.empty())
+            break;
+        EngineEvent<FrontEndEvent> event;
+        Invocation dispatch_inv;
+        bool from_cursor = false;
+        if (have_arrival &&
+            (events.empty() || arr.arrival_us <= events.nextTime())) {
+            if (config.server.cancel != nullptr)
+                config.server.cancel->throwIfCancelled();
+            source.next(dispatch_inv);
+            if (dispatch_inv.arrival_us < last_arrival) {
+                throw std::runtime_error(
+                    "runCluster: source arrivals out of order (" +
+                    std::to_string(dispatch_inv.arrival_us) + " after " +
+                    std::to_string(last_arrival) + ")");
+            }
+            if (dispatch_inv.function >= catalog.size()) {
+                throw std::runtime_error(
+                    "runCluster: source function id " +
+                    std::to_string(dispatch_inv.function) +
+                    " out of range (catalog " +
+                    std::to_string(catalog.size()) + ")");
+            }
+            last_arrival = dispatch_inv.arrival_us;
+            event.time_us = dispatch_inv.arrival_us;
+            event.kind = FrontEndEvent::Dispatch;
+            event.payload = cursor_index++;
+            from_cursor = true;
+        } else {
+            event = events.pop();
+        }
+        const TimeUs now = event.time_us;
+        last_event_us = std::max(last_event_us, now);
+        // Settle all servers so queue depths and health are current.
+        for (std::size_t s = 0; s < n; ++s) {
+            servers[s]->advanceTo(now);
+            if (breaker_on)
+                observeServer(s, now);
+        }
+        if (audit != nullptr) {
+            for (std::size_t s = 0; s < n; ++s) {
+                const double tokens = budgets[s].tokens();
+                audit->require(
+                    tokens >= -1e-9 &&
+                        tokens <= failover.retry_budget.burst + 1e-9,
+                    "retry-budget-bounds", now,
+                    static_cast<std::int64_t>(s),
+                    "retry tokens outside [0, burst]");
+                audit->require(
+                    breakers[s].closes() <= breakers[s].opens(),
+                    "breaker-transitions", now,
+                    static_cast<std::int64_t>(s),
+                    "more closes than opens");
+            }
+        }
+
+        switch (event.kind) {
+          case FrontEndEvent::Crash: {
+            const CrashEvent& ce =
+                crashes[static_cast<std::size_t>(event.payload)];
+            if (down[ce.server])
+                break;
+            const Server::CrashFallout fallout =
+                servers[ce.server]->crash(now);
+            down[ce.server] = 1;
+            if (ce.restart_after_us > 0) {
+                events.schedule(now + ce.restart_after_us,
+                                FrontEndEvent::Restart, ce.server);
+            }
+            for (const Server::SpilledRequest& spilled : fallout.aborted)
+                scheduleRetry(spilled.invocation_index, spilled.inv, now,
+                              ce.server);
+            for (const Server::SpilledRequest& spilled :
+                 fallout.flushed_queue)
+                scheduleRetry(spilled.invocation_index, spilled.inv, now,
+                              ce.server);
+            break;
+          }
+          case FrontEndEvent::Restart: {
+            const auto server = static_cast<std::size_t>(event.payload);
+            servers[server]->restart(now);
+            down[server] = 0;
+            break;
+          }
+          case FrontEndEvent::OomKill: {
+            const OomKillEvent& oe =
+                ooms[static_cast<std::size_t>(event.payload)];
+            if (down[oe.server])
+                break;
+            const auto aborted = servers[oe.server]->oomKill(now);
+            if (aborted.has_value())
+                scheduleRetry(aborted->invocation_index, aborted->inv,
+                              now, oe.server);
+            break;
+          }
+          case FrontEndEvent::Dispatch: {
+            const auto index = static_cast<std::size_t>(event.payload);
+            const int attempt = static_cast<int>(event.payload2);
+            // Heap dispatches are always retries (attempt >= 1): the
+            // cursor merge never schedules attempt 0 there.
+            const Invocation inv =
+                from_cursor ? dispatch_inv : retry_state.at(index).inv;
+            const std::size_t primary = from_cursor
+                ? primaries.onArrival(index, inv)
+                : primaries.recall(index, inv);
+            const std::size_t start =
+                (primary + static_cast<std::size_t>(attempt)) % n;
+            std::size_t chosen = n;
+            bool any_healthy = false;
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t s = (start + k) % n;
+                if (down[s])
+                    continue;
+                if (partitioned(s, now)) {
+                    ++result.partition_unreachable;
+                    continue;
+                }
+                if (!breakers[s].allowRequest(now))
+                    continue;
+                any_healthy = true;
+                if (failover.shed_queue_depth > 0 &&
+                    servers[s]->queueDepth() >=
+                        failover.shed_queue_depth) {
+                    continue;
+                }
+                chosen = s;
+                break;
+            }
+            if (chosen == n) {
+                if (any_healthy) {
+                    ++result.shed_requests;
+                } else {
+                    scheduleRetry(index, inv, now, primary);
+                }
+                break;
+            }
+            if (chosen != primary)
+                ++result.failovers;
+            if (attempt == 0)
+                budgets[chosen].onFreshArrival();
+            servers[chosen]->offer(index, inv, now,
+                                   /*redispatched=*/attempt > 0);
+            break;
+          }
+        }
+    }
+
+    const TimeUs horizon = last_event_us + config.server.queue_timeout_us;
+
+    result.servers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        result.servers.push_back(servers[s]->finish(horizon));
+        result.breaker_opens += breakers[s].opens();
+        result.breaker_closes += breakers[s].closes();
+        result.breaker_probes += breakers[s].probes();
+    }
+    if (audit != nullptr) {
+        // Fleet-wide request conservation over the stream length.
+        std::int64_t terminal =
+            result.shed_requests + result.failed_requests;
+        for (const PlatformResult& s : result.servers)
+            terminal += s.served() + s.dropped();
+        const auto expected = static_cast<std::int64_t>(cursor_index);
+        if (terminal != expected) {
+            audit->fail("fleet-conservation", horizon, -1,
+                        "stream invocations " + std::to_string(expected) +
+                            " != shed + failed + sum(served + dropped) " +
+                            std::to_string(terminal));
+        }
+    }
+    return result;
+}
+
 }  // namespace
 
 ClusterResult
@@ -593,7 +1070,33 @@ runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
         !config.failover.retry_budget.enabled() &&
         !config.failover.breaker.enabled())
         return runClusterSplit(trace, kind, config, policy_config);
-    return runClusterFaultAware(trace, kind, config, policy_config);
+    if (config.server.platform_backend == PlatformBackend::Reference)
+        return runClusterFaultAware(trace, kind, config, policy_config);
+    // Dense backend: drive the streamed front end off a trace cursor so
+    // both runCluster overloads share one health-aware implementation.
+    TraceSource source(trace);
+    return runClusterFaultAwareStreamed(source, kind, config,
+                                        policy_config);
+}
+
+ClusterResult
+runCluster(InvocationSource& source, PolicyKind kind,
+           const ClusterConfig& config, const PolicyConfig& policy_config)
+{
+    config.validate();
+    if (config.server.platform_backend == PlatformBackend::Reference) {
+        // The oracle path needs random access: materialize once and
+        // replay through the trace overload.
+        const Trace trace = materializeSource(source);
+        return runCluster(trace, kind, config, policy_config);
+    }
+    if (config.faults.empty() && config.failover.shed_queue_depth == 0 &&
+        !config.failover.retry_budget.enabled() &&
+        !config.failover.breaker.enabled())
+        return runClusterSplitStreamed(source, kind, config,
+                                       policy_config);
+    return runClusterFaultAwareStreamed(source, kind, config,
+                                        policy_config);
 }
 
 }  // namespace faascache

@@ -198,6 +198,24 @@ ClusterResult runCluster(const Trace& trace, PolicyKind kind,
                          const ClusterConfig& config,
                          const PolicyConfig& policy_config = {});
 
+/**
+ * Streaming overload (DESIGN.md §4h): replay an arbitrary invocation
+ * stream through the cluster. With the Dense backend nothing is ever
+ * materialized — the fault-free path runs each server over a
+ * balancer-filter view of the stream (one pass per server, replaying
+ * the balancer's draws identically per pass), and the health-aware
+ * path merges the arrival cursor against the front-end heap exactly
+ * like Server::run(InvocationSource&). Peak memory stays
+ * O(catalog + pending work), except Random balancing, which records
+ * one 4-byte draw per arrival so crash fallout can recall a request's
+ * primary server. The Reference backend materializes the source and
+ * delegates to the trace overload. Byte-identical to runCluster(Trace)
+ * over the equivalent trace.
+ */
+ClusterResult runCluster(InvocationSource& source, PolicyKind kind,
+                         const ClusterConfig& config,
+                         const PolicyConfig& policy_config = {});
+
 }  // namespace faascache
 
 #endif  // FAASCACHE_PLATFORM_CLUSTER_H_

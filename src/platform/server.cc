@@ -180,8 +180,8 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     if (running_ >= config_.cores)
         return Dispatch::Blocked;
 
-    const Invocation& inv = trace_->invocations()[request.invocation_index];
-    const FunctionSpec& spec = trace_->function(inv.function);
+    const Invocation& inv = request.inv;
+    const FunctionSpec& spec = (*catalog_)[inv.function];
     FunctionOutcome& outcome = result_.per_function[spec.id];
 
     if (Container* warm = pool_.findIdleWarm(spec.id)) {
@@ -193,7 +193,7 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
         ++result_.warm_starts;
         ++outcome.warm;
         setInflight(*warm,
-                    Inflight{request.invocation_index,
+                    Inflight{request.invocation_index, request.inv,
                              request.latency_anchor_us,
                              /*cold=*/false, request.redispatched});
         events_.schedule(warm->busyUntil(), EventKind::Finish, warm->id());
@@ -251,7 +251,7 @@ Server::tryDispatch(const PendingRequest& request, TimeUs now)
     if (request.redispatched)
         ++result_.robustness.redispatch_cold_starts;
     setInflight(fresh,
-                Inflight{request.invocation_index,
+                Inflight{request.invocation_index, request.inv,
                          request.latency_anchor_us,
                          /*cold=*/true, request.redispatched,
                          /*extra_slots=*/cold_slots - 1});
@@ -339,10 +339,8 @@ Server::drainQueueReference(TimeUs now)
         PendingRequest head = queue_.front();
         queue_.pop_front();
         if (now - head.enqueued_us > config_.queue_timeout_us) {
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
             ++result_.dropped_timeout;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[head.inv.function].dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
             continue;
@@ -362,8 +360,7 @@ Server::drainQueueReference(TimeUs now)
             // and the cold backlog would stand through the brownout,
             // keeping the sojourn target violated forever. Entries that
             // could be served warm keep their place in line.
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
+            const FunctionId fn = head.inv.function;
             if (pool_.findIdleWarm(fn) == nullptr) {
                 ++result_.overload.brownout_denied_cold;
                 ++result_.per_function[fn].dropped;
@@ -382,10 +379,8 @@ Server::drainQueueReference(TimeUs now)
             continue;
         }
         if (outcome == Dispatch::BrownoutDenied) {
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
             ++result_.overload.brownout_denied_cold;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[head.inv.function].dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
             continue;
@@ -437,10 +432,8 @@ Server::drainQueueDense(TimeUs now)
         const std::uint32_t next = request_nodes_[i].next;
         PendingRequest& head = request_nodes_[i].req;
         if (now - head.enqueued_us > config_.queue_timeout_us) {
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
             ++result_.dropped_timeout;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[head.inv.function].dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
             eraseRequestDense(i);
@@ -458,8 +451,7 @@ Server::drainQueueDense(TimeUs now)
             // Brownout queue purge (see drainQueueReference): deny
             // cold-path entries even with every core busy; entries
             // servable warm keep their place in line.
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
+            const FunctionId fn = head.inv.function;
             if (pool_.findIdleWarm(fn) == nullptr) {
                 ++result_.overload.brownout_denied_cold;
                 ++result_.per_function[fn].dropped;
@@ -478,10 +470,8 @@ Server::drainQueueDense(TimeUs now)
             continue;
         }
         if (outcome == Dispatch::BrownoutDenied) {
-            const FunctionId fn =
-                trace_->invocations()[head.invocation_index].function;
             ++result_.overload.brownout_denied_cold;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[head.inv.function].dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
             eraseRequestDense(i);
@@ -514,7 +504,7 @@ Server::maintenance(TimeUs now)
         evict(id, now, /*expired=*/true);
     if (config_.enable_prewarm) {
         for (FunctionId fn : policy_->duePrewarms(now)) {
-            const FunctionSpec& spec = trace_->function(fn);
+            const FunctionSpec& spec = (*catalog_)[fn];
             if (pool_.findIdleWarm(fn) != nullptr)
                 continue;
             if (!pool_.fits(spec.mem_mb))
@@ -534,11 +524,10 @@ Server::maintenance(TimeUs now)
 }
 
 bool
-Server::acceptArrival(std::size_t invocation_index, TimeUs now,
-                      bool redispatched)
+Server::acceptArrival(std::size_t invocation_index, const Invocation& inv,
+                      TimeUs now, bool redispatched)
 {
-    const Invocation& inv = trace_->invocations()[invocation_index];
-    const FunctionSpec& spec = trace_->function(inv.function);
+    const FunctionSpec& spec = (*catalog_)[inv.function];
     if (audit_ != nullptr)
         ++audit_arrivals_;
     if (down_) {
@@ -575,6 +564,7 @@ Server::acceptArrival(std::size_t invocation_index, TimeUs now,
     }
     PendingRequest request;
     request.invocation_index = invocation_index;
+    request.inv = inv;
     request.enqueued_us = now;
     request.latency_anchor_us = redispatched ? inv.arrival_us : now;
     request.redispatched = redispatched;
@@ -592,10 +582,14 @@ Server::handleEvent(const ServerEvent& event)
     const TimeUs now = event.time_us;
     clock_.advanceTo(now);
     switch (event.kind) {
-      case EventKind::Arrival:
-        acceptArrival(static_cast<std::size_t>(event.payload), now,
+      case EventKind::Arrival: {
+        // Prescheduled arrivals exist only on the Reference replay,
+        // which always runs against a bound trace.
+        const auto index = static_cast<std::size_t>(event.payload);
+        acceptArrival(index, trace_->invocations()[index], now,
                       /*redispatched=*/false);
         break;
+      }
       case EventKind::Finish: {
         const auto id = static_cast<ContainerId>(event.payload);
         Container* c = pool_.get(id);
@@ -654,14 +648,11 @@ Server::handleEvent(const ServerEvent& event)
         const CrashEvent& ce =
             injector_->crashes()[static_cast<std::size_t>(event.payload)];
         const CrashFallout fallout = crash(now);
-        for (std::size_t index : fallout.aborted) {
-            ++result_.per_function[trace_->invocations()[index].function]
-                  .dropped;
-        }
-        for (std::size_t index : fallout.flushed_queue) {
+        for (const SpilledRequest& spilled : fallout.aborted)
+            ++result_.per_function[spilled.inv.function].dropped;
+        for (const SpilledRequest& spilled : fallout.flushed_queue) {
             ++result_.robustness.dropped_unavailable;
-            ++result_.per_function[trace_->invocations()[index].function]
-                  .dropped;
+            ++result_.per_function[spilled.inv.function].dropped;
         }
         if (ce.restart_after_us > 0)
             events_.schedule(now + ce.restart_after_us, EventKind::Restart);
@@ -676,11 +667,8 @@ Server::handleEvent(const ServerEvent& event)
         if (down_)
             break;
         const auto aborted = oomKill(now);
-        if (aborted.has_value()) {
-            ++result_
-                  .per_function[trace_->invocations()[*aborted].function]
-                  .dropped;
-        }
+        if (aborted.has_value())
+            ++result_.per_function[aborted->inv.function].dropped;
         break;
       }
     }
@@ -700,9 +688,8 @@ Server::crash(TimeUs now)
         if (entry.id == kInvalidContainer)
             continue;
         const Inflight& inflight = entry.data;
-        const FunctionId fn =
-            trace_->invocations()[inflight.invocation_index].function;
-        FunctionOutcome& outcome = result_.per_function[fn];
+        FunctionOutcome& outcome =
+            result_.per_function[inflight.inv.function];
         if (inflight.cold) {
             --result_.cold_starts;
             --outcome.cold;
@@ -713,11 +700,15 @@ Server::crash(TimeUs now)
             --outcome.warm;
         }
         ++result_.robustness.crash_aborted;
-        fallout.aborted.push_back(inflight.invocation_index);
+        fallout.aborted.push_back(
+            SpilledRequest{inflight.invocation_index, inflight.inv});
         if (audit_ != nullptr)
             ++audit_resolved_;
     }
-    std::sort(fallout.aborted.begin(), fallout.aborted.end());
+    std::sort(fallout.aborted.begin(), fallout.aborted.end(),
+              [](const SpilledRequest& a, const SpilledRequest& b) {
+                  return a.invocation_index < b.invocation_index;
+              });
     clearInflight();
     running_ = 0;
 
@@ -739,14 +730,17 @@ Server::crash(TimeUs now)
     }
 
     if (config_.platform_backend == PlatformBackend::Reference) {
-        for (const PendingRequest& pending : queue_)
-            fallout.flushed_queue.push_back(pending.invocation_index);
+        for (const PendingRequest& pending : queue_) {
+            fallout.flushed_queue.push_back(
+                SpilledRequest{pending.invocation_index, pending.inv});
+        }
         queue_.clear();
     } else {
         for (std::uint32_t i = queue_head_; i != kNilRequest;
              i = request_nodes_[i].next) {
+            const PendingRequest& pending = request_nodes_[i].req;
             fallout.flushed_queue.push_back(
-                request_nodes_[i].req.invocation_index);
+                SpilledRequest{pending.invocation_index, pending.inv});
         }
         clearRequestQueueDense();
     }
@@ -778,7 +772,7 @@ Server::restart(TimeUs now)
     result_.robustness.downtime_us += now - down_since_;
 }
 
-std::optional<std::size_t>
+std::optional<Server::SpilledRequest>
 Server::oomKill(TimeUs now)
 {
     if (down_)
@@ -803,9 +797,7 @@ Server::oomKill(TimeUs now)
     // Roll back the start accounting exactly like a crash abort: the
     // invocation did not complete here, and a cluster may re-dispatch
     // it.
-    const FunctionId fn =
-        trace_->invocations()[inflight.invocation_index].function;
-    FunctionOutcome& outcome = result_.per_function[fn];
+    FunctionOutcome& outcome = result_.per_function[inflight.inv.function];
     if (inflight.cold) {
         --result_.cold_starts;
         --outcome.cold;
@@ -831,7 +823,7 @@ Server::oomKill(TimeUs now)
 
     // The freed core and memory may unblock queued work immediately.
     drainQueue(now);
-    return inflight.invocation_index;
+    return SpilledRequest{inflight.invocation_index, inflight.inv};
 }
 
 void
@@ -840,6 +832,14 @@ Server::beginRun(const Trace& trace)
     if (!trace.validate() || !trace.isSorted())
         throw std::invalid_argument("Server: invalid or unsorted trace");
     trace_ = &trace;
+    beginRunCommon(trace.functions(), trace.invocations().size());
+}
+
+void
+Server::beginRunCommon(const std::vector<FunctionSpec>& functions,
+                       std::size_t invocation_hint)
+{
+    catalog_ = &functions;
     // A cancelled or abandoned previous run may have left events
     // pending or requests buffered; a fresh run must never observe a
     // stale heap or queue.
@@ -850,11 +850,11 @@ Server::beginRun(const Trace& trace)
     result_ = PlatformResult{};
     result_.policy_name = policy_->name();
     result_.config = config_;
-    result_.per_function.resize(trace.functions().size());
-    result_.latency_sum_sec.resize(trace.functions().size(), 0.0);
+    result_.per_function.resize(functions.size());
+    result_.latency_sum_sec.resize(functions.size(), 0.0);
     // At most one latency sample per invocation; one up-front grow
     // instead of doubling through the run.
-    result_.latencies_sec.reserve(trace.invocations().size());
+    result_.latencies_sec.reserve(invocation_hint);
     clearInflight();
     admission_.reset();
     brownout_.reset();
@@ -863,30 +863,30 @@ Server::beginRun(const Trace& trace)
     audit_resolved_ = 0;
     audit_external_returns_ = 0;
     // Allocation hints: size dense per-function tables from the catalog.
-    policy_->reserveFunctions(trace.functions().size());
-    pool_.reserve(/*containers=*/256, trace.functions().size());
+    policy_->reserveFunctions(functions.size());
+    pool_.reserve(/*containers=*/256, functions.size());
 }
 
 PlatformResult
 Server::run(const Trace& trace)
 {
-    beginRun(trace);
-    incremental_ = false;
-
-    TimeUs horizon = 0;
-    std::size_t maintenance_ticks = 0;
-    if (!trace.invocations().empty()) {
-        horizon = trace.invocations().back().arrival_us +
-            config_.queue_timeout_us;
-        maintenance_ticks = static_cast<std::size_t>(
-            horizon / config_.maintenance_interval_us) + 1;
-    }
-    const std::size_t crashes_count =
-        injector_ != nullptr ? injector_->crashes().size() : 0;
-    const std::size_t ooms_count =
-        injector_ != nullptr ? injector_->oomKills().size() : 0;
-
     if (config_.platform_backend == PlatformBackend::Reference) {
+        beginRun(trace);
+        incremental_ = false;
+
+        TimeUs horizon = 0;
+        std::size_t maintenance_ticks = 0;
+        if (!trace.invocations().empty()) {
+            horizon = trace.invocations().back().arrival_us +
+                config_.queue_timeout_us;
+            maintenance_ticks = static_cast<std::size_t>(
+                horizon / config_.maintenance_interval_us) + 1;
+        }
+        const std::size_t crashes_count =
+            injector_ != nullptr ? injector_->crashes().size() : 0;
+        const std::size_t ooms_count =
+            injector_ != nullptr ? injector_->oomKills().size() : 0;
+
         // Reserve the whole setup load (arrivals + maintenance ticks +
         // crashes) up front so the heap never reallocates mid-run;
         // runtime events (finishes, retries, restarts) only replace
@@ -923,29 +923,43 @@ Server::run(const Trace& trace)
         return closeRun(horizon);
     }
 
-    // Dense: arrivals never enter the heap. The trace is sorted and the
-    // reference path hands arrivals the lowest sequence numbers
-    // (0..N-1, scheduled before every maintenance tick and runtime
-    // event), so at any shared timestamp the reference delivers every
-    // remaining arrival first. Merging the sorted invocation array
-    // against the heap with "arrival wins all ties" therefore
-    // reproduces the reference delivery order event for event, while
-    // the heap only carries the periodic schedule plus runtime traffic
-    // — thousands of entries instead of the whole trace.
-    events_.reserve(maintenance_ticks + crashes_count + ooms_count + 64);
-    std::vector<EventBatchItem<EventKind>> setup;
-    setup.reserve(std::max({maintenance_ticks, crashes_count, ooms_count}));
-    for (std::size_t k = 0; k < maintenance_ticks; ++k) {
-        EventBatchItem<EventKind> item;
-        item.time_us =
-            static_cast<TimeUs>(k) * config_.maintenance_interval_us;
-        item.kind = EventKind::Maintenance;
-        setup.push_back(item);
+    // Dense: stream the trace through the arrival-cursor merge. The
+    // eager validation here preserves run()'s historical contract (the
+    // streamed core only detects violations as it consumes them).
+    if (!trace.validate() || !trace.isSorted())
+        throw std::invalid_argument("Server: invalid or unsorted trace");
+    TraceSource source(trace);
+    return run(source);
+}
+
+PlatformResult
+Server::run(InvocationSource& source)
+{
+    if (config_.platform_backend == PlatformBackend::Reference) {
+        // The reference oracle preschedules every arrival by index,
+        // which needs random access; materialize once and replay.
+        const Trace trace = materializeSource(source);
+        return run(trace);
     }
-    events_.scheduleBatch(setup);
+
+    source.reset();
+    trace_ = nullptr;
+    beginRunCommon(source.functions(), source.countHint().count);
+    incremental_ = false;
+
+    const std::size_t crashes_count =
+        injector_ != nullptr ? injector_->crashes().size() : 0;
+    const std::size_t ooms_count =
+        injector_ != nullptr ? injector_->oomKills().size() : 0;
+    // Only failure-plan and runtime traffic ever enters the heap; the
+    // arrival and maintenance schedules live in cursors. Keeping the
+    // heap O(pending work) is what makes peak memory independent of
+    // stream length.
+    events_.reserve(crashes_count + ooms_count + 64);
+    std::vector<EventBatchItem<EventKind>> setup;
+    setup.reserve(std::max(crashes_count, ooms_count));
     if (injector_ != nullptr) {
         const auto& crashes = injector_->crashes();
-        setup.clear();
         for (std::size_t k = 0; k < crashes.size(); ++k) {
             EventBatchItem<EventKind> item;
             item.time_us = crashes[k].at_us;
@@ -966,30 +980,85 @@ Server::run(const Trace& trace)
         events_.scheduleBatch(setup, EventLane::Failure);
     }
 
-    const auto& invocations = trace.invocations();
-    std::size_t cursor = 0;
-    while (cursor < invocations.size() || !events_.empty()) {
-        if (cursor < invocations.size() &&
-            (events_.empty() ||
-             invocations[cursor].arrival_us <= events_.nextTime())) {
+    // Three-way merge, ordered exactly like the trace replay: the
+    // arrival cursor wins every timestamp tie (the reference schedules
+    // arrivals with the lowest sequence numbers), the maintenance-tick
+    // cursor wins ties against the heap (setup ticks precede runtime
+    // events there, and the Normal lane precedes Failure regardless of
+    // sequence), and the heap settles the rest. The tick budget is
+    // fixed the moment the source runs dry: the trace replay schedules
+    // horizon / interval + 1 ticks with horizon = last arrival + queue
+    // timeout, and every tick emitted while arrivals remain is earlier
+    // than the next arrival, hence within that budget.
+    const TimeUs interval = config_.maintenance_interval_us;
+    constexpr std::size_t kUnbounded =
+        std::numeric_limits<std::size_t>::max();
+    std::size_t tick_budget = kUnbounded;
+    std::size_t ticks_emitted = 0;
+    std::size_t index = 0;
+    TimeUs last_arrival = 0;
+    Invocation inv;
+    for (;;) {
+        const bool have_arrival = source.peek(inv);
+        if (!have_arrival && tick_budget == kUnbounded) {
+            tick_budget = index == 0
+                ? 0
+                : static_cast<std::size_t>(
+                      (last_arrival + config_.queue_timeout_us) /
+                      interval) + 1;
+        }
+        const bool have_tick = ticks_emitted < tick_budget;
+        const TimeUs tick_time =
+            static_cast<TimeUs>(ticks_emitted) * interval;
+        if (!have_arrival && !have_tick && events_.empty())
+            break;
+        if (have_arrival && (!have_tick || inv.arrival_us <= tick_time) &&
+            (events_.empty() || inv.arrival_us <= events_.nextTime())) {
             if (config_.cancel != nullptr)
                 config_.cancel->throwIfCancelled();
-            const TimeUs now = invocations[cursor].arrival_us;
+            if (inv.arrival_us < last_arrival) {
+                throw std::runtime_error(
+                    "Server: source arrivals out of order (" +
+                    std::to_string(inv.arrival_us) + " after " +
+                    std::to_string(last_arrival) + ")");
+            }
+            const TimeUs now = inv.arrival_us;
             clock_.advanceTo(now);
             // Same-instant arrivals (the Azure replay's minute buckets)
             // are admitted as one batch without re-consulting the heap:
             // nothing scheduled while admitting them can precede a
             // remaining same-time arrival.
             do {
-                acceptArrival(cursor, now, /*redispatched=*/false);
-                ++cursor;
-            } while (cursor < invocations.size() &&
-                     invocations[cursor].arrival_us == now);
-        } else {
-            handleEvent(events_.pop());
+                Invocation consumed;
+                source.next(consumed);
+                if (consumed.function >= catalog_->size()) {
+                    throw std::runtime_error(
+                        "Server: source function id " +
+                        std::to_string(consumed.function) +
+                        " out of range (catalog " +
+                        std::to_string(catalog_->size()) + ")");
+                }
+                acceptArrival(index, consumed, now,
+                              /*redispatched=*/false);
+                ++index;
+            } while (source.peek(inv) && inv.arrival_us == now);
+            last_arrival = now;
+            continue;
         }
+        if (have_tick &&
+            (events_.empty() || tick_time <= events_.nextTime())) {
+            ServerEvent tick;
+            tick.time_us = tick_time;
+            tick.kind = EventKind::Maintenance;
+            handleEvent(tick);
+            ++ticks_emitted;
+            continue;
+        }
+        handleEvent(events_.pop());
     }
 
+    const TimeUs horizon =
+        index == 0 ? 0 : last_arrival + config_.queue_timeout_us;
     return closeRun(horizon);
 }
 
@@ -1003,11 +1072,35 @@ Server::begin(const Trace& trace)
     events_.schedule(0, EventKind::Maintenance);
 }
 
+void
+Server::begin(const std::vector<FunctionSpec>& functions,
+              std::size_t invocation_hint)
+{
+    trace_ = nullptr;
+    beginRunCommon(functions, invocation_hint);
+    incremental_ = true;
+    horizon_us_ = std::numeric_limits<TimeUs>::max();
+    // Unlike the trace begin(), the heap only ever holds runtime
+    // traffic here (the dispatcher streams arrivals through offer()),
+    // so a modest reservation keeps peak memory stream-length-free.
+    events_.reserve(256);
+    events_.schedule(0, EventKind::Maintenance);
+}
+
 bool
 Server::offer(std::size_t invocation_index, TimeUs now, bool redispatched)
 {
     assert(trace_ != nullptr);
-    return acceptArrival(invocation_index, now, redispatched);
+    return acceptArrival(invocation_index,
+                         trace_->invocations()[invocation_index], now,
+                         redispatched);
+}
+
+bool
+Server::offer(std::size_t invocation_index, const Invocation& inv,
+              TimeUs now, bool redispatched)
+{
+    return acceptArrival(invocation_index, inv, now, redispatched);
 }
 
 void
@@ -1032,10 +1125,8 @@ Server::closeRun(TimeUs horizon_us)
     // Anything still buffered can never be served (no more events).
     if (config_.platform_backend == PlatformBackend::Reference) {
         for (const PendingRequest& pending : queue_) {
-            const FunctionId fn =
-                trace_->invocations()[pending.invocation_index].function;
             ++result_.dropped_timeout;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[pending.inv.function].dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
         }
@@ -1043,12 +1134,9 @@ Server::closeRun(TimeUs horizon_us)
     } else {
         for (std::uint32_t i = queue_head_; i != kNilRequest;
              i = request_nodes_[i].next) {
-            const FunctionId fn =
-                trace_->invocations()[request_nodes_[i].req
-                                          .invocation_index]
-                    .function;
             ++result_.dropped_timeout;
-            ++result_.per_function[fn].dropped;
+            ++result_.per_function[request_nodes_[i].req.inv.function]
+                  .dropped;
             if (audit_ != nullptr)
                 ++audit_resolved_;
         }
@@ -1101,6 +1189,7 @@ Server::closeRun(TimeUs horizon_us)
     }
     incremental_ = false;
     trace_ = nullptr;
+    catalog_ = nullptr;
     return result_;
 }
 

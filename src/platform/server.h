@@ -45,6 +45,7 @@
 #include "platform/overload/brownout.h"
 #include "platform/overload/overload.h"
 #include "sim/sim_result.h"
+#include "trace/invocation_source.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 #include "util/stats.h"
@@ -247,14 +248,26 @@ struct PlatformResult
 class Server
 {
   public:
+    /**
+     * One request spilled by a crash or OOM kill: its position in the
+     * arrival stream plus the invocation itself, so a streaming front
+     * end can re-dispatch it without random access into a materialized
+     * trace.
+     */
+    struct SpilledRequest
+    {
+        std::size_t invocation_index = 0;
+        Invocation inv;
+    };
+
     /** Work spilled by a crash, for the cluster to re-dispatch. */
     struct CrashFallout
     {
-        /** Invocation indices that were running (now aborted). */
-        std::vector<std::size_t> aborted;
+        /** Requests that were running (now aborted), by stream index. */
+        std::vector<SpilledRequest> aborted;
 
-        /** Invocation indices that were queued (now flushed). */
-        std::vector<std::size_t> flushed_queue;
+        /** Requests that were queued (now flushed). */
+        std::vector<SpilledRequest> flushed_queue;
     };
 
     /**
@@ -280,6 +293,21 @@ class Server
     PlatformResult run(const Trace& trace);
 
     /**
+     * Replay an arbitrary invocation stream to completion (DESIGN.md
+     * §4h). The Dense backend consumes the source as a cursor — peak
+     * memory stays O(catalog + pending work) regardless of stream
+     * length — via a three-way merge: the arrival cursor wins every
+     * timestamp tie (the trace replay hands arrivals the lowest
+     * sequence numbers), a maintenance-tick cursor wins ties against
+     * the event heap (setup ticks precede runtime events there), and
+     * the heap carries only failure-plan and runtime traffic. The
+     * Reference backend preschedules every arrival and therefore
+     * materializes the source first. Both produce a PlatformResult
+     * byte-identical to run(Trace) over the equivalent trace.
+     */
+    PlatformResult run(InvocationSource& source);
+
+    /**
      * @name Incremental driving (cluster front end)
      * begin() starts a run over `trace` without scheduling any
      * arrivals; the dispatcher then calls advanceTo(t) to settle
@@ -290,6 +318,18 @@ class Server
 
     /** Start an externally driven run. */
     void begin(const Trace& trace);
+
+    /**
+     * Start an externally driven run over an arbitrary arrival stream:
+     * the dispatcher streams (index, invocation) pairs through the
+     * Invocation-carrying offer() itself, so no trace is ever bound.
+     * @param functions Function catalog (non-owning; must outlive the
+     *        run). Dense ids, like a Trace catalog.
+     * @param invocation_hint Expected stream length (allocation sizing
+     *        only; an upper bound is fine and never changes results).
+     */
+    void begin(const std::vector<FunctionSpec>& functions,
+               std::size_t invocation_hint);
 
     /**
      * Hand one invocation to this server at time `now` (its internal
@@ -303,6 +343,11 @@ class Server
      */
     bool offer(std::size_t invocation_index, TimeUs now,
                bool redispatched = false);
+
+    /** Streaming variant: the invocation rides along instead of being
+     *  looked up in a bound trace (required after the catalog begin()). */
+    bool offer(std::size_t invocation_index, const Invocation& inv,
+               TimeUs now, bool redispatched = false);
 
     /** Process internal events with time strictly before `now`. */
     void advanceTo(TimeUs now);
@@ -339,11 +384,10 @@ class Server
      * container (most memory, ties to the lowest id). The victim's
      * start accounting is rolled back exactly like a crash abort and
      * the container is destroyed; queued work is untouched.
-     * @return The aborted invocation's index (for the cluster to
-     *         re-dispatch), or nullopt when the server is down or no
-     *         container is busy.
+     * @return The aborted request (for the cluster to re-dispatch), or
+     *         nullopt when the server is down or no container is busy.
      */
-    std::optional<std::size_t> oomKill(TimeUs now);
+    std::optional<SpilledRequest> oomKill(TimeUs now);
 
     bool isDown() const { return down_; }
 
@@ -399,6 +443,10 @@ class Server
     {
         std::size_t invocation_index = 0;
 
+        /** The invocation itself: carried with the request so queue
+         *  processing never needs random access into a trace. */
+        Invocation inv;
+
         /** Queue-entry time; anchors the queue-timeout check. */
         TimeUs enqueued_us = 0;
 
@@ -416,6 +464,11 @@ class Server
     struct Inflight
     {
         std::size_t invocation_index = 0;
+
+        /** Carried copy (see PendingRequest::inv): crash/OOM spill and
+         *  accounting rollback read it instead of a bound trace. */
+        Invocation inv;
+
         TimeUs latency_anchor_us = 0;
         bool cold = false;
         bool redispatched = false;
@@ -468,14 +521,19 @@ class Server
     void evict(ContainerId id, TimeUs now, bool expired);
 
     /** Shared arrival path of run()'s Arrival events and offer(). */
-    bool acceptArrival(std::size_t invocation_index, TimeUs now,
-                       bool redispatched);
+    bool acceptArrival(std::size_t invocation_index, const Invocation& inv,
+                       TimeUs now, bool redispatched);
 
     /** Process one event from the internal queue. */
     void handleEvent(const ServerEvent& event);
 
     /** Reset per-run accounting and bind `trace`. */
     void beginRun(const Trace& trace);
+
+    /** Trace-free core of beginRun(): reset accounting, bind the
+     *  function catalog, and pre-size per-function state. */
+    void beginRunCommon(const std::vector<FunctionSpec>& functions,
+                        std::size_t invocation_hint);
 
     /** O(1) request-conservation check (audit-only; see audit_). */
     void auditConservation(TimeUs now);
@@ -526,7 +584,15 @@ class Server
     std::uint32_t queue_tail_ = kNilRequest;
     std::uint32_t request_free_ = kNilRequest;
     std::size_t queue_size_ = 0;
+
+    /** Bound trace for index-only offer() and the Reference replay's
+     *  prescheduled arrivals; null under streaming driving. */
     const Trace* trace_ = nullptr;
+
+    /** Function catalog of the current run (trace's or the source's);
+     *  the only per-run workload state the hot path reads. */
+    const std::vector<FunctionSpec>* catalog_ = nullptr;
+
     FaultInjector* injector_ = nullptr;
     PlatformResult result_;
 

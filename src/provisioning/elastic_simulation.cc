@@ -41,17 +41,30 @@ runElasticSimulation(const Trace& trace,
                      const ControllerConfig& controller_config,
                      const ElasticConfig& elastic_config)
 {
+    // Preserve the Trace path's eager validation (the streaming core
+    // enforces the same contract, but only as invocations are consumed).
+    if (!trace.validate())
+        throw std::invalid_argument("Simulator: invalid trace");
+    if (!trace.isSorted())
+        throw std::invalid_argument("Simulator: trace not sorted");
+    TraceSource source(trace);
+    return runElasticSimulation(source, std::move(policy),
+                                controller_config, elastic_config);
+}
+
+ElasticResult
+runElasticSimulation(InvocationSource& source,
+                     std::unique_ptr<KeepAlivePolicy> policy,
+                     const ControllerConfig& controller_config,
+                     const ElasticConfig& elastic_config)
+{
     // Preparation phase (paper §5.2 "Online adjustments"): build the
-    // hit-ratio curve from the workload's reuse distances.
+    // hit-ratio curve from the workload's reuse distances (first pass
+    // over the source).
     HitRatioCurve curve =
-        HitRatioCurve::fromReuseDistances(computeReuseDistances(trace));
+        HitRatioCurve::fromReuseDistances(computeReuseDistances(source));
     ProportionalController controller(std::move(curve), controller_config,
                                       elastic_config.initial_size_mb);
-
-    SimulatorConfig sim_config;
-    sim_config.memory_mb = elastic_config.initial_size_mb;
-    sim_config.cancel = elastic_config.cancel;
-    Simulator sim(trace, std::move(policy), sim_config);
 
     ElasticResult result;
     const double period_sec = toSeconds(elastic_config.control_period_us);
@@ -68,21 +81,31 @@ runElasticSimulation(const Trace& trace,
     std::int64_t cold_at_period_start = 0;
     std::int64_t dropped_at_period_start = 0;
 
-    // Optional online curve refresh (drift handling).
+    // Optional online curve refresh (drift handling). The analyzer used
+    // to re-scan the materialized invocation vector each period; it now
+    // rides the simulator's single pass via a tee on consumption, which
+    // observes exactly the same invocations in the same order: at every
+    // period boundary `at`, the set consumed so far is precisely the
+    // arrivals < `at`.
     const bool online = refresh.enabled();
     OnlineReuseAnalyzer analyzer(
         online ? elastic_config.online_sample_rate : 1.0);
-    std::size_t fed_invocations = 0;
+    const std::vector<FunctionSpec>& catalog = source.functions();
+    TeeSource teed(source,
+                   online ? TeeSource::Observer([&](const Invocation& inv) {
+                       analyzer.observe(inv.function,
+                                        catalog[inv.function].mem_mb);
+                   })
+                          : TeeSource::Observer());
+
+    SimulatorConfig sim_config;
+    sim_config.memory_mb = elastic_config.initial_size_mb;
+    sim_config.cancel = elastic_config.cancel;
+    Simulator sim(teed, std::move(policy), sim_config);
+
     auto feed_analyzer = [&](TimeUs up_to) {
         if (!online)
             return;
-        const auto& invocations = trace.invocations();
-        while (fed_invocations < invocations.size() &&
-               invocations[fed_invocations].arrival_us < up_to) {
-            const Invocation& inv = invocations[fed_invocations++];
-            analyzer.observe(inv.function,
-                             trace.function(inv.function).mem_mb);
-        }
         refresh.catchUp(up_to, [&](TimeUs /*due*/) {
             const HitRatioCurve fresh = analyzer.curve();
             if (!fresh.empty())

@@ -89,6 +89,19 @@ ElasticResult runElasticSimulation(const Trace& trace,
                                    const ControllerConfig& controller_config,
                                    const ElasticConfig& elastic_config);
 
+/**
+ * Streaming variant (the real implementation; the Trace overload wraps
+ * it). The offline preparation pass streams the source once for the
+ * hit-ratio curve, then the replay pass streams it again with the
+ * online reuse analyzer riding the simulator's consumption — the trace
+ * is never materialized. Note the reuse-distance vector is still O(N)
+ * doubles (see computeReuseDistances).
+ */
+ElasticResult runElasticSimulation(InvocationSource& source,
+                                   std::unique_ptr<KeepAlivePolicy> policy,
+                                   const ControllerConfig& controller_config,
+                                   const ElasticConfig& elastic_config);
+
 }  // namespace faascache
 
 #endif  // FAASCACHE_PROVISIONING_ELASTIC_SIMULATION_H_

@@ -38,23 +38,44 @@ SimulatorConfig::validate() const
 Simulator::Simulator(const Trace& trace,
                      std::unique_ptr<KeepAlivePolicy> policy,
                      SimulatorConfig config)
-    : trace_(trace), policy_(std::move(policy)), config_(config),
+    : owned_source_(std::make_unique<TraceSource>(trace)),
+      source_(owned_source_.get()), functions_(&trace.functions()),
+      policy_(std::move(policy)), config_(config),
       // Validate before the pool captures the capacity (its
       // constructor asserts on non-positive memory).
       pool_((config_.validate(), config_.memory_mb), config_.pool_backend)
 {
     if (!policy_)
         throw std::invalid_argument("Simulator: null policy");
-    if (!trace_.validate())
+    if (!trace.validate())
         throw std::invalid_argument("Simulator: invalid trace");
-    if (!trace_.isSorted())
+    if (!trace.isSorted())
         throw std::invalid_argument("Simulator: trace not sorted");
+    initCommon();
+}
+
+Simulator::Simulator(InvocationSource& source,
+                     std::unique_ptr<KeepAlivePolicy> policy,
+                     SimulatorConfig config)
+    : source_(&source), functions_(&source.functions()),
+      policy_(std::move(policy)), config_(config),
+      pool_((config_.validate(), config_.memory_mb), config_.pool_backend)
+{
+    if (!policy_)
+        throw std::invalid_argument("Simulator: null policy");
+    initCommon();
+}
+
+void
+Simulator::initCommon()
+{
+    source_->reset();
     result_.policy_name = policy_->name();
     result_.memory_mb = config_.memory_mb;
-    result_.per_function.resize(trace_.functions().size());
+    result_.per_function.resize(functions_->size());
     // Allocation hints: size dense per-function tables from the catalog.
-    policy_->reserveFunctions(trace_.functions().size());
-    pool_.reserve(/*containers=*/256, trace_.functions().size());
+    policy_->reserveFunctions(functions_->size());
+    pool_.reserve(/*containers=*/256, functions_->size());
     // Registered periodic tasks: both start due at t=0 (a sample of the
     // empty pool, a reclaim pass over it) and re-arm every interval; a
     // non-positive interval disables the schedule entirely.
@@ -63,10 +84,13 @@ Simulator::Simulator(const Trace& trace,
 }
 
 TimeUs
-Simulator::nextArrival() const
+Simulator::nextArrival()
 {
-    assert(!done());
-    return trace_.invocations()[next_invocation_].arrival_us;
+    Invocation inv;
+    const bool have = source_->peek(inv);
+    assert(have);
+    (void)have;
+    return inv.arrival_us;
 }
 
 void
@@ -119,7 +143,7 @@ Simulator::advanceTo(TimeUs t)
 
     if (config_.enable_prewarm) {
         for (FunctionId fn : policy_->duePrewarms(t)) {
-            const FunctionSpec& spec = trace_.function(fn);
+            const FunctionSpec& spec = (*functions_)[fn];
             // Skip speculative prewarms when a warm container already
             // exists or memory is unavailable; prewarming never evicts.
             if (pool_.findIdleWarm(fn) != nullptr)
@@ -138,11 +162,22 @@ Simulator::advanceTo(TimeUs t)
 void
 Simulator::step()
 {
-    assert(!done());
     if (config_.cancel != nullptr)
         config_.cancel->throwIfCancelled();
-    const Invocation& inv = trace_.invocations()[next_invocation_++];
-    const FunctionSpec& spec = trace_.function(inv.function);
+    Invocation inv;
+    if (!source_->next(inv))
+        throw std::logic_error("Simulator::step: past end of stream");
+    // Online cursor-contract enforcement — the streaming analogue of the
+    // Trace constructor's validate()/isSorted() pre-checks. last_arrival_
+    // starts at 0, which also rejects negative arrivals.
+    if (inv.function >= functions_->size())
+        throw std::runtime_error(
+            "Simulator: source function id " +
+            std::to_string(inv.function) + " out of range");
+    if (inv.arrival_us < last_arrival_)
+        throw std::runtime_error("Simulator: source arrivals out of order");
+    last_arrival_ = inv.arrival_us;
+    const FunctionSpec& spec = (*functions_)[inv.function];
     clock_.advanceTo(inv.arrival_us);
     const TimeUs now_us = clock_.now();
     advanceTo(now_us);
@@ -227,6 +262,15 @@ simulateTrace(const Trace& trace, std::unique_ptr<KeepAlivePolicy> policy,
               const SimulatorConfig& config)
 {
     Simulator sim(trace, std::move(policy), config);
+    return sim.run();
+}
+
+SimResult
+simulateSource(InvocationSource& source,
+               std::unique_ptr<KeepAlivePolicy> policy,
+               const SimulatorConfig& config)
+{
+    Simulator sim(source, std::move(policy), config);
     return sim.run();
 }
 

@@ -28,6 +28,7 @@
 #include "engine/event_engine.h"
 #include "engine/periodic_schedule.h"
 #include "sim/sim_result.h"
+#include "trace/invocation_source.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 
@@ -91,6 +92,16 @@ class Simulator
     Simulator(const Trace& trace, std::unique_ptr<KeepAlivePolicy> policy,
               SimulatorConfig config);
 
+    /**
+     * Streaming variant: replay from a cursor instead of a materialized
+     * trace. The source must outlive the simulator; it is reset() at
+     * construction and the cursor contract (sorted arrivals, valid
+     * function ids) is enforced online as invocations are consumed.
+     */
+    Simulator(InvocationSource& source,
+              std::unique_ptr<KeepAlivePolicy> policy,
+              SimulatorConfig config);
+
     /** Replay the remaining trace to completion and return the result. */
     SimResult run();
 
@@ -98,13 +109,17 @@ class Simulator
     void step();
 
     /** Whether the whole trace has been replayed. */
-    bool done() const { return next_invocation_ >= trace_.invocations().size(); }
+    bool done()
+    {
+        Invocation tmp;
+        return !source_->peek(tmp);
+    }
 
     /** Arrival time of the last processed invocation (0 initially). */
     TimeUs now() const { return clock_.now(); }
 
     /** Arrival time of the next invocation. @pre !done(). */
-    TimeUs nextArrival() const;
+    TimeUs nextArrival();
 
     /**
      * Elastic vertical scaling: change the pool capacity. Shrinking
@@ -129,13 +144,20 @@ class Simulator
     /** Record memory-usage samples up to time t. */
     void sampleMemory(TimeUs t);
 
-    const Trace& trace_;
+    /** Shared tail of both constructors (result/policy/pool sizing). */
+    void initCommon();
+
+    /** Set only by the Trace convenience constructor. */
+    std::unique_ptr<TraceSource> owned_source_;
+    InvocationSource* source_;
+    const std::vector<FunctionSpec>* functions_;
     std::unique_ptr<KeepAlivePolicy> policy_;
     SimulatorConfig config_;
     ContainerPool pool_;
     SimResult result_;
 
-    std::size_t next_invocation_ = 0;
+    /** Arrival of the last consumed invocation (online sorted check). */
+    TimeUs last_arrival_ = 0;
 
     /** Engine clock: the arrival instant being processed. */
     SimClock clock_;
@@ -149,6 +171,11 @@ class Simulator
 SimResult simulateTrace(const Trace& trace,
                         std::unique_ptr<KeepAlivePolicy> policy,
                         const SimulatorConfig& config);
+
+/** Convenience: replay a streaming source to completion. */
+SimResult simulateSource(InvocationSource& source,
+                         std::unique_ptr<KeepAlivePolicy> policy,
+                         const SimulatorConfig& config);
 
 }  // namespace faascache
 

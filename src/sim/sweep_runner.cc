@@ -21,9 +21,15 @@ void
 validateCells(const std::vector<SweepCell>& cells)
 {
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (cells[i].trace == nullptr)
+        if (cells[i].trace == nullptr && !cells[i].make_source)
             throw std::invalid_argument(
-                "SweepRunner: cell without a trace (cell index " +
+                "SweepRunner: cell without a workload — set trace or "
+                "make_source (cell index " +
+                std::to_string(i) + ")");
+        if (cells[i].trace != nullptr && cells[i].make_source)
+            throw std::invalid_argument(
+                "SweepRunner: cell with both trace and make_source set "
+                "(cell index " +
                 std::to_string(i) + ")");
         if (!cells[i].make_policy)
             throw std::invalid_argument(
@@ -35,12 +41,15 @@ validateCells(const std::vector<SweepCell>& cells)
 std::string
 defaultCellKey(const SweepCell& cell)
 {
-    // The policy factory must be pure, so building one instance just to
-    // read its name is side-effect free.
+    // The policy and source factories must be pure, so building one
+    // instance just to read its name is side-effect free.
     const std::string policy_name = cell.make_policy()->name();
+    const std::string trace_name = cell.trace != nullptr
+        ? cell.trace->name()
+        : cell.make_source()->name();
     char mem[32];
     std::snprintf(mem, sizeof mem, "%g", cell.sim.memory_mb);
-    return cell.trace->name() + "/" + policy_name + "/" + mem + "MB";
+    return trace_name + "/" + policy_name + "/" + mem + "MB";
 }
 
 void
@@ -51,23 +60,62 @@ hashHexDouble(std::ostringstream& out, double value)
     out << buf << ';';
 }
 
-}  // namespace
-
-std::uint64_t
-traceFingerprint(const Trace& trace)
+/**
+ * Workload-header bytes shared by both fingerprint flavours; the
+ * invocation stream is folded incrementally afterwards (FNV-1a is
+ * byte-sequential, so chaining fnv1a64 over pieces equals hashing the
+ * concatenation).
+ */
+std::string
+workloadHeaderBytes(const std::string& name,
+                    const std::vector<FunctionSpec>& functions)
 {
     std::ostringstream out;
-    out << trace.name() << ';';
-    for (const FunctionSpec& spec : trace.functions()) {
+    out << name << ';';
+    for (const FunctionSpec& spec : functions) {
         out << spec.id << ';' << spec.name << ';';
         hashHexDouble(out, spec.mem_mb);
         hashHexDouble(out, spec.cpu_units);
         hashHexDouble(out, spec.io_units);
         out << spec.warm_us << ';' << spec.cold_us << ';';
     }
+    return out.str();
+}
+
+std::uint64_t
+foldInvocation(std::uint64_t hash, const Invocation& inv)
+{
+    char buf[64];
+    const int len =
+        std::snprintf(buf, sizeof buf, "%" PRIu32 ",%" PRId64 ";",
+                      inv.function, inv.arrival_us);
+    return fnv1a64(std::string_view(buf, static_cast<std::size_t>(len)),
+                   hash);
+}
+
+}  // namespace
+
+std::uint64_t
+traceFingerprint(const Trace& trace)
+{
+    std::uint64_t hash =
+        fnv1a64(workloadHeaderBytes(trace.name(), trace.functions()));
     for (const Invocation& inv : trace.invocations())
-        out << inv.function << ',' << inv.arrival_us << ';';
-    return fnv1a64(out.str());
+        hash = foldInvocation(hash, inv);
+    return hash;
+}
+
+std::uint64_t
+sourceFingerprint(InvocationSource& source)
+{
+    std::uint64_t hash =
+        fnv1a64(workloadHeaderBytes(source.name(), source.functions()));
+    source.reset();
+    Invocation inv;
+    while (source.next(inv))
+        hash = foldInvocation(hash, inv);
+    source.reset();
+    return hash;
 }
 
 SweepCell
@@ -76,6 +124,20 @@ makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
 {
     SweepCell cell;
     cell.trace = &trace;
+    cell.make_policy = [kind, policy_config]() {
+        return makePolicy(kind, policy_config);
+    };
+    cell.sim.memory_mb = memory_mb;
+    return cell;
+}
+
+SweepCell
+makeStreamCell(std::function<std::unique_ptr<InvocationSource>()> make_source,
+               PolicyKind kind, MemMb memory_mb,
+               const PolicyConfig& policy_config)
+{
+    SweepCell cell;
+    cell.make_source = std::move(make_source);
     cell.make_policy = [kind, policy_config]() {
         return makePolicy(kind, policy_config);
     };
@@ -130,15 +192,28 @@ sweepGridFingerprint(const std::vector<SweepCell>& cells)
     out << "faascache-sweep-grid-v1;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCell& cell = cells[i];
-        auto it = trace_hashes.find(cell.trace);
-        if (it == trace_hashes.end())
-            it = trace_hashes
-                     .emplace(cell.trace, traceFingerprint(*cell.trace))
-                     .first;
+        std::uint64_t workload_hash = 0;
+        if (cell.trace != nullptr) {
+            auto it = trace_hashes.find(cell.trace);
+            if (it == trace_hashes.end())
+                it = trace_hashes
+                         .emplace(cell.trace,
+                                  traceFingerprint(*cell.trace))
+                         .first;
+            workload_hash = it->second;
+        } else {
+            // Caller-provided identity, or one streaming pass when the
+            // caller left it unset. Equals traceFingerprint() of the
+            // equivalent trace, so a checkpoint is portable between
+            // the materialized and streamed shapes of one workload.
+            workload_hash = cell.source_fingerprint != 0
+                ? cell.source_fingerprint
+                : sourceFingerprint(*cell.make_source());
+        }
         out << keys[i] << ';';
         char trace_hash[24];
         std::snprintf(trace_hash, sizeof trace_hash, "%016" PRIx64,
-                      it->second);
+                      workload_hash);
         out << trace_hash << ';';
         hashHexDouble(out, cell.sim.memory_mb);
         out << cell.sim.memory_sample_interval_us << ';'
@@ -286,6 +361,12 @@ SweepRunner::runReport(const std::vector<SweepCell>& cells,
             const SweepCell& cell = cells[index];
             SimulatorConfig config = cell.sim;
             config.cancel = &token;
+            if (cell.make_source) {
+                const std::unique_ptr<InvocationSource> source =
+                    cell.make_source();
+                return simulateSource(*source, cell.make_policy(),
+                                      config);
+            }
             return simulateTrace(*cell.trace, cell.make_policy(), config);
         },
         [&writer](std::size_t /*index*/,

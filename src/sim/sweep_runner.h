@@ -52,17 +52,41 @@
 #include "core/policy_factory.h"
 #include "sim/sim_result.h"
 #include "sim/simulator.h"
+#include "trace/invocation_source.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 #include "util/cell_harness.h"
 
 namespace faascache {
 
-/** One independent simulation: (trace, policy spec, simulator knobs). */
+/** One independent simulation: (workload, policy spec, simulator knobs).
+ *  The workload is either a materialized `trace` or a streaming
+ *  `make_source` factory — exactly one must be set. */
 struct SweepCell
 {
     /** Workload to replay (non-owning; must outlive the sweep). */
     const Trace* trace = nullptr;
+
+    /**
+     * Streaming workload (DESIGN.md §4h), the alternative to `trace`:
+     * builds a fresh InvocationSource inside the worker thread for
+     * every attempt, so oversized workloads sweep without ever being
+     * materialized. Must be pure — each call returns an independent
+     * cursor over the same stream (e.g. a fresh FtraceSource over one
+     * shared FtraceFile, or a re-seeded generator).
+     */
+    std::function<std::unique_ptr<InvocationSource>()> make_source;
+
+    /**
+     * Workload identity for `make_source` cells, mixed into the sweep
+     * grid fingerprint in place of the trace hash. Fill with
+     * sourceFingerprint() (one extra streaming pass, identical to
+     * traceFingerprint() of the equivalent trace) or any stable hash
+     * of the underlying artifact (e.g. the .ftrace header checksum).
+     * Left 0, the runner computes sourceFingerprint() itself when a
+     * grid fingerprint is needed (checkpointing / runReport).
+     */
+    std::uint64_t source_fingerprint = 0;
 
     /**
      * Builds the cell's policy inside the worker thread. Must be pure
@@ -92,6 +116,13 @@ struct SweepCell
 /** Convenience: a cell for one of the paper's named policies. */
 SweepCell makeCell(const Trace& trace, PolicyKind kind, MemMb memory_mb,
                    const PolicyConfig& policy_config = {});
+
+/** Streaming convenience: a cell replaying `make_source` (see
+ *  SweepCell::make_source; factory must be pure). */
+SweepCell makeStreamCell(
+    std::function<std::unique_ptr<InvocationSource>()> make_source,
+    PolicyKind kind, MemMb memory_mb,
+    const PolicyConfig& policy_config = {});
 
 /**
  * Derive the seed of cell `cell_key` from the sweep's base seed,
@@ -125,6 +156,16 @@ std::uint64_t sweepGridFingerprint(const std::vector<SweepCell>& cells);
  * — sim, platform, cluster, elastic — mixes per distinct trace.
  */
 std::uint64_t traceFingerprint(const Trace& trace);
+
+/**
+ * Streaming twin of traceFingerprint(): hashes name, function specs,
+ * and the full invocation stream in one O(1)-memory pass, producing
+ * the exact value traceFingerprint() gives for the equivalent
+ * materialized trace (so a sweep checkpoint taken against a Trace
+ * resumes against the streamed same workload and vice versa). Leaves
+ * the source reset to the beginning.
+ */
+std::uint64_t sourceFingerprint(InvocationSource& source);
 
 /** Crash-safety knobs for SweepRunner::runReport(). */
 struct SweepOptions

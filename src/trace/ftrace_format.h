@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Compiled columnar `.ftrace` trace files (DESIGN.md §4h).
+ *
+ * On-disk layout (all integers little-endian, doubles stored as their
+ * raw IEEE-754 bit pattern, so round-trips are bit-exact):
+ *
+ *   [64-byte header]
+ *     magic           4 B  "FTRC"
+ *     endianness      u32  0x01020304 as written by the producer; a
+ *                          reader on the other endianness sees
+ *                          0x04030201 and rejects the file
+ *     version         u32  1
+ *     chunk_capacity  u32  invocations per chunk (default 4096)
+ *     name_bytes      u32  length of the trace name
+ *     reserved        u32  zero
+ *     num_functions   u64
+ *     num_invocations u64
+ *     num_chunks      u64  == ceil(num_invocations / chunk_capacity)
+ *     fn_table_bytes  u64  serialized function-table length
+ *     header_checksum u64  fnv1a64 over the preceding 56 bytes
+ *   [trace name        name_bytes]
+ *   [function table    fn_table_bytes]   per function: name_len u32,
+ *                          name, mem_mb/cpu_units/io_units f64,
+ *                          warm_us/cold_us i64
+ *   [fn_table_checksum u64]              fnv1a64 over the table bytes
+ *   [chunk 0] ... [chunk num_chunks-1]   fixed stride:
+ *     count           u32  live entries (== capacity except the last)
+ *     pad             u32  zero
+ *     arrival_us      i64 × capacity     (column; unused slots zero)
+ *     function        u32 × capacity     (column; unused slots zero)
+ *     chunk_checksum  u64  fnv1a64 over the preceding stride-8 bytes
+ *
+ * The reader validates header fields, the function table, and the
+ * total file size eagerly at open (named-field errors), and each
+ * chunk's checksum/count/sortedness lazily on first touch, so opening
+ * a multi-GB file stays O(catalog). Consumed chunks are released back
+ * to the kernel with madvise(MADV_DONTNEED), keeping peak RSS at
+ * O(chunk) no matter the trace length.
+ */
+#ifndef FAASCACHE_TRACE_FTRACE_FORMAT_H_
+#define FAASCACHE_TRACE_FTRACE_FORMAT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/invocation_source.h"
+#include "trace/trace.h"
+
+namespace faascache {
+
+/** `.ftrace` format constants shared by writer, reader, and tests. */
+namespace ftrace {
+
+inline constexpr char kMagic[4] = {'F', 'T', 'R', 'C'};
+inline constexpr std::uint32_t kEndianness = 0x01020304u;
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kDefaultChunkCapacity = 4096;
+/** Upper bound on chunk_capacity a reader will accept (guards
+ *  stride-overflow on hostile headers). */
+inline constexpr std::uint32_t kMaxChunkCapacity = 1u << 22;
+inline constexpr std::size_t kHeaderBytes = 64;
+
+/** Bytes of one chunk for a given capacity (count+pad+columns+checksum). */
+constexpr std::size_t chunkStride(std::uint32_t capacity)
+{
+    return 8 + std::size_t{capacity} * 12 + 8;
+}
+
+}  // namespace ftrace
+
+/**
+ * Streaming `.ftrace` writer: catalog up front, invocations appended
+ * in time order, finish() seals the file (back-patches the header with
+ * the final counts). A writer that is destroyed without finish()
+ * leaves a file that readers reject (zeroed header checksum).
+ */
+class FtraceWriter
+{
+  public:
+    /**
+     * Opens `path` for writing and emits the provisional header, name,
+     * and function table.
+     * @throws std::runtime_error on IO failure or invalid catalog.
+     */
+    FtraceWriter(const std::string& path, std::string name,
+                 std::vector<FunctionSpec> functions,
+                 std::uint32_t chunk_capacity =
+                     ftrace::kDefaultChunkCapacity);
+
+    FtraceWriter(const FtraceWriter&) = delete;
+    FtraceWriter& operator=(const FtraceWriter&) = delete;
+
+    /**
+     * Append one invocation.
+     * @throws std::runtime_error on out-of-order arrival, unknown
+     *         function id, or append after finish().
+     */
+    void append(const Invocation& inv);
+
+    /** Flush the tail chunk and back-patch the header. Idempotent. */
+    void finish();
+
+    std::size_t appended() const { return appended_; }
+
+  private:
+    void flushChunk();
+
+    std::string path_;
+    std::ofstream out_;
+    std::uint32_t chunk_capacity_;
+    std::size_t num_functions_;
+    std::size_t name_bytes_cache_ = 0;
+    std::size_t fn_table_bytes_cache_ = 0;
+    std::size_t appended_ = 0;
+    std::uint64_t num_chunks_ = 0;
+    TimeUs prev_arrival_ = 0;
+    bool finished_ = false;
+    /** Buffered chunk: parallel columns, flushed when full. */
+    std::vector<TimeUs> arrivals_;
+    std::vector<FunctionId> funcs_;
+};
+
+/**
+ * Compile an entire source to `path` in one pass (resets the source
+ * before and after).
+ * @return number of invocations written.
+ */
+std::size_t writeFtraceFile(const std::string& path,
+                            InvocationSource& source,
+                            std::uint32_t chunk_capacity =
+                                ftrace::kDefaultChunkCapacity);
+
+/**
+ * Memory-mapped streaming reader over a `.ftrace` file.
+ *
+ * Header, name, function table, and file size are validated in the
+ * constructor; chunk payloads are checksum-verified lazily on first
+ * touch and released with madvise(MADV_DONTNEED) once consumed.
+ * All failures throw std::runtime_error with messages of the form
+ * "ftrace: <path>: <field>: <problem>".
+ */
+class FtraceSource final : public InvocationSource
+{
+  public:
+    explicit FtraceSource(const std::string& path);
+    ~FtraceSource() override;
+
+    FtraceSource(const FtraceSource&) = delete;
+    FtraceSource& operator=(const FtraceSource&) = delete;
+
+    const std::string& name() const override { return name_; }
+    const std::vector<FunctionSpec>& functions() const override
+    {
+        return functions_;
+    }
+    bool peek(Invocation& out) override;
+    bool next(Invocation& out) override;
+    void reset() override;
+    SourceCountHint countHint() const override
+    {
+        return SourceCountHint{num_invocations_, true};
+    }
+
+    std::uint32_t chunkCapacity() const { return chunk_capacity_; }
+    std::uint64_t numChunks() const { return num_chunks_; }
+
+  private:
+    [[noreturn]] void fail(const std::string& field,
+                           const std::string& problem) const;
+    /** Validate + cache the chunk containing global index `pos`. */
+    void touchChunk(std::uint64_t chunk);
+    bool load(std::uint64_t pos, Invocation& out);
+
+    std::string path_;
+    std::string name_;
+    std::vector<FunctionSpec> functions_;
+    const unsigned char* map_ = nullptr;
+    std::size_t map_bytes_ = 0;
+    std::size_t chunks_off_ = 0;
+    std::uint32_t chunk_capacity_ = 0;
+    std::uint64_t num_invocations_ = 0;
+    std::uint64_t num_chunks_ = 0;
+    std::uint64_t pos_ = 0;
+    /** Chunks [0, verified_chunks_) passed checksum/count/sortedness. */
+    std::uint64_t verified_chunks_ = 0;
+    /** Arrival at the end of the last verified chunk (cross-chunk
+     *  sortedness check). */
+    TimeUs verified_tail_arrival_ = 0;
+};
+
+}  // namespace faascache
+
+#endif  // FAASCACHE_TRACE_FTRACE_FORMAT_H_

@@ -12,9 +12,8 @@ namespace {
 
 /** Function ids sorted ascending by invocation count (ties by id). */
 std::vector<FunctionId>
-idsByFrequency(const Trace& population)
+idsByFrequency(const std::vector<std::size_t>& counts)
 {
-    const auto counts = population.invocationCounts();
     std::vector<FunctionId> ids(counts.size());
     std::iota(ids.begin(), ids.end(), FunctionId{0});
     std::stable_sort(ids.begin(), ids.end(),
@@ -41,25 +40,28 @@ pickRandom(const std::vector<FunctionId>& candidates, std::size_t count,
     return out;
 }
 
-}  // namespace
+// Selection cores, shared verbatim by the Trace samplers and the
+// streaming *Ids variants so both pick bit-identical keep lists from
+// the same per-function counts.
 
-Trace
-sampleRare(const Trace& population, std::size_t count, std::uint64_t seed)
+std::vector<FunctionId>
+selectRare(const std::vector<std::size_t>& counts, std::size_t count,
+           std::uint64_t seed)
 {
     Rng rng(seed);
-    auto ids = idsByFrequency(population);
+    auto ids = idsByFrequency(counts);
     // Restrict to the rarest half (at least `count` candidates).
     const std::size_t half = std::max(count, ids.size() / 2);
     ids.resize(std::min(ids.size(), half));
-    return population.subset(pickRandom(ids, count, rng), "rare");
+    return pickRandom(ids, count, rng);
 }
 
-Trace
-sampleRepresentative(const Trace& population, std::size_t count,
-                     std::uint64_t seed)
+std::vector<FunctionId>
+selectRepresentative(const std::vector<std::size_t>& counts,
+                     std::size_t count, std::uint64_t seed)
 {
     Rng rng(seed);
-    const auto ids = idsByFrequency(population);
+    const auto ids = idsByFrequency(counts);
     std::vector<FunctionId> chosen;
     const std::size_t per_quartile = count / 4;
     for (int q = 0; q < 4; ++q) {
@@ -74,16 +76,64 @@ sampleRepresentative(const Trace& population, std::size_t count,
         chosen.insert(chosen.end(), picked.begin(), picked.end());
     }
     std::sort(chosen.begin(), chosen.end());
-    return population.subset(chosen, "representative");
+    return chosen;
+}
+
+std::vector<FunctionId>
+selectRandom(std::size_t num_functions, std::size_t count,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<FunctionId> ids(num_functions);
+    std::iota(ids.begin(), ids.end(), FunctionId{0});
+    return pickRandom(ids, count, rng);
+}
+
+}  // namespace
+
+Trace
+sampleRare(const Trace& population, std::size_t count, std::uint64_t seed)
+{
+    return population.subset(
+        selectRare(population.invocationCounts(), count, seed), "rare");
+}
+
+Trace
+sampleRepresentative(const Trace& population, std::size_t count,
+                     std::uint64_t seed)
+{
+    return population.subset(
+        selectRepresentative(population.invocationCounts(), count, seed),
+        "representative");
 }
 
 Trace
 sampleRandom(const Trace& population, std::size_t count, std::uint64_t seed)
 {
-    Rng rng(seed);
-    std::vector<FunctionId> ids(population.functions().size());
-    std::iota(ids.begin(), ids.end(), FunctionId{0});
-    return population.subset(pickRandom(ids, count, rng), "random");
+    return population.subset(
+        selectRandom(population.functions().size(), count, seed), "random");
+}
+
+std::vector<FunctionId>
+sampleRareIds(InvocationSource& population, std::size_t count,
+              std::uint64_t seed)
+{
+    return selectRare(countInvocationsPerFunction(population), count, seed);
+}
+
+std::vector<FunctionId>
+sampleRepresentativeIds(InvocationSource& population, std::size_t count,
+                        std::uint64_t seed)
+{
+    return selectRepresentative(countInvocationsPerFunction(population),
+                                count, seed);
+}
+
+std::vector<FunctionId>
+sampleRandomIds(InvocationSource& population, std::size_t count,
+                std::uint64_t seed)
+{
+    return selectRandom(population.functions().size(), count, seed);
 }
 
 }  // namespace faascache

@@ -13,7 +13,9 @@
 #define FAASCACHE_TRACE_SAMPLERS_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "trace/invocation_source.h"
 #include "trace/trace.h"
 
 namespace faascache {
@@ -36,6 +38,24 @@ Trace sampleRepresentative(const Trace& population, std::size_t count,
 /** Sample `count` functions uniformly at random. */
 Trace sampleRandom(const Trace& population, std::size_t count,
                    std::uint64_t seed);
+
+/**
+ * @name Streaming selection
+ * Keep-list variants over a source: one counting pass selects the same
+ * function ids (bit-identical) as the materialized sampler on the
+ * equivalent Trace. Feed the result to SubsetSource (streamed) or
+ * Trace::subset (materialized) — both apply the identical dense remap.
+ * @{
+ */
+std::vector<FunctionId> sampleRareIds(InvocationSource& population,
+                                      std::size_t count,
+                                      std::uint64_t seed);
+std::vector<FunctionId> sampleRepresentativeIds(
+    InvocationSource& population, std::size_t count, std::uint64_t seed);
+std::vector<FunctionId> sampleRandomIds(InvocationSource& population,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+/** @} */
 
 }  // namespace faascache
 

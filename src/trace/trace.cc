@@ -99,21 +99,19 @@ Trace::subset(const std::vector<FunctionId>& keep, std::string name) const
 {
     Trace out(std::move(name));
     // Dense remap table (the catalog is dense by construction), doubling
-    // as the membership test for the counting pre-pass below.
+    // as the membership test for the counting pre-pass below. One pass
+    // over `keep` both assigns new ids and copies the spec; duplicate
+    // keep entries are skipped by the membership test, and keep.size()
+    // is the exact catalog reserve when there are none.
     std::vector<FunctionId> remap(functions_.size(), kInvalidFunction);
-    std::size_t kept_functions = 0;
+    out.functions_.reserve(keep.size());
     for (FunctionId old_id : keep) {
         if (old_id >= functions_.size())
             throw std::out_of_range("Trace::subset: unknown function id");
         if (remap[old_id] != kInvalidFunction)
-            continue;
-        remap[old_id] = static_cast<FunctionId>(kept_functions++);
-    }
-    out.functions_.reserve(kept_functions);
-    for (FunctionId old_id : keep) {
-        const FunctionId new_id = remap[old_id];
-        if (new_id != static_cast<FunctionId>(out.functions_.size()))
             continue;  // duplicate keep entry, already copied
+        const auto new_id = static_cast<FunctionId>(out.functions_.size());
+        remap[old_id] = new_id;
         FunctionSpec spec = functions_[old_id];
         spec.id = new_id;
         out.functions_.push_back(std::move(spec));

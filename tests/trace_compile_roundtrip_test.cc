@@ -1,0 +1,162 @@
+// Round-trip battery for the trace-compile pipeline (DESIGN.md §4h):
+// CSV text → Trace → .ftrace → mmap stream → materialized oracle must
+// be lossless at every hop, including bit-exact doubles and the FIFO
+// order of same-timestamp invocations. These are the exact library
+// calls `tools/trace_compile.cc` makes; the CLI itself is smoked in CI
+// against the same guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/ftrace_format.h"
+#include "trace/function_spec.h"
+#include "trace/invocation_source.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace faascache {
+namespace {
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) +
+                "faascache_roundtrip_" + tag)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A hand-written CSV with awkward values: non-round doubles, v2
+ *  cpu/io columns, and bursts of invocations sharing one timestamp
+ *  across different functions (FIFO order must survive). */
+std::string
+fixtureCsv()
+{
+    return "faascache-trace,2,roundtrip-fixture\n"
+           "function,0,alpha,170.25,80000,400000,1.5,0.25\n"
+           "function,1,beta,96.125,50000,250000,1,0\n"
+           "function,2,gamma,1024.5,200000,1200000,2,0.75\n"
+           "invocation,0,0\n"
+           "invocation,1,0\n"
+           "invocation,2,0\n"
+           "invocation,2,500000\n"
+           "invocation,0,500000\n"
+           "invocation,1,500000\n"
+           "invocation,1,500001\n"
+           "invocation,0,1000000\n";
+}
+
+TEST(TraceCompileRoundTrip, CsvToFtraceToOracleIsLossless)
+{
+    const Trace want = readTrace(fixtureCsv());
+    ASSERT_TRUE(want.validate());
+    ASSERT_EQ(want.invocations().size(), 8u);
+
+    TempPath ftrace("lossless.ftrace");
+    TraceSource source(want);
+    // Chunk capacity 4 splits the same-timestamp burst across a chunk
+    // boundary — order must still survive.
+    ASSERT_EQ(writeFtraceFile(ftrace.path(), source, 4), 8u);
+
+    FtraceSource mapped(ftrace.path());
+    const Trace got = materializeSource(mapped);
+
+    EXPECT_EQ(got.name(), want.name());
+    ASSERT_EQ(got.functions().size(), want.functions().size());
+    for (std::size_t f = 0; f < want.functions().size(); ++f) {
+        const FunctionSpec& g = got.functions()[f];
+        const FunctionSpec& w = want.functions()[f];
+        EXPECT_EQ(g.name, w.name);
+        // Bit-exact: .ftrace stores raw IEEE-754 patterns and the CSV
+        // codec prints enough digits to round-trip.
+        EXPECT_EQ(g.mem_mb, w.mem_mb);
+        EXPECT_EQ(g.cpu_units, w.cpu_units);
+        EXPECT_EQ(g.io_units, w.io_units);
+        EXPECT_EQ(g.warm_us, w.warm_us);
+        EXPECT_EQ(g.cold_us, w.cold_us);
+    }
+    ASSERT_EQ(got.invocations().size(), want.invocations().size());
+    for (std::size_t i = 0; i < want.invocations().size(); ++i)
+        EXPECT_EQ(got.invocations()[i], want.invocations()[i])
+            << "invocation " << i
+            << " (same-timestamp FIFO order must be preserved)";
+}
+
+TEST(TraceCompileRoundTrip, CsvEmittedBackIsByteStable)
+{
+    // trace → CSV → trace → CSV reaches a fixed point: emitting the
+    // decompiled trace again produces identical bytes (the CLI's
+    // --emit-csv / --csv cycle keys on this).
+    const Trace first = readTrace(fixtureCsv());
+    std::ostringstream out1;
+    writeTrace(first, out1);
+    const Trace second = readTrace(out1.str());
+    std::ostringstream out2;
+    writeTrace(second, out2);
+    EXPECT_EQ(out1.str(), out2.str());
+}
+
+TEST(TraceCompileRoundTrip, MalformedCsvReportsLineNumbers)
+{
+    struct Case
+    {
+        std::string csv;
+        std::string want_line;
+    };
+    const std::vector<Case> cases = {
+        {"faascache-trace,2,x\nfunction,0,a,128,1,2\n"
+         "invocation,0,nonsense\n",
+         "line 3"},
+        {"faascache-trace,2,x\nfunction,zero,a,128,1,2\n", "line 2"},
+        {"not-a-trace,9,x\n", "line 1"},
+    };
+    for (const Case& c : cases) {
+        try {
+            readTrace(c.csv);
+            FAIL() << "malformed CSV accepted: " << c.csv;
+        } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string(error.what()).find(c.want_line),
+                      std::string::npos)
+                << "error '" << error.what()
+                << "' does not carry the expected '" << c.want_line
+                << "'";
+        }
+    }
+}
+
+TEST(TraceCompileRoundTrip, EmptyInvocationStreamRoundTrips)
+{
+    // A catalog-only trace (zero invocations) is a valid boundary for
+    // the compiler: header says zero chunks, reader yields nothing.
+    Trace want("empty");
+    want.addFunction(
+        makeFunction(0, "only", 64.0, fromMillis(10), fromMillis(50)));
+    ASSERT_TRUE(want.validate());
+
+    TempPath ftrace("empty.ftrace");
+    TraceSource source(want);
+    ASSERT_EQ(writeFtraceFile(ftrace.path(), source), 0u);
+
+    FtraceSource mapped(ftrace.path());
+    EXPECT_EQ(mapped.numChunks(), 0u);
+    Invocation inv;
+    EXPECT_FALSE(mapped.next(inv));
+    const Trace got = materializeSource(mapped);
+    EXPECT_EQ(got.functions().size(), 1u);
+    EXPECT_EQ(got.invocations().size(), 0u);
+}
+
+}  // namespace
+}  // namespace faascache

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * `trace_compile` — the `.ftrace` trace compiler (DESIGN.md §4h).
+ *
+ * Compiles workloads into the streaming-friendly columnar `.ftrace`
+ * format and inspects/round-trips existing files:
+ *
+ *   trace_compile --csv in.csv -o out.ftrace [--chunk N]
+ *       Compile a faascache-trace CSV (trace/trace_io.h). Malformed
+ *       rows are reported with their 1-based line number.
+ *
+ *   trace_compile --generate SPEC -o out.ftrace [--chunk N]
+ *       Compile a synthetic workload directly from its streaming
+ *       generator — the invocation vector is never materialized, so
+ *       arbitrarily long traces compile in O(functions) memory.
+ *       SPEC is "azure[:key=value,...]" over AzureModelConfig, e.g.
+ *         azure:num_functions=400,duration_us=7200000000,seed=7
+ *       Keys: seed, num_functions, duration_us, iat_median_sec,
+ *       iat_sigma, max_rate_per_sec, mem_median_mb, diurnal,
+ *       diurnal_peak_to_mean, drop_single, name.
+ *
+ *   trace_compile --verify file.ftrace
+ *       Open the file and stream every chunk through the checksum /
+ *       sortedness validation; exit nonzero on the first corruption.
+ *
+ *   trace_compile --dump file.ftrace
+ *       Print header fields and the function catalog.
+ *
+ *   trace_compile --emit-csv file.ftrace -o out.csv
+ *       Decompile back to the CSV format (materializes the trace).
+ *
+ *   trace_compile --replay file.ftrace [--policy GD] [--memory-mb M]
+ *       Stream the file through the keep-alive simulator and print a
+ *       one-line result digest (smoke test for CI).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/azure_model.h"
+#include "trace/ftrace_format.h"
+#include "trace/generated_source.h"
+#include "trace/invocation_source.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace faascache;
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s MODE [options]\n"
+        "modes:\n"
+        "  --csv IN.csv -o OUT.ftrace [--chunk N]   compile CSV\n"
+        "  --generate SPEC -o OUT.ftrace [--chunk N]\n"
+        "        SPEC = azure[:key=value,...] (streaming generation)\n"
+        "  --verify FILE.ftrace                     validate all chunks\n"
+        "  --dump FILE.ftrace                       print header+catalog\n"
+        "  --emit-csv FILE.ftrace -o OUT.csv        decompile to CSV\n"
+        "  --replay FILE.ftrace [--policy GD] [--memory-mb M]\n"
+        "        stream through the simulator, print a digest\n",
+        argv0);
+    std::exit(2);
+}
+
+[[noreturn]] void
+die(const std::string& message)
+{
+    std::fprintf(stderr, "trace_compile: %s\n", message.c_str());
+    std::exit(1);
+}
+
+std::uint64_t
+parseU64(const std::string& key, const std::string& value)
+{
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        die("--generate: key '" + key + "': bad integer '" + value + "'");
+    }
+}
+
+double
+parseF64(const std::string& key, const std::string& value)
+{
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        die("--generate: key '" + key + "': bad number '" + value + "'");
+    }
+}
+
+/** "azure[:k=v,...]" → a streaming generator source. */
+std::unique_ptr<InvocationSource>
+makeGeneratedSource(const std::string& spec)
+{
+    const std::size_t colon = spec.find(':');
+    const std::string family = spec.substr(0, colon);
+    if (family != "azure")
+        die("--generate: unknown generator family '" + family +
+            "' (supported: azure)");
+    AzureModelConfig config;
+    std::string rest =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string pair = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            die("--generate: expected key=value, got '" + pair + "'");
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "seed")
+            config.seed = parseU64(key, value);
+        else if (key == "num_functions")
+            config.num_functions =
+                static_cast<std::size_t>(parseU64(key, value));
+        else if (key == "duration_us")
+            config.duration_us =
+                static_cast<TimeUs>(parseU64(key, value));
+        else if (key == "iat_median_sec")
+            config.iat_median_sec = parseF64(key, value);
+        else if (key == "iat_sigma")
+            config.iat_sigma = parseF64(key, value);
+        else if (key == "max_rate_per_sec")
+            config.max_rate_per_sec = parseF64(key, value);
+        else if (key == "mem_median_mb")
+            config.mem_median_mb = parseF64(key, value);
+        else if (key == "diurnal")
+            config.diurnal = parseU64(key, value) != 0;
+        else if (key == "diurnal_peak_to_mean")
+            config.diurnal_peak_to_mean = parseF64(key, value);
+        else if (key == "drop_single")
+            config.drop_single_invocation_functions =
+                parseU64(key, value) != 0;
+        else if (key == "name")
+            config.name = value;
+        else
+            die("--generate: unknown key '" + key + "'");
+    }
+    return makeAzureSource(config);
+}
+
+int
+compileSource(InvocationSource& source, const std::string& out_path,
+              std::uint32_t chunk_capacity)
+{
+    const std::size_t written =
+        writeFtraceFile(out_path, source, chunk_capacity);
+    std::printf("compiled %s: %zu functions, %zu invocations\n",
+                out_path.c_str(), source.functions().size(), written);
+    return 0;
+}
+
+int
+verifyFile(const std::string& path)
+{
+    FtraceSource source(path);
+    // Draining the cursor touches every chunk, which runs the lazy
+    // checksum + count + sortedness validation over the whole file.
+    Invocation inv;
+    std::size_t count = 0;
+    while (source.next(inv))
+        ++count;
+    std::printf("%s: ok (%zu functions, %zu invocations, %llu chunks "
+                "of %u)\n",
+                path.c_str(), source.functions().size(), count,
+                static_cast<unsigned long long>(source.numChunks()),
+                source.chunkCapacity());
+    return 0;
+}
+
+int
+dumpFile(const std::string& path)
+{
+    FtraceSource source(path);
+    const SourceCountHint hint = source.countHint();
+    std::printf("file:            %s\n", path.c_str());
+    std::printf("name:            %s\n", source.name().c_str());
+    std::printf("num_functions:   %zu\n", source.functions().size());
+    std::printf("num_invocations: %zu\n", hint.count);
+    std::printf("chunk_capacity:  %u\n", source.chunkCapacity());
+    std::printf("num_chunks:      %llu\n",
+                static_cast<unsigned long long>(source.numChunks()));
+    for (const FunctionSpec& spec : source.functions()) {
+        std::printf(
+            "function %u %s mem=%.1fMB warm=%lldus cold=%lldus "
+            "cpu=%.2f io=%.2f\n",
+            spec.id, spec.name.c_str(), spec.mem_mb,
+            static_cast<long long>(spec.warm_us),
+            static_cast<long long>(spec.cold_us), spec.cpu_units,
+            spec.io_units);
+    }
+    return 0;
+}
+
+int
+emitCsv(const std::string& path, const std::string& out_path)
+{
+    FtraceSource source(path);
+    const Trace trace = materializeSource(source);
+    saveTraceFile(trace, out_path);
+    std::printf("wrote %s: %zu functions, %zu invocations\n",
+                out_path.c_str(), trace.functions().size(),
+                trace.invocations().size());
+    return 0;
+}
+
+int
+replayFile(const std::string& path, const std::string& policy_name,
+           double memory_mb)
+{
+    FtraceSource source(path);
+    const PolicyKind kind = policyKindFromName(policy_name);
+    SimulatorConfig config;
+    config.memory_mb = memory_mb;
+    const SimResult result =
+        simulateSource(source, makePolicy(kind), config);
+    std::printf("%s policy=%s memory=%.0fMB warm=%lld cold=%lld "
+                "dropped=%lld cold%%=%.2f\n",
+                path.c_str(), result.policy_name.c_str(),
+                result.memory_mb,
+                static_cast<long long>(result.warm_starts),
+                static_cast<long long>(result.cold_starts),
+                static_cast<long long>(result.dropped),
+                result.coldStartPercent());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string mode, input, output, spec;
+    std::string policy = "GD";
+    double memory_mb = 4096.0;
+    std::uint32_t chunk_capacity = ftrace::kDefaultChunkCapacity;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "trace_compile: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--csv" || arg == "--verify" || arg == "--dump" ||
+            arg == "--emit-csv" || arg == "--replay") {
+            mode = arg;
+            input = value(arg.c_str());
+        } else if (arg == "--generate") {
+            mode = arg;
+            spec = value("--generate");
+        } else if (arg == "-o" || arg == "--output") {
+            output = value("-o");
+        } else if (arg == "--chunk") {
+            chunk_capacity = static_cast<std::uint32_t>(
+                parseU64("--chunk", value("--chunk")));
+        } else if (arg == "--policy") {
+            policy = value("--policy");
+        } else if (arg == "--memory-mb") {
+            memory_mb = parseF64("--memory-mb", value("--memory-mb"));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (mode.empty())
+        usage(argv[0]);
+
+    try {
+        if (mode == "--csv") {
+            if (output.empty())
+                usage(argv[0]);
+            // readTrace reports malformed rows with 1-based line
+            // numbers; surface its message verbatim.
+            const Trace trace = loadTraceFile(input);
+            TraceSource source(trace);
+            return compileSource(source, output, chunk_capacity);
+        }
+        if (mode == "--generate") {
+            if (output.empty())
+                usage(argv[0]);
+            const std::unique_ptr<InvocationSource> source =
+                makeGeneratedSource(spec);
+            return compileSource(*source, output, chunk_capacity);
+        }
+        if (mode == "--verify")
+            return verifyFile(input);
+        if (mode == "--dump")
+            return dumpFile(input);
+        if (mode == "--emit-csv") {
+            if (output.empty())
+                usage(argv[0]);
+            return emitCsv(input, output);
+        }
+        if (mode == "--replay")
+            return replayFile(input, policy, memory_mb);
+    } catch (const std::exception& error) {
+        die(error.what());
+    }
+    usage(argv[0]);
+}
