@@ -15,9 +15,12 @@
  *
  * Flags: the shared bench sweep flags (--jobs/--deadline-s/--retries/
  * --ckpt/--resume, see bench/workloads.h) plus --smoke, which shrinks
- * the grid to one burst intensity for CI.
+ * the grid to one burst intensity for CI, and --shards N, which runs
+ * every cell through the sharded windowed cluster engine (N worker
+ * threads per cell; results are shard-count invariant).
  */
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iostream>
@@ -201,9 +204,14 @@ main(int argc, char** argv)
 {
     const bench::BenchOptions options = bench::parseBenchArgs(argc, argv);
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    std::size_t shards = 0;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+            shards = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
 
     const TimeUs duration = smoke ? 40 * kMinute : kHour;
     const std::vector<int> intensities =
@@ -234,9 +242,10 @@ main(int argc, char** argv)
                     defended ? "defended" : "undefended";
                 labels.push_back("x" + std::to_string(intensity) + " " +
                                  policy + " " + mode);
-                cells.push_back({&trace, kind,
-                                 defended ? defendedConfig() : baseConfig(),
-                                 {},
+                ClusterConfig config =
+                    defended ? defendedConfig() : baseConfig();
+                config.shards = shards;
+                cells.push_back({&trace, kind, config, {},
                                  trace.name() + "/" + policy + "/" + mode});
                 totals.push_back(trace.invocations().size());
             }

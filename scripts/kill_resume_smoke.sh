@@ -88,7 +88,9 @@ fi
 # invoker exercises the dense platform hot path under checkpointing),
 # and one cluster-sweep bench (fig_overload, whose cells carry the
 # overload counters), so every checkpoint flavour gets the SIGKILL
-# treatment.
+# treatment. The fig_overload sweep runs twice: single-threaded legacy
+# cells, then --shards 4 cells through the windowed sharded engine,
+# whose payloads must survive the SIGKILL/resume cycle byte-for-byte.
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 STATUS=0
 smoke_one "$ROOT/build/bench/fig6_cold_starts" --jobs 2 || STATUS=1
@@ -96,4 +98,5 @@ smoke_one "$ROOT/build/bench/fig6_cold_starts" --streamed --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig7_skewed_workloads" --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig8_server_load" --jobs 2 || STATUS=1
 smoke_one "$ROOT/build/bench/fig_overload" --smoke --jobs 2 || STATUS=1
+smoke_one "$ROOT/build/bench/fig_overload" --smoke --jobs 2 --shards 4 || STATUS=1
 exit $STATUS

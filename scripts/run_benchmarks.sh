@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Perf-regression harness driver (PR 5 pool rebuild, PR 7 platform
-# rebuild, PR 9 streaming trace substrate).
+# rebuild, PR 9 streaming trace substrate, PR 10 sharded cluster).
 #
 # Full mode (default) regenerates the committed baselines:
 #   scripts/run_benchmarks.sh [build-dir]
 #     -> runs build/bench/perf_harness --reps 3 --out BENCH_PR7.json
 #     -> runs build/bench/fig_stream_replay --out BENCH_PR9.json
+#     -> runs build/bench/fig_shard_scaling --out BENCH_PR10.json
 #
 # Smoke mode is the CI gate:
 #   scripts/run_benchmarks.sh --smoke [build-dir]
@@ -20,6 +21,13 @@
 #        trace stays within RSS_FLATNESS_MAX (default 1.1) x the small
 #        streamed replay's peak RSS. The ratio is trace-length
 #        flatness, so it is machine- and mode-invariant.
+#     -> runs a reduced fig_shard_scaling pass (the shard_scaling
+#        phase). Byte-identity of the cluster payloads across shard
+#        counts is asserted unconditionally. The wall-clock speedup
+#        floor (SHARD_SPEEDUP_MIN, default 2.5x at 4 shards, minus
+#        TOLERANCE) is only asserted when the machine reports >= 4
+#        usable cores: shard threads cannot run in parallel on fewer,
+#        so the gate would measure the box, not the code.
 #
 # A bench regresses when its smoke speedup drops below
 # (1 - TOLERANCE) x the baseline speedup. Benches present only in the
@@ -36,14 +44,17 @@ fi
 BUILD_DIR=${1:-"$ROOT/build"}
 HARNESS="$BUILD_DIR/bench/perf_harness"
 STREAM_HARNESS="$BUILD_DIR/bench/fig_stream_replay"
+SHARD_HARNESS="$BUILD_DIR/bench/fig_shard_scaling"
 BASELINE="$ROOT/BENCH_PR7.json"
 STREAM_BASELINE="$ROOT/BENCH_PR9.json"
+SHARD_BASELINE="$ROOT/BENCH_PR10.json"
 TOLERANCE=${TOLERANCE:-0.25}
 RSS_FLATNESS_MAX=${RSS_FLATNESS_MAX:-1.1}
+SHARD_SPEEDUP_MIN=${SHARD_SPEEDUP_MIN:-2.5}
 
-if [ ! -x "$HARNESS" ] || [ ! -x "$STREAM_HARNESS" ]; then
-    echo "run_benchmarks: $HARNESS or $STREAM_HARNESS missing; build first:" >&2
-    echo "  cmake -B build -S . && cmake --build build --target perf_harness fig_stream_replay" >&2
+if [ ! -x "$HARNESS" ] || [ ! -x "$STREAM_HARNESS" ] || [ ! -x "$SHARD_HARNESS" ]; then
+    echo "run_benchmarks: $HARNESS, $STREAM_HARNESS, or $SHARD_HARNESS missing; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build --target perf_harness fig_stream_replay fig_shard_scaling" >&2
     exit 2
 fi
 
@@ -78,10 +89,46 @@ print("run_benchmarks: streamed RSS flat across trace length")
 EOF
 }
 
+check_shard_scaling() {
+    python3 - "$1" "$SHARD_SPEEDUP_MIN" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+path, speedup_min, tolerance = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+with open(path) as f:
+    report = json.load(f)
+rows = {r["shards"]: r for r in report["rows"]}
+cores = report["available_cores"]
+for r in report["rows"]:
+    print(f"shard scaling: shards={r['shards']} wall {r['wall_s']:.2f}s"
+          f" peak rss {r['peak_rss_mb']:.1f} MB"
+          f" speedup {r['speedup_vs_1']:.2f}x")
+if not report["identical_payloads"]:
+    print("run_benchmarks: shard scaling payloads differ across shard"
+          " counts (determinism regression)", file=sys.stderr)
+    sys.exit(1)
+print("shard scaling: payloads byte-identical across shard counts")
+if cores < 4 or 4 not in rows:
+    print(f"run_benchmarks: speedup gate skipped ({cores} usable core(s);"
+          " need >= 4 to run shard threads in parallel)")
+    sys.exit(0)
+floor = speedup_min * (1.0 - tolerance)
+got = rows[4]["speedup_vs_1"]
+print(f"shard scaling: 4-shard speedup {got:.2f}x (floor {floor:.2f}x)")
+if got < floor:
+    print(f"run_benchmarks: shard scaling regressed ({got:.2f}x < {floor:.2f}x)",
+          file=sys.stderr)
+    sys.exit(1)
+print("run_benchmarks: shard scaling within tolerance")
+EOF
+}
+
 if [ "$SMOKE" -eq 0 ]; then
     "$HARNESS" --reps 3 --out "$BASELINE" || exit 1
     "$STREAM_HARNESS" --out "$STREAM_BASELINE" || exit 1
     check_rss_flatness "$STREAM_BASELINE" || exit 1
+    "$SHARD_HARNESS" --out "$SHARD_BASELINE" || exit 1
+    check_shard_scaling "$SHARD_BASELINE" || exit 1
     exit 0
 fi
 
@@ -93,10 +140,14 @@ fi
 
 SMOKE_OUT=$(mktemp /tmp/bench_pr7_smoke.XXXXXX.json)
 STREAM_SMOKE_OUT=$(mktemp /tmp/bench_pr9_smoke.XXXXXX.json)
-trap 'rm -f "$SMOKE_OUT" "$STREAM_SMOKE_OUT"' EXIT
+SHARD_SMOKE_OUT=$(mktemp /tmp/bench_pr10_smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE_OUT" "$STREAM_SMOKE_OUT" "$SHARD_SMOKE_OUT"' EXIT
 
 "$STREAM_HARNESS" --smoke --out "$STREAM_SMOKE_OUT" || exit 1
 check_rss_flatness "$STREAM_SMOKE_OUT" || exit 1
+
+"$SHARD_HARNESS" --smoke --out "$SHARD_SMOKE_OUT" || exit 1
+check_shard_scaling "$SHARD_SMOKE_OUT" || exit 1
 
 "$HARNESS" --smoke --reps 2 --out "$SMOKE_OUT" || exit 1
 

@@ -2,12 +2,14 @@
 # clang-tidy gate (readability / bugprone / performance; see .clang-tidy).
 #
 # Scope: the shared event engine (src/engine/), the core hot path
-# (src/core/), and the trace substrate (src/trace/ — the .ftrace
+# (src/core/), the trace substrate (src/trace/ — the .ftrace
 # mmap reader parses untrusted bytes, so it stays permanently in
-# scope), plus the sources this branch touches relative to the merge
-# base — the files a PR is responsible for — instead of the whole
-# tree, so the gate stays fast and PRs are not penalized for
-# pre-existing findings elsewhere.
+# scope), and the sharded cluster engine (src/platform/cluster_shard.cc
+# — barrier/mailbox concurrency deserves standing static analysis),
+# plus the sources this branch touches relative to the merge base —
+# the files a PR is responsible for — instead of the whole tree, so
+# the gate stays fast and PRs are not penalized for pre-existing
+# findings elsewhere.
 #
 # Usage: run_clang_tidy.sh [build-dir] [base-ref]
 #   build-dir  CMake build directory with compile_commands.json
@@ -37,10 +39,12 @@ fi
 
 cd "$ROOT"
 
-# The engine, the core hot path (slab pool, policies), and the trace
-# substrate (.ftrace parsing of untrusted bytes) are always in scope;
-# add the branch's touched C++ sources.
-FILES=$(ls src/engine/*.cc src/core/*.cc src/trace/*.cc 2>/dev/null)
+# The engine, the core hot path (slab pool, policies), the trace
+# substrate (.ftrace parsing of untrusted bytes), and the sharded
+# cluster engine (cross-thread barrier/mailbox protocol) are always in
+# scope; add the branch's touched C++ sources.
+FILES=$(ls src/engine/*.cc src/core/*.cc src/trace/*.cc \
+           src/platform/cluster_shard.cc 2>/dev/null)
 if git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
     DIFF_BASE=$BASE_REF
 elif git rev-parse --verify --quiet HEAD~1 >/dev/null; then

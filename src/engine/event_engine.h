@@ -284,6 +284,17 @@ class EventCore
     }
 
     /**
+     * Any pending event strictly before `horizon_us`? The sharded
+     * cluster's windowed loop asks this at every barrier to decide
+     * whether the next window can be skipped ahead. Counts a
+     * cancelled-but-unpruned root the same way nextTime() would.
+     */
+    bool hasEventBefore(TimeUs horizon_us) const
+    {
+        return !heap_.empty() && heap_.front().time_us < horizon_us;
+    }
+
+    /**
      * Remove and return the next event. @pre !empty().
      * @throws CancelledError when a bound token is cancelled.
      */

@@ -1,5 +1,7 @@
 #include "platform/cluster.h"
 
+#include "platform/balancer_stream.h"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
@@ -164,155 +166,6 @@ primaryTargets(const Trace& trace, const ClusterConfig& config)
     return targets;
 }
 
-/**
- * Streaming replacement for primaryTargets(): the balancer's primary
- * for each arrival, computed in stream order with the exact draw
- * sequence of the materialized path. RoundRobin and FunctionHash
- * primaries are pure functions of (index, function) and cost nothing
- * to recall later; Random primaries are sequential RNG draws, so when
- * `record` is set each draw is kept (4 bytes/arrival) for the crash
- * fallout's recall — the one deliberate O(stream) allowance of the
- * streamed cluster (documented on runCluster).
- */
-class PrimaryTracker
-{
-  public:
-    PrimaryTracker(const ClusterConfig& config, bool record)
-        : config_(&config), rng_(config.seed), record_(record)
-    {
-    }
-
-    /** Primary of the next arrival; call once per arrival, in order. */
-    std::size_t onArrival(std::size_t index, const Invocation& inv)
-    {
-        switch (config_->balancing) {
-          case LoadBalancing::Random: {
-            const auto draw = static_cast<std::size_t>(
-                rng_.uniformInt(config_->num_servers));
-            if (record_)
-                draws_.push_back(static_cast<std::uint32_t>(draw));
-            return draw;
-          }
-          case LoadBalancing::RoundRobin:
-            return index % config_->num_servers;
-          case LoadBalancing::FunctionHash:
-            break;
-        }
-        return static_cast<std::size_t>(
-            Rng::hashMix(inv.function ^ config_->seed) %
-            config_->num_servers);
-    }
-
-    /** Primary of an already-seen arrival. @pre record was set for
-     *  Random balancing. */
-    std::size_t recall(std::size_t index, const Invocation& inv) const
-    {
-        switch (config_->balancing) {
-          case LoadBalancing::Random:
-            return draws_.at(index);
-          case LoadBalancing::RoundRobin:
-            return index % config_->num_servers;
-          case LoadBalancing::FunctionHash:
-            break;
-        }
-        return static_cast<std::size_t>(
-            Rng::hashMix(inv.function ^ config_->seed) %
-            config_->num_servers);
-    }
-
-  private:
-    const ClusterConfig* config_;
-    Rng rng_;
-    bool record_;
-    std::vector<std::uint32_t> draws_;
-};
-
-/**
- * The sub-stream server `server` would receive from the balancer: a
- * filter view over the shared source that consumes one balancer draw
- * per inner invocation (in stream order, so every pass replays the
- * identical draw sequence) and emits only the invocations routed to
- * this server. Streaming analogue of runClusterSplit()'s shards —
- * function ids pass through untouched, every shard keeps the full
- * catalog. Non-owning; reset() rewinds the shared source.
- */
-class BalancerFilterSource final : public InvocationSource
-{
-  public:
-    BalancerFilterSource(InvocationSource& inner,
-                         const ClusterConfig& config, std::size_t server,
-                         std::size_t exact_count)
-        : inner_(&inner), config_(&config), server_(server),
-          exact_count_(exact_count),
-          name_(inner.name() + "-server" + std::to_string(server)),
-          tracker_(config, /*record=*/false)
-    {
-    }
-
-    const std::string& name() const override { return name_; }
-
-    const std::vector<FunctionSpec>& functions() const override
-    {
-        return inner_->functions();
-    }
-
-    bool peek(Invocation& out) override
-    {
-        if (!settle())
-            return false;
-        out = pending_;
-        return true;
-    }
-
-    bool next(Invocation& out) override
-    {
-        if (!settle())
-            return false;
-        out = pending_;
-        has_pending_ = false;
-        return true;
-    }
-
-    void reset() override
-    {
-        inner_->reset();
-        tracker_ = PrimaryTracker(*config_, /*record=*/false);
-        index_ = 0;
-        has_pending_ = false;
-    }
-
-    SourceCountHint countHint() const override
-    {
-        return SourceCountHint{exact_count_, true};
-    }
-
-  private:
-    /** Consume inner arrivals (and their draws) until one is ours. */
-    bool settle()
-    {
-        while (!has_pending_) {
-            Invocation inv;
-            if (!inner_->next(inv))
-                return false;
-            if (tracker_.onArrival(index_++, inv) == server_) {
-                pending_ = inv;
-                has_pending_ = true;
-            }
-        }
-        return true;
-    }
-
-    InvocationSource* inner_;
-    const ClusterConfig* config_;
-    std::size_t server_;
-    std::size_t exact_count_;
-    std::string name_;
-    PrimaryTracker tracker_;
-    std::size_t index_ = 0;
-    Invocation pending_;
-    bool has_pending_ = false;
-};
-
 /** Independent-server replay (the original, fault-free fast path). */
 ClusterResult
 runClusterSplit(const Trace& trace, PolicyKind kind,
@@ -374,7 +227,8 @@ runClusterSplitStreamed(InvocationSource& source, PolicyKind kind,
     ClusterResult result;
     result.servers.reserve(config.num_servers);
     for (std::size_t s = 0; s < config.num_servers; ++s) {
-        BalancerFilterSource shard(source, config, s, shard_sizes[s]);
+        BalancerFilterSource shard(source, config, s,
+                                   SourceCountHint{shard_sizes[s], true});
         Server server(makePolicy(kind, policy_config), config.server);
         result.servers.push_back(server.run(shard));
     }
@@ -1062,6 +916,16 @@ runCluster(const Trace& trace, PolicyKind kind, const ClusterConfig& config,
            const PolicyConfig& policy_config)
 {
     config.validate();
+    if (config.shards > 0 &&
+        config.server.platform_backend != PlatformBackend::Reference) {
+        // Sharded engine (cluster_shard.cc): each shard replays the
+        // trace through its own non-owning cursor.
+        ShardedWorkload workload;
+        workload.make_full = [&trace] {
+            return std::make_unique<TraceSource>(trace);
+        };
+        return runCluster(workload, kind, config, policy_config);
+    }
     // The independent-server fast path is only equivalent when no
     // front-end machinery can fire: no faults, no admission mark, no
     // retry budget, no breakers. Server-local overload features run
@@ -1089,6 +953,19 @@ runCluster(InvocationSource& source, PolicyKind kind,
         // replay through the trace overload.
         const Trace trace = materializeSource(source);
         return runCluster(trace, kind, config, policy_config);
+    }
+    if (config.shards > 0) {
+        // A lone cursor cannot be re-opened per shard, so sharded runs
+        // of this overload materialize once and fan cursors out over
+        // the trace. Callers that can re-open their stream (.ftrace
+        // regions, generators) should use the ShardedWorkload overload
+        // to keep memory O(catalog + pending work).
+        const Trace trace = materializeSource(source);
+        ShardedWorkload workload;
+        workload.make_full = [&trace] {
+            return std::make_unique<TraceSource>(trace);
+        };
+        return runCluster(workload, kind, config, policy_config);
     }
     if (config.faults.empty() && config.failover.shed_queue_depth == 0 &&
         !config.failover.retry_budget.enabled() &&

@@ -26,6 +26,7 @@
 #define FAASCACHE_PLATFORM_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -116,6 +117,23 @@ struct ClusterConfig
 
     /** Failure handling (only consulted on the fault-aware path). */
     FailoverConfig failover;
+
+    /**
+     * Worker-thread shards the invoker fleet is partitioned into
+     * (DESIGN.md §4i). 0 (the default) keeps the single-threaded
+     * legacy paths, byte-for-byte. Any N >= 1 runs the sharded engine:
+     * contiguous server ranges per shard, conservative time-windowed
+     * synchronization with the lookahead horizon set to
+     * failover.base_backoff_us, and a deterministic merge — results
+     * are byte-identical for every N >= 1 (including N = 1 and
+     * N > num_servers), but the windowed machinery quantizes
+     * cross-shard forwarding to window boundaries, so fault/overload
+     * runs with N >= 1 are a deliberately distinct (still fully
+     * deterministic) semantic from the legacy N = 0 event interleave.
+     * Fault-free runs match N = 0 exactly. The Reference backend
+     * ignores the knob and stays the single-threaded oracle.
+     */
+    std::size_t shards = 0;
 
     /** Check invariants of the whole tree (servers, faults,
      *  failover). @throws std::invalid_argument. */
@@ -213,6 +231,47 @@ ClusterResult runCluster(const Trace& trace, PolicyKind kind,
  * over the equivalent trace.
  */
 ClusterResult runCluster(InvocationSource& source, PolicyKind kind,
+                         const ClusterConfig& config,
+                         const PolicyConfig& policy_config = {});
+
+/**
+ * Factory producing a fresh, independent cursor over the same
+ * invocation stream. Every cursor must yield the identical sequence
+ * (same catalog object contents, same arrivals); the sharded engine
+ * hands one to each worker thread so shards never contend on a shared
+ * cursor position. FtraceRegion::makeCursor() and the generated-source
+ * builders are the canonical factories.
+ */
+using SourceFactory =
+    std::function<std::unique_ptr<InvocationSource>()>;
+
+/**
+ * A workload the sharded cluster can fan out. `make_full` is required.
+ * `make_server_stream`, when set, produces the exact sub-stream the
+ * balancer would route to one server (global function ids, full
+ * catalog) — the sharded fault-free split then skips the per-server
+ * filter passes over the full stream. Only valid for
+ * LoadBalancing::FunctionHash, the one balancer whose routing is a
+ * pure per-function property; it is ignored (with the filter fallback)
+ * for the index- and draw-based balancers.
+ */
+struct ShardedWorkload
+{
+    SourceFactory make_full;
+    std::function<std::unique_ptr<InvocationSource>(std::size_t server)>
+        make_server_stream;
+};
+
+/**
+ * Sharded overload: replay a re-openable stream through the cluster
+ * with config.shards worker threads (config.shards == 0 is promoted to
+ * 1). Results are byte-identical for every shard count; see
+ * ClusterConfig::shards for the semantic relationship to the legacy
+ * single-threaded paths. Peak memory is O(catalog + pending work) per
+ * shard — the sharded engine never records balancer draws, even under
+ * Random balancing.
+ */
+ClusterResult runCluster(const ShardedWorkload& workload, PolicyKind kind,
                          const ClusterConfig& config,
                          const PolicyConfig& policy_config = {});
 

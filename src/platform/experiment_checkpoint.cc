@@ -354,10 +354,9 @@ platformSweepFingerprint(const std::vector<PlatformCell>& cells)
     const std::vector<std::string> keys = platformCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    // v4: RobustnessCounters gained oom_kills (chaos fault model), so
-    // journals written before the expanded fault model never silently
-    // resume against the new payload layout.
-    out << "faascache-platform-grid-v4;" << cells.size() << ';';
+    // v5: lockstep bump with the cluster grid (sharded execution), so a
+    // mixed-grid journal from either era is rejected as a whole.
+    out << "faascache-platform-grid-v5;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const PlatformCell& cell = cells[i];
         out << keys[i] << ';';
@@ -374,9 +373,10 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
     const std::vector<std::string> keys = clusterCellKeys(cells);
     std::unordered_map<const Trace*, std::uint64_t> trace_hashes;
     std::ostringstream out;
-    // v4: payloads gained partition_unreachable/oom_kills and the plan
-    // hash below covers crash bursts, partitions, and OOM kills.
-    out << "faascache-cluster-grid-v4;" << cells.size() << ';';
+    // v5: cells gained the shards knob (sharded windowed execution is a
+    // distinct deterministic semantic from the legacy interleave when
+    // front-end machinery is armed, so it must key resumes).
+    out << "faascache-cluster-grid-v5;" << cells.size() << ';';
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const ClusterCell& cell = cells[i];
         const ClusterConfig& config = cell.config;
@@ -384,7 +384,7 @@ clusterSweepFingerprint(const std::vector<ClusterCell>& cells)
         hashTrace(out, trace_hashes, cell.trace);
         out << policyKindName(cell.kind) << ';' << config.num_servers
             << ';' << static_cast<int>(config.balancing) << ';'
-            << config.seed << ';';
+            << config.seed << ';' << config.shards << ';';
         hashServerConfig(out, config.server);
         out << config.failover.max_retries << ';'
             << config.failover.base_backoff_us << ';'

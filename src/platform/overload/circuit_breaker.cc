@@ -56,6 +56,22 @@ CircuitBreaker::allowRequest(TimeUs now)
     return true;
 }
 
+bool
+CircuitBreaker::peekAllow(TimeUs now) const
+{
+    if (!config_.enabled())
+        return true;
+    switch (state(now)) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        return false;
+      case BreakerState::HalfOpen:
+        return now >= next_probe_us_;
+    }
+    return true;
+}
+
 void
 CircuitBreaker::recordSuccess(TimeUs now)
 {

@@ -57,6 +57,15 @@ class CircuitBreaker
      */
     bool allowRequest(TimeUs now);
 
+    /**
+     * Would allowRequest() admit at `now`? Pure observation: never
+     * claims the half-open probe slot. The sharded cluster front end
+     * evaluates remote servers off barrier snapshots, so admission
+     * checks there must not mutate breaker state; the probe slot is
+     * claimed by the owning shard when a forwarded offer is delivered.
+     */
+    bool peekAllow(TimeUs now) const;
+
     /** A success signal (warm start or successful container spawn). */
     void recordSuccess(TimeUs now);
 

@@ -5,9 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_map>
 
 #include "util/checkpoint_journal.h"
 
@@ -220,16 +222,49 @@ std::size_t writeFtraceFile(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
-// Reader
+// Region (the process-shared mapping)
 
-void FtraceSource::fail(const std::string& field,
+namespace {
+
+/** Process-wide registry: one live FtraceRegion per path string. */
+std::mutex& regionRegistryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_map<std::string, std::weak_ptr<FtraceRegion>>&
+regionRegistry()
+{
+    static std::unordered_map<std::string, std::weak_ptr<FtraceRegion>> r;
+    return r;
+}
+
+}  // namespace
+
+std::shared_ptr<FtraceRegion> FtraceRegion::open(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(regionRegistryMutex());
+    auto& registry = regionRegistry();
+    if (auto it = registry.find(path); it != registry.end()) {
+        if (std::shared_ptr<FtraceRegion> live = it->second.lock())
+            return live;
+    }
+    // Constructor may throw (validation); the registry is only updated
+    // once the region is fully built.
+    std::shared_ptr<FtraceRegion> region(new FtraceRegion(path));
+    registry[path] = region;
+    return region;
+}
+
+void FtraceRegion::fail(const std::string& field,
                         const std::string& problem) const
 {
     throw std::runtime_error("ftrace: " + path_ + ": " + field + ": " +
                              problem);
 }
 
-FtraceSource::FtraceSource(const std::string& path) : path_(path)
+FtraceRegion::FtraceRegion(const std::string& path) : path_(path)
 {
     const int fd = ::open(path_.c_str(), O_RDONLY);
     if (fd < 0)
@@ -347,17 +382,24 @@ FtraceSource::FtraceSource(const std::string& path) : path_(path)
     chunks_off_ = static_cast<std::size_t>(meta_bytes);
 }
 
-FtraceSource::~FtraceSource()
+FtraceRegion::~FtraceRegion()
 {
     if (map_ != nullptr)
         ::munmap(const_cast<unsigned char*>(map_), map_bytes_);
 }
 
-void FtraceSource::touchChunk(std::uint64_t chunk)
+void FtraceRegion::touchChunk(std::uint64_t chunk)
 {
+    // Fast path: chunks below the watermark are immutable once verified,
+    // so a plain acquire load suffices and concurrent cursors never
+    // contend after first touch.
+    if (chunk < verified_chunks_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(verify_mutex_);
     const std::uint64_t stride = ftrace::chunkStride(chunk_capacity_);
-    while (verified_chunks_ <= chunk) {
-        const std::uint64_t c = verified_chunks_;
+    while (verified_chunks_.load(std::memory_order_relaxed) <= chunk) {
+        const std::uint64_t c =
+            verified_chunks_.load(std::memory_order_relaxed);
         const unsigned char* base = map_ + chunks_off_ + c * stride;
         const std::uint64_t sum = loadU64(base + stride - 8);
         const std::uint64_t expect = fnv1a64(std::string_view(
@@ -391,11 +433,11 @@ void FtraceSource::touchChunk(std::uint64_t chunk)
                          " out of range at entry " + std::to_string(i));
         }
         verified_tail_arrival_ = prev;
-        ++verified_chunks_;
+        verified_chunks_.store(c + 1, std::memory_order_release);
     }
 }
 
-bool FtraceSource::load(std::uint64_t pos, Invocation& out)
+bool FtraceRegion::load(std::uint64_t pos, Invocation& out)
 {
     if (pos >= num_invocations_)
         return false;
@@ -410,32 +452,92 @@ bool FtraceSource::load(std::uint64_t pos, Invocation& out)
     return true;
 }
 
-bool FtraceSource::peek(Invocation& out) { return load(pos_, out); }
-
-bool FtraceSource::next(Invocation& out)
+void FtraceRegion::releaseConsumed()
 {
-    if (!load(pos_, out))
+    // Release up to the slowest cursor: dropping pages a peer is still
+    // streaming would be correct (they re-fault from the file) but would
+    // defeat the point of sharing the mapping. A cursor that reset()
+    // behind the watermark simply stalls further releases until it
+    // catches up; its re-reads fault the pages back in.
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    std::uint64_t min_pos = num_invocations_;
+    for (const FtraceCursor* cursor : cursors_)
+        min_pos = std::min(
+            min_pos, cursor->pos_.load(std::memory_order_acquire));
+    const std::uint64_t min_chunk = min_pos / chunk_capacity_;
+    if (min_chunk <= released_chunks_)
+        return;
+    const std::uint64_t stride = ftrace::chunkStride(chunk_capacity_);
+    const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t begin =
+        (chunks_off_ + released_chunks_ * stride) / page * page;
+    const std::size_t end =
+        (chunks_off_ + min_chunk * stride) / page * page;
+    if (end > begin)
+        ::madvise(const_cast<unsigned char*>(map_) + begin, end - begin,
+                  MADV_DONTNEED);
+    released_chunks_ = min_chunk;
+}
+
+void FtraceRegion::registerCursor(const FtraceCursor* cursor)
+{
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    cursors_.push_back(cursor);
+}
+
+void FtraceRegion::unregisterCursor(const FtraceCursor* cursor)
+{
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    cursors_.erase(std::remove(cursors_.begin(), cursors_.end(), cursor),
+                   cursors_.end());
+}
+
+std::unique_ptr<FtraceCursor> FtraceRegion::makeCursor()
+{
+    // open() is the only way to obtain a region and returns shared_ptr,
+    // so shared_from_this() always has a control block to share.
+    return std::make_unique<FtraceCursor>(shared_from_this());
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+
+FtraceCursor::FtraceCursor(std::shared_ptr<FtraceRegion> region)
+    : region_(std::move(region))
+{
+    region_->registerCursor(this);
+}
+
+FtraceCursor::~FtraceCursor() { region_->unregisterCursor(this); }
+
+bool FtraceCursor::peek(Invocation& out)
+{
+    return region_->load(pos_.load(std::memory_order_relaxed), out);
+}
+
+bool FtraceCursor::next(Invocation& out)
+{
+    const std::uint64_t pos = pos_.load(std::memory_order_relaxed);
+    if (!region_->load(pos, out))
         return false;
-    ++pos_;
-    // Crossing a chunk boundary: hand the consumed chunk's pages back to
-    // the kernel so resident memory stays O(chunk). Dropped pages re-fault
-    // from the file, so a later reset() still sees identical bytes.
-    if (pos_ % chunk_capacity_ == 0) {
-        const std::uint64_t chunk = pos_ / chunk_capacity_ - 1;
-        const std::uint64_t stride = ftrace::chunkStride(chunk_capacity_);
-        const std::size_t page = static_cast<std::size_t>(
-            ::sysconf(_SC_PAGESIZE));
-        const std::size_t begin =
-            (chunks_off_ + chunk * stride) / page * page;
-        const std::size_t end =
-            (chunks_off_ + (chunk + 1) * stride) / page * page;
-        if (end > begin)
-            ::madvise(const_cast<unsigned char*>(map_) + begin, end - begin,
-                      MADV_DONTNEED);
-    }
+    pos_.store(pos + 1, std::memory_order_release);
+    // Crossing a chunk boundary: try to hand fully consumed chunks back
+    // to the kernel so resident memory stays O(chunk) regardless of the
+    // trace length. The region only drops chunks every cursor has passed.
+    if ((pos + 1) % region_->chunkCapacity() == 0)
+        region_->releaseConsumed();
     return true;
 }
 
-void FtraceSource::reset() { pos_ = 0; }
+void FtraceCursor::reset() { pos_.store(0, std::memory_order_release); }
+
+// ---------------------------------------------------------------------------
+// Facade
+
+FtraceSource::FtraceSource(const std::string& path)
+    : region_(FtraceRegion::open(path)), cursor_(region_->makeCursor())
+{
+}
 
 }  // namespace faascache

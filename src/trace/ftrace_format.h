@@ -41,9 +41,11 @@
 #ifndef FAASCACHE_TRACE_FTRACE_FORMAT_H_
 #define FAASCACHE_TRACE_FTRACE_FORMAT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -134,46 +136,72 @@ std::size_t writeFtraceFile(const std::string& path,
                             std::uint32_t chunk_capacity =
                                 ftrace::kDefaultChunkCapacity);
 
+class FtraceCursor;
+
 /**
- * Memory-mapped streaming reader over a `.ftrace` file.
+ * One process-shared memory mapping of a `.ftrace` file plus every
+ * piece of per-file state that consumers can share: the validated
+ * catalog, the lazy chunk-verification watermark, and the registry of
+ * active cursors.
  *
- * Header, name, function table, and file size are validated in the
- * constructor; chunk payloads are checksum-verified lazily on first
- * touch and released with madvise(MADV_DONTNEED) once consumed.
+ * open() hands out the same region for the same path (a process-wide
+ * weak registry keyed by the path string), so N shards streaming the
+ * same trace touch one mapping instead of N — the file is opened and
+ * mmapped once per process, and its pages are shared by every cursor.
+ *
+ * Header, name, function table, and file size are validated eagerly in
+ * open(); chunk payloads are checksum-verified lazily on first touch
+ * (lock-free fast path for already-verified chunks, a mutex serializes
+ * first-touch verification, so concurrent cursors are safe). A chunk
+ * is released back to the kernel with madvise(MADV_DONTNEED) only once
+ * EVERY registered cursor has streamed past it — the minimum cursor
+ * position gates the release watermark — keeping peak RSS at O(chunk)
+ * for a fleet of shard cursors no matter the trace length.
+ *
  * All failures throw std::runtime_error with messages of the form
  * "ftrace: <path>: <field>: <problem>".
  */
-class FtraceSource final : public InvocationSource
+class FtraceRegion : public std::enable_shared_from_this<FtraceRegion>
 {
   public:
-    explicit FtraceSource(const std::string& path);
-    ~FtraceSource() override;
+    /** Shared handle to the process-wide region for `path` (creates and
+     *  validates it on first open; later opens reuse the live mapping).
+     *  The registry key is the path string as given. */
+    static std::shared_ptr<FtraceRegion> open(const std::string& path);
 
-    FtraceSource(const FtraceSource&) = delete;
-    FtraceSource& operator=(const FtraceSource&) = delete;
+    ~FtraceRegion();
 
-    const std::string& name() const override { return name_; }
-    const std::vector<FunctionSpec>& functions() const override
+    FtraceRegion(const FtraceRegion&) = delete;
+    FtraceRegion& operator=(const FtraceRegion&) = delete;
+
+    const std::string& path() const { return path_; }
+    const std::string& name() const { return name_; }
+    const std::vector<FunctionSpec>& functions() const
     {
         return functions_;
     }
-    bool peek(Invocation& out) override;
-    bool next(Invocation& out) override;
-    void reset() override;
-    SourceCountHint countHint() const override
-    {
-        return SourceCountHint{num_invocations_, true};
-    }
-
     std::uint32_t chunkCapacity() const { return chunk_capacity_; }
     std::uint64_t numChunks() const { return num_chunks_; }
+    std::uint64_t numInvocations() const { return num_invocations_; }
+
+    /** New independent cursor at position 0 over this mapping. */
+    std::unique_ptr<FtraceCursor> makeCursor();
 
   private:
+    friend class FtraceCursor;
+
+    explicit FtraceRegion(const std::string& path);
+
     [[noreturn]] void fail(const std::string& field,
                            const std::string& problem) const;
-    /** Validate + cache the chunk containing global index `pos`. */
+    /** Validate chunks [verified, chunk] (thread-safe, lazy). */
     void touchChunk(std::uint64_t chunk);
+    /** Row `pos` of the columns; false past the end. */
     bool load(std::uint64_t pos, Invocation& out);
+    /** Release chunks every registered cursor has passed. */
+    void releaseConsumed();
+    void registerCursor(const FtraceCursor* cursor);
+    void unregisterCursor(const FtraceCursor* cursor);
 
     std::string path_;
     std::string name_;
@@ -184,12 +212,103 @@ class FtraceSource final : public InvocationSource
     std::uint32_t chunk_capacity_ = 0;
     std::uint64_t num_invocations_ = 0;
     std::uint64_t num_chunks_ = 0;
-    std::uint64_t pos_ = 0;
-    /** Chunks [0, verified_chunks_) passed checksum/count/sortedness. */
-    std::uint64_t verified_chunks_ = 0;
+
+    /** Chunks [0, verified_chunks_) passed checksum/count/sortedness.
+     *  Atomic so concurrent cursors skip the mutex once verified. */
+    std::atomic<std::uint64_t> verified_chunks_{0};
+    /** Serializes first-touch verification; guards the tail arrival. */
+    std::mutex verify_mutex_;
     /** Arrival at the end of the last verified chunk (cross-chunk
-     *  sortedness check). */
+     *  sortedness check); guarded by verify_mutex_. */
     TimeUs verified_tail_arrival_ = 0;
+
+    /** Guards the cursor registry and the release watermark. */
+    std::mutex cursors_mutex_;
+    std::vector<const FtraceCursor*> cursors_;
+    /** Chunks [0, released_chunks_) have been madvised away. */
+    std::uint64_t released_chunks_ = 0;
+};
+
+/**
+ * One streaming position over a shared FtraceRegion. Cheap to create —
+ * no file open, no re-validation — and safe to drive from its own
+ * thread concurrently with other cursors on the same region (this is
+ * how the sharded cluster fans one mapping out to N shard threads).
+ * Keeps the region alive; registers itself so the region's release
+ * watermark never overtakes it.
+ */
+class FtraceCursor final : public InvocationSource
+{
+  public:
+    explicit FtraceCursor(std::shared_ptr<FtraceRegion> region);
+    ~FtraceCursor() override;
+
+    FtraceCursor(const FtraceCursor&) = delete;
+    FtraceCursor& operator=(const FtraceCursor&) = delete;
+
+    const std::string& name() const override { return region_->name(); }
+    const std::vector<FunctionSpec>& functions() const override
+    {
+        return region_->functions();
+    }
+    bool peek(Invocation& out) override;
+    bool next(Invocation& out) override;
+    void reset() override;
+    SourceCountHint countHint() const override
+    {
+        return SourceCountHint{region_->numInvocations(), true};
+    }
+
+  private:
+    friend class FtraceRegion;
+
+    std::shared_ptr<FtraceRegion> region_;
+    /** Atomic: read by the region's release scan from other threads. */
+    std::atomic<std::uint64_t> pos_{0};
+};
+
+/**
+ * Memory-mapped streaming reader over a `.ftrace` file: a facade over
+ * FtraceRegion::open() + one FtraceCursor, preserving the historical
+ * single-object API. Constructing several FtraceSources for the same
+ * path shares one mapping (they are independent cursors over the same
+ * FtraceRegion); validation errors are unchanged,
+ * "ftrace: <path>: <field>: <problem>".
+ */
+class FtraceSource final : public InvocationSource
+{
+  public:
+    explicit FtraceSource(const std::string& path);
+
+    FtraceSource(const FtraceSource&) = delete;
+    FtraceSource& operator=(const FtraceSource&) = delete;
+
+    const std::string& name() const override { return cursor_->name(); }
+    const std::vector<FunctionSpec>& functions() const override
+    {
+        return cursor_->functions();
+    }
+    bool peek(Invocation& out) override { return cursor_->peek(out); }
+    bool next(Invocation& out) override { return cursor_->next(out); }
+    void reset() override { cursor_->reset(); }
+    SourceCountHint countHint() const override
+    {
+        return cursor_->countHint();
+    }
+
+    std::uint32_t chunkCapacity() const
+    {
+        return region_->chunkCapacity();
+    }
+    std::uint64_t numChunks() const { return region_->numChunks(); }
+
+    /** The shared mapping backing this source (for fan-out: hand the
+     *  region to ShardedWorkload factories instead of reopening). */
+    const std::shared_ptr<FtraceRegion>& region() const { return region_; }
+
+  private:
+    std::shared_ptr<FtraceRegion> region_;
+    std::unique_ptr<FtraceCursor> cursor_;
 };
 
 }  // namespace faascache

@@ -244,10 +244,11 @@ class AzureSource final : public GeneratedSource
   public:
     explicit AzureSource(const AzureModelConfig& config,
                          std::vector<FunctionSpec> population,
-                         std::vector<double> rates, Rng post_catalog_rng)
+                         std::vector<double> rates, Rng post_catalog_rng,
+                         std::function<bool(FunctionId)> keep)
         : GeneratedSource(config.name, {}), config_(config),
           population_(std::move(population)), rates_(std::move(rates)),
-          post_catalog_rng_(post_catalog_rng),
+          post_catalog_rng_(post_catalog_rng), keep_(std::move(keep)),
           num_minutes_(static_cast<std::int64_t>(
               (config.duration_us + kMinute - 1) / kMinute))
     {
@@ -280,7 +281,11 @@ class AzureSource final : public GeneratedSource
             spec.id = new_id;
             remap_[i] = new_id;
             kept.push_back(std::move(spec));
-            total += counts[i];
+            // The keep partition layers on the OUTPUT id space: the
+            // catalog (and hence the remap) is partition-independent,
+            // only the emitted stream and its exact count shrink.
+            if (!keep_ || keep_(new_id))
+                total += counts[i];
         }
         setFunctions(std::move(kept));
         setTotalCount(total);
@@ -332,7 +337,9 @@ class AzureSource final : public GeneratedSource
 
     bool streamEmits(std::size_t i) const override
     {
-        return remap_[i] != kInvalidFunction;
+        if (remap_[i] == kInvalidFunction)
+            return false;
+        return !keep_ || keep_(remap_[i]);
     }
 
     FunctionId streamFunction(std::size_t i) const override
@@ -366,6 +373,7 @@ class AzureSource final : public GeneratedSource
     std::vector<FunctionSpec> population_;
     std::vector<double> rates_;
     Rng post_catalog_rng_;
+    std::function<bool(FunctionId)> keep_;
     std::int64_t num_minutes_;
     std::vector<FunctionId> remap_;
     std::vector<Stream> streams_;
@@ -426,6 +434,12 @@ std::unique_ptr<InvocationSource> makeSkewedSizeSource(
 std::unique_ptr<InvocationSource> makeAzureSource(
     const AzureModelConfig& config)
 {
+    return makeAzureSource(config, nullptr);
+}
+
+std::unique_ptr<InvocationSource> makeAzureSource(
+    const AzureModelConfig& config, std::function<bool(FunctionId)> keep)
+{
     // Replicate generateAzureTrace()'s catalog loop draw for draw, then
     // hand the post-catalog RNG state to the streaming source so the
     // per-function split() sequence matches the materialized path.
@@ -465,7 +479,8 @@ std::unique_ptr<InvocationSource> makeAzureSource(
         rates.push_back(rate);
     }
     return std::make_unique<AzureSource>(config, std::move(population),
-                                         std::move(rates), rng);
+                                         std::move(rates), rng,
+                                         std::move(keep));
 }
 
 }  // namespace faascache

@@ -25,6 +25,7 @@
 #define FAASCACHE_TRACE_GENERATED_SOURCE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -128,6 +129,25 @@ std::unique_ptr<InvocationSource> makeSkewedSizeSource(
 /** Streaming equivalent of generateAzureTrace(). */
 std::unique_ptr<InvocationSource> makeAzureSource(
     const AzureModelConfig& config);
+
+/**
+ * Partitioned streaming Azure workload. Identical catalog, RNG replay,
+ * and per-function arrival streams as makeAzureSource(config), but the
+ * merge only emits invocations whose output function id — the dense
+ * post-filter id every consumer sees — satisfies `keep`. The full
+ * catalog is retained so ids stay catalog-global, every per-function
+ * RNG is still consumed in id order (so arrivals are byte-identical to
+ * the unpartitioned stream), and countHint() is the exact count of the
+ * partition. Disjoint keep predicates covering the id space therefore
+ * partition the full stream: merging the partitions by (arrival_us,
+ * function order) reproduces makeAzureSource(config) exactly. This is
+ * the per-shard generation hook for the sharded cluster: with the
+ * FunctionHash balancer each shard generates only its own servers'
+ * functions instead of filtering the full interleave.
+ */
+std::unique_ptr<InvocationSource> makeAzureSource(
+    const AzureModelConfig& config,
+    std::function<bool(FunctionId)> keep);
 
 }  // namespace faascache
 

@@ -1,0 +1,391 @@
+// Sharded cluster engine (DESIGN.md §4i): partition determinism, the
+// cross-shard mailbox's canonical delivery order, barrier mechanics,
+// and — the load-bearing property — byte-identical results for every
+// shard count, clean and under fault plans + overload defenses, with
+// the runtime invariant auditor attached and silent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "engine/event_engine.h"
+#include "platform/cluster.h"
+#include "platform/cluster_shard.h"
+#include "platform/experiment_checkpoint.h"
+#include "platform/fault_injection.h"
+#include "platform/overload/circuit_breaker.h"
+#include "platform/server.h"
+#include "trace/azure_model.h"
+#include "trace/function_spec.h"
+#include "trace/trace.h"
+#include "util/audit.h"
+
+namespace faascache {
+namespace {
+
+AzureModelConfig
+workloadConfig()
+{
+    AzureModelConfig config;
+    config.seed = 47;
+    config.num_functions = 60;
+    config.duration_us = 25 * kMinute;
+    config.iat_median_sec = 20.0;
+    return config;
+}
+
+const Trace&
+azureWorkload()
+{
+    static const Trace kTrace = generateAzureTrace(workloadConfig());
+    return kTrace;
+}
+
+FaultPlan
+clusterFaults()
+{
+    FaultPlan plan;
+    plan.spawn_failure_prob = 0.1;
+    plan.spawn_retry_delay_us = 150 * kMillisecond;
+    plan.straggler_prob = 0.15;
+    plan.straggler_multiplier = 2.5;
+    plan.crashes.push_back(CrashEvent{0, 5 * kMinute, 2 * kMinute});
+    plan.crashes.push_back(CrashEvent{2, 12 * kMinute, 90 * kSecond});
+    plan.oom_kills.push_back(OomKillEvent{1, 8 * kMinute});
+    return plan;
+}
+
+ClusterConfig
+baseConfig(std::size_t num_servers)
+{
+    ClusterConfig config;
+    config.num_servers = num_servers;
+    config.seed = 77;
+    config.server.cores = 2;
+    config.server.memory_mb = 1'500.0;
+    return config;
+}
+
+void
+armDefenses(ClusterConfig& config)
+{
+    config.faults = clusterFaults();
+    config.failover.shed_queue_depth = 24;
+    config.failover.retry_budget.ratio = 0.5;
+    config.failover.retry_budget.burst = 16.0;
+    config.failover.breaker.failure_threshold = 8;
+    config.failover.breaker.open_duration_us = 10 * kSecond;
+}
+
+std::string
+payloadFor(const ClusterConfig& config)
+{
+    return encodeClusterCheckpointPayload(
+        "cell", runCluster(azureWorkload(), PolicyKind::GreedyDual,
+                           config));
+}
+
+// --- Partition helpers. ---------------------------------------------
+
+TEST(ClusterShard, PartitionIsContiguousBalancedAndInvertible)
+{
+    for (const std::size_t servers : {1u, 3u, 7u, 8u, 64u, 301u}) {
+        for (const std::size_t shards : {1u, 2u, 4u, 8u, 64u, 999u}) {
+            const std::size_t effective =
+                effectiveShards(shards, servers);
+            ASSERT_GE(effective, 1u);
+            ASSERT_LE(effective, servers);
+
+            std::size_t covered = 0;
+            std::size_t max_count = 0;
+            std::size_t min_count = servers;
+            for (std::size_t shard = 0; shard < effective; ++shard) {
+                const auto [first, count] =
+                    shardServerRange(shard, effective, servers);
+                ASSERT_EQ(first, covered)
+                    << "ranges must be contiguous in shard order";
+                ASSERT_GE(count, 1u);
+                max_count = std::max(max_count, count);
+                min_count = std::min(min_count, count);
+                for (std::size_t s = first; s < first + count; ++s) {
+                    ASSERT_EQ(shardOfServer(s, effective, servers),
+                              shard)
+                        << "shardOfServer must invert the ranges";
+                }
+                covered += count;
+            }
+            ASSERT_EQ(covered, servers) << "every server owned once";
+            ASSERT_LE(max_count - min_count, 1u)
+                << "partition must be balanced";
+        }
+    }
+}
+
+// --- Mailbox: canonical, poster-independent delivery order. ---------
+
+TEST(ClusterShard, MailboxSortsDeliveriesCanonicallyPerWindow)
+{
+    auto owner = [](std::size_t server) { return server % 2; };
+    auto mail = [](ShardMail::Kind kind, std::size_t index, int attempt,
+                   std::size_t target, TimeUs at) {
+        ShardMail m;
+        m.kind = kind;
+        m.index = index;
+        m.attempt = attempt;
+        m.target = target;
+        m.at_us = at;
+        return m;
+    };
+
+    // The same messages posted from different shards in different
+    // interleavings must be delivered identically.
+    std::vector<std::vector<ShardMail>> inboxes[2];
+    for (int variant = 0; variant < 2; ++variant) {
+        ShardMailbox box(2);
+        std::vector<ShardMail> batch = {
+            mail(ShardMail::Kind::RetryFire, 9, 2, 2, 500),
+            mail(ShardMail::Kind::ForwardOffer, 14, 1, 4, 0),
+            mail(ShardMail::Kind::RetryFire, 3, 1, 2, 500),
+            mail(ShardMail::Kind::ForwardOffer, 2, 0, 2, 0),
+            mail(ShardMail::Kind::RetryFire, 7, 1, 6, 120),
+        };
+        if (variant == 1) {
+            std::reverse(batch.begin(), batch.end());
+            for (ShardMail& m : batch)
+                box.outbox(1).push_back(m);
+        } else {
+            // Split across posters instead.
+            box.outbox(0).push_back(batch[0]);
+            box.outbox(1).push_back(batch[1]);
+            box.outbox(0).push_back(batch[2]);
+            box.outbox(1).push_back(batch[3]);
+            box.outbox(0).push_back(batch[4]);
+        }
+        ASSERT_TRUE(box.anyPosted());
+        box.exchange(owner);
+        ASSERT_FALSE(box.anyPosted()) << "exchange consumes the window";
+        inboxes[variant].push_back(box.inbox(0));
+        inboxes[variant].push_back(box.inbox(1));
+    }
+    for (int shard = 0; shard < 2; ++shard) {
+        const auto& a = inboxes[0][shard];
+        const auto& b = inboxes[1][shard];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].index, b[i].index) << "shard " << shard;
+            EXPECT_EQ(a[i].at_us, b[i].at_us) << "shard " << shard;
+        }
+    }
+
+    // Canonical order inside one inbox: offers first by (index,
+    // attempt), then retries by fire time.
+    const auto& even = inboxes[0][0];
+    ASSERT_EQ(even.size(), 5u);  // every target above is even
+    EXPECT_EQ(even[0].kind, ShardMail::Kind::ForwardOffer);
+    EXPECT_EQ(even[0].index, 2u);
+    EXPECT_EQ(even[1].kind, ShardMail::Kind::ForwardOffer);
+    EXPECT_EQ(even[1].index, 14u);
+    EXPECT_EQ(even[2].kind, ShardMail::Kind::RetryFire);
+    EXPECT_EQ(even[2].index, 7u);  // at_us 120 before the two at 500
+    EXPECT_EQ(even[3].index, 3u);  // index breaks the at_us tie (3 < 9)
+    EXPECT_EQ(even[4].index, 9u);
+
+    // Windows never mix: a second exchange only carries new posts.
+    ShardMailbox box(2);
+    box.outbox(0).push_back(
+        mail(ShardMail::Kind::ForwardOffer, 1, 0, 0, 0));
+    box.exchange(owner);
+    ASSERT_EQ(box.inbox(0).size(), 1u);
+    box.outbox(1).push_back(
+        mail(ShardMail::Kind::ForwardOffer, 8, 0, 0, 0));
+    box.exchange(owner);
+    ASSERT_EQ(box.inbox(0).size(), 1u);
+    EXPECT_EQ(box.inbox(0)[0].index, 8u);
+}
+
+// --- Barrier: leader section and abort wake-up. ---------------------
+
+TEST(ClusterShard, BarrierRunsLeaderOncePerRoundAndAbortWakes)
+{
+    constexpr std::size_t kParties = 4;
+    constexpr int kRounds = 25;
+    ShardBarrier barrier(kParties);
+    std::vector<int> leader_runs(1, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kParties);
+    for (std::size_t p = 0; p < kParties; ++p) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r)
+                barrier.arriveAndWait([&] { ++leader_runs[0]; });
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(leader_runs[0], kRounds)
+        << "exactly one leader execution per round";
+
+    ShardBarrier aborting(2);
+    std::thread waiter([&] {
+        EXPECT_THROW(aborting.arriveAndWait(), ShardAborted);
+    });
+    aborting.abort();
+    waiter.join();
+    EXPECT_THROW(aborting.arriveAndWait(), ShardAborted)
+        << "an aborted barrier stays aborted";
+}
+
+// --- Engine/breaker helpers the windowed loop leans on. -------------
+
+TEST(ClusterShard, EventCoreHasEventBeforeHorizon)
+{
+    EventCore<int> events;
+    EXPECT_FALSE(events.hasEventBefore(1'000'000));
+    events.schedule(500, 0, 0);
+    EXPECT_TRUE(events.hasEventBefore(501));
+    EXPECT_FALSE(events.hasEventBefore(500))
+        << "strictly-before: an event AT the horizon belongs to the "
+           "next window";
+}
+
+TEST(ClusterShard, BreakerPeekAllowNeverClaimsProbe)
+{
+    CircuitBreakerConfig config;
+    config.failure_threshold = 2;
+    config.open_duration_us = 1'000;
+    CircuitBreaker breaker(config);
+    breaker.recordFailure(0);
+    breaker.recordFailure(0);  // opens
+    EXPECT_EQ(breaker.state(10), BreakerState::Open);
+    EXPECT_FALSE(breaker.peekAllow(10));
+    // Half-open: peeking any number of times must not consume the
+    // probe slot the next allowRequest claims.
+    EXPECT_TRUE(breaker.peekAllow(1'000));
+    EXPECT_TRUE(breaker.peekAllow(1'000));
+    EXPECT_EQ(breaker.probes(), 0);
+    EXPECT_TRUE(breaker.allowRequest(1'000));
+    EXPECT_EQ(breaker.probes(), 1);
+    EXPECT_FALSE(breaker.peekAllow(1'001))
+        << "after the claim, the slot is gone for a cool-down";
+}
+
+// --- Shard-count invariance (the headline property). ----------------
+
+TEST(ClusterShard, CleanShardedMatchesLegacyForAllBalancers)
+{
+    for (const LoadBalancing balancing :
+         {LoadBalancing::Random, LoadBalancing::RoundRobin,
+          LoadBalancing::FunctionHash}) {
+        ClusterConfig legacy = baseConfig(4);
+        legacy.balancing = balancing;
+        const std::string oracle = payloadFor(legacy);
+        for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+            ClusterConfig sharded = legacy;
+            sharded.shards = shards;
+            EXPECT_EQ(payloadFor(sharded), oracle)
+                << "clean sharded run diverged from legacy: balancing "
+                << static_cast<int>(balancing) << ", shards " << shards;
+        }
+    }
+}
+
+TEST(ClusterShard, WindowedRunIsShardCountInvariantWithAuditorOn)
+{
+    for (const LoadBalancing balancing :
+         {LoadBalancing::Random, LoadBalancing::RoundRobin,
+          LoadBalancing::FunctionHash}) {
+        Auditor audit(AuditMode::On);
+        ClusterConfig config = baseConfig(4);
+        config.balancing = balancing;
+        armDefenses(config);
+        config.server.audit = &audit;
+
+        config.shards = 1;
+        const std::string oracle = payloadFor(config);
+        for (const std::size_t shards : {2u, 3u, 4u, 8u}) {
+            ClusterConfig other = config;
+            other.shards = shards;
+            EXPECT_EQ(payloadFor(other), oracle)
+                << "windowed run diverged: balancing "
+                << static_cast<int>(balancing) << ", shards " << shards;
+        }
+        EXPECT_EQ(audit.violationCount(), 0)
+            << "auditor-on sharded runs must be violation-free: "
+            << audit.report();
+    }
+}
+
+// --- Horizon-boundary events land exactly on a barrier. -------------
+
+TEST(ClusterShard, HorizonBoundaryRetriesFireOnBarrierInstant)
+{
+    // Jitter off: every retry backs off by exactly base_backoff_us
+    // << attempt — attempt-0 retries of requests spilled at a crash
+    // (which fires at a multiple of H below) land exactly on the next
+    // barrier instant. The run must stay shard-count invariant and
+    // actually exercise retries.
+    ClusterConfig config = baseConfig(3);
+    config.failover.backoff_jitter_frac = 0.0;
+    config.failover.base_backoff_us = 30 * kSecond;  // H
+    config.faults.crashes.push_back(
+        CrashEvent{0, 5 * kMinute, 2 * kMinute});  // 10 H, restart 4 H
+    config.balancing = LoadBalancing::FunctionHash;
+
+    config.shards = 1;
+    const std::string oracle = payloadFor(config);
+    ClusterResult witness;
+    for (const std::size_t shards : {2u, 3u, 8u}) {
+        ClusterConfig other = config;
+        other.shards = shards;
+        EXPECT_EQ(payloadFor(other), oracle)
+            << "boundary-aligned retries diverged at shards " << shards;
+        witness = runCluster(azureWorkload(), PolicyKind::GreedyDual,
+                             other);
+    }
+    EXPECT_GT(witness.retries, 0)
+        << "the scenario must actually schedule barrier-aligned "
+           "retries";
+}
+
+// --- Empty shards still participate in barriers. --------------------
+
+TEST(ClusterShard, EmptyShardsParticipateAndStayInvariant)
+{
+    // Two functions hashed across 8 servers: most servers (and with 8
+    // shards, most shards) never receive an arrival, yet their shards
+    // must keep arriving at every barrier for the run to terminate.
+    Trace trace("empty-shards");
+    for (FunctionId f = 0; f < 2; ++f) {
+        trace.addFunction(makeFunction(f, "f" + std::to_string(f),
+                                       300.0, 500 * kMillisecond,
+                                       2 * kSecond));
+    }
+    for (int i = 0; i < 40; ++i)
+        trace.addInvocation(i % 2, (i + 1) * 10 * kSecond);
+
+    ClusterConfig config = baseConfig(8);
+    config.balancing = LoadBalancing::FunctionHash;
+    armDefenses(config);
+
+    Auditor audit(AuditMode::On);
+    config.server.audit = &audit;
+    config.shards = 1;
+    const std::string oracle = encodeClusterCheckpointPayload(
+        "cell", runCluster(trace, PolicyKind::GreedyDual, config));
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+        ClusterConfig other = config;
+        other.shards = shards;
+        EXPECT_EQ(encodeClusterCheckpointPayload(
+                      "cell", runCluster(trace, PolicyKind::GreedyDual,
+                                         other)),
+                  oracle)
+            << "empty-shard run diverged at shards " << shards;
+    }
+    EXPECT_EQ(audit.violationCount(), 0) << audit.report();
+}
+
+}  // namespace
+}  // namespace faascache

@@ -128,6 +128,63 @@ TEST(FtraceRoundTrip, MultiChunkStreamIsIdentical)
     expectStreamsEqual(source, trace);
 }
 
+// One mapping per path per process: sources and cursors on the same
+// file share a single FtraceRegion, and every cursor streams the full
+// trace independently (the sharded cluster fans one region out to all
+// shards instead of re-opening the file per consumer).
+TEST(FtraceRoundTrip, RegionIsSharedAndCursorsAreIndependent)
+{
+    const Trace trace = workload();
+    TempFtrace file("region");
+    compile(trace, file.path());
+
+    std::shared_ptr<FtraceRegion> region = FtraceRegion::open(file.path());
+    EXPECT_EQ(FtraceRegion::open(file.path()).get(), region.get())
+        << "same path must reuse the live mapping";
+    FtraceSource source(file.path());
+    EXPECT_EQ(source.region().get(), region.get())
+        << "FtraceSource must join the shared region too";
+
+    // Interleaved cursors do not disturb each other: advance one past
+    // a chunk boundary (triggering the release watermark scan), then
+    // stream both to completion.
+    std::unique_ptr<FtraceCursor> a = region->makeCursor();
+    std::unique_ptr<FtraceCursor> b = region->makeCursor();
+    Invocation inv;
+    for (std::uint64_t i = 0; i < region->chunkCapacity() + 3; ++i) {
+        ASSERT_TRUE(a->next(inv));
+        EXPECT_EQ(inv, trace.invocations()[i]);
+    }
+    std::size_t got_b = 0;
+    while (b->next(inv)) {
+        ASSERT_LT(got_b, trace.invocations().size());
+        EXPECT_EQ(inv, trace.invocations()[got_b]) << "cursor b @" << got_b;
+        ++got_b;
+    }
+    EXPECT_EQ(got_b, trace.invocations().size());
+    while (a->next(inv)) {
+    }
+
+    // reset() behind the release watermark re-faults pages correctly.
+    b->reset();
+    std::size_t again = 0;
+    while (b->next(inv)) {
+        ASSERT_LT(again, trace.invocations().size());
+        EXPECT_EQ(inv, trace.invocations()[again]) << "post-reset @" << again;
+        ++again;
+    }
+    EXPECT_EQ(again, trace.invocations().size());
+
+    // After heavy cursor churn a re-open still streams the same bytes.
+    a.reset();
+    b.reset();
+    region.reset();
+    {
+        FtraceSource reopened(file.path());
+        expectStreamsEqual(reopened, trace);
+    }
+}
+
 TEST(FtraceWriter, RejectsContractViolations)
 {
     TempFtrace file("writer-contract");

@@ -260,6 +260,76 @@ TEST(StreamingDifferential, ClusterAgreesAcrossSourcesAndBalancers)
     }
 }
 
+// --- Cluster: sharded execution is shard-count invariant, fed by
+//     per-shard cursors over ONE shared .ftrace mapping. -------------
+
+TEST(StreamingDifferential, ClusterShardCountInvariance)
+{
+    const Trace& trace = azureWorkload();
+    const CompiledTrace compiled(trace, "shards");
+    // One mapping for the whole test: every shard of every run below
+    // streams through its own cursor over this region (DESIGN.md §4i).
+    const std::shared_ptr<FtraceRegion> region =
+        FtraceRegion::open(compiled.path());
+    ShardedWorkload workload;
+    workload.make_full = [&region] { return region->makeCursor(); };
+
+    for (const LoadBalancing balancing :
+         {LoadBalancing::Random, LoadBalancing::RoundRobin,
+          LoadBalancing::FunctionHash}) {
+        for (const bool faulty : {false, true}) {
+            ClusterConfig config;
+            config.num_servers = 3;
+            config.balancing = balancing;
+            config.seed = 77;
+            config.server.cores = 2;
+            config.server.memory_mb = 1'500.0;
+            if (faulty) {
+                config.faults = clusterFaults();
+                config.failover.shed_queue_depth = 24;
+                config.failover.retry_budget.ratio = 0.5;
+                config.failover.retry_budget.burst = 16.0;
+                config.failover.breaker.failure_threshold = 8;
+                config.failover.breaker.open_duration_us = 10 * kSecond;
+            }
+            const std::string label =
+                std::to_string(static_cast<int>(balancing)) +
+                (faulty ? "/faults" : "/clean");
+
+            ClusterConfig sharded = config;
+            sharded.shards = 1;
+            const std::string oracle = encodeClusterCheckpointPayload(
+                "cell",
+                runCluster(workload, PolicyKind::GreedyDual, sharded));
+
+            if (!faulty) {
+                // The fault-free sharded split must also match the
+                // legacy single-threaded engine byte-for-byte.
+                EXPECT_EQ(
+                    encodeClusterCheckpointPayload(
+                        "cell",
+                        runCluster(trace, PolicyKind::GreedyDual,
+                                   config)),
+                    oracle)
+                    << "sharded split diverged from legacy: " << label;
+            }
+
+            // 8 shards on a 3-server fleet also covers the clamp to
+            // one-shard-per-server.
+            for (const std::size_t shards : {2u, 4u, 8u}) {
+                sharded.shards = shards;
+                EXPECT_EQ(
+                    encodeClusterCheckpointPayload(
+                        "cell", runCluster(workload,
+                                           PolicyKind::GreedyDual,
+                                           sharded)),
+                    oracle)
+                    << "shards=" << shards << " diverged: " << label;
+            }
+        }
+    }
+}
+
 // --- Elastic: streamed source drives the online controller. ---------
 
 TEST(StreamingDifferential, ElasticSimulationAgreesAcrossSources)

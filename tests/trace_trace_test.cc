@@ -142,5 +142,28 @@ TEST(Trace, SubsetThrowsOnBadId)
     EXPECT_THROW(t.subset({9}, "bad"), std::out_of_range);
 }
 
+// Boundary the sharded-cluster partitioner depends on: a kept function
+// with zero invocations must stay in the subset's catalog with a dense
+// id (a server whose hash-home functions never fire still exists, and
+// its shard must still participate in barriers with an empty cursor).
+TEST(Trace, SubsetKeepsZeroInvocationFunctions)
+{
+    Trace t = makeSmallTrace();
+    t.addFunction(
+        makeFunction(2, "idle", 64, fromSeconds(1), fromSeconds(1)));
+    // No invocations of "idle" at all.
+    const Trace sub = t.subset({1, 2}, "with-idle");
+    ASSERT_EQ(sub.functions().size(), 2u);
+    EXPECT_EQ(sub.functions()[0].name, "b");
+    EXPECT_EQ(sub.functions()[1].name, "idle");
+    EXPECT_EQ(sub.functions()[1].id, 1u);
+    ASSERT_EQ(sub.invocations().size(), 1u);
+    EXPECT_EQ(sub.invocations()[0].function, 0u);
+    EXPECT_TRUE(sub.validate());
+    const std::vector<std::size_t> counts = sub.invocationCounts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[1], 0u);
+}
+
 }  // namespace
 }  // namespace faascache
